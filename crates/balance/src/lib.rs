@@ -1,0 +1,454 @@
+//! Static load balancing for weighted independent tasks.
+//!
+//! PRNA distributes the columns of the parent slice (the arcs of `S₂`)
+//! across processors *before* stage one begins; the paper uses "a greedy
+//! approximation algorithm" for this — Graham's list scheduling
+//! (Graham 1969). This crate implements that policy plus the natural
+//! alternatives used by the ablation benchmarks:
+//!
+//! * [`greedy`] — Graham's list scheduling in input order: each task goes
+//!   to the currently least-loaded processor (`(2 - 1/p)`-approximate);
+//! * [`lpt`] — Longest Processing Time first: greedy over tasks sorted by
+//!   decreasing weight (`(4/3 - 1/(3p))`-approximate);
+//! * [`block`] — contiguous block partition balanced by prefix sums;
+//! * [`round_robin`] — cyclic assignment, ignoring weights.
+//!
+//! An [`Assignment`] records which tasks each processor owns and exposes
+//! quality metrics (makespan, imbalance) used by both the simulator and
+//! the experiment reports.
+//!
+//! ```
+//! use load_balance::{greedy, lpt};
+//!
+//! let weights = [7u64, 3, 5, 1, 8, 2];
+//! let a = greedy(&weights, 2);
+//! assert_eq!(a.total(), 26);
+//! assert!(a.makespan() >= 13); // half the work is a hard floor
+//! // LPT's makespan never exceeds (4/3 - 1/(3p)) * OPT.
+//! assert!(lpt(&weights, 2).makespan() <= a.makespan());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BinaryHeap;
+
+/// The result of distributing `tasks.len()` weighted tasks over `p`
+/// processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `owner[t]` is the processor assigned task `t`.
+    pub owner: Vec<u32>,
+    /// `load[p]` is the total weight assigned to processor `p`.
+    pub load: Vec<u64>,
+}
+
+impl Assignment {
+    /// Builds an assignment from an owner vector and the task weights.
+    pub fn from_owners(owner: Vec<u32>, weights: &[u64], processors: u32) -> Self {
+        assert_eq!(owner.len(), weights.len());
+        let mut load = vec![0u64; processors as usize];
+        for (t, &o) in owner.iter().enumerate() {
+            assert!(o < processors, "owner {o} out of range");
+            load[o as usize] += weights[t];
+        }
+        Assignment { owner, load }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> u32 {
+        self.load.len() as u32
+    }
+
+    /// The heaviest processor load — the schedule length when tasks are
+    /// independent.
+    pub fn makespan(&self) -> u64 {
+        self.load.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total weight across processors.
+    pub fn total(&self) -> u64 {
+        self.load.iter().sum()
+    }
+
+    /// Ratio of the makespan to a perfectly even split (1.0 is ideal).
+    /// Returns 1.0 for zero total weight.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.load.len() as f64;
+        self.makespan() as f64 / ideal
+    }
+
+    /// The tasks owned by processor `p`, in task order.
+    pub fn tasks_of(&self, p: u32) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &o)| (o == p).then_some(t))
+            .collect()
+    }
+
+    /// Lower bound on any schedule: `max(total/p, max task weight)`
+    /// (needs the weights again since `load` has already aggregated them).
+    pub fn lower_bound(&self, weights: &[u64]) -> u64 {
+        let total = self.total();
+        let p = self.load.len() as u64;
+        let even = total.div_ceil(p);
+        even.max(weights.iter().copied().max().unwrap_or(0))
+    }
+}
+
+/// Min-heap entry: (load, processor). `BinaryHeap` is a max-heap, so we
+/// order by `Reverse`-like negation via a custom `Ord`.
+#[derive(PartialEq, Eq)]
+struct Slot {
+    load: u64,
+    proc: u32,
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the smallest load (then smallest processor id, for
+        // determinism) is the "greatest" so it pops first.
+        other.load.cmp(&self.load).then(other.proc.cmp(&self.proc))
+    }
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Graham's greedy list scheduling in input order: each task is assigned
+/// to the currently least-loaded processor. Deterministic (ties break
+/// toward the lowest processor id).
+pub fn greedy(weights: &[u64], processors: u32) -> Assignment {
+    assert!(processors > 0, "need at least one processor");
+    let mut heap: BinaryHeap<Slot> = (0..processors).map(|p| Slot { load: 0, proc: p }).collect();
+    let mut owner = vec![0u32; weights.len()];
+    for (t, &w) in weights.iter().enumerate() {
+        let mut slot = heap.pop().expect("heap has `processors` entries");
+        owner[t] = slot.proc;
+        slot.load += w;
+        heap.push(slot);
+    }
+    Assignment::from_owners(owner, weights, processors)
+}
+
+/// Longest Processing Time first: greedy over tasks sorted by decreasing
+/// weight (ties broken by task index for determinism).
+pub fn lpt(weights: &[u64], processors: u32) -> Assignment {
+    assert!(processors > 0, "need at least one processor");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&t| (std::cmp::Reverse(weights[t]), t));
+    let mut heap: BinaryHeap<Slot> = (0..processors).map(|p| Slot { load: 0, proc: p }).collect();
+    let mut owner = vec![0u32; weights.len()];
+    for t in order {
+        let mut slot = heap.pop().expect("heap has `processors` entries");
+        owner[t] = slot.proc;
+        slot.load += weights[t];
+        heap.push(slot);
+    }
+    Assignment::from_owners(owner, weights, processors)
+}
+
+/// Contiguous block partition: splits the task sequence into `p`
+/// contiguous runs with near-equal weight using a greedy prefix walk
+/// against the ideal per-processor share.
+pub fn block(weights: &[u64], processors: u32) -> Assignment {
+    assert!(processors > 0, "need at least one processor");
+    let total: u64 = weights.iter().sum();
+    let mut owner = vec![0u32; weights.len()];
+    let mut acc: u64 = 0;
+    let mut proc: u32 = 0;
+    for (t, &w) in weights.iter().enumerate() {
+        // Move to the next processor when this one has reached its share
+        // of the remaining ideal split.
+        let share = total as f64 * (proc as f64 + 1.0) / processors as f64;
+        if proc + 1 < processors && acc as f64 + w as f64 / 2.0 > share {
+            proc += 1;
+        }
+        owner[t] = proc;
+        acc += w;
+    }
+    Assignment::from_owners(owner, weights, processors)
+}
+
+/// Cyclic assignment: task `t` goes to processor `t mod p`, ignoring
+/// weights entirely.
+pub fn round_robin(weights: &[u64], processors: u32) -> Assignment {
+    assert!(processors > 0, "need at least one processor");
+    let owner: Vec<u32> = (0..weights.len()).map(|t| t as u32 % processors).collect();
+    Assignment::from_owners(owner, weights, processors)
+}
+
+/// Greedy list scheduling for **heterogeneous** processors: each task is
+/// assigned to the processor that would finish it earliest, given
+/// per-processor relative speeds (`speed[p]` work units per unit time).
+///
+/// This is the uniform-machines (`Q||Cmax`) greedy rule — the setting of
+/// the manager–worker related work (Snow et al.), where processors of a
+/// heterogeneous cluster differ in throughput. With all speeds equal it
+/// reduces to [`greedy`] up to tie-breaking.
+///
+/// # Panics
+///
+/// Panics if `speeds` is empty or contains a non-positive speed.
+pub fn greedy_speeds(weights: &[u64], speeds: &[f64]) -> Assignment {
+    assert!(!speeds.is_empty(), "need at least one processor");
+    assert!(
+        speeds.iter().all(|&s| s > 0.0),
+        "speeds must be positive"
+    );
+    let p = speeds.len() as u32;
+    let mut load = vec![0u64; speeds.len()];
+    let mut owner = vec![0u32; weights.len()];
+    for (t, &w) in weights.iter().enumerate() {
+        // Earliest completion time (load + w) / speed; linear scan keeps
+        // this simple and exact (no heap ordering by floats needed).
+        let best = (0..speeds.len())
+            .min_by(|&a, &b| {
+                let ta = (load[a] + w) as f64 / speeds[a];
+                let tb = (load[b] + w) as f64 / speeds[b];
+                ta.total_cmp(&tb)
+            })
+            .expect("speeds non-empty");
+        owner[t] = best as u32;
+        load[best] += w;
+    }
+    Assignment::from_owners(owner, weights, p)
+}
+
+impl Assignment {
+    /// The schedule length under per-processor speeds: the maximum of
+    /// `load[p] / speed[p]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds.len()` differs from the processor count.
+    pub fn makespan_with_speeds(&self, speeds: &[f64]) -> f64 {
+        assert_eq!(speeds.len(), self.load.len(), "one speed per processor");
+        self.load
+            .iter()
+            .zip(speeds)
+            .map(|(&l, &s)| l as f64 / s)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Available balancing policies, for CLI/bench parameterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Graham greedy list scheduling (the paper's choice).
+    Greedy,
+    /// Longest Processing Time first.
+    Lpt,
+    /// Contiguous block partition.
+    Block,
+    /// Cyclic assignment.
+    RoundRobin,
+}
+
+impl Policy {
+    /// Runs the policy.
+    pub fn assign(self, weights: &[u64], processors: u32) -> Assignment {
+        match self {
+            Policy::Greedy => greedy(weights, processors),
+            Policy::Lpt => lpt(weights, processors),
+            Policy::Block => block(weights, processors),
+            Policy::RoundRobin => round_robin(weights, processors),
+        }
+    }
+
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 4] = [
+        Policy::Greedy,
+        Policy::Lpt,
+        Policy::Block,
+        Policy::RoundRobin,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Greedy => "greedy",
+            Policy::Lpt => "lpt",
+            Policy::Block => "block",
+            Policy::RoundRobin => "round-robin",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_balances_equal_weights() {
+        let w = vec![1u64; 12];
+        let a = greedy(&w, 4);
+        assert_eq!(a.load, vec![3, 3, 3, 3]);
+        assert!((a.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let w: Vec<u64> = (0..50).map(|i| (i * 7919) % 97).collect();
+        assert_eq!(greedy(&w, 7), greedy(&w, 7));
+    }
+
+    #[test]
+    fn greedy_respects_graham_bound() {
+        // Makespan <= (2 - 1/p) * OPT; OPT >= max(total/p, max weight).
+        let w: Vec<u64> = (0..200).map(|i| (i * 7919) % 1009 + 1).collect();
+        for p in [1u32, 2, 4, 8, 16] {
+            let a = greedy(&w, p);
+            let lb = a.lower_bound(&w);
+            let bound = (2.0 - 1.0 / p as f64) * lb as f64;
+            assert!(
+                a.makespan() as f64 <= bound + 1e-9,
+                "p={p}: makespan {} > bound {bound}",
+                a.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_respects_tighter_bound() {
+        let w: Vec<u64> = (0..200).map(|i| (i * 104729) % 997 + 1).collect();
+        for p in [2u32, 4, 8] {
+            let a = lpt(&w, p);
+            let lb = a.lower_bound(&w);
+            let bound = (4.0 / 3.0 - 1.0 / (3.0 * p as f64)) * lb as f64;
+            assert!(
+                a.makespan() as f64 <= bound + 1e-9,
+                "p={p}: makespan {} > bound {bound}",
+                a.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_no_worse_than_round_robin_on_skewed_weights() {
+        let w: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 100 } else { 1 }).collect();
+        let l = lpt(&w, 8).makespan();
+        let r = round_robin(&w, 8).makespan();
+        assert!(l <= r, "lpt {l} vs round-robin {r}");
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let w: Vec<u64> = (0..30).map(|i| i % 5 + 1).collect();
+        let a = block(&w, 4);
+        for t in 1..w.len() {
+            assert!(
+                a.owner[t] >= a.owner[t - 1],
+                "block owners must be monotone"
+            );
+        }
+        assert_eq!(a.total(), w.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let w = vec![1u64; 7];
+        let a = round_robin(&w, 3);
+        assert_eq!(a.owner, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_processor_owns_everything() {
+        let w = vec![3u64, 1, 4, 1, 5];
+        for policy in Policy::ALL {
+            let a = policy.assign(&w, 1);
+            assert_eq!(a.makespan(), 14, "{}", policy.name());
+            assert!(a.owner.iter().all(|&o| o == 0));
+        }
+    }
+
+    #[test]
+    fn empty_task_list() {
+        for policy in Policy::ALL {
+            let a = policy.assign(&[], 4);
+            assert_eq!(a.makespan(), 0);
+            assert_eq!(a.owner.len(), 0);
+        }
+    }
+
+    #[test]
+    fn more_processors_than_tasks() {
+        let w = vec![5u64, 3];
+        let a = greedy(&w, 8);
+        assert_eq!(a.makespan(), 5);
+        assert_eq!(a.load.iter().filter(|&&l| l > 0).count(), 2);
+    }
+
+    #[test]
+    fn tasks_of_partitions_all_tasks() {
+        let w: Vec<u64> = (0..25).map(|i| i + 1).collect();
+        let a = greedy(&w, 4);
+        let mut all: Vec<usize> = (0..4).flat_map(|p| a.tasks_of(p)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = greedy(&[1, 2], 0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_is_one() {
+        let a = greedy(&[], 4);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn greedy_speeds_reduces_to_greedy_when_uniform() {
+        let w: Vec<u64> = (0..40).map(|i| (i * 13) % 17 + 1).collect();
+        let hetero = greedy_speeds(&w, &[1.0; 4]);
+        let homo = greedy(&w, 4);
+        // Same makespan (tie-breaking may differ, loads may permute).
+        assert_eq!(hetero.makespan(), homo.makespan());
+        assert_eq!(hetero.total(), homo.total());
+    }
+
+    #[test]
+    fn greedy_speeds_loads_fast_processors_more() {
+        let w = vec![10u64; 30];
+        let a = greedy_speeds(&w, &[3.0, 1.0]);
+        // The 3x processor should get about 3x the work.
+        assert!(a.load[0] > 2 * a.load[1], "loads {:?}", a.load);
+        // Completion times should be nearly equal.
+        let t0 = a.load[0] as f64 / 3.0;
+        let t1 = a.load[1] as f64 / 1.0;
+        assert!((t0 - t1).abs() <= 10.0, "times {t0} vs {t1}");
+    }
+
+    #[test]
+    fn makespan_with_speeds_weighs_loads() {
+        let w = vec![6u64, 6];
+        let a = greedy_speeds(&w, &[2.0, 1.0]);
+        // Task 1 lands where it finishes earliest.
+        let m = a.makespan_with_speeds(&[2.0, 1.0]);
+        assert!(m <= 6.0, "makespan {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds must be positive")]
+    fn greedy_speeds_rejects_zero_speed() {
+        let _ = greedy_speeds(&[1], &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one speed per processor")]
+    fn makespan_with_speeds_checks_length() {
+        let a = greedy(&[1, 2], 2);
+        let _ = a.makespan_with_speeds(&[1.0]);
+    }
+}

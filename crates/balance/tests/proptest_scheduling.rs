@@ -1,0 +1,117 @@
+//! Property tests for the load balancers: conservation, bounds, and
+//! policy dominance relations over arbitrary task sets.
+
+use load_balance::{block, greedy, lpt, round_robin, Policy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_every_policy_conserves_work(
+        weights in proptest::collection::vec(0u64..10_000, 0..200),
+        p in 1u32..32,
+    ) {
+        let total: u64 = weights.iter().sum();
+        for policy in Policy::ALL {
+            let a = policy.assign(&weights, p);
+            prop_assert_eq!(a.total(), total, "{}", policy.name());
+            prop_assert_eq!(a.owner.len(), weights.len());
+            prop_assert!(a.owner.iter().all(|&o| o < p));
+        }
+    }
+
+    #[test]
+    fn prop_makespan_at_least_lower_bound(
+        weights in proptest::collection::vec(1u64..10_000, 1..200),
+        p in 1u32..32,
+    ) {
+        for policy in Policy::ALL {
+            let a = policy.assign(&weights, p);
+            prop_assert!(a.makespan() >= a.lower_bound(&weights) / 2 + a.lower_bound(&weights) % 2
+                         || a.makespan() >= weights.iter().copied().max().unwrap_or(0),
+                         "{}: makespan below max task", policy.name());
+            // Exact lower bound: makespan >= max weight and >= ceil(total/p).
+            let max_w = weights.iter().copied().max().unwrap();
+            let total: u64 = weights.iter().sum();
+            prop_assert!(a.makespan() >= max_w);
+            prop_assert!(a.makespan() >= total.div_ceil(p as u64));
+        }
+    }
+
+    #[test]
+    fn prop_greedy_graham_bound(
+        weights in proptest::collection::vec(1u64..10_000, 1..200),
+        p in 1u32..32,
+    ) {
+        let a = greedy(&weights, p);
+        let lb = a.lower_bound(&weights);
+        prop_assert!(a.makespan() as f64 <= (2.0 - 1.0 / p as f64) * lb as f64 + 1e-9);
+    }
+
+    #[test]
+    fn prop_lpt_bound(
+        weights in proptest::collection::vec(1u64..10_000, 1..200),
+        p in 1u32..32,
+    ) {
+        let a = lpt(&weights, p);
+        let lb = a.lower_bound(&weights);
+        prop_assert!(
+            a.makespan() as f64 <= (4.0 / 3.0 - 1.0 / (3.0 * p as f64)) * lb as f64 + 1e-9
+        );
+    }
+
+    #[test]
+    fn prop_lpt_no_worse_than_greedy_in_order(
+        weights in proptest::collection::vec(1u64..10_000, 1..120),
+        p in 2u32..16,
+    ) {
+        // LPT is greedy over sorted tasks; sorting can only help the
+        // worst case here because the last-placed task is the smallest.
+        // (This is a known dominance for the *bound*, not pointwise —
+        // so compare against the bound-relevant quantity.)
+        let l = lpt(&weights, p).makespan();
+        let g = greedy(&weights, p).makespan();
+        let max_w = weights.iter().copied().max().unwrap();
+        // Pointwise LPT <= greedy does not always hold; both must sit
+        // within greedy's Graham bound though.
+        let total: u64 = weights.iter().sum();
+        let lb = (total.div_ceil(p as u64)).max(max_w);
+        prop_assert!(l as f64 <= (2.0 - 1.0 / p as f64) * lb as f64 + 1e-9);
+        prop_assert!(g as f64 <= (2.0 - 1.0 / p as f64) * lb as f64 + 1e-9);
+    }
+
+    #[test]
+    fn prop_block_is_contiguous(
+        weights in proptest::collection::vec(0u64..1000, 0..150),
+        p in 1u32..16,
+    ) {
+        let a = block(&weights, p);
+        for w in a.owner.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn prop_round_robin_is_cyclic(
+        n in 0usize..100,
+        p in 1u32..16,
+    ) {
+        let weights = vec![1u64; n];
+        let a = round_robin(&weights, p);
+        for (t, &o) in a.owner.iter().enumerate() {
+            prop_assert_eq!(o, t as u32 % p);
+        }
+    }
+
+    #[test]
+    fn prop_imbalance_at_least_one(
+        weights in proptest::collection::vec(1u64..1000, 1..100),
+        p in 1u32..16,
+    ) {
+        for policy in Policy::ALL {
+            let a = policy.assign(&weights, p);
+            prop_assert!(a.imbalance() >= 1.0 - 1e-12, "{}", policy.name());
+        }
+    }
+}

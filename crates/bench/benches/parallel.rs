@@ -1,0 +1,56 @@
+//! Criterion bench: PRNA backends (ablation A4 — static vs dynamic
+//! scheduling, message passing vs shared memory).
+//!
+//! On a single-core host these measure backend overhead rather than
+//! speedup; the speedup experiment proper is the `fig8` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use load_balance::Policy;
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use rna_structure::generate;
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prna_backends");
+    let s = generate::worst_case_nested(100);
+    let procs = 2u32;
+    for backend in Backend::ALL {
+        let config = PrnaConfig {
+            processors: procs,
+            policy: Policy::Greedy,
+            backend,
+        };
+        group.bench_with_input(BenchmarkId::new(backend.name(), procs), &s, |b, s| {
+            b.iter(|| prna(black_box(s), black_box(s), &config).score)
+        });
+    }
+    // Sequential reference.
+    group.bench_function("srna2_reference", |b| {
+        b.iter(|| mcos_core::srna2::run(black_box(&s), black_box(&s)).score)
+    });
+    group.finish();
+}
+
+fn bench_skewed_scheduling(c: &mut Criterion) {
+    // Skewed structure: dynamic (rayon) vs static (pool) scheduling.
+    let mut group = c.benchmark_group("prna_skewed");
+    let s = generate::skewed_groups(12, 3, 3);
+    for backend in [Backend::WorkerPool, Backend::Rayon] {
+        let config = PrnaConfig {
+            processors: 2,
+            policy: Policy::Greedy,
+            backend,
+        };
+        group.bench_with_input(BenchmarkId::new(backend.name(), 2), &s, |b, s| {
+            b.iter(|| prna(black_box(s), black_box(s), &config).score)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backends, bench_skewed_scheduling
+}
+criterion_main!(benches);

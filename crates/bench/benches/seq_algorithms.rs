@@ -1,0 +1,97 @@
+//! Criterion bench: the sequential algorithms (Table I/II in microcosm).
+//!
+//! Benchmarks SRNA1, SRNA2 and the top-down baseline on worst-case and
+//! rRNA-like inputs small enough for statistical timing. The expected
+//! ordering is SRNA2 < SRNA1 << top-down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcos_core::{baseline, srna1, srna2};
+use rna_structure::generate;
+use std::hint::black_box;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case_self");
+    for arcs in [25u32, 50, 100] {
+        let s = generate::worst_case_nested(arcs);
+        group.bench_with_input(BenchmarkId::new("srna1", arcs), &s, |b, s| {
+            b.iter(|| srna1::run(black_box(s), black_box(s)).score)
+        });
+        group.bench_with_input(BenchmarkId::new("srna2", arcs), &s, |b, s| {
+            b.iter(|| srna2::run(black_box(s), black_box(s)).score)
+        });
+        if arcs <= 25 {
+            group.bench_with_input(BenchmarkId::new("top_down", arcs), &s, |b, s| {
+                b.iter(|| baseline::top_down_memo(black_box(s), black_box(s)).score)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_rrna_like(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rrna_like_self");
+    for arcs in [100u32, 200] {
+        let cfg = generate::RrnaConfig {
+            len: arcs * 5,
+            arcs,
+            mean_stem: 7,
+            nest_bias: 0.55,
+        };
+        let s = generate::rrna_like(&cfg, 42);
+        group.bench_with_input(BenchmarkId::new("srna1", arcs), &s, |b, s| {
+            b.iter(|| srna1::run(black_box(s), black_box(s)).score)
+        });
+        group.bench_with_input(BenchmarkId::new("srna2", arcs), &s, |b, s| {
+            b.iter(|| srna2::run(black_box(s), black_box(s)).score)
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_comparison(c: &mut Criterion) {
+    // Comparing two *different* structures (the production use case).
+    let cfg1 = generate::RrnaConfig {
+        len: 600,
+        arcs: 120,
+        mean_stem: 7,
+        nest_bias: 0.55,
+    };
+    let cfg2 = generate::RrnaConfig {
+        len: 700,
+        arcs: 150,
+        mean_stem: 6,
+        nest_bias: 0.5,
+    };
+    let s1 = generate::rrna_like(&cfg1, 1);
+    let s2 = generate::rrna_like(&cfg2, 2);
+    c.bench_function("cross_rrna_srna2", |b| {
+        b.iter(|| srna2::run(black_box(&s1), black_box(&s2)).score)
+    });
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    // The weighted (Bafna-style) generalization costs one extra weight
+    // fetch per matched cell; this quantifies it against plain MCOS.
+    use mcos_core::weighted::{self, Uniform, WeightMatrix};
+    let s = generate::worst_case_nested(60);
+    let a = s.num_arcs();
+    let matrix = WeightMatrix::from_fn(a, a, |k1, k2| (k1 + k2) % 4 + 1);
+    let mut group = c.benchmark_group("weighted");
+    group.bench_function("mcos_plain", |b| {
+        b.iter(|| srna2::run(black_box(&s), black_box(&s)).score)
+    });
+    group.bench_function("uniform_weight", |b| {
+        b.iter(|| weighted::run(black_box(&s), black_box(&s), &Uniform(1)).score)
+    });
+    group.bench_function("matrix_weight", |b| {
+        b.iter(|| weighted::run(black_box(&s), black_box(&s), &matrix).score)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_worst_case, bench_rrna_like, bench_cross_comparison, bench_weighted
+}
+criterion_main!(benches);

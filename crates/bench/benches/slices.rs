@@ -1,0 +1,97 @@
+//! Criterion bench: compressed vs dense slice tabulation (ablation A2).
+//!
+//! The compressed grid visits one cell per arc pair inside the window;
+//! the dense positional transcription of Figure 2 visits one cell per
+//! position pair. On the worst case they coincide up to a constant; on
+//! sparse realistic structures the compressed grid wins by the square of
+//! the unpaired fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcos_core::{preprocess::Preprocessed, slice};
+use rna_structure::{generate, ArcStructure};
+use std::hint::black_box;
+
+/// Full run (stage one + parent) with compressed slices.
+fn run_compressed(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let cols = p2.num_arcs() as usize;
+    let mut memo = vec![0u32; p1.num_arcs() as usize * cols];
+    let mut grid = Vec::new();
+    for k1 in 0..p1.num_arcs() {
+        for k2 in 0..p2.num_arcs() {
+            let v = slice::tabulate_with(
+                &p1,
+                &p2,
+                p1.under_range[k1 as usize],
+                p2.under_range[k2 as usize],
+                &mut grid,
+                |g1, g2| memo[g1 as usize * cols + g2 as usize],
+            );
+            memo[k1 as usize * cols + k2 as usize] = v;
+        }
+    }
+    slice::tabulate_with(
+        &p1,
+        &p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut grid,
+        |g1, g2| memo[g1 as usize * cols + g2 as usize],
+    )
+}
+
+/// Full run with dense positional slices.
+fn run_dense(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+    let cols = s2.num_arcs() as usize;
+    let mut memo = vec![0u32; s1.num_arcs() as usize * cols];
+    for k1 in 0..s1.num_arcs() {
+        for k2 in 0..s2.num_arcs() {
+            let a1 = s1.arc(k1);
+            let a2 = s2.arc(k2);
+            let v = slice::tabulate_dense(
+                s1,
+                s2,
+                (a1.left + 1, a1.right - 1),
+                (a2.left + 1, a2.right - 1),
+                |g1, g2| memo[g1 as usize * cols + g2 as usize],
+            );
+            memo[k1 as usize * cols + k2 as usize] = v;
+        }
+    }
+    slice::tabulate_dense(s1, s2, (0, s1.len() - 1), (0, s2.len() - 1), |g1, g2| {
+        memo[g1 as usize * cols + g2 as usize]
+    })
+}
+
+fn bench_slices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slice_representation");
+    // Dense worst case: representations nearly coincide.
+    let dense_input = generate::worst_case_nested(40);
+    // Sparse realistic structure: compressed should dominate.
+    let sparse_input = generate::rrna_like(
+        &generate::RrnaConfig {
+            len: 400,
+            arcs: 60,
+            mean_stem: 6,
+            nest_bias: 0.5,
+        },
+        9,
+    );
+    for (name, s) in [("worst40", &dense_input), ("rrna60", &sparse_input)] {
+        group.bench_with_input(BenchmarkId::new("compressed", name), s, |b, s| {
+            b.iter(|| run_compressed(black_box(s), black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", name), s, |b, s| {
+            b.iter(|| run_dense(black_box(s), black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_slices
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion bench: the substrates — mpi-sim collectives and the load
+//! balancers.
+//!
+//! The allreduce latency measured here is the real (threaded) analogue of
+//! the `sync_alpha`/`sync_beta_per_elem` parameters of the simulator's
+//! cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use load_balance::Policy;
+use std::hint::black_box;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_sim_allreduce");
+    group.sample_size(10);
+    for ranks in [2u32, 4] {
+        for elems in [100usize, 1000] {
+            group.throughput(Throughput::Elements(elems as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("ranks{ranks}"), elems),
+                &elems,
+                |b, &elems| {
+                    b.iter(|| {
+                        mpi_sim::run(ranks, |mut comm| {
+                            let v = vec![comm.rank(); elems];
+                            comm.allreduce(v, |mut a, b| {
+                                for (x, y) in a.iter_mut().zip(&b) {
+                                    *x = (*x).max(*y);
+                                }
+                                a
+                            })
+                            .len()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ring_vs_tree(c: &mut Criterion) {
+    // The two allreduce algorithms at a PRNA-row-like payload.
+    let mut group = c.benchmark_group("allreduce_algorithms");
+    group.sample_size(10);
+    let elems = 800usize;
+    for ranks in [2u32, 4] {
+        group.bench_function(format!("tree_r{ranks}"), |b| {
+            b.iter(|| {
+                mpi_sim::run(ranks, |mut comm| {
+                    let v = vec![comm.rank(); elems];
+                    comm.allreduce(v, |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x = (*x).max(*y);
+                        }
+                        a
+                    })
+                    .len()
+                })
+            })
+        });
+        group.bench_function(format!("ring_r{ranks}"), |b| {
+            b.iter(|| {
+                mpi_sim::run(ranks, |mut comm| {
+                    let v = vec![comm.rank(); elems];
+                    comm.allreduce_ring(v, |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x = (*x).max(*y);
+                        }
+                        a
+                    })
+                    .len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("mpi_sim_barrier_x10_ranks4", |b| {
+        b.iter(|| {
+            mpi_sim::run::<u32, _, _>(4, |mut comm| {
+                for _ in 0..10 {
+                    comm.barrier();
+                }
+            })
+        })
+    });
+}
+
+fn bench_balancers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_balance");
+    let weights: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 10_007).collect();
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(policy.name(), weights.len()),
+            &weights,
+            |b, w| b.iter(|| policy.assign(black_box(w), 64).makespan()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce, bench_ring_vs_tree, bench_barrier, bench_balancers
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: the paper's dense positional implementations vs. this
+//! reproduction's compressed-grid implementations.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin ablation_dense [--full]`
+//!
+//! Two questions:
+//!
+//! 1. **Does the paper's SRNA1→SRNA2 speedup reproduce with the paper's
+//!    data layout?** The dense pair differ exactly as the paper
+//!    describes: SRNA1 performs a conditional memo lookup (through an
+//!    out-of-line lookup routine) plus possible recursion inside the
+//!    innermost loop; SRNA2 reads the memo unconditionally.
+//! 2. **What does the compressed representation buy?** Both compressed
+//!    variants tabulate only arc-pair cells instead of position-pair
+//!    cells, which also collapses the SRNA1/SRNA2 gap (the overheads
+//!    SRNA2 removes become negligible once slices are compressed).
+
+use mcos_bench::{has_flag, secs, time, Table};
+use mcos_core::{dense, srna1, srna2};
+use rna_structure::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = has_flag(&args, "--full");
+    let lengths: Vec<u32> = if full {
+        vec![100, 200, 400, 800]
+    } else {
+        vec![100, 200, 400]
+    };
+
+    println!("Ablation — dense positional (paper layout) vs compressed grid\n");
+    let mut table = Table::new(&[
+        "length",
+        "dense1 (s)",
+        "dense2 (s)",
+        "dense ratio",
+        "comp1 (s)",
+        "comp2 (s)",
+        "comp ratio",
+        "dense/comp",
+    ]);
+    for &n in &lengths {
+        let s = generate::worst_case_nested(n / 2);
+        let (d1o, d1) = time(|| dense::srna1(&s, &s));
+        let (d2o, d2) = time(|| dense::srna2(&s, &s));
+        let (c1o, c1) = time(|| srna1::run(&s, &s));
+        let (c2o, c2) = time(|| srna2::run(&s, &s));
+        assert!(
+            d1o.score == n / 2 && d2o.score == n / 2 && c1o.score == n / 2 && c2o.score == n / 2
+        );
+        table.row(&[
+            n.to_string(),
+            secs(d1),
+            secs(d2),
+            format!("{:.2}", d1.as_secs_f64() / d2.as_secs_f64()),
+            secs(c1),
+            secs(c2),
+            format!("{:.2}", c1.as_secs_f64() / c2.as_secs_f64()),
+            format!("{:.1}", d2.as_secs_f64() / c2.as_secs_f64()),
+        ]);
+        eprintln!("done n={n}");
+    }
+    println!("{}", table.render());
+
+    // Sparse realistic input: the compressed layout's advantage explodes.
+    let cfg = generate::RrnaConfig {
+        len: 2000,
+        arcs: 350,
+        mean_stem: 7,
+        nest_bias: 0.55,
+    };
+    let s = generate::rrna_like(&cfg, 11);
+    let (dd, d_dense) = time(|| dense::srna2(&s, &s));
+    let (cc, d_comp) = time(|| srna2::run(&s, &s));
+    assert_eq!(dd.score, cc.score);
+    println!(
+        "rRNA-like (2000 nt / 350 arcs): dense {:.3}s ({} cells) vs compressed {:.3}s ({} cells) — {:.0}x",
+        d_dense.as_secs_f64(),
+        dd.cells,
+        d_comp.as_secs_f64(),
+        cc.counters.cells,
+        d_dense.as_secs_f64() / d_comp.as_secs_f64()
+    );
+}

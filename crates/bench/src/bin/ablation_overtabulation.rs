@@ -1,0 +1,74 @@
+//! Ablation: exact tabulation vs overtabulation (the paper's §II/§IV
+//! argument for the combined bottom-up/top-down design).
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin ablation_overtabulation`
+//!
+//! Compares, at small sizes where the dense 4-D table fits in memory:
+//!
+//! * the conventional fully tabulating bottom-up strategy (dense
+//!   positional subproblems over every `(i1, i2)` start pair),
+//! * plain top-down memoization (exact but hash/recursion overhead),
+//! * SRNA2 (exact tabulation on the compressed grid).
+
+use mcos_bench::{secs, time, Table};
+use mcos_core::{baseline, srna2};
+use rna_structure::generate;
+
+fn main() {
+    println!("Ablation — overtabulation vs exact tabulation\n");
+    let mut table = Table::new(&[
+        "input",
+        "len",
+        "arcs",
+        "bu-full subpr",
+        "topdown subpr",
+        "srna2 cells",
+        "overtab x",
+        "bu-full (s)",
+        "topdown (s)",
+        "srna2 (s)",
+    ]);
+    let inputs: Vec<(&str, rna_structure::ArcStructure)> = vec![
+        ("worst-case", generate::worst_case_nested(40)),
+        ("hairpins", generate::hairpin_chain(8, 4, 4)),
+        ("rrna-like", {
+            generate::rrna_like(
+                &generate::RrnaConfig {
+                    len: 90,
+                    arcs: 24,
+                    mean_stem: 5,
+                    nest_bias: 0.5,
+                },
+                7,
+            )
+        }),
+        ("sparse", generate::random_structure(90, 0.25, 3)),
+    ];
+    for (name, s) in inputs {
+        let (bu, d_bu) = time(|| baseline::bottom_up_full(&s, &s));
+        let (td, d_td) = time(|| baseline::top_down_memo(&s, &s));
+        let (v2, d_2) = time(|| srna2::run(&s, &s));
+        assert_eq!(bu.score, v2.score);
+        assert_eq!(td.score, v2.score);
+        table.row(&[
+            name.to_string(),
+            s.len().to_string(),
+            s.num_arcs().to_string(),
+            bu.subproblems.to_string(),
+            td.subproblems.to_string(),
+            v2.counters.cells.to_string(),
+            format!(
+                "{:.1}",
+                bu.subproblems as f64 / v2.counters.cells.max(1) as f64
+            ),
+            secs(d_bu),
+            secs(d_td),
+            secs(d_2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The compressed exact tabulation visits orders of magnitude fewer subproblems;\n\
+         the gap widens as structures get sparser (data-driven pruning)."
+    );
+}

@@ -1,0 +1,84 @@
+//! Ablation: PRNA vs the two related-work parallelization schemes the
+//! paper contrasts with in §II.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin ablation_related_work`
+//!
+//! 1. **Manager–worker** (Snow et al. \[7\]): dynamic column distribution
+//!    through a dedicated manager rank. Same results, one rank lost to
+//!    management plus a request/assign round trip per task.
+//! 2. **Shared-memo randomized top-down** (Stivala et al. \[8\]): threads
+//!    race down randomized subproblem orders against one lock-free memo.
+//!    Correct, but performs *duplicated* slice tabulations that grow
+//!    with the thread count — the scalability ceiling the paper cites.
+
+use load_balance::Policy;
+use mcos_bench::{secs, time, Table};
+use mcos_core::srna2;
+use mcos_parallel::{parallel_top_down, prna, prna_manager_worker, Backend, PrnaConfig};
+use rna_structure::generate;
+
+fn main() {
+    let s = generate::worst_case_nested(150);
+    println!(
+        "Related-work comparison on the contrived worst case ({} arcs)\n",
+        s.num_arcs()
+    );
+    let reference = srna2::run(&s, &s);
+
+    println!("-- scheme wall times (single-core host: overhead comparison) --");
+    let mut t = Table::new(&["scheme", "ranks", "time (s)", "score ok"]);
+    for ranks in [2u32, 4] {
+        let (static_out, d_static) = time(|| {
+            prna(
+                &s,
+                &s,
+                &PrnaConfig {
+                    processors: ranks,
+                    policy: Policy::Greedy,
+                    backend: Backend::MpiSim,
+                },
+            )
+        });
+        t.row(&[
+            "prna-static".into(),
+            ranks.to_string(),
+            secs(d_static),
+            (static_out.score == reference.score).to_string(),
+        ]);
+        let (mw_out, d_mw) = time(|| prna_manager_worker(&s, &s, ranks));
+        t.row(&[
+            "manager-worker".into(),
+            ranks.to_string(),
+            secs(d_mw),
+            (mw_out.score == reference.score).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("-- shared-memo randomized top-down: duplicated work vs threads --");
+    let mut t2 = Table::new(&[
+        "threads",
+        "computed",
+        "distinct",
+        "duplicated",
+        "overhead %",
+    ]);
+    for threads in [1u32, 2, 4, 8] {
+        let out = parallel_top_down(&s, &s, threads, 12345);
+        assert_eq!(out.score, reference.score);
+        t2.row(&[
+            threads.to_string(),
+            out.computed_slices.to_string(),
+            out.distinct_slices.to_string(),
+            out.duplicated.to_string(),
+            format!(
+                "{:.1}",
+                100.0 * out.duplicated as f64 / out.distinct_slices as f64
+            ),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!("Duplication grows with thread count — \"as the number of processors");
+    println!("increases, so, too, does the likelihood of multiple processors following");
+    println!("identical paths\" (paper §II on the shared-memoization approach).");
+}

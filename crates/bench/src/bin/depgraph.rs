@@ -1,0 +1,25 @@
+//! Figures 3, 4 and 6: dependency-graph illustrations, exported as DOT.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin depgraph [--slices]`
+//!
+//! Prints the top-down subproblem dependency graph (Figure 3) for the
+//! paper's 5-position example, or with `--slices` the child-slice /
+//! memoization-table dependency graph (Figures 4 and 6) for a nested
+//! structure. Pipe into `dot -Tsvg` to render.
+
+use mcos_bench::has_flag;
+use mcos_core::depgraph;
+use rna_structure::formats::dot_bracket;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--slices") {
+        // Figure 4/6 input: a group of nested arcs (self-comparison).
+        let s = dot_bracket::parse("((((.))))").expect("valid");
+        print!("{}", depgraph::slice_graph_dot(&s, &s));
+    } else {
+        // Figure 3 input: 5 positions, arcs (0,4) and (1,3).
+        let s = dot_bracket::parse("((.))").expect("valid");
+        print!("{}", depgraph::subproblem_graph_dot(&s, &s));
+    }
+}

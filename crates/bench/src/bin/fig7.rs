@@ -1,0 +1,41 @@
+//! Figure 7: the parent-slice view of child-slice work — the non-empty
+//! entries are the subproblem counts of the child slices spawned at each
+//! matched arc pair, i.e. the per-column task weights PRNA balances.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin fig7`
+
+use load_balance::Policy;
+use mcos_core::{preprocess::Preprocessed, workload};
+use rna_structure::formats::dot_bracket;
+
+fn main() {
+    // Two small structures in the spirit of the paper's Figure 7: groups
+    // of nested arcs of different depths, so the column weights differ.
+    let s1 = dot_bracket::parse("(((...)))((...))").expect("valid");
+    let s2 = dot_bracket::parse("((...))(((...)))").expect("valid");
+    let p1 = Preprocessed::build(&s1);
+    let p2 = Preprocessed::build(&s2);
+
+    println!("Figure 7 — child-slice work matrix");
+    println!("S1 = (((...)))((...))   rows: arcs of S1 by right endpoint");
+    println!("S2 = ((...))(((...)))   cols: arcs of S2 by right endpoint");
+    println!("(entry = subproblems in the spawned child slice; '.' = leaf pair)\n");
+    print!("{}", workload::render_work_matrix(&p1, &p2));
+
+    let weights = workload::column_weights(&p1, &p2);
+    println!("\nPer-column weights (load-balancer input): {weights:?}");
+    for p in [2u32, 3] {
+        let a = Policy::Greedy.assign(&weights, p);
+        println!(
+            "greedy over {p} processors: loads {:?}, imbalance {:.3}",
+            a.load,
+            a.imbalance()
+        );
+    }
+
+    // Also show the worst case, where every column weight differs.
+    let w = rna_structure::generate::worst_case_nested(8);
+    let pw = Preprocessed::build(&w);
+    println!("\nWorst case (8 nested arcs), self-comparison:");
+    print!("{}", workload::render_work_matrix(&pw, &pw));
+}

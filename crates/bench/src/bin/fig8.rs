@@ -1,0 +1,159 @@
+//! Figure 8: PRNA speedup on contrived worst-case data — 800 nested arcs
+//! (length 1600) and 1600 nested arcs (length 3200), processor counts up
+//! to 64.
+//!
+//! Usage:
+//!   cargo run -p mcos-bench --release --bin fig8 [--procs 1,2,4,...]
+//!       [--real] [--full]
+//!
+//! Default mode replays the exact PRNA schedule in the deterministic
+//! simulator (`par-sim`): the per-cell cost is calibrated from a real
+//! SRNA2 run on this machine, and the allreduce cost uses the
+//! 2009-cluster communication preset (DESIGN.md, substitution 2). This
+//! reproduces the *shape* of Figure 8 — speedup grows with P, the larger
+//! problem scales further (paper: 22× vs 32× at 64 processors) — without
+//! 64 physical processors.
+//!
+//! `--real` additionally runs the threaded PRNA backends and reports
+//! measured wall-clock speedup (only meaningful on a multi-core host;
+//! uses a smaller default size unless `--full`).
+
+use load_balance::Policy;
+use mcos_bench::{
+    calibrate_seconds_per_cell, fundy_model, has_flag, opt_value, parse_procs,
+    prna_sim_from_preprocessed, time, Table,
+};
+use mcos_core::preprocess::Preprocessed;
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use par_sim::Scheduling;
+use rna_structure::generate;
+
+/// Paper Figure 8 reference speedups at 64 processors.
+const PAPER_800_AT_64: f64 = mcos_bench::paper::FIG8_AT_64[0].1;
+const PAPER_1600_AT_64: f64 = mcos_bench::paper::FIG8_AT_64[1].1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let procs: Vec<u32> = opt_value(&args, "--procs")
+        .map(parse_procs)
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);
+
+    println!("Figure 8 — PRNA speedup, contrived worst-case data");
+    println!("(simulated schedule replay; --real for threaded wall-clock)\n");
+
+    eprintln!("calibrating per-cell cost from a real SRNA2 run...");
+    let spc = calibrate_seconds_per_cell(150);
+    let mut model = fundy_model();
+    model.seconds_per_cell = spc;
+    eprintln!(
+        "calibrated: {spc:.3e} s/cell; cluster preset: alpha {:.0}us, {} cores/node, {}x contention",
+        model.sync_alpha * 1e6,
+        model.node_cores,
+        model.contention_at_full
+    );
+
+    let mut table = Table::new(&[
+        "procs",
+        "speedup 800 arcs",
+        "speedup 1600 arcs",
+        "util 800",
+        "util 1600",
+    ]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut curves = Vec::new();
+    for arcs in [800u32, 1600] {
+        let s = generate::worst_case_nested(arcs);
+        let p = Preprocessed::build(&s);
+        let sim = prna_sim_from_preprocessed(&p, &p);
+        let t1 = sim.sequential_seconds(&model);
+        eprintln!(
+            "arcs={arcs}: simulated sequential time {t1:.1}s ({} cells)",
+            sim.grid.total()
+        );
+        let mut curve = Vec::new();
+        for &pr in &procs {
+            let out = sim.run(pr, Scheduling::Static(Policy::Greedy), &model);
+            curve.push((pr, t1 / out.total_seconds, out.utilization));
+        }
+        curves.push(curve);
+    }
+    for (i, &pr) in procs.iter().enumerate() {
+        rows.push(vec![
+            pr.to_string(),
+            format!("{:.2}", curves[0][i].1),
+            format!("{:.2}", curves[1][i].1),
+            format!("{:.3}", curves[0][i].2),
+            format!("{:.3}", curves[1][i].2),
+        ]);
+    }
+    for r in &rows {
+        table.row(r);
+    }
+    println!("{}", table.render());
+    if procs.contains(&64) {
+        let i64 = procs.iter().position(|&p| p == 64).unwrap();
+        println!(
+            "paper at 64 procs: {PAPER_800_AT_64}x (800 arcs), {PAPER_1600_AT_64}x (1600 arcs); \
+             simulated: {:.1}x / {:.1}x",
+            curves[0][i64].1, curves[1][i64].1
+        );
+    }
+
+    if has_flag(&args, "--trace") {
+        // Schedule diagnosis at 64 processors for the 800-arc input:
+        // where the static distribution loses time.
+        let s = generate::worst_case_nested(800);
+        let p = Preprocessed::build(&s);
+        let sim = prna_sim_from_preprocessed(&p, &p);
+        let (_, rows) = sim.run_traced(64, Scheduling::Static(Policy::Greedy), &model);
+        let mut worst: Vec<(usize, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.imbalance()))
+            .collect();
+        worst.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("\nmost imbalanced rows at P=64 (row = arc of S1, compute imbalance):");
+        for (row, imb) in worst.iter().take(5) {
+            println!(
+                "  row {row:>4}: imbalance {imb:.3}, makespan {:.2e}s, sync {:.2e}s",
+                rows[*row].makespan(),
+                rows[*row].sync
+            );
+        }
+        let mean: f64 = worst.iter().map(|(_, i)| i).sum::<f64>() / worst.len() as f64;
+        println!("  mean row imbalance: {mean:.3}");
+    }
+
+    if has_flag(&args, "--real") {
+        let arcs = if has_flag(&args, "--full") { 400 } else { 150 };
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get() as u32)
+            .unwrap_or(1);
+        println!("\nReal threaded PRNA (worst case, {arcs} arcs; host has {cores} core(s)):");
+        let s = generate::worst_case_nested(arcs);
+        let (seq, seq_d) = time(|| mcos_core::srna2::run(&s, &s));
+        println!("sequential SRNA2: {:.3}s", seq_d.as_secs_f64());
+        let mut t = Table::new(&["backend", "procs", "time (s)", "speedup"]);
+        for backend in Backend::ALL {
+            for pr in [1u32, 2, 4] {
+                if pr > cores * 2 {
+                    continue;
+                }
+                let config = PrnaConfig {
+                    processors: pr,
+                    policy: Policy::Greedy,
+                    backend,
+                };
+                let (out, d) = time(|| prna(&s, &s, &config));
+                assert_eq!(out.score, seq.score);
+                t.row(&[
+                    backend.name().to_string(),
+                    pr.to_string(),
+                    format!("{:.3}", d.as_secs_f64()),
+                    format!("{:.2}", seq_d.as_secs_f64() / d.as_secs_f64()),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,66 @@
+//! Scalability analysis: the paper's closing claim about Figure 8 — "the
+//! trend of the results suggests scalability, as more speedup is
+//! attained when increasing the problem size and the number of
+//! processors."
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin scalability`
+//!
+//! Sweeps the contrived worst case over problem sizes and processor
+//! counts in the calibrated simulator and reports (a) the speedup
+//! surface and (b) the parallel efficiency at fixed P as the problem
+//! grows — the isoefficiency view of the same claim.
+
+use load_balance::Policy;
+use mcos_bench::{calibrate_seconds_per_cell, fundy_model, prna_sim_from_preprocessed, Table};
+use mcos_core::preprocess::Preprocessed;
+use par_sim::Scheduling;
+use rna_structure::generate;
+
+fn main() {
+    let mut model = fundy_model();
+    model.seconds_per_cell = calibrate_seconds_per_cell(120);
+    let arcs_list = [100u32, 200, 400, 800, 1600];
+    let procs = [4u32, 16, 64];
+
+    println!("Speedup surface — contrived worst case, simulated Fundy cluster\n");
+    let mut table = Table::new(&["arcs", "length", "S(4)", "S(16)", "S(64)", "eff(64) %"]);
+    let mut speedups_at_64 = Vec::new();
+    for &arcs in &arcs_list {
+        let s = generate::worst_case_nested(arcs);
+        let p = Preprocessed::build(&s);
+        let sim = prna_sim_from_preprocessed(&p, &p);
+        let t1 = sim.sequential_seconds(&model);
+        let mut row = vec![arcs.to_string(), (2 * arcs).to_string()];
+        let mut s64 = 0.0;
+        for &pr in &procs {
+            let sp = t1
+                / sim
+                    .run(pr, Scheduling::Static(Policy::Greedy), &model)
+                    .total_seconds;
+            row.push(format!("{sp:.2}"));
+            if pr == 64 {
+                s64 = sp;
+            }
+        }
+        row.push(format!("{:.1}", 100.0 * s64 / 64.0));
+        speedups_at_64.push(s64);
+        table.row(&row);
+        eprintln!("done arcs={arcs}");
+    }
+    println!("{}", table.render());
+
+    let monotone = speedups_at_64.windows(2).all(|w| w[1] >= w[0]);
+    println!(
+        "speedup at P=64 grows monotonically with problem size: {}",
+        if monotone {
+            "yes — the paper's scalability trend"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "(paper endpoints: S(64) = {:.0} at 800 arcs, {:.0} at 1600 arcs)",
+        mcos_bench::paper::FIG8_AT_64[0].1,
+        mcos_bench::paper::FIG8_AT_64[1].1
+    );
+}

@@ -1,0 +1,66 @@
+//! Table I: execution times of SRNA1 and SRNA2 on contrived worst-case
+//! data (sequences of length 100–1600, i.e. 50–800 fully nested arcs).
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin table1 [--full]`
+//!
+//! The default stops at length 800; `--full` adds length 1600 (several
+//! minutes of compute). Paper reference values (2.8 GHz Opteron, C) are
+//! printed alongside for shape comparison: the claim is SRNA2 ≈ 2× faster
+//! than SRNA1, both scaling as Θ(n⁴).
+
+use mcos_bench::paper::TABLE1 as PAPER;
+use mcos_bench::{has_flag, secs, time, Table};
+use mcos_core::{srna1, srna2};
+use rna_structure::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = has_flag(&args, "--full");
+    let lengths: Vec<u32> = if full {
+        vec![100, 200, 400, 800, 1600]
+    } else {
+        vec![100, 200, 400, 800]
+    };
+
+    println!("Table I — SRNA1 vs SRNA2, contrived worst-case data");
+    println!("(paper values: C on 2.8 GHz Opteron; ours: Rust, this machine)\n");
+    let mut table = Table::new(&[
+        "length",
+        "arcs",
+        "srna1 (s)",
+        "srna2 (s)",
+        "ratio",
+        "paper srna1",
+        "paper srna2",
+        "paper ratio",
+    ]);
+    for &n in &lengths {
+        let arcs = n / 2;
+        let s = generate::worst_case_nested(arcs);
+        let (o1, d1) = time(|| srna1::run(&s, &s));
+        let (o2, d2) = time(|| srna2::run(&s, &s));
+        assert_eq!(o1.score, arcs, "SRNA1 self-comparison must match all arcs");
+        assert_eq!(o2.score, arcs, "SRNA2 self-comparison must match all arcs");
+        let (pn, p1, p2) = PAPER
+            .iter()
+            .find(|(l, _, _)| *l == n)
+            .map(|&(l, a, b)| (l, a, b))
+            .expect("paper row");
+        debug_assert_eq!(pn, n);
+        table.row(&[
+            n.to_string(),
+            arcs.to_string(),
+            secs(d1),
+            secs(d2),
+            format!("{:.2}", d1.as_secs_f64() / d2.as_secs_f64()),
+            format!("{p1:.3}"),
+            format!("{p2:.3}"),
+            format!("{:.2}", p1 / p2),
+        ]);
+        eprintln!("done n={n}");
+    }
+    println!("{}", table.render());
+    if !full {
+        println!("(run with --full to include length 1600)");
+    }
+}

@@ -1,0 +1,74 @@
+//! Table II: SRNA1 vs SRNA2 on 23S ribosomal RNA secondary structures.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin table2`
+//!
+//! The paper self-compares two real 23S rRNA structures: "Fungus"
+//! (*Suillus sinuspaulianus*, GenBank L47585 — 4216 bases, 721 arcs) and
+//! "Malaria Parasite" (*Plasmodium falciparum*, GenBank U48228 — 4381
+//! bases, 1126 arcs). Without database access we substitute synthetic
+//! rRNA-like structures with identical length and arc counts and
+//! realistic stem/loop organization (DESIGN.md, substitution 3). The
+//! claims under test are shape claims: real structures run far faster
+//! than same-length worst cases, and SRNA2 ≈ 2× SRNA1.
+
+use mcos_bench::{secs, time, Table};
+use mcos_core::{srna1, srna2};
+use rna_structure::generate::{rrna_like, RrnaConfig};
+use rna_structure::stats;
+
+fn main() {
+    println!("Table II — SRNA1 vs SRNA2, 23S rRNA-like structures (self-comparison)");
+    println!("(synthetic stand-ins matching the paper's lengths/arc counts)\n");
+
+    let paper = mcos_bench::paper::TABLE2;
+    let inputs = [
+        (
+            "Fungus (721)",
+            RrnaConfig::fungus(),
+            0xF47585u64,
+            paper[0].3,
+            paper[0].4,
+        ),
+        (
+            "Malaria Parasite (1126)",
+            RrnaConfig::malaria(),
+            0xF48228u64,
+            paper[1].3,
+            paper[1].4,
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "structure",
+        "bases",
+        "arcs",
+        "srna1 (s)",
+        "srna2 (s)",
+        "ratio",
+        "paper srna1",
+        "paper srna2",
+    ]);
+    for (name, cfg, seed, paper1, paper2) in inputs {
+        let s = rrna_like(&cfg, seed);
+        let st = stats::stats(&s);
+        eprintln!(
+            "{name}: {} stems, longest {}, max depth {}",
+            st.stems, st.longest_stem, st.max_depth
+        );
+        let (o1, d1) = time(|| srna1::run(&s, &s));
+        let (o2, d2) = time(|| srna2::run(&s, &s));
+        assert_eq!(o1.score, s.num_arcs());
+        assert_eq!(o2.score, s.num_arcs());
+        table.row(&[
+            name.to_string(),
+            cfg.len.to_string(),
+            cfg.arcs.to_string(),
+            secs(d1),
+            secs(d2),
+            format!("{:.2}", d1.as_secs_f64() / d2.as_secs_f64()),
+            format!("{paper1:.3}"),
+            format!("{paper2:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,43 @@
+//! Table III: percentage break-down of SRNA2 execution (preprocessing,
+//! stage one, stage two) on contrived worst-case data.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin table3`
+//!
+//! The paper's claim: stage one (child-slice tabulation) accounts for
+//! over 99% of execution at every size from 100 upward, identifying it as
+//! the parallelization target.
+
+use mcos_bench::paper::TABLE3 as PAPER;
+use mcos_bench::Table;
+use mcos_core::srna2;
+use rna_structure::generate;
+
+fn main() {
+    println!("Table III — SRNA2 execution break-down (%), contrived worst-case data\n");
+    let mut table = Table::new(&[
+        "length",
+        "preproc %",
+        "stage1 %",
+        "stage2 %",
+        "paper preproc",
+        "paper stage1",
+        "paper stage2",
+    ]);
+    for (n, pp, p1, p2) in PAPER {
+        let s = generate::worst_case_nested(n / 2);
+        let out = srna2::run(&s, &s);
+        let (a, b, c) = out.timings.percentages();
+        table.row(&[
+            n.to_string(),
+            format!("{a:.4}"),
+            format!("{b:.4}"),
+            format!("{c:.4}"),
+            format!("{pp:.4}"),
+            format!("{p1:.4}"),
+            format!("{p2:.4}"),
+        ]);
+        eprintln!("done n={n}");
+    }
+    println!("{}", table.render());
+    println!("Stage one dominates at every size — the parallelization target of PRNA.");
+}

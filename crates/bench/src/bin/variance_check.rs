@@ -1,0 +1,50 @@
+//! Measurement-noise probe: back-to-back SRNA1/SRNA2 runs on the same
+//! input, alternating order, to establish this host's timing noise floor
+//! before reading anything into small ratios in Tables I/II.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin variance_check [arcs]`
+
+use mcos_core::{srna1, srna2};
+use rna_structure::generate;
+use std::time::Instant;
+
+fn main() {
+    let arcs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+    let s = generate::worst_case_nested(arcs);
+    // Warmup.
+    let _ = srna2::run(&s, &s);
+    println!("worst case, {arcs} arcs; four alternating measurements:");
+    for round in 0..2 {
+        let t = Instant::now();
+        let a = srna2::run(&s, &s);
+        let d2 = t.elapsed();
+        let t = Instant::now();
+        let b = srna1::run(&s, &s);
+        let d1 = t.elapsed();
+        assert_eq!(a.score, b.score);
+        println!(
+            "  round {round} (srna2 first): srna2={:.3}s srna1={:.3}s srna1/srna2={:.3}",
+            d2.as_secs_f64(),
+            d1.as_secs_f64(),
+            d1.as_secs_f64() / d2.as_secs_f64()
+        );
+        let t = Instant::now();
+        let b = srna1::run(&s, &s);
+        let d1 = t.elapsed();
+        let t = Instant::now();
+        let a = srna2::run(&s, &s);
+        let d2 = t.elapsed();
+        assert_eq!(a.score, b.score);
+        println!(
+            "  round {round} (srna1 first): srna2={:.3}s srna1={:.3}s srna1/srna2={:.3}",
+            d2.as_secs_f64(),
+            d1.as_secs_f64(),
+            d1.as_secs_f64() / d2.as_secs_f64()
+        );
+    }
+    println!("(run repeatedly; spreads of 10-15% between identical runs are normal on");
+    println!(" shared virtualized hosts, and bound what timing ratios can support.)");
+}

@@ -1,0 +1,210 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). This library provides the common
+//! pieces: wall-clock timing, aligned table rendering, a tiny argument
+//! parser, the calibrated cost-model presets, and the standard workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use std::time::{Duration, Instant};
+
+use mcos_core::preprocess::Preprocessed;
+use par_sim::{CostModel, PrnaSim, WorkGrid};
+use rna_structure::ArcStructure;
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Minimal flag parser: `has_flag(&args, "--full")`.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Minimal option parser: `opt_value(&args, "--procs")` returns the token
+/// following the flag.
+pub fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// A right-aligned plain-text table renderer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision, matching the
+/// paper's tables.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// The communication parameters used for Figure 8's simulated cluster: a
+/// 2009-era commodity cluster interconnect (ethernet-class allreduce:
+/// 300 µs per tree round plus 50 ns per element). The per-cell compute
+/// cost must still be calibrated from a real run.
+pub fn cluster2009_model() -> CostModel {
+    CostModel {
+        seconds_per_cell: 1e-9, // placeholder until calibrated
+        sync_alpha: 300e-6,
+        sync_beta_per_elem: 50e-9,
+        ..CostModel::default()
+    }
+}
+
+/// Figure 8's testbed preset: the paper's *Fundy* hybrid cluster — the
+/// `cluster2009` interconnect plus multi-core nodes whose memory-bound DP
+/// tabulation degrades under full occupancy (8 cores/node, 2× per-cell
+/// slowdown when saturated). See DESIGN.md, substitution 2.
+pub fn fundy_model() -> CostModel {
+    CostModel {
+        node_cores: 8,
+        contention_at_full: 2.0,
+        ..cluster2009_model()
+    }
+}
+
+/// Calibrates the per-cell cost by running SRNA2 on a contrived
+/// worst-case input of `calib_arcs` arcs and dividing time by cells.
+pub fn calibrate_seconds_per_cell(calib_arcs: u32) -> f64 {
+    let s = rna_structure::generate::worst_case_nested(calib_arcs);
+    let (out, d) = time(|| mcos_core::srna2::run(&s, &s));
+    d.as_secs_f64() / out.counters.cells as f64
+}
+
+/// Builds the PRNA stage-one simulation input for a structure pair.
+pub fn prna_sim_for(s1: &ArcStructure, s2: &ArcStructure) -> PrnaSim {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    prna_sim_from_preprocessed(&p1, &p2)
+}
+
+/// Builds the PRNA stage-one simulation input from preprocessed tables.
+pub fn prna_sim_from_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> PrnaSim {
+    let a1 = p1.num_arcs() as usize;
+    let a2 = p2.num_arcs() as usize;
+    let grid = WorkGrid::from_fn(a1, a2, |r, c| {
+        mcos_core::workload::child_slice_cells(p1, p2, r as u32, c as u32)
+            + mcos_core::workload::SLICE_OVERHEAD_CELLS
+    });
+    PrnaSim {
+        grid,
+        sequential_work: mcos_core::workload::stage_two_work(p1, p2),
+    }
+}
+
+/// Parses a comma-separated list of processor counts (e.g. `1,2,4,8`).
+pub fn parse_procs(s: &str) -> Vec<u32> {
+    s.split(',')
+        .map(|t| t.trim().parse().expect("processor counts must be integers"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "time"]);
+        t.row(&["100".into(), "0.015".into()]);
+        t.row(&["1600".into(), "1434.856".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("0.015"));
+        assert!(lines[3].starts_with("1600"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn flag_and_option_parsing() {
+        let args: Vec<String> = ["--full", "--procs", "1,2,4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(has_flag(&args, "--full"));
+        assert!(!has_flag(&args, "--real"));
+        assert_eq!(opt_value(&args, "--procs"), Some("1,2,4"));
+        assert_eq!(parse_procs("1, 2,4"), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn sim_input_matches_workload_totals() {
+        let s = rna_structure::generate::worst_case_nested(10);
+        let sim = prna_sim_for(&s, &s);
+        let p = Preprocessed::build(&s);
+        assert_eq!(
+            sim.grid.total(),
+            mcos_core::workload::stage_one_work(&p, &p)
+        );
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        let spc = calibrate_seconds_per_cell(30);
+        assert!(spc > 0.0 && spc < 1e-3);
+    }
+}

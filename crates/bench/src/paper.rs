@@ -1,0 +1,80 @@
+//! The paper's published reference numbers, centralized.
+//!
+//! Every experiment binary prints its measurements next to these values;
+//! keeping them in one place keeps the binaries honest about what they
+//! compare against and gives the test suite something to sanity-check
+//! (e.g. the recorded ratios the narrative quotes).
+
+/// Table I: execution seconds for contrived worst-case data —
+/// `(sequence length, SRNA1, SRNA2)` on a 2.8 GHz dual-core Opteron (C,
+/// PGI 8.0-6).
+pub const TABLE1: [(u32, f64, f64); 5] = [
+    (100, 0.015, 0.008),
+    (200, 0.238, 0.128),
+    (400, 4.008, 2.323),
+    (800, 76.371, 37.799),
+    (1600, 1434.856, 660.696),
+];
+
+/// Table II: execution seconds for the 23S rRNA self-comparisons —
+/// `(name, bases, arcs, SRNA1, SRNA2)`.
+pub const TABLE2: [(&str, u32, u32, f64, f64); 2] = [
+    ("Fungus", 4216, 721, 49.149, 25.472),
+    ("Malaria Parasite", 4381, 1126, 86.887, 39.028),
+];
+
+/// Table III: percentage breakdown of SRNA2 —
+/// `(length, preprocessing %, stage one %, stage two %)`.
+pub const TABLE3: [(u32, f64, f64, f64); 4] = [
+    (100, 0.1814, 99.6131, 0.1693),
+    (200, 0.0488, 99.9055, 0.0434),
+    (400, 0.0052, 99.9844, 0.0102),
+    (800, 0.0002, 99.9963, 0.0034),
+];
+
+/// Figure 8 endpoints quoted in the text: speedup at 64 processors for
+/// `(arcs, speedup)`.
+pub const FIG8_AT_64: [(u32, f64); 2] = [(800, 22.0), (1600, 32.0)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scaling_is_quartic() {
+        // Each doubling of n multiplies time by roughly 16 (the Θ(n⁴)
+        // claim); the paper's own data should show 12–20x per step.
+        for w in TABLE1.windows(2) {
+            let (n0, s10, s20) = w[0];
+            let (n1, s11, s21) = w[1];
+            assert_eq!(n1, 2 * n0);
+            for (a, b) in [(s10, s11), (s20, s21)] {
+                let ratio = b / a;
+                assert!((10.0..22.0).contains(&ratio), "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_srna2_is_roughly_twice_as_fast() {
+        for (_, s1, s2) in TABLE1 {
+            let ratio = s1 / s2;
+            assert!((1.6..2.2).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn table3_stage_one_dominates_and_grows() {
+        let mut prev = 0.0;
+        for (_, _, stage1, _) in TABLE3 {
+            assert!(stage1 > 99.0);
+            assert!(stage1 >= prev);
+            prev = stage1;
+        }
+    }
+
+    #[test]
+    fn fig8_larger_problem_scales_further() {
+        assert!(FIG8_AT_64[1].1 > FIG8_AT_64[0].1);
+    }
+}

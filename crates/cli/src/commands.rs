@@ -1,0 +1,327 @@
+//! Subcommand implementations for the `srna` CLI.
+
+use load_balance::Policy;
+use mcos_core::{srna2, traceback, verify};
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use par_sim::Scheduling;
+use rna_structure::formats::dot_bracket;
+use rna_structure::io::{load_path, Format};
+use rna_structure::{generate, stats, ArcStructure};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: srna <subcommand> [options]
+
+  compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N] [--weighted]
+      Maximum common ordered substructure of two structure files.
+      --weighted scores with sequence-aware Bafna-style weights (needs
+      sequence-bearing formats: ct or bpseq).
+  generate worst <arcs>
+  generate hairpins <count> <depth> <loop>
+  generate rrna <len> <arcs> [--seed S]
+  generate random <len> <density> [--seed S]
+      Emit a synthetic structure in dot-bracket notation.
+  info <A> [--format db|ct|bpseq]
+      Structure statistics.
+  speedup --arcs N [--procs 1,2,4,...]
+      Simulated PRNA speedup on a worst-case input of N arcs.
+  cluster <A> <B> <C> ... [--threshold 0.8] [--threads N]
+      Pairwise MCOS similarity matrix and single-linkage clusters.
+  draw <A> [--format db|ct|bpseq]
+      ASCII arc diagram of a structure.
+";
+
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Loads a structure file via `rna_structure::io` (extension-based
+/// detection with content sniffing; `--format` overrides both),
+/// returning the full record (structure + optional sequence/title).
+fn load_full(path: &str, forced: Option<&str>) -> Result<rna_structure::io::Loaded, String> {
+    let format = match forced {
+        Some(name) => Some(
+            Format::from_name(name)
+                .ok_or_else(|| format!("unknown format '{name}' (expected db, ct, or bpseq)"))?,
+        ),
+        None => None,
+    };
+    load_path(path, format).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Structure-only convenience wrapper over [`load_full`].
+fn load(path: &str, forced: Option<&str>) -> Result<ArcStructure, String> {
+    load_full(path, forced).map(|loaded| loaded.structure)
+}
+
+/// `srna compare`.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    // Positional arguments are the two paths; skip values that follow
+    // value-taking flags.
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--format" || a == "--threads" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        return Err("compare needs exactly two structure files".into());
+    }
+    let format = opt_value(args, "--format");
+    let loaded1 = load_full(&paths[0], format)?;
+    let loaded2 = load_full(&paths[1], format)?;
+    let (s1, s2) = (&loaded1.structure, &loaded2.structure);
+    println!(
+        "S1: {} positions, {} arcs; S2: {} positions, {} arcs",
+        s1.len(),
+        s1.num_arcs(),
+        s2.len(),
+        s2.num_arcs()
+    );
+
+    if has_flag(args, "--weighted") {
+        let q1 = loaded1
+            .sequence
+            .as_ref()
+            .ok_or_else(|| format!("{}: --weighted needs a sequence-bearing format", paths[0]))?;
+        let q2 = loaded2
+            .sequence
+            .as_ref()
+            .ok_or_else(|| format!("{}: --weighted needs a sequence-bearing format", paths[1]))?;
+        use mcos_core::weighted::{self, ArcWeight, SequenceWeight};
+        let w = SequenceWeight::new(s1, q1, s2, q2, 1, 1);
+        let p1 = mcos_core::preprocess::Preprocessed::build(s1);
+        let p2 = mcos_core::preprocess::Preprocessed::build(s2);
+        let out = weighted::run_preprocessed(&p1, &p2, &w);
+        println!("weighted similarity score: {}", out.score);
+        if has_flag(args, "--trace") {
+            let mapping = traceback::traceback_weighted(&p1, &p2, &out.memo, &w);
+            verify::check_mapping(s1, s2, &mapping.pairs)
+                .map_err(|e| format!("internal error: invalid traceback: {e}"))?;
+            println!("matched arc pairs (S1 arc -> S2 arc, weight):");
+            for &(a, b) in &mapping.pairs {
+                println!("  {} -> {}  ({})", s1.arc(a), s2.arc(b), w.weight(a, b));
+            }
+        }
+        return Ok(());
+    }
+    let (s1, s2) = (loaded1.structure.clone(), loaded2.structure.clone());
+
+    let threads: u32 = opt_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer"))
+        .transpose()?
+        .unwrap_or(1);
+    let score = if threads > 1 {
+        let config = PrnaConfig {
+            processors: threads,
+            policy: Policy::Greedy,
+            backend: Backend::WorkerPool,
+        };
+        prna(&s1, &s2, &config).score
+    } else {
+        srna2::run(&s1, &s2).score
+    };
+    println!("MCOS score: {score} matched arcs");
+
+    if has_flag(args, "--trace") {
+        let mapping = traceback::traceback(&s1, &s2);
+        verify::check_mapping(&s1, &s2, &mapping.pairs)
+            .map_err(|e| format!("internal error: invalid traceback: {e}"))?;
+        println!("matched arc pairs (S1 arc -> S2 arc):");
+        for &(a, b) in &mapping.pairs {
+            println!("  {} -> {}", s1.arc(a), s2.arc(b));
+        }
+    }
+    Ok(())
+}
+
+/// `srna generate`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate needs a kind")?;
+    let seed: u64 = opt_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed must be an integer"))
+        .transpose()?
+        .unwrap_or(0);
+    let positional: Vec<&String> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_ok())
+        .collect();
+    let num = |i: usize, name: &str| -> Result<u32, String> {
+        positional
+            .get(i)
+            .ok_or_else(|| format!("missing <{name}>"))?
+            .parse()
+            .map_err(|_| format!("<{name}> must be an integer"))
+    };
+    let s = match kind.as_str() {
+        "worst" => generate::worst_case_nested(num(0, "arcs")?),
+        "hairpins" => generate::hairpin_chain(num(0, "count")?, num(1, "depth")?, num(2, "loop")?),
+        "rrna" => {
+            let len = num(0, "len")?;
+            let arcs = num(1, "arcs")?;
+            generate::rrna_like(
+                &generate::RrnaConfig {
+                    len,
+                    arcs,
+                    mean_stem: 7,
+                    nest_bias: 0.55,
+                },
+                seed,
+            )
+        }
+        "random" => {
+            let len = num(0, "len")?;
+            let density: f64 = positional
+                .get(1)
+                .ok_or("missing <density>")?
+                .parse()
+                .map_err(|_| "<density> must be a number")?;
+            generate::random_structure(len, density, seed)
+        }
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    println!("{}", dot_bracket::to_string(&s));
+    Ok(())
+}
+
+/// `srna info`.
+pub fn info(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("info needs a structure file")?;
+    let s = load(path, opt_value(args, "--format"))?;
+    let st = stats::stats(&s);
+    println!("positions:       {}", st.len);
+    println!("arcs:            {}", st.arcs);
+    println!("paired fraction: {:.3}", st.paired_fraction);
+    println!("max depth:       {}", st.max_depth);
+    println!("mean depth:      {:.2}", st.mean_depth);
+    println!("stems:           {}", st.stems);
+    println!("longest stem:    {}", st.longest_stem);
+    println!("top-level arcs:  {}", st.top_level_arcs);
+    Ok(())
+}
+
+/// `srna draw`.
+pub fn draw(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("draw needs a structure file")?;
+    let s = load(path, opt_value(args, "--format"))?;
+    print!("{}", rna_structure::draw::arc_diagram(&s));
+    Ok(())
+}
+
+/// `srna cluster`.
+pub fn cluster(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--threshold" || a == "--threads" || a == "--format" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() < 2 {
+        return Err("cluster needs at least two structure files".into());
+    }
+    let threshold: f64 = opt_value(args, "--threshold")
+        .map(|t| t.parse().map_err(|_| "--threshold must be a number"))
+        .transpose()?
+        .unwrap_or(0.8);
+    let threads: u32 = opt_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer"))
+        .transpose()?
+        .unwrap_or(1);
+    let format = opt_value(args, "--format");
+    let structures: Vec<ArcStructure> = paths
+        .iter()
+        .map(|p| load(p, format))
+        .collect::<Result<_, _>>()?;
+
+    let matrix = mcos_parallel::pairwise::score_matrix(&structures, threads);
+    println!("pairwise similarity (matched arcs / smaller arc count):");
+    for (i, pi) in paths.iter().enumerate() {
+        for (j, pj) in paths.iter().enumerate() {
+            if j > i {
+                println!("  {pi} vs {pj}: {:.3}", matrix.similarity(i, j));
+            }
+        }
+    }
+    let clusters = matrix.cluster(threshold);
+    println!("clusters at similarity >= {threshold}:");
+    for (p, c) in paths.iter().zip(&clusters) {
+        println!("  {p}: cluster {c}");
+    }
+    Ok(())
+}
+
+/// `srna speedup`.
+pub fn speedup(args: &[String]) -> Result<(), String> {
+    let arcs: u32 = opt_value(args, "--arcs")
+        .ok_or("speedup needs --arcs N")?
+        .parse()
+        .map_err(|_| "--arcs must be an integer")?;
+    let procs: Vec<u32> = opt_value(args, "--procs")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().map_err(|_| "--procs must be integers"))
+                .collect::<Result<Vec<u32>, _>>()
+        })
+        .transpose()?
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);
+
+    let s = generate::worst_case_nested(arcs);
+    let p = mcos_core::preprocess::Preprocessed::build(&s);
+    // Calibrate from a bounded-size real run.
+    let calib = generate::worst_case_nested(arcs.min(120));
+    let t0 = std::time::Instant::now();
+    let out = srna2::run(&calib, &calib);
+    let spc = t0.elapsed().as_secs_f64() / out.counters.cells as f64;
+
+    let grid = par_sim::WorkGrid::from_fn(p.num_arcs() as usize, p.num_arcs() as usize, |r, c| {
+        mcos_core::workload::child_slice_cells(&p, &p, r as u32, c as u32)
+            + mcos_core::workload::SLICE_OVERHEAD_CELLS
+    });
+    let sim = par_sim::PrnaSim {
+        grid,
+        sequential_work: mcos_core::workload::stage_two_work(&p, &p),
+    };
+    let model = par_sim::CostModel {
+        seconds_per_cell: spc,
+        sync_alpha: 300e-6,
+        sync_beta_per_elem: 50e-9,
+        ..par_sim::CostModel::default()
+    };
+    println!("worst case, {arcs} arcs; calibrated {spc:.3e} s/cell");
+    println!("procs  speedup");
+    for (pr, sp) in sim.speedup_curve(&procs, Scheduling::Static(Policy::Greedy), &model) {
+        println!("{pr:>5}  {sp:>7.2}");
+    }
+    Ok(())
+}

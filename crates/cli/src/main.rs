@@ -1,0 +1,47 @@
+//! `srna` — command-line tool for comparing RNA secondary structures.
+//!
+//! Subcommands:
+//!
+//! * `srna compare <A> <B>` — MCOS score (and mapping with `--trace`) of
+//!   two structure files; formats inferred from extension (`.db`, `.ct`,
+//!   `.bpseq`) or forced with `--format`.
+//! * `srna generate <kind> ...` — emit a synthetic structure as
+//!   dot-bracket (kinds: `worst`, `hairpins`, `rrna`, `random`).
+//! * `srna info <A>` — structure statistics.
+//! * `srna speedup --arcs N [--procs 1,2,...]` — simulated PRNA speedup
+//!   for a worst-case input of N arcs.
+//! * `srna cluster <files...>` — pairwise similarity matrix and
+//!   single-linkage clusters for a collection of structures.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "compare" => commands::compare(rest),
+        "generate" => commands::generate(rest),
+        "info" => commands::info(rest),
+        "speedup" => commands::speedup(rest),
+        "cluster" => commands::cluster(rest),
+        "draw" => commands::draw(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("srna: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

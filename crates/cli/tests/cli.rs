@@ -1,0 +1,237 @@
+//! End-to-end tests of the `srna` binary, driven via `std::process`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn srna(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srna"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("srna_cli_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp file");
+    path
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = srna(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: srna"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = srna(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("compare"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = srna(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn generate_worst_emits_dot_bracket() {
+    let out = srna(&["generate", "worst", "4"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "(((())))");
+}
+
+#[test]
+fn generate_is_seed_deterministic() {
+    let a = srna(&["generate", "rrna", "80", "15", "--seed", "7"]);
+    let b = srna(&["generate", "rrna", "80", "15", "--seed", "7"]);
+    let c = srna(&["generate", "rrna", "80", "15", "--seed", "8"]);
+    assert_eq!(stdout(&a), stdout(&b));
+    assert_ne!(stdout(&a), stdout(&c));
+}
+
+#[test]
+fn compare_self_matches_all_arcs() {
+    let f = temp_file("self.db", "(((...)))((...))\n");
+    let out = srna(&["compare", f.to_str().unwrap(), f.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("MCOS score: 5"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn compare_paper_example_with_trace() {
+    let a = temp_file("a.db", "(((...)))((...))\n");
+    let b = temp_file("b.db", "((...))(((...)))\n");
+    let out = srna(&[
+        "compare",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--trace",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MCOS score: 4"));
+    assert!(text.contains("matched arc pairs"));
+    // Four matched pairs like "  (9,15) -> (8,14)".
+    assert_eq!(text.matches(") -> (").count(), 4);
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn compare_with_threads_agrees() {
+    let a = temp_file("t1.db", "((((....))))((..))\n");
+    let b = temp_file("t2.db", "((..))((((....))))\n");
+    let seq = srna(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let par = srna(&[
+        "compare",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threads",
+        "3",
+    ]);
+    let score = |o: &Output| {
+        stdout(o)
+            .lines()
+            .find(|l| l.contains("MCOS score"))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(score(&seq), score(&par));
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn compare_rejects_missing_file() {
+    let out = srna(&["compare", "/no/such/file.db", "/no/such/other.db"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn compare_rejects_bad_structure() {
+    let f = temp_file("bad.db", "(((\n");
+    let out = srna(&["compare", f.to_str().unwrap(), f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unmatched"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn info_reports_stats() {
+    let f = temp_file("info.db", "((..))(..)\n");
+    let out = srna(&["info", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("positions:       10"));
+    assert!(text.contains("arcs:            3"));
+    assert!(text.contains("stems:           2"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn info_reads_bpseq_via_extension() {
+    let f = temp_file("x.bpseq", "1 G 5\n2 A 0\n3 A 0\n4 A 0\n5 C 1\n");
+    let out = srna(&["info", f.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("arcs:            1"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn speedup_prints_curve() {
+    let out = srna(&["speedup", "--arcs", "40", "--procs", "1,2,4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("procs"));
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.trim().starts_with(char::is_numeric))
+            .count(),
+        3
+    );
+}
+
+#[test]
+fn cluster_groups_identical_files() {
+    let a = temp_file("cl_a.db", "((((....))))\n");
+    let b = temp_file("cl_b.db", "((((....))))\n");
+    let c = temp_file("cl_c.db", "(.)(.)(.)(.)\n");
+    let out = srna(&[
+        "cluster",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--threshold",
+        "0.9",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cluster 0"));
+    assert!(text.contains("cluster 1"));
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    std::fs::remove_file(&c).ok();
+}
+
+#[test]
+fn weighted_compare_requires_sequences() {
+    let f = temp_file("w.db", "((.))\n");
+    let out = srna(&[
+        "compare",
+        f.to_str().unwrap(),
+        f.to_str().unwrap(),
+        "--weighted",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("sequence-bearing"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn weighted_compare_on_bpseq() {
+    // Self-comparison with arc weight 1 + bonus 1 per agreeing endpoint:
+    // one arc, both bases agree => score 3.
+    let f = temp_file("w.bpseq", "1 G 5\n2 A 0\n3 A 0\n4 A 0\n5 C 1\n");
+    let out = srna(&[
+        "compare",
+        f.to_str().unwrap(),
+        f.to_str().unwrap(),
+        "--weighted",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("weighted similarity score: 3"), "{text}");
+    assert!(text.contains("(3)"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn draw_renders_arc_diagram() {
+    let f = temp_file("draw.db", "((.))\n");
+    let out = srna(&["draw", f.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains(".---."));
+    assert!(text.contains("((.))"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn cluster_needs_two_files() {
+    let out = srna(&["cluster", "/tmp/only_one.db"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,253 @@
+//! The two conventional dynamic-programming strategies the paper contrasts
+//! with (§II, §IV): plain top-down memoization over the four-dimensional
+//! subproblem space, and the overtabulating bottom-up strategy.
+//!
+//! Both are exact (they compute the same MCOS score as SRNA1/SRNA2) but
+//! carry the costs the paper's redesign eliminates:
+//!
+//! * [`top_down_memo`] performs an **exact tabulation** — it visits only
+//!   subproblems reachable from the root — but pays recursion overhead and
+//!   needs a general 4-D memo keyed by `(i1, j1, i2, j2)`; a dense memo
+//!   would need `Θ(n²m²)` space ("for most computers, it would not take
+//!   long to exhaust available memory").
+//! * [`bottom_up_full`] fills the entire dense four-dimensional table with
+//!   no regard for the input structure — **overtabulation**: it computes
+//!   `Θ(n²m²)` positional subproblems even when almost none contribute to
+//!   the result. It is restricted to small inputs by its memory appetite,
+//!   which is precisely the paper's point.
+
+use std::collections::HashMap;
+
+use rna_structure::ArcStructure;
+
+/// Result of a baseline run: the score plus the number of subproblems
+/// actually materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineOutcome {
+    /// The MCOS score.
+    pub score: u32,
+    /// Number of distinct subproblems tabulated/memoized.
+    pub subproblems: u64,
+}
+
+/// Top-down memoized evaluation of the recurrence, exactly as a direct
+/// recursive transcription of the paper's Figure 2 (with a hash-map memo
+/// standing in for the unaffordable dense 4-D table).
+///
+/// Intended for small inputs and as a correctness oracle; the recursion
+/// and hashing overhead make it far slower than SRNA1/SRNA2.
+pub fn top_down_memo(s1: &ArcStructure, s2: &ArcStructure) -> BaselineOutcome {
+    struct Ctx<'a> {
+        s1: &'a ArcStructure,
+        s2: &'a ArcStructure,
+        memo: HashMap<(u32, u32, u32, u32), u32>,
+    }
+
+    /// `f(i1, j1, i2, j2)` with *exclusive* upper bounds: the window is
+    /// `[i1, j1)` × `[i2, j2)`, so the empty window is `j <= i` and no
+    /// signed arithmetic is needed.
+    fn f(ctx: &mut Ctx<'_>, i1: u32, j1: u32, i2: u32, j2: u32) -> u32 {
+        if j1 <= i1 || j2 <= i2 {
+            return 0;
+        }
+        let key = (i1, j1, i2, j2);
+        if let Some(&v) = ctx.memo.get(&key) {
+            return v;
+        }
+        // Last positions of the (inclusive) windows.
+        let x = j1 - 1;
+        let y = j2 - 1;
+        let mut v = f(ctx, i1, j1 - 1, i2, j2).max(f(ctx, i1, j1, i2, j2 - 1));
+        let a1 = ctx
+            .s1
+            .arc_ending_at(x)
+            .filter(|&k| ctx.s1.arc(k).left >= i1);
+        let a2 = ctx
+            .s2
+            .arc_ending_at(y)
+            .filter(|&k| ctx.s2.arc(k).left >= i2);
+        if let (Some(k1), Some(k2)) = (a1, a2) {
+            let l1 = ctx.s1.arc(k1).left;
+            let l2 = ctx.s2.arc(k2).left;
+            let d1 = f(ctx, i1, l1, i2, l2);
+            let d2 = f(ctx, l1 + 1, x, l2 + 1, y);
+            v = v.max(1 + d1 + d2);
+        }
+        ctx.memo.insert(key, v);
+        v
+    }
+
+    let mut ctx = Ctx {
+        s1,
+        s2,
+        memo: HashMap::new(),
+    };
+    let score = f(&mut ctx, 0, s1.len(), 0, s2.len());
+    BaselineOutcome {
+        score,
+        subproblems: ctx.memo.len() as u64,
+    }
+}
+
+/// Maximum sequence length accepted by [`bottom_up_full`]; the dense
+/// table holds `(n+1)²(m+1)²` 32-bit entries, so 96 positions per side is
+/// already ~330 MB.
+pub const BOTTOM_UP_MAX_LEN: u32 = 96;
+
+/// Fully tabulating bottom-up evaluation over the dense four-dimensional
+/// positional table — the conventional strategy, kept as the
+/// overtabulation baseline.
+///
+/// `t[i1][x][i2][y] = F[i1, x, i2, y]` for all `0 <= i1 <= x < n`,
+/// `0 <= i2 <= y < m` (plus empty-window borders). Slices are computed in
+/// decreasing `(i1, i2)` order so the dynamic dependency `d₂` (which lives
+/// in slice `(k1+1, k2+1)` with `k1 >= i1`, `k2 >= i2`) is available.
+///
+/// # Panics
+///
+/// Panics if either structure is longer than [`BOTTOM_UP_MAX_LEN`].
+pub fn bottom_up_full(s1: &ArcStructure, s2: &ArcStructure) -> BaselineOutcome {
+    let n = s1.len();
+    let m = s2.len();
+    assert!(
+        n <= BOTTOM_UP_MAX_LEN && m <= BOTTOM_UP_MAX_LEN,
+        "bottom_up_full is a small-input baseline (max {BOTTOM_UP_MAX_LEN} positions)"
+    );
+    if n == 0 || m == 0 {
+        return BaselineOutcome {
+            score: 0,
+            subproblems: 0,
+        };
+    }
+
+    // Index layout: ((i1 * (n+1) + x1) * m + i2) * (m+1) + y1, where
+    // x1 = x + 1 and y1 = y + 1 encode the inclusive window ends with a
+    // zero border for empty windows.
+    let n1 = (n + 1) as usize;
+    let m1 = (m + 1) as usize;
+    let idx = |i1: usize, x1: usize, i2: usize, y1: usize| -> usize {
+        ((i1 * n1 + x1) * m as usize + i2) * m1 + y1
+    };
+    let mut t = vec![0u32; n as usize * n1 * m as usize * m1];
+    let mut subproblems: u64 = 0;
+
+    for i1 in (0..n).rev() {
+        for i2 in (0..m).rev() {
+            for x in i1..n {
+                let a1 = s1.arc_ending_at(x).filter(|&k| s1.arc(k).left >= i1);
+                for y in i2..m {
+                    subproblems += 1;
+                    let (iu, xu, ju, yu) =
+                        (i1 as usize, (x + 1) as usize, i2 as usize, (y + 1) as usize);
+                    let mut v = t[idx(iu, xu - 1, ju, yu)].max(t[idx(iu, xu, ju, yu - 1)]);
+                    if let Some(k1) = a1 {
+                        if let Some(k2) = s2.arc_ending_at(y).filter(|&k| s2.arc(k).left >= i2) {
+                            let l1 = s1.arc(k1).left;
+                            let l2 = s2.arc(k2).left;
+                            // d1 = F[i1, l1-1, i2, l2-1]: the window end
+                            // l-1 encodes as x1 = l; when l == i1 that is
+                            // the (untouched, zero) empty-window border.
+                            let d1 = t[idx(iu, l1 as usize, ju, l2 as usize)];
+                            // d2 = F[l1+1, x-1, l2+1, y-1]: likewise a
+                            // single lookup — when x == l1+1 the window is
+                            // empty and the cell is a zero border.
+                            let d2 = t
+                                [idx((l1 + 1) as usize, x as usize, (l2 + 1) as usize, y as usize)];
+                            v = v.max(1 + d1 + d2);
+                        }
+                    }
+                    t[idx(iu, xu, ju, yu)] = v;
+                }
+            }
+        }
+    }
+    BaselineOutcome {
+        score: t[idx(0, n as usize, 0, m as usize)],
+        subproblems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{srna1, srna2};
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn top_down_tiny_cases() {
+        let cases = [
+            ("", "", 0u32),
+            ("(.)", "(.)", 1),
+            ("((.))", "((.))", 2),
+            ("(((...)))((...))", "((...))(((...)))", 4),
+        ];
+        for (a, b, want) in cases {
+            let s1 = dot_bracket::parse(a).unwrap();
+            let s2 = dot_bracket::parse(b).unwrap();
+            assert_eq!(top_down_memo(&s1, &s2).score, want, "{a} vs {b}");
+            assert_eq!(bottom_up_full(&s1, &s2).score, want, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_four_algorithms_agree() {
+        for seed in 0..25 {
+            let s1 = generate::random_structure(36, 0.9, seed);
+            let s2 = generate::random_structure(32, 0.8, seed + 7000);
+            let td = top_down_memo(&s1, &s2).score;
+            let bu = bottom_up_full(&s1, &s2).score;
+            let v1 = srna1::run(&s1, &s2).score;
+            let v2 = srna2::run(&s1, &s2).score;
+            assert_eq!(td, bu, "seed {seed}");
+            assert_eq!(td, v1, "seed {seed}");
+            assert_eq!(td, v2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bottom_up_overtabulates() {
+        // The contrived worst case is the *best* case for bottom-up
+        // relative overtabulation, yet even here it computes positional
+        // subproblems for every (i1, i2) start pair, while SRNA2 computes
+        // only arc-pair slices on the compressed grid.
+        let s = generate::worst_case_nested(12); // 24 positions
+        let bu = bottom_up_full(&s, &s);
+        let v2 = srna2::run(&s, &s);
+        assert_eq!(bu.score, v2.score);
+        assert!(
+            bu.subproblems > 10 * v2.counters.cells,
+            "expected >10x overtabulation, got {} vs {}",
+            bu.subproblems,
+            v2.counters.cells
+        );
+    }
+
+    #[test]
+    fn top_down_is_exact_tabulation() {
+        // Top-down visits far fewer subproblems than full bottom-up on
+        // sparse structures.
+        let s = generate::hairpin_chain(3, 2, 4); // sparse
+        let td = top_down_memo(&s, &s);
+        let bu = bottom_up_full(&s, &s);
+        assert_eq!(td.score, bu.score);
+        assert!(td.subproblems < bu.subproblems);
+    }
+
+    #[test]
+    #[should_panic(expected = "small-input baseline")]
+    fn bottom_up_rejects_large_inputs() {
+        let s = generate::worst_case_nested(60); // 120 positions
+        let _ = bottom_up_full(&s, &s);
+    }
+
+    #[test]
+    fn bottom_up_empty_inputs() {
+        let e = ArcStructure::unpaired(0);
+        let s = dot_bracket::parse("(.)").unwrap();
+        assert_eq!(bottom_up_full(&e, &s).score, 0);
+        assert_eq!(top_down_memo(&e, &s).score, 0);
+    }
+
+    use rna_structure::ArcStructure;
+}

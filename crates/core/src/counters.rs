@@ -1,0 +1,69 @@
+//! Operation counters: machine-independent work accounting.
+//!
+//! The paper's arguments about overtabulation vs. exact tabulation are
+//! statements about *how many subproblems are visited*, independent of the
+//! machine. [`Counters`] records those quantities so tests and the
+//! overtabulation ablation can assert them exactly.
+
+use std::ops::AddAssign;
+
+/// Work counters accumulated by an MCOS algorithm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Compressed subproblems (slice cells) tabulated.
+    pub cells: u64,
+    /// Slices tabulated (parent + child slices).
+    pub slices: u64,
+    /// Memoization lookups that found a value (SRNA1 only; SRNA2 performs
+    /// no conditional lookups by design).
+    pub memo_hits: u64,
+    /// Memoization lookups that missed and triggered a spawn (SRNA1 only).
+    pub memo_misses: u64,
+    /// Maximum recursion depth observed when spawning child slices
+    /// (SRNA1; the paper proves this never exceeds 1).
+    pub max_spawn_depth: u64,
+}
+
+impl Counters {
+    /// Total memo lookups (hits + misses).
+    pub fn memo_lookups(&self) -> u64 {
+        self.memo_hits + self.memo_misses
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.cells += rhs.cells;
+        self.slices += rhs.slices;
+        self.memo_hits += rhs.memo_hits;
+        self.memo_misses += rhs.memo_misses;
+        self.max_spawn_depth = self.max_spawn_depth.max(rhs.max_spawn_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Counters {
+            cells: 10,
+            slices: 1,
+            memo_hits: 2,
+            memo_misses: 3,
+            max_spawn_depth: 1,
+        };
+        a += Counters {
+            cells: 5,
+            slices: 2,
+            memo_hits: 1,
+            memo_misses: 0,
+            max_spawn_depth: 3,
+        };
+        assert_eq!(a.cells, 15);
+        assert_eq!(a.slices, 3);
+        assert_eq!(a.memo_lookups(), 6);
+        assert_eq!(a.max_spawn_depth, 3, "depth takes the max, not the sum");
+    }
+}

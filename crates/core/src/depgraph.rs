@@ -1,0 +1,187 @@
+//! DOT exports of the dependency structures illustrated in the paper.
+//!
+//! * [`subproblem_graph_dot`] — the four-dimensional subproblem dependency
+//!   graph unfolded top-down from the root (Figure 3): solid edges for the
+//!   static dependencies `s₁`/`s₂`, dashed edges for the dynamic
+//!   dependencies `d₁`/`d₂` triggered by matched arcs.
+//! * [`slice_graph_dot`] — the memoization-table dependency graph over
+//!   child slices (Figures 4 and 6): node `(k1, k2)` is the slice spawned
+//!   by matching arc `k1` of `S₁` with arc `k2` of `S₂`; a dashed edge
+//!   points to each slice it looks up.
+//!
+//! These are illustrations — use small structures, or the graphs become
+//! unreadable (the subproblem export refuses structures beyond a small
+//! size limit).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use rna_structure::ArcStructure;
+
+use crate::preprocess::Preprocessed;
+
+/// Maximum positions per structure accepted by [`subproblem_graph_dot`].
+pub const SUBPROBLEM_GRAPH_MAX_LEN: u32 = 16;
+
+/// Exports the top-down subproblem dependency graph as DOT (Figure 3
+/// style). Nodes are `(i1, j1, i2, j2)` windows (inclusive bounds, with
+/// `j = i-1` rendering as an empty window that is omitted); edges follow
+/// the exact top-down unfolding, so the graph is the *exact tabulation*.
+///
+/// # Panics
+///
+/// Panics if either structure exceeds [`SUBPROBLEM_GRAPH_MAX_LEN`].
+pub fn subproblem_graph_dot(s1: &ArcStructure, s2: &ArcStructure) -> String {
+    assert!(
+        s1.len() <= SUBPROBLEM_GRAPH_MAX_LEN && s2.len() <= SUBPROBLEM_GRAPH_MAX_LEN,
+        "subproblem graphs are illustrations; max {SUBPROBLEM_GRAPH_MAX_LEN} positions"
+    );
+    let mut dot = String::from("digraph subproblems {\n  node [shape=box, fontsize=10];\n");
+    let mut seen: HashSet<(u32, u32, u32, u32)> = HashSet::new();
+    // Windows with exclusive ends to avoid signed arithmetic.
+    fn node_name(w: (u32, u32, u32, u32)) -> String {
+        format!(
+            "\"({},{},{},{})\"",
+            w.0,
+            w.1 as i64 - 1,
+            w.2,
+            w.3 as i64 - 1
+        )
+    }
+    fn visit(
+        s1: &ArcStructure,
+        s2: &ArcStructure,
+        w: (u32, u32, u32, u32),
+        seen: &mut HashSet<(u32, u32, u32, u32)>,
+        dot: &mut String,
+    ) {
+        let (i1, j1, i2, j2) = w;
+        if j1 <= i1 || j2 <= i2 || !seen.insert(w) {
+            return;
+        }
+        let x = j1 - 1;
+        let y = j2 - 1;
+        // Static dependencies.
+        for child in [(i1, j1 - 1, i2, j2), (i1, j1, i2, j2 - 1)] {
+            if child.1 > child.0 && child.3 > child.2 {
+                let _ = writeln!(dot, "  {} -> {};", node_name(w), node_name(child));
+                visit(s1, s2, child, seen, dot);
+            }
+        }
+        // Dynamic dependencies on a matched arc.
+        let a1 = s1.arc_ending_at(x).filter(|&k| s1.arc(k).left >= i1);
+        let a2 = s2.arc_ending_at(y).filter(|&k| s2.arc(k).left >= i2);
+        if let (Some(k1), Some(k2)) = (a1, a2) {
+            let l1 = s1.arc(k1).left;
+            let l2 = s2.arc(k2).left;
+            for child in [(i1, l1, i2, l2), (l1 + 1, x, l2 + 1, y)] {
+                if child.1 > child.0 && child.3 > child.2 {
+                    let _ = writeln!(
+                        dot,
+                        "  {} -> {} [style=dashed];",
+                        node_name(w),
+                        node_name(child)
+                    );
+                    visit(s1, s2, child, seen, dot);
+                }
+            }
+        }
+    }
+    visit(s1, s2, (0, s1.len(), 0, s2.len()), &mut seen, &mut dot);
+    dot.push_str("}\n");
+    dot
+}
+
+/// Exports the child-slice dependency graph as DOT (Figures 4/6 style):
+/// one node per spawned slice (arc pair with non-empty child windows plus
+/// the parent), dashed edges to the slices whose memoized values it reads.
+pub fn slice_graph_dot(s1: &ArcStructure, s2: &ArcStructure) -> String {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let mut dot = String::from("digraph slices {\n  node [shape=ellipse, fontsize=10];\n");
+    let _ = writeln!(dot, "  parent [label=\"slice(0,0)\", shape=doubleoctagon];");
+
+    // Every arc pair is a slice; it reads the memo entry of every arc pair
+    // strictly inside its windows.
+    for k1 in 0..p1.num_arcs() {
+        let (lo1, hi1) = p1.under_range[k1 as usize];
+        for k2 in 0..p2.num_arcs() {
+            let (lo2, hi2) = p2.under_range[k2 as usize];
+            let name = format!("\"s{k1}_{k2}\"");
+            let a1 = s1.arc(k1);
+            let a2 = s2.arc(k2);
+            let _ = writeln!(
+                dot,
+                "  {name} [label=\"slice({},{})\\narcs {a1}x{a2}\"];",
+                a1.left + 1,
+                a2.left + 1
+            );
+            for c1 in lo1..hi1 {
+                for c2 in lo2..hi2 {
+                    let _ = writeln!(dot, "  {name} -> \"s{c1}_{c2}\" [style=dashed];");
+                }
+            }
+        }
+    }
+    // Parent reads every arc pair.
+    for k1 in 0..p1.num_arcs() {
+        for k2 in 0..p2.num_arcs() {
+            let _ = writeln!(dot, "  parent -> \"s{k1}_{k2}\" [style=dashed];");
+        }
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+
+    #[test]
+    fn subproblem_graph_contains_root_and_dashed_edges() {
+        // The paper's Figure 3 input: sequence of 5 positions with arcs
+        // (0,4) and (1,3) — self-comparison.
+        let s = dot_bracket::parse("((.))").unwrap();
+        let dot = subproblem_graph_dot(&s, &s);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"(0,4,0,4)\""), "root node present");
+        assert!(dot.contains("style=dashed"), "dynamic edges present");
+    }
+
+    #[test]
+    fn subproblem_graph_is_exact() {
+        // A structure with no arcs unfolds only along static edges and
+        // never emits dashed edges.
+        let s = dot_bracket::parse("....").unwrap();
+        let dot = subproblem_graph_dot(&s, &s);
+        assert!(!dot.contains("dashed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "illustrations")]
+    fn subproblem_graph_rejects_large_inputs() {
+        let s = rna_structure::generate::worst_case_nested(20);
+        let _ = subproblem_graph_dot(&s, &s);
+    }
+
+    #[test]
+    fn slice_graph_shape() {
+        let s = dot_bracket::parse("(((.)))").unwrap();
+        let dot = slice_graph_dot(&s, &s);
+        // 3x3 arc pairs + parent.
+        assert_eq!(dot.matches("label=\"slice(").count(), 9 + 1);
+        // Parent reads all 9.
+        assert_eq!(dot.matches("parent -> ").count(), 9);
+    }
+
+    #[test]
+    fn slice_graph_edges_follow_nesting() {
+        let s = dot_bracket::parse("((.))").unwrap();
+        let dot = slice_graph_dot(&s, &s);
+        // Outer pair (1,1) reads inner pair (0,0).
+        assert!(dot.contains("\"s1_1\" -> \"s0_0\""));
+        // Inner pair reads nothing.
+        assert!(!dot.contains("\"s0_0\" -> "));
+    }
+}

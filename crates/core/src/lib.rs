@@ -1,0 +1,94 @@
+//! Maximum Common Ordered Substructure (MCOS) dynamic programming.
+//!
+//! This crate implements the sequential algorithms of *"Finding Common RNA
+//! Secondary Structures: A Case Study on the Dynamic Parallelization of a
+//! Data-driven Recurrence"* (Stewart, Aubanel & Evans, IPPS 2012):
+//!
+//! * the data-driven recurrence `F[i1, j1, i2, j2]` of the paper's Figure 2
+//!   (a modification of Bafna et al.'s RNA similarity formulation that
+//!   counts matched arcs instead of aligning sequences);
+//! * **[`srna1`]** — the combined bottom-up/top-down algorithm: slices of
+//!   the four-dimensional table are tabulated bottom-up, child slices are
+//!   spawned recursively the first time a matched arc is encountered, and
+//!   each child slice's final value is memoized (Algorithm 1);
+//! * **[`srna2`]** — the two-stage refinement that eliminates the memo
+//!   check and the recursion: stage one tabulates every child slice in
+//!   increasing arc-endpoint order, stage two tabulates the parent slice
+//!   (Algorithms 2–3). SRNA2 is the basis of the parallel algorithm PRNA
+//!   (see the `mcos-parallel` crate);
+//! * **[`baseline`]** — the two conventional strategies the paper contrasts
+//!   with: plain top-down memoization over the 4-D subproblem space, and
+//!   the overtabulating bottom-up strategy;
+//! * **[`traceback`]** and **[`verify`]** — recovery of the optimal arc
+//!   mapping and an independent validity checker;
+//! * **[`workload`]** — the child-slice work accounting behind the paper's
+//!   Figure 7 and PRNA's static load balancing;
+//! * **[`weighted`]** — the general Bafna-style weighted similarity model
+//!   the paper's counting formulation derives from;
+//! * **[`depgraph`]** — DOT exports of the dependency structures shown in
+//!   the paper's Figures 3, 4 and 6.
+//!
+//! # The problem
+//!
+//! Given two non-pseudoknot arc structures `S₁` (over `n` positions) and
+//! `S₂` (over `m` positions), find the maximum number of arcs of a common
+//! ordered substructure — a set of arc pairs `(a ∈ S₁, b ∈ S₂)` such that
+//! the induced position mapping preserves sequence order and the
+//! nested/sequential relation of every two arcs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rna_structure::formats::dot_bracket;
+//! use mcos_core::{mcos_score, srna2};
+//!
+//! // Three nested then two nested arcs vs. two nested then three nested:
+//! // the optimal common substructure has 4 arcs (paper §III-B).
+//! let s1 = dot_bracket::parse("(((...)))((...))").unwrap();
+//! let s2 = dot_bracket::parse("((...))(((...)))").unwrap();
+//! assert_eq!(mcos_score(&s1, &s2), 4);
+//!
+//! // Self-comparison always matches every arc.
+//! assert_eq!(srna2::run(&s1, &s1).score, s1.num_arcs());
+//! ```
+//!
+//! # Representation
+//!
+//! The value `F[i1, j1, i2, j2]` only increases at `(j1, j2)` coordinates
+//! where matched arcs end, so each two-dimensional slice of the table is a
+//! running-max grid over **arc right-endpoints** (the compressed grid).
+//! Because the non-pseudoknot model forbids crossings, the arcs under any
+//! arc occupy a *contiguous range* of the right-endpoint-sorted arc array
+//! ([`Preprocessed::under_range`]), so a child slice is just an index
+//! window — no per-slice allocation or filtering is needed. See
+//! `DESIGN.md` for the full argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod counters;
+pub mod dense;
+pub mod depgraph;
+pub mod memo;
+pub mod preprocess;
+pub mod slice;
+pub mod srna1;
+pub mod srna2;
+pub mod traceback;
+pub mod verify;
+pub mod weighted;
+pub mod workload;
+
+pub use counters::Counters;
+pub use memo::MemoTable;
+pub use preprocess::Preprocessed;
+pub use srna2::StageTimings;
+
+use rna_structure::ArcStructure;
+
+/// Computes the MCOS score (number of matched arcs) of two structures with
+/// the fastest sequential algorithm (SRNA2).
+pub fn mcos_score(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+    srna2::run(s1, s2).score
+}

@@ -1,0 +1,154 @@
+//! The memoization table `M`.
+//!
+//! The paper stores `M` as an `n × m` position-indexed table whose row
+//! `i1` and column `i2` are the interval start points of spawned child
+//! slices. Because arcs never share endpoints, the meaningful entries are
+//! in one-to-one correspondence with **arc pairs**: a child slice is
+//! spawned at `(k1+1, k2+1)` exactly when `(k1, j1) ∈ S₁` and
+//! `(k2, j2) ∈ S₂` are matched, and `k1` uniquely identifies the arc of
+//! `S₁` (at most one arc starts at any position). We therefore key `M` by
+//! `(arc index in S₁, arc index in S₂)`, which is the same table without
+//! the all-zero rows — row `r` of this table *is* row `left(r)+1` of the
+//! paper's table.
+
+/// Sentinel meaning "not yet memoized" (used by SRNA1's conditional
+/// lookup; SRNA2 initializes every entry to zero instead).
+pub const NOT_FOUND: u32 = u32::MAX;
+
+/// A dense arc-indexed memoization table: rows are arcs of `S₁`, columns
+/// are arcs of `S₂`, both in increasing right-endpoint order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoTable {
+    rows: u32,
+    cols: u32,
+    values: Vec<u32>,
+}
+
+impl MemoTable {
+    /// Creates a table with every entry zero (SRNA2/PRNA convention: a
+    /// lookup always returns a valid value; entries for arc pairs with
+    /// empty child windows correctly stay zero).
+    pub fn zeroed(rows: u32, cols: u32) -> Self {
+        MemoTable {
+            rows,
+            cols,
+            values: vec![0; rows as usize * cols as usize],
+        }
+    }
+
+    /// Creates a table with every entry [`NOT_FOUND`] (SRNA1 convention:
+    /// a miss triggers the spawning of the child slice).
+    pub fn unset(rows: u32, cols: u32) -> Self {
+        MemoTable {
+            rows,
+            cols,
+            values: vec![NOT_FOUND; rows as usize * cols as usize],
+        }
+    }
+
+    /// Number of rows (arcs of `S₁`).
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (arcs of `S₂`).
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Reads the entry for arc pair `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> u32 {
+        self.values[r as usize * self.cols as usize + c as usize]
+    }
+
+    /// Writes the entry for arc pair `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: u32, c: u32, v: u32) {
+        self.values[r as usize * self.cols as usize + c as usize] = v;
+    }
+
+    /// One full row as a slice (used by PRNA's per-row synchronization).
+    #[inline]
+    pub fn row(&self, r: u32) -> &[u32] {
+        let w = self.cols as usize;
+        &self.values[r as usize * w..(r as usize + 1) * w]
+    }
+
+    /// One full row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: u32) -> &mut [u32] {
+        let w = self.cols as usize;
+        &mut self.values[r as usize * w..(r as usize + 1) * w]
+    }
+
+    /// The whole table as a flat row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Element-wise maximum with another table of identical shape — the
+    /// shared-memory analogue of `MPI_Allreduce(MPI_MAX)` over the whole
+    /// table. Used by tests to merge per-rank replicas.
+    pub fn merge_max(&mut self, other: &MemoTable) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_unset() {
+        let z = MemoTable::zeroed(2, 3);
+        assert_eq!(z.get(1, 2), 0);
+        let u = MemoTable::unset(2, 3);
+        assert_eq!(u.get(0, 0), NOT_FOUND);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = MemoTable::zeroed(3, 4);
+        m.set(2, 3, 17);
+        m.set(0, 0, 5);
+        assert_eq!(m.get(2, 3), 17);
+        assert_eq!(m.get(0, 0), 5);
+        assert_eq!(m.get(1, 1), 0);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let mut m = MemoTable::zeroed(2, 3);
+        m.set(1, 0, 7);
+        m.set(1, 2, 9);
+        assert_eq!(m.row(1), &[7, 0, 9]);
+        m.row_mut(0).copy_from_slice(&[1, 2, 3]);
+        assert_eq!(m.get(0, 1), 2);
+    }
+
+    #[test]
+    fn merge_max_is_elementwise() {
+        let mut a = MemoTable::zeroed(2, 2);
+        let mut b = MemoTable::zeroed(2, 2);
+        a.set(0, 0, 5);
+        b.set(0, 0, 3);
+        b.set(1, 1, 9);
+        a.merge_max(&b);
+        assert_eq!(a.get(0, 0), 5);
+        assert_eq!(a.get(1, 1), 9);
+    }
+
+    #[test]
+    fn zero_sized_tables() {
+        let m = MemoTable::zeroed(0, 5);
+        assert_eq!(m.as_slice().len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Preprocessing: per-structure index tables used by every slice
+//! tabulation.
+//!
+//! This corresponds to the paper's preprocessing stage ("a preprocessing
+//! step is performed that determines all of the possible rows and columns
+//! that correspond with matched arcs", §IV-B). Concretely, for each
+//! structure we compute:
+//!
+//! * the sorted right-endpoint array (the traversal order of stage one);
+//! * for every arc, the **contiguous range** of arc indices nested under
+//!   it (`under_range`) — contiguity is a consequence of the
+//!   non-pseudoknot model: an arc with its right endpoint strictly inside
+//!   another arc must be fully nested under it;
+//! * for every arc, the number of arcs ending strictly before its left
+//!   endpoint (`rank_before_left`), which resolves the static dependency
+//!   `d₁ = F[i1, k1-1, i2, k2-1]` into a compressed-grid coordinate in
+//!   O(1) during tabulation.
+
+use rna_structure::ArcStructure;
+
+/// Precomputed index tables for one structure.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Right endpoint of each arc, in increasing order (parallel to the
+    /// structure's arc array).
+    pub ends: Vec<u32>,
+    /// `under_range[k] = (lo, hi)`: arcs nested strictly under arc `k`
+    /// occupy indices `lo..hi` of the arc array.
+    pub under_range: Vec<(u32, u32)>,
+    /// `rank_before_left[k]`: number of arcs whose right endpoint is less
+    /// than arc `k`'s left endpoint.
+    pub rank_before_left: Vec<u32>,
+}
+
+impl Preprocessed {
+    /// Builds the index tables for a structure.
+    ///
+    /// Cost: `O(A log A)` for `A` arcs (binary searches over the sorted
+    /// endpoint array).
+    pub fn build(s: &ArcStructure) -> Self {
+        let ends: Vec<u32> = s.arcs().iter().map(|a| a.right).collect();
+        debug_assert!(
+            ends.windows(2).all(|w| w[0] < w[1]),
+            "ends must be strictly sorted"
+        );
+        let mut under_range = Vec::with_capacity(ends.len());
+        let mut rank_before_left = Vec::with_capacity(ends.len());
+        for arc in s.arcs() {
+            // Arcs under `arc` have right endpoints in (arc.left, arc.right).
+            let lo = ends.partition_point(|&e| e <= arc.left);
+            let hi = ends.partition_point(|&e| e < arc.right);
+            under_range.push((lo as u32, hi as u32));
+            let rank = ends.partition_point(|&e| e < arc.left);
+            rank_before_left.push(rank as u32);
+        }
+        Preprocessed {
+            ends,
+            under_range,
+            rank_before_left,
+        }
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> u32 {
+        self.ends.len() as u32
+    }
+
+    /// The full arc range `(0, A)` — the "window" of the parent slice.
+    #[inline]
+    pub fn full_range(&self) -> (u32, u32) {
+        (0, self.ends.len() as u32)
+    }
+
+    /// Number of arcs nested under arc `k`.
+    #[inline]
+    pub fn under_count(&self, k: u32) -> u32 {
+        let (lo, hi) = self.under_range[k as usize];
+        hi - lo
+    }
+
+    /// Number of arcs (global indices) whose right endpoint is `< pos`.
+    #[inline]
+    pub fn rank_of_pos(&self, pos: u32) -> u32 {
+        self.ends.partition_point(|&e| e < pos) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn worst_case_ranges_are_prefixes() {
+        // Fully nested arcs: arc k (in right-endpoint order) has exactly k
+        // arcs under it, occupying indices 0..k.
+        let s = generate::worst_case_nested(6);
+        let p = Preprocessed::build(&s);
+        assert_eq!(p.num_arcs(), 6);
+        for k in 0..6u32 {
+            assert_eq!(p.under_range[k as usize], (0, k));
+            assert_eq!(p.under_count(k), k);
+        }
+    }
+
+    #[test]
+    fn sequential_arcs_have_empty_ranges() {
+        let s = dot_bracket::parse("(.)(.)(.)").unwrap();
+        let p = Preprocessed::build(&s);
+        for k in 0..3u32 {
+            assert_eq!(p.under_count(k), 0);
+        }
+        // rank_before_left: arc 0 starts at 0 (0 arcs before), arc 1 at 3
+        // (1 arc ends before position 3), arc 2 at 6 (2 arcs end before).
+        assert_eq!(p.rank_before_left, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mixed_structure_ranges() {
+        // ((..)(..)) : outer arc contains two hairpins.
+        let s = dot_bracket::parse("((..)(..))").unwrap();
+        let p = Preprocessed::build(&s);
+        // Arc order by right endpoint: (1,4), (5,8), (0,9).
+        assert_eq!(p.ends, vec![4, 8, 9]);
+        assert_eq!(p.under_range[0], (0, 0)); // hairpin (1,4): nothing under
+        assert_eq!(p.under_range[1], (1, 1)); // hairpin (5,8): nothing under
+        assert_eq!(p.under_range[2], (0, 2)); // outer (0,9): both hairpins
+    }
+
+    #[test]
+    fn under_range_is_exactly_the_nested_arcs() {
+        // Cross-check under_range against the O(A²) definition on random
+        // structures.
+        for seed in 0..10 {
+            let s = generate::random_structure(80, 0.9, seed);
+            let p = Preprocessed::build(&s);
+            for k in 0..s.num_arcs() {
+                let (lo, hi) = p.under_range[k as usize];
+                let expected: Vec<u32> = s.arcs_under(k);
+                let got: Vec<u32> = (lo..hi).collect();
+                assert_eq!(got, expected, "seed {seed}, arc {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_pos_counts_ends_before() {
+        let s = dot_bracket::parse("(.)(.)").unwrap(); // ends at 2 and 5
+        let p = Preprocessed::build(&s);
+        assert_eq!(p.rank_of_pos(0), 0);
+        assert_eq!(p.rank_of_pos(2), 0);
+        assert_eq!(p.rank_of_pos(3), 1);
+        assert_eq!(p.rank_of_pos(6), 2);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let s = dot_bracket::parse("....").unwrap();
+        let p = Preprocessed::build(&s);
+        assert_eq!(p.num_arcs(), 0);
+        assert_eq!(p.full_range(), (0, 0));
+    }
+}

@@ -1,0 +1,341 @@
+//! `TabulateSlice`: bottom-up tabulation of one two-dimensional slice of
+//! the four-dimensional dynamic programming table (Algorithm 2 of the
+//! paper).
+//!
+//! A slice is identified by a pair of *arc ranges* — contiguous windows of
+//! the right-endpoint-sorted arc arrays (see
+//! [`Preprocessed`]). The slice value
+//! `C[p][q]` on the compressed grid equals `F[i1, e1[p], i2, e2[q]]`
+//! where `e1`/`e2` are the arc right-endpoints inside the windows: since
+//! `F` only increases where matched arcs end, the compressed grid carries
+//! exactly the information of the paper's positional slice.
+//!
+//! For each compressed cell the recurrence reads
+//!
+//! * the static dependencies `s₁ = C[p-1][q]` and `s₂ = C[p][q-1]`
+//!   (running max),
+//! * the dynamic dependency `d₁ = C[rank(l1)][rank(l2)]` — the value of
+//!   the slice just before the matched arcs open — resolved in O(1) from
+//!   the precomputed `rank_before_left` tables,
+//! * the dynamic dependency `d₂` — the memoized value of the child slice
+//!   under the matched arcs — obtained from a caller-supplied provider so
+//!   the same loop serves SRNA1 (lookup-or-spawn), SRNA2 and PRNA (plain
+//!   memo read).
+//!
+//! The dense positional variant ([`tabulate_dense`]) fills a
+//! `(width+1) × (width+1)` table over every position of the window; it is
+//! what a direct transcription of the paper's Figure 2 produces, and is
+//! kept as a correctness oracle and ablation baseline.
+
+use rna_structure::ArcStructure;
+
+use crate::preprocess::Preprocessed;
+
+/// An inclusive arc-index window `(lo, hi)` covering arcs `lo..hi`.
+pub type ArcRange = (u32, u32);
+
+/// Tabulates one slice on the compressed grid, returning the value of its
+/// last subproblem (the slice's memoizable result).
+///
+/// `d2` is called once per matched arc pair `(g1, g2)` (global arc
+/// indices) and must return the value of the child slice spawned under
+/// that pair. `grid` is a scratch buffer, reused across calls to avoid
+/// per-slice allocation; its contents on entry are irrelevant.
+///
+/// Returns 0 when either window is empty. `cells` (when provided) is
+/// incremented by the number of compressed subproblems tabulated.
+pub fn tabulate_with<F>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: ArcRange,
+    range2: ArcRange,
+    grid: &mut Vec<u32>,
+    mut d2: F,
+) -> u32
+where
+    F: FnMut(u32, u32) -> u32,
+{
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    let a = (hi1 - lo1) as usize;
+    let b = (hi2 - lo2) as usize;
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let width = b + 1;
+    grid.clear();
+    grid.resize((a + 1) * width, 0);
+    // Work through a local slice so the optimizer can keep the buffer's
+    // pointer and length in registers across the hot loop.
+    let cells: &mut [u32] = grid.as_mut_slice();
+
+    for p in 0..a {
+        let g1 = lo1 + p as u32;
+        // Row rank of d1: number of window arcs of S1 ending before this
+        // arc opens.
+        let r1 = (p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+        let row = (p + 1) * width;
+        let prev = p * width;
+        let d1_row = r1 * width;
+        for q in 0..b {
+            let g2 = lo2 + q as u32;
+            let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+            let s = cells[prev + q + 1].max(cells[row + q]);
+            let d1 = cells[d1_row + r2];
+            let d2v = d2(g1, g2);
+            cells[row + q + 1] = s.max(1 + d1 + d2v);
+        }
+    }
+    cells[(a + 1) * width - 1]
+}
+
+/// Like [`tabulate_with`], but returns the full compressed grid (row-major,
+/// `(a+1) × (b+1)`) for use by the traceback.
+pub fn tabulate_grid<F>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: ArcRange,
+    range2: ArcRange,
+    d2: F,
+) -> Vec<u32>
+where
+    F: FnMut(u32, u32) -> u32,
+{
+    let mut grid = Vec::new();
+    tabulate_with(p1, p2, range1, range2, &mut grid, d2);
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    if hi1 == lo1 || hi2 == lo2 {
+        // Normalize the empty case to a 1x1 zero grid.
+        return vec![0];
+    }
+    grid
+}
+
+/// Number of compressed subproblems a slice over these ranges tabulates.
+#[inline]
+pub fn cell_count(range1: ArcRange, range2: ArcRange) -> u64 {
+    (range1.1 - range1.0) as u64 * (range2.1 - range2.0) as u64
+}
+
+/// Dense positional tabulation of one slice over the inclusive position
+/// windows `[i1, j1] × [i2, j2]` — a direct transcription of the paper's
+/// Figure 2 recurrence. Used as a correctness oracle and in the
+/// compressed-vs-dense ablation.
+///
+/// `d2(g1, g2)` provides child-slice values exactly as in
+/// [`tabulate_with`]. Empty windows (`j < i`, encoded by the caller
+/// passing `width = 0` semantics via `j1 < i1`) return 0.
+pub fn tabulate_dense<F>(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    (i1, j1): (u32, u32),
+    (i2, j2): (u32, u32),
+    mut d2: F,
+) -> u32
+where
+    F: FnMut(u32, u32) -> u32,
+{
+    if j1 < i1 || j2 < i2 {
+        return 0;
+    }
+    let w1 = (j1 - i1 + 1) as usize;
+    let w2 = (j2 - i2 + 1) as usize;
+    let width = w2 + 1;
+    // t[(x - i1 + 1) * width + (y - i2 + 1)] = F[i1, x, i2, y]
+    let mut t = vec![0u32; (w1 + 1) * width];
+    for x in i1..=j1 {
+        let xr = (x - i1 + 1) as usize;
+        let arc1 = s1.arc_ending_at(x).filter(|&k| s1.arc(k).left >= i1);
+        for y in i2..=j2 {
+            let yr = (y - i2 + 1) as usize;
+            let mut v = t[(xr - 1) * width + yr].max(t[xr * width + yr - 1]);
+            if let Some(k1) = arc1 {
+                if let Some(k2) = s2.arc_ending_at(y).filter(|&k| s2.arc(k).left >= i2) {
+                    let l1 = s1.arc(k1).left;
+                    let l2 = s2.arc(k2).left;
+                    // d1 = F[i1, l1-1, i2, l2-1]; row/col index l - i is
+                    // exactly (l-1) - i + 1, and 0 when l == i (empty).
+                    let d1 = t[(l1 - i1) as usize * width + (l2 - i2) as usize];
+                    v = v.max(1 + d1 + d2(k1, k2));
+                }
+            }
+            t[xr * width + yr] = v;
+        }
+    }
+    t[(w1 + 1) * width - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    /// Fully tabulates both structures' child slices bottom-up with the
+    /// compressed representation, then the parent slice — a miniature
+    /// SRNA2 used to test the slice engine in isolation.
+    fn full_compressed(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+        let p1 = Preprocessed::build(s1);
+        let p2 = Preprocessed::build(s2);
+        let mut memo = vec![0u32; p1.num_arcs() as usize * p2.num_arcs() as usize];
+        let cols = p2.num_arcs() as usize;
+        let mut grid = Vec::new();
+        for k1 in 0..p1.num_arcs() {
+            for k2 in 0..p2.num_arcs() {
+                let v = tabulate_with(
+                    &p1,
+                    &p2,
+                    p1.under_range[k1 as usize],
+                    p2.under_range[k2 as usize],
+                    &mut grid,
+                    |g1, g2| memo[g1 as usize * cols + g2 as usize],
+                );
+                memo[k1 as usize * cols + k2 as usize] = v;
+            }
+        }
+        tabulate_with(
+            &p1,
+            &p2,
+            p1.full_range(),
+            p2.full_range(),
+            &mut grid,
+            |g1, g2| memo[g1 as usize * cols + g2 as usize],
+        )
+    }
+
+    /// Same, with the dense positional slices.
+    fn full_dense(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+        let mut memo = vec![0u32; (s1.num_arcs() * s2.num_arcs()) as usize];
+        let cols = s2.num_arcs() as usize;
+        for k1 in 0..s1.num_arcs() {
+            for k2 in 0..s2.num_arcs() {
+                let a1 = s1.arc(k1);
+                let a2 = s2.arc(k2);
+                let v = tabulate_dense(
+                    s1,
+                    s2,
+                    (a1.left + 1, a1.right.wrapping_sub(1)),
+                    (a2.left + 1, a2.right.wrapping_sub(1)),
+                    |g1, g2| memo[g1 as usize * cols + g2 as usize],
+                );
+                memo[k1 as usize * cols + k2 as usize] = v;
+            }
+        }
+        tabulate_dense(s1, s2, (0, s1.len() - 1), (0, s2.len() - 1), |g1, g2| {
+            memo[g1 as usize * cols + g2 as usize]
+        })
+    }
+
+    #[test]
+    fn empty_window_returns_zero() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let p = Preprocessed::build(&s);
+        let mut grid = Vec::new();
+        assert_eq!(
+            tabulate_with(&p, &p, (0, 0), (0, 1), &mut grid, |_, _| 0),
+            0
+        );
+        assert_eq!(
+            tabulate_with(&p, &p, (0, 1), (1, 1), &mut grid, |_, _| 0),
+            0
+        );
+    }
+
+    #[test]
+    fn single_arc_pair_matches() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let p = Preprocessed::build(&s);
+        let mut grid = Vec::new();
+        let v = tabulate_with(&p, &p, (0, 1), (0, 1), &mut grid, |_, _| 0);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn nested_arcs_accumulate_through_d2() {
+        // ((.)) self-compared: outer match contributes 1 + d2(inner) = 2.
+        let s = dot_bracket::parse("((.))").unwrap();
+        assert_eq!(full_compressed(&s, &s), 2);
+    }
+
+    #[test]
+    fn sequential_arcs_accumulate_through_d1() {
+        // (.)(.) self-compared: both arcs match via the d1 chain.
+        let s = dot_bracket::parse("(.)(.)").unwrap();
+        assert_eq!(full_compressed(&s, &s), 2);
+    }
+
+    #[test]
+    fn paper_example_three_then_two_vs_two_then_three() {
+        // §III-B: "three nested arcs followed by two nested arcs" vs "two
+        // nested arcs followed by three nested arcs" => 4 matched arcs.
+        let s1 = dot_bracket::parse("(((...)))((...))").unwrap();
+        let s2 = dot_bracket::parse("((...))(((...)))").unwrap();
+        assert_eq!(full_compressed(&s1, &s2), 4);
+        // Identical ordering => 5.
+        assert_eq!(full_compressed(&s1, &s1), 5);
+    }
+
+    #[test]
+    fn compressed_matches_dense_on_random_structures() {
+        for seed in 0..30 {
+            let s1 = generate::random_structure(40, 0.8, seed);
+            let s2 = generate::random_structure(36, 0.8, seed + 1000);
+            assert_eq!(
+                full_compressed(&s1, &s2),
+                full_dense(&s1, &s2),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_comparison_matches_all_arcs() {
+        for seed in 0..15 {
+            let s = generate::random_structure(50, 0.9, seed);
+            assert_eq!(full_compressed(&s, &s), s.num_arcs(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn score_bounded_by_smaller_structure() {
+        for seed in 0..15 {
+            let s1 = generate::random_structure(40, 0.9, seed);
+            let s2 = generate::random_structure(30, 0.5, seed + 99);
+            let v = full_compressed(&s1, &s2);
+            assert!(v <= s1.num_arcs().min(s2.num_arcs()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_window_product() {
+        assert_eq!(cell_count((2, 5), (1, 7)), 18);
+        assert_eq!(cell_count((2, 2), (1, 7)), 0);
+    }
+
+    #[test]
+    fn tabulate_grid_shape() {
+        let s = dot_bracket::parse("((.))").unwrap();
+        let p = Preprocessed::build(&s);
+        let g = tabulate_grid(&p, &p, p.full_range(), p.full_range(), |_, _| 0);
+        assert_eq!(g.len(), 3 * 3);
+        // With d2 forced to 0 the outer match cannot see the nested arc,
+        // so the best is a single matched arc.
+        assert_eq!(*g.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn grid_normalizes_empty_to_single_zero() {
+        let s = dot_bracket::parse("...").unwrap();
+        let p = Preprocessed::build(&s);
+        let g = tabulate_grid(&p, &p, p.full_range(), p.full_range(), |_, _| 0);
+        assert_eq!(g, vec![0]);
+    }
+
+    #[test]
+    fn dense_empty_window() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        // Inverted window encoded by j < i.
+        assert_eq!(tabulate_dense(&s, &s, (2, 1), (0, 2), |_, _| 0), 0);
+    }
+}

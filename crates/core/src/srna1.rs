@@ -1,0 +1,211 @@
+//! SRNA1 (Algorithm 1 of the paper): bottom-up slice tabulation with
+//! recursive, memoized child-slice spawning.
+//!
+//! SRNA1 tabulates the parent slice bottom-up; the first time a matched
+//! arc pair is encountered whose child slice has not been memoized, the
+//! child slice is *spawned* — tabulated by a recursive call — and its
+//! final value stored in the memo table `M`. The conditional lookup
+//! (`KEY_NOT_FOUND` check) executes inside the innermost loop, which is
+//! exactly the `Θ(n²m²)` overhead SRNA2 removes.
+//!
+//! The paper proves the recursion depth never exceeds one when starting
+//! from the parent slice: the arcs under a matched pair were all
+//! encountered *earlier* in the spawning slice's own traversal (their
+//! right endpoints are smaller), so every memo entry a spawned child
+//! needs is already present. [`Outcome::counters`] records the observed
+//! maximum depth so tests can assert this claim.
+
+use rna_structure::ArcStructure;
+
+use crate::counters::Counters;
+use crate::memo::{MemoTable, NOT_FOUND};
+use crate::preprocess::Preprocessed;
+use crate::slice::ArcRange;
+
+/// Result of an SRNA1 run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The MCOS score: maximum number of matched arcs.
+    pub score: u32,
+    /// The memoization table (arc-indexed; unspawned pairs keep
+    /// [`NOT_FOUND`]).
+    pub memo: MemoTable,
+    /// Work counters, including the observed maximum spawn depth.
+    pub counters: Counters,
+}
+
+struct Ctx<'a> {
+    p1: &'a Preprocessed,
+    p2: &'a Preprocessed,
+    memo: MemoTable,
+    counters: Counters,
+    /// One scratch grid per recursion depth.
+    scratch: Vec<Vec<u32>>,
+}
+
+impl Ctx<'_> {
+    /// Tabulates the slice over `range1 × range2` at recursion `depth`,
+    /// spawning child slices on memo misses.
+    ///
+    /// This reimplements the compressed-grid loop of
+    /// [`slice::tabulate_with`](crate::slice::tabulate_with) inline
+    /// because the d2 provider must recursively borrow the whole context.
+    fn tabulate(&mut self, range1: ArcRange, range2: ArcRange, depth: usize) -> u32 {
+        let (lo1, hi1) = range1;
+        let (lo2, hi2) = range2;
+        let a = (hi1 - lo1) as usize;
+        let b = (hi2 - lo2) as usize;
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.counters.slices += 1;
+        self.counters.cells += (a * b) as u64;
+        self.counters.max_spawn_depth = self.counters.max_spawn_depth.max(depth as u64);
+
+        if self.scratch.len() <= depth {
+            self.scratch.resize_with(depth + 1, Vec::new);
+        }
+        let mut grid = std::mem::take(&mut self.scratch[depth]);
+        let width = b + 1;
+        grid.clear();
+        grid.resize((a + 1) * width, 0);
+
+        for p in 0..a {
+            let g1 = lo1 + p as u32;
+            let r1 = (self.p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+            let row = (p + 1) * width;
+            let prev = p * width;
+            let d1_row = r1 * width;
+            for q in 0..b {
+                let g2 = lo2 + q as u32;
+                let r2 = (self.p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+                let s = grid[prev + q + 1].max(grid[row + q]);
+                let d1 = grid[d1_row + r2];
+                // The SRNA1 signature move: conditional memo lookup with
+                // spawn-on-miss, inside the innermost loop.
+                let mut d2v = self.memo.get(g1, g2);
+                if d2v == NOT_FOUND {
+                    self.counters.memo_misses += 1;
+                    let c1 = self.p1.under_range[g1 as usize];
+                    let c2 = self.p2.under_range[g2 as usize];
+                    d2v = self.tabulate(c1, c2, depth + 1);
+                    self.memo.set(g1, g2, d2v);
+                } else {
+                    self.counters.memo_hits += 1;
+                }
+                grid[row + q + 1] = s.max(1 + d1 + d2v);
+            }
+        }
+        let result = grid[(a + 1) * width - 1];
+        self.scratch[depth] = grid;
+        result
+    }
+}
+
+/// Runs SRNA1 on two structures.
+pub fn run(s1: &ArcStructure, s2: &ArcStructure) -> Outcome {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    run_preprocessed(&p1, &p2)
+}
+
+/// Runs SRNA1 with caller-supplied preprocessing (for reuse across runs).
+pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
+    let mut ctx = Ctx {
+        p1,
+        p2,
+        memo: MemoTable::unset(p1.num_arcs(), p2.num_arcs()),
+        counters: Counters::default(),
+        scratch: Vec::new(),
+    };
+    let score = ctx.tabulate(p1.full_range(), p2.full_range(), 0);
+    Outcome {
+        score,
+        memo: ctx.memo,
+        counters: ctx.counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn tiny_cases() {
+        let cases = [
+            ("", "", 0u32),
+            ("...", "...", 0),
+            ("(.)", "(.)", 1),
+            ("(.)", "...", 0),
+            ("((.))", "((.))", 2),
+            ("(.)(.)", "(.)(.)", 2),
+            ("((.))", "(.)(.)", 1),
+            ("(((...)))((...))", "((...))(((...)))", 4),
+        ];
+        for (a, b, want) in cases {
+            let s1 = dot_bracket::parse(a).unwrap();
+            let s2 = dot_bracket::parse(b).unwrap();
+            assert_eq!(run(&s1, &s2).score, want, "{a} vs {b}");
+            assert_eq!(run(&s2, &s1).score, want, "symmetric {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn self_comparison_matches_all_arcs() {
+        for seed in 0..10 {
+            let s = generate::random_structure(60, 0.9, seed);
+            assert_eq!(run(&s, &s).score, s.num_arcs(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn spawn_depth_never_exceeds_one() {
+        // The paper's §IV-A claim: starting from the parent slice, every
+        // memo entry a spawned child needs is already present, so the
+        // recursion depth is at most 1 (depth 0 = parent slice).
+        for seed in 0..20 {
+            let s1 = generate::random_structure(80, 1.0, seed);
+            let s2 = generate::random_structure(70, 1.0, seed + 500);
+            let out = run(&s1, &s2);
+            assert!(
+                out.counters.max_spawn_depth <= 1,
+                "seed {seed}: depth {}",
+                out.counters.max_spawn_depth
+            );
+        }
+        // Also on the contrived worst case, the most nested input.
+        let w = generate::worst_case_nested(40);
+        assert!(run(&w, &w).counters.max_spawn_depth <= 1);
+    }
+
+    #[test]
+    fn worst_case_scores_match_arc_count() {
+        let s = generate::worst_case_nested(25);
+        let out = run(&s, &s);
+        assert_eq!(out.score, 25);
+        // Every arc pair spawns a child slice exactly once.
+        assert_eq!(out.counters.memo_misses, 25 * 25);
+    }
+
+    #[test]
+    fn memo_contains_child_slice_values() {
+        // For the fully nested worst case, the child slice under arc pair
+        // (k1, k2) (right-endpoint order) matches min(k1, k2) arcs.
+        let s = generate::worst_case_nested(8);
+        let out = run(&s, &s);
+        for k1 in 0..8 {
+            for k2 in 0..8 {
+                assert_eq!(out.memo.get(k1, k2), k1.min(k2), "({k1},{k2})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_lengths() {
+        let s1 = dot_bracket::parse("((((....))))").unwrap();
+        let s2 = dot_bracket::parse("((.))").unwrap();
+        assert_eq!(run(&s1, &s2).score, 2);
+    }
+}

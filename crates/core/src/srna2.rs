@@ -1,0 +1,234 @@
+//! SRNA2 (Algorithms 2–3 of the paper): the two-stage, recursion-free
+//! sequential algorithm, and the basis of the parallel algorithm PRNA.
+//!
+//! SRNA2 removes SRNA1's per-cell conditional memo lookup by *guaranteeing*
+//! that every lookup hits:
+//!
+//! 1. **Stage one** tabulates the child slice of every arc pair, iterating
+//!    both structures' arcs by increasing right endpoint. Any dynamic
+//!    dependency of a child slice is a strictly nested arc pair, whose
+//!    right endpoints are strictly smaller — hence already memoized.
+//! 2. **Stage two** tabulates the parent slice with plain memo reads.
+//!
+//! The run reports per-stage wall-clock timings ([`StageTimings`]),
+//! reproducing the paper's Table III instrumentation, and exact work
+//! counters for the overtabulation ablation.
+
+use std::time::{Duration, Instant};
+
+use rna_structure::ArcStructure;
+
+use crate::counters::Counters;
+use crate::memo::MemoTable;
+use crate::preprocess::Preprocessed;
+use crate::slice;
+
+/// Wall-clock time spent in each phase of an SRNA2 run (Table III).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Preprocessing: building the per-structure index tables.
+    pub preprocessing: Duration,
+    /// Stage one: tabulation of all child slices.
+    pub stage_one: Duration,
+    /// Stage two: tabulation of the parent slice.
+    pub stage_two: Duration,
+}
+
+impl StageTimings {
+    /// Total of the three phases.
+    pub fn total(&self) -> Duration {
+        self.preprocessing + self.stage_one + self.stage_two
+    }
+
+    /// Percentage breakdown `(preprocessing, stage one, stage two)`;
+    /// all zeros when the total is zero.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.preprocessing.as_secs_f64() / total,
+            100.0 * self.stage_one.as_secs_f64() / total,
+            100.0 * self.stage_two.as_secs_f64() / total,
+        )
+    }
+}
+
+/// Result of an SRNA2 run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The MCOS score: maximum number of matched arcs.
+    pub score: u32,
+    /// The fully populated child-slice memo table.
+    pub memo: MemoTable,
+    /// Work counters.
+    pub counters: Counters,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// Runs SRNA2 on two structures.
+pub fn run(s1: &ArcStructure, s2: &ArcStructure) -> Outcome {
+    let t0 = Instant::now();
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let preprocessing = t0.elapsed();
+    let mut out = run_preprocessed(&p1, &p2);
+    out.timings.preprocessing = preprocessing;
+    out
+}
+
+/// Runs stages one and two with caller-supplied preprocessing.
+pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let mut memo = MemoTable::zeroed(a1, a2);
+    let mut counters = Counters::default();
+    let mut grid = Vec::new();
+
+    // Stage one: tabulate every child slice by increasing right endpoint
+    // of both arcs (the arc index order).
+    let t1 = Instant::now();
+    for k1 in 0..a1 {
+        let c1 = p1.under_range[k1 as usize];
+        for k2 in 0..a2 {
+            let c2 = p2.under_range[k2 as usize];
+            let v = slice::tabulate_with(p1, p2, c1, c2, &mut grid, |g1, g2| memo.get(g1, g2));
+            memo.set(k1, k2, v);
+            counters.cells += slice::cell_count(c1, c2);
+            counters.slices += 1;
+        }
+    }
+    let stage_one = t1.elapsed();
+
+    // Stage two: the parent slice.
+    let t2 = Instant::now();
+    let score = slice::tabulate_with(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut grid,
+        |g1, g2| memo.get(g1, g2),
+    );
+    counters.cells += slice::cell_count(p1.full_range(), p2.full_range());
+    counters.slices += 1;
+    let stage_two = t2.elapsed();
+
+    Outcome {
+        score,
+        memo,
+        counters,
+        timings: StageTimings {
+            preprocessing: Duration::ZERO,
+            stage_one,
+            stage_two,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srna1;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn tiny_cases() {
+        let cases = [
+            ("", "", 0u32),
+            ("...", "...", 0),
+            ("(.)", "(.)", 1),
+            ("((.))", "((.))", 2),
+            ("(.)(.)", "((.))", 1),
+            ("(((...)))((...))", "((...))(((...)))", 4),
+        ];
+        for (a, b, want) in cases {
+            let s1 = dot_bracket::parse(a).unwrap();
+            let s2 = dot_bracket::parse(b).unwrap();
+            assert_eq!(run(&s1, &s2).score, want, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_srna1_on_random_structures() {
+        for seed in 0..40 {
+            let s1 = generate::random_structure(64, 0.9, seed);
+            let s2 = generate::random_structure(56, 0.7, seed + 4000);
+            let v1 = srna1::run(&s1, &s2);
+            let v2 = run(&s1, &s2);
+            assert_eq!(v1.score, v2.score, "seed {seed}");
+            // SRNA1's memo is a subset: every spawned entry must agree.
+            for k1 in 0..s1.num_arcs() {
+                for k2 in 0..s2.num_arcs() {
+                    let m1 = v1.memo.get(k1, k2);
+                    if m1 != crate::memo::NOT_FOUND {
+                        assert_eq!(m1, v2.memo.get(k1, k2), "seed {seed} ({k1},{k2})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_one_tabulates_every_arc_pair() {
+        let s = generate::worst_case_nested(12);
+        let out = run(&s, &s);
+        // 12*12 child slices + 1 parent slice.
+        assert_eq!(out.counters.slices, 145);
+        // Child slice (k1,k2) costs k1*k2 cells; parent costs 12*12.
+        let expected: u64 = (0..12u64)
+            .flat_map(|a| (0..12u64).map(move |b| a * b))
+            .sum::<u64>()
+            + 144;
+        assert_eq!(out.counters.cells, expected);
+    }
+
+    #[test]
+    fn srna2_performs_no_conditional_lookups() {
+        let s = generate::worst_case_nested(10);
+        let out = run(&s, &s);
+        assert_eq!(out.counters.memo_hits, 0);
+        assert_eq!(out.counters.memo_misses, 0);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let s = generate::worst_case_nested(60);
+        let out = run(&s, &s);
+        assert!(out.timings.stage_one > Duration::ZERO);
+        let (p, one, two) = out.timings.percentages();
+        assert!((p + one + two - 100.0).abs() < 1e-6);
+        // Stage one dominates (Table III shows > 99% at realistic sizes).
+        assert!(one > 50.0, "stage one was only {one:.2}%");
+    }
+
+    #[test]
+    fn percentages_of_zero_timings() {
+        let t = StageTimings::default();
+        assert_eq!(t.percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn memo_is_complete_after_stage_one() {
+        let s = generate::worst_case_nested(8);
+        let out = run(&s, &s);
+        for k1 in 0..8 {
+            for k2 in 0..8 {
+                assert_eq!(out.memo.get(k1, k2), k1.min(k2));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_structures() {
+        let s1 = generate::hairpin_chain(3, 4, 2);
+        let s2 = generate::worst_case_nested(6);
+        // Best: align the deepest hairpin stem (4 nested arcs) against the
+        // nest of 6.
+        assert_eq!(run(&s1, &s2).score, 4);
+        assert_eq!(run(&s2, &s1).score, 4);
+    }
+}

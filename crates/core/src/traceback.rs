@@ -1,0 +1,231 @@
+//! Traceback: recovering the optimal arc mapping, not just its size.
+//!
+//! SRNA2 memoizes only the final value of each child slice (the paper
+//! notes this suffices "unless we are interested in backtracing the
+//! subproblem that spawned the child slice"). To produce the actual
+//! common substructure we re-tabulate just the slices on the optimal
+//! path — the parent slice plus one child slice per matched arc pair —
+//! and walk each compressed grid backwards:
+//!
+//! * a cell equal to its upper or left neighbour is a static move
+//!   (`s₁`/`s₂`): drop the last arc of one window;
+//! * otherwise the cell was set by the match case `1 + d₁ + d₂`: record
+//!   the arc pair, recurse into the child slice for the `d₂` part, and
+//!   jump to the `d₁` cell.
+//!
+//! Cost: `O(k · W)` where `k` is the number of matched pairs and `W` the
+//! largest slice, versus the full run's sum over *all* slices.
+
+use rna_structure::ArcStructure;
+
+use crate::memo::MemoTable;
+use crate::preprocess::Preprocessed;
+use crate::slice::ArcRange;
+use crate::srna2;
+
+/// The optimal common substructure as matched arc index pairs
+/// `(arc of S₁, arc of S₂)`, in the order the traceback discovers them
+/// (outermost-last within each slice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Matched arc index pairs.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl Mapping {
+    /// Number of matched arcs — by construction equal to the MCOS score.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if no arcs were matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Runs SRNA2 and then recovers an optimal arc mapping.
+pub fn traceback(s1: &ArcStructure, s2: &ArcStructure) -> Mapping {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let out = srna2::run_preprocessed(&p1, &p2);
+    traceback_with(&p1, &p2, &out.memo)
+}
+
+/// Recovers an optimal arc mapping from a completed SRNA2/PRNA memo table.
+pub fn traceback_with(p1: &Preprocessed, p2: &Preprocessed, memo: &MemoTable) -> Mapping {
+    traceback_weighted(p1, p2, memo, &crate::weighted::Uniform(1))
+}
+
+/// Recovers an optimal arc mapping from a completed **weighted** memo
+/// table (see [`crate::weighted`]); with [`crate::weighted::Uniform`]`(1)`
+/// this is exactly [`traceback_with`].
+pub fn traceback_weighted<W: crate::weighted::ArcWeight>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    memo: &MemoTable,
+    weights: &W,
+) -> Mapping {
+    let mut pairs = Vec::new();
+    trace_slice(
+        p1,
+        p2,
+        memo,
+        weights,
+        p1.full_range(),
+        p2.full_range(),
+        &mut pairs,
+    );
+    Mapping { pairs }
+}
+
+fn trace_slice<W: crate::weighted::ArcWeight>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    memo: &MemoTable,
+    weights: &W,
+    range1: ArcRange,
+    range2: ArcRange,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    let a = (hi1 - lo1) as usize;
+    let b = (hi2 - lo2) as usize;
+    if a == 0 || b == 0 {
+        return;
+    }
+    let mut grid = Vec::new();
+    crate::weighted::tabulate_weighted(p1, p2, range1, range2, weights, &mut grid, |g1, g2| {
+        memo.get(g1, g2)
+    });
+    if grid.is_empty() {
+        return;
+    }
+    let width = b + 1;
+    let (mut p, mut q) = (a, b);
+    while p > 0 && q > 0 {
+        let cur = grid[p * width + q];
+        if cur == 0 {
+            break;
+        }
+        if grid[(p - 1) * width + q] == cur {
+            p -= 1;
+            continue;
+        }
+        if grid[p * width + q - 1] == cur {
+            q -= 1;
+            continue;
+        }
+        // Match case: arcs at window offsets p-1, q-1.
+        let g1 = lo1 + (p as u32 - 1);
+        let g2 = lo2 + (q as u32 - 1);
+        out.push((g1, g2));
+        // d2: recurse into the child slice under the matched pair.
+        trace_slice(
+            p1,
+            p2,
+            memo,
+            weights,
+            p1.under_range[g1 as usize],
+            p2.under_range[g2 as usize],
+            out,
+        );
+        // d1: jump to the cell just before the matched arcs open.
+        let r1 = (p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+        let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+        debug_assert!(r1 < p && r2 < q, "d1 jump must strictly decrease");
+        p = r1;
+        q = r2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn traceback_size_equals_score() {
+        for seed in 0..30 {
+            let s1 = generate::random_structure(60, 0.9, seed);
+            let s2 = generate::random_structure(50, 0.8, seed + 1234);
+            let score = crate::mcos_score(&s1, &s2);
+            let m = traceback(&s1, &s2);
+            assert_eq!(m.len() as u32, score, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traceback_is_a_valid_mapping() {
+        for seed in 0..30 {
+            let s1 = generate::random_structure(56, 1.0, seed);
+            let s2 = generate::random_structure(64, 0.7, seed + 777);
+            let m = traceback(&s1, &s2);
+            verify::check_mapping(&s1, &s2, &m.pairs).unwrap_or_else(|e| {
+                panic!("seed {seed}: invalid mapping: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn self_comparison_maps_every_arc() {
+        let s = dot_bracket::parse("((..))(..)((.))").unwrap();
+        let m = traceback(&s, &s);
+        assert_eq!(m.len() as u32, s.num_arcs());
+        // Self-comparison admits the identity mapping; the traceback must
+        // produce exactly it (any other complete mapping would change some
+        // arc's partner and violate structure preservation at full size).
+        let mut pairs = m.pairs.clone();
+        pairs.sort_unstable();
+        let expected: Vec<(u32, u32)> = (0..s.num_arcs()).map(|k| (k, k)).collect();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn paper_example_mapping() {
+        let s1 = dot_bracket::parse("(((...)))((...))").unwrap();
+        let s2 = dot_bracket::parse("((...))(((...)))").unwrap();
+        let m = traceback(&s1, &s2);
+        assert_eq!(m.len(), 4);
+        verify::check_mapping(&s1, &s2, &m.pairs).unwrap();
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = rna_structure::ArcStructure::unpaired(4);
+        let s = dot_bracket::parse("(.)").unwrap();
+        assert!(traceback(&e, &s).is_empty());
+        assert!(traceback(&s, &e).is_empty());
+    }
+
+    #[test]
+    fn weighted_traceback_total_equals_weighted_score() {
+        use crate::weighted::{self, WeightMatrix};
+        for seed in 0..10 {
+            let s1 = generate::random_structure(44, 1.0, seed);
+            let s2 = generate::random_structure(40, 0.8, seed + 31);
+            let p1 = Preprocessed::build(&s1);
+            let p2 = Preprocessed::build(&s2);
+            let w = WeightMatrix::from_fn(s1.num_arcs(), s2.num_arcs(), |k1, k2| {
+                (k1 * 13 + k2 * 7) % 6 + 1
+            });
+            let out = weighted::run_preprocessed(&p1, &p2, &w);
+            let m = traceback_weighted(&p1, &p2, &out.memo, &w);
+            use crate::weighted::ArcWeight;
+            let total: u32 = m.pairs.iter().map(|&(a, b)| w.weight(a, b)).sum();
+            assert_eq!(total, out.score, "seed {seed}");
+            verify::check_mapping(&s1, &s2, &m.pairs).unwrap();
+        }
+    }
+
+    #[test]
+    fn worst_case_traceback() {
+        let s = generate::worst_case_nested(20);
+        let m = traceback(&s, &s);
+        assert_eq!(m.len(), 20);
+        verify::check_mapping(&s, &s, &m.pairs).unwrap();
+    }
+}

@@ -1,0 +1,224 @@
+//! Independent validation of a claimed common substructure.
+//!
+//! [`check_mapping`] re-derives, from first principles (the MCOS problem
+//! statement of §III-A), whether a set of arc pairs is a valid common
+//! ordered substructure — without using any of the DP machinery, so it can
+//! catch bugs in the recurrence, the slices and the traceback alike.
+//!
+//! A mapping `{(a_i, b_i)}` is valid iff
+//!
+//! 1. every index refers to an existing arc and no arc is used twice on
+//!    either side, and
+//! 2. for every two pairs, the arcs relate identically in both
+//!    structures: `a_i` before `a_j` ⇔ `b_i` before `b_j`, and `a_i` nests
+//!    `a_j` ⇔ `b_i` nests `b_j`.
+//!
+//! Condition 2 is exactly what makes the induced position mapping
+//! order-preserving: the four endpoint orderings of two non-crossing,
+//! endpoint-disjoint arcs are determined by their nesting/sequential
+//! relation.
+
+use rna_structure::{Arc, ArcStructure};
+
+/// The relation between two distinct arcs of one non-pseudoknot structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relation {
+    /// The first arc ends before the second begins.
+    Before,
+    /// The first arc begins after the second ends.
+    After,
+    /// The first arc strictly encloses the second.
+    Nests,
+    /// The first arc is strictly enclosed by the second.
+    NestedBy,
+}
+
+fn relation(a: Arc, b: Arc) -> Relation {
+    if a.right < b.left {
+        Relation::Before
+    } else if b.right < a.left {
+        Relation::After
+    } else if a.nests(&b) {
+        Relation::Nests
+    } else {
+        debug_assert!(b.nests(&a), "valid structures admit no other relation");
+        Relation::NestedBy
+    }
+}
+
+/// Checks that `pairs` is a valid common ordered substructure of
+/// `(s1, s2)`. Returns a human-readable description of the first
+/// violation found.
+pub fn check_mapping(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    pairs: &[(u32, u32)],
+) -> Result<(), String> {
+    // Condition 1: indices in range, no reuse.
+    let mut used1 = vec![false; s1.num_arcs() as usize];
+    let mut used2 = vec![false; s2.num_arcs() as usize];
+    for &(a, b) in pairs {
+        if a >= s1.num_arcs() {
+            return Err(format!("arc index {a} out of range for S1"));
+        }
+        if b >= s2.num_arcs() {
+            return Err(format!("arc index {b} out of range for S2"));
+        }
+        if std::mem::replace(&mut used1[a as usize], true) {
+            return Err(format!("arc {a} of S1 matched twice"));
+        }
+        if std::mem::replace(&mut used2[b as usize], true) {
+            return Err(format!("arc {b} of S2 matched twice"));
+        }
+    }
+    // Condition 2: pairwise relation preservation.
+    for (i, &(a1, b1)) in pairs.iter().enumerate() {
+        for &(a2, b2) in &pairs[i + 1..] {
+            let r1 = relation(s1.arc(a1), s1.arc(a2));
+            let r2 = relation(s2.arc(b1), s2.arc(b2));
+            if r1 != r2 {
+                return Err(format!(
+                    "pairs ({a1},{b1}) and ({a2},{b2}) relate as {r1:?} in S1 but {r2:?} in S2"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff `pairs` is a valid common ordered substructure.
+pub fn is_valid_mapping(s1: &ArcStructure, s2: &ArcStructure, pairs: &[(u32, u32)]) -> bool {
+    check_mapping(s1, s2, pairs).is_ok()
+}
+
+/// Exhaustive MCOS by brute force: tries every subset of arc pairs (via
+/// backtracking over pair lists) and returns the size of the largest
+/// valid mapping. Exponential — strictly for cross-checking the DP on
+/// tiny structures.
+pub fn brute_force_mcos(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+    let a1 = s1.num_arcs();
+    let a2 = s2.num_arcs();
+    let mut best = 0u32;
+    let mut chosen: Vec<(u32, u32)> = Vec::new();
+
+    // Backtrack over arcs of S1 in index order; for each, either skip it
+    // or match it to any unused arc of S2 consistent with the current set.
+    #[allow(clippy::too_many_arguments)] // flat backtracking state beats a context struct here
+    fn go(
+        s1: &ArcStructure,
+        s2: &ArcStructure,
+        k1: u32,
+        a1: u32,
+        a2: u32,
+        used2: &mut Vec<bool>,
+        chosen: &mut Vec<(u32, u32)>,
+        best: &mut u32,
+    ) {
+        // Bound: even matching every remaining arc cannot beat best.
+        if chosen.len() as u32 + (a1 - k1) <= *best {
+            return;
+        }
+        if k1 == a1 {
+            *best = (*best).max(chosen.len() as u32);
+            return;
+        }
+        for k2 in 0..a2 {
+            if used2[k2 as usize] {
+                continue;
+            }
+            let candidate = (k1, k2);
+            let consistent = chosen.iter().all(|&(c1, c2)| {
+                relation(s1.arc(c1), s1.arc(candidate.0))
+                    == relation(s2.arc(c2), s2.arc(candidate.1))
+            });
+            if consistent {
+                used2[k2 as usize] = true;
+                chosen.push(candidate);
+                go(s1, s2, k1 + 1, a1, a2, used2, chosen, best);
+                chosen.pop();
+                used2[k2 as usize] = false;
+            }
+        }
+        // Skip arc k1.
+        go(s1, s2, k1 + 1, a1, a2, used2, chosen, best);
+    }
+
+    let mut used2 = vec![false; a2 as usize];
+    go(s1, s2, 0, a1, a2, &mut used2, &mut chosen, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn relation_cases() {
+        assert_eq!(relation(Arc::new(0, 3), Arc::new(4, 7)), Relation::Before);
+        assert_eq!(relation(Arc::new(4, 7), Arc::new(0, 3)), Relation::After);
+        assert_eq!(relation(Arc::new(0, 7), Arc::new(2, 5)), Relation::Nests);
+        assert_eq!(relation(Arc::new(2, 5), Arc::new(0, 7)), Relation::NestedBy);
+    }
+
+    #[test]
+    fn accepts_identity_mapping() {
+        let s = dot_bracket::parse("((.))(..)").unwrap();
+        let pairs: Vec<(u32, u32)> = (0..s.num_arcs()).map(|k| (k, k)).collect();
+        assert!(check_mapping(&s, &s, &pairs).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        assert!(check_mapping(&s, &s, &[(0, 5)]).is_err());
+        assert!(check_mapping(&s, &s, &[(5, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_reuse() {
+        let s = dot_bracket::parse("(.)(.)").unwrap();
+        assert!(check_mapping(&s, &s, &[(0, 0), (0, 1)]).is_err());
+        assert!(check_mapping(&s, &s, &[(0, 0), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_order_violation() {
+        // S1 arcs sequential, mapped crosswise => order flips.
+        let s = dot_bracket::parse("(.)(.)").unwrap();
+        assert!(check_mapping(&s, &s, &[(0, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_structure_violation() {
+        // S1 nested pair mapped onto S2 sequential pair.
+        let s1 = dot_bracket::parse("((.))").unwrap();
+        let s2 = dot_bracket::parse("(.)(.)").unwrap();
+        assert!(check_mapping(&s1, &s2, &[(0, 0), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn empty_mapping_is_valid() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        assert!(is_valid_mapping(&s, &s, &[]));
+    }
+
+    #[test]
+    fn brute_force_agrees_with_dp_on_tiny_structures() {
+        for seed in 0..20 {
+            let s1 = generate::random_structure(18, 1.0, seed);
+            let s2 = generate::random_structure(16, 1.0, seed + 333);
+            let bf = brute_force_mcos(&s1, &s2);
+            let dp = crate::mcos_score(&s1, &s2);
+            assert_eq!(bf, dp, "seed {seed}: brute force {bf} vs DP {dp}");
+        }
+    }
+
+    #[test]
+    fn brute_force_paper_example() {
+        let s1 = dot_bracket::parse("(((.)))((.))").unwrap();
+        let s2 = dot_bracket::parse("((.))(((.)))").unwrap();
+        assert_eq!(brute_force_mcos(&s1, &s2), 4);
+    }
+}

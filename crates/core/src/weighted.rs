@@ -1,0 +1,346 @@
+//! Weighted common substructures: the general Bafna-style similarity
+//! model the paper's formulation derives from.
+//!
+//! The paper (§III-B) obtains its counting recurrence by *removing* the
+//! weight functions from Bafna et al.'s RNA similarity formulation. This
+//! module restores them: each matched arc pair `(a, b)` contributes a
+//! caller-defined non-negative weight instead of 1, so the recurrence
+//! computes
+//!
+//! ```text
+//! F[i1,j1,i2,j2] = max(F[i1,j1-1,i2,j2], F[i1,j1,i2,j2-1],
+//!                      w(a,b) + d1 + d2)        when arcs a,b end at j1,j2
+//! ```
+//!
+//! With the uniform weight `w ≡ 1` this is exactly MCOS; with weights
+//! derived from the underlying sequences it scores *similarity between
+//! RNA strings* in Bafna's sense. The two-stage SRNA2 structure (and its
+//! `Θ(nm)` space) carries over unchanged, because the memoized quantity is
+//! still one value per arc pair.
+
+use rna_structure::{ArcStructure, Sequence};
+
+use crate::memo::MemoTable;
+use crate::preprocess::Preprocessed;
+use crate::slice::ArcRange;
+
+/// A weight model: the score contributed by matching arc `k1` of `S₁`
+/// with arc `k2` of `S₂` (indices in right-endpoint order).
+pub trait ArcWeight {
+    /// Weight of the arc pair; must be non-negative (u32) and should be
+    /// bounded so scores cannot overflow (`total <= u32::MAX`).
+    fn weight(&self, k1: u32, k2: u32) -> u32;
+}
+
+/// The uniform weight: every matched pair scores `w`. `Uniform(1)`
+/// reproduces plain MCOS.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform(pub u32);
+
+impl ArcWeight for Uniform {
+    #[inline]
+    fn weight(&self, _: u32, _: u32) -> u32 {
+        self.0
+    }
+}
+
+/// A dense precomputed weight matrix (`A₁ × A₂`, row-major).
+#[derive(Debug, Clone)]
+pub struct WeightMatrix {
+    cols: usize,
+    values: Vec<u32>,
+}
+
+impl WeightMatrix {
+    /// Builds a matrix from a function of the arc index pair.
+    pub fn from_fn(a1: u32, a2: u32, mut f: impl FnMut(u32, u32) -> u32) -> Self {
+        let mut values = Vec::with_capacity(a1 as usize * a2 as usize);
+        for k1 in 0..a1 {
+            for k2 in 0..a2 {
+                values.push(f(k1, k2));
+            }
+        }
+        WeightMatrix {
+            cols: a2 as usize,
+            values,
+        }
+    }
+}
+
+impl ArcWeight for WeightMatrix {
+    #[inline]
+    fn weight(&self, k1: u32, k2: u32) -> u32 {
+        self.values[k1 as usize * self.cols + k2 as usize]
+    }
+}
+
+/// A sequence-aware weight in the spirit of Bafna's base-pair scoring:
+/// a matched arc pair scores `arc_match` plus `base_bonus` for each
+/// endpoint whose bases agree between the two sequences.
+#[derive(Debug, Clone)]
+pub struct SequenceWeight {
+    bases1_left: Vec<u8>,
+    bases1_right: Vec<u8>,
+    bases2_left: Vec<u8>,
+    bases2_right: Vec<u8>,
+    /// Base score for any matched arc pair.
+    pub arc_match: u32,
+    /// Bonus per agreeing endpoint base (0, 1 or 2 apply per pair).
+    pub base_bonus: u32,
+}
+
+impl SequenceWeight {
+    /// Builds the weight model from the structures and their sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sequence length does not match its structure.
+    pub fn new(
+        s1: &ArcStructure,
+        q1: &Sequence,
+        s2: &ArcStructure,
+        q2: &Sequence,
+        arc_match: u32,
+        base_bonus: u32,
+    ) -> Self {
+        assert_eq!(s1.len() as usize, q1.len(), "S1 sequence length mismatch");
+        assert_eq!(s2.len() as usize, q2.len(), "S2 sequence length mismatch");
+        let grab = |s: &ArcStructure, q: &Sequence| -> (Vec<u8>, Vec<u8>) {
+            s.arcs()
+                .iter()
+                .map(|a| {
+                    (
+                        q.base(a.left as usize).to_char() as u8,
+                        q.base(a.right as usize).to_char() as u8,
+                    )
+                })
+                .unzip()
+        };
+        let (bases1_left, bases1_right) = grab(s1, q1);
+        let (bases2_left, bases2_right) = grab(s2, q2);
+        SequenceWeight {
+            bases1_left,
+            bases1_right,
+            bases2_left,
+            bases2_right,
+            arc_match,
+            base_bonus,
+        }
+    }
+}
+
+impl ArcWeight for SequenceWeight {
+    #[inline]
+    fn weight(&self, k1: u32, k2: u32) -> u32 {
+        let mut w = self.arc_match;
+        if self.bases1_left[k1 as usize] == self.bases2_left[k2 as usize] {
+            w += self.base_bonus;
+        }
+        if self.bases1_right[k1 as usize] == self.bases2_right[k2 as usize] {
+            w += self.base_bonus;
+        }
+        w
+    }
+}
+
+/// Result of a weighted run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Maximum total weight over common substructures.
+    pub score: u32,
+    /// The weighted child-slice memo table.
+    pub memo: MemoTable,
+}
+
+/// Weighted slice tabulation on the compressed grid — identical to
+/// [`crate::slice::tabulate_with`] except the match case contributes
+/// `w(a, b)` instead of 1.
+pub fn tabulate_weighted<W: ArcWeight, F>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: ArcRange,
+    range2: ArcRange,
+    weights: &W,
+    grid: &mut Vec<u32>,
+    mut d2: F,
+) -> u32
+where
+    F: FnMut(u32, u32) -> u32,
+{
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    let a = (hi1 - lo1) as usize;
+    let b = (hi2 - lo2) as usize;
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let width = b + 1;
+    grid.clear();
+    grid.resize((a + 1) * width, 0);
+    for p in 0..a {
+        let g1 = lo1 + p as u32;
+        let r1 = (p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+        let row = (p + 1) * width;
+        let prev = p * width;
+        let d1_row = r1 * width;
+        for q in 0..b {
+            let g2 = lo2 + q as u32;
+            let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+            let s = grid[prev + q + 1].max(grid[row + q]);
+            let d1 = grid[d1_row + r2];
+            let d2v = d2(g1, g2);
+            grid[row + q + 1] = s.max(weights.weight(g1, g2) + d1 + d2v);
+        }
+    }
+    grid[(a + 1) * width - 1]
+}
+
+/// Two-stage weighted SRNA2: stage one tabulates every weighted child
+/// slice in increasing endpoint order, stage two the parent slice.
+pub fn run<W: ArcWeight>(s1: &ArcStructure, s2: &ArcStructure, weights: &W) -> Outcome {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    run_preprocessed(&p1, &p2, weights)
+}
+
+/// Weighted SRNA2 with caller-supplied preprocessing.
+pub fn run_preprocessed<W: ArcWeight>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    weights: &W,
+) -> Outcome {
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let mut memo = MemoTable::zeroed(a1, a2);
+    let mut grid = Vec::new();
+    for k1 in 0..a1 {
+        let c1 = p1.under_range[k1 as usize];
+        for k2 in 0..a2 {
+            let c2 = p2.under_range[k2 as usize];
+            let v = tabulate_weighted(p1, p2, c1, c2, weights, &mut grid, |g1, g2| {
+                memo.get(g1, g2)
+            });
+            memo.set(k1, k2, v);
+        }
+    }
+    let score = tabulate_weighted(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        weights,
+        &mut grid,
+        |g1, g2| memo.get(g1, g2),
+    );
+    Outcome { score, memo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mcos_score, srna2};
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn uniform_one_equals_mcos() {
+        for seed in 0..15 {
+            let s1 = generate::random_structure(50, 0.9, seed);
+            let s2 = generate::random_structure(44, 0.8, seed + 50);
+            assert_eq!(
+                run(&s1, &s2, &Uniform(1)).score,
+                mcos_score(&s1, &s2),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_memo_matches_srna2() {
+        let s = generate::worst_case_nested(12);
+        assert_eq!(run(&s, &s, &Uniform(1)).memo, srna2::run(&s, &s).memo);
+    }
+
+    #[test]
+    fn uniform_k_scales_scores_on_worst_case() {
+        // On the fully nested worst case every optimal solution matches
+        // every arc, so Uniform(k) scores exactly k * arcs.
+        let s = generate::worst_case_nested(10);
+        assert_eq!(run(&s, &s, &Uniform(3)).score, 30);
+    }
+
+    #[test]
+    fn weights_can_change_the_optimal_solution() {
+        // One big arc vs. two sequential small ones: with uniform weights
+        // matching the two smalls wins (2 > 1); if the big pair is worth
+        // 5, matching it wins.
+        let s1 = dot_bracket::parse("((.)(.))").unwrap(); // arcs: (1,3),(4,6),(0,7)
+        let s2 = dot_bracket::parse("((.)(.))").unwrap();
+        assert_eq!(run(&s1, &s2, &Uniform(1)).score, 3);
+        let a1 = s1.num_arcs();
+        let heavy_outer = WeightMatrix::from_fn(a1, a1, |k1, k2| {
+            if k1 == 2 && k2 == 2 {
+                100
+            } else if k1 == k2 {
+                1
+            } else {
+                0
+            }
+        });
+        // Outer + both inners are compatible, so everything is taken.
+        assert_eq!(run(&s1, &s2, &heavy_outer).score, 102);
+    }
+
+    #[test]
+    fn zero_weights_give_zero() {
+        let s = generate::worst_case_nested(8);
+        assert_eq!(run(&s, &s, &Uniform(0)).score, 0);
+    }
+
+    #[test]
+    fn self_comparison_at_least_identity_weight() {
+        // The identity mapping is feasible, so the optimum is at least
+        // the sum of diagonal weights.
+        for seed in 0..8 {
+            let s = generate::random_structure(40, 0.9, seed);
+            let a = s.num_arcs();
+            let w = WeightMatrix::from_fn(a, a, |k1, k2| ((k1 * 7 + k2 * 13) % 5) + 1);
+            let diag: u32 = (0..a).map(|k| w.weight(k, k)).sum();
+            let opt = run(&s, &s, &w).score;
+            assert!(opt >= diag, "seed {seed}: opt {opt} < diagonal {diag}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_weights() {
+        // Raising one pair's weight never lowers the optimum.
+        let s1 = generate::random_structure(36, 1.0, 3);
+        let s2 = generate::random_structure(36, 1.0, 4);
+        let base = run(&s1, &s2, &Uniform(2)).score;
+        let a1 = s1.num_arcs();
+        let a2 = s2.num_arcs();
+        let boosted =
+            WeightMatrix::from_fn(a1, a2, |k1, k2| 2 + u32::from(k1 == 0 && k2 == 0) * 10);
+        assert!(run(&s1, &s2, &boosted).score >= base);
+    }
+
+    #[test]
+    fn sequence_weight_scores_base_agreement() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let q1: Sequence = "GAC".parse().unwrap();
+        let q2: Sequence = "GAC".parse().unwrap();
+        let q3: Sequence = "AAU".parse().unwrap();
+        let same = SequenceWeight::new(&s, &q1, &s, &q2, 1, 2);
+        assert_eq!(run(&s, &s, &same).score, 1 + 2 + 2);
+        let diff = SequenceWeight::new(&s, &q1, &s, &q3, 1, 2);
+        assert_eq!(run(&s, &s, &diff).score, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sequence_weight_rejects_mismatched_lengths() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let q: Sequence = "GACC".parse().unwrap();
+        let _ = SequenceWeight::new(&s, &q, &s, &q, 1, 1);
+    }
+}

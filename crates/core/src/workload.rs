@@ -1,0 +1,160 @@
+//! Child-slice work accounting (the paper's Figure 7) and the task
+//! weights consumed by PRNA's static load balancer.
+//!
+//! Stage one's primitive task is one child slice; tabulating the slice
+//! spawned by matching arcs `(a, b)` costs `under(a) × under(b)`
+//! compressed subproblems. Viewed over the parent slice, the work of the
+//! column owned by arc `b` of `S₂` is therefore proportional to
+//! `under(b)` with the same per-row profile for every row — the paper's
+//! observation that "the relative amount of work between the columns is
+//! identical from row to row", which is what makes a *static*
+//! distribution of columns effective.
+
+use crate::preprocess::Preprocessed;
+
+/// Cost model constant: fixed overhead charged per slice in addition to
+/// its cells (loop setup, memoization store). Expressed in cell units.
+pub const SLICE_OVERHEAD_CELLS: u64 = 4;
+
+/// Number of compressed subproblems in the child slice of arc pair
+/// `(k1, k2)`.
+#[inline]
+pub fn child_slice_cells(p1: &Preprocessed, p2: &Preprocessed, k1: u32, k2: u32) -> u64 {
+    p1.under_count(k1) as u64 * p2.under_count(k2) as u64
+}
+
+/// The full work matrix: entry `(k1, k2)` is the number of subproblems in
+/// the child slice spawned by matching arc `k1` of `S₁` with arc `k2` of
+/// `S₂` — the quantity the paper visualizes in Figure 7. Row-major,
+/// `A₁ × A₂`.
+pub fn work_matrix(p1: &Preprocessed, p2: &Preprocessed) -> Vec<u64> {
+    let a1 = p1.num_arcs() as usize;
+    let a2 = p2.num_arcs() as usize;
+    let mut m = Vec::with_capacity(a1 * a2);
+    for k1 in 0..a1 as u32 {
+        let u1 = p1.under_count(k1) as u64;
+        for k2 in 0..a2 as u32 {
+            m.push(u1 * p2.under_count(k2) as u64);
+        }
+    }
+    m
+}
+
+/// Per-column task weights for PRNA's load balancer: column `k2` (an arc
+/// of `S₂`) costs the sum over rows of its child-slice cells plus the
+/// fixed per-slice overhead.
+pub fn column_weights(p1: &Preprocessed, p2: &Preprocessed) -> Vec<u64> {
+    let total_u1: u64 = (0..p1.num_arcs()).map(|k| p1.under_count(k) as u64).sum();
+    let rows = p1.num_arcs() as u64;
+    (0..p2.num_arcs())
+        .map(|k2| total_u1 * p2.under_count(k2) as u64 + rows * SLICE_OVERHEAD_CELLS)
+        .collect()
+}
+
+/// Total stage-one work (cells + per-slice overhead) — the sequential
+/// execution-time proxy used by the parallel-execution simulator.
+pub fn stage_one_work(p1: &Preprocessed, p2: &Preprocessed) -> u64 {
+    column_weights(p1, p2).iter().sum()
+}
+
+/// Stage-two work: the parent slice covers every arc pair once.
+pub fn stage_two_work(p1: &Preprocessed, p2: &Preprocessed) -> u64 {
+    p1.num_arcs() as u64 * p2.num_arcs() as u64 + SLICE_OVERHEAD_CELLS
+}
+
+/// Renders the work matrix in the style of the paper's Figure 7: a grid
+/// with empty cells where no work is spawned (leaf arc pairs) and the
+/// cell count otherwise.
+pub fn render_work_matrix(p1: &Preprocessed, p2: &Preprocessed) -> String {
+    let a1 = p1.num_arcs() as usize;
+    let a2 = p2.num_arcs() as usize;
+    let m = work_matrix(p1, p2);
+    let width = m
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0)
+        .to_string()
+        .len()
+        .max(2);
+    let mut out = String::new();
+    for k1 in 0..a1 {
+        for k2 in 0..a2 {
+            let w = m[k1 * a2 + k2];
+            if w == 0 {
+                out.push_str(&format!("{:>width$} ", ".", width = width));
+            } else {
+                out.push_str(&format!("{w:>width$} "));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::generate;
+
+    fn prep(s: &rna_structure::ArcStructure) -> Preprocessed {
+        Preprocessed::build(s)
+    }
+
+    #[test]
+    fn worst_case_work_matrix() {
+        let s = generate::worst_case_nested(4);
+        let p = prep(&s);
+        let m = work_matrix(&p, &p);
+        // under counts are 0,1,2,3 in index order.
+        let expected: Vec<u64> = (0..4u64)
+            .flat_map(|a| (0..4u64).map(move |b| a * b))
+            .collect();
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn column_weights_sum_matches_matrix_plus_overhead() {
+        let s1 = generate::random_structure(50, 0.9, 1);
+        let s2 = generate::random_structure(40, 0.9, 2);
+        let (p1, p2) = (prep(&s1), prep(&s2));
+        let matrix_total: u64 = work_matrix(&p1, &p2).iter().sum();
+        let cols_total: u64 = column_weights(&p1, &p2).iter().sum();
+        let overhead = p1.num_arcs() as u64 * p2.num_arcs() as u64 * SLICE_OVERHEAD_CELLS;
+        assert_eq!(cols_total, matrix_total + overhead);
+        assert_eq!(stage_one_work(&p1, &p2), cols_total);
+    }
+
+    #[test]
+    fn stage_two_is_one_parent_slice() {
+        let s = generate::worst_case_nested(7);
+        let p = prep(&s);
+        assert_eq!(stage_two_work(&p, &p), 49 + SLICE_OVERHEAD_CELLS);
+    }
+
+    #[test]
+    fn render_marks_empty_cells() {
+        let s = generate::worst_case_nested(3);
+        let p = prep(&s);
+        let text = render_work_matrix(&p, &p);
+        assert!(text.contains('.'), "leaf pairs should render as '.'");
+        assert!(text.contains('4'), "deepest pair spawns 2*2 cells");
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn hairpin_chain_has_uniform_columns() {
+        // Every arc of a depth-2 hairpin chain has under-count 1 or 0;
+        // columns alternate accordingly but each column is constant.
+        let s = generate::hairpin_chain(3, 2, 2);
+        let p = prep(&s);
+        let w = column_weights(&p, &p);
+        assert_eq!(w.len(), 6);
+        // Outer arcs (under=1) all get the same weight; inner (under=0) too.
+        let inner: Vec<u64> = (0..6)
+            .filter(|&k| p.under_count(k) == 0)
+            .map(|k| w[k as usize])
+            .collect();
+        assert!(inner.windows(2).all(|x| x[0] == x[1]));
+    }
+}

@@ -1,0 +1,54 @@
+//! Anchor package for the workspace-level integration tests in `tests/`.
+//!
+//! Cargo requires integration tests to belong to a package; this crate
+//! exists to own them (via `[[test]]` path entries) and to provide shared
+//! helpers for cross-crate scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rna_structure::generate;
+use rna_structure::ArcStructure;
+
+/// A deterministic battery of structures covering the input shapes the
+/// algorithms care about: empty, arcless, hairpins, nests, skew, random.
+pub fn test_structures() -> Vec<(String, ArcStructure)> {
+    let mut v: Vec<(String, ArcStructure)> = vec![
+        ("empty".into(), ArcStructure::unpaired(0)),
+        ("arcless".into(), ArcStructure::unpaired(12)),
+        ("one-arc".into(), generate::worst_case_nested(1)),
+        ("nest-10".into(), generate::worst_case_nested(10)),
+        ("hairpins".into(), generate::hairpin_chain(4, 3, 3)),
+        ("skewed".into(), generate::skewed_groups(4, 1, 2)),
+        (
+            "rrna-ish".into(),
+            generate::rrna_like(
+                &generate::RrnaConfig {
+                    len: 160,
+                    arcs: 30,
+                    mean_stem: 5,
+                    nest_bias: 0.5,
+                },
+                13,
+            ),
+        ),
+    ];
+    for seed in 0..4 {
+        v.push((
+            format!("random-{seed}"),
+            generate::random_structure(48, 0.8, seed),
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn battery_is_diverse() {
+        let b = super::test_structures();
+        assert!(b.len() >= 10);
+        assert!(b.iter().any(|(_, s)| s.num_arcs() == 0));
+        assert!(b.iter().any(|(_, s)| s.max_depth() >= 10));
+    }
+}

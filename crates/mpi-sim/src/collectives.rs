@@ -1,0 +1,453 @@
+//! Collective operations, built from point-to-point messages.
+//!
+//! All ranks must call each collective in the same order with consistent
+//! arguments (the MPI contract). Reductions require an **associative and
+//! commutative** combiner — the binomial tree applies it in a
+//! rank-dependent order.
+
+use crate::comm::{Communicator, Tag, COLLECTIVE_TAG_BASE};
+
+/// Collective op codes embedded in reserved tags.
+#[derive(Clone, Copy)]
+enum Op {
+    Barrier = 0,
+    Bcast = 1,
+    Reduce = 2,
+    Gather = 3,
+    Scatter = 4,
+    AllGather = 5,
+    Ring = 6,
+}
+
+impl<T: Send> Communicator<T> {
+    /// Builds the reserved tag for one round of one collective instance.
+    fn coll_tag(&self, op: Op, round: u32) -> Tag {
+        debug_assert!(round < 4096);
+        COLLECTIVE_TAG_BASE + (self.collective_seq << 16) + ((op as Tag) << 12) + round as Tag
+    }
+
+    fn next_seq(&mut self) {
+        self.collective_seq += 1;
+    }
+
+    /// Blocks until every rank has entered the barrier (dissemination
+    /// algorithm: `⌈log₂ size⌉` rounds of control messages).
+    pub fn barrier(&mut self) {
+        let size = self.size();
+        let rank = self.rank();
+        let mut k = 0u32;
+        let mut step = 1u32;
+        while step < size {
+            let tag = self.coll_tag(Op::Barrier, k);
+            let dst = (rank + step) % size;
+            let src = (rank + size - step % size) % size;
+            self.send_raw(dst, tag, None);
+            let _ = self.recv_raw(src, tag);
+            step <<= 1;
+            k += 1;
+        }
+        self.next_seq();
+    }
+
+    /// Broadcasts `root`'s value to every rank (binomial tree). Every
+    /// rank passes its own `value`; non-root values are ignored and
+    /// replaced by the root's.
+    pub fn broadcast(&mut self, root: u32, value: T) -> T
+    where
+        T: Clone,
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let rel = (rank + size - root) % size;
+        let mut current = value;
+        // Receive phase: rank `rel` receives from `rel - mask` in the
+        // round where `mask <= rel < 2*mask`.
+        let mut mask = 1u32;
+        let mut round = 0u32;
+        while mask < size {
+            if rel >= mask && rel < 2 * mask {
+                let tag = self.coll_tag(Op::Bcast, round);
+                let src = (rel - mask + root) % size;
+                current = self
+                    .recv_raw(src, tag)
+                    .expect("broadcast packets carry payloads");
+            } else if rel < mask {
+                let peer = rel + mask;
+                if peer < size {
+                    let tag = self.coll_tag(Op::Bcast, round);
+                    let dst = (peer + root) % size;
+                    self.send_raw(dst, tag, Some(current.clone()));
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        self.next_seq();
+        current
+    }
+
+    /// Reduces all ranks' values to `root` with `op` (binomial tree);
+    /// returns `Some(result)` at the root and `None` elsewhere. `op` must
+    /// be associative and commutative.
+    pub fn reduce<F>(&mut self, root: u32, value: T, mut op: F) -> Option<T>
+    where
+        F: FnMut(T, T) -> T,
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let rel = (rank + size - root) % size;
+        let mut acc = Some(value);
+        let mut mask = 1u32;
+        let mut round = 0u32;
+        while mask < size {
+            let tag = self.coll_tag(Op::Reduce, round);
+            if rel & mask == 0 {
+                let peer = rel | mask;
+                if peer < size {
+                    let src = (peer + root) % size;
+                    let other = self
+                        .recv_raw(src, tag)
+                        .expect("reduce packets carry payloads");
+                    acc = Some(op(acc.take().expect("acc held until sent"), other));
+                }
+            } else {
+                let dst = ((rel & !mask) + root) % size;
+                self.send_raw(dst, tag, acc.take());
+                // This rank's role in the reduction is finished.
+                break;
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        self.next_seq();
+        if rank == root {
+            acc
+        } else {
+            None
+        }
+    }
+
+    /// Reduce followed by broadcast: every rank receives the full
+    /// reduction. `op` must be associative and commutative.
+    pub fn allreduce<F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone,
+        F: FnMut(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        // Only rank 0 holds the result; the others contribute a
+        // placeholder that broadcast replaces. We ship the reduced value
+        // through an Option-free path by sending rank 0's value.
+        match reduced {
+            Some(v) => self.broadcast(0, v),
+            None => {
+                // Non-root: receive the broadcast. Any placeholder would
+                // do, but we have no T to hand — receive directly.
+                self.broadcast_recv_only(0)
+            }
+        }
+    }
+
+    /// Ring allreduce: the value circulates `size - 1` hops around the
+    /// ring, each rank folding in its neighbour's contribution, so every
+    /// rank ends with the full reduction. `O(P)` rounds of small
+    /// messages versus the tree's `O(log P)` — the classic trade-off
+    /// when per-message latency dominates; both produce identical
+    /// results for associative-commutative `op`.
+    pub fn allreduce_ring<F>(&mut self, value: T, mut op: F) -> T
+    where
+        T: Clone,
+        F: FnMut(T, T) -> T,
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let mut acc = value.clone();
+        let mut forward = value;
+        for round in 0..size.saturating_sub(1) {
+            let tag = self.coll_tag(Op::Ring, round);
+            let dst = (rank + 1) % size;
+            let src = (rank + size - 1) % size;
+            self.send_raw(dst, tag, Some(forward));
+            let incoming = self
+                .recv_raw(src, tag)
+                .expect("ring packets carry payloads");
+            acc = op(acc, incoming.clone());
+            // Pass the neighbour's original contribution onward so every
+            // rank sees every contribution exactly once.
+            forward = incoming;
+        }
+        self.next_seq();
+        acc
+    }
+
+    /// Internal: participate in a broadcast as a guaranteed non-root.
+    fn broadcast_recv_only(&mut self, root: u32) -> T
+    where
+        T: Clone,
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let rel = (rank + size - root) % size;
+        debug_assert_ne!(rel, 0, "root must call broadcast() with its value");
+        let mut current: Option<T> = None;
+        let mut mask = 1u32;
+        let mut round = 0u32;
+        while mask < size {
+            if rel >= mask && rel < 2 * mask {
+                let tag = self.coll_tag(Op::Bcast, round);
+                let src = (rel - mask + root) % size;
+                current = self.recv_raw(src, tag);
+            } else if rel < mask {
+                let peer = rel + mask;
+                if peer < size {
+                    let tag = self.coll_tag(Op::Bcast, round);
+                    let dst = (peer + root) % size;
+                    let v = current.clone().expect("received before forwarding");
+                    self.send_raw(dst, tag, Some(v));
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        self.next_seq();
+        current.expect("every non-root receives exactly once")
+    }
+
+    /// Gathers every rank's value at `root` in rank order; `Some(values)`
+    /// at the root, `None` elsewhere.
+    pub fn gather(&mut self, root: u32, value: T) -> Option<Vec<T>> {
+        let tag = self.coll_tag(Op::Gather, 0);
+        let rank = self.rank();
+        let size = self.size();
+        let result = if rank == root {
+            let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+            out[rank as usize] = Some(value);
+            for src in 0..size {
+                if src != rank {
+                    out[src as usize] = Some(self.recv_raw(src, tag).expect("gather payload"));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("all gathered")).collect())
+        } else {
+            self.send_raw(root, tag, Some(value));
+            None
+        };
+        self.next_seq();
+        result
+    }
+
+    /// Distributes `values[r]` to rank `r` from `root`. Non-roots pass
+    /// `None`; the root must pass exactly `size` values.
+    pub fn scatter(&mut self, root: u32, values: Option<Vec<T>>) -> T {
+        let tag = self.coll_tag(Op::Scatter, 0);
+        let rank = self.rank();
+        let size = self.size();
+        let result = if rank == root {
+            let values = values.expect("root must supply values");
+            assert_eq!(values.len(), size as usize, "one value per rank");
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst as u32 == rank {
+                    mine = Some(v);
+                } else {
+                    self.send_raw(dst as u32, tag, Some(v));
+                }
+            }
+            mine.expect("root keeps its own value")
+        } else {
+            assert!(values.is_none(), "non-roots pass None");
+            self.recv_raw(root, tag).expect("scatter payload")
+        };
+        self.next_seq();
+        result
+    }
+
+    /// Every rank receives every rank's value, in rank order (direct
+    /// exchange).
+    pub fn allgather(&mut self, value: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let tag = self.coll_tag(Op::AllGather, 0);
+        let rank = self.rank();
+        let size = self.size();
+        for dst in 0..size {
+            if dst != rank {
+                self.send_raw(dst, tag, Some(value.clone()));
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        out[rank as usize] = Some(value);
+        for src in 0..size {
+            if src != rank {
+                out[src as usize] = Some(self.recv_raw(src, tag).expect("allgather payload"));
+            }
+        }
+        self.next_seq();
+        out.into_iter().map(|v| v.expect("all present")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for size in [1u32, 2, 3, 4, 5, 7, 8, 16] {
+            run::<u32, _, _>(size, |mut comm| {
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let entered = AtomicU32::new(0);
+        run::<u32, _, _>(6, |mut comm| {
+            entered.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must have entered.
+            assert_eq!(entered.load(Ordering::SeqCst), 6);
+        });
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for size in [1u32, 2, 3, 5, 8] {
+            for root in 0..size {
+                let out = run(size, |mut comm| {
+                    let mine = if comm.rank() == root { 99u32 } else { 0 };
+                    comm.broadcast(root, mine)
+                });
+                assert!(out.iter().all(|&v| v == 99), "size {size}, root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_at_every_root() {
+        for size in [1u32, 2, 3, 6, 9] {
+            for root in [0, size - 1] {
+                let out = run(size, |mut comm| {
+                    comm.reduce(root, comm.rank() + 1, |a, b| a + b)
+                });
+                let expected: u32 = (1..=size).sum();
+                for (r, v) in out.iter().enumerate() {
+                    if r as u32 == root {
+                        assert_eq!(*v, Some(expected), "size {size}");
+                    } else {
+                        assert_eq!(*v, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_vectors() {
+        // The PRNA use case: element-wise max over row replicas.
+        let out = run(5, |mut comm| {
+            let r = comm.rank();
+            // Rank r contributes a vector that is 0 except slot r.
+            let mut v = vec![0u32; 5];
+            v[r as usize] = r + 10;
+            comm.allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| *x.max(y)).collect())
+        });
+        for v in out {
+            assert_eq!(v, vec![10, 11, 12, 13, 14]);
+        }
+    }
+
+    #[test]
+    fn allreduce_on_single_rank() {
+        let out = run(1, |mut comm| comm.allreduce(7u32, |a, b| a + b));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn gather_in_rank_order() {
+        let out = run(4, |mut comm| comm.gather(2, comm.rank() * 11));
+        assert_eq!(out[2], Some(vec![0, 11, 22, 33]));
+        assert_eq!(out[0], None);
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_values() {
+        let out = run(4, |mut comm| {
+            let values = (comm.rank() == 1).then(|| vec![10u32, 11, 12, 13]);
+            comm.scatter(1, values)
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        let out = run(5, |mut comm| comm.allgather(comm.rank() * 2));
+        for v in out {
+            assert_eq!(v, vec![0, 2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn consecutive_mixed_collectives_do_not_interfere() {
+        let out = run(4, |mut comm| {
+            let a = comm.allreduce(comm.rank(), |x, y| x + y); // 6
+            comm.barrier();
+            let b = comm.broadcast(3, if comm.rank() == 3 { a * 2 } else { 0 });
+            let c = comm.allgather(b + comm.rank());
+            (a, b, c)
+        });
+        for (rank, (a, b, c)) in out.into_iter().enumerate() {
+            assert_eq!(a, 6, "rank {rank}");
+            assert_eq!(b, 12);
+            assert_eq!(c, vec![12, 13, 14, 15]);
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_tree_allreduce() {
+        for size in [1u32, 2, 3, 5, 8] {
+            let out = run(size, |mut comm| {
+                let mine = vec![comm.rank() * 3 + 1; 4];
+                let tree = comm.allreduce(mine.clone(), |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x = (*x).max(*y);
+                    }
+                    a
+                });
+                let ring = comm.allreduce_ring(mine, |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x = (*x).max(*y);
+                    }
+                    a
+                });
+                (tree, ring)
+            });
+            for (rank, (tree, ring)) in out.into_iter().enumerate() {
+                assert_eq!(tree, ring, "size {size}, rank {rank}");
+                assert_eq!(tree, vec![(size - 1) * 3 + 1; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_sum_counts_every_contribution_once() {
+        let out = run(6, |mut comm| {
+            comm.allreduce_ring(comm.rank() + 1, |a, b| a + b)
+        });
+        for v in out {
+            assert_eq!(v, 21);
+        }
+    }
+
+    #[test]
+    fn reduce_is_correct_for_noncommutative_safe_op() {
+        // max is idempotent/commutative — the documented contract.
+        let out = run(7, |mut comm| comm.reduce(0, comm.rank(), |a, b| a.max(b)));
+        assert_eq!(out[0], Some(6));
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-rank [`Communicator`]: tagged point-to-point messaging.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+/// Message tag. User code may use any value below `1 << 60`; higher
+/// values are reserved for the collective protocols.
+pub type Tag = u64;
+
+/// How long a blocking receive waits before concluding the program is
+/// deadlocked and panicking with a diagnostic.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Base of the tag space reserved for collectives.
+pub(crate) const COLLECTIVE_TAG_BASE: Tag = 1 << 60;
+
+pub(crate) struct Packet<T> {
+    pub src: u32,
+    pub tag: Tag,
+    /// `None` for pure control packets (barrier).
+    pub payload: Option<T>,
+}
+
+/// One rank's endpoint in the simulated communicator.
+///
+/// Methods taking `&mut self` reflect MPI's single-threaded-per-rank
+/// usage; the communicator owns a pending-message buffer for `(src, tag)`
+/// matching.
+pub struct Communicator<T> {
+    rank: u32,
+    size: u32,
+    senders: Arc<Vec<Sender<Packet<T>>>>,
+    receiver: Receiver<Packet<T>>,
+    pending: Vec<Packet<T>>,
+    /// Sequence number embedded in collective tags so consecutive
+    /// collectives cannot interfere.
+    pub(crate) collective_seq: u64,
+}
+
+impl<T: Send> Communicator<T> {
+    pub(crate) fn new(
+        rank: u32,
+        size: u32,
+        senders: Arc<Vec<Sender<Packet<T>>>>,
+        receiver: Receiver<Packet<T>>,
+    ) -> Self {
+        Communicator {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: Vec::new(),
+            collective_seq: 0,
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Sends `payload` to `dst` with `tag`. Asynchronous (buffered):
+    /// never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or `tag` is in the reserved
+    /// collective range.
+    pub fn send(&self, dst: u32, tag: Tag, payload: T) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
+        self.send_raw(dst, tag, Some(payload));
+    }
+
+    pub(crate) fn send_raw(&self, dst: u32, tag: Tag, payload: Option<T>) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        self.senders[dst as usize]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver thread alive for the duration of run()");
+    }
+
+    /// Receives the next message from `src` with `tag`, blocking until it
+    /// arrives. Messages from other sources/tags arriving in the interim
+    /// are buffered for later receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`RECV_TIMEOUT`] with a deadlock diagnostic.
+    pub fn recv(&mut self, src: u32, tag: Tag) -> T {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
+        self.recv_raw(src, tag)
+            .expect("data packet carries a payload")
+    }
+
+    /// Receives the next message with `tag` from **any** source (the
+    /// `MPI_ANY_SOURCE` pattern), returning the sender's rank alongside
+    /// the payload. Needed by manager/worker protocols where the manager
+    /// cannot know which worker will request next.
+    pub fn recv_any(&mut self, tag: Tag) -> (u32, T) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
+        if let Some(i) = self.pending.iter().position(|p| p.tag == tag) {
+            let p = self.pending.swap_remove(i);
+            return (p.src, p.payload.expect("data packet carries a payload"));
+        }
+        loop {
+            match self.receiver.recv_timeout(RECV_TIMEOUT) {
+                Ok(p) if p.tag == tag => {
+                    return (p.src, p.payload.expect("data packet carries a payload"))
+                }
+                Ok(p) => self.pending.push(p),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} starved waiting for (any src, tag={tag:#x}) after {RECV_TIMEOUT:?}",
+                    self.rank
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: all senders dropped", self.rank)
+                }
+            }
+        }
+    }
+
+    pub(crate) fn recv_raw(&mut self, src: u32, tag: Tag) -> Option<T> {
+        // Check the pending buffer first.
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            return self.pending.swap_remove(i).payload;
+        }
+        loop {
+            match self.receiver.recv_timeout(RECV_TIMEOUT) {
+                Ok(p) if p.src == src && p.tag == tag => return p.payload,
+                Ok(p) => self.pending.push(p),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} starved waiting for (src={src}, tag={tag:#x}) after {RECV_TIMEOUT:?} \
+                     — collective order mismatch or missing send?",
+                    self.rank
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: all senders dropped", self.rank)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! An in-process message-passing substrate with MPI-style semantics.
+//!
+//! The paper implements PRNA on top of MPI: every rank keeps a replica of
+//! the memoization table `M` and synchronizes one row at a time with
+//! `MPI_Allreduce(..., MPI_MAX)`. This crate reproduces that programming
+//! model — SPMD ranks, tagged point-to-point messages, and collectives
+//! built from them — inside a single process, with ranks running as
+//! scoped threads.
+//!
+//! # Model
+//!
+//! * [`run`] launches `size` ranks, each receiving its own
+//!   [`Communicator`]; the closure's return values are collected in rank
+//!   order.
+//! * Point-to-point: [`Communicator::send`] / [`Communicator::recv`] with
+//!   `(source, tag)` matching; out-of-order arrivals are buffered, so a
+//!   rank can run multiple protocols concurrently on distinct tags.
+//! * Collectives: [`Communicator::barrier`] (dissemination),
+//!   [`Communicator::broadcast`] (binomial tree),
+//!   [`Communicator::reduce`] / [`Communicator::allreduce`]
+//!   (binomial-tree reduce, then broadcast), [`Communicator::gather`],
+//!   [`Communicator::allgather`] and [`Communicator::scatter`]. All ranks
+//!   must invoke collectives in the same order (the usual MPI contract);
+//!   an internal per-communicator sequence number keeps consecutive
+//!   collectives from interfering.
+//!
+//! Receives carry a generous timeout (default 60 s) so protocol bugs
+//! surface as a panic naming the starved rank rather than a silent hang.
+//!
+//! # Example
+//!
+//! ```
+//! use mpi_sim::run;
+//!
+//! // Element-wise max allreduce across 4 ranks.
+//! let results = run(4, |mut comm| {
+//!     let mine = vec![comm.rank(); 3];
+//!     comm.allreduce(mine, |a, b| a.iter().zip(&b).map(|(x, y)| *x.max(y)).collect())
+//! });
+//! assert!(results.iter().all(|r| r == &vec![3, 3, 3]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collectives;
+mod comm;
+
+pub use comm::{Communicator, Tag, RECV_TIMEOUT};
+
+use crossbeam::channel;
+
+/// Launches `size` ranks running `f` and returns their results in rank
+/// order. Panics in any rank propagate after all threads join.
+pub fn run<T, R, F>(size: u32, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send,
+    F: Fn(Communicator<T>) -> R + Sync,
+{
+    assert!(size > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(size as usize);
+    let mut receivers = Vec::with_capacity(size as usize);
+    for _ in 0..size {
+        let (s, r) = channel::unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let senders = std::sync::Arc::new(senders);
+
+    let comms: Vec<Communicator<T>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Communicator::new(rank as u32, size, senders.clone(), receiver))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run::<u32, _, _>(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42u32
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run::<u32, _, _>(6, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = run::<u32, _, _>(0, |_| ());
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1u32, 2, 3]);
+                comm.recv(1, 8)
+            } else {
+                let v = comm.recv(0, 7);
+                let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+                comm.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2, 4, 6]);
+        assert_eq!(out[1], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // Rank 0 sends two messages with different tags; rank 1 receives
+        // them in the opposite order.
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 100, vec![100u32]);
+                comm.send(1, 200, vec![200u32]);
+                vec![]
+            } else {
+                let second = comm.recv(0, 200);
+                let first = comm.recv(0, 100);
+                vec![second[0], first[0]]
+            }
+        });
+        assert_eq!(out[1], vec![200, 100]);
+    }
+
+    #[test]
+    fn source_matching_buffers_other_sources() {
+        let out = run(3, |mut comm| {
+            match comm.rank() {
+                0 => {
+                    comm.send(2, 1, vec![0u32]);
+                    0
+                }
+                1 => {
+                    comm.send(2, 1, vec![11u32]);
+                    0
+                }
+                _ => {
+                    // Receive specifically from rank 1 first.
+                    let a = comm.recv(1, 1);
+                    let b = comm.recv(0, 1);
+                    a[0] * 1000 + b[0]
+                }
+            }
+        });
+        assert_eq!(out[2], 11000);
+    }
+
+    #[test]
+    fn recv_any_returns_source() {
+        // A manager receives from whichever worker asks first, twice.
+        let out = run::<Vec<u32>, _, _>(3, |mut comm| {
+            if comm.rank() == 0 {
+                let (s1, v1) = comm.recv_any(9);
+                let (s2, v2) = comm.recv_any(9);
+                let mut got = vec![(s1, v1[0]), (s2, v2[0])];
+                got.sort_unstable();
+                assert_eq!(got, vec![(1, 100), (2, 200)]);
+                0
+            } else {
+                comm.send(0, 9, vec![comm.rank() * 100]);
+                comm.rank()
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_any_respects_tag_and_buffers_rest() {
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![5u32]);
+                comm.send(1, 6, vec![6u32]);
+                0
+            } else {
+                // Ask for tag 6 first; tag 5 must be buffered, not lost.
+                let (_, six) = comm.recv_any(6);
+                let (_, five) = comm.recv_any(5);
+                six[0] * 10 + five[0]
+            }
+        });
+        assert_eq!(out[1], 65);
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        // Every rank sends its rank to every other rank and sums receipts.
+        let n = 8u32;
+        let out = run(n, |mut comm| {
+            for dst in 0..n {
+                if dst != comm.rank() {
+                    comm.send(dst, 5, vec![comm.rank()]);
+                }
+            }
+            let mut sum = 0;
+            for src in 0..n {
+                if src != comm.rank() {
+                    sum += comm.recv(src, 5)[0];
+                }
+            }
+            sum
+        });
+        for (rank, s) in out.iter().enumerate() {
+            assert_eq!(*s, (0..n).sum::<u32>() - rank as u32);
+        }
+    }
+}

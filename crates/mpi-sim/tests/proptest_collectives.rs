@@ -1,0 +1,86 @@
+//! Property tests for the mpi-sim collectives: for arbitrary world
+//! sizes, roots and payloads, the collectives must compute exactly what
+//! their sequential definitions say.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_allreduce_max_vectors(size in 1u32..9, len in 0usize..32, seed in 0u64..10_000) {
+        // Deterministic per-rank vectors derived from (seed, rank, slot).
+        let expected: Vec<u32> = (0..len)
+            .map(|i| (0..size).map(|r| value(seed, r, i)).max().unwrap())
+            .collect();
+        let out = mpi_sim::run(size, |mut comm| {
+            let mine: Vec<u32> = (0..len).map(|i| value(seed, comm.rank(), i)).collect();
+            comm.allreduce(mine, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x = (*x).max(*y);
+                }
+                a
+            })
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expected);
+        }
+    }
+
+    #[test]
+    fn prop_reduce_sum(size in 1u32..9, root_pick in 0u32..8, seed in 0u64..10_000) {
+        let root = root_pick % size;
+        let expected: u64 = (0..size).map(|r| value(seed, r, 0) as u64).sum();
+        let out = mpi_sim::run(size, |mut comm| {
+            comm.reduce(root, value(seed, comm.rank(), 0) as u64, |a, b| a + b)
+        });
+        for (rank, v) in out.into_iter().enumerate() {
+            if rank as u32 == root {
+                prop_assert_eq!(v, Some(expected));
+            } else {
+                prop_assert_eq!(v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_broadcast_from_any_root(size in 1u32..9, root_pick in 0u32..8, payload in any::<u32>()) {
+        let root = root_pick % size;
+        let out = mpi_sim::run(size, |mut comm| {
+            let mine = if comm.rank() == root { payload } else { 0 };
+            comm.broadcast(root, mine)
+        });
+        prop_assert!(out.into_iter().all(|v| v == payload));
+    }
+
+    #[test]
+    fn prop_gather_scatter_inverse(size in 1u32..8, seed in 0u64..10_000) {
+        // scatter then gather returns the original vector at the root.
+        let values: Vec<u32> = (0..size).map(|r| value(seed, r, 7)).collect();
+        let out = mpi_sim::run(size, |mut comm| {
+            let v = comm.scatter(0, (comm.rank() == 0).then(|| values.clone()));
+            comm.gather(0, v)
+        });
+        prop_assert_eq!(out[0].as_ref(), Some(&values));
+    }
+
+    #[test]
+    fn prop_allgather_order(size in 1u32..9, seed in 0u64..10_000) {
+        let expected: Vec<u32> = (0..size).map(|r| value(seed, r, 3)).collect();
+        let out = mpi_sim::run(size, |mut comm| comm.allgather(value(seed, comm.rank(), 3)));
+        for v in out {
+            prop_assert_eq!(&v, &expected);
+        }
+    }
+}
+
+/// Deterministic pseudo-random value per (seed, rank, slot).
+fn value(seed: u64, rank: u32, slot: usize) -> u32 {
+    let mut x = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(rank as u64)
+        .wrapping_mul(0xBF58476D1CE4E5B9)
+        .wrapping_add(slot as u64);
+    x ^= x >> 31;
+    (x & 0xFFFF) as u32
+}

@@ -1,0 +1,325 @@
+//! PRNA: the parallel algorithm for finding common RNA secondary
+//! structures (§V of the paper), over three interchangeable backends.
+//!
+//! PRNA parallelizes **stage one** of SRNA2 — the tabulation of child
+//! slices, which accounts for over 99% of sequential execution
+//! (Table III). Child slices are primitive tasks; the columns of the
+//! parent slice (the arcs of `S₂`) are distributed across processors with
+//! a static load balancer (Graham's greedy algorithm over the per-column
+//! work determined in preprocessing), and the memoization table `M` is
+//! synchronized after every row (arc of `S₁`). Stage two (the parent
+//! slice) is sequential, exactly as in the paper.
+//!
+//! The correctness argument mirrors the sequential one: a child slice in
+//! row `r` only reads `M` entries of strictly nested arc pairs, whose
+//! `S₁` arcs have strictly smaller right endpoints — i.e. earlier rows,
+//! already synchronized. No slice ever depends on its own row.
+//!
+//! # Backends
+//!
+//! * [`Backend::MpiSim`] — faithful to the paper's MPI implementation:
+//!   every rank owns a full replica of `M`, tabulates its columns, and
+//!   the row is merged with `Allreduce(MAX)` (over the `mpi-sim`
+//!   substrate).
+//! * [`Backend::WorkerPool`] — persistent worker threads share one `M`
+//!   behind a readers-writer lock; workers compute their owned columns of
+//!   a row against a read-locked `M`, the coordinator merges results and
+//!   releases the next row. Static ownership, shared memory.
+//! * [`Backend::Rayon`] — each row's columns are scheduled dynamically by
+//!   a rayon pool (`par_iter` over columns); the implicit join at the end
+//!   of each row is the row barrier. This is the "dynamic scheduling"
+//!   ablation contrast to the paper's static distribution.
+//!
+//! All backends produce bit-identical memo tables and scores to SRNA2;
+//! the test suite asserts this.
+//!
+//! Two related-work schemes are implemented for comparison (the paper
+//! discusses both in §II):
+//!
+//! * [`manager_worker`] — a dedicated manager rank hands out columns on
+//!   request (Snow et al., HiCOMB 2009);
+//! * [`topdown_shared`] — shared-memoization randomized top-down
+//!   (Stivala et al., JPDC 2010), whose duplicated-work metric
+//!   quantifies why the paper rejects that approach for this problem.
+//!
+//! ```
+//! use mcos_parallel::{prna, PrnaConfig, Backend};
+//! use load_balance::Policy;
+//! use rna_structure::generate;
+//!
+//! let s = generate::worst_case_nested(12);
+//! let out = prna(&s, &s, &PrnaConfig {
+//!     processors: 3,
+//!     policy: Policy::Greedy,
+//!     backend: Backend::MpiSim,
+//! });
+//! assert_eq!(out.score, 12); // self-comparison matches every arc
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager_worker;
+mod mpi_backend;
+pub mod pairwise;
+mod pool;
+mod rayon_backend;
+pub mod topdown_shared;
+
+pub use manager_worker::prna_manager_worker;
+pub use topdown_shared::{parallel_top_down, TopDownOutcome};
+
+use std::time::{Duration, Instant};
+
+use load_balance::Policy;
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice, workload};
+use rna_structure::ArcStructure;
+
+/// Which execution engine runs stage one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Message-passing ranks with replicated `M` and per-row
+    /// `Allreduce(MAX)` (the paper's design).
+    MpiSim,
+    /// Persistent shared-memory worker pool with static column ownership.
+    WorkerPool,
+    /// Rayon pool with per-row dynamic scheduling.
+    Rayon,
+}
+
+impl Backend {
+    /// All backends, for sweeps.
+    pub const ALL: [Backend; 3] = [Backend::MpiSim, Backend::WorkerPool, Backend::Rayon];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::MpiSim => "mpi-sim",
+            Backend::WorkerPool => "worker-pool",
+            Backend::Rayon => "rayon",
+        }
+    }
+}
+
+/// PRNA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PrnaConfig {
+    /// Number of processors (ranks / worker threads).
+    pub processors: u32,
+    /// Static column-distribution policy (ignored by [`Backend::Rayon`]).
+    pub policy: Policy,
+    /// Execution engine.
+    pub backend: Backend,
+}
+
+impl Default for PrnaConfig {
+    fn default() -> Self {
+        PrnaConfig {
+            processors: 2,
+            policy: Policy::Greedy,
+            backend: Backend::WorkerPool,
+        }
+    }
+}
+
+/// Result of a PRNA run.
+#[derive(Debug, Clone)]
+pub struct PrnaOutcome {
+    /// The MCOS score.
+    pub score: u32,
+    /// The fully synchronized child-slice memo table.
+    pub memo: MemoTable,
+    /// Wall-clock duration of the preprocessing phase.
+    pub preprocessing: Duration,
+    /// Wall-clock duration of (parallel) stage one.
+    pub stage_one: Duration,
+    /// Wall-clock duration of (sequential) stage two.
+    pub stage_two: Duration,
+}
+
+impl PrnaOutcome {
+    /// Total wall-clock time across phases.
+    pub fn total(&self) -> Duration {
+        self.preprocessing + self.stage_one + self.stage_two
+    }
+}
+
+/// Runs PRNA on two structures.
+pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOutcome {
+    assert!(config.processors > 0, "need at least one processor");
+    let t0 = Instant::now();
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    // Column ownership from the preprocessing-stage work estimates.
+    let weights = workload::column_weights(&p1, &p2);
+    let assignment = config.policy.assign(&weights, config.processors);
+    let preprocessing = t0.elapsed();
+
+    let t1 = Instant::now();
+    let memo = match config.backend {
+        Backend::MpiSim => mpi_backend::stage_one(&p1, &p2, &assignment),
+        Backend::WorkerPool => pool::stage_one(&p1, &p2, &assignment),
+        Backend::Rayon => rayon_backend::stage_one(&p1, &p2, config.processors),
+    };
+    let stage_one = t1.elapsed();
+
+    let t2 = Instant::now();
+    let score = stage_two(&p1, &p2, &memo);
+    let stage_two_d = t2.elapsed();
+
+    PrnaOutcome {
+        score,
+        memo,
+        preprocessing,
+        stage_one,
+        stage_two: stage_two_d,
+    }
+}
+
+/// Stage two: sequential tabulation of the parent slice against a
+/// complete memo table (shared by all backends).
+pub(crate) fn stage_two(p1: &Preprocessed, p2: &Preprocessed, memo: &MemoTable) -> u32 {
+    let mut grid = Vec::new();
+    slice::tabulate_with(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut grid,
+        |g1, g2| memo.get(g1, g2),
+    )
+}
+
+/// Tabulates the child slice of arc pair `(k1, k2)` against `memo`
+/// (shared by all backends).
+#[inline]
+pub(crate) fn tabulate_child(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    k2: u32,
+    memo: &MemoTable,
+    grid: &mut Vec<u32>,
+) -> u32 {
+    slice::tabulate_with(
+        p1,
+        p2,
+        p1.under_range[k1 as usize],
+        p2.under_range[k2 as usize],
+        grid,
+        |g1, g2| memo.get(g1, g2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::generate;
+
+    fn all_configs(p: u32) -> Vec<PrnaConfig> {
+        Backend::ALL
+            .into_iter()
+            .map(|backend| PrnaConfig {
+                processors: p,
+                policy: Policy::Greedy,
+                backend,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_matches_srna2_scores_and_memo() {
+        for seed in 0..6 {
+            let s1 = generate::random_structure(70, 0.9, seed);
+            let s2 = generate::random_structure(60, 0.8, seed + 42);
+            let reference = srna2::run(&s1, &s2);
+            for p in [1u32, 2, 3, 5] {
+                for config in all_configs(p) {
+                    let out = prna(&s1, &s2, &config);
+                    assert_eq!(
+                        out.score,
+                        reference.score,
+                        "seed {seed}, p {p}, backend {}",
+                        config.backend.name()
+                    );
+                    assert_eq!(
+                        out.memo,
+                        reference.memo,
+                        "memo mismatch: seed {seed}, p {p}, backend {}",
+                        config.backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_parallel() {
+        let s = generate::worst_case_nested(30);
+        for config in all_configs(4) {
+            let out = prna(&s, &s, &config);
+            assert_eq!(out.score, 30, "backend {}", config.backend.name());
+        }
+    }
+
+    #[test]
+    fn empty_structures() {
+        let e = ArcStructure::unpaired(5);
+        let s = generate::worst_case_nested(3);
+        for config in all_configs(2) {
+            assert_eq!(prna(&e, &s, &config).score, 0);
+            assert_eq!(prna(&s, &e, &config).score, 0);
+            assert_eq!(prna(&e, &e, &config).score, 0);
+        }
+    }
+
+    #[test]
+    fn more_processors_than_columns() {
+        let s = generate::worst_case_nested(4); // 4 columns
+        for config in all_configs(16) {
+            let out = prna(&s, &s, &config);
+            assert_eq!(out.score, 4, "backend {}", config.backend.name());
+        }
+    }
+
+    #[test]
+    fn all_policies_agree() {
+        let s1 = generate::rrna_like(
+            &generate::RrnaConfig {
+                len: 300,
+                arcs: 60,
+                mean_stem: 6,
+                nest_bias: 0.5,
+            },
+            9,
+        );
+        let reference = srna2::run(&s1, &s1).score;
+        for policy in Policy::ALL {
+            let config = PrnaConfig {
+                processors: 3,
+                policy,
+                backend: Backend::MpiSim,
+            };
+            assert_eq!(
+                prna(&s1, &s1, &config).score,
+                reference,
+                "{}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let s = generate::worst_case_nested(2);
+        let config = PrnaConfig {
+            processors: 0,
+            ..PrnaConfig::default()
+        };
+        let _ = prna(&s, &s, &config);
+    }
+
+    use rna_structure::ArcStructure;
+}

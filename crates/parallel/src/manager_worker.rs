@@ -1,0 +1,175 @@
+//! Manager–worker PRNA: the dynamic load-balancing scheme of the related
+//! work the paper contrasts with (Snow, Aubanel & Evans, HiCOMB 2009 —
+//! reference \[7\]), recreated on the row-synchronized slice schedule.
+//!
+//! Rank 0 is a dedicated manager holding the column queue of the current
+//! row (heaviest first); workers request one column at a time and
+//! tabulate its child slice, so per-row imbalance is absorbed
+//! dynamically at the price of one request/assign round trip per task
+//! and a rank that does no tabulation. After each row the memo table is
+//! merged with the same `Allreduce(MAX)` as static PRNA.
+
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed, workload};
+use mpi_sim::Communicator;
+
+use crate::tabulate_child;
+
+/// Tag for worker→manager work requests (payload: empty vec).
+const TAG_REQUEST: u64 = 0x10;
+/// Tag for manager→worker assignments (payload: `[k2]`, or empty = row
+/// finished).
+const TAG_ASSIGN: u64 = 0x11;
+
+/// Runs stage one with `ranks` ranks (1 manager + `ranks - 1` workers).
+///
+/// # Panics
+///
+/// Panics if `ranks < 2` (a dedicated manager needs at least one worker).
+pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> MemoTable {
+    assert!(ranks >= 2, "manager-worker needs at least 2 ranks");
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    // Column order: heaviest first (LPT-like), fixed for every row since
+    // the relative weights are row-independent.
+    let weights = workload::column_weights(p1, p2);
+    let mut order: Vec<u32> = (0..a2).collect();
+    order.sort_by_key(|&k2| std::cmp::Reverse(weights[k2 as usize]));
+
+    let mut tables = mpi_sim::run(ranks, |mut comm: Communicator<Vec<u32>>| {
+        let rank = comm.rank();
+        let mut memo = MemoTable::zeroed(a1, a2);
+        let mut grid = Vec::new();
+
+        for k1 in 0..a1 {
+            if rank == 0 {
+                manage_row(&mut comm, &order, ranks - 1);
+            } else {
+                work_row(&mut comm, p1, p2, k1, &mut memo, &mut grid);
+            }
+            // Row synchronization, manager included (contributes zeros).
+            let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x = (*x).max(*y);
+                }
+                a
+            });
+            memo.row_mut(k1).copy_from_slice(&merged);
+        }
+        memo
+    });
+    // Every rank holds the merged table; return the manager's copy.
+    tables.swap_remove(0)
+}
+
+/// Manager side of one row: hand out columns on request, then send one
+/// empty "row done" reply to each worker.
+fn manage_row(comm: &mut Communicator<Vec<u32>>, order: &[u32], workers: u32) {
+    let mut next = 0usize;
+    let mut done = 0u32;
+    while done < workers {
+        let (src, _) = comm.recv_any(TAG_REQUEST);
+        if next < order.len() {
+            comm.send(src, TAG_ASSIGN, vec![order[next]]);
+            next += 1;
+        } else {
+            comm.send(src, TAG_ASSIGN, vec![]);
+            done += 1;
+        }
+    }
+}
+
+/// Worker side of one row: request columns until the manager says the
+/// row is finished.
+fn work_row(
+    comm: &mut Communicator<Vec<u32>>,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    memo: &mut MemoTable,
+    grid: &mut Vec<u32>,
+) {
+    loop {
+        comm.send(0, TAG_REQUEST, vec![]);
+        let assignment = comm.recv(0, TAG_ASSIGN);
+        match assignment.first() {
+            Some(&k2) => {
+                let v = tabulate_child(p1, p2, k1, k2, memo, grid);
+                memo.set(k1, k2, v);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Public entry point mirroring [`crate::prna`] for the manager-worker
+/// scheme: preprocessing, dynamic stage one, sequential stage two.
+pub fn prna_manager_worker(
+    s1: &rna_structure::ArcStructure,
+    s2: &rna_structure::ArcStructure,
+    ranks: u32,
+) -> crate::PrnaOutcome {
+    use std::time::Instant;
+    let t0 = Instant::now();
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let preprocessing = t0.elapsed();
+
+    let t1 = Instant::now();
+    let memo = stage_one(&p1, &p2, ranks);
+    let stage_one_d = t1.elapsed();
+
+    let t2 = Instant::now();
+    let score = crate::stage_two(&p1, &p2, &memo);
+    let stage_two_d = t2.elapsed();
+
+    crate::PrnaOutcome {
+        score,
+        memo,
+        preprocessing,
+        stage_one: stage_one_d,
+        stage_two: stage_two_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::generate;
+
+    #[test]
+    fn manager_worker_matches_sequential() {
+        for seed in 0..4 {
+            let s1 = generate::random_structure(56, 1.0, seed);
+            let s2 = generate::random_structure(48, 0.8, seed + 60);
+            let reference = srna2::run(&s1, &s2);
+            for ranks in [2u32, 3, 5] {
+                let out = prna_manager_worker(&s1, &s2, ranks);
+                assert_eq!(out.score, reference.score, "seed {seed} ranks {ranks}");
+                assert_eq!(out.memo, reference.memo, "seed {seed} ranks {ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn manager_worker_on_worst_case() {
+        let s = generate::worst_case_nested(25);
+        let out = prna_manager_worker(&s, &s, 4);
+        assert_eq!(out.score, 25);
+    }
+
+    #[test]
+    fn manager_worker_empty_structures() {
+        let e = rna_structure::ArcStructure::unpaired(4);
+        let out = prna_manager_worker(&e, &e, 2);
+        assert_eq!(out.score, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn manager_worker_rejects_single_rank() {
+        let s = generate::worst_case_nested(3);
+        let p = Preprocessed::build(&s);
+        let _ = stage_one(&p, &p, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! All-pairs MCOS comparison of a structure collection.
+//!
+//! The downstream use case the paper's introduction motivates: given a
+//! family of RNA secondary structures, quantify how much architecture
+//! every pair shares. Scores are normalized into a similarity in
+//! `[0, 1]` (matched arcs over the smaller arc count), and the pair jobs
+//! are distributed over a rayon pool — the comparisons are independent,
+//! so this is embarrassingly parallel (in contrast to the *intra*-
+//! comparison parallelism of PRNA).
+
+use mcos_core::{preprocess::Preprocessed, srna2};
+use rayon::prelude::*;
+use rna_structure::ArcStructure;
+
+/// A symmetric matrix of pairwise results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreMatrix {
+    n: usize,
+    /// Row-major `n × n` matched-arc counts.
+    scores: Vec<u32>,
+    /// Arc count of each input structure.
+    arcs: Vec<u32>,
+}
+
+impl ScoreMatrix {
+    /// Number of structures compared.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for an empty collection.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Matched-arc count between structures `i` and `j`.
+    pub fn score(&self, i: usize, j: usize) -> u32 {
+        self.scores[i * self.n + j]
+    }
+
+    /// Similarity in `[0, 1]`: matched arcs over the smaller arc count
+    /// (1.0 when either structure is arcless — nothing to miss).
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        let denom = self.arcs[i].min(self.arcs[j]);
+        if denom == 0 {
+            1.0
+        } else {
+            self.score(i, j) as f64 / denom as f64
+        }
+    }
+
+    /// The most similar pair `(i, j, similarity)` with `i < j`, if any.
+    pub fn most_similar_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                let s = self.similarity(i, j);
+                if best.is_none() || s > best.unwrap().2 {
+                    best = Some((i, j, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Greedy single-linkage grouping: pairs with similarity at or above
+    /// `threshold` fall into the same cluster. Returns per-structure
+    /// cluster ids, numbered in first-appearance order.
+    pub fn cluster(&self, threshold: f64) -> Vec<usize> {
+        // Union-find over the n structures.
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if self.similarity(i, j) >= threshold {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        // Renumber roots in first-appearance order.
+        let mut ids = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut out = Vec::with_capacity(self.n);
+        for x in 0..self.n {
+            let root = find(&mut parent, x);
+            if ids[root] == usize::MAX {
+                ids[root] = next;
+                next += 1;
+            }
+            out.push(ids[root]);
+        }
+        out
+    }
+}
+
+/// Compares every pair of structures on a rayon pool of `threads`
+/// threads and returns the symmetric score matrix. Self-comparisons are
+/// filled analytically (`score(i, i) = arcs(i)`).
+pub fn score_matrix(structures: &[ArcStructure], threads: u32) -> ScoreMatrix {
+    let n = structures.len();
+    let preprocessed: Vec<Preprocessed> = structures.iter().map(Preprocessed::build).collect();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads as usize)
+        .build()
+        .expect("rayon pool construction");
+    let results: Vec<((usize, usize), u32)> = pool.install(|| {
+        pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let score = srna2::run_preprocessed(&preprocessed[i], &preprocessed[j]).score;
+                ((i, j), score)
+            })
+            .collect()
+    });
+    let mut scores = vec![0u32; n * n];
+    for (i, s) in structures.iter().enumerate() {
+        scores[i * n + i] = s.num_arcs();
+    }
+    for ((i, j), score) in results {
+        scores[i * n + j] = score;
+        scores[j * n + i] = score;
+    }
+    ScoreMatrix {
+        n,
+        scores,
+        arcs: structures.iter().map(|s| s.num_arcs()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::generate;
+    use rna_structure::mutate::{mutate, MutationConfig};
+
+    #[test]
+    fn diagonal_is_arc_count_and_matrix_is_symmetric() {
+        let structures: Vec<ArcStructure> = (0..5)
+            .map(|seed| generate::random_structure(50, 0.9, seed))
+            .collect();
+        let m = score_matrix(&structures, 2);
+        for (i, s) in structures.iter().enumerate() {
+            assert_eq!(m.score(i, i), s.num_arcs());
+            assert!((m.similarity(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                assert_eq!(m.score(i, j), m.score(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_are_more_similar_to_their_template_than_to_strangers() {
+        let template = generate::rrna_like(
+            &generate::RrnaConfig {
+                len: 200,
+                arcs: 40,
+                mean_stem: 6,
+                nest_bias: 0.5,
+            },
+            7,
+        );
+        let mutant = mutate(&template, &MutationConfig::default(), 1);
+        let stranger = generate::random_structure(200, 0.4, 999);
+        let m = score_matrix(&[template, mutant, stranger], 1);
+        assert!(
+            m.similarity(0, 1) > m.similarity(0, 2),
+            "template-mutant {:.2} vs template-stranger {:.2}",
+            m.similarity(0, 1),
+            m.similarity(0, 2)
+        );
+    }
+
+    #[test]
+    fn clustering_separates_two_families() {
+        let fam_a = generate::worst_case_nested(20);
+        let fam_b = generate::hairpin_chain(10, 2, 4);
+        let structures = vec![
+            fam_a.clone(),
+            mutate(&fam_a, &MutationConfig::default(), 1),
+            mutate(&fam_a, &MutationConfig::default(), 2),
+            fam_b.clone(),
+            mutate(&fam_b, &MutationConfig::default(), 3),
+        ];
+        let m = score_matrix(&structures, 2);
+        let clusters = m.cluster(0.6);
+        assert_eq!(clusters[0], clusters[1]);
+        assert_eq!(clusters[0], clusters[2]);
+        assert_eq!(clusters[3], clusters[4]);
+        assert_ne!(clusters[0], clusters[3]);
+    }
+
+    #[test]
+    fn empty_and_single_collections() {
+        let m = score_matrix(&[], 1);
+        assert!(m.is_empty());
+        assert_eq!(m.most_similar_pair(), None);
+        let one = score_matrix(&[generate::worst_case_nested(3)], 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.most_similar_pair(), None);
+    }
+
+    #[test]
+    fn most_similar_pair_finds_the_clones() {
+        let a = generate::worst_case_nested(12);
+        let b = generate::hairpin_chain(6, 2, 3);
+        let structures = vec![b.clone(), a.clone(), a.clone()];
+        let m = score_matrix(&structures, 1);
+        let (i, j, s) = m.most_similar_pair().unwrap();
+        assert_eq!((i, j), (1, 2));
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arcless_structures_have_similarity_one() {
+        let u = ArcStructure::unpaired(10);
+        let a = generate::worst_case_nested(4);
+        let m = score_matrix(&[u, a], 1);
+        assert_eq!(m.score(0, 1), 0);
+        assert!((m.similarity(0, 1) - 1.0).abs() < 1e-12);
+    }
+}

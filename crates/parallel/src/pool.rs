@@ -1,0 +1,130 @@
+//! The shared-memory worker-pool PRNA backend.
+//!
+//! One memo table lives behind a readers-writer lock. Persistent workers
+//! (one per processor) are driven row by row over crossbeam channels:
+//! each worker read-locks `M`, tabulates the child slices of its owned
+//! columns, and ships `(column, value)` results back; the coordinator
+//! write-locks `M`, installs the row, and releases the next one. The
+//! write lock is the shared-memory analogue of the paper's per-row
+//! `Allreduce` — same schedule, no replication.
+
+use crossbeam::channel::{bounded, Sender};
+use load_balance::Assignment;
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use parking_lot::RwLock;
+
+use crate::tabulate_child;
+
+/// Runs stage one on a pool of `assignment.processors()` worker threads.
+pub(crate) fn stage_one(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+) -> MemoTable {
+    let workers = assignment.processors();
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let memo = RwLock::new(MemoTable::zeroed(a1, a2));
+
+    std::thread::scope(|scope| {
+        // Per-worker command channels and one shared result channel.
+        let (result_tx, result_rx) = bounded::<(u32, u32, u32)>(a2 as usize + 1);
+        let mut row_txs: Vec<Sender<u32>> = Vec::with_capacity(workers as usize);
+        for w in 0..workers {
+            let (tx, rx) = bounded::<u32>(1);
+            row_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let my_columns: Vec<u32> = (0..a2)
+                .filter(|&k2| assignment.owner[k2 as usize] == w)
+                .collect();
+            let memo = &memo;
+            scope.spawn(move || {
+                let mut grid = Vec::new();
+                // Each received row index is a go signal; channel close
+                // ends the worker.
+                while let Ok(k1) = rx.recv() {
+                    let guard = memo.read();
+                    for &k2 in &my_columns {
+                        let v = tabulate_child(p1, p2, k1, k2, &guard, &mut grid);
+                        result_tx.send((k1, k2, v)).expect("coordinator alive");
+                    }
+                    drop(guard);
+                    // Per-row completion marker (column sentinel).
+                    result_tx
+                        .send((k1, u32::MAX, w))
+                        .expect("coordinator alive");
+                }
+            });
+        }
+        drop(result_tx);
+
+        for k1 in 0..a1 {
+            for tx in &row_txs {
+                tx.send(k1).expect("worker alive");
+            }
+            // Collect until every worker has posted its completion marker.
+            let mut done = 0u32;
+            let mut staged: Vec<(u32, u32)> = Vec::new();
+            while done < workers {
+                let (row, k2, v) = result_rx.recv().expect("workers alive");
+                debug_assert_eq!(row, k1, "workers run in row lockstep");
+                if k2 == u32::MAX {
+                    done += 1;
+                } else {
+                    staged.push((k2, v));
+                }
+            }
+            // Install the completed row — the "synchronize row k1" step.
+            let mut guard = memo.write();
+            for (k2, v) in staged {
+                guard.set(k1, k2, v);
+            }
+        }
+        drop(row_txs); // close channels; workers exit
+    });
+    memo.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use load_balance::Policy;
+    use mcos_core::{srna2, workload};
+    use rna_structure::generate;
+
+    #[test]
+    fn pool_matches_sequential_stage_one() {
+        let s1 = generate::random_structure(64, 1.0, 11);
+        let s2 = generate::random_structure(48, 0.8, 12);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let weights = workload::column_weights(&p1, &p2);
+        for workers in [1u32, 2, 3, 8] {
+            let a = Policy::Lpt.assign(&weights, workers);
+            assert_eq!(stage_one(&p1, &p2, &a), reference, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_structures() {
+        let s = rna_structure::ArcStructure::unpaired(6);
+        let p = Preprocessed::build(&s);
+        let a = Policy::Greedy.assign(&[], 2);
+        let memo = stage_one(&p, &p, &a);
+        assert_eq!(memo.rows(), 0);
+        assert_eq!(memo.cols(), 0);
+    }
+
+    #[test]
+    fn pool_with_idle_workers() {
+        // More workers than columns: extras receive rows and immediately
+        // post completion markers.
+        let s = generate::worst_case_nested(3);
+        let p = Preprocessed::build(&s);
+        let weights = workload::column_weights(&p, &p);
+        let a = Policy::Greedy.assign(&weights, 9);
+        let reference = srna2::run_preprocessed(&p, &p).memo;
+        assert_eq!(stage_one(&p, &p, &a), reference);
+    }
+}

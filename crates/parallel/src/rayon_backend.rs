@@ -1,0 +1,69 @@
+//! The rayon PRNA backend: per-row dynamic scheduling.
+//!
+//! Instead of the paper's static column ownership, each row's child
+//! slices are submitted to a rayon pool and work-stolen dynamically; the
+//! implicit join of `par_iter` at the end of the row is the row barrier.
+//! `M` is read-shared during the row and written once between rows, so no
+//! locking is required at all.
+//!
+//! This backend is the "dynamic scheduling" arm of the ablation in
+//! `mcos-bench`: on uniform worst-case inputs static ownership matches
+//! it, while on skewed structures dynamic scheduling absorbs per-row
+//! imbalance at the cost of scheduler overhead per task.
+
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use rayon::prelude::*;
+
+use crate::tabulate_child;
+
+/// Runs stage one on a dedicated rayon pool of `threads` threads.
+pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> MemoTable {
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads as usize)
+        .build()
+        .expect("rayon pool construction");
+    let mut memo = MemoTable::zeroed(a1, a2);
+    let mut row_buf: Vec<u32> = Vec::with_capacity(a2 as usize);
+
+    for k1 in 0..a1 {
+        pool.install(|| {
+            (0..a2)
+                .into_par_iter()
+                .map_init(Vec::new, |grid, k2| {
+                    tabulate_child(p1, p2, k1, k2, &memo, grid)
+                })
+                .collect_into_vec(&mut row_buf);
+        });
+        memo.row_mut(k1).copy_from_slice(&row_buf);
+    }
+    memo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::generate;
+
+    #[test]
+    fn rayon_matches_sequential_stage_one() {
+        let s1 = generate::random_structure(64, 0.9, 21);
+        let s2 = generate::random_structure(60, 1.0, 22);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        for threads in [1u32, 2, 4] {
+            assert_eq!(stage_one(&p1, &p2, threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn rayon_skewed_structures() {
+        let s = generate::skewed_groups(4, 2, 4);
+        let p = Preprocessed::build(&s);
+        let reference = srna2::run_preprocessed(&p, &p).memo;
+        assert_eq!(stage_one(&p, &p, 3), reference);
+    }
+}

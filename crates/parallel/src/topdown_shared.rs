@@ -1,0 +1,225 @@
+//! Shared-memoization parallel top-down dynamic programming — the
+//! approach of Stivala et al., "Lock-free Parallel Dynamic Programming"
+//! (JPDC 2010), which the paper discusses as the general-purpose
+//! alternative (§II, reference \[8\]).
+//!
+//! Every thread evaluates the same problem top-down against one shared,
+//! lock-free memoization table; parallelism comes from *randomizing* the
+//! order in which each thread descends into subproblems, so threads tend
+//! to populate different regions of the table. Threads may duplicate
+//! work when they race to the same unmemoized subproblem — both compute
+//! it (the values agree, so last-write-wins is harmless) — and the
+//! paper's critique is precisely that this duplication grows with the
+//! thread count. [`TopDownOutcome::duplicated`] measures it.
+//!
+//! The memoized unit here is the child slice of an arc pair (the same
+//! granularity as SRNA1's memo), stored in a table of `AtomicU32`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use mcos_core::{preprocess::Preprocessed, slice};
+use rna_structure::ArcStructure;
+
+/// Sentinel for "not yet memoized".
+const EMPTY: u32 = u32::MAX;
+
+/// Result of a shared-memo parallel top-down run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopDownOutcome {
+    /// The MCOS score.
+    pub score: u32,
+    /// Total slice tabulations performed across all threads.
+    pub computed_slices: u64,
+    /// Distinct subproblems (arc pairs with non-trivial slices plus the
+    /// final parent slice).
+    pub distinct_slices: u64,
+    /// Redundant tabulations: `computed - distinct`. Zero on one thread;
+    /// tends to grow with the thread count — the scalability limit the
+    /// paper attributes to this approach.
+    pub duplicated: u64,
+}
+
+/// Deterministic splitmix64, used to give every thread its own
+/// subproblem visiting order without pulling in a rand dependency here.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffle driven by splitmix64.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+struct Shared<'a> {
+    p1: &'a Preprocessed,
+    p2: &'a Preprocessed,
+    memo: Vec<AtomicU32>,
+    cols: usize,
+    computed: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl Shared<'_> {
+    /// Ensures the child-slice value of arc pair `(k1, k2)` is memoized,
+    /// computing it (and, recursively, its dependencies) if needed.
+    /// Races are benign: the recurrence is deterministic, so concurrent
+    /// writers store the same value.
+    fn ensure(&self, k1: u32, k2: u32, grid: &mut Vec<u32>) -> u32 {
+        let idx = k1 as usize * self.cols + k2 as usize;
+        let current = self.memo[idx].load(Ordering::Acquire);
+        if current != EMPTY {
+            return current;
+        }
+        // Depth-first: resolve every nested dependency, then tabulate.
+        let (lo1, hi1) = self.p1.under_range[k1 as usize];
+        let (lo2, hi2) = self.p2.under_range[k2 as usize];
+        for c1 in lo1..hi1 {
+            for c2 in lo2..hi2 {
+                // Recursion populates the memo; the value is re-read
+                // during tabulation below. The scratch grid is free to
+                // reuse here — this slice's own tabulation only starts
+                // after all dependencies resolve.
+                self.ensure(c1, c2, grid);
+            }
+        }
+        let v = slice::tabulate_with(self.p1, self.p2, (lo1, hi1), (lo2, hi2), grid, |g1, g2| {
+            self.memo[g1 as usize * self.cols + g2 as usize].load(Ordering::Acquire)
+        });
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        let prev = self.memo[idx].swap(v, Ordering::AcqRel);
+        if prev != EMPTY {
+            debug_assert_eq!(prev, v, "deterministic recurrence");
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+}
+
+/// Runs the shared-memo parallel top-down algorithm with `threads`
+/// threads, each descending into the arc pairs in its own random order
+/// derived from `seed`.
+pub fn parallel_top_down(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    threads: u32,
+    seed: u64,
+) -> TopDownOutcome {
+    assert!(threads > 0, "need at least one thread");
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let shared = Shared {
+        p1: &p1,
+        p2: &p2,
+        memo: (0..a1 as usize * a2 as usize)
+            .map(|_| AtomicU32::new(EMPTY))
+            .collect(),
+        cols: a2 as usize,
+        computed: AtomicU64::new(0),
+        duplicated: AtomicU64::new(0),
+    };
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = &shared;
+            scope.spawn(move || {
+                let mut pairs: Vec<(u32, u32)> = (0..a1)
+                    .flat_map(|k1| (0..a2).map(move |k2| (k1, k2)))
+                    .collect();
+                shuffle(
+                    &mut pairs,
+                    seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF),
+                );
+                let mut grid = Vec::new();
+                for (k1, k2) in pairs {
+                    shared.ensure(k1, k2, &mut grid);
+                }
+            });
+        }
+    });
+
+    // Final (parent) slice against the fully populated memo.
+    let mut grid = Vec::new();
+    let score = slice::tabulate_with(
+        &p1,
+        &p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut grid,
+        |g1, g2| shared.memo[g1 as usize * shared.cols + g2 as usize].load(Ordering::Acquire),
+    );
+    let computed = shared.computed.load(Ordering::Relaxed) + 1; // + parent
+    let distinct = a1 as u64 * a2 as u64 + 1;
+    TopDownOutcome {
+        score,
+        computed_slices: computed,
+        distinct_slices: distinct,
+        duplicated: computed - distinct.min(computed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::generate;
+
+    #[test]
+    fn matches_sequential_scores() {
+        for seed in 0..5 {
+            let s1 = generate::random_structure(50, 1.0, seed);
+            let s2 = generate::random_structure(44, 0.9, seed + 11);
+            let reference = srna2::run(&s1, &s2).score;
+            for threads in [1u32, 2, 4] {
+                let out = parallel_top_down(&s1, &s2, threads, seed);
+                assert_eq!(out.score, reference, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_never_duplicates() {
+        let s = generate::worst_case_nested(20);
+        let out = parallel_top_down(&s, &s, 1, 7);
+        assert_eq!(out.duplicated, 0);
+        assert_eq!(out.computed_slices, out.distinct_slices);
+    }
+
+    #[test]
+    fn multi_thread_duplication_is_bounded_and_counted() {
+        let s = generate::worst_case_nested(24);
+        let out = parallel_top_down(&s, &s, 4, 3);
+        assert_eq!(out.score, 24);
+        // Duplication can occur but never exceeds (threads-1) x distinct.
+        assert!(out.duplicated <= 3 * out.distinct_slices);
+        assert_eq!(out.computed_slices - out.duplicated, out.distinct_slices);
+    }
+
+    #[test]
+    fn deterministic_shuffle() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        shuffle(&mut a, 42);
+        shuffle(&mut b, 42);
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..50).collect();
+        shuffle(&mut c, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_structures() {
+        let e = rna_structure::ArcStructure::unpaired(3);
+        let out = parallel_top_down(&e, &e, 2, 0);
+        assert_eq!(out.score, 0);
+    }
+}

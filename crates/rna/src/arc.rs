@@ -1,0 +1,164 @@
+//! The [`Arc`] type: a single base pairing between two sequence positions.
+
+use std::fmt;
+
+/// A single arc (base pair) between two positions of a sequence.
+///
+/// Invariant: `left < right`. Positions are zero-based. The invariant is
+/// enforced by [`Arc::new`]; the fields are public for pattern matching but
+/// all constructors normalize the order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Arc {
+    /// Left (5') endpoint, zero-based.
+    pub left: u32,
+    /// Right (3') endpoint, zero-based; always greater than `left`.
+    pub right: u32,
+}
+
+impl Arc {
+    /// Creates an arc between two distinct positions, normalizing the order
+    /// so `left < right`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (an arc cannot pair a position with itself).
+    #[inline]
+    pub fn new(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "an arc cannot pair a position with itself");
+        if a < b {
+            Arc { left: a, right: b }
+        } else {
+            Arc { left: b, right: a }
+        }
+    }
+
+    /// Number of positions strictly between the endpoints.
+    #[inline]
+    pub fn span(&self) -> u32 {
+        self.right - self.left - 1
+    }
+
+    /// Returns `true` if `other` is strictly nested inside `self`
+    /// (`self.left < other.left` and `other.right < self.right`).
+    #[inline]
+    pub fn nests(&self, other: &Arc) -> bool {
+        self.left < other.left && other.right < self.right
+    }
+
+    /// Returns `true` if the two arcs are disjoint (one ends before the
+    /// other begins).
+    #[inline]
+    pub fn disjoint(&self, other: &Arc) -> bool {
+        self.right < other.left || other.right < self.left
+    }
+
+    /// Returns `true` if the two arcs cross (pseudoknot configuration) or
+    /// share an endpoint — i.e. they violate the non-pseudoknot model.
+    #[inline]
+    pub fn conflicts(&self, other: &Arc) -> bool {
+        !(self.nests(other) || other.nests(self) || self.disjoint(other))
+    }
+
+    /// Returns `true` if `pos` lies strictly between the endpoints.
+    #[inline]
+    pub fn contains(&self, pos: u32) -> bool {
+        self.left < pos && pos < self.right
+    }
+
+    /// Shifts both endpoints right by `offset`.
+    #[inline]
+    pub fn shifted(&self, offset: u32) -> Arc {
+        Arc {
+            left: self.left + offset,
+            right: self.right + offset,
+        }
+    }
+}
+
+impl fmt::Display for Arc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.left, self.right)
+    }
+}
+
+impl From<(u32, u32)> for Arc {
+    fn from((a, b): (u32, u32)) -> Self {
+        Arc::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_order() {
+        assert_eq!(Arc::new(5, 2), Arc { left: 2, right: 5 });
+        assert_eq!(Arc::new(2, 5), Arc { left: 2, right: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pair a position with itself")]
+    fn new_rejects_self_pair() {
+        let _ = Arc::new(3, 3);
+    }
+
+    #[test]
+    fn span_counts_interior_positions() {
+        assert_eq!(Arc::new(0, 1).span(), 0);
+        assert_eq!(Arc::new(0, 9).span(), 8);
+    }
+
+    #[test]
+    fn nesting_relation() {
+        let outer = Arc::new(0, 9);
+        let inner = Arc::new(1, 8);
+        assert!(outer.nests(&inner));
+        assert!(!inner.nests(&outer));
+        assert!(!outer.nests(&outer));
+    }
+
+    #[test]
+    fn disjoint_relation() {
+        let a = Arc::new(0, 3);
+        let b = Arc::new(4, 7);
+        assert!(a.disjoint(&b));
+        assert!(b.disjoint(&a));
+        // Adjacent endpoints are not shared, so (0,3) and (3,6) are NOT
+        // disjoint: they share position 3.
+        let c = Arc::new(3, 6);
+        assert!(!a.disjoint(&c));
+    }
+
+    #[test]
+    fn conflicts_detects_crossing_and_shared_endpoints() {
+        let a = Arc::new(0, 5);
+        let crossing = Arc::new(3, 8);
+        let shares = Arc::new(5, 9);
+        let nested = Arc::new(1, 4);
+        let apart = Arc::new(6, 9);
+        assert!(a.conflicts(&crossing));
+        assert!(a.conflicts(&shares));
+        assert!(!a.conflicts(&nested));
+        assert!(!a.conflicts(&apart));
+    }
+
+    #[test]
+    fn contains_is_strict() {
+        let a = Arc::new(2, 6);
+        assert!(!a.contains(2));
+        assert!(a.contains(3));
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Arc::new(1, 8).to_string(), "(1,8)");
+    }
+
+    #[test]
+    fn shifted_moves_both_endpoints() {
+        assert_eq!(Arc::new(1, 4).shifted(10), Arc::new(11, 14));
+    }
+}

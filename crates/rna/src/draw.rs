@@ -1,0 +1,122 @@
+//! Text-mode arc diagrams.
+//!
+//! Renders a structure as stacked arc rows over the position axis, the
+//! way the paper's Figure 1 draws them:
+//!
+//! ```text
+//! .--------------------.
+//! |  .-----.  .-----.  |
+//! |  | .-. |  | .-. |  |
+//! () (( ) )( ( ) ) ()
+//! ```
+//!
+//! Arcs at greater nesting depth draw closer to the baseline; the last
+//! line is the dot-bracket string itself. Purely for human inspection
+//! (CLI `draw`, examples); the renderer is deterministic and tested on
+//! exact outputs.
+
+use crate::formats::dot_bracket;
+use crate::structure::ArcStructure;
+
+/// Renders the structure as an ASCII arc diagram. Returns one string
+/// with `max_depth + 1` lines (or just the baseline for arcless
+/// structures). Positions map 1:1 to columns.
+pub fn arc_diagram(s: &ArcStructure) -> String {
+    let n = s.len() as usize;
+    let depth_rows = s.max_depth() as usize;
+    // rows[0] is the outermost (top) row.
+    let mut rows = vec![vec![' '; n]; depth_rows];
+    let depths = s.arc_depths();
+    for (k, arc) in s.arcs().iter().enumerate() {
+        let row = depths[k] as usize;
+        let (l, r) = (arc.left as usize, arc.right as usize);
+        rows[row][l] = '.';
+        rows[row][r] = '.';
+        for cell in rows[row][l + 1..r].iter_mut() {
+            *cell = '-';
+        }
+        // Verticals: connect this arc's endpoints downward through any
+        // deeper rows (drawn later as '|' unless a deeper arc claims the
+        // column).
+        for deeper in rows.iter_mut().skip(row + 1) {
+            if deeper[l] == ' ' {
+                deeper[l] = '|';
+            }
+            if deeper[r] == ' ' {
+                deeper[r] = '|';
+            }
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&dot_bracket::to_string(s));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn single_arc() {
+        let s = dot_bracket::parse("(..)").unwrap();
+        assert_eq!(arc_diagram(&s), ".--.\n(..)\n");
+    }
+
+    #[test]
+    fn nested_arcs_stack() {
+        let s = dot_bracket::parse("((.))").unwrap();
+        let d = arc_diagram(&s);
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines, vec![".---.", "|.-.|", "((.))"]);
+    }
+
+    #[test]
+    fn sequential_arcs_share_a_row() {
+        let s = dot_bracket::parse("(.)(.)").unwrap();
+        let d = arc_diagram(&s);
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines, vec![".-..-.", "(.)(.)"]);
+    }
+
+    #[test]
+    fn figure_1_shape() {
+        // The paper's Figure 1: (0,19), (1,8), (9,18).
+        let s = ArcStructure::new(
+            20,
+            [(0u32, 19u32), (1, 8), (9, 18)].map(crate::arc::Arc::from),
+        )
+        .unwrap();
+        let d = arc_diagram(&s);
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with('.') && lines[0].ends_with('.'));
+        assert_eq!(lines[1].matches('.').count(), 4, "two inner arcs");
+        assert_eq!(lines[2], "((......)(........))");
+    }
+
+    #[test]
+    fn arcless_structure_is_just_dots() {
+        let s = ArcStructure::unpaired(4);
+        assert_eq!(arc_diagram(&s), "....\n");
+    }
+
+    #[test]
+    fn column_count_matches_length() {
+        for seed in 0..5 {
+            let s = generate::random_structure(40, 0.8, seed);
+            let d = arc_diagram(&s);
+            let last = d.lines().last().unwrap();
+            assert_eq!(last.len(), 40);
+            for line in d.lines() {
+                assert!(line.len() <= 40);
+            }
+        }
+    }
+}

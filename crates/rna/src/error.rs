@@ -1,0 +1,106 @@
+//! Error types for structure construction and parsing.
+
+use std::fmt;
+
+use crate::arc::Arc;
+
+/// Errors produced when constructing or parsing an [`crate::ArcStructure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// An arc references a position at or beyond the sequence length.
+    OutOfBounds {
+        /// The offending arc.
+        arc: Arc,
+        /// The sequence length the arc was validated against.
+        len: u32,
+    },
+    /// Two arcs share an endpoint (each base may be linked at most once).
+    SharedEndpoint {
+        /// The shared position.
+        position: u32,
+    },
+    /// Two arcs cross, which the non-pseudoknot model forbids.
+    CrossingArcs {
+        /// The first arc of the crossing pair.
+        first: Arc,
+        /// The second arc of the crossing pair.
+        second: Arc,
+    },
+    /// The same arc appears more than once.
+    DuplicateArc {
+        /// The duplicated arc.
+        arc: Arc,
+    },
+    /// A parse error in a structure file format.
+    Parse {
+        /// Line number (1-based) where the error occurred, when known.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl StructureError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        StructureError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::OutOfBounds { arc, len } => {
+                write!(f, "arc {arc} out of bounds for sequence of length {len}")
+            }
+            StructureError::SharedEndpoint { position } => {
+                write!(f, "position {position} is an endpoint of more than one arc")
+            }
+            StructureError::CrossingArcs { first, second } => {
+                write!(
+                    f,
+                    "arcs {first} and {second} cross (pseudoknots are not permitted)"
+                )
+            }
+            StructureError::DuplicateArc { arc } => {
+                write!(f, "arc {arc} appears more than once")
+            }
+            StructureError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StructureError::OutOfBounds {
+            arc: Arc::new(3, 12),
+            len: 10,
+        };
+        assert!(e.to_string().contains("(3,12)"));
+        assert!(e.to_string().contains("10"));
+
+        let e = StructureError::SharedEndpoint { position: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = StructureError::CrossingArcs {
+            first: Arc::new(0, 5),
+            second: Arc::new(3, 8),
+        };
+        assert!(e.to_string().contains("cross"));
+
+        let e = StructureError::parse(4, "bad token");
+        assert!(e.to_string().contains("line 4"));
+        assert!(e.to_string().contains("bad token"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Tree view of a secondary structure.
+//!
+//! A non-pseudoknot structure is exactly an ordered forest: each arc is
+//! a node, nesting is parenthood, and sequence order orders siblings.
+//! [`StructureForest`] materializes that view with child lists and
+//! preorder traversal, and supports extracting the substructure under an
+//! arc as a standalone [`ArcStructure`] — the object a child slice
+//! conceptually operates on.
+
+use crate::arc::Arc;
+use crate::structure::ArcStructure;
+
+/// One node of the forest: an arc plus its children (indices into the
+/// forest's node array, which is parallel to the structure's arc array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The arc this node represents.
+    pub arc: Arc,
+    /// Parent arc index, or `None` for top-level arcs.
+    pub parent: Option<u32>,
+    /// Children in sequence order (left to right).
+    pub children: Vec<u32>,
+    /// Nesting depth (top-level arcs have depth 0).
+    pub depth: u32,
+}
+
+/// The ordered forest of a structure's arcs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureForest {
+    nodes: Vec<Node>,
+    roots: Vec<u32>,
+}
+
+impl StructureForest {
+    /// Builds the forest view. Node `k` corresponds to arc index `k`
+    /// (right-endpoint order).
+    pub fn build(s: &ArcStructure) -> Self {
+        let parents = s.arc_parents();
+        let depths = s.arc_depths();
+        let mut nodes: Vec<Node> = s
+            .arcs()
+            .iter()
+            .zip(parents.iter().zip(&depths))
+            .map(|(&arc, (&parent, &depth))| Node {
+                arc,
+                parent,
+                children: Vec::new(),
+                depth,
+            })
+            .collect();
+        let mut roots = Vec::new();
+        // Children collected in left-endpoint order = sequence order.
+        let mut order: Vec<u32> = (0..nodes.len() as u32).collect();
+        order.sort_by_key(|&k| nodes[k as usize].arc.left);
+        for k in order {
+            match nodes[k as usize].parent {
+                Some(p) => nodes[p as usize].children.push(k),
+                None => roots.push(k),
+            }
+        }
+        StructureForest { nodes, roots }
+    }
+
+    /// All nodes (indexable by arc index).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Top-level arcs in sequence order.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Number of arcs in the subtree rooted at `k` (including `k`).
+    pub fn subtree_size(&self, k: u32) -> u32 {
+        1 + self.nodes[k as usize]
+            .children
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<u32>()
+    }
+
+    /// Preorder traversal of the whole forest (roots left to right).
+    pub fn preorder(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<u32> = self.roots.iter().rev().copied().collect();
+        while let Some(k) = stack.pop() {
+            out.push(k);
+            stack.extend(self.nodes[k as usize].children.iter().rev());
+        }
+        out
+    }
+
+    /// Extracts the substructure strictly under arc `k` as a standalone
+    /// structure over the positions `(arc.left, arc.right)` exclusive —
+    /// the window a child slice spawned at `k` tabulates.
+    pub fn substructure_under(&self, s: &ArcStructure, k: u32) -> ArcStructure {
+        let arc = self.nodes[k as usize].arc;
+        let offset = arc.left + 1;
+        let len = arc.span();
+        let arcs = s
+            .arcs_in_window(arc.left + 1, arc.right.saturating_sub(1))
+            .into_iter()
+            .map(|j| {
+                let a = s.arc(j);
+                Arc::new(a.left - offset, a.right - offset)
+            });
+        ArcStructure::new(len, arcs).expect("a window of a valid structure is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::dot_bracket;
+    use crate::generate;
+
+    #[test]
+    fn forest_of_nested_structure_is_a_path() {
+        let s = generate::worst_case_nested(5);
+        let f = StructureForest::build(&s);
+        assert_eq!(f.roots(), &[4]); // outermost arc has the largest right endpoint
+        for k in (1..5u32).rev() {
+            assert_eq!(f.nodes()[k as usize].children, vec![k - 1]);
+        }
+        assert_eq!(f.subtree_size(4), 5);
+        assert_eq!(f.subtree_size(0), 1);
+    }
+
+    #[test]
+    fn forest_of_hairpin_chain_is_flat() {
+        let s = generate::hairpin_chain(3, 1, 2);
+        let f = StructureForest::build(&s);
+        assert_eq!(f.roots().len(), 3);
+        assert!(f.nodes().iter().all(|n| n.children.is_empty()));
+        // Roots in sequence order.
+        let lefts: Vec<u32> = f
+            .roots()
+            .iter()
+            .map(|&r| f.nodes()[r as usize].arc.left)
+            .collect();
+        assert!(lefts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn children_are_in_sequence_order() {
+        let s = dot_bracket::parse("((..)(..)(..))").unwrap();
+        let f = StructureForest::build(&s);
+        let root = f.roots()[0];
+        let kids = &f.nodes()[root as usize].children;
+        assert_eq!(kids.len(), 3);
+        let lefts: Vec<u32> = kids
+            .iter()
+            .map(|&k| f.nodes()[k as usize].arc.left)
+            .collect();
+        assert!(lefts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn preorder_visits_every_node_parent_first() {
+        for seed in 0..10 {
+            let s = generate::random_structure(60, 1.0, seed);
+            let f = StructureForest::build(&s);
+            let order = f.preorder();
+            assert_eq!(order.len(), s.num_arcs() as usize);
+            let mut pos = vec![usize::MAX; order.len()];
+            for (i, &k) in order.iter().enumerate() {
+                pos[k as usize] = i;
+            }
+            for (k, n) in f.nodes().iter().enumerate() {
+                if let Some(p) = n.parent {
+                    assert!(pos[p as usize] < pos[k], "parent before child");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substructure_under_matches_window() {
+        let s = dot_bracket::parse("(((..))(.))").unwrap();
+        let f = StructureForest::build(&s);
+        let root = f.roots()[0];
+        let sub = f.substructure_under(&s, root);
+        assert_eq!(sub.len(), s.len() - 2);
+        assert_eq!(sub.num_arcs(), s.num_arcs() - 1);
+        assert_eq!(dot_bracket::to_string(&sub), "((..))(.)");
+    }
+
+    #[test]
+    fn substructure_under_leaf_is_unpaired() {
+        let s = dot_bracket::parse("(...)").unwrap();
+        let f = StructureForest::build(&s);
+        let sub = f.substructure_under(&s, 0);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.num_arcs(), 0);
+    }
+
+    #[test]
+    fn subtree_sizes_sum_to_arc_count() {
+        for seed in 0..8 {
+            let s = generate::random_structure(50, 0.9, seed);
+            let f = StructureForest::build(&s);
+            let total: u32 = f.roots().iter().map(|&r| f.subtree_size(r)).sum();
+            assert_eq!(total, s.num_arcs());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! BPSEQ format: three whitespace-separated columns per line —
+//! `position base pair` — with 1-based positions and `0` for unpaired.
+//!
+//! This is the format used by the comparative RNA databases from which the
+//! paper's 23S ribosomal RNA structures (GenBank L47585, U48228) originate.
+
+use crate::arc::Arc;
+use crate::error::StructureError;
+use crate::sequence::{Base, Sequence};
+use crate::structure::ArcStructure;
+
+/// A structure together with its sequence, as stored in a BPSEQ file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpseqRecord {
+    /// The base sequence.
+    pub sequence: Sequence,
+    /// The validated secondary structure.
+    pub structure: ArcStructure,
+}
+
+/// Parses a BPSEQ file. Lines starting with `#` and blank lines are skipped.
+///
+/// The pairing column must be symmetric (if `i` pairs with `j`, then line
+/// `j` must pair back with `i`); asymmetric files are rejected.
+pub fn parse(input: &str) -> Result<BpseqRecord, StructureError> {
+    let mut bases = Vec::new();
+    let mut pairs: Vec<u32> = Vec::new(); // 1-based partner, 0 = unpaired
+    let mut expected: u32 = 1;
+    for (lno, raw) in input.lines().enumerate() {
+        let lno = lno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 3 {
+            return Err(StructureError::parse(
+                lno,
+                format!("expected 3 columns, found {}", cols.len()),
+            ));
+        }
+        let idx: u32 = cols[0]
+            .parse()
+            .map_err(|_| StructureError::parse(lno, "bad position index"))?;
+        if idx != expected {
+            return Err(StructureError::parse(
+                lno,
+                format!("expected position {expected}, found {idx}"),
+            ));
+        }
+        expected += 1;
+        let base_char = cols[1].chars().next().unwrap();
+        let base = Base::from_char(base_char)
+            .ok_or_else(|| StructureError::parse(lno, format!("unknown base '{base_char}'")))?;
+        bases.push(base);
+        let pair: u32 = cols[2]
+            .parse()
+            .map_err(|_| StructureError::parse(lno, "bad pair column"))?;
+        pairs.push(pair);
+    }
+
+    let n = bases.len() as u32;
+    let mut arcs = Vec::new();
+    for (i, &p) in pairs.iter().enumerate() {
+        let pos = i as u32 + 1; // 1-based
+        if p == 0 {
+            continue;
+        }
+        if p > n {
+            return Err(StructureError::parse(
+                i + 1,
+                format!("pair index {p} out of range"),
+            ));
+        }
+        if p == pos {
+            return Err(StructureError::parse(i + 1, "position paired with itself"));
+        }
+        // Symmetry check.
+        if pairs[(p - 1) as usize] != pos {
+            return Err(StructureError::parse(
+                i + 1,
+                format!(
+                    "asymmetric pairing: {pos} -> {p} but {p} -> {}",
+                    pairs[(p - 1) as usize]
+                ),
+            ));
+        }
+        if p > pos {
+            arcs.push(Arc::new(pos - 1, p - 1));
+        }
+    }
+    let structure = ArcStructure::new(n, arcs)?;
+    Ok(BpseqRecord {
+        sequence: Sequence::new(bases),
+        structure,
+    })
+}
+
+/// Serializes a sequence/structure pair to BPSEQ format.
+pub fn to_string(record: &BpseqRecord) -> String {
+    let n = record.structure.len();
+    assert_eq!(
+        n as usize,
+        record.sequence.len(),
+        "sequence and structure lengths must match"
+    );
+    let mut out = String::with_capacity(12 * n as usize);
+    for pos in 0..n {
+        let base = record.sequence.base(pos as usize);
+        let pair = record.structure.partner_of(pos).map_or(0, |p| p + 1);
+        out.push_str(&format!("{} {} {}\n", pos + 1, base, pair));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny hairpin
+1 G 5
+2 A 0
+3 A 0
+4 A 0
+5 C 1
+";
+
+    #[test]
+    fn parse_sample() {
+        let rec = parse(SAMPLE).unwrap();
+        assert_eq!(rec.sequence.to_string(), "GAAAC");
+        assert_eq!(rec.structure.num_arcs(), 1);
+        assert_eq!(rec.structure.arc(0), Arc::new(0, 4));
+    }
+
+    #[test]
+    fn round_trip() {
+        let rec = parse(SAMPLE).unwrap();
+        let text = to_string(&rec);
+        let rec2 = parse(&text).unwrap();
+        assert_eq!(rec, rec2);
+    }
+
+    #[test]
+    fn rejects_asymmetric_pairing() {
+        let bad = "1 G 3\n2 A 0\n3 C 2\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_self_pairing() {
+        let bad = "1 G 1\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_pair() {
+        let bad = "1 G 9\n2 A 0\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let bad = "1 G\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_structure() {
+        let rec = parse("# only comments\n").unwrap();
+        assert_eq!(rec.structure.len(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! CT ("connectivity table") format, as emitted by mfold / RNAstructure.
+//!
+//! A CT file has a header line (`<length> <title...>`) followed by one line
+//! per position with six columns:
+//!
+//! ```text
+//! index  base  index-1  index+1  pair  index
+//! ```
+//!
+//! `pair` is the 1-based partner position, or `0` for unpaired bases.
+
+use crate::arc::Arc;
+use crate::error::StructureError;
+use crate::sequence::{Base, Sequence};
+use crate::structure::ArcStructure;
+
+/// A structure together with its sequence and title, as stored in a CT file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtRecord {
+    /// Free-text title from the header line.
+    pub title: String,
+    /// The base sequence.
+    pub sequence: Sequence,
+    /// The validated secondary structure.
+    pub structure: ArcStructure,
+}
+
+/// Parses a CT file.
+pub fn parse(input: &str) -> Result<CtRecord, StructureError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| StructureError::parse(0, "empty CT file"))?;
+    let mut hparts = header.split_whitespace();
+    let len: u32 = hparts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| StructureError::parse(hline, "header must start with the length"))?;
+    let title: String = hparts.collect::<Vec<_>>().join(" ");
+
+    let mut bases = Vec::with_capacity(len as usize);
+    let mut arcs = Vec::new();
+    let mut expected: u32 = 1;
+    for (lno, line) in lines {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() < 5 {
+            return Err(StructureError::parse(
+                lno,
+                format!("expected at least 5 columns, found {}", cols.len()),
+            ));
+        }
+        let idx: u32 = cols[0]
+            .parse()
+            .map_err(|_| StructureError::parse(lno, "bad position index"))?;
+        if idx != expected {
+            return Err(StructureError::parse(
+                lno,
+                format!("expected position {expected}, found {idx}"),
+            ));
+        }
+        expected += 1;
+        let base_char = cols[1]
+            .chars()
+            .next()
+            .ok_or_else(|| StructureError::parse(lno, "missing base column"))?;
+        let base = Base::from_char(base_char)
+            .ok_or_else(|| StructureError::parse(lno, format!("unknown base '{base_char}'")))?;
+        bases.push(base);
+        let pair: u32 = cols[4]
+            .parse()
+            .map_err(|_| StructureError::parse(lno, "bad pair column"))?;
+        if pair != 0 && pair > len {
+            return Err(StructureError::parse(
+                lno,
+                format!("pair index {pair} out of range"),
+            ));
+        }
+        // Record each arc once, from its left endpoint.
+        if pair != 0 && pair > idx {
+            arcs.push(Arc::new(idx - 1, pair - 1));
+        }
+    }
+    if expected - 1 != len {
+        return Err(StructureError::parse(
+            0,
+            format!(
+                "header declares {len} positions but file has {}",
+                expected - 1
+            ),
+        ));
+    }
+    let structure = ArcStructure::new(len, arcs)?;
+    Ok(CtRecord {
+        title,
+        sequence: Sequence::new(bases),
+        structure,
+    })
+}
+
+/// Serializes a structure (with its sequence and title) to CT format.
+pub fn to_string(record: &CtRecord) -> String {
+    let n = record.structure.len();
+    assert_eq!(
+        n as usize,
+        record.sequence.len(),
+        "sequence and structure lengths must match"
+    );
+    let mut out = String::with_capacity(32 * n as usize);
+    out.push_str(&format!("{n} {}\n", record.title));
+    for pos in 0..n {
+        let base = record.sequence.base(pos as usize);
+        let pair = record.structure.partner_of(pos).map_or(0, |p| p + 1);
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            pos + 1,
+            base,
+            pos, // index - 1 (0 for the first base)
+            if pos + 2 <= n { pos + 2 } else { 0 },
+            pair,
+            pos + 1,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+5 test hairpin
+1 G 0 2 5 1
+2 A 1 3 0 2
+3 A 2 4 0 3
+4 A 3 5 0 4
+5 C 4 0 1 5
+";
+
+    #[test]
+    fn parse_sample() {
+        let rec = parse(SAMPLE).unwrap();
+        assert_eq!(rec.title, "test hairpin");
+        assert_eq!(rec.sequence.to_string(), "GAAAC");
+        assert_eq!(rec.structure.num_arcs(), 1);
+        assert_eq!(rec.structure.arc(0), Arc::new(0, 4));
+    }
+
+    #[test]
+    fn round_trip() {
+        let rec = parse(SAMPLE).unwrap();
+        let text = to_string(&rec);
+        let rec2 = parse(&text).unwrap();
+        assert_eq!(rec, rec2);
+    }
+
+    #[test]
+    fn parse_rejects_length_mismatch() {
+        let bad = "3 t\n1 A 0 2 0 1\n2 C 1 3 0 2\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_order_index() {
+        let bad = "2 t\n2 A 0 2 0 1\n1 C 1 3 0 2\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_bad_base() {
+        let bad = "1 t\n1 Z 0 0 0 1\n";
+        assert!(matches!(parse(bad), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_crossing_pairs() {
+        // (1,3) and (2,4) cross.
+        let bad = "4 t\n1 A 0 2 3 1\n2 C 1 3 4 2\n3 U 2 4 1 3\n4 G 3 0 2 4\n";
+        assert!(matches!(
+            parse(bad),
+            Err(StructureError::CrossingArcs { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = format!("# comment\n\n{SAMPLE}");
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn parse_empty_file_errors() {
+        assert!(matches!(parse(""), Err(StructureError::Parse { .. })));
+    }
+}

@@ -1,0 +1,129 @@
+//! Dot-bracket notation: `(`, `)`, and `.` characters, one per position.
+//!
+//! ```
+//! use rna_structure::formats::dot_bracket;
+//!
+//! let s = dot_bracket::parse("((..)).(.)").unwrap();
+//! assert_eq!(s.num_arcs(), 3);
+//! assert_eq!(dot_bracket::to_string(&s), "((..)).(.)");
+//! ```
+
+use crate::arc::Arc;
+use crate::error::StructureError;
+use crate::structure::ArcStructure;
+
+/// Parses a dot-bracket string into a structure.
+///
+/// Accepted characters: `(` opens an arc, `)` closes the innermost open
+/// arc, `.` (or `-`, `:`, `,`) is an unpaired position. Whitespace is
+/// ignored. Unbalanced brackets produce a [`StructureError::Parse`].
+pub fn parse(input: &str) -> Result<ArcStructure, StructureError> {
+    let mut arcs = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut pos: u32 = 0;
+    for c in input.chars() {
+        if c.is_whitespace() {
+            continue;
+        }
+        match c {
+            '(' => {
+                stack.push(pos);
+                pos += 1;
+            }
+            ')' => {
+                let left = stack.pop().ok_or_else(|| {
+                    StructureError::parse(1, format!("unmatched ')' at position {pos}"))
+                })?;
+                arcs.push(Arc::new(left, pos));
+                pos += 1;
+            }
+            '.' | '-' | ':' | ',' => {
+                pos += 1;
+            }
+            other => {
+                return Err(StructureError::parse(
+                    1,
+                    format!("unexpected character '{other}' at position {pos}"),
+                ));
+            }
+        }
+    }
+    if let Some(left) = stack.pop() {
+        return Err(StructureError::parse(
+            1,
+            format!("unmatched '(' at position {left}"),
+        ));
+    }
+    ArcStructure::new(pos, arcs)
+}
+
+/// Serializes a structure to dot-bracket notation.
+pub fn to_string(s: &ArcStructure) -> String {
+    let mut out = vec!['.'; s.len() as usize];
+    for arc in s.arcs() {
+        out[arc.left as usize] = '(';
+        out[arc.right as usize] = ')';
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_hairpin() {
+        let s = parse("(((...)))").unwrap();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.num_arcs(), 3);
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn parse_empty() {
+        let s = parse("").unwrap();
+        assert_eq!(s.len(), 0);
+        let s = parse("....").unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.num_arcs(), 0);
+    }
+
+    #[test]
+    fn parse_alternative_unpaired_chars() {
+        let s = parse("(-:,)").unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.num_arcs(), 1);
+    }
+
+    #[test]
+    fn parse_ignores_whitespace() {
+        let s = parse("( ( . ) )").unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.num_arcs(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_unbalanced() {
+        assert!(matches!(parse("(()"), Err(StructureError::Parse { .. })));
+        assert!(matches!(parse("())"), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(parse("(x)"), Err(StructureError::Parse { .. })));
+    }
+
+    #[test]
+    fn round_trip() {
+        for db in ["", ".", "()", "(())", "()()", "((..))..(.)", "(((...)))"] {
+            let s = parse(db).unwrap();
+            assert_eq!(to_string(&s), db, "round trip of {db:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_normalizes_unpaired_chars() {
+        let s = parse("(-)").unwrap();
+        assert_eq!(to_string(&s), "(.)");
+    }
+}

@@ -1,0 +1,17 @@
+//! Text formats for reading and writing secondary structures.
+//!
+//! Three formats are supported:
+//!
+//! * [`dot_bracket`] — the ubiquitous single-line notation where `(` and `)`
+//!   mark arc endpoints and `.` marks unpaired positions;
+//! * [`ct`] — the "connectivity table" format emitted by mfold/RNAstructure;
+//! * [`bpseq`] — the three-column base-pair format used by comparative RNA
+//!   databases (the source of the paper's 23S rRNA structures).
+//!
+//! All parsers validate the non-pseudoknot model via
+//! [`ArcStructure::new`](crate::ArcStructure::new), so a successfully parsed
+//! structure is always usable by the MCOS algorithms.
+
+pub mod bpseq;
+pub mod ct;
+pub mod dot_bracket;

@@ -1,0 +1,454 @@
+//! Deterministic generators for synthetic secondary structures.
+//!
+//! The experiment harness uses three families of inputs:
+//!
+//! * [`worst_case_nested`] — the paper's *contrived worst-case data*: the
+//!   maximum number of nested arcs for a given length, which maximizes the
+//!   number of spawned child slices (§IV-C, §VI);
+//! * [`rrna_like`] — synthetic stand-ins for the paper's 23S ribosomal RNA
+//!   structures (Table II), matching length and arc count with realistic
+//!   stem/loop organization (see DESIGN.md, substitution 3);
+//! * [`random_non_crossing`] — random valid structures for property tests.
+//!
+//! All generators are deterministic given their parameters (and seed, where
+//! applicable), so experiments are reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arc::Arc;
+use crate::sequence::{Base, Sequence};
+use crate::structure::ArcStructure;
+
+/// The paper's contrived worst case: `num_arcs` fully nested arcs over a
+/// sequence of `2 * num_arcs` positions — arc `i` spans
+/// `(i, 2*num_arcs - 1 - i)`.
+///
+/// This is the densest possible non-pseudoknot structure and maximizes the
+/// number of spawned child slices, fully exhausting the SRNA algorithms.
+pub fn worst_case_nested(num_arcs: u32) -> ArcStructure {
+    let n = 2 * num_arcs;
+    let arcs = (0..num_arcs).map(|i| Arc::new(i, n - 1 - i));
+    ArcStructure::new(n, arcs).expect("fully nested arcs are always valid")
+}
+
+/// A chain of `num_hairpins` sequential hairpins, each a stem of
+/// `stem_depth` nested arcs around `loop_len` unpaired positions.
+///
+/// Useful as a structured counterpoint to the fully nested worst case: the
+/// same arc count spread across disjoint groups produces many small child
+/// slices instead of few enormous ones.
+pub fn hairpin_chain(num_hairpins: u32, stem_depth: u32, loop_len: u32) -> ArcStructure {
+    let hairpin_len = 2 * stem_depth + loop_len;
+    let n = num_hairpins * hairpin_len;
+    let mut arcs = Vec::with_capacity((num_hairpins * stem_depth) as usize);
+    for h in 0..num_hairpins {
+        let base = h * hairpin_len;
+        for d in 0..stem_depth {
+            arcs.push(Arc::new(base + d, base + hairpin_len - 1 - d));
+        }
+    }
+    ArcStructure::new(n, arcs).expect("disjoint hairpins are always valid")
+}
+
+/// A "staircase" of `groups` sequential groups where group `g` contains
+/// `base_depth + g * step` nested arcs.
+///
+/// Produces deliberately *skewed* per-column workloads, used by the
+/// load-balancing ablations: greedy scheduling shines when task weights are
+/// uneven.
+pub fn skewed_groups(groups: u32, base_depth: u32, step: u32) -> ArcStructure {
+    let mut s = ArcStructure::unpaired(0);
+    for g in 0..groups {
+        let depth = base_depth + g * step;
+        let group = worst_case_nested(depth);
+        s = s.concat(&group);
+    }
+    s
+}
+
+/// Configuration for the [`rrna_like`] generator.
+#[derive(Debug, Clone)]
+pub struct RrnaConfig {
+    /// Total sequence length (number of positions).
+    pub len: u32,
+    /// Exact number of arcs to generate.
+    pub arcs: u32,
+    /// Mean stem length (consecutive nested arcs); stems are sampled from a
+    /// geometric-like distribution with this mean. Real rRNA helices
+    /// average roughly 6–8 base pairs.
+    pub mean_stem: u32,
+    /// Probability that a new stem nests inside the most recent open
+    /// multiloop rather than starting a new top-level domain. Controls how
+    /// deep the branching tree grows.
+    pub nest_bias: f64,
+}
+
+impl RrnaConfig {
+    /// Configuration matching the paper's "Fungus" input — 23S rRNA of
+    /// *Suillus sinuspaulianus* (GenBank L47585): 4216 bases, 721 arcs.
+    pub fn fungus() -> Self {
+        RrnaConfig {
+            len: 4216,
+            arcs: 721,
+            mean_stem: 7,
+            nest_bias: 0.55,
+        }
+    }
+
+    /// Configuration matching the paper's "Malaria Parasite" input — 23S
+    /// rRNA of *Plasmodium falciparum* (GenBank U48228): 4381 bases,
+    /// 1126 arcs.
+    pub fn malaria() -> Self {
+        RrnaConfig {
+            len: 4381,
+            arcs: 1126,
+            mean_stem: 7,
+            nest_bias: 0.55,
+        }
+    }
+}
+
+/// Generates a synthetic rRNA-like structure: an exact number of arcs
+/// organized into stems of geometric length, arranged in a branching
+/// multiloop tree, with unpaired positions distributed over the loops.
+///
+/// Deterministic for a given `(config, seed)` pair. Panics if
+/// `config.len < 2 * config.arcs` (not enough positions to place the arcs).
+pub fn rrna_like(config: &RrnaConfig, seed: u64) -> ArcStructure {
+    assert!(
+        config.len >= 2 * config.arcs,
+        "length {} cannot hold {} arcs",
+        config.len,
+        config.arcs
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Step 1: partition the arc budget into stems with ~geometric lengths.
+    let mut stems: Vec<u32> = Vec::new();
+    let mut remaining = config.arcs;
+    while remaining > 0 {
+        let mut s = 1u32;
+        // Geometric with success probability 1/mean_stem => mean mean_stem.
+        while s < remaining && rng.gen::<f64>() > 1.0 / config.mean_stem as f64 {
+            s += 1;
+        }
+        let s = s.min(remaining);
+        stems.push(s);
+        remaining -= s;
+    }
+
+    // Step 2: arrange stems into a random forest. `tree[i]` holds the
+    // children (stem indices) of stem i; `roots` are top-level stems.
+    // Each new stem either nests under a uniformly random earlier stem
+    // (with probability nest_bias) or becomes a new root.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); stems.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for i in 0..stems.len() {
+        if i > 0 && rng.gen::<f64>() < config.nest_bias {
+            let parent = rng.gen_range(0..i);
+            children[parent].push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+
+    // Step 3: lay out the forest as dot-bracket text via an explicit DFS,
+    // recording the unpaired "gap slots" (before/between/after stems and
+    // hairpin loops) so the leftover positions can be distributed.
+    //
+    // Layout grammar: forest = gap (stem gap)* ; stem(d) = '('^d body ')'^d
+    // where body is the child forest (or a pure gap for leaf stems).
+    #[derive(Clone, Copy)]
+    enum Piece {
+        Open(u32),
+        Close(u32),
+        /// Gap slot index (hairpin-loop slots are tracked separately so
+        /// they can be given a minimum width).
+        Gap {
+            slot: usize,
+        },
+    }
+
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut num_slots = 0usize;
+    let mut hairpin_slots: Vec<usize> = Vec::new();
+    let mut new_gap = |pieces: &mut Vec<Piece>, hairpin: bool| {
+        let slot = num_slots;
+        num_slots += 1;
+        if hairpin {
+            hairpin_slots.push(slot);
+        }
+        pieces.push(Piece::Gap { slot });
+    };
+
+    // Iterative DFS over the forest: emit gap, then for each stem at this
+    // level: open, recurse, close, gap.
+    fn emit_forest(
+        level: &[usize],
+        stems: &[u32],
+        children: &[Vec<usize>],
+        pieces: &mut Vec<Piece>,
+        new_gap: &mut dyn FnMut(&mut Vec<Piece>, bool),
+    ) {
+        new_gap(pieces, false);
+        for &s in level {
+            pieces.push(Piece::Open(stems[s]));
+            if children[s].is_empty() {
+                new_gap(pieces, true);
+            } else {
+                emit_forest(&children[s], stems, children, pieces, new_gap);
+            }
+            pieces.push(Piece::Close(stems[s]));
+            new_gap(pieces, false);
+        }
+    }
+    emit_forest(&roots, &stems, &children, &mut pieces, &mut new_gap);
+
+    // Step 4: distribute the unpaired budget over the gap slots. Hairpin
+    // loops get a minimum of 3 positions when the budget allows (no base
+    // pair closes a loop shorter than 3 nt in real RNA).
+    let unpaired = config.len - 2 * config.arcs;
+    let mut slot_sizes = vec![0u32; num_slots];
+    let mut budget = unpaired;
+    for &h in &hairpin_slots {
+        let want = 3.min(budget);
+        slot_sizes[h] = want;
+        budget -= want;
+    }
+    // Remaining budget: uniformly random slot per position.
+    for _ in 0..budget {
+        let slot = rng.gen_range(0..num_slots);
+        slot_sizes[slot] += 1;
+    }
+
+    // Step 5: materialize arcs by replaying the pieces with a position
+    // cursor and a stack of open stem endpoints.
+    let mut arcs: Vec<Arc> = Vec::with_capacity(config.arcs as usize);
+    let mut pos: u32 = 0;
+    let mut open_stack: Vec<u32> = Vec::new();
+    for piece in &pieces {
+        match *piece {
+            Piece::Open(d) => {
+                for _ in 0..d {
+                    open_stack.push(pos);
+                    pos += 1;
+                }
+            }
+            Piece::Close(d) => {
+                for _ in 0..d {
+                    let left = open_stack.pop().expect("balanced layout");
+                    arcs.push(Arc::new(left, pos));
+                    pos += 1;
+                }
+            }
+            Piece::Gap { slot } => {
+                pos += slot_sizes[slot];
+            }
+        }
+    }
+    debug_assert_eq!(pos, config.len);
+    debug_assert!(open_stack.is_empty());
+    ArcStructure::new(config.len, arcs).expect("generated layout is balanced and non-crossing")
+}
+
+/// Generates a random valid non-pseudoknot structure of length `len` using
+/// a stack process: at each position, open a new arc with probability
+/// `open_prob`, close the innermost open arc with probability `close_prob`
+/// (when one is open and closable), otherwise leave the position unpaired.
+///
+/// All open arcs are closed by the end (forced closes near the end of the
+/// sequence), so the result is always valid. Deterministic per `(len,
+/// open_prob, close_prob, rng state)`.
+pub fn random_non_crossing<R: Rng>(
+    len: u32,
+    open_prob: f64,
+    close_prob: f64,
+    rng: &mut R,
+) -> ArcStructure {
+    let mut arcs = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for pos in 0..len {
+        let remaining = len - pos;
+        // Force closes when exactly enough positions remain.
+        if stack.len() as u32 == remaining {
+            let left = stack.pop().unwrap();
+            arcs.push(Arc::new(left, pos));
+            continue;
+        }
+        let r: f64 = rng.gen();
+        if !stack.is_empty() && r < close_prob {
+            let left = stack.pop().unwrap();
+            arcs.push(Arc::new(left, pos));
+        } else if r < close_prob + open_prob && stack.len() as u32 + 1 < remaining {
+            stack.push(pos);
+        }
+        // else: unpaired.
+    }
+    debug_assert!(stack.is_empty());
+    ArcStructure::new(len, arcs).expect("stack process yields valid structures")
+}
+
+/// Convenience wrapper around [`random_non_crossing`] with a fixed seed and
+/// balanced probabilities; used widely in tests.
+pub fn random_structure(len: u32, density: f64, seed: u64) -> ArcStructure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_non_crossing(len, density / 2.0, density / 2.0, &mut rng)
+}
+
+/// Generates a sequence consistent with a structure: paired positions get
+/// complementary bases (G-C or A-U, chosen at random), unpaired positions
+/// get uniform random bases. Deterministic per seed.
+pub fn sequence_for(structure: &ArcStructure, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = structure.len() as usize;
+    let mut bases = vec![Base::A; n];
+    let mut assigned = vec![false; n];
+    for arc in structure.arcs() {
+        let (l, r) = (arc.left as usize, arc.right as usize);
+        let (a, b) = if rng.gen::<bool>() {
+            (Base::G, Base::C)
+        } else {
+            (Base::A, Base::U)
+        };
+        let (a, b) = if rng.gen::<bool>() { (a, b) } else { (b, a) };
+        bases[l] = a;
+        bases[r] = b;
+        assigned[l] = true;
+        assigned[r] = true;
+    }
+    for (i, done) in assigned.iter().enumerate() {
+        if !done {
+            bases[i] = Base::ALL[rng.gen_range(0..4)];
+        }
+    }
+    Sequence::new(bases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_shape() {
+        let s = worst_case_nested(5);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.num_arcs(), 5);
+        assert_eq!(s.max_depth(), 5);
+        assert_eq!(s.arc(0), Arc::new(4, 5)); // innermost has smallest right endpoint
+        assert_eq!(s.arc(4), Arc::new(0, 9));
+    }
+
+    #[test]
+    fn worst_case_zero_arcs() {
+        let s = worst_case_nested(0);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.num_arcs(), 0);
+    }
+
+    #[test]
+    fn hairpin_chain_shape() {
+        let s = hairpin_chain(3, 4, 5);
+        assert_eq!(s.len(), 3 * (8 + 5));
+        assert_eq!(s.num_arcs(), 12);
+        assert_eq!(s.max_depth(), 4);
+    }
+
+    #[test]
+    fn skewed_groups_shape() {
+        let s = skewed_groups(3, 2, 3); // depths 2, 5, 8
+        assert_eq!(s.num_arcs(), 15);
+        assert_eq!(s.len(), 2 * 15);
+        assert_eq!(s.max_depth(), 8);
+    }
+
+    #[test]
+    fn rrna_like_hits_exact_counts() {
+        for seed in [0, 1, 42] {
+            let cfg = RrnaConfig {
+                len: 500,
+                arcs: 90,
+                mean_stem: 6,
+                nest_bias: 0.5,
+            };
+            let s = rrna_like(&cfg, seed);
+            assert_eq!(s.len(), 500);
+            assert_eq!(s.num_arcs(), 90);
+        }
+    }
+
+    #[test]
+    fn rrna_paper_configs() {
+        let f = rrna_like(&RrnaConfig::fungus(), 0xF47585);
+        assert_eq!(f.len(), 4216);
+        assert_eq!(f.num_arcs(), 721);
+        let m = rrna_like(&RrnaConfig::malaria(), 0xF48228);
+        assert_eq!(m.len(), 4381);
+        assert_eq!(m.num_arcs(), 1126);
+    }
+
+    #[test]
+    fn rrna_like_is_deterministic() {
+        let cfg = RrnaConfig {
+            len: 300,
+            arcs: 60,
+            mean_stem: 5,
+            nest_bias: 0.6,
+        };
+        let a = rrna_like(&cfg, 7);
+        let b = rrna_like(&cfg, 7);
+        assert_eq!(a, b);
+        let c = rrna_like(&cfg, 8);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rrna_like_rejects_impossible_budget() {
+        let cfg = RrnaConfig {
+            len: 10,
+            arcs: 6,
+            mean_stem: 3,
+            nest_bias: 0.5,
+        };
+        let _ = rrna_like(&cfg, 0);
+    }
+
+    #[test]
+    fn random_structure_is_valid_and_deterministic() {
+        for seed in 0..20 {
+            let a = random_structure(64, 0.8, seed);
+            let b = random_structure(64, 0.8, seed);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 64);
+        }
+    }
+
+    #[test]
+    fn random_structure_density_extremes() {
+        let empty = random_structure(40, 0.0, 1);
+        assert_eq!(empty.num_arcs(), 0);
+        let dense = random_structure(40, 2.0, 1);
+        assert!(dense.num_arcs() > 0);
+    }
+
+    #[test]
+    fn sequence_for_pairs_are_complementary() {
+        let s = rrna_like(
+            &RrnaConfig {
+                len: 200,
+                arcs: 40,
+                mean_stem: 5,
+                nest_bias: 0.5,
+            },
+            3,
+        );
+        let seq = sequence_for(&s, 3);
+        assert_eq!(seq.len(), 200);
+        for arc in s.arcs() {
+            let a = seq.base(arc.left as usize);
+            let b = seq.base(arc.right as usize);
+            assert!(a.can_pair(b), "arc {arc} pairs {a} with {b}");
+        }
+    }
+}

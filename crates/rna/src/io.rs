@@ -1,0 +1,199 @@
+//! File loading with format autodetection.
+//!
+//! Downstream tools (and the `srna` CLI) accept structures in any of the
+//! three supported formats; this module centralizes extension- and
+//! content-based detection so every consumer resolves formats the same
+//! way.
+
+use std::path::Path;
+
+use crate::error::StructureError;
+use crate::formats::{bpseq, ct, dot_bracket};
+use crate::sequence::Sequence;
+use crate::structure::ArcStructure;
+
+/// A structure file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Dot-bracket notation (`.db`, `.dbn`, `.dot`).
+    DotBracket,
+    /// Connectivity table (`.ct`).
+    Ct,
+    /// BPSEQ three-column format (`.bpseq`).
+    Bpseq,
+}
+
+impl Format {
+    /// Resolves a format from a file extension (case-insensitive).
+    pub fn from_extension(ext: &str) -> Option<Format> {
+        match ext.to_ascii_lowercase().as_str() {
+            "db" | "dbn" | "dot" => Some(Format::DotBracket),
+            "ct" => Some(Format::Ct),
+            "bpseq" => Some(Format::Bpseq),
+            _ => None,
+        }
+    }
+
+    /// Resolves a format from a user-supplied name (`db`, `ct`, `bpseq`).
+    pub fn from_name(name: &str) -> Option<Format> {
+        Format::from_extension(name)
+    }
+
+    /// Guesses the format from file content: dot-bracket lines consist
+    /// of bracket/dot characters; CT starts with a length header; BPSEQ
+    /// lines have exactly three columns with a numeric first and third.
+    pub fn sniff(content: &str) -> Format {
+        let first = content
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .unwrap_or("");
+        let cols: Vec<&str> = first.split_whitespace().collect();
+        if !first.is_empty()
+            && first
+                .chars()
+                .all(|c| matches!(c, '(' | ')' | '.' | '-' | ':' | ',') || c.is_whitespace())
+        {
+            return Format::DotBracket;
+        }
+        if cols.len() == 3 && cols[0].parse::<u32>().is_ok() && cols[2].parse::<u32>().is_ok() {
+            return Format::Bpseq;
+        }
+        // CT: header is "<len> <title...>" followed by 6-column rows.
+        Format::Ct
+    }
+}
+
+/// A loaded structure with optional sequence and title metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loaded {
+    /// The validated structure.
+    pub structure: ArcStructure,
+    /// The sequence, when the format records one (CT, BPSEQ).
+    pub sequence: Option<Sequence>,
+    /// The title, when the format records one (CT).
+    pub title: Option<String>,
+    /// The format the content was parsed as.
+    pub format: Format,
+}
+
+/// Parses `content` as `format`.
+pub fn parse_as(content: &str, format: Format) -> Result<Loaded, StructureError> {
+    match format {
+        Format::DotBracket => Ok(Loaded {
+            structure: dot_bracket::parse(content)?,
+            sequence: None,
+            title: None,
+            format,
+        }),
+        Format::Ct => {
+            let rec = ct::parse(content)?;
+            Ok(Loaded {
+                structure: rec.structure,
+                sequence: Some(rec.sequence),
+                title: Some(rec.title),
+                format,
+            })
+        }
+        Format::Bpseq => {
+            let rec = bpseq::parse(content)?;
+            Ok(Loaded {
+                structure: rec.structure,
+                sequence: Some(rec.sequence),
+                title: None,
+                format,
+            })
+        }
+    }
+}
+
+/// Parses `content`, resolving the format from (in priority order) the
+/// caller's override, the path's extension, then content sniffing.
+pub fn parse_auto(
+    content: &str,
+    path: Option<&Path>,
+    forced: Option<Format>,
+) -> Result<Loaded, StructureError> {
+    let format = forced
+        .or_else(|| {
+            path.and_then(|p| p.extension())
+                .and_then(|e| Format::from_extension(&e.to_string_lossy()))
+        })
+        .unwrap_or_else(|| Format::sniff(content));
+    parse_as(content, format)
+}
+
+/// Reads and parses a structure file (format from extension, falling
+/// back to content sniffing). I/O errors are reported as parse errors
+/// with the message text.
+pub fn load_path(path: impl AsRef<Path>, forced: Option<Format>) -> Result<Loaded, StructureError> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| StructureError::parse(0, format!("{}: {e}", path.display())))?;
+    parse_auto(&content, Some(path), forced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_resolution() {
+        assert_eq!(Format::from_extension("DB"), Some(Format::DotBracket));
+        assert_eq!(Format::from_extension("ct"), Some(Format::Ct));
+        assert_eq!(Format::from_extension("bpseq"), Some(Format::Bpseq));
+        assert_eq!(Format::from_extension("txt"), None);
+    }
+
+    #[test]
+    fn sniff_dot_bracket() {
+        assert_eq!(Format::sniff("((..))\n"), Format::DotBracket);
+        assert_eq!(Format::sniff("# comment\n(.)\n"), Format::DotBracket);
+    }
+
+    #[test]
+    fn sniff_bpseq() {
+        assert_eq!(Format::sniff("1 G 5\n2 A 0\n"), Format::Bpseq);
+    }
+
+    #[test]
+    fn sniff_ct() {
+        assert_eq!(Format::sniff("5 my title\n1 G 0 2 5 1\n"), Format::Ct);
+    }
+
+    #[test]
+    fn parse_auto_prefers_forced_format() {
+        // Content sniffs as BPSEQ, but the caller forces... BPSEQ is the
+        // only valid reading here; check forcing dot-bracket errors.
+        let content = "1 G 3\n2 A 0\n3 C 1\n";
+        assert!(parse_auto(content, None, Some(Format::DotBracket)).is_err());
+        let ok = parse_auto(content, None, None).unwrap();
+        assert_eq!(ok.format, Format::Bpseq);
+        assert_eq!(ok.structure.num_arcs(), 1);
+        assert_eq!(ok.sequence.as_ref().unwrap().to_string(), "GAC");
+    }
+
+    #[test]
+    fn parse_auto_uses_extension() {
+        let content = "((.))";
+        let got = parse_auto(content, Some(Path::new("x.dbn")), None).unwrap();
+        assert_eq!(got.format, Format::DotBracket);
+        assert_eq!(got.structure.num_arcs(), 2);
+    }
+
+    #[test]
+    fn load_path_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rna_io_test.db");
+        std::fs::write(&path, "((..))\n").unwrap();
+        let got = load_path(&path, None).unwrap();
+        assert_eq!(got.structure.num_arcs(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_path_missing_file_errors() {
+        let e = load_path("/nonexistent/definitely/missing.db", None).unwrap_err();
+        assert!(matches!(e, StructureError::Parse { .. }));
+    }
+}

@@ -1,0 +1,52 @@
+//! Arc-annotated RNA secondary structures.
+//!
+//! This crate is the input model for the MCOS (Maximum Common Ordered
+//! Substructure) algorithms: it defines RNA sequences over `{A, C, G, U}`,
+//! arc-annotated secondary structures restricted to the **non-pseudoknot**
+//! model (arcs may be nested or sequential, never crossing, and never share
+//! an endpoint), text formats for reading and writing structures, and a
+//! family of deterministic structure generators used by the experiment
+//! harness (contrived worst-case data, hairpin chains, random non-crossing
+//! structures, and rRNA-like structures).
+//!
+//! # The model
+//!
+//! A structure over a sequence of `n` positions is a set of *arcs*
+//! `(l, r)` with `0 <= l < r < n`. The non-pseudoknot restriction means any
+//! two arcs are either *disjoint* (`r1 < l2`), or *nested*
+//! (`l1 < l2 < r2 < r1`); crossing arcs (`l1 < l2 < r1 < r2`) and shared
+//! endpoints are rejected at construction time, so every [`ArcStructure`]
+//! value is valid by construction.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rna_structure::{ArcStructure, formats::dot_bracket};
+//!
+//! // A hairpin with three nested arcs: positions 0-9.
+//! let s = dot_bracket::parse("(((...)))" ).unwrap();
+//! assert_eq!(s.len(), 9);
+//! assert_eq!(s.num_arcs(), 3);
+//! assert_eq!(s.max_depth(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arc;
+pub mod draw;
+pub mod error;
+pub mod forest;
+pub mod formats;
+pub mod generate;
+pub mod io;
+pub mod molecule;
+pub mod mutate;
+pub mod sequence;
+pub mod stats;
+pub mod structure;
+
+pub use arc::Arc;
+pub use error::StructureError;
+pub use sequence::{Base, Sequence};
+pub use structure::ArcStructure;

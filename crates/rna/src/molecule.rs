@@ -1,0 +1,212 @@
+//! [`RnaMolecule`]: a sequence and its secondary structure, validated
+//! together.
+//!
+//! The MCOS recurrence itself never looks at bases, but real inputs come
+//! as (sequence, structure) pairs and the weighted similarity model needs
+//! both. `RnaMolecule` enforces the biophysical consistency the text
+//! formats imply: equal lengths, and every arc pairing bases that can
+//! actually bond (Watson–Crick or G·U wobble).
+
+use std::fmt;
+
+use crate::error::StructureError;
+use crate::sequence::Sequence;
+use crate::structure::ArcStructure;
+
+/// A sequence/structure pair whose arcs all join pairable bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnaMolecule {
+    name: String,
+    sequence: Sequence,
+    structure: ArcStructure,
+}
+
+/// Why a sequence and structure cannot form a molecule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoleculeError {
+    /// Sequence and structure lengths differ.
+    LengthMismatch {
+        /// Number of bases in the sequence.
+        sequence: usize,
+        /// Number of positions in the structure.
+        structure: u32,
+    },
+    /// An arc joins two bases that cannot pair.
+    UnpairableBases {
+        /// Left position of the offending arc.
+        left: u32,
+        /// Right position of the offending arc.
+        right: u32,
+        /// The two base characters.
+        bases: (char, char),
+    },
+    /// The structure itself is invalid.
+    Structure(StructureError),
+}
+
+impl fmt::Display for MoleculeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoleculeError::LengthMismatch {
+                sequence,
+                structure,
+            } => write!(
+                f,
+                "sequence has {sequence} bases but structure has {structure} positions"
+            ),
+            MoleculeError::UnpairableBases { left, right, bases } => write!(
+                f,
+                "arc ({left},{right}) pairs {} with {}, which cannot bond",
+                bases.0, bases.1
+            ),
+            MoleculeError::Structure(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MoleculeError {}
+
+impl From<StructureError> for MoleculeError {
+    fn from(e: StructureError) -> Self {
+        MoleculeError::Structure(e)
+    }
+}
+
+impl RnaMolecule {
+    /// Validates and bundles a sequence with its structure.
+    pub fn new(
+        name: impl Into<String>,
+        sequence: Sequence,
+        structure: ArcStructure,
+    ) -> Result<Self, MoleculeError> {
+        if sequence.len() != structure.len() as usize {
+            return Err(MoleculeError::LengthMismatch {
+                sequence: sequence.len(),
+                structure: structure.len(),
+            });
+        }
+        for arc in structure.arcs() {
+            let a = sequence.base(arc.left as usize);
+            let b = sequence.base(arc.right as usize);
+            if !a.can_pair(b) {
+                return Err(MoleculeError::UnpairableBases {
+                    left: arc.left,
+                    right: arc.right,
+                    bases: (a.to_char(), b.to_char()),
+                });
+            }
+        }
+        Ok(RnaMolecule {
+            name: name.into(),
+            sequence,
+            structure,
+        })
+    }
+
+    /// The molecule's name (free text; often the accession).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base sequence.
+    pub fn sequence(&self) -> &Sequence {
+        &self.sequence
+    }
+
+    /// The secondary structure.
+    pub fn structure(&self) -> &ArcStructure {
+        &self.structure
+    }
+
+    /// Fraction of arcs that are G-C pairs (the thermodynamically
+    /// strongest); 0.0 for arcless molecules.
+    pub fn gc_pair_fraction(&self) -> f64 {
+        let arcs = self.structure.arcs();
+        if arcs.is_empty() {
+            return 0.0;
+        }
+        let gc = arcs
+            .iter()
+            .filter(|a| {
+                let x = self.sequence.base(a.left as usize);
+                let y = self.sequence.base(a.right as usize);
+                matches!((x.to_char(), y.to_char()), ('G', 'C') | ('C', 'G'))
+            })
+            .count();
+        gc as f64 / arcs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::dot_bracket;
+    use crate::generate;
+
+    #[test]
+    fn accepts_consistent_pair() {
+        let s = dot_bracket::parse("((..))").unwrap();
+        let q: Sequence = "GGAACC".parse().unwrap();
+        let m = RnaMolecule::new("test", q, s).unwrap();
+        assert_eq!(m.name(), "test");
+        assert_eq!(m.structure().num_arcs(), 2);
+        assert!((m.gc_pair_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accepts_wobble_pairs() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let q: Sequence = "GAU".parse().unwrap();
+        assert!(RnaMolecule::new("w", q, s).is_ok());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let q: Sequence = "GAUC".parse().unwrap();
+        assert!(matches!(
+            RnaMolecule::new("x", q, s),
+            Err(MoleculeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unpairable_bases() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let q: Sequence = "AAC".parse().unwrap();
+        let e = RnaMolecule::new("x", q, s).unwrap_err();
+        match e {
+            MoleculeError::UnpairableBases { left, right, bases } => {
+                assert_eq!((left, right), (0, 2));
+                assert_eq!(bases, ('A', 'C'));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(e.to_string().contains("cannot bond"));
+    }
+
+    #[test]
+    fn generated_molecules_are_always_consistent() {
+        for seed in 0..10 {
+            let s = generate::random_structure(80, 0.9, seed);
+            let q = generate::sequence_for(&s, seed);
+            assert!(RnaMolecule::new(format!("gen-{seed}"), q, s).is_ok());
+        }
+    }
+
+    #[test]
+    fn gc_fraction_of_mixed_molecule() {
+        let s = dot_bracket::parse("(.)(.)").unwrap();
+        let q: Sequence = "GACAUU".parse().unwrap(); // G-C and A-U pairs
+        let m = RnaMolecule::new("m", q, s).unwrap();
+        assert!((m.gc_pair_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arcless_molecule_gc_fraction_zero() {
+        let s = crate::ArcStructure::unpaired(3);
+        let q: Sequence = "AAA".parse().unwrap();
+        let m = RnaMolecule::new("m", q, s).unwrap();
+        assert_eq!(m.gc_pair_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! RNA sequences over the four-letter alphabet `{A, C, G, U}`.
+//!
+//! The MCOS algorithms compare *bond structures* only — base identity never
+//! enters the recurrence (the paper removes Bafna's weight functions) — but
+//! realistic inputs carry sequences, the text formats record them, and the
+//! generators emit complementary bases under every generated arc.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One RNA base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Guanine.
+    G,
+    /// Uracil.
+    U,
+}
+
+impl Base {
+    /// The Watson–Crick complement (`A↔U`, `C↔G`).
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::U,
+            Base::U => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+        }
+    }
+
+    /// Returns `true` if the two bases can pair in the canonical model
+    /// (Watson–Crick pairs plus the G·U wobble pair).
+    #[inline]
+    pub fn can_pair(self, other: Base) -> bool {
+        matches!(
+            (self, other),
+            (Base::A, Base::U)
+                | (Base::U, Base::A)
+                | (Base::C, Base::G)
+                | (Base::G, Base::C)
+                | (Base::G, Base::U)
+                | (Base::U, Base::G)
+        )
+    }
+
+    /// Parses one base character (case-insensitive; `T` is accepted as `U`).
+    pub fn from_char(c: char) -> Option<Base> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Base::A),
+            'C' => Some(Base::C),
+            'G' => Some(Base::G),
+            'U' | 'T' => Some(Base::U),
+            _ => None,
+        }
+    }
+
+    /// The canonical uppercase character for this base.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::U => 'U',
+        }
+    }
+
+    /// All four bases, in alphabet order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::U];
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// An owned RNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sequence {
+    bases: Vec<Base>,
+}
+
+impl Sequence {
+    /// Creates a sequence from a vector of bases.
+    pub fn new(bases: Vec<Base>) -> Self {
+        Sequence { bases }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Returns `true` if the sequence has no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The bases as a slice.
+    #[inline]
+    pub fn bases(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// The base at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn base(&self, pos: usize) -> Base {
+        self.bases[pos]
+    }
+
+    /// Mutable access to the underlying bases.
+    #[inline]
+    pub fn bases_mut(&mut self) -> &mut Vec<Base> {
+        &mut self.bases
+    }
+}
+
+impl FromStr for Sequence {
+    type Err = char;
+
+    /// Parses a sequence string; whitespace is ignored. Returns the first
+    /// unrecognized character on error.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bases = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            match Base::from_char(c) {
+                Some(b) => bases.push(b),
+                None => return Err(c),
+            }
+        }
+        Ok(Sequence { bases })
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for Sequence {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        Sequence {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_is_involutive() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn watson_crick_pairs() {
+        assert!(Base::A.can_pair(Base::U));
+        assert!(Base::G.can_pair(Base::C));
+        assert!(Base::G.can_pair(Base::U), "wobble pair");
+        assert!(!Base::A.can_pair(Base::G));
+        assert!(!Base::A.can_pair(Base::A));
+        assert!(!Base::C.can_pair(Base::U));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let s: Sequence = "ACGUacgu".parse().unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.to_string(), "ACGUACGU");
+    }
+
+    #[test]
+    fn parse_accepts_t_as_u() {
+        let s: Sequence = "ACGT".parse().unwrap();
+        assert_eq!(s.base(3), Base::U);
+    }
+
+    #[test]
+    fn parse_skips_whitespace() {
+        let s: Sequence = "AC GU\nAC".parse().unwrap();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let e = "ACXGU".parse::<Sequence>().unwrap_err();
+        assert_eq!(e, 'X');
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Sequence = Base::ALL.into_iter().collect();
+        assert_eq!(s.to_string(), "ACGU");
+    }
+}

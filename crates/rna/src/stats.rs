@@ -1,0 +1,166 @@
+//! Descriptive statistics for secondary structures.
+//!
+//! These are used by the experiment harness to report the shape of inputs
+//! (arc density, nesting depth, stem organization) alongside timing
+//! results, and by tests to assert the generators produce structures with
+//! the intended character.
+
+use crate::structure::ArcStructure;
+
+/// Summary statistics of a secondary structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureStats {
+    /// Sequence length.
+    pub len: u32,
+    /// Number of arcs.
+    pub arcs: u32,
+    /// Fraction of positions that are arc endpoints (`2*arcs/len`).
+    pub paired_fraction: f64,
+    /// Maximum nesting depth.
+    pub max_depth: u32,
+    /// Mean nesting depth over arcs (1-based: an outermost arc counts 1).
+    pub mean_depth: f64,
+    /// Number of stems (maximal runs of directly nested arcs with no
+    /// branching or unpaired interruption).
+    pub stems: u32,
+    /// Length of the longest stem.
+    pub longest_stem: u32,
+    /// Number of top-level arcs (depth 0).
+    pub top_level_arcs: u32,
+}
+
+/// Computes [`StructureStats`] for a structure.
+pub fn stats(s: &ArcStructure) -> StructureStats {
+    let depths = s.arc_depths();
+    let parents = s.arc_parents();
+    let n_arcs = s.num_arcs();
+
+    // Stem detection: arc B continues arc A's stem when B is the unique
+    // child of A and is "snug" (B.left == A.left + 1 and B.right ==
+    // A.right - 1). Count maximal runs.
+    let mut child_count = vec![0u32; n_arcs as usize];
+    for p in parents.iter().flatten() {
+        child_count[*p as usize] += 1;
+    }
+    let mut stems = 0u32;
+    let mut longest = 0u32;
+    for k in 0..n_arcs {
+        // A stem starts at an arc whose parent does not continue into it.
+        let starts_stem = match parents[k as usize] {
+            None => true,
+            Some(p) => {
+                let pa = s.arc(p);
+                let ka = s.arc(k);
+                !(child_count[p as usize] == 1
+                    && ka.left == pa.left + 1
+                    && ka.right == pa.right - 1)
+            }
+        };
+        if !starts_stem {
+            continue;
+        }
+        stems += 1;
+        // Walk the run downward.
+        let mut len_run = 1u32;
+        let mut cur = k;
+        loop {
+            let ca = s.arc(cur);
+            // The unique snug child, if any.
+            if child_count[cur as usize] != 1 {
+                break;
+            }
+            let child = (0..n_arcs)
+                .find(|&c| parents[c as usize] == Some(cur))
+                .expect("child_count says there is one child");
+            let ch = s.arc(child);
+            if ch.left == ca.left + 1 && ch.right == ca.right - 1 {
+                len_run += 1;
+                cur = child;
+            } else {
+                break;
+            }
+        }
+        longest = longest.max(len_run);
+    }
+
+    StructureStats {
+        len: s.len(),
+        arcs: n_arcs,
+        paired_fraction: if s.is_empty() {
+            0.0
+        } else {
+            (2 * n_arcs) as f64 / s.len() as f64
+        },
+        max_depth: s.max_depth(),
+        mean_depth: if n_arcs == 0 {
+            0.0
+        } else {
+            depths.iter().map(|&d| (d + 1) as f64).sum::<f64>() / n_arcs as f64
+        },
+        stems,
+        longest_stem: longest,
+        top_level_arcs: depths.iter().filter(|&&d| d == 0).count() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn worst_case_is_one_long_stem() {
+        let s = generate::worst_case_nested(10);
+        let st = stats(&s);
+        assert_eq!(st.arcs, 10);
+        assert_eq!(st.max_depth, 10);
+        assert_eq!(st.stems, 1);
+        assert_eq!(st.longest_stem, 10);
+        assert_eq!(st.top_level_arcs, 1);
+        assert!((st.paired_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hairpin_chain_stems() {
+        let s = generate::hairpin_chain(4, 3, 5);
+        let st = stats(&s);
+        assert_eq!(st.stems, 4);
+        assert_eq!(st.longest_stem, 3);
+        assert_eq!(st.top_level_arcs, 4);
+        assert_eq!(st.max_depth, 3);
+    }
+
+    #[test]
+    fn empty_structure_stats() {
+        let st = stats(&ArcStructure::unpaired(10));
+        assert_eq!(st.arcs, 0);
+        assert_eq!(st.stems, 0);
+        assert_eq!(st.paired_fraction, 0.0);
+        assert_eq!(st.mean_depth, 0.0);
+    }
+
+    #[test]
+    fn branching_breaks_stems() {
+        // Outer arc with two sequential hairpins inside: 3 stems.
+        use crate::formats::dot_bracket;
+        let s = dot_bracket::parse("((..)(..))").unwrap();
+        let st = stats(&s);
+        assert_eq!(st.stems, 3);
+        assert_eq!(st.top_level_arcs, 1);
+    }
+
+    #[test]
+    fn rrna_like_has_many_stems() {
+        let cfg = generate::RrnaConfig {
+            len: 1000,
+            arcs: 180,
+            mean_stem: 6,
+            nest_bias: 0.55,
+        };
+        let s = generate::rrna_like(&cfg, 11);
+        let st = stats(&s);
+        assert!(st.stems > 10, "expected many stems, got {}", st.stems);
+        assert!(st.longest_stem >= 3);
+        assert!(st.max_depth < st.arcs, "not one giant nest");
+    }
+}

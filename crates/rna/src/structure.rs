@@ -1,0 +1,436 @@
+//! [`ArcStructure`]: a validated non-pseudoknot secondary structure.
+
+use std::fmt;
+
+use crate::arc::Arc;
+use crate::error::StructureError;
+
+/// Sentinel for "no arc / no partner" in the position-indexed tables.
+const NONE: u32 = u32::MAX;
+
+/// A validated arc-annotated secondary structure over `len` positions.
+///
+/// Invariants (checked by [`ArcStructure::new`], so every value of this type
+/// satisfies them):
+///
+/// * every arc `(l, r)` has `l < r < len`;
+/// * no two arcs share an endpoint (each base is linked at most once);
+/// * no two arcs cross — any two arcs are nested or disjoint.
+///
+/// Arcs are stored sorted by **increasing right endpoint**, which is the
+/// traversal order of the SRNA algorithms (the order in which arc endpoints
+/// are encountered while scanning the sequence left to right). Because
+/// endpoints are unique, this order is strict, and the index of an arc in
+/// [`ArcStructure::arcs`] is a stable identifier used throughout the MCOS
+/// crates ("arc index").
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArcStructure {
+    len: u32,
+    /// Arcs sorted by increasing right endpoint.
+    arcs: Vec<Arc>,
+    /// `partner[p]` is the position paired with `p`, or `NONE`.
+    partner: Vec<u32>,
+    /// `ending_at[p]` is the arc index whose right endpoint is `p`, or `NONE`.
+    ending_at: Vec<u32>,
+    /// `starting_at[p]` is the arc index whose left endpoint is `p`, or `NONE`.
+    starting_at: Vec<u32>,
+}
+
+impl ArcStructure {
+    /// Builds a structure over `len` positions from a set of arcs,
+    /// validating the non-pseudoknot model.
+    pub fn new(len: u32, arcs: impl IntoIterator<Item = Arc>) -> Result<Self, StructureError> {
+        let mut arcs: Vec<Arc> = arcs.into_iter().collect();
+        arcs.sort_by_key(|a| a.right);
+
+        let n = len as usize;
+        let mut partner = vec![NONE; n];
+        let mut ending_at = vec![NONE; n];
+        let mut starting_at = vec![NONE; n];
+
+        for (idx, arc) in arcs.iter().enumerate() {
+            if arc.right >= len {
+                return Err(StructureError::OutOfBounds { arc: *arc, len });
+            }
+            for pos in [arc.left, arc.right] {
+                if partner[pos as usize] != NONE {
+                    // Distinguish an exact duplicate from a shared endpoint.
+                    let other = arcs[..idx]
+                        .iter()
+                        .find(|o| o.left == pos || o.right == pos)
+                        .copied();
+                    if other == Some(*arc) {
+                        return Err(StructureError::DuplicateArc { arc: *arc });
+                    }
+                    return Err(StructureError::SharedEndpoint { position: pos });
+                }
+            }
+            partner[arc.left as usize] = arc.right;
+            partner[arc.right as usize] = arc.left;
+            ending_at[arc.right as usize] = idx as u32;
+            starting_at[arc.left as usize] = idx as u32;
+        }
+
+        // Non-crossing check: a left-to-right sweep with a stack of open
+        // arcs. Closing an arc whose partner is not the innermost open arc
+        // means two arcs cross.
+        let mut stack: Vec<u32> = Vec::new(); // left endpoints of open arcs
+        for pos in 0..len {
+            let p = partner[pos as usize];
+            if p == NONE {
+                continue;
+            }
+            if p > pos {
+                stack.push(pos);
+            } else {
+                // `pos` closes the arc (p, pos).
+                match stack.pop() {
+                    Some(top) if top == p => {}
+                    Some(top) => {
+                        return Err(StructureError::CrossingArcs {
+                            first: Arc::new(top, partner[top as usize]),
+                            second: Arc::new(p, pos),
+                        });
+                    }
+                    None => unreachable!("closing endpoint without any open arc"),
+                }
+            }
+        }
+
+        Ok(ArcStructure {
+            len,
+            arcs,
+            partner,
+            ending_at,
+            starting_at,
+        })
+    }
+
+    /// A structure with no arcs.
+    pub fn unpaired(len: u32) -> Self {
+        ArcStructure::new(len, std::iter::empty()).expect("empty structure is always valid")
+    }
+
+    /// Sequence length (number of positions).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns `true` if the structure has zero positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> u32 {
+        self.arcs.len() as u32
+    }
+
+    /// All arcs, sorted by increasing right endpoint.
+    #[inline]
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The arc with the given index (indices follow right-endpoint order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn arc(&self, idx: u32) -> Arc {
+        self.arcs[idx as usize]
+    }
+
+    /// The partner of position `pos`, if it is an arc endpoint.
+    #[inline]
+    pub fn partner_of(&self, pos: u32) -> Option<u32> {
+        match self.partner[pos as usize] {
+            NONE => None,
+            p => Some(p),
+        }
+    }
+
+    /// Index of the arc whose **right** endpoint is `pos`, if any.
+    #[inline]
+    pub fn arc_ending_at(&self, pos: u32) -> Option<u32> {
+        match self.ending_at[pos as usize] {
+            NONE => None,
+            i => Some(i),
+        }
+    }
+
+    /// Index of the arc whose **left** endpoint is `pos`, if any.
+    #[inline]
+    pub fn arc_starting_at(&self, pos: u32) -> Option<u32> {
+        match self.starting_at[pos as usize] {
+            NONE => None,
+            i => Some(i),
+        }
+    }
+
+    /// Indices of the arcs fully contained in the closed window `[i, j]`
+    /// (both endpoints inside), in increasing right-endpoint order.
+    ///
+    /// Returns an empty vector for inverted windows (`j < i`), which arise
+    /// as the empty intervals under innermost arcs.
+    pub fn arcs_in_window(&self, i: u32, j: u32) -> Vec<u32> {
+        if j < i || self.arcs.is_empty() {
+            return Vec::new();
+        }
+        // Arcs are sorted by right endpoint: binary-search the range of
+        // right endpoints in [i, j], then filter on the left endpoint.
+        let lo = self.arcs.partition_point(|a| a.right < i);
+        let hi = self.arcs.partition_point(|a| a.right <= j);
+        (lo..hi)
+            .filter(|&k| self.arcs[k].left >= i)
+            .map(|k| k as u32)
+            .collect()
+    }
+
+    /// Indices of the arcs strictly nested under arc `idx`, in increasing
+    /// right-endpoint order.
+    pub fn arcs_under(&self, idx: u32) -> Vec<u32> {
+        let a = self.arc(idx);
+        if a.span() == 0 {
+            return Vec::new();
+        }
+        self.arcs_in_window(a.left + 1, a.right - 1)
+    }
+
+    /// Number of arcs strictly nested under arc `idx`.
+    ///
+    /// This is the work driver of the MCOS child slices: tabulating the
+    /// child slice spawned by matching arcs `(a, b)` costs
+    /// `arcs_under(a) * arcs_under(b)` subproblems.
+    pub fn arcs_under_count(&self, idx: u32) -> u32 {
+        self.arcs_under(idx).len() as u32
+    }
+
+    /// Nesting depth of every arc: `depth[k]` is the number of arcs strictly
+    /// enclosing arc `k` (outermost arcs have depth 0).
+    pub fn arc_depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.arcs.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for pos in 0..self.len {
+            if let Some(idx) = self.arc_starting_at(pos) {
+                depth[idx as usize] = stack.len() as u32;
+                stack.push(idx);
+            }
+            if let Some(idx) = self.arc_ending_at(pos) {
+                debug_assert_eq!(stack.last(), Some(&idx));
+                stack.pop();
+            }
+        }
+        depth
+    }
+
+    /// Maximum nesting depth (0 for a structure with no arcs; a single arc
+    /// has depth 1).
+    pub fn max_depth(&self) -> u32 {
+        self.arc_depths().iter().map(|d| d + 1).max().unwrap_or(0)
+    }
+
+    /// Parent arc index of each arc (the innermost arc strictly enclosing
+    /// it), or `None` for top-level arcs.
+    pub fn arc_parents(&self) -> Vec<Option<u32>> {
+        let mut parent = vec![None; self.arcs.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for pos in 0..self.len {
+            if let Some(idx) = self.arc_starting_at(pos) {
+                parent[idx as usize] = stack.last().copied();
+                stack.push(idx);
+            }
+            if self.arc_ending_at(pos).is_some() {
+                stack.pop();
+            }
+        }
+        parent
+    }
+
+    /// Concatenates two structures: the result has `self.len() + other.len()`
+    /// positions with `other`'s arcs shifted past the end of `self`.
+    pub fn concat(&self, other: &ArcStructure) -> ArcStructure {
+        let arcs = self
+            .arcs
+            .iter()
+            .copied()
+            .chain(other.arcs.iter().map(|a| a.shifted(self.len)));
+        ArcStructure::new(self.len + other.len, arcs)
+            .expect("concatenation of valid structures is valid")
+    }
+
+    /// Wraps the structure under one new enclosing arc: the result has
+    /// `len + 2` positions, an arc `(0, len + 1)`, and all existing arcs
+    /// shifted right by one.
+    pub fn enclosed(&self) -> ArcStructure {
+        let arcs = std::iter::once(Arc::new(0, self.len + 1))
+            .chain(self.arcs.iter().map(|a| a.shifted(1)));
+        ArcStructure::new(self.len + 2, arcs).expect("enclosing a valid structure is valid")
+    }
+}
+
+impl fmt::Debug for ArcStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArcStructure(len={}, arcs=[", self.len)?;
+        for (k, a) in self.arcs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arcs(pairs: &[(u32, u32)]) -> Vec<Arc> {
+        pairs.iter().map(|&(a, b)| Arc::new(a, b)).collect()
+    }
+
+    #[test]
+    fn paper_figure_1_structure_is_valid() {
+        // Figure 1 of the paper: arcs (0,19), (1,8), (9,18) — one outer arc
+        // with a sequential pair underneath.
+        let s = ArcStructure::new(20, arcs(&[(0, 19), (1, 8), (9, 18)])).unwrap();
+        assert_eq!(s.num_arcs(), 3);
+        // Sorted by right endpoint: (1,8), (9,18), (0,19).
+        assert_eq!(s.arc(0), Arc::new(1, 8));
+        assert_eq!(s.arc(1), Arc::new(9, 18));
+        assert_eq!(s.arc(2), Arc::new(0, 19));
+        assert_eq!(s.max_depth(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let e = ArcStructure::new(5, arcs(&[(0, 5)])).unwrap_err();
+        assert!(matches!(e, StructureError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_shared_endpoint() {
+        let e = ArcStructure::new(6, arcs(&[(0, 3), (3, 5)])).unwrap_err();
+        assert_eq!(e, StructureError::SharedEndpoint { position: 3 });
+    }
+
+    #[test]
+    fn rejects_duplicate_arc() {
+        let e = ArcStructure::new(6, arcs(&[(0, 3), (0, 3)])).unwrap_err();
+        assert_eq!(
+            e,
+            StructureError::DuplicateArc {
+                arc: Arc::new(0, 3)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_crossing_arcs() {
+        let e = ArcStructure::new(10, arcs(&[(0, 5), (3, 8)])).unwrap_err();
+        match e {
+            StructureError::CrossingArcs { first, second } => {
+                let mut pair = [first, second];
+                pair.sort();
+                assert_eq!(pair, [Arc::new(0, 5), Arc::new(3, 8)]);
+            }
+            other => panic!("expected CrossingArcs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_nested_and_sequential() {
+        let s = ArcStructure::new(12, arcs(&[(0, 11), (1, 5), (6, 10), (2, 4), (7, 9)])).unwrap();
+        assert_eq!(s.num_arcs(), 5);
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn partner_and_endpoint_lookup() {
+        let s = ArcStructure::new(10, arcs(&[(1, 8), (2, 7)])).unwrap();
+        assert_eq!(s.partner_of(1), Some(8));
+        assert_eq!(s.partner_of(8), Some(1));
+        assert_eq!(s.partner_of(0), None);
+        assert_eq!(s.arc_ending_at(7), Some(0)); // (2,7) has smaller right endpoint
+        assert_eq!(s.arc_ending_at(8), Some(1));
+        assert_eq!(s.arc_ending_at(3), None);
+        assert_eq!(s.arc_starting_at(2), Some(0));
+        assert_eq!(s.arc_starting_at(1), Some(1));
+    }
+
+    #[test]
+    fn arcs_in_window_filters_both_endpoints() {
+        let s = ArcStructure::new(12, arcs(&[(0, 11), (1, 5), (6, 10), (2, 4)])).unwrap();
+        // Window [1,5]: arcs (1,5) and (2,4) only.
+        let w = s.arcs_in_window(1, 5);
+        let got: Vec<Arc> = w.iter().map(|&k| s.arc(k)).collect();
+        assert_eq!(got, vec![Arc::new(2, 4), Arc::new(1, 5)]);
+        // Window [1,10]: excludes the outer (0,11).
+        assert_eq!(s.arcs_in_window(1, 10).len(), 3);
+        // Inverted window is empty.
+        assert!(s.arcs_in_window(5, 4).is_empty());
+    }
+
+    #[test]
+    fn arcs_under_counts_nested_arcs() {
+        let s = ArcStructure::new(12, arcs(&[(0, 11), (1, 5), (6, 10), (2, 4)])).unwrap();
+        // Arc (0,11) is the last index (largest right endpoint).
+        let outer = s.arc_ending_at(11).unwrap();
+        assert_eq!(s.arcs_under_count(outer), 3);
+        let inner = s.arc_ending_at(4).unwrap();
+        assert_eq!(s.arcs_under_count(inner), 0);
+    }
+
+    #[test]
+    fn depths_and_parents() {
+        let s = ArcStructure::new(12, arcs(&[(0, 11), (1, 5), (6, 10), (2, 4)])).unwrap();
+        let depths = s.arc_depths();
+        let parents = s.arc_parents();
+        let idx_outer = s.arc_ending_at(11).unwrap() as usize;
+        let idx_15 = s.arc_ending_at(5).unwrap() as usize;
+        let idx_24 = s.arc_ending_at(4).unwrap() as usize;
+        assert_eq!(depths[idx_outer], 0);
+        assert_eq!(depths[idx_15], 1);
+        assert_eq!(depths[idx_24], 2);
+        assert_eq!(parents[idx_outer], None);
+        assert_eq!(parents[idx_24], Some(idx_15 as u32));
+    }
+
+    #[test]
+    fn unpaired_structure() {
+        let s = ArcStructure::unpaired(7);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.num_arcs(), 0);
+        assert_eq!(s.max_depth(), 0);
+    }
+
+    #[test]
+    fn concat_shifts_second_structure() {
+        let a = ArcStructure::new(4, arcs(&[(0, 3)])).unwrap();
+        let b = ArcStructure::new(4, arcs(&[(1, 2)])).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.arcs(), &[Arc::new(0, 3), Arc::new(5, 6)]);
+    }
+
+    #[test]
+    fn enclosed_wraps_structure() {
+        let a = ArcStructure::new(4, arcs(&[(1, 2)])).unwrap();
+        let e = a.enclosed();
+        assert_eq!(e.len(), 6);
+        assert_eq!(e.arcs(), &[Arc::new(2, 3), Arc::new(0, 5)]);
+        assert_eq!(e.max_depth(), 2);
+    }
+
+    #[test]
+    fn zero_length_structure() {
+        let s = ArcStructure::unpaired(0);
+        assert!(s.is_empty());
+        assert!(s.arcs_in_window(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests over the structure model: every generator output obeys
+//! the non-pseudoknot invariants, the forest view is consistent with the
+//! flat view, statistics are internally consistent, and mutation
+//! operators preserve validity.
+
+use proptest::prelude::*;
+use rna_structure::forest::StructureForest;
+use rna_structure::mutate::{self, MutationConfig};
+use rna_structure::{generate, stats, ArcStructure};
+
+/// Re-validates a structure from its raw arcs (exercises the full
+/// constructor checks; the constructor is the oracle).
+fn revalidates(s: &ArcStructure) -> bool {
+    ArcStructure::new(s.len(), s.arcs().iter().copied()).is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_random_structures_valid(len in 0u32..150, density in 0.0f64..1.6, seed in 0u64..50_000) {
+        let s = generate::random_structure(len, density, seed);
+        prop_assert!(revalidates(&s));
+        prop_assert!(2 * s.num_arcs() <= s.len());
+    }
+
+    #[test]
+    fn prop_rrna_like_valid_and_exact(len_base in 30u32..200, arc_frac in 2u32..5, seed in 0u64..10_000) {
+        let arcs = len_base / (2 * arc_frac);
+        prop_assume!(arcs > 0);
+        let cfg = generate::RrnaConfig {
+            len: len_base,
+            arcs,
+            mean_stem: 5,
+            nest_bias: 0.5,
+        };
+        let s = generate::rrna_like(&cfg, seed);
+        prop_assert!(revalidates(&s));
+        prop_assert_eq!(s.len(), len_base);
+        prop_assert_eq!(s.num_arcs(), arcs);
+    }
+
+    #[test]
+    fn prop_forest_is_consistent(len in 4u32..120, seed in 0u64..10_000) {
+        let s = generate::random_structure(len, 1.0, seed);
+        let f = StructureForest::build(&s);
+        // Parent/child symmetry.
+        for (k, node) in f.nodes().iter().enumerate() {
+            for &c in &node.children {
+                prop_assert_eq!(f.nodes()[c as usize].parent, Some(k as u32));
+                prop_assert!(node.arc.nests(&f.nodes()[c as usize].arc));
+            }
+            if let Some(p) = node.parent {
+                prop_assert!(f.nodes()[p as usize].children.contains(&(k as u32)));
+                prop_assert_eq!(f.nodes()[p as usize].depth + 1, node.depth);
+            } else {
+                prop_assert_eq!(node.depth, 0);
+            }
+        }
+        // Preorder covers everything exactly once.
+        let mut order = f.preorder();
+        order.sort_unstable();
+        let expected: Vec<u32> = (0..s.num_arcs()).collect();
+        prop_assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn prop_stats_consistent(len in 0u32..120, density in 0.2f64..1.2, seed in 0u64..10_000) {
+        let s = generate::random_structure(len, density, seed);
+        let st = stats::stats(&s);
+        prop_assert_eq!(st.arcs, s.num_arcs());
+        prop_assert!(st.max_depth as f64 >= st.mean_depth);
+        prop_assert!(st.top_level_arcs <= st.arcs);
+        prop_assert!(st.stems <= st.arcs);
+        prop_assert!(st.longest_stem <= st.arcs);
+        if st.arcs > 0 {
+            prop_assert!(st.stems >= 1);
+            prop_assert!(st.longest_stem >= 1);
+            prop_assert!(st.mean_depth >= 1.0);
+        }
+    }
+
+    #[test]
+    fn prop_mutation_preserves_validity(len in 20u32..120, seed in 0u64..10_000, mseed in 0u64..1000) {
+        let s = generate::random_structure(len, 0.9, seed);
+        let cfg = MutationConfig {
+            arc_removals: 3,
+            hairpin_insertions: 2,
+            span_deletions: 2,
+        };
+        let m = mutate::mutate(&s, &cfg, mseed);
+        prop_assert!(revalidates(&m));
+    }
+
+    #[test]
+    fn prop_enclose_and_concat_compose(len in 2u32..40, seed in 0u64..5000) {
+        let a = generate::random_structure(len, 0.8, seed);
+        let b = generate::random_structure(len, 0.8, seed + 1);
+        let c = a.concat(&b).enclosed();
+        prop_assert!(revalidates(&c));
+        prop_assert_eq!(c.len(), 2 * len + 2);
+        prop_assert_eq!(c.num_arcs(), a.num_arcs() + b.num_arcs() + 1);
+        prop_assert_eq!(c.max_depth(), a.max_depth().max(b.max_depth()) + 1);
+    }
+
+    #[test]
+    fn prop_arcs_in_window_definition(len in 4u32..80, seed in 0u64..5000,
+                                      i in 0u32..80, j in 0u32..80) {
+        let s = generate::random_structure(len, 1.0, seed);
+        let i = i % len;
+        let j = j % len;
+        let got = s.arcs_in_window(i, j);
+        let expected: Vec<u32> = (0..s.num_arcs())
+            .filter(|&k| {
+                let a = s.arc(k);
+                a.left >= i && a.right <= j
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prop_draw_round_trips_via_last_line(len in 0u32..80, seed in 0u64..5000) {
+        let s = generate::random_structure(len, 0.9, seed);
+        let d = rna_structure::draw::arc_diagram(&s);
+        let last = d.lines().last().unwrap_or("");
+        let parsed = rna_structure::formats::dot_bracket::parse(last).unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+}

@@ -1,0 +1,99 @@
+//! Clustering a family of related structures by shared architecture —
+//! the downstream workflow the paper's introduction motivates.
+//!
+//! Run with: `cargo run -p mcos-parallel --release --example family_clustering`
+//!
+//! Two template structures are mutated into small families; all pairs
+//! are compared with MCOS on a thread pool; single-linkage clustering on
+//! the similarity matrix recovers the families.
+
+use mcos_parallel::pairwise;
+use rna_structure::generate::{self, RrnaConfig};
+use rna_structure::mutate::{mutate, MutationConfig};
+
+fn main() {
+    // Two unrelated templates.
+    let template_a = generate::rrna_like(
+        &RrnaConfig {
+            len: 400,
+            arcs: 80,
+            mean_stem: 7,
+            nest_bias: 0.55,
+        },
+        100,
+    );
+    let template_b = generate::rrna_like(
+        &RrnaConfig {
+            len: 380,
+            arcs: 70,
+            mean_stem: 5,
+            nest_bias: 0.45,
+        },
+        200,
+    );
+
+    // Three mutants of each (light edits: a few arcs removed, a span
+    // deleted, a hairpin inserted).
+    let cfg = MutationConfig::default();
+    let mut names = Vec::new();
+    let mut structures = Vec::new();
+    for (fam, template) in [("A", &template_a), ("B", &template_b)] {
+        names.push(format!("{fam}-template"));
+        structures.push(template.clone());
+        for seed in 0..3u64 {
+            names.push(format!("{fam}-mutant{seed}"));
+            structures.push(mutate(template, &cfg, seed));
+        }
+    }
+
+    println!(
+        "comparing {} structures ({} pairs)...",
+        structures.len(),
+        structures.len() * (structures.len() - 1) / 2
+    );
+    let matrix = pairwise::score_matrix(&structures, 4);
+
+    println!("\nsimilarity matrix (matched arcs / smaller arc count):");
+    print!("{:>12}", "");
+    for name in &names {
+        print!("{name:>12}");
+    }
+    println!();
+    for (i, name) in names.iter().enumerate() {
+        print!("{name:>12}");
+        for j in 0..names.len() {
+            print!("{:>12.2}", matrix.similarity(i, j));
+        }
+        println!();
+    }
+
+    let clusters = matrix.cluster(0.85);
+    println!("\nclusters at similarity >= 0.85:");
+    println!("(unrelated rRNA-like structures already share ~0.7-0.8 of their");
+    println!(" architecture - generic stems align with generic stems - so family");
+    println!(" structure only emerges above that baseline)");
+    for (name, c) in names.iter().zip(&clusters) {
+        println!("  {name}: cluster {c}");
+    }
+
+    // The two families must separate.
+    assert_eq!(
+        clusters[0..4]
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        1
+    );
+    assert_eq!(
+        clusters[4..8]
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        1
+    );
+    assert_ne!(clusters[0], clusters[4]);
+    println!("\nfamilies recovered correctly");
+
+    let (i, j, s) = matrix.most_similar_pair().unwrap();
+    println!("most similar pair: {} / {} ({s:.2})", names[i], names[j]);
+}

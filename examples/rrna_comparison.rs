@@ -1,0 +1,74 @@
+//! Comparing ribosomal-RNA-scale structures (the paper's Table II
+//! scenario): two ~4000-base 23S rRNA-like structures.
+//!
+//! Run with: `cargo run -p mcos-parallel --release --example rrna_comparison [--full]`
+//!
+//! The default uses quarter-scale structures so the example finishes in
+//! seconds; `--full` uses the paper's exact sizes (4216/721 and
+//! 4381/1126).
+
+use mcos_core::{srna1, srna2};
+use rna_structure::generate::{rrna_like, RrnaConfig};
+use rna_structure::stats;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (fungus_cfg, malaria_cfg) = if full {
+        (RrnaConfig::fungus(), RrnaConfig::malaria())
+    } else {
+        (
+            RrnaConfig {
+                len: 1054,
+                arcs: 180,
+                mean_stem: 7,
+                nest_bias: 0.55,
+            },
+            RrnaConfig {
+                len: 1095,
+                arcs: 280,
+                mean_stem: 7,
+                nest_bias: 0.55,
+            },
+        )
+    };
+
+    let fungus = rrna_like(&fungus_cfg, 0xF47585);
+    let malaria = rrna_like(&malaria_cfg, 0xF48228);
+    for (name, s) in [("fungus-like", &fungus), ("malaria-like", &malaria)] {
+        let st = stats::stats(s);
+        println!(
+            "{name}: {} nt, {} arcs, {} stems (longest {}), max depth {}",
+            st.len, st.arcs, st.stems, st.longest_stem, st.max_depth
+        );
+    }
+
+    // Self-comparison (the paper's Table II experiment): every arc must
+    // match, so the score doubles as a correctness check.
+    for (name, s) in [("fungus-like", &fungus), ("malaria-like", &malaria)] {
+        let t = Instant::now();
+        let o2 = srna2::run(s, s);
+        let d2 = t.elapsed();
+        assert_eq!(o2.score, s.num_arcs());
+        let t = Instant::now();
+        let o1 = srna1::run(s, s);
+        let d1 = t.elapsed();
+        assert_eq!(o1.score, s.num_arcs());
+        println!(
+            "{name} self-comparison: SRNA1 {:.3}s, SRNA2 {:.3}s (ratio {:.2})",
+            d1.as_secs_f64(),
+            d2.as_secs_f64(),
+            d1.as_secs_f64() / d2.as_secs_f64()
+        );
+    }
+
+    // Cross-comparison: how much structure do the two molecules share?
+    let t = Instant::now();
+    let cross = srna2::run(&fungus, &malaria);
+    println!(
+        "cross-comparison: {} of {} arcs in common ({:.3}s)",
+        cross.score,
+        fungus.num_arcs().min(malaria.num_arcs()),
+        t.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,134 @@
+//! Cross-crate agreement: every implementation of the MCOS recurrence —
+//! top-down memoization, full bottom-up, SRNA1, SRNA2, and PRNA on all
+//! three backends — must compute the same score on every input.
+
+use load_balance::Policy;
+use mcos_core::{baseline, srna1, srna2};
+use mcos_integration::test_structures;
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use proptest::prelude::*;
+use rna_structure::generate;
+
+fn all_scores(s1: &rna_structure::ArcStructure, s2: &rna_structure::ArcStructure) -> Vec<u32> {
+    let mut scores = vec![
+        srna1::run(s1, s2).score,
+        srna2::run(s1, s2).score,
+        baseline::top_down_memo(s1, s2).score,
+    ];
+    if s1.len() <= baseline::BOTTOM_UP_MAX_LEN && s2.len() <= baseline::BOTTOM_UP_MAX_LEN {
+        scores.push(baseline::bottom_up_full(s1, s2).score);
+    }
+    for backend in Backend::ALL {
+        scores.push(
+            prna(
+                s1,
+                s2,
+                &PrnaConfig {
+                    processors: 3,
+                    policy: Policy::Greedy,
+                    backend,
+                },
+            )
+            .score,
+        );
+    }
+    scores
+}
+
+#[test]
+fn battery_pairwise_agreement() {
+    let battery = test_structures();
+    // Compare a sliding window of pairs (full cross product is slow).
+    for w in battery.windows(2) {
+        let (n1, s1) = &w[0];
+        let (n2, s2) = &w[1];
+        let scores = all_scores(s1, s2);
+        assert!(
+            scores.windows(2).all(|p| p[0] == p[1]),
+            "{n1} vs {n2}: {scores:?}"
+        );
+    }
+}
+
+#[test]
+fn self_comparison_matches_every_arc() {
+    for (name, s) in test_structures() {
+        if s.len() > baseline::BOTTOM_UP_MAX_LEN {
+            continue;
+        }
+        let scores = all_scores(&s, &s);
+        assert!(
+            scores.iter().all(|&v| v == s.num_arcs()),
+            "{name}: {scores:?} != {}",
+            s.num_arcs()
+        );
+    }
+}
+
+#[test]
+fn score_is_symmetric() {
+    let battery = test_structures();
+    for w in battery.windows(2) {
+        let (_, s1) = &w[0];
+        let (_, s2) = &w[1];
+        assert_eq!(
+            srna2::run(s1, s2).score,
+            srna2::run(s2, s1).score,
+            "MCOS is symmetric in its arguments"
+        );
+    }
+}
+
+#[test]
+fn substructure_monotonicity() {
+    // Enclosing a structure in an extra arc can only grow the
+    // self-comparison score by one.
+    for seed in 0..5 {
+        let s = generate::random_structure(40, 0.8, seed);
+        let e = s.enclosed();
+        assert_eq!(
+            srna2::run(&e, &e).score,
+            srna2::run(&s, &s).score + 1,
+            "seed {seed}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_sequential_algorithms_agree(seed1 in 0u64..5000, seed2 in 0u64..5000,
+                                        len1 in 8u32..56, len2 in 8u32..56,
+                                        d1 in 0.2f64..1.4, d2 in 0.2f64..1.4) {
+        let s1 = generate::random_structure(len1, d1, seed1);
+        let s2 = generate::random_structure(len2, d2, seed2);
+        let a = srna1::run(&s1, &s2).score;
+        let b = srna2::run(&s1, &s2).score;
+        let c = baseline::top_down_memo(&s1, &s2).score;
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(b, c);
+    }
+
+    #[test]
+    fn prop_score_bounds(seed1 in 0u64..5000, seed2 in 0u64..5000,
+                         len in 8u32..48) {
+        let s1 = generate::random_structure(len, 0.9, seed1);
+        let s2 = generate::random_structure(len, 0.9, seed2);
+        let v = srna2::run(&s1, &s2).score;
+        prop_assert!(v <= s1.num_arcs().min(s2.num_arcs()));
+    }
+
+    #[test]
+    fn prop_concat_superadditive(seed in 0u64..2000, len in 8u32..32) {
+        // MCOS(a.concat(b), c.concat(d)) >= MCOS(a,c) + MCOS(b,d):
+        // the concatenated mappings remain order/structure consistent.
+        let a = generate::random_structure(len, 0.8, seed);
+        let b = generate::random_structure(len, 0.8, seed + 1);
+        let c = generate::random_structure(len, 0.8, seed + 2);
+        let d = generate::random_structure(len, 0.8, seed + 3);
+        let lhs = srna2::run(&a.concat(&b), &c.concat(&d)).score;
+        let rhs = srna2::run(&a, &c).score + srna2::run(&b, &d).score;
+        prop_assert!(lhs >= rhs, "lhs {lhs} < rhs {rhs}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Format round trips across the structure battery and random inputs:
+//! dot-bracket, CT and BPSEQ must all preserve structures exactly, and
+//! must agree with each other on the same structure.
+
+use mcos_integration::test_structures;
+use proptest::prelude::*;
+use rna_structure::formats::{bpseq, ct, dot_bracket};
+use rna_structure::generate;
+
+#[test]
+fn battery_dot_bracket_round_trip() {
+    for (name, s) in test_structures() {
+        let text = dot_bracket::to_string(&s);
+        let back = dot_bracket::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, s, "{name}");
+    }
+}
+
+#[test]
+fn battery_ct_and_bpseq_round_trip() {
+    for (name, s) in test_structures() {
+        let seq = generate::sequence_for(&s, 1);
+        let ct_rec = ct::CtRecord {
+            title: name.clone(),
+            sequence: seq.clone(),
+            structure: s.clone(),
+        };
+        let ct_back = ct::parse(&ct::to_string(&ct_rec)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(ct_back.structure, s, "{name} via CT");
+        assert_eq!(ct_back.sequence, seq, "{name} sequence via CT");
+
+        let bp_rec = bpseq::BpseqRecord {
+            sequence: seq.clone(),
+            structure: s.clone(),
+        };
+        let bp_back =
+            bpseq::parse(&bpseq::to_string(&bp_rec)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(bp_back.structure, s, "{name} via BPSEQ");
+    }
+}
+
+#[test]
+fn formats_agree_on_mcos_scores() {
+    // Serializing through any format must not change comparison results.
+    let s1 = generate::rrna_like(
+        &generate::RrnaConfig {
+            len: 200,
+            arcs: 40,
+            mean_stem: 5,
+            nest_bias: 0.5,
+        },
+        2,
+    );
+    let s2 = generate::random_structure(150, 0.6, 77);
+    let direct = mcos_core::mcos_score(&s1, &s2);
+    let via_db = mcos_core::mcos_score(
+        &dot_bracket::parse(&dot_bracket::to_string(&s1)).unwrap(),
+        &dot_bracket::parse(&dot_bracket::to_string(&s2)).unwrap(),
+    );
+    assert_eq!(direct, via_db);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_dot_bracket_round_trip(seed in 0u64..100_000, len in 0u32..120, d in 0.0f64..1.5) {
+        let s = generate::random_structure(len, d, seed);
+        let text = dot_bracket::to_string(&s);
+        prop_assert_eq!(dot_bracket::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn prop_bpseq_round_trip(seed in 0u64..100_000, len in 0u32..100) {
+        let s = generate::random_structure(len, 0.9, seed);
+        let rec = bpseq::BpseqRecord {
+            sequence: generate::sequence_for(&s, seed),
+            structure: s,
+        };
+        let text = bpseq::to_string(&rec);
+        prop_assert_eq!(bpseq::parse(&text).unwrap(), rec);
+    }
+
+    #[test]
+    fn prop_ct_round_trip(seed in 0u64..100_000, len in 0u32..100) {
+        let s = generate::random_structure(len, 0.7, seed);
+        let rec = ct::CtRecord {
+            title: format!("random {seed}"),
+            sequence: generate::sequence_for(&s, seed),
+            structure: s,
+        };
+        let text = ct::to_string(&rec);
+        prop_assert_eq!(ct::parse(&text).unwrap(), rec);
+    }
+}

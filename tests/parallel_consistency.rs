@@ -1,0 +1,97 @@
+//! PRNA consistency: every backend, processor count and balancing policy
+//! must reproduce SRNA2's score *and* its exact memo table.
+
+use load_balance::Policy;
+use mcos_core::srna2;
+use mcos_integration::test_structures;
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use proptest::prelude::*;
+use rna_structure::generate;
+
+#[test]
+fn battery_backends_procs_policies() {
+    let battery = test_structures();
+    for (name, s) in &battery {
+        let reference = srna2::run(s, s);
+        for backend in Backend::ALL {
+            for procs in [1u32, 2, 5] {
+                let out = prna(
+                    s,
+                    s,
+                    &PrnaConfig {
+                        processors: procs,
+                        policy: Policy::Lpt,
+                        backend,
+                    },
+                );
+                assert_eq!(out.score, reference.score, "{name} {backend:?} p{procs}");
+                assert_eq!(out.memo, reference.memo, "{name} {backend:?} p{procs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn policies_do_not_change_results() {
+    let s = generate::rrna_like(
+        &generate::RrnaConfig {
+            len: 250,
+            arcs: 50,
+            mean_stem: 6,
+            nest_bias: 0.5,
+        },
+        3,
+    );
+    let reference = srna2::run(&s, &s);
+    for policy in Policy::ALL {
+        for backend in [Backend::MpiSim, Backend::WorkerPool] {
+            let out = prna(
+                &s,
+                &s,
+                &PrnaConfig {
+                    processors: 4,
+                    policy,
+                    backend,
+                },
+            );
+            assert_eq!(out.memo, reference.memo, "{} {backend:?}", policy.name());
+        }
+    }
+}
+
+#[test]
+fn prna_timings_partition_total() {
+    let s = generate::worst_case_nested(60);
+    let out = prna(
+        &s,
+        &s,
+        &PrnaConfig {
+            processors: 2,
+            policy: Policy::Greedy,
+            backend: Backend::WorkerPool,
+        },
+    );
+    assert!(out.total() >= out.stage_one);
+    assert!(out.total() >= out.preprocessing + out.stage_two);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_parallel_equals_sequential(seed1 in 0u64..999, seed2 in 0u64..999,
+                                       len in 12u32..64, procs in 1u32..7) {
+        let s1 = generate::random_structure(len, 1.0, seed1);
+        let s2 = generate::random_structure(len, 0.7, seed2);
+        let reference = srna2::run(&s1, &s2);
+        for backend in Backend::ALL {
+            let out = prna(&s1, &s2, &PrnaConfig {
+                processors: procs,
+                policy: Policy::Greedy,
+                backend,
+            });
+            prop_assert_eq!(out.score, reference.score);
+            prop_assert_eq!(&out.memo, &reference.memo);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end pipeline: generate realistic structures → serialize →
+//! parse back → compare (sequentially and in parallel) → trace → verify.
+//! This is the full downstream-user workflow in one test.
+
+use load_balance::Policy;
+use mcos_core::{srna2, traceback, verify};
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use rna_structure::formats::{bpseq, dot_bracket};
+use rna_structure::{generate, stats};
+
+#[test]
+fn rrna_scale_pipeline() {
+    // Quarter-scale versions of the paper's Table II inputs.
+    let cfg1 = generate::RrnaConfig {
+        len: 520,
+        arcs: 90,
+        mean_stem: 7,
+        nest_bias: 0.55,
+    };
+    let cfg2 = generate::RrnaConfig {
+        len: 560,
+        arcs: 140,
+        mean_stem: 7,
+        nest_bias: 0.55,
+    };
+    let s1 = generate::rrna_like(&cfg1, 0xF47585);
+    let s2 = generate::rrna_like(&cfg2, 0xF48228);
+
+    // Generated structures look like rRNA: many stems, moderate depth.
+    for s in [&s1, &s2] {
+        let st = stats::stats(s);
+        assert!(st.stems >= 8, "rRNA-like structures have many stems");
+        assert!(st.max_depth >= 5);
+        assert!(st.max_depth < st.arcs, "not one giant nest");
+    }
+
+    // Serialize through BPSEQ (the rRNA database format) and recover.
+    let rec1 = bpseq::BpseqRecord {
+        sequence: generate::sequence_for(&s1, 1),
+        structure: s1.clone(),
+    };
+    let s1_back = bpseq::parse(&bpseq::to_string(&rec1)).unwrap().structure;
+    assert_eq!(s1_back, s1);
+
+    // Sequential comparison.
+    let seq = srna2::run(&s1, &s2);
+    assert!(seq.score > 0, "related generators share structure");
+    assert!(seq.score <= s1.num_arcs().min(s2.num_arcs()));
+
+    // Parallel comparison agrees bit-for-bit.
+    let par = prna(
+        &s1,
+        &s2,
+        &PrnaConfig {
+            processors: 3,
+            policy: Policy::Greedy,
+            backend: Backend::MpiSim,
+        },
+    );
+    assert_eq!(par.score, seq.score);
+    assert_eq!(par.memo, seq.memo);
+
+    // Traceback from the parallel run's memo is valid and optimal.
+    let p1 = mcos_core::preprocess::Preprocessed::build(&s1);
+    let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
+    let mapping = traceback::traceback_with(&p1, &p2, &par.memo);
+    assert_eq!(mapping.len() as u32, seq.score);
+    verify::check_mapping(&s1, &s2, &mapping.pairs).expect("valid mapping");
+}
+
+#[test]
+fn worst_case_pipeline_through_dot_bracket() {
+    let s = generate::worst_case_nested(64);
+    let text = dot_bracket::to_string(&s);
+    assert_eq!(text.matches('(').count(), 64);
+    let back = dot_bracket::parse(&text).unwrap();
+    let out = srna2::run(&back, &back);
+    assert_eq!(out.score, 64);
+    // Table III property at test scale: stage one dominates.
+    let (_, one, _) = out.timings.percentages();
+    assert!(one > 80.0, "stage one was only {one:.1}%");
+}
+
+#[test]
+fn stage_percentages_shift_toward_stage_one_with_size() {
+    // The Table III trend: as input grows, stage one's share rises.
+    let small = srna2::run(
+        &generate::worst_case_nested(20),
+        &generate::worst_case_nested(20),
+    );
+    let large = srna2::run(
+        &generate::worst_case_nested(120),
+        &generate::worst_case_nested(120),
+    );
+    let (_, one_small, _) = small.timings.percentages();
+    let (_, one_large, _) = large.timings.percentages();
+    assert!(
+        one_large >= one_small,
+        "stage one share should grow: {one_small:.2}% -> {one_large:.2}%"
+    );
+}

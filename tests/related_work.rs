@@ -1,0 +1,90 @@
+//! The related-work parallel schemes (manager–worker, shared-memo
+//! randomized top-down) must agree with SRNA2 everywhere, and their
+//! characteristic overheads must behave as the paper describes.
+
+use mcos_core::srna2;
+use mcos_integration::test_structures;
+use mcos_parallel::{parallel_top_down, prna_manager_worker};
+use proptest::prelude::*;
+use rna_structure::generate;
+
+#[test]
+fn manager_worker_battery() {
+    for (name, s) in test_structures() {
+        let reference = srna2::run(&s, &s);
+        for ranks in [2u32, 4] {
+            let out = prna_manager_worker(&s, &s, ranks);
+            assert_eq!(out.score, reference.score, "{name} ranks {ranks}");
+            assert_eq!(out.memo, reference.memo, "{name} ranks {ranks}");
+        }
+    }
+}
+
+#[test]
+fn shared_topdown_battery() {
+    for (name, s) in test_structures() {
+        let reference = srna2::run(&s, &s).score;
+        for threads in [1u32, 3] {
+            let out = parallel_top_down(&s, &s, threads, 42);
+            assert_eq!(out.score, reference, "{name} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn shared_topdown_work_accounting_invariants() {
+    let s = generate::worst_case_nested(30);
+    for threads in [1u32, 2, 4, 6] {
+        let out = parallel_top_down(&s, &s, threads, 99);
+        // computed = distinct + duplicated, always.
+        assert_eq!(
+            out.computed_slices,
+            out.distinct_slices + out.duplicated,
+            "threads {threads}"
+        );
+        if threads == 1 {
+            assert_eq!(out.duplicated, 0, "one thread cannot race itself");
+        }
+    }
+}
+
+#[test]
+fn manager_worker_and_static_prna_agree() {
+    use load_balance::Policy;
+    use mcos_parallel::{prna, Backend, PrnaConfig};
+    let s = generate::rrna_like(
+        &generate::RrnaConfig {
+            len: 300,
+            arcs: 60,
+            mean_stem: 6,
+            nest_bias: 0.5,
+        },
+        17,
+    );
+    let mw = prna_manager_worker(&s, &s, 3);
+    let st = prna(
+        &s,
+        &s,
+        &PrnaConfig {
+            processors: 3,
+            policy: Policy::Greedy,
+            backend: Backend::MpiSim,
+        },
+    );
+    assert_eq!(mw.score, st.score);
+    assert_eq!(mw.memo, st.memo);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn prop_related_schemes_agree(seed in 0u64..500, len in 12u32..48,
+                                  ranks in 2u32..5, tdseed in 0u64..99) {
+        let s1 = generate::random_structure(len, 1.0, seed);
+        let s2 = generate::random_structure(len, 0.8, seed + 3);
+        let reference = srna2::run(&s1, &s2).score;
+        prop_assert_eq!(prna_manager_worker(&s1, &s2, ranks).score, reference);
+        prop_assert_eq!(parallel_top_down(&s1, &s2, ranks, tdseed).score, reference);
+    }
+}

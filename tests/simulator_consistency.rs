@@ -1,0 +1,121 @@
+//! The parallel-execution simulator must be consistent with the real
+//! implementations it stands in for: same work accounting as the
+//! algorithms, sequential-equals-P=1, speedups bounded by P, and the
+//! Figure 8 shape properties.
+
+use load_balance::Policy;
+use mcos_bench::{prna_sim_for, prna_sim_from_preprocessed};
+use mcos_core::{preprocess::Preprocessed, srna2, workload};
+use par_sim::{CostModel, Scheduling};
+use rna_structure::generate;
+
+#[test]
+fn grid_work_matches_real_counters() {
+    // The simulator's stage-one grid total (minus per-slice overhead)
+    // must equal the real algorithm's tabulated cell count for stage one.
+    let s = generate::worst_case_nested(40);
+    let p = Preprocessed::build(&s);
+    let sim = prna_sim_from_preprocessed(&p, &p);
+    let real = srna2::run(&s, &s);
+    let slices = (p.num_arcs() as u64) * (p.num_arcs() as u64);
+    let overhead = slices * workload::SLICE_OVERHEAD_CELLS;
+    let stage_two_cells = slices; // parent slice covers every arc pair
+    assert_eq!(
+        sim.grid.total() - overhead,
+        real.counters.cells - stage_two_cells,
+    );
+}
+
+#[test]
+fn one_processor_time_equals_sequential_estimate() {
+    let s = generate::rrna_like(
+        &generate::RrnaConfig {
+            len: 400,
+            arcs: 80,
+            mean_stem: 6,
+            nest_bias: 0.5,
+        },
+        4,
+    );
+    let sim = prna_sim_for(&s, &s);
+    let model = CostModel::default();
+    let out = sim.run(1, Scheduling::Static(Policy::Greedy), &model);
+    let t1 = sim.sequential_seconds(&model);
+    assert!((out.total_seconds - t1).abs() / t1 < 1e-12);
+    assert_eq!(out.sync_seconds, 0.0);
+}
+
+#[test]
+fn speedups_bounded_and_larger_problems_scale_further() {
+    // The central Figure 8 shape claim: the 1600-arc curve dominates the
+    // 800-arc curve (here scaled to 200/400 arcs to stay fast).
+    let model = CostModel {
+        seconds_per_cell: 5e-9,
+        sync_alpha: 300e-6,
+        sync_beta_per_elem: 50e-9,
+        ..CostModel::default()
+    };
+    let procs = [1u32, 2, 4, 8, 16, 32, 64];
+    let mut curves = Vec::new();
+    for arcs in [200u32, 400] {
+        let s = generate::worst_case_nested(arcs);
+        let sim = prna_sim_for(&s, &s);
+        let curve = sim.speedup_curve(&procs, Scheduling::Static(Policy::Greedy), &model);
+        for &(p, sp) in &curve {
+            assert!(sp <= p as f64 + 1e-9, "arcs {arcs}: s({p}) = {sp}");
+            assert!(sp >= 0.9, "arcs {arcs}: s({p}) = {sp}");
+        }
+        curves.push(curve);
+    }
+    for (small, large) in curves[0].iter().zip(&curves[1]) {
+        assert!(
+            large.1 >= small.1 - 1e-9,
+            "larger problem should scale at least as well: {small:?} vs {large:?}"
+        );
+    }
+}
+
+#[test]
+fn greedy_close_to_lpt_on_worst_case() {
+    // The paper's greedy choice is adequate: within a few percent of LPT
+    // on the contrived worst case.
+    let s = generate::worst_case_nested(300);
+    let sim = prna_sim_for(&s, &s);
+    let model = CostModel::default();
+    for p in [8u32, 32, 64] {
+        let g = sim
+            .run(p, Scheduling::Static(Policy::Greedy), &model)
+            .stage_one_seconds;
+        let l = sim
+            .run(p, Scheduling::Static(Policy::Lpt), &model)
+            .stage_one_seconds;
+        assert!(
+            g <= l * 1.10,
+            "p={p}: greedy {g} should be within 10% of LPT {l}"
+        );
+    }
+}
+
+#[test]
+fn simulated_single_thread_time_tracks_reality() {
+    // Calibrate on one size, predict another: the simulated sequential
+    // time of a 2x larger worst case must land within 3x of the measured
+    // time (debug-build noise tolerated; the point is order-of-magnitude
+    // fidelity of the work model).
+    let spc = mcos_bench::calibrate_seconds_per_cell(60);
+    let s = generate::worst_case_nested(120);
+    let sim = prna_sim_for(&s, &s);
+    let model = CostModel {
+        seconds_per_cell: spc,
+        ..CostModel::default()
+    };
+    let predicted = sim.sequential_seconds(&model);
+    let (out, measured) = mcos_bench::time(|| srna2::run(&s, &s));
+    assert_eq!(out.score, 120);
+    let measured = measured.as_secs_f64();
+    let ratio = predicted / measured;
+    assert!(
+        (0.33..3.0).contains(&ratio),
+        "predicted {predicted:.4}s vs measured {measured:.4}s (ratio {ratio:.2})"
+    );
+}

@@ -1,0 +1,70 @@
+//! Large-input stress tests, `#[ignore]`d by default (run with
+//! `cargo test -p mcos-integration --release -- --ignored`).
+//!
+//! These exercise the full stack at experiment scale: they are too slow
+//! for the default debug-mode suite but catch capacity bugs (overflow,
+//! excessive allocation, stack depth) the small tests cannot.
+
+use load_balance::Policy;
+use mcos_core::{srna1, srna2, traceback, verify};
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use rna_structure::generate;
+
+#[test]
+#[ignore = "minutes of compute; run explicitly in release mode"]
+fn worst_case_400_all_backends() {
+    let s = generate::worst_case_nested(400);
+    let reference = srna2::run(&s, &s);
+    assert_eq!(reference.score, 400);
+    for backend in Backend::ALL {
+        let out = prna(
+            &s,
+            &s,
+            &PrnaConfig {
+                processors: 4,
+                policy: Policy::Greedy,
+                backend,
+            },
+        );
+        assert_eq!(out.score, 400, "{}", backend.name());
+        assert_eq!(out.memo, reference.memo, "{}", backend.name());
+    }
+}
+
+#[test]
+#[ignore = "minutes of compute; run explicitly in release mode"]
+fn paper_scale_rrna_self_comparison() {
+    // The Table II inputs at full size.
+    let fungus = generate::rrna_like(&generate::RrnaConfig::fungus(), 0xF47585);
+    let out1 = srna1::run(&fungus, &fungus);
+    let out2 = srna2::run(&fungus, &fungus);
+    assert_eq!(out1.score, 721);
+    assert_eq!(out2.score, 721);
+    // Both algorithms perform an exact tabulation: each child slice once
+    // plus one parent slice — identical cell counts.
+    assert_eq!(out1.counters.cells, out2.counters.cells);
+}
+
+#[test]
+#[ignore = "minutes of compute; run explicitly in release mode"]
+fn deep_recursion_traceback_at_scale() {
+    // 1000 nested arcs: traceback recursion depth equals the nesting
+    // depth; this guards against stack regressions.
+    let s = generate::worst_case_nested(1000);
+    let m = traceback::traceback(&s, &s);
+    assert_eq!(m.len(), 1000);
+    verify::check_mapping(&s, &s, &m.pairs).unwrap();
+}
+
+#[test]
+#[ignore = "minutes of compute; run explicitly in release mode"]
+fn cross_comparison_of_full_size_rrna() {
+    let fungus = generate::rrna_like(&generate::RrnaConfig::fungus(), 0xF47585);
+    let malaria = generate::rrna_like(&generate::RrnaConfig::malaria(), 0xF48228);
+    let out = srna2::run(&fungus, &malaria);
+    assert!(out.score > 0);
+    assert!(out.score <= 721);
+    let m = traceback::traceback(&fungus, &malaria);
+    assert_eq!(m.len() as u32, out.score);
+    verify::check_mapping(&fungus, &malaria, &m.pairs).unwrap();
+}

@@ -1,0 +1,81 @@
+//! The traceback must always produce a mapping that (a) has exactly
+//! score-many pairs and (b) passes the independent first-principles
+//! verifier; on tiny inputs the score must equal exhaustive brute force.
+
+use mcos_core::{mcos_score, traceback, verify};
+use mcos_integration::test_structures;
+use proptest::prelude::*;
+use rna_structure::generate;
+
+#[test]
+fn battery_tracebacks_are_valid_and_score_sized() {
+    let battery = test_structures();
+    for w in battery.windows(2) {
+        let (n1, s1) = &w[0];
+        let (n2, s2) = &w[1];
+        let score = mcos_score(s1, s2);
+        let m = traceback::traceback(s1, s2);
+        assert_eq!(m.len() as u32, score, "{n1} vs {n2}");
+        verify::check_mapping(s1, s2, &m.pairs).unwrap_or_else(|e| panic!("{n1} vs {n2}: {e}"));
+    }
+}
+
+#[test]
+fn brute_force_confirms_optimality_on_tiny_inputs() {
+    for seed in 0..12 {
+        let s1 = generate::random_structure(16, 1.0, seed);
+        let s2 = generate::random_structure(14, 1.0, seed + 100);
+        let dp = mcos_score(&s1, &s2);
+        let bf = verify::brute_force_mcos(&s1, &s2);
+        assert_eq!(dp, bf, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_traceback_valid(seed1 in 0u64..9999, seed2 in 0u64..9999,
+                            len1 in 6u32..64, len2 in 6u32..64,
+                            d in 0.3f64..1.2) {
+        let s1 = generate::random_structure(len1, d, seed1);
+        let s2 = generate::random_structure(len2, d, seed2);
+        let m = traceback::traceback(&s1, &s2);
+        prop_assert_eq!(m.len() as u32, mcos_score(&s1, &s2));
+        prop_assert!(verify::check_mapping(&s1, &s2, &m.pairs).is_ok());
+    }
+
+    #[test]
+    fn prop_tiny_brute_force(seed in 0u64..9999) {
+        let s1 = generate::random_structure(12, 1.0, seed);
+        let s2 = generate::random_structure(12, 1.0, seed.wrapping_add(7));
+        prop_assert_eq!(mcos_score(&s1, &s2), verify::brute_force_mcos(&s1, &s2));
+    }
+
+    #[test]
+    fn prop_mutated_mapping_is_caught(seed in 0u64..9999) {
+        // Corrupting a non-trivial valid mapping must fail verification
+        // in at least one of the standard corruption modes.
+        let s1 = generate::random_structure(40, 1.0, seed);
+        let s2 = generate::random_structure(40, 1.0, seed.wrapping_add(1));
+        let m = traceback::traceback(&s1, &s2);
+        prop_assume!(m.pairs.len() >= 2);
+        // Mode 1: duplicate a pair's S1 arc.
+        let mut dup = m.pairs.clone();
+        let stolen = dup[0].0;
+        dup[1].0 = stolen;
+        prop_assert!(verify::check_mapping(&s1, &s2, &dup).is_err());
+        // Mode 2: swap the S2 sides of the first two pairs (breaks order
+        // or structure unless the arcs relate identically both ways —
+        // then it is still a valid mapping, so only check mode 1 strictly
+        // and mode 2 opportunistically).
+        let mut swapped = m.pairs.clone();
+        swapped[0].1 = m.pairs[1].1;
+        swapped[1].1 = m.pairs[0].1;
+        if verify::check_mapping(&s1, &s2, &swapped).is_ok() {
+            // A symmetric situation; both mappings must then have the
+            // same size and stay within the optimum.
+            prop_assert!(swapped.len() as u32 <= mcos_score(&s1, &s2));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-module consistency of the weighted (Bafna-style) model against
+//! plain MCOS and the verifier.
+
+use mcos_core::weighted::{self, ArcWeight, SequenceWeight, Uniform, WeightMatrix};
+use mcos_core::{mcos_score, preprocess::Preprocessed, srna2, traceback, verify};
+use mcos_integration::test_structures;
+use proptest::prelude::*;
+use rna_structure::generate;
+
+#[test]
+fn uniform_weight_reproduces_mcos_on_battery() {
+    let battery = test_structures();
+    for w in battery.windows(2) {
+        let (n1, s1) = &w[0];
+        let (n2, s2) = &w[1];
+        assert_eq!(
+            weighted::run(s1, s2, &Uniform(1)).score,
+            mcos_score(s1, s2),
+            "{n1} vs {n2}"
+        );
+    }
+}
+
+#[test]
+fn uniform_scaling_multiplies_scores() {
+    // With w ≡ k every optimal MCOS mapping is optimal for the weighted
+    // problem, so the weighted optimum is exactly k * MCOS.
+    for seed in 0..10 {
+        let s1 = generate::random_structure(48, 0.9, seed);
+        let s2 = generate::random_structure(40, 0.9, seed + 77);
+        let base = mcos_score(&s1, &s2);
+        for k in [2u32, 5] {
+            assert_eq!(
+                weighted::run(&s1, &s2, &Uniform(k)).score,
+                k * base,
+                "seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_traceback_is_valid_and_accounts_for_score() {
+    for seed in 0..8 {
+        let s1 = generate::random_structure(52, 1.0, seed);
+        let s2 = generate::random_structure(44, 0.8, seed + 5);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let w = WeightMatrix::from_fn(s1.num_arcs(), s2.num_arcs(), |a, b| (a * 3 + b) % 7 + 1);
+        let out = weighted::run_preprocessed(&p1, &p2, &w);
+        let m = traceback::traceback_weighted(&p1, &p2, &out.memo, &w);
+        verify::check_mapping(&s1, &s2, &m.pairs).unwrap();
+        let total: u32 = m.pairs.iter().map(|&(a, b)| w.weight(a, b)).sum();
+        assert_eq!(total, out.score, "seed {seed}");
+    }
+}
+
+#[test]
+fn sequence_weight_bounds() {
+    // With arc_match=1 and base_bonus=b, every pair weighs between 1 and
+    // 1+2b, so the weighted score is sandwiched by MCOS multiples.
+    for seed in 0..6 {
+        let s1 = generate::random_structure(40, 1.0, seed);
+        let s2 = generate::random_structure(40, 1.0, seed + 9);
+        let q1 = generate::sequence_for(&s1, seed);
+        let q2 = generate::sequence_for(&s2, seed + 1);
+        let w = SequenceWeight::new(&s1, &q1, &s2, &q2, 1, 3);
+        let weighted_score = weighted::run(&s1, &s2, &w).score;
+        let plain = mcos_score(&s1, &s2);
+        assert!(weighted_score >= plain, "seed {seed}");
+        assert!(weighted_score <= plain * 7, "seed {seed}");
+    }
+}
+
+#[test]
+fn weighted_memo_uniform_matches_srna2_memo() {
+    let s = generate::worst_case_nested(15);
+    let p = Preprocessed::build(&s);
+    assert_eq!(
+        weighted::run_preprocessed(&p, &p, &Uniform(1)).memo,
+        srna2::run_preprocessed(&p, &p).memo
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_weighted_monotone_in_weights(seed in 0u64..999, len in 10u32..40, bump in 1u32..8) {
+        let s1 = generate::random_structure(len, 1.0, seed);
+        let s2 = generate::random_structure(len, 0.9, seed + 1);
+        prop_assume!(s1.num_arcs() > 0 && s2.num_arcs() > 0);
+        let base_w = WeightMatrix::from_fn(s1.num_arcs(), s2.num_arcs(), |a, b| (a + b) % 3 + 1);
+        let bumped = WeightMatrix::from_fn(s1.num_arcs(), s2.num_arcs(), |a, b| {
+            base_w.weight(a, b) + u32::from(a == 0 && b == 0) * bump
+        });
+        let lo = weighted::run(&s1, &s2, &base_w).score;
+        let hi = weighted::run(&s1, &s2, &bumped).score;
+        prop_assert!(hi >= lo);
+        prop_assert!(hi <= lo + bump, "a single pair bump adds at most bump");
+    }
+
+    #[test]
+    fn prop_weighted_bounded_by_max_weight_times_mcos(seed in 0u64..999, len in 10u32..36) {
+        let s1 = generate::random_structure(len, 1.0, seed);
+        let s2 = generate::random_structure(len, 1.0, seed + 2);
+        let w = WeightMatrix::from_fn(s1.num_arcs().max(1), s2.num_arcs().max(1), |a, b| {
+            (a * 5 + b * 11) % 9 + 1
+        });
+        let score = weighted::run(&s1, &s2, &w).score;
+        let plain = mcos_score(&s1, &s2);
+        prop_assert!(score <= plain * 9);
+        prop_assert!(score >= plain, "min weight is 1");
+    }
+}
