@@ -200,10 +200,7 @@ pub fn round_robin(weights: &[u64], processors: u32) -> Assignment {
 /// Panics if `speeds` is empty or contains a non-positive speed.
 pub fn greedy_speeds(weights: &[u64], speeds: &[f64]) -> Assignment {
     assert!(!speeds.is_empty(), "need at least one processor");
-    assert!(
-        speeds.iter().all(|&s| s > 0.0),
-        "speeds must be positive"
-    );
+    assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
     let p = speeds.len() as u32;
     let mut load = vec![0u64; speeds.len()];
     let mut owner = vec![0u32; weights.len()];

@@ -12,7 +12,6 @@
 //! (heterogeneity) can a static distribution recover just by knowing the
 //! speeds?
 
-use load_balance::Policy;
 use mcos_bench::{calibrate_seconds_per_cell, cluster2009_model, prna_sim_for, Table};
 use par_sim::Scheduling;
 use rna_structure::generate;

@@ -12,8 +12,12 @@ use rna_structure::{generate, stats, ArcStructure};
 pub const USAGE: &str = "\
 usage: srna <subcommand> [options]
 
-  compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N] [--weighted]
+  compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N]
+          [--backend mpi|pool|rayon|wavefront] [--weighted]
       Maximum common ordered substructure of two structure files.
+      --backend picks the parallel stage-one engine when --threads > 1
+      (default: pool; wavefront synchronizes per nesting level instead
+      of per row).
       --weighted scores with sequence-aware Bafna-style weights (needs
       sequence-bearing formats: ct or bpseq).
   generate worst <arcs>
@@ -72,7 +76,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             skip = false;
             continue;
         }
-        if a == "--format" || a == "--threads" {
+        if a == "--format" || a == "--threads" || a == "--backend" {
             skip = true;
             continue;
         }
@@ -127,11 +131,17 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         .map(|t| t.parse().map_err(|_| "--threads must be an integer"))
         .transpose()?
         .unwrap_or(1);
+    let backend = match opt_value(args, "--backend") {
+        Some(name) => Backend::from_name(name).ok_or_else(|| {
+            format!("unknown backend '{name}' (expected mpi, pool, rayon, or wavefront)")
+        })?,
+        None => Backend::WorkerPool,
+    };
     let score = if threads > 1 {
         let config = PrnaConfig {
             processors: threads,
             policy: Policy::Greedy,
-            backend: Backend::WorkerPool,
+            backend,
         };
         prna(&s1, &s2, &config).score
     } else {

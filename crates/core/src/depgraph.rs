@@ -8,6 +8,11 @@
 //!   child slices (Figures 4 and 6): node `(k1, k2)` is the slice spawned
 //!   by matching arc `k1` of `S₁` with arc `k2` of `S₂`; a dashed edge
 //!   points to each slice it looks up.
+//! * [`slice_levels_dot`] — the same slice graph with nodes colored and
+//!   ranked by their wavefront scheduling level
+//!   `max(depth₁(k1), depth₂(k2))`; every dashed edge points from a
+//!   higher level to a strictly lower one, which is the visual form of
+//!   the wavefront correctness argument.
 //!
 //! These are illustrations — use small structures, or the graphs become
 //! unreadable (the subproblem export refuses structures beyond a small
@@ -133,6 +138,82 @@ pub fn slice_graph_dot(s1: &ArcStructure, s2: &ArcStructure) -> String {
     dot
 }
 
+/// Exports the child-slice dependency graph colored by wavefront
+/// scheduling level: slice `(k1, k2)` is assigned level
+/// `max(depth₁(k1), depth₂(k2))`, all slices of one level share a fill
+/// color and a `rank=same` row, and (as in [`slice_graph_dot`]) dashed
+/// edges point to the slices whose memoized values it reads. Because a
+/// slice only reads strictly nested arc pairs, every edge crosses from
+/// a higher rank to a strictly lower one.
+pub fn slice_levels_dot(s1: &ArcStructure, s2: &ArcStructure) -> String {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    // A small qualitative palette, cycled for deep structures.
+    const PALETTE: [&str; 6] = [
+        "#c6dbef", "#9ecae1", "#6baed6", "#4292c6", "#2171b5", "#08519c",
+    ];
+    let mut dot = String::from(
+        "digraph slice_levels {\n  rankdir=BT;\n  node [shape=ellipse, fontsize=10, style=filled];\n",
+    );
+
+    let max_level = match (p1.max_depth(), p2.max_depth()) {
+        (Some(d1), Some(d2)) => d1.max(d2),
+        _ => {
+            // No arc pairs: just the (empty-windowed) parent.
+            dot.push_str("  parent [label=\"slice(0,0)\", shape=doubleoctagon, style=solid];\n}\n");
+            return dot;
+        }
+    };
+
+    // One rank=same cluster per level so the wavefronts render as rows.
+    for level in 0..=max_level {
+        let _ = write!(dot, "  {{ rank=same;");
+        for k1 in 0..p1.num_arcs() {
+            for k2 in 0..p2.num_arcs() {
+                if p1.level_of(k1).max(p2.level_of(k2)) == level {
+                    let _ = write!(dot, " \"s{k1}_{k2}\";");
+                }
+            }
+        }
+        dot.push_str(" }\n");
+    }
+
+    for k1 in 0..p1.num_arcs() {
+        let (lo1, hi1) = p1.under_range[k1 as usize];
+        for k2 in 0..p2.num_arcs() {
+            let (lo2, hi2) = p2.under_range[k2 as usize];
+            let level = p1.level_of(k1).max(p2.level_of(k2));
+            let color = PALETTE[level as usize % PALETTE.len()];
+            let _ = writeln!(
+                dot,
+                "  \"s{k1}_{k2}\" [label=\"slice {k1},{k2}\\nlevel {level}\", fillcolor=\"{color}\"];"
+            );
+            for c1 in lo1..hi1 {
+                for c2 in lo2..hi2 {
+                    debug_assert!(
+                        p1.level_of(c1).max(p2.level_of(c2)) < level,
+                        "dependency edge must drop a level"
+                    );
+                    let _ = writeln!(dot, "  \"s{k1}_{k2}\" -> \"s{c1}_{c2}\" [style=dashed];");
+                }
+            }
+        }
+    }
+    // The parent slice sits above the deepest wavefront.
+    let _ = writeln!(
+        dot,
+        "  parent [label=\"parent\\nlevel {}\", shape=doubleoctagon, style=solid];",
+        max_level + 1
+    );
+    for k1 in 0..p1.num_arcs() {
+        for k2 in 0..p2.num_arcs() {
+            let _ = writeln!(dot, "  parent -> \"s{k1}_{k2}\" [style=dashed];");
+        }
+    }
+    dot.push_str("}\n");
+    dot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +264,27 @@ mod tests {
         assert!(dot.contains("\"s1_1\" -> \"s0_0\""));
         // Inner pair reads nothing.
         assert!(!dot.contains("\"s0_0\" -> "));
+    }
+
+    #[test]
+    fn slice_levels_ranks_by_depth() {
+        // ((..)(..)) self-compared: hairpins at level 0, outer arc pairs
+        // pulled to level 1 whenever either side is the outer arc.
+        let s = dot_bracket::parse("((..)(..))").unwrap();
+        let dot = slice_levels_dot(&s, &s);
+        assert!(dot.contains("\"s0_0\" [label=\"slice 0,0\\nlevel 0\""));
+        assert!(dot.contains("\"s2_0\" [label=\"slice 2,0\\nlevel 1\""));
+        assert!(dot.contains("\"s2_2\" [label=\"slice 2,2\\nlevel 1\""));
+        // Two wavefront rows plus the parent above them.
+        assert_eq!(dot.matches("rank=same").count(), 2);
+        assert!(dot.contains("parent [label=\"parent\\nlevel 2\""));
+    }
+
+    #[test]
+    fn slice_levels_handles_arcless_structures() {
+        let s = dot_bracket::parse("....").unwrap();
+        let dot = slice_levels_dot(&s, &s);
+        assert!(dot.contains("parent"));
+        assert!(!dot.contains("rank=same"));
     }
 }

@@ -102,6 +102,108 @@ impl MemoTable {
     }
 }
 
+/// A lock-free shared-memory memo table for wavefront scheduling.
+///
+/// All slices of one dependency level write disjoint entries
+/// concurrently while reading entries produced by strictly lower
+/// levels. Both sides use `Relaxed` atomic accesses: the scheduler
+/// joins every worker thread between levels, and that join edge
+/// (thread spawn/join are synchronizing operations) is what makes
+/// lower-level writes visible — the atomics only have to make the
+/// concurrent same-level accesses data-race-free, not order them.
+///
+/// Build with [`AtomicMemoTable::zeroed`], fill level by level, then
+/// [`AtomicMemoTable::into_inner`] the finished [`MemoTable`] for
+/// stage two (no copy: `AtomicU32` and `u32` share a layout, and the
+/// conversion just reads each cell back out of the retired table).
+#[derive(Debug)]
+pub struct AtomicMemoTable {
+    rows: u32,
+    cols: u32,
+    values: Vec<std::sync::atomic::AtomicU32>,
+}
+
+impl AtomicMemoTable {
+    /// Creates a table with every entry zero (the SRNA2/PRNA
+    /// convention, as for [`MemoTable::zeroed`]).
+    pub fn zeroed(rows: u32, cols: u32) -> Self {
+        let mut values = Vec::new();
+        values.resize_with(rows as usize * cols as usize, || {
+            std::sync::atomic::AtomicU32::new(0)
+        });
+        AtomicMemoTable { rows, cols, values }
+    }
+
+    /// Number of rows (arcs of `S₁`).
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (arcs of `S₂`).
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Reads the entry for arc pair `(r, c)`.
+    ///
+    /// Sound only for entries whose writing level has already been
+    /// joined (or entries this thread wrote itself); the wavefront
+    /// schedule guarantees exactly that.
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> u32 {
+        self.values[r as usize * self.cols as usize + c as usize]
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Writes the entry for arc pair `(r, c)`. Each entry is written by
+    /// exactly one slice, so plain stores suffice.
+    #[inline]
+    pub fn set(&self, r: u32, c: u32, v: u32) {
+        self.values[r as usize * self.cols as usize + c as usize]
+            .store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// One full row as a slice of atomics, for bulk gathers: indexing the
+    /// row once and zipping beats per-element [`AtomicMemoTable::get`]
+    /// address arithmetic in the hot `d₂` fill. Same visibility caveats
+    /// as [`AtomicMemoTable::get`].
+    #[inline]
+    pub fn row(&self, r: u32) -> &[std::sync::atomic::AtomicU32] {
+        let w = self.cols as usize;
+        &self.values[r as usize * w..(r as usize + 1) * w]
+    }
+
+    /// Consumes the table into an ordinary [`MemoTable`] once all
+    /// levels have completed.
+    pub fn into_inner(self) -> MemoTable {
+        MemoTable {
+            rows: self.rows,
+            cols: self.cols,
+            values: self
+                .values
+                .into_iter()
+                .map(std::sync::atomic::AtomicU32::into_inner)
+                .collect(),
+        }
+    }
+
+    /// Non-consuming snapshot of the current contents, for assertions
+    /// mid-fill. Same visibility caveats as [`AtomicMemoTable::get`].
+    pub fn freeze(&self) -> MemoTable {
+        MemoTable {
+            rows: self.rows,
+            cols: self.cols,
+            values: self
+                .values
+                .iter()
+                .map(|v| v.load(std::sync::atomic::Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +252,54 @@ mod tests {
     fn zero_sized_tables() {
         let m = MemoTable::zeroed(0, 5);
         assert_eq!(m.as_slice().len(), 0);
+    }
+
+    #[test]
+    fn atomic_round_trip_matches_memo_table() {
+        let atomic = AtomicMemoTable::zeroed(3, 4);
+        let mut plain = MemoTable::zeroed(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                let v = r * 10 + c;
+                atomic.set(r, c, v);
+                plain.set(r, c, v);
+            }
+        }
+        assert_eq!(atomic.get(2, 3), 23);
+        assert_eq!(atomic.freeze(), plain);
+        assert_eq!(atomic.into_inner(), plain);
+    }
+
+    #[test]
+    fn atomic_concurrent_same_level_writes() {
+        // Model one wavefront level: many threads write disjoint entries
+        // concurrently while reading already-joined lower entries.
+        let table = AtomicMemoTable::zeroed(8, 64);
+        table.set(0, 0, 100); // "lower level", written before the spawn
+        std::thread::scope(|s| {
+            for r in 1..8u32 {
+                let table = &table;
+                s.spawn(move || {
+                    for c in 0..64u32 {
+                        let base = table.get(0, 0); // lower-level read
+                        table.set(r, c, base + r * 64 + c);
+                    }
+                });
+            }
+        });
+        let done = table.into_inner();
+        for r in 1..8u32 {
+            for c in 0..64u32 {
+                assert_eq!(done.get(r, c), 100 + r * 64 + c);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_empty_table() {
+        let t = AtomicMemoTable::zeroed(0, 7);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.cols(), 7);
+        assert_eq!(t.into_inner().as_slice().len(), 0);
     }
 }

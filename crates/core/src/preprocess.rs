@@ -14,7 +14,13 @@
 //! * for every arc, the number of arcs ending strictly before its left
 //!   endpoint (`rank_before_left`), which resolves the static dependency
 //!   `d₁ = F[i1, k1-1, i2, k2-1]` into a compressed-grid coordinate in
-//!   O(1) during tabulation.
+//!   O(1) during tabulation;
+//! * for every arc, its **nesting depth** (`depth`): 0 for hairpins, and
+//!   `1 + max(depth of directly nested arcs)` otherwise. Slice `(k1, k2)`
+//!   only reads memo entries of arc pairs strictly nested under it, whose
+//!   depths are strictly smaller — so depth induces a wavefront schedule
+//!   for stage one that is finer than the row-by-row order (see
+//!   `mcos_parallel`'s `Backend::Wavefront`).
 
 use rna_structure::ArcStructure;
 
@@ -30,6 +36,9 @@ pub struct Preprocessed {
     /// `rank_before_left[k]`: number of arcs whose right endpoint is less
     /// than arc `k`'s left endpoint.
     pub rank_before_left: Vec<u32>,
+    /// `depth[k]`: nesting depth of arc `k` — 0 for hairpins (no arc
+    /// under), otherwise one more than the deepest arc nested under `k`.
+    pub depth: Vec<u32>,
 }
 
 impl Preprocessed {
@@ -53,10 +62,30 @@ impl Preprocessed {
             let rank = ends.partition_point(|&e| e < arc.left);
             rank_before_left.push(rank as u32);
         }
+        // Nesting depth in O(A): arcs arrive in right-endpoint order, so
+        // when arc `k` is reached, every arc nested under it has already
+        // been processed. Arcs still open to the left of `k` sit on the
+        // stack; those with a left endpoint inside `k` are exactly the
+        // maximal (direct-child) arcs under `k`.
+        let mut depth = Vec::with_capacity(ends.len());
+        let mut stack: Vec<(u32, u32)> = Vec::new(); // (left, depth)
+        for arc in s.arcs() {
+            let mut d = 0u32;
+            while let Some(&(left, child_depth)) = stack.last() {
+                if left <= arc.left {
+                    break;
+                }
+                stack.pop();
+                d = d.max(child_depth + 1);
+            }
+            stack.push((arc.left, d));
+            depth.push(d);
+        }
         Preprocessed {
             ends,
             under_range,
             rank_before_left,
+            depth,
         }
     }
 
@@ -83,6 +112,18 @@ impl Preprocessed {
     #[inline]
     pub fn rank_of_pos(&self, pos: u32) -> u32 {
         self.ends.partition_point(|&e| e < pos) as u32
+    }
+
+    /// Nesting depth of arc `k` (0 for hairpins).
+    #[inline]
+    pub fn level_of(&self, k: u32) -> u32 {
+        self.depth[k as usize]
+    }
+
+    /// The largest nesting depth of any arc, or `None` for an arc-free
+    /// structure. `Some(d)` means depths `0..=d` all occur.
+    pub fn max_depth(&self) -> Option<u32> {
+        self.depth.iter().copied().max()
     }
 }
 
@@ -161,5 +202,58 @@ mod tests {
         let p = Preprocessed::build(&s);
         assert_eq!(p.num_arcs(), 0);
         assert_eq!(p.full_range(), (0, 0));
+        assert_eq!(p.max_depth(), None);
+    }
+
+    #[test]
+    fn depth_of_known_structures() {
+        // Fully nested: arc k has depth k.
+        let p = Preprocessed::build(&generate::worst_case_nested(5));
+        assert_eq!(p.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.max_depth(), Some(4));
+
+        // Sequential hairpins: all depth 0.
+        let p = Preprocessed::build(&dot_bracket::parse("(.)(.)(.)").unwrap());
+        assert_eq!(p.depth, vec![0, 0, 0]);
+        assert_eq!(p.max_depth(), Some(0));
+
+        // ((..)(..)) : two hairpins at depth 0, outer arc at depth 1.
+        let p = Preprocessed::build(&dot_bracket::parse("((..)(..))").unwrap());
+        assert_eq!(p.depth, vec![0, 0, 1]);
+        assert_eq!(p.level_of(2), 1);
+    }
+
+    #[test]
+    fn depth_matches_quadratic_definition() {
+        // depth[k] = 1 + max depth over every arc nested under k (the max
+        // over all nested arcs equals the max over direct children).
+        for seed in 0..10 {
+            let s = generate::random_structure(80, 0.9, seed);
+            let p = Preprocessed::build(&s);
+            for k in 0..s.num_arcs() {
+                let (lo, hi) = p.under_range[k as usize];
+                let expected = (lo..hi).map(|j| p.depth[j as usize] + 1).max().unwrap_or(0);
+                assert_eq!(p.depth[k as usize], expected, "seed {seed}, arc {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_strictly_decreases_under_nesting() {
+        // The wavefront correctness invariant: every arc nested under `k`
+        // has strictly smaller depth.
+        for seed in 0..10 {
+            let s = generate::random_structure(120, 0.8, seed);
+            let p = Preprocessed::build(&s);
+            for k in 0..s.num_arcs() {
+                let (lo, hi) = p.under_range[k as usize];
+                for j in lo..hi {
+                    assert!(
+                        p.depth[j as usize] < p.depth[k as usize],
+                        "seed {seed}: arc {j} under {k} must be strictly shallower"
+                    );
+                }
+            }
+        }
     }
 }

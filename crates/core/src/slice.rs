@@ -42,8 +42,9 @@ pub type ArcRange = (u32, u32);
 /// that pair. `grid` is a scratch buffer, reused across calls to avoid
 /// per-slice allocation; its contents on entry are irrelevant.
 ///
-/// Returns 0 when either window is empty. `cells` (when provided) is
-/// incremented by the number of compressed subproblems tabulated.
+/// Returns 0 when either window is empty. Callers that count tabulated
+/// subproblems do so via [`cell_count`] on the ranges; see
+/// `Counters::slice` in the SRNA drivers.
 pub fn tabulate_with<F>(
     p1: &Preprocessed,
     p2: &Preprocessed,
@@ -84,6 +85,67 @@ where
             let d1 = cells[d1_row + r2];
             let d2v = d2(g1, g2);
             cells[row + q + 1] = s.max(1 + d1 + d2v);
+        }
+    }
+    cells[(a + 1) * width - 1]
+}
+
+/// Row-hoisted variant of [`tabulate_with`]: the `d₂` dependency is
+/// materialized once per row instead of once per cell.
+///
+/// For a fixed `g1`, the inner loop of [`tabulate_with`] reads the child
+/// slice values `d₂(g1, lo2)..d₂(g1, hi2)` — a contiguous segment of
+/// memo row `g1` under the memo-table layout every backend uses. This
+/// variant asks the caller to fill that segment into `d2_row` once per
+/// row (`fill_d2(g1, buf)`, with `buf[q]` the value for arc pair
+/// `(g1, lo2 + q)`), turning the per-cell indirect memo lookup into a
+/// linear scan of a dense buffer: one bounds check pattern, no repeated
+/// `g1 * cols` address arithmetic, and a single contiguous copy per row
+/// for `MemoTable`-backed callers.
+///
+/// `grid` and `d2_row` are scratch buffers reused across calls; their
+/// contents on entry are irrelevant. Returns 0 when either window is
+/// empty (without calling `fill_d2`).
+pub fn tabulate_with_rows<F>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: ArcRange,
+    range2: ArcRange,
+    grid: &mut Vec<u32>,
+    d2_row: &mut Vec<u32>,
+    mut fill_d2: F,
+) -> u32
+where
+    F: FnMut(u32, &mut [u32]),
+{
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    let a = (hi1 - lo1) as usize;
+    let b = (hi2 - lo2) as usize;
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let width = b + 1;
+    grid.clear();
+    grid.resize((a + 1) * width, 0);
+    d2_row.clear();
+    d2_row.resize(b, 0);
+    let cells: &mut [u32] = grid.as_mut_slice();
+    let d2s: &mut [u32] = d2_row.as_mut_slice();
+
+    for p in 0..a {
+        let g1 = lo1 + p as u32;
+        fill_d2(g1, d2s);
+        let r1 = (p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+        let row = (p + 1) * width;
+        let prev = p * width;
+        let d1_row = r1 * width;
+        for q in 0..b {
+            let g2 = lo2 + q as u32;
+            let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+            let s = cells[prev + q + 1].max(cells[row + q]);
+            let d1 = cells[d1_row + r2];
+            cells[row + q + 1] = s.max(1 + d1 + d2s[q]);
         }
     }
     cells[(a + 1) * width - 1]
@@ -337,5 +399,69 @@ mod tests {
         let s = dot_bracket::parse("(.)").unwrap();
         // Inverted window encoded by j < i.
         assert_eq!(tabulate_dense(&s, &s, (2, 1), (0, 2), |_, _| 0), 0);
+    }
+
+    /// [`full_compressed`] rebuilt on [`tabulate_with_rows`].
+    fn full_compressed_rows(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+        let p1 = Preprocessed::build(s1);
+        let p2 = Preprocessed::build(s2);
+        let cols = p2.num_arcs() as usize;
+        let mut memo = vec![0u32; p1.num_arcs() as usize * cols];
+        let (mut grid, mut d2_row) = (Vec::new(), Vec::new());
+        for k1 in 0..p1.num_arcs() {
+            for k2 in 0..p2.num_arcs() {
+                let (lo2, hi2) = p2.under_range[k2 as usize];
+                let v = tabulate_with_rows(
+                    &p1,
+                    &p2,
+                    p1.under_range[k1 as usize],
+                    p2.under_range[k2 as usize],
+                    &mut grid,
+                    &mut d2_row,
+                    |g1, buf| {
+                        let start = g1 as usize * cols;
+                        buf.copy_from_slice(&memo[start + lo2 as usize..start + hi2 as usize]);
+                    },
+                );
+                memo[k1 as usize * cols + k2 as usize] = v;
+            }
+        }
+        let (lo2, hi2) = p2.full_range();
+        tabulate_with_rows(
+            &p1,
+            &p2,
+            p1.full_range(),
+            p2.full_range(),
+            &mut grid,
+            &mut d2_row,
+            |g1, buf| {
+                let start = g1 as usize * cols;
+                buf.copy_from_slice(&memo[start + lo2 as usize..start + hi2 as usize]);
+            },
+        )
+    }
+
+    #[test]
+    fn rows_variant_matches_per_cell_variant() {
+        for seed in 0..20 {
+            let s1 = generate::random_structure(48, 0.85, seed);
+            let s2 = generate::random_structure(44, 0.85, seed + 500);
+            assert_eq!(
+                full_compressed_rows(&s1, &s2),
+                full_compressed(&s1, &s2),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_variant_empty_window_skips_fill() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let p = Preprocessed::build(&s);
+        let (mut grid, mut d2_row) = (Vec::new(), Vec::new());
+        let v = tabulate_with_rows(&p, &p, (0, 0), (0, 1), &mut grid, &mut d2_row, |_, _| {
+            panic!("fill_d2 must not run for an empty window")
+        });
+        assert_eq!(v, 0);
     }
 }

@@ -29,6 +29,14 @@
 //!   a rayon pool (`par_iter` over columns); the implicit join at the end
 //!   of each row is the row barrier. This is the "dynamic scheduling"
 //!   ablation contrast to the paper's static distribution.
+//! * [`Backend::Wavefront`] — synchronizes by **dependency level**
+//!   instead of by row: slice `(k1, k2)` is scheduled at level
+//!   `max(depth(k1), depth(k2))` (arc nesting depth, precomputed), all
+//!   slices of one level run concurrently against a lock-free
+//!   [`mcos_core::memo::AtomicMemoTable`], and the only barrier is the
+//!   join between levels. The barrier count drops from `A₁` (rows) to
+//!   `max_depth + 1` — see the [`wavefront`] module for the correctness
+//!   argument.
 //!
 //! All backends produce bit-identical memo tables and scores to SRNA2;
 //! the test suite asserts this.
@@ -65,6 +73,7 @@ pub mod pairwise;
 mod pool;
 mod rayon_backend;
 pub mod topdown_shared;
+pub mod wavefront;
 
 pub use manager_worker::prna_manager_worker;
 pub use topdown_shared::{parallel_top_down, TopDownOutcome};
@@ -85,11 +94,19 @@ pub enum Backend {
     WorkerPool,
     /// Rayon pool with per-row dynamic scheduling.
     Rayon,
+    /// Dependency-level wavefront scheduling over a lock-free memo table
+    /// (barrier per nesting level instead of per row).
+    Wavefront,
 }
 
 impl Backend {
     /// All backends, for sweeps.
-    pub const ALL: [Backend; 3] = [Backend::MpiSim, Backend::WorkerPool, Backend::Rayon];
+    pub const ALL: [Backend; 4] = [
+        Backend::MpiSim,
+        Backend::WorkerPool,
+        Backend::Rayon,
+        Backend::Wavefront,
+    ];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -97,6 +114,19 @@ impl Backend {
             Backend::MpiSim => "mpi-sim",
             Backend::WorkerPool => "worker-pool",
             Backend::Rayon => "rayon",
+            Backend::Wavefront => "wavefront",
+        }
+    }
+
+    /// Parses a backend from its [`Backend::name`] (or common aliases),
+    /// case-insensitively. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "mpi-sim" | "mpi" => Some(Backend::MpiSim),
+            "worker-pool" | "pool" => Some(Backend::WorkerPool),
+            "rayon" => Some(Backend::Rayon),
+            "wavefront" => Some(Backend::Wavefront),
+            _ => None,
         }
     }
 }
@@ -106,7 +136,8 @@ impl Backend {
 pub struct PrnaConfig {
     /// Number of processors (ranks / worker threads).
     pub processors: u32,
-    /// Static column-distribution policy (ignored by [`Backend::Rayon`]).
+    /// Static column-distribution policy (ignored by [`Backend::Rayon`]
+    /// and [`Backend::Wavefront`], which schedule dynamically).
     pub policy: Policy,
     /// Execution engine.
     pub backend: Backend,
@@ -160,6 +191,7 @@ pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOu
         Backend::MpiSim => mpi_backend::stage_one(&p1, &p2, &assignment),
         Backend::WorkerPool => pool::stage_one(&p1, &p2, &assignment),
         Backend::Rayon => rayon_backend::stage_one(&p1, &p2, config.processors),
+        Backend::Wavefront => wavefront::stage_one(&p1, &p2, config.processors),
     };
     let stage_one = t1.elapsed();
 
@@ -176,22 +208,25 @@ pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOu
     }
 }
 
+/// Reusable per-thread scratch for slice tabulation: the compressed grid
+/// plus the row-hoisted `d₂` buffer of
+/// [`slice::tabulate_with_rows`]. One per worker, reused across slices.
+#[derive(Debug, Default)]
+pub(crate) struct SliceScratch {
+    grid: Vec<u32>,
+    d2_row: Vec<u32>,
+}
+
 /// Stage two: sequential tabulation of the parent slice against a
 /// complete memo table (shared by all backends).
 pub(crate) fn stage_two(p1: &Preprocessed, p2: &Preprocessed, memo: &MemoTable) -> u32 {
-    let mut grid = Vec::new();
-    slice::tabulate_with(
-        p1,
-        p2,
-        p1.full_range(),
-        p2.full_range(),
-        &mut grid,
-        |g1, g2| memo.get(g1, g2),
-    )
+    let mut scratch = SliceScratch::default();
+    tabulate_ranges(p1, p2, p1.full_range(), p2.full_range(), memo, &mut scratch)
 }
 
 /// Tabulates the child slice of arc pair `(k1, k2)` against `memo`
-/// (shared by all backends).
+/// (shared by every row-synchronized backend; the wavefront backend has
+/// an atomic-table twin in [`wavefront`]).
 #[inline]
 pub(crate) fn tabulate_child(
     p1: &Preprocessed,
@@ -199,15 +234,39 @@ pub(crate) fn tabulate_child(
     k1: u32,
     k2: u32,
     memo: &MemoTable,
-    grid: &mut Vec<u32>,
+    scratch: &mut SliceScratch,
 ) -> u32 {
-    slice::tabulate_with(
+    tabulate_ranges(
         p1,
         p2,
         p1.under_range[k1 as usize],
         p2.under_range[k2 as usize],
-        grid,
-        |g1, g2| memo.get(g1, g2),
+        memo,
+        scratch,
+    )
+}
+
+/// Row-hoisted tabulation over arbitrary arc ranges: the `d₂` reads for
+/// each fixed `g1` are one contiguous segment of memo row `g1`, copied
+/// into the scratch buffer once per row.
+#[inline]
+fn tabulate_ranges(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: slice::ArcRange,
+    range2: slice::ArcRange,
+    memo: &MemoTable,
+    scratch: &mut SliceScratch,
+) -> u32 {
+    let (lo2, hi2) = range2;
+    slice::tabulate_with_rows(
+        p1,
+        p2,
+        range1,
+        range2,
+        &mut scratch.grid,
+        &mut scratch.d2_row,
+        |g1, buf| buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]),
     )
 }
 

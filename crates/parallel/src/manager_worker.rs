@@ -12,7 +12,7 @@
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed, workload};
 use mpi_sim::Communicator;
 
-use crate::tabulate_child;
+use crate::{tabulate_child, SliceScratch};
 
 /// Tag for worker→manager work requests (payload: empty vec).
 const TAG_REQUEST: u64 = 0x10;
@@ -38,13 +38,13 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> Mem
     let mut tables = mpi_sim::run(ranks, |mut comm: Communicator<Vec<u32>>| {
         let rank = comm.rank();
         let mut memo = MemoTable::zeroed(a1, a2);
-        let mut grid = Vec::new();
+        let mut scratch = SliceScratch::default();
 
         for k1 in 0..a1 {
             if rank == 0 {
                 manage_row(&mut comm, &order, ranks - 1);
             } else {
-                work_row(&mut comm, p1, p2, k1, &mut memo, &mut grid);
+                work_row(&mut comm, p1, p2, k1, &mut memo, &mut scratch);
             }
             // Row synchronization, manager included (contributes zeros).
             let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
@@ -86,14 +86,14 @@ fn work_row(
     p2: &Preprocessed,
     k1: u32,
     memo: &mut MemoTable,
-    grid: &mut Vec<u32>,
+    scratch: &mut SliceScratch,
 ) {
     loop {
         comm.send(0, TAG_REQUEST, vec![]);
         let assignment = comm.recv(0, TAG_ASSIGN);
         match assignment.first() {
             Some(&k2) => {
-                let v = tabulate_child(p1, p2, k1, k2, memo, grid);
+                let v = tabulate_child(p1, p2, k1, k2, memo, scratch);
                 memo.set(k1, k2, v);
             }
             None => break,

@@ -12,7 +12,7 @@
 use load_balance::Assignment;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
 
-use crate::tabulate_child;
+use crate::{tabulate_child, SliceScratch};
 
 /// Runs stage one over `assignment.processors()` simulated ranks and
 /// returns the fully synchronized memo table.
@@ -31,13 +31,13 @@ pub(crate) fn stage_one(
         let my_columns: Vec<u32> = (0..a2)
             .filter(|&k2| assignment.owner[k2 as usize] == rank)
             .collect();
-        let mut grid = Vec::new();
+        let mut scratch = SliceScratch::default();
 
         for k1 in 0..a1 {
             // Child slices of this row, owned columns only — spawned "in
             // parallel" across ranks.
             for &k2 in &my_columns {
-                let v = tabulate_child(p1, p2, k1, k2, &memo, &mut grid);
+                let v = tabulate_child(p1, p2, k1, k2, &memo, &mut scratch);
                 memo.set(k1, k2, v);
             }
             // Synchronize row k1 across all ranks.

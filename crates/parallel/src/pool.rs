@@ -13,7 +13,7 @@ use load_balance::Assignment;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
 use parking_lot::RwLock;
 
-use crate::tabulate_child;
+use crate::{tabulate_child, SliceScratch};
 
 /// Runs stage one on a pool of `assignment.processors()` worker threads.
 pub(crate) fn stage_one(
@@ -39,13 +39,13 @@ pub(crate) fn stage_one(
                 .collect();
             let memo = &memo;
             scope.spawn(move || {
-                let mut grid = Vec::new();
+                let mut scratch = SliceScratch::default();
                 // Each received row index is a go signal; channel close
                 // ends the worker.
                 while let Ok(k1) = rx.recv() {
                     let guard = memo.read();
                     for &k2 in &my_columns {
-                        let v = tabulate_child(p1, p2, k1, k2, &guard, &mut grid);
+                        let v = tabulate_child(p1, p2, k1, k2, &guard, &mut scratch);
                         result_tx.send((k1, k2, v)).expect("coordinator alive");
                     }
                     drop(guard);

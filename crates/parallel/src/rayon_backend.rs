@@ -14,7 +14,7 @@
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
 use rayon::prelude::*;
 
-use crate::tabulate_child;
+use crate::{tabulate_child, SliceScratch};
 
 /// Runs stage one on a dedicated rayon pool of `threads` threads.
 pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> MemoTable {
@@ -31,8 +31,8 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> M
         pool.install(|| {
             (0..a2)
                 .into_par_iter()
-                .map_init(Vec::new, |grid, k2| {
-                    tabulate_child(p1, p2, k1, k2, &memo, grid)
+                .map_init(SliceScratch::default, |scratch, k2| {
+                    tabulate_child(p1, p2, k1, k2, &memo, scratch)
                 })
                 .collect_into_vec(&mut row_buf);
         });

@@ -1,0 +1,231 @@
+//! Dependency-level wavefront scheduling of stage one.
+//!
+//! Every row-synchronized backend inherits the paper's schedule: tabulate
+//! row `k1`, barrier, tabulate row `k1+1`, … — `A₁` synchronization
+//! points, one per arc of `S₁`. That schedule is *sufficient* for
+//! correctness but far from *necessary*: slice `(k1, k2)` reads only the
+//! memo entries of arc pairs `(c1, c2)` with `c1` strictly nested under
+//! `k1` **and** `c2` strictly nested under `k2` (the `d₂` dependency —
+//! see `under_range` in preprocessing). Rows encode the first half of
+//! that condition conservatively (nested ⇒ earlier right endpoint ⇒
+//! earlier row) and ignore the second half entirely.
+//!
+//! The wavefront schedule uses the dependency structure itself. Define
+//!
+//! ```text
+//! level(k1, k2) = max(depth₁(k1), depth₂(k2))
+//! ```
+//!
+//! where `depth` is the arc nesting depth precomputed in
+//! [`Preprocessed::build`](mcos_core::preprocess::Preprocessed) (hairpins
+//! are 0). **Along every dependency edge the level strictly decreases**:
+//! if `(c1, c2)` is read by `(k1, k2)` then `c1` is strictly under `k1`
+//! and `c2` strictly under `k2`, so `depth₁(c1) < depth₁(k1)` and
+//! `depth₂(c2) < depth₂(k2)`, hence
+//! `max(depth₁(c1), depth₂(c2)) < max(depth₁(k1), depth₂(k2))`. All
+//! slices of one level are therefore mutually independent and may run
+//! concurrently once every lower level has completed.
+//!
+//! The executor materializes this directly: slices are bucketed by level
+//! ([`level_buckets`]), each bucket fans out over a rayon pool against a
+//! lock-free [`AtomicMemoTable`], and the only synchronization is the
+//! fork/join around each bucket — `max_depth + 1` barriers total instead
+//! of `A₁`. On a chain of `h` hairpin groups the row schedule pays `A₁`
+//! barriers for a dependency graph that is only `stem_depth` levels deep;
+//! on the fully nested worst case (`depth(k) = k`) the two schedules
+//! coincide and wavefront costs nothing extra.
+//!
+//! Two tables carry the schedule. Workers publish results into a
+//! lock-free [`AtomicMemoTable`] with `Relaxed` stores — every slice
+//! writes a distinct entry, so a whole level writes concurrently with no
+//! locking at all. Reads, however, never target the atomic table: a
+//! slice only depends on *settled* levels, so workers read from a plain
+//! [`MemoTable`] snapshot that the coordinator refreshes (one `Relaxed`
+//! load per just-finished slice) after each level joins. This keeps the
+//! hot `d₂` row gather a plain `copy_from_slice` — the same memcpy the
+//! row-barrier backends enjoy — instead of per-element atomic loads,
+//! which the compiler may not vectorize and which measurably lag under
+//! the memory-bandwidth pressure of high thread counts. The pool join
+//! between buckets is the only synchronization: join is a synchronizing
+//! operation, so every level-`l` store *happens-before* the coordinator's
+//! snapshot update and every level-`l+1` read.
+
+use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_core::preprocess::Preprocessed;
+use rayon::prelude::*;
+
+/// Groups all child slices (arc pairs) by scheduling level:
+/// `buckets[l]` holds every pair `(k1, k2)` with
+/// `max(depth₁(k1), depth₂(k2)) == l`. Returns an empty vector when
+/// either structure has no arcs (stage one is then empty). When both
+/// have arcs, every bucket `0..=max_depth` is non-empty, so
+/// `buckets.len()` is exactly the number of synchronization points the
+/// wavefront schedule pays.
+pub fn level_buckets(p1: &Preprocessed, p2: &Preprocessed) -> Vec<Vec<(u32, u32)>> {
+    let (d1, d2) = match (p1.max_depth(), p2.max_depth()) {
+        (Some(d1), Some(d2)) => (d1, d2),
+        _ => return Vec::new(),
+    };
+    let mut buckets = vec![Vec::new(); d1.max(d2) as usize + 1];
+    for k1 in 0..p1.num_arcs() {
+        let l1 = p1.level_of(k1);
+        for k2 in 0..p2.num_arcs() {
+            let level = l1.max(p2.level_of(k2));
+            buckets[level as usize].push((k1, k2));
+        }
+    }
+    buckets
+}
+
+/// Number of synchronization points the wavefront schedule pays for this
+/// structure pair (`max(max_depth₁, max_depth₂) + 1`, or 0 without
+/// arcs). The row schedules pay `A₁` for the same work.
+pub fn num_levels(p1: &Preprocessed, p2: &Preprocessed) -> u32 {
+    match (p1.max_depth(), p2.max_depth()) {
+        (Some(d1), Some(d2)) => d1.max(d2) + 1,
+        _ => 0,
+    }
+}
+
+/// Runs stage one level by level on a rayon pool of `threads` threads.
+pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> MemoTable {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads as usize)
+        .build()
+        .expect("rayon pool construction");
+    let memo = AtomicMemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
+    // Snapshot of every settled level; what the workers actually read.
+    // Trailing (unwritten) entries are zero in both tables, and the
+    // kernel only ever reads strictly-lower levels, so the snapshot is
+    // always exact where it matters.
+    let mut settled = MemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
+
+    for mut bucket in level_buckets(p1, p2) {
+        // Largest slices first (LPT order): a level's work is often
+        // dominated by a few deep pairs, and scheduling those before the
+        // swarm of small ones keeps the join from waiting on a straggler
+        // that started last.
+        bucket.sort_by_key(|&(k1, k2)| {
+            std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
+        });
+        // All slices of one level: independent of each other, dependent
+        // only on already-joined lower levels (read via `settled`).
+        let settled_ref = &settled;
+        pool.install(|| {
+            bucket
+                .par_iter()
+                .for_each_init(crate::SliceScratch::default, |scratch, &(k1, k2)| {
+                    let v = crate::tabulate_child(p1, p2, k1, k2, settled_ref, scratch);
+                    memo.set(k1, k2, v);
+                });
+        });
+        // The join above settles this level: fold it into the snapshot
+        // (O(bucket) — over the whole run this copies each entry once).
+        for &(k1, k2) in &bucket {
+            settled.set(k1, k2, memo.get(k1, k2));
+        }
+    }
+    memo.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn buckets_partition_all_pairs_by_level() {
+        let s1 = generate::random_structure(60, 0.9, 3);
+        let s2 = generate::random_structure(50, 0.8, 4);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let buckets = level_buckets(&p1, &p2);
+        assert_eq!(buckets.len(), num_levels(&p1, &p2) as usize);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, (p1.num_arcs() * p2.num_arcs()) as usize);
+        for (l, bucket) in buckets.iter().enumerate() {
+            assert!(!bucket.is_empty(), "level {l} empty");
+            for &(k1, k2) in bucket {
+                assert_eq!(p1.level_of(k1).max(p2.level_of(k2)), l as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn dependencies_strictly_drop_levels() {
+        // The load-bearing invariant, checked against under_range itself.
+        let s = generate::rrna_like(
+            &generate::RrnaConfig {
+                len: 200,
+                arcs: 40,
+                mean_stem: 5,
+                nest_bias: 0.6,
+            },
+            17,
+        );
+        let p = Preprocessed::build(&s);
+        for k1 in 0..p.num_arcs() {
+            let (lo1, hi1) = p.under_range[k1 as usize];
+            for k2 in 0..p.num_arcs() {
+                let (lo2, hi2) = p.under_range[k2 as usize];
+                let level = p.level_of(k1).max(p.level_of(k2));
+                for c1 in lo1..hi1 {
+                    for c2 in lo2..hi2 {
+                        assert!(p.level_of(c1).max(p.level_of(c2)) < level);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hairpin_chain_has_few_levels() {
+        // 20 hairpin groups of stem depth 3: rows = 60, levels = 3.
+        let s = generate::hairpin_chain(20, 3, 2);
+        let p = Preprocessed::build(&s);
+        assert_eq!(p.num_arcs(), 60);
+        assert_eq!(num_levels(&p, &p), 3);
+    }
+
+    #[test]
+    fn fully_nested_levels_equal_rows() {
+        let s = generate::worst_case_nested(12);
+        let p = Preprocessed::build(&s);
+        assert_eq!(num_levels(&p, &p), 12);
+    }
+
+    #[test]
+    fn wavefront_matches_sequential_stage_one() {
+        let s1 = generate::random_structure(64, 0.9, 31);
+        let s2 = generate::random_structure(60, 1.0, 32);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        for threads in [1u32, 2, 4, 8] {
+            assert_eq!(stage_one(&p1, &p2, threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn wavefront_skewed_and_chained_structures() {
+        for s in [
+            generate::skewed_groups(4, 2, 4),
+            generate::hairpin_chain(10, 4, 3),
+        ] {
+            let p = Preprocessed::build(&s);
+            let reference = srna2::run_preprocessed(&p, &p).memo;
+            assert_eq!(stage_one(&p, &p, 4), reference);
+        }
+    }
+
+    #[test]
+    fn wavefront_empty_structures() {
+        let p = Preprocessed::build(&dot_bracket::parse("....").unwrap());
+        assert!(level_buckets(&p, &p).is_empty());
+        assert_eq!(num_levels(&p, &p), 0);
+        let memo = stage_one(&p, &p, 4);
+        assert_eq!(memo.rows(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Implements the harness subset this workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the `config = ...` and plain
+//! forms).
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and prints
+//! mean / min / max per-iteration times. Good enough for the relative
+//! comparisons the bench suite makes; not a replacement for real
+//! criterion statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-sample measurement time. Accepted for API
+    /// compatibility; the shim sizes samples by iteration count
+    /// instead.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let stats = run_bench(self.sample_size, |b| f(b));
+        report("", id, &stats, None);
+        self
+    }
+}
+
+/// Per-element/byte scaling hint attached to a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput hint used to derive rate numbers.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: Into<BenchmarkId>,
+    {
+        let id = id.into();
+        let stats = run_bench(self.sample_size, |b| f(b));
+        report(&self.name, &id.to_string(), &stats, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark receiving a borrowed input value.
+    pub fn bench_with_input<F, I, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+        I: Into<BenchmarkId>,
+    {
+        let id = id.into();
+        let stats = run_bench(self.sample_size, |b| f(b, input));
+        report(&self.name, &id.to_string(), &stats, self.throughput);
+        self
+    }
+
+    /// Ends the group. (No-op beyond matching criterion's API.)
+    pub fn finish(self) {}
+}
+
+/// A function-name / parameter pair naming one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `new("tabulate", 512)` renders as `tabulate/512`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// A bare parameter id (no function-name prefix).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, mut f: F) -> Stats {
+    // Calibrate: find an iteration count where one sample takes ≳2ms,
+    // so Instant resolution noise stays small.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters as u32);
+    }
+    let total: Duration = per_iter.iter().sum();
+    Stats {
+        mean: total / per_iter.len() as u32,
+        min: per_iter.iter().min().copied().unwrap_or_default(),
+        max: per_iter.iter().max().copied().unwrap_or_default(),
+    }
+}
+
+fn report(group: &str, id: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / stats.mean.as_secs_f64();
+            format!("  {per_sec:.3e} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / stats.mean.as_secs_f64();
+            format!("  {per_sec:.3e} B/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {full}: mean {:?}  min {:?}  max {:?}{rate}",
+        stats.mean, stats.min, stats.max
+    );
+}
+
+/// Declares a group of benchmark functions, optionally with a
+/// configured [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running each declared group. CLI arguments (e.g.
+/// the `--bench` flag cargo passes) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("shim-smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("spin", 100), &100u64, |b, &n| {
+            b.iter(|| spin(n))
+        });
+        group.bench_function("plain", |b| b.iter(|| spin(10)));
+        group.finish();
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro-smoke", |b| b.iter(|| spin(5)));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = target
+        }
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline stand-in for the `proptest` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]` headers and
+//! `arg in strategy` parameters, range strategies over integers and
+//! `f64`, [`prelude::any`] for primitives, [`collection::vec`],
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, and
+//! [`prop_assume!`].
+//!
+//! Differences from real proptest: cases are generated from a
+//! **deterministic** per-test seed (derived from the test name), and
+//! there is **no shrinking** — a failure reports the generated inputs
+//! of the failing case verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-case driving machinery used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped
+        /// without counting against `cases`.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic xoshiro256++ source for strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test identifier (e.g. the
+        /// test function's name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut state = h;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound > 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for sampling values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Full-domain strategy returned by [`any`](crate::prelude::any).
+    #[derive(Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Creates the [`Any`] strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: vectors of `element`-drawn values with
+    /// length in `[min, max)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            // Cap total attempts so heavy `prop_assume!` rejection cannot
+            // loop forever.
+            let max_attempts = config.cases.saturating_mul(20).max(100);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts for {} passes)",
+                    stringify!($name), attempts, passed
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{}' case {} failed: {}", stringify!($name), passed, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} ({})\n  both: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), a
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(x in 3u32..17, y in 0.25f64..0.5, z in 1u64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.5).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn any_samples_full_domain(x in any::<u32>()) {
+            let _ = x; // nothing to assert beyond type soundness
+        }
+    }
+
+    #[test]
+    fn failing_assertions_panic() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                #[test]
+                fn inner(x in 0u32..1) {
+                    prop_assert_eq!(x, 99);
+                }
+            }
+            inner();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for the `rayon` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Implements the indexed-data-parallel subset this workspace uses:
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`], `into_par_iter()`
+//! over integer ranges, `par_iter()` over slices, and the `map` /
+//! `map_init` / `for_each` / `for_each_init` / `collect` /
+//! `collect_into_vec` combinators.
+//!
+//! Scheduling is **dynamic**, like real rayon: workers are scoped
+//! threads that claim chunks of the index space from a shared atomic
+//! cursor, so uneven per-item costs are absorbed by whichever worker is
+//! free — the property the scheduling ablations in this workspace
+//! compare against static column ownership. Unlike real rayon the pool
+//! is not persistent: each parallel call spawns its workers, which adds
+//! tens of microseconds per call. That overhead is *per fan-out*, making
+//! barrier-count reduction (fewer, larger parallel regions) directly
+//! visible in wall-clock measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use iter::prelude;
+
+/// Error type of [`ThreadPoolBuilder::build`] (construction never
+/// actually fails here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count (one per
+    /// available CPU).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A handle fixing the degree of parallelism for the parallel calls
+/// issued inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+thread_local! {
+    /// Thread count installed by the innermost enclosing
+    /// [`ThreadPool::install`]; 0 = none (use the machine default).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Degree of parallelism in the current context.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The engine: runs `step` over `0..len` on the current thread count,
+/// dynamic chunk claiming, one `state` per worker, results in index
+/// order. Worker panics propagate to the caller.
+fn drive<St, R, MS, Step>(len: usize, make_state: MS, step: Step) -> Vec<R>
+where
+    MS: Fn() -> St + Sync,
+    Step: Fn(&mut St, usize) -> R + Sync,
+    R: Send,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        let mut state = make_state();
+        return (0..len).map(|i| step(&mut state, i)).collect();
+    }
+    // Small chunks keep claiming dynamic (load-balancing) while bounding
+    // cursor contention.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = make_state();
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        for i in start..end {
+                            local.push((i, step(&mut state, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Parallel iterator types and conversion traits.
+pub mod iter {
+    use super::drive;
+
+    /// Glob-import target mirroring `rayon::prelude`.
+    pub mod prelude {
+        pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+    }
+
+    /// An indexable, thread-shareable source of items.
+    pub trait Producer: Sync {
+        /// Item produced per index.
+        type Item: Send;
+        /// Number of items.
+        fn len(&self) -> usize;
+        /// Item at index `i` (`i < len()`).
+        fn item(&self, i: usize) -> Self::Item;
+    }
+
+    /// Sink for the results of a parallel computation (only `Vec` is
+    /// provided).
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from results in index order.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// By-value conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item: Send;
+        /// Backing producer.
+        type Producer: Producer<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> ParIter<Self::Producer>;
+    }
+
+    /// By-reference conversion (`.par_iter()`) into a parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a reference).
+        type Item: Send;
+        /// Backing producer.
+        type Producer: Producer<Item = Self::Item>;
+        /// Converts `&self`.
+        fn par_iter(&'a self) -> ParIter<Self::Producer>;
+    }
+
+    /// Producer over an integer range.
+    pub struct RangeProducer<T> {
+        start: T,
+        len: usize,
+    }
+
+    macro_rules! impl_range_producer {
+        ($($t:ty),*) => {$(
+            impl Producer for RangeProducer<$t> {
+                type Item = $t;
+                fn len(&self) -> usize {
+                    self.len
+                }
+                fn item(&self, i: usize) -> $t {
+                    self.start + i as $t
+                }
+            }
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Producer = RangeProducer<$t>;
+                fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                    ParIter {
+                        producer: RangeProducer {
+                            start: self.start,
+                            len: self.end.saturating_sub(self.start) as usize,
+                        },
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_producer!(u32, u64, usize);
+
+    /// Producer over a shared slice.
+    pub struct SliceProducer<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+        fn item(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Producer = SliceProducer<'a, T>;
+        fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+            ParIter {
+                producer: SliceProducer { slice: self },
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Producer = SliceProducer<'a, T>;
+        fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+            ParIter {
+                producer: SliceProducer { slice: self },
+            }
+        }
+    }
+
+    /// A parallel iterator over a producer's items.
+    pub struct ParIter<P> {
+        producer: P,
+    }
+
+    impl<P: Producer> ParIter<P> {
+        /// Applies `f` to every item.
+        pub fn map<F, R>(self, f: F) -> ParMap<P, F>
+        where
+            F: Fn(P::Item) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                producer: self.producer,
+                f,
+            }
+        }
+
+        /// Applies `f` with one `init()`-created scratch state per
+        /// worker thread.
+        pub fn map_init<INIT, St, F, R>(self, init: INIT, f: F) -> ParMapInit<P, INIT, F>
+        where
+            INIT: Fn() -> St + Sync,
+            F: Fn(&mut St, P::Item) -> R + Sync,
+            R: Send,
+        {
+            ParMapInit {
+                producer: self.producer,
+                init,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(P::Item) + Sync,
+        {
+            let len = self.producer.len();
+            drive(len, || (), |(), i| f(self.producer.item(i)));
+        }
+
+        /// Runs `f` on every item with one `init()`-created scratch
+        /// state per worker thread.
+        pub fn for_each_init<INIT, St, F>(self, init: INIT, f: F)
+        where
+            INIT: Fn() -> St + Sync,
+            F: Fn(&mut St, P::Item) + Sync,
+        {
+            let len = self.producer.len();
+            drive(len, init, |state, i| f(state, self.producer.item(i)));
+        }
+    }
+
+    /// Result of [`ParIter::map`].
+    pub struct ParMap<P, F> {
+        producer: P,
+        f: F,
+    }
+
+    impl<P: Producer, F, R> ParMap<P, F>
+    where
+        F: Fn(P::Item) -> R + Sync,
+        R: Send,
+    {
+        /// Collects the mapped results in index order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            let len = self.producer.len();
+            let v = drive(len, || (), |(), i| (self.f)(self.producer.item(i)));
+            C::from_ordered_vec(v)
+        }
+
+        /// Collects into `target`, replacing its contents.
+        pub fn collect_into_vec(self, target: &mut Vec<R>) {
+            let v: Vec<R> = self.collect();
+            *target = v;
+        }
+    }
+
+    /// Result of [`ParIter::map_init`].
+    pub struct ParMapInit<P, INIT, F> {
+        producer: P,
+        init: INIT,
+        f: F,
+    }
+
+    impl<P: Producer, INIT, St, F, R> ParMapInit<P, INIT, F>
+    where
+        INIT: Fn() -> St + Sync,
+        F: Fn(&mut St, P::Item) -> R + Sync,
+        R: Send,
+    {
+        /// Collects the mapped results in index order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            let len = self.producer.len();
+            let v = drive(len, self.init, |state, i| {
+                (self.f)(state, self.producer.item(i))
+            });
+            C::from_ordered_vec(v)
+        }
+
+        /// Collects into `target`, replacing its contents.
+        pub fn collect_into_vec(self, target: &mut Vec<R>) {
+            let v: Vec<R> = self.collect();
+            *target = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u32> = pool.install(|| (0u32..100).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_init_collect_into_vec() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut out = Vec::new();
+        pool.install(|| {
+            (0u32..37)
+                .into_par_iter()
+                .map_init(Vec::new, |scratch: &mut Vec<u32>, i| {
+                    scratch.push(i); // scratch state is per worker
+                    i + 1
+                })
+                .collect_into_vec(&mut out);
+        });
+        assert_eq!(out, (1..38).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn slice_par_iter_and_for_each() {
+        let data: Vec<u32> = (0..50).collect();
+        let sum = AtomicU32::new(0);
+        data.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (0..50).sum());
+    }
+
+    #[test]
+    fn install_actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0u32..256).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+        });
+        // At least one worker beyond the caller should have participated.
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0usize..10).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            pool.install(|| {
+                (0u32..64).into_par_iter().for_each(|i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -60,6 +60,35 @@ fn policies_do_not_change_results() {
 }
 
 #[test]
+fn wavefront_matches_srna2_at_all_thread_counts() {
+    // The wavefront backend replaces the row barrier entirely, so it gets
+    // a dedicated sweep over 1–8 threads on the shapes whose row and
+    // level schedules diverge the most (plus the nested case where they
+    // coincide). Bit-identical memo tables, not just equal scores.
+    let shapes = [
+        ("skewed", generate::skewed_groups(5, 2, 4)),
+        ("hairpin-chain", generate::hairpin_chain(12, 4, 3)),
+        ("nested", generate::worst_case_nested(24)),
+    ];
+    for (name, s) in &shapes {
+        let reference = srna2::run(s, s);
+        for procs in 1u32..=8 {
+            let out = prna(
+                s,
+                s,
+                &PrnaConfig {
+                    processors: procs,
+                    policy: Policy::Greedy,
+                    backend: Backend::Wavefront,
+                },
+            );
+            assert_eq!(out.score, reference.score, "{name} p{procs}");
+            assert_eq!(out.memo, reference.memo, "{name} p{procs}");
+        }
+    }
+}
+
+#[test]
 fn prna_timings_partition_total() {
     let s = generate::worst_case_nested(60);
     let out = prna(
@@ -93,5 +122,20 @@ proptest! {
             prop_assert_eq!(out.score, reference.score);
             prop_assert_eq!(&out.memo, &reference.memo);
         }
+    }
+
+    #[test]
+    fn prop_wavefront_bit_identical_to_srna2(seed1 in 0u64..999, seed2 in 0u64..999,
+                                             len in 12u32..72, procs in 1u32..9) {
+        let s1 = generate::random_structure(len, 0.9, seed1);
+        let s2 = generate::random_structure(len, 0.6, seed2);
+        let reference = srna2::run(&s1, &s2);
+        let out = prna(&s1, &s2, &PrnaConfig {
+            processors: procs,
+            policy: Policy::Greedy,
+            backend: Backend::Wavefront,
+        });
+        prop_assert_eq!(out.score, reference.score);
+        prop_assert_eq!(&out.memo, &reference.memo);
     }
 }

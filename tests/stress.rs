@@ -33,6 +33,35 @@ fn worst_case_400_all_backends() {
 
 #[test]
 #[ignore = "minutes of compute; run explicitly in release mode"]
+fn backend_equivalence_at_scale() {
+    // Shapes where the row and wavefront schedules diverge strongly, at a
+    // size where scheduling bugs (a read that sneaks ahead of its level)
+    // would actually get the chance to race: every backend must agree
+    // with SRNA2 bit-for-bit at 8 threads.
+    let inputs = [
+        generate::hairpin_chain(80, 5, 2), // 400 arcs, 5 levels
+        generate::skewed_groups(10, 2, 6), // strong per-row imbalance
+    ];
+    for s in &inputs {
+        let reference = srna2::run(s, s);
+        for backend in Backend::ALL {
+            let out = prna(
+                s,
+                s,
+                &PrnaConfig {
+                    processors: 8,
+                    policy: Policy::Lpt,
+                    backend,
+                },
+            );
+            assert_eq!(out.score, reference.score, "{}", backend.name());
+            assert_eq!(out.memo, reference.memo, "{}", backend.name());
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes of compute; run explicitly in release mode"]
 fn paper_scale_rrna_self_comparison() {
     // The Table II inputs at full size.
     let fungus = generate::rrna_like(&generate::RrnaConfig::fungus(), 0xF47585);
