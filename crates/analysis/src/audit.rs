@@ -1,0 +1,215 @@
+//! The static dependency audit: executable proofs about the schedule,
+//! plus reporting for the `srna analyze` subcommand.
+//!
+//! The wavefront backend's correctness rests on one inequality: along
+//! every dependency edge `(k1, k2) → (c1, c2)` of the slice graph
+//! (`c1` strictly under `k1`, `c2` strictly under `k2` — the edge set
+//! `depgraph`'s slice graph renders), the level function
+//! `max(depth₁, depth₂)` strictly decreases. [`audit_levels`] checks
+//! that inequality over *every* edge of a concrete input pair, turning
+//! the prose proof in `mcos_parallel::wavefront` into a per-input
+//! invariant the CLI can re-establish on demand.
+
+use mcos_core::preprocess::Preprocessed;
+use mcos_parallel::wavefront;
+
+/// One dependency edge whose level fails to strictly decrease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelViolation {
+    /// The reading slice.
+    pub from: (u32, u32),
+    /// The dependency it reads.
+    pub to: (u32, u32),
+    /// `level(from)`.
+    pub from_level: u32,
+    /// `level(to)` — violating means `to_level >= from_level`.
+    pub to_level: u32,
+}
+
+/// Result of the level audit on one input pair.
+#[derive(Debug, Clone)]
+pub struct LevelAudit {
+    /// Slices (arc pairs) audited.
+    pub slices: u64,
+    /// Dependency edges audited.
+    pub edges: u64,
+    /// Levels the wavefront schedule uses (`max depth + 1`, 0 when a
+    /// structure has no arcs).
+    pub levels: u32,
+    /// Barriers the row schedule would use for the same work (`A₁`).
+    pub row_barriers: u32,
+    /// Every edge along which the level fails to strictly decrease
+    /// (empty = the wavefront schedule is sound for this input).
+    pub violations: Vec<LevelViolation>,
+}
+
+impl LevelAudit {
+    /// True when every edge strictly decreases the level.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audits every dependency edge of the slice graph of `(p1, p2)`:
+/// `level(k1, k2) = max(depth₁[k1], depth₂[k2])` must strictly decrease
+/// from each slice to each of its dependencies.
+pub fn audit_levels(p1: &Preprocessed, p2: &Preprocessed) -> LevelAudit {
+    let mut edges = 0u64;
+    let mut violations = Vec::new();
+    for k1 in 0..p1.num_arcs() {
+        let (lo1, hi1) = p1.under_range[k1 as usize];
+        for k2 in 0..p2.num_arcs() {
+            let (lo2, hi2) = p2.under_range[k2 as usize];
+            let level = p1.level_of(k1).max(p2.level_of(k2));
+            for c1 in lo1..hi1 {
+                for c2 in lo2..hi2 {
+                    edges += 1;
+                    let dep_level = p1.level_of(c1).max(p2.level_of(c2));
+                    if dep_level >= level {
+                        violations.push(LevelViolation {
+                            from: (k1, k2),
+                            to: (c1, c2),
+                            from_level: level,
+                            to_level: dep_level,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    LevelAudit {
+        slices: p1.num_arcs() as u64 * p2.num_arcs() as u64,
+        edges,
+        levels: wavefront::num_levels(p1, p2),
+        row_barriers: p1.num_arcs(),
+        violations,
+    }
+}
+
+/// Synchronization points each backend pays for stage one of this input
+/// pair, as `(backend name, barrier count)`. The row-synchronized
+/// backends (mpi-sim, worker-pool, rayon, manager-worker) pay one
+/// barrier per arc of `S₁`; the wavefront pays one per dependency
+/// level.
+pub fn barrier_counts(p1: &Preprocessed, p2: &Preprocessed) -> Vec<(&'static str, u32)> {
+    let rows = p1.num_arcs();
+    vec![
+        ("mpi-sim", rows),
+        ("worker-pool", rows),
+        ("rayon", rows),
+        ("manager-worker", rows),
+        ("wavefront", wavefront::num_levels(p1, p2)),
+    ]
+}
+
+/// One atomic-ordering use site in workspace source.
+#[derive(Debug, Clone)]
+pub struct OrderingUse {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which `Ordering::` variant appears.
+    pub ordering: String,
+    /// Whether an adjacent `// ORDERING:` justification was found.
+    pub justified: bool,
+    /// The source line, trimmed.
+    pub context: String,
+}
+
+/// Scans non-shim workspace crates for `Ordering::` use sites, pairing
+/// each with whether a `// ORDERING:` justification is adjacent. Shares
+/// the scanning machinery (and the skip rules for shims, tests, and
+/// comments) with the workspace lint.
+pub fn ordering_inventory(root: &std::path::Path) -> std::io::Result<Vec<OrderingUse>> {
+    let mut uses = Vec::new();
+    for file in crate::lint::workspace_sources(root)? {
+        let text = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        let limit = crate::lint::test_module_start(&lines);
+        for (i, line) in lines.iter().enumerate().take(limit) {
+            if crate::lint::is_comment_line(line) {
+                continue;
+            }
+            let Some(pos) = line.find("Ordering::") else {
+                continue;
+            };
+            let variant: String = line[pos + "Ordering::".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if variant.is_empty() {
+                continue;
+            }
+            uses.push(OrderingUse {
+                file: rel.clone(),
+                line: i + 1,
+                ordering: variant,
+                justified: crate::lint::has_adjacent_marker(&lines, i, "// ORDERING:"),
+                context: line.trim().to_string(),
+            });
+        }
+    }
+    Ok(uses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+
+    #[test]
+    fn random_structures_audit_sound() {
+        for seed in 0..8 {
+            let s1 = generate::random_structure(80, 0.9, seed);
+            let s2 = generate::random_structure(70, 0.8, seed + 100);
+            let p1 = Preprocessed::build(&s1);
+            let p2 = Preprocessed::build(&s2);
+            let audit = audit_levels(&p1, &p2);
+            assert!(audit.is_sound(), "seed {seed}: {:?}", audit.violations);
+            assert_eq!(audit.slices, p1.num_arcs() as u64 * p2.num_arcs() as u64);
+        }
+    }
+
+    #[test]
+    fn hairpin_chain_audit_shows_barrier_win() {
+        // 12 hairpin groups of stem depth 3: 36 rows but only 3 levels.
+        let s = generate::hairpin_chain(12, 3, 2);
+        let p = Preprocessed::build(&s);
+        let audit = audit_levels(&p, &p);
+        assert!(audit.is_sound());
+        assert_eq!(audit.row_barriers, 36);
+        assert_eq!(audit.levels, 3);
+        let counts = barrier_counts(&p, &p);
+        assert_eq!(counts.last().unwrap().1, 3);
+        assert!(counts.iter().take(4).all(|&(_, c)| c == 36));
+    }
+
+    #[test]
+    fn empty_structures_audit() {
+        let p = Preprocessed::build(&dot_bracket::parse("....").unwrap());
+        let audit = audit_levels(&p, &p);
+        assert!(audit.is_sound());
+        assert_eq!(audit.edges, 0);
+        assert_eq!(audit.levels, 0);
+    }
+
+    #[test]
+    fn a_corrupted_level_function_would_be_caught() {
+        // Sanity-check the audit logic itself: feed it a Preprocessed
+        // whose depth table is flattened to all zeros — every edge then
+        // fails the strict decrease and must be reported.
+        let s = generate::worst_case_nested(4);
+        let mut p = Preprocessed::build(&s);
+        p.depth = vec![0; p.depth.len()];
+        let audit = audit_levels(&p, &p);
+        assert!(!audit.is_sound());
+        assert_eq!(audit.violations.len() as u64, audit.edges);
+    }
+}

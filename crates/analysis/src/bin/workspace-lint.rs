@@ -1,0 +1,89 @@
+//! Workspace lint runner: scans `crates/*/src` (excluding shims and
+//! test modules) for unjustified relaxed orderings, unjustified uses of
+//! the unsafe keyword, and library-code `unwrap` calls, honoring the
+//! reviewed allowlist in `lint-allow.txt`.
+//!
+//! Usage: `cargo run -p analysis --bin workspace-lint [-- --root PATH]
+//! [--allow PATH]`. Exits non-zero when any finding survives the
+//! allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::lint::{lint_workspace, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut allow_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage("--allow needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "workspace-lint: cannot resolve root {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("workspace-lint: bad allowlist: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match lint_workspace(&root, &allow) {
+        Ok(findings) if findings.is_empty() => {
+            println!("workspace-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "workspace-lint: {} finding(s); justify with an adjacent \
+                 // ORDERING: / // SAFETY: comment or add a reviewed entry \
+                 to {}",
+                findings.len(),
+                allow_path.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("workspace-lint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("workspace-lint: {err}");
+    }
+    eprintln!("usage: workspace-lint [--root PATH] [--allow PATH]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,186 @@
+//! The dynamic race detector: traced backend runs × thread counts ×
+//! delay-injection seeds, each replayed through the vector-clock
+//! checker.
+//!
+//! One *cell* of the matrix is: build a [`TraceLog`] whose delay hook
+//! is a seeded [`par_sim::jitter::DelayInjector`], run the traced twin
+//! of one backend at one thread count, replay the log with
+//! [`check_trace`], and cross-check the run's score and memo against
+//! the sequential SRNA2 reference. Delay injection perturbs the real
+//! thread interleavings, so different seeds explore different
+//! adversarial timings of the same schedule; the happens-before verdict
+//! is about the *recorded edges*, so a schedule whose correctness
+//! depends on lucky timing (rather than on its synchronization) is
+//! flagged on whichever seed breaks the luck.
+
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::srna2;
+use mcos_core::trace::TraceLog;
+use mcos_parallel::traced::{prna_traced_preprocessed, TracedBackend};
+use par_sim::jitter::DelayInjector;
+use rna_structure::ArcStructure;
+
+use crate::vc::{check_trace, DependencyCone, Violation};
+
+/// Outcome of one matrix cell.
+#[derive(Debug, Clone)]
+pub struct RaceRun {
+    /// The schedule exercised.
+    pub backend: TracedBackend,
+    /// Worker threads (for manager-worker: workers; one manager rank is
+    /// added on top).
+    pub threads: u32,
+    /// Delay-injection seed.
+    pub seed: u64,
+    /// Events recorded by the traced run.
+    pub events: usize,
+    /// Violations the replay found (empty = clean).
+    pub violations: Vec<Violation>,
+    /// Whether score and memo matched the sequential reference.
+    pub result_ok: bool,
+}
+
+/// Outcome of a full detector sweep.
+#[derive(Debug, Clone)]
+pub struct DetectorReport {
+    /// One entry per (backend, threads, seed) cell.
+    pub runs: Vec<RaceRun>,
+}
+
+impl DetectorReport {
+    /// Total violations across all runs.
+    pub fn total_violations(&self) -> usize {
+        self.runs.iter().map(|r| r.violations.len()).sum()
+    }
+
+    /// True when every run replayed clean *and* reproduced the
+    /// sequential result.
+    pub fn all_clean(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|r| r.violations.is_empty() && r.result_ok)
+    }
+}
+
+/// Runs the detector matrix: every backend × every thread count ×
+/// every seed.
+pub fn detect_races(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    backends: &[TracedBackend],
+    thread_counts: &[u32],
+    seeds: &[u64],
+) -> DetectorReport {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let reference = srna2::run_preprocessed(&p1, &p2);
+    let cone = DependencyCone { p1: &p1, p2: &p2 };
+
+    let mut runs = Vec::with_capacity(backends.len() * thread_counts.len() * seeds.len());
+    for &backend in backends {
+        for &threads in thread_counts {
+            for &seed in seeds {
+                let injector = DelayInjector::new(seed);
+                let log = TraceLog::with_delay(Box::new(move || injector.delay()));
+                let out = prna_traced_preprocessed(&p1, &p2, backend, threads, &log);
+                let events = log.take_events();
+                let report = check_trace(&events, Some(cone));
+                runs.push(RaceRun {
+                    backend,
+                    threads,
+                    seed,
+                    events: events.len(),
+                    violations: report.violations,
+                    result_ok: out.score == reference.score && out.memo == reference.memo,
+                });
+            }
+        }
+    }
+    DetectorReport { runs }
+}
+
+/// The acceptance matrix of ISSUE 2: all four backends at 1/2/4/8
+/// threads, `seeds` delay-injection seeds each.
+pub fn acceptance_matrix(s1: &ArcStructure, s2: &ArcStructure, seeds: u64) -> DetectorReport {
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    detect_races(s1, s2, &TracedBackend::ALL, &[1, 2, 4, 8], &seed_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_parallel::traced::wavefront_traced_without_level_barrier;
+    use rna_structure::generate;
+
+    #[test]
+    fn single_cell_is_clean() {
+        let s = generate::random_structure(36, 0.9, 1);
+        let report = detect_races(&s, &s, &[TracedBackend::Wavefront], &[4], &[0, 1]);
+        assert_eq!(report.runs.len(), 2);
+        assert!(
+            report.all_clean(),
+            "violations: {}",
+            report.total_violations()
+        );
+        assert!(report.runs.iter().all(|r| r.events > 0));
+    }
+
+    #[test]
+    fn acceptance_matrix_smoke() {
+        // The full acceptance matrix at reduced seed count, kept in the
+        // default suite so every `cargo test` exercises all four traced
+        // backends at 1/2/4/8 threads.
+        let s1 = generate::random_structure(40, 0.9, 7);
+        let s2 = generate::random_structure(36, 0.85, 11);
+        let report = acceptance_matrix(&s1, &s2, 2);
+        assert_eq!(report.runs.len(), 4 * 4 * 2);
+        for r in &report.runs {
+            assert!(
+                r.violations.is_empty() && r.result_ok,
+                "{} @ {} threads, seed {}: {} violation(s), result_ok={}",
+                r.backend.name(),
+                r.threads,
+                r.seed,
+                r.violations.len(),
+                r.result_ok
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "full acceptance matrix (4 backends x 4 thread counts x 16 seeds); run in CI stress"]
+    fn acceptance_matrix_full() {
+        let s1 = generate::random_structure(60, 0.9, 3);
+        let s2 = generate::random_structure(50, 0.85, 5);
+        let report = acceptance_matrix(&s1, &s2, 16);
+        assert_eq!(report.runs.len(), 4 * 4 * 16);
+        assert!(
+            report.all_clean(),
+            "{} violation(s) across {} runs",
+            report.total_violations(),
+            report.runs.len()
+        );
+    }
+
+    #[test]
+    fn broken_schedule_is_detected() {
+        // The checker's teeth: the wavefront schedule with one level
+        // barrier skipped must produce happens-before violations at
+        // every thread count — the merged bucket's LPT order puts the
+        // deep slices first, so their reads of sibling level-0 entries
+        // precede (or race with) the sibling writes in every
+        // interleaving.
+        let s = generate::worst_case_nested(8);
+        let p1 = Preprocessed::build(&s);
+        let cone = DependencyCone { p1: &p1, p2: &p1 };
+        for threads in [1u32, 2, 4] {
+            let log = TraceLog::new();
+            let _ = wavefront_traced_without_level_barrier(&p1, &p1, threads, &log);
+            let report = check_trace(&log.take_events(), Some(cone));
+            assert!(
+                !report.is_clean(),
+                "threads {threads}: skipped barrier not detected"
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Concurrency soundness checks for the MCOS workspace.
+//!
+//! Three independent passes, one per module:
+//!
+//! * [`vc`] + [`detector`] — **dynamic race detection**. The traced
+//!   backend twins (`mcos_parallel::traced`) record memo reads/writes
+//!   and synchronization events into a `TraceLog`; the vector-clock
+//!   checker replays the log and reports any read not happens-before
+//!   ordered after the write it observed, any write/write or
+//!   read/write race, and any read outside the reading slice's
+//!   strictly-nested dependency cone. Seeded delay injection
+//!   (`par_sim::jitter`) perturbs interleavings so clean verdicts are
+//!   about synchronization, not luck.
+//! * [`audit`] — **static dependency audit**. Proves, per input pair,
+//!   that the wavefront level function `max(depth₁, depth₂)` strictly
+//!   decreases along every dependency edge, and reports barrier counts
+//!   per backend plus an atomic-ordering inventory.
+//! * [`lint`] — **workspace lint**. Mechanical enforcement of the
+//!   `// ORDERING:` / `// SAFETY:` justification conventions and the
+//!   no-`unwrap`-in-library-code rule, with a reviewed allowlist
+//!   (`lint-allow.txt`). Run it via
+//!   `cargo run -p analysis --bin workspace-lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod detector;
+pub mod lint;
+pub mod vc;

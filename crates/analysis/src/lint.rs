@@ -1,0 +1,359 @@
+//! The workspace lint: mechanical enforcement of the justification
+//! conventions the concurrency-soundness work depends on.
+//!
+//! Three rules, scanned over every non-shim `crates/*/src/**/*.rs`
+//! file, skipping test modules (everything at and after the first
+//! `#[cfg(test)]` line — test modules sit at file end throughout this
+//! workspace) and comment lines:
+//!
+//! * **`ordering`** — a relaxed atomic ordering must carry an adjacent
+//!   `// ORDERING:` justification comment (within the three preceding
+//!   lines) or an allowlist entry. Relaxed is the one ordering whose
+//!   correctness is never local to the access — it always leans on an
+//!   edge established elsewhere, and the comment must say where.
+//! * **`safety`** — the unsafe keyword must carry an adjacent
+//!   `// SAFETY:` comment or an allowlist entry (most crates here
+//!   forbid it outright; the rule covers the rest).
+//! * **`unwrap`** — non-test library code must not panic on `Option`/
+//!   `Result` shortcuts without an allowlist entry naming the file (the
+//!   entry is the reviewed assertion that the invariant is real).
+//!
+//! The match needles are assembled at runtime so the linter's own
+//! source never matches its own rules.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Relaxed atomic ordering without adjacent justification.
+    RelaxedOrdering,
+    /// The unsafe keyword without adjacent justification.
+    UnsafeCode,
+    /// `Option::unwrap` / `Result::unwrap` call in library code.
+    Unwrap,
+}
+
+impl Rule {
+    /// Name used in allowlist entries and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RelaxedOrdering => "ordering",
+            Rule::UnsafeCode => "safety",
+            Rule::Unwrap => "unwrap",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.excerpt
+        )
+    }
+}
+
+/// Reviewed exemptions: `(rule name, workspace-relative path)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `<rule> <path>` pair per line,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let rule = parts
+                .next()
+                .ok_or_else(|| format!("line {}: empty", i + 1))?;
+            let path = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing path after rule", i + 1))?;
+            if !matches!(rule, "ordering" | "safety" | "unwrap") {
+                return Err(format!("line {}: unknown rule '{rule}'", i + 1));
+            }
+            entries.push((rule.to_string(), path.to_string()));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads an allowlist file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Whether `rule` is exempted for `file` (workspace-relative, `/`
+    /// separators).
+    pub fn allows(&self, rule: Rule, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p)| r == rule.name() && p == file)
+    }
+}
+
+/// Collects every lintable source file: `crates/*/src/**/*.rs`,
+/// excluding everything under `crates/shims`.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() || entry.file_name() == "shims" {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Index of the first line opening a test module (`#[cfg(test)]`), or
+/// `lines.len()` when there is none. Lines at and after it are not
+/// linted — in this workspace test modules sit at the end of each file.
+pub fn test_module_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+/// Whether the line is a (line or doc) comment.
+pub fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Whether `marker` appears on line `i` or within the three preceding
+/// lines (the "adjacent justification" window).
+pub fn has_adjacent_marker(lines: &[&str], i: usize, marker: &str) -> bool {
+    lines[i.saturating_sub(3)..=i]
+        .iter()
+        .any(|l| l.contains(marker))
+}
+
+fn needle_relaxed() -> String {
+    format!("Ordering::{}", "Relaxed")
+}
+
+fn needle_unsafe() -> String {
+    ["un", "safe"].concat()
+}
+
+fn needle_unwrap() -> String {
+    format!(".{}()", ["un", "wrap"].concat())
+}
+
+/// Whether the keyword at byte offset `pos` (length `len`) in `line`
+/// stands alone as a word (so `{needle}_code` in a `forbid` attribute
+/// does not count).
+fn is_word_at(line: &str, pos: usize, len: usize) -> bool {
+    let before = line[..pos].chars().next_back();
+    let after = line[pos + len..].chars().next();
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    !before.is_some_and(is_word) && !after.is_some_and(is_word)
+}
+
+/// Lints one file's text, pushing findings with paths reported as
+/// `rel`.
+fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFinding>) {
+    let relaxed = needle_relaxed();
+    let unsafe_kw = needle_unsafe();
+    let unwrap_call = needle_unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let limit = test_module_start(&lines);
+    for (i, line) in lines.iter().enumerate().take(limit) {
+        if is_comment_line(line) {
+            continue;
+        }
+        if line.contains(&relaxed)
+            && !has_adjacent_marker(&lines, i, "// ORDERING:")
+            && !allow.allows(Rule::RelaxedOrdering, rel)
+        {
+            findings.push(LintFinding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::RelaxedOrdering,
+                excerpt: line.trim().to_string(),
+            });
+        }
+        let mut search = 0usize;
+        while let Some(off) = line[search..].find(&unsafe_kw) {
+            let pos = search + off;
+            search = pos + unsafe_kw.len();
+            if is_word_at(line, pos, unsafe_kw.len())
+                && !has_adjacent_marker(&lines, i, "// SAFETY:")
+                && !allow.allows(Rule::UnsafeCode, rel)
+            {
+                findings.push(LintFinding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: Rule::UnsafeCode,
+                    excerpt: line.trim().to_string(),
+                });
+                break;
+            }
+        }
+        if line.contains(&unwrap_call) && !allow.allows(Rule::Unwrap, rel) {
+            findings.push(LintFinding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Unwrap,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root` under `allow`, returning every
+/// finding (empty = clean).
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<LintFinding>> {
+    let mut findings = Vec::new();
+    for file in workspace_sources(root)? {
+        let text = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        lint_text(&rel, &text, allow, &mut findings);
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "mcos-lint-fixture-{}-{}",
+            std::process::id(),
+            files.len()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        for (rel, text) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, text).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn flags_unjustified_relaxed_and_accepts_justified() {
+        let bad = format!("fn f() {{ X.load(Ordering::{}); }}\n", "Relaxed");
+        let good = format!(
+            "// ORDERING: the join edge carries visibility.\nfn f() {{ X.load(Ordering::{}); }}\n",
+            "Relaxed"
+        );
+        let root = fixture(&[
+            ("crates/demo/src/bad.rs", bad.as_str()),
+            ("crates/demo/src/good.rs", good.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::RelaxedOrdering);
+        assert_eq!(findings[0].file, "crates/demo/src/bad.rs");
+    }
+
+    #[test]
+    fn flags_unsafe_without_safety_comment() {
+        let kw = ["un", "safe"].concat();
+        let bad = format!("pub {kw} fn g() {{}}\n");
+        let attr = format!("#![forbid({kw}_code)]\n"); // word-boundary exempt
+        let good = format!("// SAFETY: no aliasing, len checked.\n{kw} {{ }}\n");
+        let root = fixture(&[
+            ("crates/demo/src/kw.rs", bad.as_str()),
+            ("crates/demo/src/attr.rs", attr.as_str()),
+            ("crates/demo/src/ok.rs", good.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::UnsafeCode);
+        assert_eq!(findings[0].file, "crates/demo/src/kw.rs");
+    }
+
+    #[test]
+    fn flags_unwrap_unless_allowlisted_or_in_tests() {
+        let call = format!(".{}()", ["un", "wrap"].concat());
+        let lib = format!("fn h() {{ x{call}; }}\n");
+        let tests = format!("fn ok() {{}}\n#[cfg(test)]\nmod tests {{ fn t() {{ y{call}; }} }}\n");
+        let root = fixture(&[
+            ("crates/demo/src/lib.rs", lib.as_str()),
+            ("crates/demo/src/tested.rs", tests.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::Unwrap);
+
+        let allow = Allowlist::parse("unwrap crates/demo/src/lib.rs\n").unwrap();
+        assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shims_and_comments_are_skipped() {
+        let call = format!(".{}()", ["un", "wrap"].concat());
+        let shim = format!("fn s() {{ x{call}; }}\n");
+        let doc = format!("/// let v = maybe{call};\nfn d() {{}}\n");
+        let root = fixture(&[
+            ("crates/shims/fake/src/lib.rs", shim.as_str()),
+            ("crates/demo/src/doc.rs", doc.as_str()),
+        ]);
+        assert!(lint_workspace(&root, &Allowlist::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules() {
+        assert!(Allowlist::parse("bogus crates/x/src/lib.rs\n").is_err());
+        assert!(Allowlist::parse("# comment\n\nunwrap a/b.rs\n").is_ok());
+    }
+}

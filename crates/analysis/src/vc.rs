@@ -1,0 +1,600 @@
+//! The vector-clock happens-before checker.
+//!
+//! Replays a [`TraceEvent`] log (see [`mcos_core::trace`] for the event
+//! model and the recording discipline that makes the log order a sound
+//! witness) and verifies that the recorded synchronization edges order
+//! every pair of conflicting memo accesses.
+//!
+//! Each task carries a vector clock; fork/join copy and join clocks,
+//! and each barrier accumulates the clocks of arriving tasks and
+//! releases the accumulated history to leaving tasks. Memo entries
+//! carry FastTrack-style access histories — the `(task, epoch)` of
+//! every write and read — and each new access is checked against the
+//! opposite-kind history: a read must be HB-after every write of its
+//! entry, and a write must be HB-after every prior write *and* every
+//! prior read. On top of the pure happens-before conditions, reads
+//! carry the slice they serve, so the checker also enforces the
+//! paper's dependency-cone claim: slice `(k1, k2)` reads only arc
+//! pairs strictly nested under both arcs.
+
+use std::collections::HashMap;
+
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::trace::{TaskId, TraceEvent, PARENT_SLICE};
+
+/// What went wrong with one access pair (or one access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A read of an entry whose latest write is not ordered before it.
+    StaleRead,
+    /// A read of an entry no task has written yet (every arc pair is
+    /// written exactly once before stage two, so this is always a
+    /// schedule hole, not a benign default read).
+    ReadBeforeWrite,
+    /// Two writes of one entry with no ordering between them.
+    WriteWriteRace,
+    /// A write not ordered after a prior read of the same entry.
+    WriteAfterReadRace,
+    /// A read outside the reading slice's strictly-nested dependency
+    /// cone (`under_range` of both arcs).
+    ConeViolation,
+}
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What kind of ordering hole this is.
+    pub kind: ViolationKind,
+    /// The memo entry involved.
+    pub entry: (u32, u32),
+    /// The task performing the unordered (second) access.
+    pub task: TaskId,
+    /// The task of the earlier conflicting access, when there is one.
+    pub other: Option<TaskId>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} at entry ({}, {}) by task {}: {}",
+            self.kind, self.entry.0, self.entry.1, self.task, self.detail
+        )
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Number of events replayed.
+    pub events: usize,
+    /// Number of distinct tasks observed.
+    pub tasks: usize,
+    /// Number of memo reads checked.
+    pub reads: usize,
+    /// Number of memo writes checked.
+    pub writes: usize,
+    /// Everything the replay flagged (empty = the schedule's recorded
+    /// edges order all conflicting accesses and respect the cone).
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// True when the trace replayed clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The dependency cone to check reads against: a read on behalf of
+/// slice `(k1, k2)` may only target rows in `p1.under_range[k1]` and
+/// columns in `p2.under_range[k2]`.
+#[derive(Debug, Clone, Copy)]
+pub struct DependencyCone<'a> {
+    /// Preprocessing tables of `S₁` (rows).
+    pub p1: &'a Preprocessed,
+    /// Preprocessing tables of `S₂` (columns).
+    pub p2: &'a Preprocessed,
+}
+
+/// One task's vector clock, lazily sized to the task universe.
+type Clock = Vec<u32>;
+
+fn join_into(dst: &mut Clock, src: &Clock) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// `(task, epoch)` of one recorded access.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    task: TaskId,
+    at: u32,
+}
+
+impl Epoch {
+    /// Does this access happen-before a task whose clock is `clock`?
+    fn ordered_before(self, clock: &Clock) -> bool {
+        clock[self.task as usize] >= self.at
+    }
+}
+
+#[derive(Debug, Default)]
+struct EntryHistory {
+    writes: Vec<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+/// Replays `events` and checks every conflicting access pair for a
+/// happens-before edge; with `cone`, additionally checks every
+/// slice-owned read against the strictly-nested dependency ranges.
+pub fn check_trace(events: &[TraceEvent], cone: Option<DependencyCone<'_>>) -> CheckReport {
+    let num_tasks = events
+        .iter()
+        .map(|e| match *e {
+            TraceEvent::Fork { parent, child } | TraceEvent::Join { parent, child } => {
+                parent.max(child)
+            }
+            TraceEvent::Arrive { task, .. }
+            | TraceEvent::Leave { task, .. }
+            | TraceEvent::Read { task, .. }
+            | TraceEvent::Write { task, .. } => task,
+        })
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+
+    let mut clocks: Vec<Clock> = vec![vec![0; num_tasks]; num_tasks];
+    let mut barriers: HashMap<u32, Clock> = HashMap::new();
+    let mut entries: HashMap<(u32, u32), EntryHistory> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+
+    for ev in events {
+        match *ev {
+            TraceEvent::Fork { parent, child } => {
+                // The child inherits everything the parent has done.
+                let snapshot = clocks[parent as usize].clone();
+                let child_clock = &mut clocks[child as usize];
+                join_into(child_clock, &snapshot);
+                child_clock[child as usize] += 1;
+                // Tick the parent so its post-fork events are *not*
+                // ordered before the child.
+                clocks[parent as usize][parent as usize] += 1;
+            }
+            TraceEvent::Join { parent, child } => {
+                let snapshot = clocks[child as usize].clone();
+                let parent_clock = &mut clocks[parent as usize];
+                join_into(parent_clock, &snapshot);
+                parent_clock[parent as usize] += 1;
+            }
+            TraceEvent::Arrive { task, barrier } => {
+                let acc = barriers
+                    .entry(barrier)
+                    .or_insert_with(|| vec![0; num_tasks]);
+                join_into(acc, &clocks[task as usize]);
+                clocks[task as usize][task as usize] += 1;
+            }
+            TraceEvent::Leave { task, barrier } => {
+                let acc = barriers
+                    .entry(barrier)
+                    .or_insert_with(|| vec![0; num_tasks]);
+                let snapshot = acc.clone();
+                let clock = &mut clocks[task as usize];
+                join_into(clock, &snapshot);
+                clock[task as usize] += 1;
+            }
+            TraceEvent::Write { task, r, c } => {
+                writes += 1;
+                let clock = &mut clocks[task as usize];
+                clock[task as usize] += 1;
+                let me = Epoch {
+                    task,
+                    at: clock[task as usize],
+                };
+                let history = entries.entry((r, c)).or_default();
+                for w in &history.writes {
+                    if w.task != task && !w.ordered_before(&clocks[task as usize]) {
+                        violations.push(Violation {
+                            kind: ViolationKind::WriteWriteRace,
+                            entry: (r, c),
+                            task,
+                            other: Some(w.task),
+                            detail: format!("concurrent with write by task {}", w.task),
+                        });
+                    }
+                }
+                for rd in &history.reads {
+                    if rd.task != task && !rd.ordered_before(&clocks[task as usize]) {
+                        violations.push(Violation {
+                            kind: ViolationKind::WriteAfterReadRace,
+                            entry: (r, c),
+                            task,
+                            other: Some(rd.task),
+                            detail: format!("concurrent with read by task {}", rd.task),
+                        });
+                    }
+                }
+                entries
+                    .get_mut(&(r, c))
+                    .expect("just inserted")
+                    .writes
+                    .push(me);
+            }
+            TraceEvent::Read { task, owner, r, c } => {
+                reads += 1;
+                let clock = &mut clocks[task as usize];
+                clock[task as usize] += 1;
+                let me = Epoch {
+                    task,
+                    at: clock[task as usize],
+                };
+                if owner != PARENT_SLICE {
+                    if let Some(cone) = cone {
+                        let (lo1, hi1) = cone.p1.under_range[owner.0 as usize];
+                        let (lo2, hi2) = cone.p2.under_range[owner.1 as usize];
+                        if r < lo1 || r >= hi1 || c < lo2 || c >= hi2 {
+                            violations.push(Violation {
+                                kind: ViolationKind::ConeViolation,
+                                entry: (r, c),
+                                task,
+                                other: None,
+                                detail: format!(
+                                    "slice ({}, {}) may only read rows {lo1}..{hi1} × cols {lo2}..{hi2}",
+                                    owner.0, owner.1
+                                ),
+                            });
+                        }
+                    }
+                }
+                let history = entries.entry((r, c)).or_default();
+                if history.writes.is_empty() {
+                    violations.push(Violation {
+                        kind: ViolationKind::ReadBeforeWrite,
+                        entry: (r, c),
+                        task,
+                        other: None,
+                        detail: "no write of this entry precedes the read in the log".into(),
+                    });
+                }
+                for w in &history.writes {
+                    if w.task != task && !w.ordered_before(&clocks[task as usize]) {
+                        violations.push(Violation {
+                            kind: ViolationKind::StaleRead,
+                            entry: (r, c),
+                            task,
+                            other: Some(w.task),
+                            detail: format!(
+                                "write by task {} is not ordered before this read",
+                                w.task
+                            ),
+                        });
+                    }
+                }
+                entries
+                    .get_mut(&(r, c))
+                    .expect("just inserted")
+                    .reads
+                    .push(me);
+            }
+        }
+    }
+
+    CheckReport {
+        events: events.len(),
+        tasks: num_tasks,
+        reads,
+        writes,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::formats::dot_bracket;
+    use TraceEvent::*;
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let report = check_trace(&[], None);
+        assert!(report.is_clean());
+        assert_eq!(report.tasks, 0);
+    }
+
+    #[test]
+    fn fork_join_orders_write_before_read() {
+        // parent forks child; child writes; parent joins, then reads.
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Write {
+                task: 1,
+                r: 0,
+                c: 0,
+            },
+            Join {
+                parent: 0,
+                child: 1,
+            },
+            Read {
+                task: 0,
+                owner: PARENT_SLICE,
+                r: 0,
+                c: 0,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!((report.reads, report.writes), (1, 1));
+    }
+
+    #[test]
+    fn unjoined_sibling_read_is_stale() {
+        // Two children forked concurrently: one writes, the other
+        // reads, no edge between them.
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 2,
+            },
+            Write {
+                task: 1,
+                r: 0,
+                c: 0,
+            },
+            Read {
+                task: 2,
+                owner: PARENT_SLICE,
+                r: 0,
+                c: 0,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::StaleRead);
+        assert_eq!(report.violations[0].other, Some(1));
+    }
+
+    #[test]
+    fn read_with_no_write_is_flagged() {
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Read {
+                task: 1,
+                owner: PARENT_SLICE,
+                r: 2,
+                c: 2,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::ReadBeforeWrite);
+    }
+
+    #[test]
+    fn concurrent_double_write_is_flagged() {
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 2,
+            },
+            Write {
+                task: 1,
+                r: 3,
+                c: 1,
+            },
+            Write {
+                task: 2,
+                r: 3,
+                c: 1,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::WriteWriteRace);
+    }
+
+    #[test]
+    fn write_after_unordered_read_is_flagged() {
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 2,
+            },
+            Write {
+                task: 1,
+                r: 0,
+                c: 0,
+            },
+            Join {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 3,
+            },
+            Read {
+                task: 3,
+                owner: PARENT_SLICE,
+                r: 0,
+                c: 0,
+            },
+            // Task 2 never saw task 3's read; its write races with it.
+            Write {
+                task: 2,
+                r: 0,
+                c: 0,
+            },
+        ];
+        let report = check_trace(&events, None);
+        let kinds: Vec<ViolationKind> = report.violations.iter().map(|v| v.kind).collect();
+        assert!(
+            kinds.contains(&ViolationKind::WriteAfterReadRace),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_orders_across_tasks() {
+        // Task 1 writes then arrives; task 2 leaves after the arrival,
+        // then reads — ordered through the barrier accumulator.
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 2,
+            },
+            Write {
+                task: 1,
+                r: 1,
+                c: 1,
+            },
+            Arrive {
+                task: 1,
+                barrier: 7,
+            },
+            Leave {
+                task: 2,
+                barrier: 7,
+            },
+            Read {
+                task: 2,
+                owner: PARENT_SLICE,
+                r: 1,
+                c: 1,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn leave_before_arrive_does_not_order() {
+        // The same shape, but the leave is logged before the arrive:
+        // the barrier had nothing accumulated, so no edge exists.
+        let events = [
+            Fork {
+                parent: 0,
+                child: 1,
+            },
+            Fork {
+                parent: 0,
+                child: 2,
+            },
+            Write {
+                task: 1,
+                r: 1,
+                c: 1,
+            },
+            Leave {
+                task: 2,
+                barrier: 7,
+            },
+            Arrive {
+                task: 1,
+                barrier: 7,
+            },
+            Read {
+                task: 2,
+                owner: PARENT_SLICE,
+                r: 1,
+                c: 1,
+            },
+        ];
+        let report = check_trace(&events, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::StaleRead);
+    }
+
+    #[test]
+    fn cone_violation_is_flagged() {
+        // ((..)(..)) : arcs 0 and 1 are hairpins (nothing under), arc 2
+        // is the outer arc with both hairpins under it (range 0..2).
+        let s = dot_bracket::parse("((..)(..))").unwrap();
+        let p = Preprocessed::build(&s);
+        let cone = DependencyCone { p1: &p, p2: &p };
+        // Slice (2, 2) legitimately reads (0, 0); slice (0, 0) reading
+        // anything is outside its (empty) cone.
+        let events = [
+            Write {
+                task: 0,
+                r: 0,
+                c: 0,
+            },
+            Read {
+                task: 0,
+                owner: (2, 2),
+                r: 0,
+                c: 0,
+            },
+            Read {
+                task: 0,
+                owner: (0, 0),
+                r: 0,
+                c: 0,
+            },
+        ];
+        let report = check_trace(&events, Some(cone));
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::ConeViolation);
+        // Parent-sentinel reads are exempt.
+        let events = [
+            Write {
+                task: 0,
+                r: 1,
+                c: 1,
+            },
+            Read {
+                task: 0,
+                owner: PARENT_SLICE,
+                r: 1,
+                c: 1,
+            },
+        ];
+        assert!(check_trace(&events, Some(cone)).is_clean());
+    }
+
+    #[test]
+    fn own_earlier_write_satisfies_read() {
+        let events = [
+            Write {
+                task: 4,
+                r: 0,
+                c: 0,
+            },
+            Read {
+                task: 4,
+                owner: PARENT_SLICE,
+                r: 0,
+                c: 0,
+            },
+        ];
+        assert!(check_trace(&events, None).is_clean());
+    }
+}

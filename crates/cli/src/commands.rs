@@ -33,6 +33,14 @@ usage: srna <subcommand> [options]
       Pairwise MCOS similarity matrix and single-linkage clusters.
   draw <A> [--format db|ct|bpseq]
       ASCII arc diagram of a structure.
+  analyze <A> [<B>] [--format db|ct|bpseq] [--race] [--seeds N]
+      Concurrency soundness report for the pair (B defaults to A):
+      dependency-level audit, per-backend barrier counts, and the
+      workspace atomic-ordering inventory. --race additionally runs the
+      vector-clock race detector over all four parallel backends at
+      1/2/4/8 threads with N delay-injection seeds each (default 4).
+      Traced runs record every memo access; keep --race inputs small
+      (tens of arcs, not hundreds).
 ";
 
 fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -287,6 +295,118 @@ pub fn cluster(args: &[String]) -> Result<(), String> {
     println!("clusters at similarity >= {threshold}:");
     for (p, c) in paths.iter().zip(&clusters) {
         println!("  {p}: cluster {c}");
+    }
+    Ok(())
+}
+
+/// `srna analyze`.
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--format" || a == "--seeds" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() || paths.len() > 2 {
+        return Err("analyze needs one or two structure files".into());
+    }
+    let format = opt_value(args, "--format");
+    let s1 = load(&paths[0], format)?;
+    let s2 = match paths.get(1) {
+        Some(p) => load(p, format)?,
+        None => s1.clone(),
+    };
+
+    let p1 = mcos_core::preprocess::Preprocessed::build(&s1);
+    let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
+
+    let audit = analysis::audit::audit_levels(&p1, &p2);
+    println!(
+        "dependency-level audit: {} slices, {} edges, {} wavefront level(s)",
+        audit.slices, audit.edges, audit.levels
+    );
+    if !audit.is_sound() {
+        for v in audit.violations.iter().take(10) {
+            println!(
+                "  VIOLATION {:?} (level {}) -> {:?} (level {})",
+                v.from, v.from_level, v.to, v.to_level
+            );
+        }
+        return Err(format!(
+            "level function fails to strictly decrease on {} edge(s)",
+            audit.violations.len()
+        ));
+    }
+    println!("  every edge strictly decreases max(depth1, depth2): sound");
+
+    println!("stage-one synchronization points per backend:");
+    for (name, count) in analysis::audit::barrier_counts(&p1, &p2) {
+        println!("  {name:<15} {count}");
+    }
+
+    // The inventory scans the workspace this binary was built from;
+    // skip it quietly when the source tree is not present.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match analysis::audit::ordering_inventory(&root) {
+        Ok(uses) => {
+            let justified = uses.iter().filter(|u| u.justified).count();
+            println!(
+                "atomic-ordering inventory: {} use site(s), {} justified",
+                uses.len(),
+                justified
+            );
+            for u in uses.iter().filter(|u| !u.justified) {
+                println!(
+                    "  UNJUSTIFIED {}:{} Ordering::{}",
+                    u.file, u.line, u.ordering
+                );
+            }
+        }
+        Err(_) => println!("atomic-ordering inventory: workspace sources not found, skipped"),
+    }
+
+    if has_flag(args, "--race") {
+        let seeds: u64 = opt_value(args, "--seeds")
+            .map(|s| s.parse().map_err(|_| "--seeds must be an integer"))
+            .transpose()?
+            .unwrap_or(4);
+        println!("race detector: 4 backends x [1,2,4,8] threads x {seeds} seed(s)...");
+        let report = analysis::detector::acceptance_matrix(&s1, &s2, seeds);
+        for r in &report.runs {
+            if !r.violations.is_empty() || !r.result_ok {
+                println!(
+                    "  {} @ {} threads, seed {}: {} violation(s), result_ok={}",
+                    r.backend.name(),
+                    r.threads,
+                    r.seed,
+                    r.violations.len(),
+                    r.result_ok
+                );
+                for v in r.violations.iter().take(5) {
+                    println!("    {v}");
+                }
+            }
+        }
+        if report.all_clean() {
+            println!(
+                "  all {} runs replay clean and match the sequential reference",
+                report.runs.len()
+            );
+        } else {
+            return Err(format!(
+                "race detector found {} violation(s)",
+                report.total_violations()
+            ));
+        }
     }
     Ok(())
 }

@@ -12,6 +12,9 @@
 //!   for a worst-case input of N arcs.
 //! * `srna cluster <files...>` — pairwise similarity matrix and
 //!   single-linkage clusters for a collection of structures.
+//! * `srna analyze <A> [<B>]` — concurrency soundness report:
+//!   dependency-level audit, barrier counts per backend, ordering
+//!   inventory, and (with `--race`) the vector-clock race detector.
 
 use std::process::ExitCode;
 
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         "speedup" => commands::speedup(rest),
         "cluster" => commands::cluster(rest),
         "draw" => commands::draw(rest),
+        "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -75,6 +75,7 @@ pub mod preprocess;
 pub mod slice;
 pub mod srna1;
 pub mod srna2;
+pub mod trace;
 pub mod traceback;
 pub mod verify;
 pub mod weighted;

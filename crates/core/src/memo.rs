@@ -11,6 +11,8 @@
 //! the all-zero rows — row `r` of this table *is* row `left(r)+1` of the
 //! paper's table.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 /// Sentinel meaning "not yet memoized" (used by SRNA1's conditional
 /// lookup; SRNA2 initializes every entry to zero instead).
 pub const NOT_FOUND: u32 = u32::MAX;
@@ -120,7 +122,7 @@ impl MemoTable {
 pub struct AtomicMemoTable {
     rows: u32,
     cols: u32,
-    values: Vec<std::sync::atomic::AtomicU32>,
+    values: Vec<AtomicU32>,
 }
 
 impl AtomicMemoTable {
@@ -128,9 +130,7 @@ impl AtomicMemoTable {
     /// convention, as for [`MemoTable::zeroed`]).
     pub fn zeroed(rows: u32, cols: u32) -> Self {
         let mut values = Vec::new();
-        values.resize_with(rows as usize * cols as usize, || {
-            std::sync::atomic::AtomicU32::new(0)
-        });
+        values.resize_with(rows as usize * cols as usize, || AtomicU32::new(0));
         AtomicMemoTable { rows, cols, values }
     }
 
@@ -153,16 +153,20 @@ impl AtomicMemoTable {
     /// schedule guarantees exactly that.
     #[inline]
     pub fn get(&self, r: u32, c: u32) -> u32 {
-        self.values[r as usize * self.cols as usize + c as usize]
-            .load(std::sync::atomic::Ordering::Relaxed)
+        // ORDERING: Relaxed — visibility of the writing level is
+        // provided by the scheduler's join edge between levels, not by
+        // this load; the atomic only prevents a same-level data race.
+        self.values[r as usize * self.cols as usize + c as usize].load(Ordering::Relaxed)
     }
 
     /// Writes the entry for arc pair `(r, c)`. Each entry is written by
     /// exactly one slice, so plain stores suffice.
     #[inline]
     pub fn set(&self, r: u32, c: u32, v: u32) {
-        self.values[r as usize * self.cols as usize + c as usize]
-            .store(v, std::sync::atomic::Ordering::Relaxed);
+        // ORDERING: Relaxed — exactly one slice writes each entry, and
+        // the level join that settles the entry is the release point;
+        // the store carries no synchronization of its own.
+        self.values[r as usize * self.cols as usize + c as usize].store(v, Ordering::Relaxed);
     }
 
     /// One full row as a slice of atomics, for bulk gathers: indexing the
@@ -170,7 +174,7 @@ impl AtomicMemoTable {
     /// address arithmetic in the hot `d₂` fill. Same visibility caveats
     /// as [`AtomicMemoTable::get`].
     #[inline]
-    pub fn row(&self, r: u32) -> &[std::sync::atomic::AtomicU32] {
+    pub fn row(&self, r: u32) -> &[AtomicU32] {
         let w = self.cols as usize;
         &self.values[r as usize * w..(r as usize + 1) * w]
     }
@@ -181,11 +185,7 @@ impl AtomicMemoTable {
         MemoTable {
             rows: self.rows,
             cols: self.cols,
-            values: self
-                .values
-                .into_iter()
-                .map(std::sync::atomic::AtomicU32::into_inner)
-                .collect(),
+            values: self.values.into_iter().map(AtomicU32::into_inner).collect(),
         }
     }
 
@@ -198,7 +198,10 @@ impl AtomicMemoTable {
             values: self
                 .values
                 .iter()
-                .map(|v| v.load(std::sync::atomic::Ordering::Relaxed))
+                // ORDERING: Relaxed — the caller must already hold a
+                // synchronization edge (join) against every writer
+                // whose value it expects to see, exactly as for `get`.
+                .map(|v| v.load(Ordering::Relaxed))
                 .collect(),
         }
     }
@@ -301,5 +304,61 @@ mod tests {
         assert_eq!(t.rows(), 0);
         assert_eq!(t.cols(), 7);
         assert_eq!(t.into_inner().as_slice().len(), 0);
+    }
+
+    #[test]
+    fn atomic_zero_column_table() {
+        let t = AtomicMemoTable::zeroed(5, 0);
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 0);
+        assert_eq!(t.row(4).len(), 0); // in-bounds empty row slice
+        let frozen = t.freeze();
+        assert_eq!(frozen.as_slice().len(), 0);
+        assert_eq!(t.into_inner(), frozen);
+    }
+
+    #[test]
+    fn atomic_untouched_table_freezes_to_zeroed() {
+        // freeze / into_inner on a table nobody ever wrote must equal
+        // the zeroed plain table (the SRNA2 "empty child window"
+        // convention depends on this).
+        let t = AtomicMemoTable::zeroed(3, 4);
+        let expected = MemoTable::zeroed(3, 4);
+        assert_eq!(t.freeze(), expected);
+        assert_eq!(t.into_inner(), expected);
+    }
+
+    #[test]
+    fn atomic_settled_snapshot_interleaving() {
+        // Hand-rolled two-thread interleaving of the wavefront's
+        // settled-snapshot protocol: a writer publishes one level's
+        // entry and signals completion; the coordinator waits for the
+        // signal (the stand-in for the level join edge), folds the
+        // entry into a plain snapshot, and hands the snapshot value to
+        // the next level's reader. Exercises every step of
+        // write → join → snapshot → read across real threads, many
+        // times to vary the interleaving around the signal.
+        use std::sync::atomic::AtomicBool;
+        for round in 0..200u32 {
+            let table = AtomicMemoTable::zeroed(2, 1);
+            let done = AtomicBool::new(false);
+            let mut settled = MemoTable::zeroed(2, 1);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    table.set(0, 0, round + 1);
+                    // ORDERING: Release — models the synchronizing half
+                    // of the level join the real scheduler performs.
+                    done.store(true, Ordering::Release);
+                });
+                // ORDERING: Acquire — pairs with the Release above;
+                // after observing `done`, the writer's Relaxed store
+                // must be visible (the whole point of the protocol).
+                while !done.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                settled.set(0, 0, table.get(0, 0));
+            });
+            assert_eq!(settled.get(0, 0), round + 1, "round {round}");
+        }
     }
 }

@@ -1,0 +1,413 @@
+//! Execution tracing for dynamic happens-before checking of stage one.
+//!
+//! The wavefront backend (and every row-synchronized backend before it)
+//! rests on a *prose* happens-before argument: each memo entry is
+//! written exactly once, and every read of it is separated from the
+//! write by a synchronizing edge (a thread join, a channel hand-off, a
+//! row allreduce). This module makes that argument *checkable*: traced
+//! executions record every memo access and every synchronizing edge
+//! into a [`TraceLog`], and the vector-clock checker in the `analysis`
+//! crate replays the log and reports any access pair that the recorded
+//! edges do not order.
+//!
+//! # Event model
+//!
+//! A traced run is a set of *tasks* (logical threads: workers, ranks,
+//! and the coordinator), each with its own logical clock. Six event
+//! kinds capture everything the backends do:
+//!
+//! * [`TraceEvent::Fork`] / [`TraceEvent::Join`] — thread spawn/join
+//!   edges (also used for `mpi-sim` rank launch and collection).
+//! * [`TraceEvent::Arrive`] / [`TraceEvent::Leave`] — a named barrier:
+//!   arriving contributes the task's history to the barrier, leaving
+//!   acquires the history of everyone who arrived before the leave.
+//!   This uniformly models the pool's per-row completion-marker
+//!   hand-off, and the allreduce of the message-passing backends (an
+//!   allreduce is semantically a barrier: no rank returns before every
+//!   rank has contributed).
+//! * [`TraceEvent::Read`] / [`TraceEvent::Write`] — memo-table
+//!   accesses, tagged with the arc-pair entry and (for reads) the
+//!   *owner* slice on whose behalf the read happens, so the checker can
+//!   also validate the dependency-cone claim (a slice reads only arc
+//!   pairs strictly nested under it).
+//!
+//! # Recording discipline
+//!
+//! The log is a single mutex-ordered sequence, so the *order in which
+//! events are appended* is itself a witness. Traced executors follow a
+//! conservative discipline that makes the logged order consistent with
+//! the real one wherever it matters:
+//!
+//! * a `Write` is recorded **before** the value is published to the
+//!   shared table (record-then-publish);
+//! * a `Read` is recorded **after** the value is gathered
+//!   (gather-then-record);
+//! * an `Arrive` is recorded **before** the signal that releases other
+//!   tasks (record-then-send);
+//! * a `Leave` is recorded **after** the signal that releases this task
+//!   (receive-then-record).
+//!
+//! Under this discipline, if a read could have observed a write in the
+//! real execution, the write's record precedes the read's record in the
+//! log, and every synchronizing edge claimed in the log corresponds to
+//! a real one — so a clean replay verdict is meaningful and a violation
+//! is a real schedule hole (no false negatives from logging skew;
+//! spurious interleavings can only *add* violations, never mask them).
+//!
+//! Replication is not recorded: when a coordinator copies an
+//! already-computed value into a snapshot or a replica (the wavefront
+//! `settled` fold, the pool's write-lock install, the mpi row merge),
+//! the *logical* write remains the one recorded by the computing task.
+//! Coordinator copies that are later read are instead recorded as
+//! coordinator `Read`s, so the HB chain still passes through the
+//! barrier that made the copy sound.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::memo::AtomicMemoTable;
+
+/// Identifies one logical task (worker thread, rank, or coordinator) in
+/// a traced run. Allocated by [`TraceLog::alloc_task`].
+pub type TaskId = u32;
+
+/// Owner sentinel for reads made outside any child slice: the parent
+/// slice of stage two, or coordinator snapshot folds. Such reads are
+/// exempt from the dependency-cone check (the parent may read every
+/// entry) but still subject to the happens-before check.
+pub const PARENT_SLICE: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// One recorded event of a traced execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `parent` spawned `child`: everything `parent` did so far
+    /// happens-before everything `child` does.
+    Fork {
+        /// Spawning task.
+        parent: TaskId,
+        /// Spawned task.
+        child: TaskId,
+    },
+    /// `parent` joined `child`: everything `child` did happens-before
+    /// everything `parent` does next.
+    Join {
+        /// Joining task.
+        parent: TaskId,
+        /// Joined task.
+        child: TaskId,
+    },
+    /// `task` arrived at barrier `barrier`, contributing its history.
+    Arrive {
+        /// Arriving task.
+        task: TaskId,
+        /// Barrier identity (e.g. the row or level index).
+        barrier: u32,
+    },
+    /// `task` left barrier `barrier`, acquiring the history of every
+    /// task whose arrival was recorded before this leave.
+    Leave {
+        /// Leaving task.
+        task: TaskId,
+        /// Barrier identity.
+        barrier: u32,
+    },
+    /// `task` read memo entry `(r, c)` while tabulating slice `owner`
+    /// (or [`PARENT_SLICE`]).
+    Read {
+        /// Reading task.
+        task: TaskId,
+        /// Arc pair of the slice on whose behalf the read happens.
+        owner: (u32, u32),
+        /// Memo row (arc of `S₁`).
+        r: u32,
+        /// Memo column (arc of `S₂`).
+        c: u32,
+    },
+    /// `task` wrote memo entry `(r, c)` (the slice it just tabulated).
+    Write {
+        /// Writing task.
+        task: TaskId,
+        /// Memo row.
+        r: u32,
+        /// Memo column.
+        c: u32,
+    },
+}
+
+/// Optional per-event delay hook (installed by the race detector to
+/// perturb interleavings; see `par_sim::jitter`). Kept as a plain
+/// closure so `mcos-core` does not depend on the simulator crate.
+pub type DelayHook = Box<dyn Fn() + Send + Sync>;
+
+/// A shared, append-only log of [`TraceEvent`]s plus a task-id
+/// allocator.
+///
+/// One `TraceLog` covers one traced run. All methods take `&self`; the
+/// log is shared by reference across the run's threads.
+pub struct TraceLog {
+    events: Mutex<Vec<TraceEvent>>,
+    // ORDERING: Relaxed — the allocator only needs distinct ids; the
+    // fork events recorded around task creation carry the ordering.
+    next_task: AtomicU32,
+    delay: Option<DelayHook>,
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("events", &self.len())
+            // ORDERING: Relaxed — diagnostic read of the id counter.
+            .field("tasks", &self.next_task.load(Ordering::Relaxed))
+            .field("delayed", &self.delay.is_some())
+            .finish()
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceLog {
+    /// Creates an empty log with no delay injection.
+    pub fn new() -> Self {
+        TraceLog {
+            events: Mutex::new(Vec::new()),
+            next_task: AtomicU32::new(0),
+            delay: None,
+        }
+    }
+
+    /// Creates an empty log that calls `hook` once per recorded event,
+    /// *before* appending (and before the write/send the event
+    /// witnesses), to shake thread interleavings.
+    pub fn with_delay(hook: DelayHook) -> Self {
+        TraceLog {
+            events: Mutex::new(Vec::new()),
+            next_task: AtomicU32::new(0),
+            delay: Some(hook),
+        }
+    }
+
+    /// Allocates a fresh task id.
+    pub fn alloc_task(&self) -> TaskId {
+        // ORDERING: Relaxed — ids only need to be distinct; the fork
+        // events recorded around task creation carry the ordering.
+        self.next_task.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates `n` consecutive task ids, returning the first.
+    pub fn alloc_tasks(&self, n: u32) -> TaskId {
+        // ORDERING: Relaxed — same as `alloc_task`; a single RMW hands
+        // out a disjoint id block regardless of ordering.
+        self.next_task.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Number of task ids handed out so far.
+    pub fn num_tasks(&self) -> u32 {
+        // ORDERING: Relaxed — callers read this after the run's joins,
+        // which already order every allocation before the load.
+        self.next_task.load(Ordering::Relaxed)
+    }
+
+    /// Runs the delay hook (if any) without recording an event. Traced
+    /// executors call this before bulk gathers so injected delays also
+    /// land between a publisher's store and a reader's load.
+    pub fn perturb(&self) {
+        if let Some(hook) = &self.delay {
+            hook();
+        }
+    }
+
+    /// Appends one event (after running the delay hook, if installed).
+    pub fn record(&self, ev: TraceEvent) {
+        self.perturb();
+        self.events.lock().expect("trace log poisoned").push(ev);
+    }
+
+    /// Records a [`TraceEvent::Fork`].
+    pub fn fork(&self, parent: TaskId, child: TaskId) {
+        self.record(TraceEvent::Fork { parent, child });
+    }
+
+    /// Records a [`TraceEvent::Join`].
+    pub fn join(&self, parent: TaskId, child: TaskId) {
+        self.record(TraceEvent::Join { parent, child });
+    }
+
+    /// Records a [`TraceEvent::Arrive`].
+    pub fn arrive(&self, task: TaskId, barrier: u32) {
+        self.record(TraceEvent::Arrive { task, barrier });
+    }
+
+    /// Records a [`TraceEvent::Leave`].
+    pub fn leave(&self, task: TaskId, barrier: u32) {
+        self.record(TraceEvent::Leave { task, barrier });
+    }
+
+    /// Records a [`TraceEvent::Read`].
+    pub fn read(&self, task: TaskId, owner: (u32, u32), r: u32, c: u32) {
+        self.record(TraceEvent::Read { task, owner, r, c });
+    }
+
+    /// Records a [`TraceEvent::Write`].
+    pub fn write(&self, task: TaskId, r: u32, c: u32) {
+        self.record(TraceEvent::Write { task, r, c });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace log poisoned").len()
+    }
+
+    /// Whether the log is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns the recorded events (log becomes empty).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace log poisoned"))
+    }
+}
+
+/// An [`AtomicMemoTable`] whose accesses are recorded into a
+/// [`TraceLog`].
+///
+/// Writes follow record-then-publish, reads gather-then-record (see the
+/// module docs), so the shared log order is a conservative witness of
+/// the real access order.
+#[derive(Debug)]
+pub struct TracingMemoTable<'a> {
+    inner: &'a AtomicMemoTable,
+    log: &'a TraceLog,
+}
+
+impl<'a> TracingMemoTable<'a> {
+    /// Wraps `inner` so its accesses are recorded into `log`.
+    pub fn new(inner: &'a AtomicMemoTable, log: &'a TraceLog) -> Self {
+        TracingMemoTable { inner, log }
+    }
+
+    /// Reads entry `(r, c)` on behalf of slice `owner`, recording the
+    /// access after the physical load.
+    pub fn get(&self, task: TaskId, owner: (u32, u32), r: u32, c: u32) -> u32 {
+        let v = self.inner.get(r, c);
+        self.log.read(task, owner, r, c);
+        v
+    }
+
+    /// Writes entry `(r, c)`, recording the access before the physical
+    /// store.
+    pub fn set(&self, task: TaskId, r: u32, c: u32, v: u32) {
+        self.log.write(task, r, c);
+        self.inner.set(r, c, v);
+    }
+
+    /// The wrapped table.
+    pub fn inner(&self) -> &AtomicMemoTable {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_ids_are_distinct_and_consecutive() {
+        let log = TraceLog::new();
+        assert_eq!(log.alloc_task(), 0);
+        assert_eq!(log.alloc_tasks(3), 1);
+        assert_eq!(log.alloc_task(), 4);
+        assert_eq!(log.num_tasks(), 5);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let log = TraceLog::new();
+        log.fork(0, 1);
+        log.write(1, 2, 3);
+        log.read(0, PARENT_SLICE, 2, 3);
+        log.join(0, 1);
+        assert_eq!(log.len(), 4);
+        let events = log.take_events();
+        assert!(log.is_empty());
+        assert_eq!(
+            events[0],
+            TraceEvent::Fork {
+                parent: 0,
+                child: 1
+            }
+        );
+        assert_eq!(
+            events[1],
+            TraceEvent::Write {
+                task: 1,
+                r: 2,
+                c: 3
+            }
+        );
+        assert_eq!(
+            events[2],
+            TraceEvent::Read {
+                task: 0,
+                owner: PARENT_SLICE,
+                r: 2,
+                c: 3
+            }
+        );
+        assert_eq!(
+            events[3],
+            TraceEvent::Join {
+                parent: 0,
+                child: 1
+            }
+        );
+    }
+
+    #[test]
+    fn delay_hook_fires_per_event() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let log = TraceLog::with_delay(Box::new(move || {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        }));
+        log.arrive(0, 0);
+        log.leave(0, 0);
+        log.perturb();
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn tracing_table_records_and_forwards() {
+        let table = AtomicMemoTable::zeroed(2, 2);
+        let log = TraceLog::new();
+        let traced = TracingMemoTable::new(&table, &log);
+        traced.set(7, 1, 0, 42);
+        assert_eq!(traced.get(8, (1, 1), 1, 0), 42);
+        assert_eq!(traced.inner().get(1, 0), 42);
+        let events = log.take_events();
+        assert_eq!(
+            events[0],
+            TraceEvent::Write {
+                task: 7,
+                r: 1,
+                c: 0
+            }
+        );
+        assert_eq!(
+            events[1],
+            TraceEvent::Read {
+                task: 8,
+                owner: (1, 1),
+                r: 1,
+                c: 0
+            }
+        );
+    }
+}

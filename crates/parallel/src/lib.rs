@@ -73,10 +73,12 @@ pub mod pairwise;
 mod pool;
 mod rayon_backend;
 pub mod topdown_shared;
+pub mod traced;
 pub mod wavefront;
 
 pub use manager_worker::prna_manager_worker;
 pub use topdown_shared::{parallel_top_down, TopDownOutcome};
+pub use traced::{prna_traced, TracedBackend, TracedOutcome};
 
 use std::time::{Duration, Instant};
 

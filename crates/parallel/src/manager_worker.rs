@@ -15,10 +15,10 @@ use mpi_sim::Communicator;
 use crate::{tabulate_child, SliceScratch};
 
 /// Tag for worker→manager work requests (payload: empty vec).
-const TAG_REQUEST: u64 = 0x10;
+pub(crate) const TAG_REQUEST: u64 = 0x10;
 /// Tag for manager→worker assignments (payload: `[k2]`, or empty = row
 /// finished).
-const TAG_ASSIGN: u64 = 0x11;
+pub(crate) const TAG_ASSIGN: u64 = 0x11;
 
 /// Runs stage one with `ranks` ranks (1 manager + `ranks - 1` workers).
 ///
@@ -63,7 +63,7 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> Mem
 
 /// Manager side of one row: hand out columns on request, then send one
 /// empty "row done" reply to each worker.
-fn manage_row(comm: &mut Communicator<Vec<u32>>, order: &[u32], workers: u32) {
+pub(crate) fn manage_row(comm: &mut Communicator<Vec<u32>>, order: &[u32], workers: u32) {
     let mut next = 0usize;
     let mut done = 0u32;
     while done < workers {

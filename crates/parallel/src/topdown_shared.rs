@@ -63,6 +63,16 @@ struct Shared<'a> {
     p2: &'a Preprocessed,
     memo: Vec<AtomicU32>,
     cols: usize,
+    // ORDERING: both counters are accounting-only and use Relaxed
+    // everywhere. That is *exact*, not approximate: `fetch_add` is an
+    // atomic read-modify-write, so increments are never lost at any
+    // ordering, and the final loads happen after `thread::scope` joins
+    // every incrementing thread — the join edge, not the counter
+    // ordering, is what makes all increments visible. Exactness of the
+    // *values* follows from the memo swap below: per entry, exactly one
+    // swap observes EMPTY, so `computed - duplicated` is exactly the
+    // number of distinct entries. Tested by
+    // `computed_count_is_exact_under_concurrency`.
     computed: AtomicU64,
     duplicated: AtomicU64,
 }
@@ -74,6 +84,9 @@ impl Shared<'_> {
     /// writers store the same value.
     fn ensure(&self, k1: u32, k2: u32, grid: &mut Vec<u32>) -> u32 {
         let idx = k1 as usize * self.cols + k2 as usize;
+        // ORDERING: Acquire pairs with the AcqRel swap that published
+        // the value; the payload is the single u32 itself, so Relaxed
+        // would also be sound — Acquire keeps the idiom legible.
         let current = self.memo[idx].load(Ordering::Acquire);
         if current != EMPTY {
             return current;
@@ -91,12 +104,21 @@ impl Shared<'_> {
             }
         }
         let v = slice::tabulate_with(self.p1, self.p2, (lo1, hi1), (lo2, hi2), grid, |g1, g2| {
+            // ORDERING: Acquire — same published-value pairing as the
+            // fast-path load above; the recursive `ensure` calls have
+            // already guaranteed every dependency is memoized.
             self.memo[g1 as usize * self.cols + g2 as usize].load(Ordering::Acquire)
         });
+        // ORDERING: Relaxed — accounting only; see the field comment on
+        // `Shared` for why this is nevertheless exact.
         self.computed.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: AcqRel — release publishes `v` to the Acquire loads
+        // above; as a read-modify-write, swaps on one entry are totally
+        // ordered at any ordering, so exactly one observes EMPTY.
         let prev = self.memo[idx].swap(v, Ordering::AcqRel);
         if prev != EMPTY {
             debug_assert_eq!(prev, v, "deterministic recurrence");
+            // ORDERING: Relaxed — accounting only, as above.
             self.duplicated.fetch_add(1, Ordering::Relaxed);
         }
         v
@@ -155,15 +177,25 @@ pub fn parallel_top_down(
         p1.full_range(),
         p2.full_range(),
         &mut grid,
+        // ORDERING: Acquire — published-value pairing with the AcqRel
+        // swap in `ensure`; every slice is memoized before this runs.
         |g1, g2| shared.memo[g1 as usize * shared.cols + g2 as usize].load(Ordering::Acquire),
     );
+    // ORDERING: Relaxed — `thread::scope` has joined every incrementing
+    // thread, so the counts are complete and exact (see `Shared`).
     let computed = shared.computed.load(Ordering::Relaxed) + 1; // + parent
+    let duplicated = shared.duplicated.load(Ordering::Relaxed);
     let distinct = a1 as u64 * a2 as u64 + 1;
+    debug_assert_eq!(
+        computed - duplicated,
+        distinct,
+        "swap atomicity guarantees exactly one non-duplicate per entry"
+    );
     TopDownOutcome {
         score,
         computed_slices: computed,
         distinct_slices: distinct,
-        duplicated: computed - distinct.min(computed),
+        duplicated,
     }
 }
 
@@ -202,6 +234,29 @@ mod tests {
         // Duplication can occur but never exceeds (threads-1) x distinct.
         assert!(out.duplicated <= 3 * out.distinct_slices);
         assert_eq!(out.computed_slices - out.duplicated, out.distinct_slices);
+    }
+
+    #[test]
+    fn computed_count_is_exact_under_concurrency() {
+        // The Relaxed counters are exact, not approximate: across seeds
+        // and thread counts, computed − duplicated must equal the
+        // distinct subproblem count to the digit (fetch_add never loses
+        // increments; exactly one swap per entry sees EMPTY).
+        let s1 = generate::random_structure(60, 0.9, 2);
+        let s2 = generate::random_structure(52, 0.8, 3);
+        let distinct = s1.num_arcs() as u64 * s2.num_arcs() as u64 + 1;
+        for seed in 0..6 {
+            for threads in [2u32, 4, 8] {
+                let out = parallel_top_down(&s1, &s2, threads, seed);
+                assert_eq!(out.distinct_slices, distinct);
+                assert_eq!(
+                    out.computed_slices - out.duplicated,
+                    out.distinct_slices,
+                    "seed {seed} threads {threads}"
+                );
+                assert!(out.computed_slices >= out.distinct_slices);
+            }
+        }
     }
 
     #[test]

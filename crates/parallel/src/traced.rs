@@ -1,0 +1,623 @@
+//! Traced twins of the stage-one backends, for dynamic race detection.
+//!
+//! Each backend here re-runs the *same schedule* as its production
+//! counterpart — same channel protocol as [`crate::Backend::WorkerPool`],
+//! same per-row dynamic claiming as [`crate::Backend::Rayon`] (the rayon
+//! shim's scheduler is itself an atomic-cursor chunk claimer over scoped
+//! threads, which is exactly what these executors hand-roll), same
+//! level buckets and settled snapshot as [`crate::Backend::Wavefront`],
+//! and the same `mpi-sim` request/assign protocol as
+//! [`crate::manager_worker`] — while recording every memo access and
+//! every synchronizing edge into a [`TraceLog`]. The vector-clock
+//! checker in the `analysis` crate then replays the log and verifies
+//! the happens-before claims the production backends rely on.
+//!
+//! The recording discipline (write record-then-publish, read
+//! gather-then-record, barrier arrive record-then-send / leave
+//! receive-then-record) is documented in [`mcos_core::trace`]; every
+//! executor below follows it, so a clean replay is a sound verdict on
+//! this schedule's dependency structure.
+//!
+//! [`wavefront_traced_without_level_barrier`] is a deliberately broken
+//! schedule — it merges the first two dependency levels into one
+//! fork — kept as a self-test that the checker has teeth.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::channel::{bounded, Sender};
+use load_balance::Policy;
+use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::slice;
+use mcos_core::trace::{TaskId, TraceLog, TracingMemoTable, PARENT_SLICE};
+use mcos_core::workload;
+use mpi_sim::Communicator;
+use parking_lot::RwLock;
+use rna_structure::ArcStructure;
+
+use crate::{manager_worker, wavefront, SliceScratch};
+
+/// The stage-one schedules the race detector exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracedBackend {
+    /// Persistent worker pool, static column ownership, per-row
+    /// completion-marker barrier (twin of [`crate::Backend::WorkerPool`]).
+    WorkerPool,
+    /// Per-row dynamic column claiming with a fork/join per row (twin
+    /// of [`crate::Backend::Rayon`]).
+    Rayon,
+    /// Dependency-level wavefront over the atomic memo table with a
+    /// fork/join per level (twin of [`crate::Backend::Wavefront`]).
+    Wavefront,
+    /// Dedicated manager rank handing out columns over `mpi-sim`, row
+    /// allreduce barrier (twin of [`crate::manager_worker`]).
+    ManagerWorker,
+}
+
+impl TracedBackend {
+    /// All traced backends, for detector sweeps.
+    pub const ALL: [TracedBackend; 4] = [
+        TracedBackend::WorkerPool,
+        TracedBackend::Rayon,
+        TracedBackend::Wavefront,
+        TracedBackend::ManagerWorker,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracedBackend::WorkerPool => "worker-pool",
+            TracedBackend::Rayon => "rayon",
+            TracedBackend::Wavefront => "wavefront",
+            TracedBackend::ManagerWorker => "manager-worker",
+        }
+    }
+}
+
+/// Result of a traced PRNA run.
+#[derive(Debug, Clone)]
+pub struct TracedOutcome {
+    /// The MCOS score.
+    pub score: u32,
+    /// The fully synchronized stage-one memo table.
+    pub memo: MemoTable,
+}
+
+/// Per-slice tracing context: which task is reading, on behalf of which
+/// slice.
+#[derive(Clone, Copy)]
+struct Tr<'a> {
+    log: &'a TraceLog,
+    task: TaskId,
+    owner: (u32, u32),
+}
+
+/// Row-hoisted tabulation over arbitrary ranges with every `d₂` gather
+/// recorded as a `Read` (gather-then-record; a `perturb` before the
+/// copy lets injected delays land between a publisher's store and this
+/// load).
+fn tabulate_ranges_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: slice::ArcRange,
+    range2: slice::ArcRange,
+    memo: &MemoTable,
+    scratch: &mut SliceScratch,
+    tr: Tr<'_>,
+) -> u32 {
+    let (lo2, hi2) = range2;
+    slice::tabulate_with_rows(
+        p1,
+        p2,
+        range1,
+        range2,
+        &mut scratch.grid,
+        &mut scratch.d2_row,
+        |g1, buf| {
+            tr.log.perturb();
+            buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]);
+            for c in lo2..hi2 {
+                tr.log.read(tr.task, tr.owner, g1, c);
+            }
+        },
+    )
+}
+
+/// Traced twin of [`crate::tabulate_child`].
+#[allow(clippy::too_many_arguments)] // mirrors `tabulate_child` plus the (log, task) pair
+fn tabulate_child_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    k2: u32,
+    memo: &MemoTable,
+    scratch: &mut SliceScratch,
+    log: &TraceLog,
+    task: TaskId,
+) -> u32 {
+    tabulate_ranges_traced(
+        p1,
+        p2,
+        p1.under_range[k1 as usize],
+        p2.under_range[k2 as usize],
+        memo,
+        scratch,
+        Tr {
+            log,
+            task,
+            owner: (k1, k2),
+        },
+    )
+}
+
+/// Runs a traced PRNA (stage one on `backend`, sequential stage two),
+/// recording into `log`. The log may carry a delay hook for
+/// interleaving perturbation.
+pub fn prna_traced(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    backend: TracedBackend,
+    threads: u32,
+    log: &TraceLog,
+) -> TracedOutcome {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    prna_traced_preprocessed(&p1, &p2, backend, threads, log)
+}
+
+/// [`prna_traced`] over prebuilt preprocessing tables.
+pub fn prna_traced_preprocessed(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    backend: TracedBackend,
+    threads: u32,
+    log: &TraceLog,
+) -> TracedOutcome {
+    assert!(threads > 0, "need at least one thread");
+    let root = log.alloc_task();
+    let memo = match backend {
+        TracedBackend::WorkerPool => pool_traced(p1, p2, threads, log, root),
+        TracedBackend::Rayon => rayon_traced(p1, p2, threads, log, root),
+        TracedBackend::Wavefront => wavefront_traced(p1, p2, threads, log, root, false),
+        TracedBackend::ManagerWorker => manager_worker_traced(p1, p2, threads, log, root),
+    };
+    finish_stage_two(p1, p2, memo, log, root)
+}
+
+/// The wavefront schedule with the first two dependency levels merged
+/// into a single fork — i.e. with one level barrier deliberately
+/// skipped. Exists so the race detector can prove it *detects* the
+/// resulting happens-before hole (the level-1 slices read level-0
+/// entries that no synchronizing edge orders); never use its results.
+pub fn wavefront_traced_without_level_barrier(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    log: &TraceLog,
+) -> TracedOutcome {
+    assert!(threads > 0, "need at least one thread");
+    let root = log.alloc_task();
+    let memo = wavefront_traced(p1, p2, threads, log, root, true);
+    finish_stage_two(p1, p2, memo, log, root)
+}
+
+/// Sequential stage two with parent-slice reads recorded against
+/// [`PARENT_SLICE`].
+fn finish_stage_two(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    memo: MemoTable,
+    log: &TraceLog,
+    root: TaskId,
+) -> TracedOutcome {
+    let mut scratch = SliceScratch::default();
+    let score = tabulate_ranges_traced(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        &memo,
+        &mut scratch,
+        Tr {
+            log,
+            task: root,
+            owner: PARENT_SLICE,
+        },
+    );
+    TracedOutcome { score, memo }
+}
+
+/// Traced twin of `wavefront::stage_one`. With `merge_first_levels` the
+/// first two non-empty level buckets run under one fork (the broken
+/// schedule of [`wavefront_traced_without_level_barrier`]).
+fn wavefront_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    log: &TraceLog,
+    root: TaskId,
+    merge_first_levels: bool,
+) -> MemoTable {
+    let atomic = AtomicMemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
+    let mut settled = MemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
+    let mut buckets = wavefront::level_buckets(p1, p2);
+    if merge_first_levels && buckets.len() >= 2 {
+        let second = buckets.remove(1);
+        buckets[0].extend(second);
+    }
+    let traced = TracingMemoTable::new(&atomic, log);
+    for mut bucket in buckets {
+        // Same LPT order as the production wavefront.
+        bucket.sort_by_key(|&(k1, k2)| {
+            std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
+        });
+        let workers = (threads as usize).min(bucket.len()).max(1) as u32;
+        let base = log.alloc_tasks(workers);
+        for i in 0..workers {
+            log.fork(root, base + i);
+        }
+        // Dynamic claiming, as in the rayon shim's scheduler.
+        let cursor = AtomicUsize::new(0);
+        let bucket_ref = &bucket;
+        let settled_ref = &settled;
+        let traced_ref = &traced;
+        let cursor_ref = &cursor;
+        std::thread::scope(|s| {
+            for i in 0..workers {
+                let task = base + i;
+                s.spawn(move || {
+                    let mut scratch = SliceScratch::default();
+                    loop {
+                        // ORDERING: Relaxed — the cursor only has to hand
+                        // out each index once; slice independence within
+                        // a level means no ordering rides on the claim.
+                        let idx = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                        if idx >= bucket_ref.len() {
+                            break;
+                        }
+                        let (k1, k2) = bucket_ref[idx];
+                        let v = tabulate_child_traced(
+                            p1,
+                            p2,
+                            k1,
+                            k2,
+                            settled_ref,
+                            &mut scratch,
+                            log,
+                            task,
+                        );
+                        traced_ref.set(task, k1, k2, v);
+                    }
+                });
+            }
+        });
+        for i in 0..workers {
+            log.join(root, base + i);
+        }
+        // Fold the joined level into the snapshot; these coordinator
+        // reads are recorded (owner = parent sentinel), the snapshot
+        // stores are replication and are not.
+        for &(k1, k2) in &bucket {
+            settled.set(k1, k2, traced.get(root, PARENT_SLICE, k1, k2));
+        }
+    }
+    atomic.into_inner()
+}
+
+/// Traced twin of `rayon_backend::stage_one`: per-row fork of `threads`
+/// claimer tasks, join at end of row, coordinator installs the row.
+fn rayon_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    log: &TraceLog,
+    root: TaskId,
+) -> MemoTable {
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let mut memo = MemoTable::zeroed(a1, a2);
+    for k1 in 0..a1 {
+        let workers = threads.min(a2).max(1);
+        let base = log.alloc_tasks(workers);
+        for i in 0..workers {
+            log.fork(root, base + i);
+        }
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::with_capacity(a2 as usize));
+        let memo_ref = &memo;
+        let cursor_ref = &cursor;
+        let results_ref = &results;
+        std::thread::scope(|s| {
+            for i in 0..workers {
+                let task = base + i;
+                s.spawn(move || {
+                    let mut scratch = SliceScratch::default();
+                    let mut local: Vec<(u32, u32)> = Vec::new();
+                    loop {
+                        // ORDERING: Relaxed — claim counter only; see the
+                        // wavefront cursor above.
+                        let k2 = cursor_ref.fetch_add(1, Ordering::Relaxed) as u32;
+                        if k2 >= a2 {
+                            break;
+                        }
+                        let v = tabulate_child_traced(
+                            p1,
+                            p2,
+                            k1,
+                            k2,
+                            memo_ref,
+                            &mut scratch,
+                            log,
+                            task,
+                        );
+                        // Record-then-publish: publication is the
+                        // coordinator's install after the row join.
+                        log.write(task, k1, k2);
+                        local.push((k2, v));
+                    }
+                    results_ref
+                        .lock()
+                        .expect("no panics hold the results lock")
+                        .extend(local);
+                });
+            }
+        });
+        for i in 0..workers {
+            log.join(root, base + i);
+        }
+        let staged = std::mem::take(&mut *results.lock().expect("workers joined"));
+        for (k2, v) in staged {
+            memo.set(k1, k2, v); // replication of the recorded writes
+        }
+    }
+    memo
+}
+
+/// Traced twin of `pool::stage_one`: persistent workers, per-worker go
+/// channels, shared result channel with completion markers, the memo
+/// behind a readers-writer lock. Row `k1` is barrier id `k1`.
+fn pool_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    log: &TraceLog,
+    root: TaskId,
+) -> MemoTable {
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let weights = workload::column_weights(p1, p2);
+    let assignment = Policy::Greedy.assign(&weights, threads);
+    let workers = assignment.processors();
+    let memo = RwLock::new(MemoTable::zeroed(a1, a2));
+    let base = log.alloc_tasks(workers);
+
+    std::thread::scope(|scope| {
+        let (result_tx, result_rx) = bounded::<(u32, u32, u32)>(a2 as usize + 1);
+        let mut row_txs: Vec<Sender<u32>> = Vec::with_capacity(workers as usize);
+        for w in 0..workers {
+            let (tx, rx) = bounded::<u32>(1);
+            row_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let my_columns: Vec<u32> = (0..a2)
+                .filter(|&k2| assignment.owner[k2 as usize] == w)
+                .collect();
+            let memo = &memo;
+            let task = base + w;
+            log.fork(root, task);
+            scope.spawn(move || {
+                let mut scratch = SliceScratch::default();
+                let mut prev_row: Option<u32> = None;
+                while let Ok(k1) = rx.recv() {
+                    // Receive-then-record: the go signal for this row is
+                    // what releases the previous row's barrier.
+                    if let Some(prev) = prev_row {
+                        log.leave(task, prev);
+                    }
+                    let guard = memo.read();
+                    for &k2 in &my_columns {
+                        let v =
+                            tabulate_child_traced(p1, p2, k1, k2, &guard, &mut scratch, log, task);
+                        // Record-then-publish: publication is the result
+                        // send the coordinator installs from.
+                        log.write(task, k1, k2);
+                        result_tx.send((k1, k2, v)).expect("coordinator alive");
+                    }
+                    drop(guard);
+                    // Record-then-send: the completion marker is this
+                    // task's arrival at the row barrier.
+                    log.arrive(task, k1);
+                    result_tx
+                        .send((k1, u32::MAX, w))
+                        .expect("coordinator alive");
+                    prev_row = Some(k1);
+                }
+            });
+        }
+        drop(result_tx);
+
+        for k1 in 0..a1 {
+            for tx in &row_txs {
+                tx.send(k1).expect("worker alive");
+            }
+            let mut done = 0u32;
+            let mut staged: Vec<(u32, u32)> = Vec::new();
+            while done < workers {
+                let (row, k2, v) = result_rx.recv().expect("workers alive");
+                debug_assert_eq!(row, k1, "workers run in row lockstep");
+                if k2 == u32::MAX {
+                    done += 1;
+                } else {
+                    staged.push((k2, v));
+                }
+            }
+            let mut guard = memo.write();
+            for (k2, v) in staged {
+                guard.set(k1, k2, v); // replication of the recorded writes
+            }
+        }
+        drop(row_txs);
+    });
+    for w in 0..workers {
+        log.join(root, base + w);
+    }
+    memo.into_inner()
+}
+
+/// Traced twin of `manager_worker::stage_one` with `threads` workers
+/// plus the dedicated manager rank. The per-row allreduce is recorded
+/// as barrier `k1`: no rank's allreduce returns before every rank has
+/// contributed, so arrive-before-allreduce / leave-after-allreduce is
+/// the faithful edge set.
+fn manager_worker_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    log: &TraceLog,
+    root: TaskId,
+) -> MemoTable {
+    let ranks = threads + 1;
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let weights = workload::column_weights(p1, p2);
+    let mut order: Vec<u32> = (0..a2).collect();
+    order.sort_by_key(|&k2| std::cmp::Reverse(weights[k2 as usize]));
+    let order = &order;
+
+    let base = log.alloc_tasks(ranks);
+    for r in 0..ranks {
+        log.fork(root, base + r);
+    }
+    let mut tables = mpi_sim::run(ranks, |mut comm: Communicator<Vec<u32>>| {
+        let rank = comm.rank();
+        let task = base + rank;
+        let mut memo = MemoTable::zeroed(a1, a2);
+        let mut scratch = SliceScratch::default();
+        for k1 in 0..a1 {
+            if rank == 0 {
+                manager_worker::manage_row(&mut comm, order, ranks - 1);
+            } else {
+                // Worker side of the request/assign protocol, with the
+                // replica accesses recorded.
+                loop {
+                    comm.send(0, manager_worker::TAG_REQUEST, vec![]);
+                    let assignment = comm.recv(0, manager_worker::TAG_ASSIGN);
+                    match assignment.first() {
+                        Some(&k2) => {
+                            let v = tabulate_child_traced(
+                                p1,
+                                p2,
+                                k1,
+                                k2,
+                                &memo,
+                                &mut scratch,
+                                log,
+                                task,
+                            );
+                            // Record-then-publish: publication is the
+                            // row allreduce below.
+                            log.write(task, k1, k2);
+                            memo.set(k1, k2, v);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Record-then-send / receive-then-record around the
+            // allreduce (a barrier: it cannot return anywhere before
+            // every rank has entered).
+            log.arrive(task, k1);
+            let merged = comm.allreduce(memo.row(k1).to_vec(), |mut acc, other| {
+                for (x, y) in acc.iter_mut().zip(&other) {
+                    *x = (*x).max(*y);
+                }
+                acc
+            });
+            log.leave(task, k1);
+            memo.row_mut(k1).copy_from_slice(&merged); // replication
+        }
+        memo
+    });
+    for r in 0..ranks {
+        log.join(root, base + r);
+    }
+    tables.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use mcos_core::trace::TraceEvent;
+    use rna_structure::generate;
+
+    #[test]
+    fn traced_backends_match_srna2() {
+        let s1 = generate::random_structure(48, 0.9, 5);
+        let s2 = generate::random_structure(44, 0.8, 6);
+        let reference = srna2::run(&s1, &s2);
+        for backend in TracedBackend::ALL {
+            for threads in [1u32, 3] {
+                let log = TraceLog::new();
+                let out = prna_traced(&s1, &s2, backend, threads, &log);
+                assert_eq!(
+                    out.score,
+                    reference.score,
+                    "{} threads {threads}",
+                    backend.name()
+                );
+                assert_eq!(
+                    out.memo,
+                    reference.memo,
+                    "memo mismatch: {} threads {threads}",
+                    backend.name()
+                );
+                assert!(!log.is_empty(), "{} recorded nothing", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_records_every_logical_write_once() {
+        let s = generate::random_structure(40, 0.9, 9);
+        let p = Preprocessed::build(&s);
+        let pairs = (p.num_arcs() * p.num_arcs()) as usize;
+        for backend in TracedBackend::ALL {
+            let log = TraceLog::new();
+            let _ = prna_traced(&s, &s, backend, 2, &log);
+            let writes = log
+                .take_events()
+                .into_iter()
+                .filter(|e| matches!(e, TraceEvent::Write { .. }))
+                .count();
+            assert_eq!(writes, pairs, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn traced_empty_structures() {
+        let e = ArcStructure::unpaired(5);
+        for backend in TracedBackend::ALL {
+            let log = TraceLog::new();
+            let out = prna_traced(&e, &e, backend, 2, &log);
+            assert_eq!(out.score, 0, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn broken_wavefront_still_completes() {
+        // The deliberately broken schedule must still terminate and
+        // record a full write set (the *checker* is what flags it).
+        let s = generate::worst_case_nested(6);
+        let p = Preprocessed::build(&s);
+        let log = TraceLog::new();
+        let out = wavefront_traced_without_level_barrier(&p, &p, 2, &log);
+        assert_eq!(out.memo.rows(), 6);
+        let writes = log
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::Write { .. }))
+            .count();
+        assert_eq!(writes, 36);
+    }
+}

@@ -434,6 +434,117 @@ impl PrnaSim {
     }
 }
 
+pub mod jitter {
+    //! Seeded random delay injection for schedule perturbation.
+    //!
+    //! The deterministic simulator above replays schedules under a cost
+    //! model; this module does the opposite job for *real* executions —
+    //! it perturbs thread interleavings so a dynamic checker (the race
+    //! detector in `crates/analysis`) explores adversarial timings
+    //! instead of whatever the scheduler happens to produce on an idle
+    //! machine. A [`DelayInjector`] is installed as the trace hook of a
+    //! traced PRNA run; every recorded event then pays a pseudo-random
+    //! pause derived from `(seed, event counter)`, so one seed is one
+    //! reproducible-in-distribution interleaving family.
+    //!
+    //! Delays are busy-spins (with an occasional `yield_now`), not
+    //! `thread::sleep`: sleep granularity on mainstream kernels is tens
+    //! of microseconds, far coarser than the nanosecond-scale windows
+    //! where memo-table orderings are decided.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// SplitMix64 finalizer: a cheap, well-distributed 64→64 bit mixer.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Injects seeded pseudo-random delays, one per call, shared across
+    /// threads.
+    #[derive(Debug)]
+    pub struct DelayInjector {
+        seed: u64,
+        // ORDERING: Relaxed — the counter only has to hand out distinct
+        // values; no memory ordering is implied by (or needed for) the
+        // delay schedule.
+        counter: AtomicU64,
+        max_spins: u64,
+    }
+
+    impl DelayInjector {
+        /// Creates an injector with the default delay bound (`4096`
+        /// spin iterations — roughly a microsecond, i.e. wider than a
+        /// memo write but far below scheduler quanta).
+        pub fn new(seed: u64) -> Self {
+            Self::with_max_spins(seed, 4096)
+        }
+
+        /// Creates an injector whose longest delay is `max_spins`
+        /// `spin_loop` iterations (0 disables delays but keeps the
+        /// yields).
+        pub fn with_max_spins(seed: u64, max_spins: u64) -> Self {
+            DelayInjector {
+                seed,
+                counter: AtomicU64::new(0),
+                max_spins,
+            }
+        }
+
+        /// Pauses the calling thread for a pseudo-random interval
+        /// determined by the seed and the global event number.
+        pub fn delay(&self) {
+            // ORDERING: Relaxed — the counter only diversifies delay
+            // lengths; no data is published through it.
+            let n = self.counter.fetch_add(1, Ordering::Relaxed);
+            let h = splitmix64(self.seed ^ n.wrapping_mul(0x6c62_272e_07bb_0142));
+            // One event in 16 gives up its timeslice entirely, forcing
+            // cross-core migrations and preemption points.
+            if h & 0xf == 0 {
+                std::thread::yield_now();
+            }
+            let spins = if self.max_spins == 0 {
+                0
+            } else {
+                (h >> 8) % self.max_spins
+            };
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn splitmix_mixes_counter_values() {
+            let a = splitmix64(1);
+            let b = splitmix64(2);
+            assert_ne!(a, b);
+            assert_eq!(a, splitmix64(1)); // pure function of the input
+        }
+
+        #[test]
+        fn delay_survives_concurrent_use() {
+            let inj = DelayInjector::with_max_spins(42, 64);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            inj.delay();
+                        }
+                    });
+                }
+            });
+            assert_eq!(inj.counter.load(Ordering::Relaxed), 400);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
