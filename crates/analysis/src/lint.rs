@@ -6,11 +6,13 @@
 //! `#[cfg(test)]` line — test modules sit at file end throughout this
 //! workspace) and comment lines:
 //!
-//! * **`ordering`** — a relaxed atomic ordering must carry an adjacent
+//! * **`ordering`** — any explicit atomic ordering (`Relaxed`,
+//!   `Acquire`, `Release`, `AcqRel`, `SeqCst`) must carry an adjacent
 //!   `// ORDERING:` justification comment (within the three preceding
-//!   lines) or an allowlist entry. Relaxed is the one ordering whose
-//!   correctness is never local to the access — it always leans on an
-//!   edge established elsewhere, and the comment must say where.
+//!   lines) or an allowlist entry. Relaxed leans on an edge established
+//!   elsewhere and the comment must say where; the acquire/release
+//!   family must name its pairing partner; SeqCst must say why the
+//!   total order is actually needed.
 //! * **`safety`** — the unsafe keyword must carry an adjacent
 //!   `// SAFETY:` comment or an allowlist entry (most crates here
 //!   forbid it outright; the rule covers the rest).
@@ -27,7 +29,7 @@ use std::path::{Path, PathBuf};
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// Relaxed atomic ordering without adjacent justification.
+    /// Explicit atomic ordering without adjacent justification.
     RelaxedOrdering,
     /// The unsafe keyword without adjacent justification.
     UnsafeCode,
@@ -176,8 +178,13 @@ pub fn has_adjacent_marker(lines: &[&str], i: usize, marker: &str) -> bool {
         .any(|l| l.contains(marker))
 }
 
-fn needle_relaxed() -> String {
-    format!("Ordering::{}", "Relaxed")
+/// One needle per memory-ordering variant; every one of them demands a
+/// justification comment.
+fn ordering_needles() -> Vec<String> {
+    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .map(|v| format!("Ordering::{v}"))
+        .collect()
 }
 
 fn needle_unsafe() -> String {
@@ -201,7 +208,7 @@ fn is_word_at(line: &str, pos: usize, len: usize) -> bool {
 /// Lints one file's text, pushing findings with paths reported as
 /// `rel`.
 fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFinding>) {
-    let relaxed = needle_relaxed();
+    let orderings = ordering_needles();
     let unsafe_kw = needle_unsafe();
     let unwrap_call = needle_unwrap();
     let lines: Vec<&str> = text.lines().collect();
@@ -210,7 +217,7 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
         if is_comment_line(line) {
             continue;
         }
-        if line.contains(&relaxed)
+        if orderings.iter().any(|n| line.contains(n))
             && !has_adjacent_marker(&lines, i, "// ORDERING:")
             && !allow.allows(Rule::RelaxedOrdering, rel)
         {
@@ -301,6 +308,27 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, Rule::RelaxedOrdering);
         assert_eq!(findings[0].file, "crates/demo/src/bad.rs");
+    }
+
+    #[test]
+    fn flags_every_ordering_variant() {
+        // The telemetry/backends convention: *every* explicit ordering
+        // carries a justification, not just Relaxed.
+        for variant in ["Acquire", "Release", "AcqRel", "SeqCst"] {
+            let bad = format!("fn f() {{ X.load(Ordering::{variant}); }}\n");
+            let good = format!(
+                "// ORDERING: pairs with the release store in publish().\n\
+                 fn f() {{ X.load(Ordering::{variant}); }}\n"
+            );
+            let root = fixture(&[
+                ("crates/demo/src/bad.rs", bad.as_str()),
+                ("crates/demo/src/good.rs", good.as_str()),
+            ]);
+            let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+            assert_eq!(findings.len(), 1, "{variant}: {findings:?}");
+            assert_eq!(findings[0].rule, Rule::RelaxedOrdering, "{variant}");
+            assert_eq!(findings[0].file, "crates/demo/src/bad.rs", "{variant}");
+        }
     }
 
     #[test]

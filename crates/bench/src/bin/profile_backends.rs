@@ -1,0 +1,156 @@
+//! Telemetry profile of every PRNA backend: where the time actually goes.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin profile_backends
+//!         [-- --quick] [-- --out PATH]`
+//!
+//! Runs real PRNA stage one with the recorder **enabled** under each
+//! backend, input shape, and thread count, and reports the load-report
+//! aggregates next to the work counters:
+//!
+//! * **busy %** — slice-tabulation time as a share of `p × wall`
+//!   (parallel efficiency of stage one);
+//! * **wait %** — barrier/collective wait as a share of `p × wall`;
+//! * **imbalance** — observed max/mean busy time across workers, next to
+//!   the static assignment's *predicted* imbalance from the `balance`
+//!   crate (Graham bound);
+//! * counters — slices, cells, largest slice, settled-snapshot reads
+//!   (wavefront), Allreduce rounds and payload bytes (mpi-sim).
+//!
+//! Unlike `ablation_barriers` this bin runs each configuration **once**:
+//! the quantities of interest are ratios within one traced run, not
+//! wall-clock minima across repetitions, so repetition buys nothing.
+//! Telemetry overhead is on the order of one clock read per slice — see
+//! the ablation gate in CI (`ablation_barriers` with the recorder
+//! disabled) for the zero-cost claim.
+//!
+//! Results go to stdout (table) and to `--out` (default
+//! `crates/bench/results/BENCH_profile.json`). `--quick` shrinks the
+//! inputs for smoke runs (CI).
+
+use std::fmt::Write as _;
+
+use load_balance::Policy;
+use mcos_bench::{opt_value, Table};
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::workload;
+use mcos_parallel::{prna_recorded, Backend, PrnaConfig};
+use mcos_telemetry::report::{GrahamComparison, LoadReport};
+use mcos_telemetry::Recorder;
+use rna_structure::ArcStructure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = mcos_bench::has_flag(&args, "--quick");
+    let out_path = opt_value(&args, "--out")
+        .unwrap_or("crates/bench/results/BENCH_profile.json")
+        .to_string();
+
+    use rna_structure::generate;
+    let inputs: Vec<(&str, ArcStructure)> = if quick {
+        vec![
+            ("worst-case", generate::worst_case_nested(48)),
+            ("hairpin-chain", generate::hairpin_chain(40, 3, 2)),
+            ("skewed", generate::skewed_groups(6, 2, 4)),
+        ]
+    } else {
+        vec![
+            ("worst-case", generate::worst_case_nested(192)),
+            ("hairpin-chain", generate::hairpin_chain(100, 4, 2)),
+            ("skewed", generate::skewed_groups(10, 2, 6)),
+        ]
+    };
+    let thread_counts: &[u32] = if quick { &[2] } else { &[2, 4, 8] };
+
+    let mut json = String::from("{\n  \"experiment\": \"profile\",\n  \"inputs\": [\n");
+    for (i, (name, s)) in inputs.iter().enumerate() {
+        let p = Preprocessed::build(s);
+        let weights = workload::column_weights(&p, &p);
+        println!("\n=== {name} ({} arcs) ===", p.num_arcs());
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"arcs\": {}, \"runs\": [",
+            p.num_arcs()
+        );
+
+        let mut table = Table::new(&[
+            "threads", "backend", "stage1 (s)", "busy %", "wait %", "imbalance", "predicted",
+            "events",
+        ]);
+        let mut first_run = true;
+        for &threads in thread_counts {
+            for backend in Backend::ALL {
+                let config = PrnaConfig {
+                    processors: threads,
+                    policy: Policy::Greedy,
+                    backend,
+                };
+                let recorder = Recorder::enabled();
+                let out = prna_recorded(s, s, &config, &recorder);
+                let events = recorder.events();
+                let c = recorder.counters();
+                let assignment = config.policy.assign(&weights, threads);
+                let graham = GrahamComparison::from_assignment(&assignment, &weights);
+                let report = LoadReport::build(&events, threads).with_graham(graham);
+
+                table.row(&[
+                    threads.to_string(),
+                    backend.name().to_string(),
+                    format!("{:.6}", out.stage_one.as_secs_f64()),
+                    format!("{:.1}", report.busy_fraction() * 100.0),
+                    format!("{:.1}", report.wait_fraction() * 100.0),
+                    format!("{:.3}", report.observed_imbalance()),
+                    format!("{:.3}", graham.imbalance),
+                    events.len().to_string(),
+                ]);
+                if !first_run {
+                    json.push_str(",\n");
+                }
+                first_run = false;
+                let _ = write!(
+                    json,
+                    "      {{\"backend\": \"{}\", \"threads\": {threads}, \
+                     \"stage_one_seconds\": {:.6}, \"score\": {}, \
+                     \"busy_fraction\": {:.6}, \"wait_fraction\": {:.6}, \
+                     \"observed_imbalance\": {:.6}, \"predicted_imbalance\": {:.6}, \
+                     \"graham_bound_factor\": {:.6}, \"events\": {}, \
+                     \"slices\": {}, \"cells\": {}, \"max_cells_per_slice\": {}, \
+                     \"barriers\": {}, \"settled_reads\": {}, \
+                     \"allreduce_calls\": {}, \"allreduce_rounds\": {}, \
+                     \"allreduce_bytes\": {}}}",
+                    backend.name(),
+                    out.stage_one.as_secs_f64(),
+                    out.score,
+                    report.busy_fraction(),
+                    report.wait_fraction(),
+                    report.observed_imbalance(),
+                    graham.imbalance,
+                    graham.bound_factor,
+                    events.len(),
+                    c.slices,
+                    c.cells,
+                    c.max_cells_per_slice,
+                    c.barriers,
+                    c.settled_reads,
+                    c.allreduce_calls,
+                    c.allreduce_rounds,
+                    c.allreduce_bytes,
+                );
+            }
+        }
+        println!("{}", table.render());
+        json.push_str("\n    ]}");
+        json.push_str(if i + 1 < inputs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    println!("\n(busy/wait are shares of p x wall over worker lanes; imbalance is observed");
+    println!(" max/mean busy time vs the static Greedy assignment's predicted makespan");
+    println!(" ratio. Every backend records the same slice spans, so columns compare.)");
+}

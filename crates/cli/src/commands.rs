@@ -2,7 +2,9 @@
 
 use load_balance::Policy;
 use mcos_core::{srna2, traceback, verify};
-use mcos_parallel::{prna, Backend, PrnaConfig};
+use mcos_parallel::{prna, prna_recorded, Backend, PrnaConfig};
+use mcos_telemetry::report::{GrahamComparison, LoadReport};
+use mcos_telemetry::{trace, CounterSnapshot, Recorder};
 use par_sim::Scheduling;
 use rna_structure::formats::dot_bracket;
 use rna_structure::io::{load_path, Format};
@@ -13,13 +15,15 @@ pub const USAGE: &str = "\
 usage: srna <subcommand> [options]
 
   compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N]
-          [--backend mpi|pool|rayon|wavefront] [--weighted]
+          [--backend mpi|pool|rayon|wavefront] [--weighted] [--stats]
       Maximum common ordered substructure of two structure files.
       --backend picks the parallel stage-one engine when --threads > 1
       (default: pool; wavefront synchronizes per nesting level instead
       of per row).
       --weighted scores with sequence-aware Bafna-style weights (needs
       sequence-bearing formats: ct or bpseq).
+      --stats prints work counters (slices, cells, largest slice, memo
+      and settled-snapshot traffic, Allreduce rounds) after the score.
   generate worst <arcs>
   generate hairpins <count> <depth> <loop>
   generate rrna <len> <arcs> [--seed S]
@@ -27,8 +31,16 @@ usage: srna <subcommand> [options]
       Emit a synthetic structure in dot-bracket notation.
   info <A> [--format db|ct|bpseq]
       Structure statistics.
-  speedup --arcs N [--procs 1,2,4,...]
+  speedup --arcs N [--procs 1,2,4,...] [--json] [--out PATH]
       Simulated PRNA speedup on a worst-case input of N arcs.
+      --json emits the curve as JSON (to stdout, or to --out PATH).
+  profile [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
+          [--backend mpi|pool|rayon|wavefront] [--out trace.json]
+      Run PRNA with telemetry enabled: writes a Chrome/Perfetto trace
+      (open in https://ui.perfetto.dev or chrome://tracing) and prints
+      the per-worker load report (busy/wait share, observed imbalance
+      vs the Graham bound) plus work counters. With no files, profiles
+      a generated hairpin-chain self-comparison. B defaults to A.
   cluster <A> <B> <C> ... [--threshold 0.8] [--threads N]
       Pairwise MCOS similarity matrix and single-linkage clusters.
   draw <A> [--format db|ct|bpseq]
@@ -145,17 +157,37 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         })?,
         None => Backend::WorkerPool,
     };
-    let score = if threads > 1 {
+    let stats = has_flag(args, "--stats");
+    if threads > 1 {
         let config = PrnaConfig {
             processors: threads,
             policy: Policy::Greedy,
             backend,
         };
-        prna(&s1, &s2, &config).score
+        if stats {
+            let recorder = Recorder::enabled();
+            let score = prna_recorded(&s1, &s2, &config, &recorder).score;
+            println!("MCOS score: {score} matched arcs");
+            print_snapshot(&recorder.counters());
+        } else {
+            println!("MCOS score: {} matched arcs", prna(&s1, &s2, &config).score);
+        }
     } else {
-        srna2::run(&s1, &s2).score
-    };
-    println!("MCOS score: {score} matched arcs");
+        let out = srna2::run(&s1, &s2);
+        println!("MCOS score: {} matched arcs", out.score);
+        if stats {
+            let c = &out.counters;
+            println!("work counters (sequential SRNA2):");
+            println!("  slices tabulated:    {}", c.slices);
+            println!("  cells tabulated:     {}", c.cells);
+            println!("  largest slice:       {} cells", c.max_cells_per_slice);
+            println!(
+                "  memo lookups:        {} ({} hits)",
+                c.memo_lookups(),
+                c.memo_hits
+            );
+        }
+    }
 
     if has_flag(args, "--trace") {
         let mapping = traceback::traceback(&s1, &s2);
@@ -166,6 +198,128 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             println!("  {} -> {}", s1.arc(a), s2.arc(b));
         }
     }
+    Ok(())
+}
+
+/// Prints a recorded [`CounterSnapshot`] in the `--stats` format.
+fn print_snapshot(c: &CounterSnapshot) {
+    println!("work counters (parallel stage one):");
+    println!("  slices tabulated:    {}", c.slices);
+    println!("  cells tabulated:     {}", c.cells);
+    println!("  largest slice:       {} cells", c.max_cells_per_slice);
+    println!("  barrier waits:       {}", c.barriers);
+    if c.settled_reads > 0 {
+        println!("  settled-snapshot reads: {}", c.settled_reads);
+    }
+    if c.memo_hits + c.memo_misses > 0 {
+        println!(
+            "  memo lookups:        {} ({} hits)",
+            c.memo_hits + c.memo_misses,
+            c.memo_hits
+        );
+    }
+    if c.allreduce_calls > 0 {
+        println!(
+            "  allreduce:           {} call(s), {} tree round(s), {} payload bytes",
+            c.allreduce_calls, c.allreduce_rounds, c.allreduce_bytes
+        );
+    }
+}
+
+/// `srna profile`.
+pub fn profile(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--format" || a == "--threads" || a == "--backend" || a == "--out" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() > 2 {
+        return Err("profile takes at most two structure files".into());
+    }
+    let format = opt_value(args, "--format");
+    let (s1, s2, label) = match paths.len() {
+        0 => {
+            // Default workload: a hairpin chain compared against itself —
+            // many rows, few dependency levels, so backend scheduling
+            // differences are visible in the trace.
+            let s = generate::hairpin_chain(20, 3, 2);
+            (
+                s.clone(),
+                s,
+                "generated hairpin chain (20 groups, stem depth 3)".to_string(),
+            )
+        }
+        1 => {
+            let s = load(&paths[0], format)?;
+            (s.clone(), s, format!("{} vs itself", paths[0]))
+        }
+        _ => (
+            load(&paths[0], format)?,
+            load(&paths[1], format)?,
+            format!("{} vs {}", paths[0], paths[1]),
+        ),
+    };
+    let threads: u32 = opt_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer"))
+        .transpose()?
+        .unwrap_or(4);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let backend = match opt_value(args, "--backend") {
+        Some(name) => Backend::from_name(name).ok_or_else(|| {
+            format!("unknown backend '{name}' (expected mpi, pool, rayon, or wavefront)")
+        })?,
+        None => Backend::WorkerPool,
+    };
+    let out_path = opt_value(args, "--out").unwrap_or("trace.json");
+
+    let config = PrnaConfig {
+        processors: threads,
+        policy: Policy::Greedy,
+        backend,
+    };
+    let recorder = Recorder::enabled();
+    let outcome = prna_recorded(&s1, &s2, &config, &recorder);
+    let events = recorder.events();
+
+    println!(
+        "profiled {} @ {} threads: {label}",
+        backend.name(),
+        threads
+    );
+    println!(
+        "MCOS score: {} matched arcs; stage one {:.3} ms, {} event(s) recorded",
+        outcome.score,
+        outcome.stage_one.as_secs_f64() * 1e3,
+        events.len()
+    );
+
+    // The static Greedy assignment is the report's prediction baseline —
+    // it is what the mpi/pool backends actually ran, and the reference
+    // schedule the dynamic backends are compared against.
+    let p1 = mcos_core::preprocess::Preprocessed::build(&s1);
+    let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
+    let weights = mcos_core::workload::column_weights(&p1, &p2);
+    let assignment = config.policy.assign(&weights, threads);
+    let report = LoadReport::build(&events, threads)
+        .with_graham(GrahamComparison::from_assignment(&assignment, &weights));
+    print!("{}", report.render());
+    print_snapshot(&recorder.counters());
+
+    std::fs::write(out_path, trace::chrome_trace_json(&events))
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    println!("wrote {out_path} (open in https://ui.perfetto.dev or chrome://tracing)");
     Ok(())
 }
 
@@ -448,10 +602,32 @@ pub fn speedup(args: &[String]) -> Result<(), String> {
         sync_beta_per_elem: 50e-9,
         ..par_sim::CostModel::default()
     };
-    println!("worst case, {arcs} arcs; calibrated {spc:.3e} s/cell");
-    println!("procs  speedup");
-    for (pr, sp) in sim.speedup_curve(&procs, Scheduling::Static(Policy::Greedy), &model) {
-        println!("{pr:>5}  {sp:>7.2}");
+    let curve = sim.speedup_curve(&procs, Scheduling::Static(Policy::Greedy), &model);
+    if has_flag(args, "--json") {
+        let mut json = format!(
+            "{{\n  \"experiment\": \"speedup\",\n  \"input\": \"worst-case\",\n  \
+             \"arcs\": {arcs},\n  \"seconds_per_cell\": {spc:e},\n  \"points\": [\n"
+        );
+        for (i, (pr, sp)) in curve.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"procs\": {pr}, \"speedup\": {sp:.4}}}{}\n",
+                if i + 1 < curve.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match opt_value(args, "--out") {
+            Some(path) => {
+                std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => print!("{json}"),
+        }
+    } else {
+        println!("worst case, {arcs} arcs; calibrated {spc:.3e} s/cell");
+        println!("procs  speedup");
+        for (pr, sp) in curve {
+            println!("{pr:>5}  {sp:>7.2}");
+        }
     }
     Ok(())
 }

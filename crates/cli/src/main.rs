@@ -15,6 +15,9 @@
 //! * `srna analyze <A> [<B>]` — concurrency soundness report:
 //!   dependency-level audit, barrier counts per backend, ordering
 //!   inventory, and (with `--race`) the vector-clock race detector.
+//! * `srna profile [<A> [<B>]]` — run PRNA with telemetry enabled: write
+//!   a Chrome/Perfetto `trace.json` and print the per-worker load report
+//!   (busy/wait share, observed vs predicted imbalance) and counters.
 
 use std::process::ExitCode;
 
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         "cluster" => commands::cluster(rest),
         "draw" => commands::draw(rest),
         "analyze" => commands::analyze(rest),
+        "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -22,6 +22,12 @@ pub struct Counters {
     /// Maximum recursion depth observed when spawning child slices
     /// (SRNA1; the paper proves this never exceeds 1).
     pub max_spawn_depth: u64,
+    /// Entries read out of a settled snapshot instead of the live table
+    /// (wavefront backend; 0 for the sequential algorithms).
+    pub settled_reads: u64,
+    /// Largest single-slice cell count tabulated — the granularity
+    /// ceiling that bounds how well any column distribution can balance.
+    pub max_cells_per_slice: u64,
 }
 
 impl Counters {
@@ -38,6 +44,8 @@ impl AddAssign for Counters {
         self.memo_hits += rhs.memo_hits;
         self.memo_misses += rhs.memo_misses;
         self.max_spawn_depth = self.max_spawn_depth.max(rhs.max_spawn_depth);
+        self.settled_reads += rhs.settled_reads;
+        self.max_cells_per_slice = self.max_cells_per_slice.max(rhs.max_cells_per_slice);
     }
 }
 
@@ -53,6 +61,8 @@ mod tests {
             memo_hits: 2,
             memo_misses: 3,
             max_spawn_depth: 1,
+            settled_reads: 4,
+            max_cells_per_slice: 9,
         };
         a += Counters {
             cells: 5,
@@ -60,10 +70,14 @@ mod tests {
             memo_hits: 1,
             memo_misses: 0,
             max_spawn_depth: 3,
+            settled_reads: 6,
+            max_cells_per_slice: 7,
         };
         assert_eq!(a.cells, 15);
         assert_eq!(a.slices, 3);
         assert_eq!(a.memo_lookups(), 6);
         assert_eq!(a.max_spawn_depth, 3, "depth takes the max, not the sum");
+        assert_eq!(a.settled_reads, 10);
+        assert_eq!(a.max_cells_per_slice, 9, "cells/slice takes the max");
     }
 }

@@ -61,6 +61,7 @@ impl Ctx<'_> {
         self.counters.slices += 1;
         self.counters.cells += (a * b) as u64;
         self.counters.max_spawn_depth = self.counters.max_spawn_depth.max(depth as u64);
+        self.counters.max_cells_per_slice = self.counters.max_cells_per_slice.max((a * b) as u64);
 
         if self.scratch.len() <= depth {
             self.scratch.resize_with(depth + 1, Vec::new);

@@ -96,8 +96,10 @@ pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
             let c2 = p2.under_range[k2 as usize];
             let v = slice::tabulate_with(p1, p2, c1, c2, &mut grid, |g1, g2| memo.get(g1, g2));
             memo.set(k1, k2, v);
-            counters.cells += slice::cell_count(c1, c2);
+            let cells = slice::cell_count(c1, c2);
+            counters.cells += cells;
             counters.slices += 1;
+            counters.max_cells_per_slice = counters.max_cells_per_slice.max(cells);
         }
     }
     let stage_one = t1.elapsed();
@@ -112,8 +114,10 @@ pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
         &mut grid,
         |g1, g2| memo.get(g1, g2),
     );
-    counters.cells += slice::cell_count(p1.full_range(), p2.full_range());
+    let parent_cells = slice::cell_count(p1.full_range(), p2.full_range());
+    counters.cells += parent_cells;
     counters.slices += 1;
+    counters.max_cells_per_slice = counters.max_cells_per_slice.max(parent_cells);
     let stage_two = t2.elapsed();
 
     Outcome {

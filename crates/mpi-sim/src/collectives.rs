@@ -7,6 +7,14 @@
 
 use crate::comm::{Communicator, Tag, COLLECTIVE_TAG_BASE};
 
+/// `ceil(log2 size)`: rounds of a binomial tree over `size` ranks.
+fn ceil_log2(size: u32) -> u64 {
+    match size {
+        0 | 1 => 0,
+        n => (32 - (n - 1).leading_zeros()) as u64,
+    }
+}
+
 /// Collective op codes embedded in reserved tags.
 #[derive(Clone, Copy)]
 enum Op {
@@ -134,6 +142,12 @@ impl<T: Send> Communicator<T> {
         T: Clone,
         F: FnMut(T, T) -> T,
     {
+        // One binomial-tree reduce plus one broadcast: 2 * ceil(log2 P)
+        // message rounds. Counted once per collective, at rank 0, so the
+        // totals are per world, not per participant.
+        if self.rank() == 0 {
+            self.recorder.count_allreduce(2 * ceil_log2(self.size()));
+        }
         let reduced = self.reduce(0, value, op);
         // Only rank 0 holds the result; the others contribute a
         // placeholder that broadcast replaces. We ship the reduced value
@@ -161,6 +175,11 @@ impl<T: Send> Communicator<T> {
     {
         let size = self.size();
         let rank = self.rank();
+        // The ring pays P - 1 rounds (vs the tree's 2 * ceil(log2 P)).
+        if rank == 0 {
+            self.recorder
+                .count_allreduce(size.saturating_sub(1) as u64);
+        }
         let mut acc = value.clone();
         let mut forward = value;
         for round in 0..size.saturating_sub(1) {

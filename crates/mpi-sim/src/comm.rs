@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use mcos_telemetry::Recorder;
 
 /// Message tag. User code may use any value below `1 << 60`; higher
 /// values are reserved for the collective protocols.
@@ -37,6 +38,9 @@ pub struct Communicator<T> {
     /// Sequence number embedded in collective tags so consecutive
     /// collectives cannot interfere.
     pub(crate) collective_seq: u64,
+    /// Telemetry sink for collective accounting (disabled by default;
+    /// see [`run_recorded`](crate::run_recorded)).
+    pub(crate) recorder: Recorder,
 }
 
 impl<T: Send> Communicator<T> {
@@ -45,6 +49,7 @@ impl<T: Send> Communicator<T> {
         size: u32,
         senders: Arc<Vec<Sender<Packet<T>>>>,
         receiver: Receiver<Packet<T>>,
+        recorder: Recorder,
     ) -> Self {
         Communicator {
             rank,
@@ -53,7 +58,16 @@ impl<T: Send> Communicator<T> {
             receiver,
             pending: Vec::new(),
             collective_seq: 0,
+            recorder,
         }
+    }
+
+    /// The telemetry recorder this communicator reports collectives to
+    /// (disabled unless the world was started with
+    /// [`run_recorded`](crate::run_recorded)).
+    #[inline]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// This rank's id, `0..size`.

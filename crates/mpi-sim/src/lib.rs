@@ -49,10 +49,23 @@ mod comm;
 pub use comm::{Communicator, Tag, RECV_TIMEOUT};
 
 use crossbeam::channel;
+use mcos_telemetry::Recorder;
 
 /// Launches `size` ranks running `f` and returns their results in rank
 /// order. Panics in any rank propagate after all threads join.
 pub fn run<T, R, F>(size: u32, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send,
+    F: Fn(Communicator<T>) -> R + Sync,
+{
+    run_recorded(size, &Recorder::disabled(), f)
+}
+
+/// Like [`run`], but every rank's communicator reports collective
+/// accounting (`Allreduce` calls, tree rounds) to `recorder`. With a
+/// disabled recorder this is exactly [`run`].
+pub fn run_recorded<T, R, F>(size: u32, recorder: &Recorder, f: F) -> Vec<R>
 where
     T: Send + 'static,
     R: Send,
@@ -71,7 +84,15 @@ where
     let comms: Vec<Communicator<T>> = receivers
         .into_iter()
         .enumerate()
-        .map(|(rank, receiver)| Communicator::new(rank as u32, size, senders.clone(), receiver))
+        .map(|(rank, receiver)| {
+            Communicator::new(
+                rank as u32,
+                size,
+                senders.clone(),
+                receiver,
+                recorder.clone(),
+            )
+        })
         .collect();
 
     std::thread::scope(|scope| {

@@ -84,6 +84,7 @@ use std::time::{Duration, Instant};
 
 use load_balance::Policy;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice, workload};
+use mcos_telemetry::{Phase, Recorder};
 use rna_structure::ArcStructure;
 
 /// Which execution engine runs stage one.
@@ -179,7 +180,22 @@ impl PrnaOutcome {
 
 /// Runs PRNA on two structures.
 pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOutcome {
+    prna_recorded(s1, s2, config, &Recorder::disabled())
+}
+
+/// Runs PRNA with telemetry: phase spans land on lane 0, each backend
+/// records per-worker slice/barrier spans on lanes `1..=p`, and the
+/// recorder's counters accumulate work totals. With a disabled recorder
+/// this is exactly [`prna`] (the instrumentation reduces to a branch).
+pub fn prna_recorded(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    config: &PrnaConfig,
+    recorder: &Recorder,
+) -> PrnaOutcome {
     assert!(config.processors > 0, "need at least one processor");
+    let mut log = recorder.lane(0);
+    let span = log.start();
     let t0 = Instant::now();
     let p1 = Preprocessed::build(s1);
     let p2 = Preprocessed::build(s2);
@@ -187,19 +203,27 @@ pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOu
     let weights = workload::column_weights(&p1, &p2);
     let assignment = config.policy.assign(&weights, config.processors);
     let preprocessing = t0.elapsed();
+    log.phase(span, Phase::Preprocess);
 
+    let span = log.start();
     let t1 = Instant::now();
     let memo = match config.backend {
-        Backend::MpiSim => mpi_backend::stage_one(&p1, &p2, &assignment),
-        Backend::WorkerPool => pool::stage_one(&p1, &p2, &assignment),
-        Backend::Rayon => rayon_backend::stage_one(&p1, &p2, config.processors),
-        Backend::Wavefront => wavefront::stage_one(&p1, &p2, config.processors),
+        Backend::MpiSim => mpi_backend::stage_one(&p1, &p2, &assignment, recorder),
+        Backend::WorkerPool => pool::stage_one(&p1, &p2, &assignment, recorder),
+        Backend::Rayon => rayon_backend::stage_one(&p1, &p2, config.processors, recorder),
+        Backend::Wavefront => wavefront::stage_one(&p1, &p2, config.processors, recorder),
     };
     let stage_one = t1.elapsed();
+    log.phase(span, Phase::StageOne);
 
+    let span = log.start();
     let t2 = Instant::now();
     let score = stage_two(&p1, &p2, &memo);
     let stage_two_d = t2.elapsed();
+    log.phase(span, Phase::StageTwo);
+    // Flush now so callers can read a complete event log on return
+    // (worker lanes flushed when their threads joined inside stage one).
+    log.flush();
 
     PrnaOutcome {
         score,
@@ -208,6 +232,21 @@ pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOu
         stage_one,
         stage_two: stage_two_d,
     }
+}
+
+/// Telemetry detail for the child slice of `(k1, k2)`: its wavefront
+/// dependency level and cell count. Only evaluated when recording.
+#[inline]
+pub(crate) fn slice_detail(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    k2: u32,
+) -> (u32, u64) {
+    (
+        p1.level_of(k1).max(p2.level_of(k2)),
+        slice::cell_count(p1.under_range[k1 as usize], p2.under_range[k2 as usize]),
+    )
 }
 
 /// Reusable per-thread scratch for slice tabulation: the compressed grid

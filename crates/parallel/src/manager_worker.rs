@@ -10,9 +10,10 @@
 //! merged with the same `Allreduce(MAX)` as static PRNA.
 
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed, workload};
+use mcos_telemetry::{BarrierKind, Phase, Recorder, WorkerLog};
 use mpi_sim::Communicator;
 
-use crate::{tabulate_child, SliceScratch};
+use crate::{slice_detail, tabulate_child, SliceScratch};
 
 /// Tag for worker→manager work requests (payload: empty vec).
 pub(crate) const TAG_REQUEST: u64 = 0x10;
@@ -25,7 +26,12 @@ pub(crate) const TAG_ASSIGN: u64 = 0x11;
 /// # Panics
 ///
 /// Panics if `ranks < 2` (a dedicated manager needs at least one worker).
-pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> MemoTable {
+pub(crate) fn stage_one(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    ranks: u32,
+    recorder: &Recorder,
+) -> MemoTable {
     assert!(ranks >= 2, "manager-worker needs at least 2 ranks");
     let a1 = p1.num_arcs();
     let a2 = p2.num_arcs();
@@ -35,8 +41,11 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> Mem
     let mut order: Vec<u32> = (0..a2).collect();
     order.sort_by_key(|&k2| std::cmp::Reverse(weights[k2 as usize]));
 
-    let mut tables = mpi_sim::run(ranks, |mut comm: Communicator<Vec<u32>>| {
+    let mut tables = mpi_sim::run_recorded(ranks, recorder, |mut comm: Communicator<Vec<u32>>| {
         let rank = comm.rank();
+        // The manager does no tabulation — it is the natural lane-0
+        // coordinator; worker rank `r` keeps lane `r`.
+        let mut log = recorder.lane(rank);
         let mut memo = MemoTable::zeroed(a1, a2);
         let mut scratch = SliceScratch::default();
 
@@ -44,17 +53,20 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, ranks: u32) -> Mem
             if rank == 0 {
                 manage_row(&mut comm, &order, ranks - 1);
             } else {
-                work_row(&mut comm, p1, p2, k1, &mut memo, &mut scratch);
+                work_row(&mut comm, p1, p2, k1, &mut memo, &mut scratch, &mut log);
             }
             // Row synchronization, manager included (contributes zeros).
+            let span = log.start();
             let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
                 for (x, y) in a.iter_mut().zip(&b) {
                     *x = (*x).max(*y);
                 }
                 a
             });
+            log.allreduce(span, a2 as u64, a2 as u64 * 4);
             memo.row_mut(k1).copy_from_slice(&merged);
         }
+        log.flush();
         memo
     });
     // Every rank holds the merged table; return the manager's copy.
@@ -87,14 +99,20 @@ fn work_row(
     k1: u32,
     memo: &mut MemoTable,
     scratch: &mut SliceScratch,
+    log: &mut WorkerLog,
 ) {
     loop {
+        // Request/assign round trip — the dynamic scheme's per-task tax.
+        let wait = log.start();
         comm.send(0, TAG_REQUEST, vec![]);
         let assignment = comm.recv(0, TAG_ASSIGN);
+        log.barrier(wait, BarrierKind::TaskWait, k1);
         match assignment.first() {
             Some(&k2) => {
+                let span = log.start();
                 let v = tabulate_child(p1, p2, k1, k2, memo, scratch);
                 memo.set(k1, k2, v);
+                log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
             }
             None => break,
         }
@@ -108,19 +126,40 @@ pub fn prna_manager_worker(
     s2: &rna_structure::ArcStructure,
     ranks: u32,
 ) -> crate::PrnaOutcome {
+    prna_manager_worker_recorded(s1, s2, ranks, &Recorder::disabled())
+}
+
+/// Like [`prna_manager_worker`], with phase and per-rank telemetry spans
+/// reported to `recorder`. With a disabled recorder this is exactly
+/// [`prna_manager_worker`].
+pub fn prna_manager_worker_recorded(
+    s1: &rna_structure::ArcStructure,
+    s2: &rna_structure::ArcStructure,
+    ranks: u32,
+    recorder: &Recorder,
+) -> crate::PrnaOutcome {
     use std::time::Instant;
+    let mut log = recorder.lane(0);
+
+    let span = log.start();
     let t0 = Instant::now();
     let p1 = Preprocessed::build(s1);
     let p2 = Preprocessed::build(s2);
     let preprocessing = t0.elapsed();
+    log.phase(span, Phase::Preprocess);
 
+    let span = log.start();
     let t1 = Instant::now();
-    let memo = stage_one(&p1, &p2, ranks);
+    let memo = stage_one(&p1, &p2, ranks, recorder);
     let stage_one_d = t1.elapsed();
+    log.phase(span, Phase::StageOne);
 
+    let span = log.start();
     let t2 = Instant::now();
     let score = crate::stage_two(&p1, &p2, &memo);
     let stage_two_d = t2.elapsed();
+    log.phase(span, Phase::StageTwo);
+    log.flush();
 
     crate::PrnaOutcome {
         score,
@@ -170,6 +209,6 @@ mod tests {
     fn manager_worker_rejects_single_rank() {
         let s = generate::worst_case_nested(3);
         let p = Preprocessed::build(&s);
-        let _ = stage_one(&p, &p, 1);
+        let _ = stage_one(&p, &p, 1, &Recorder::disabled());
     }
 }

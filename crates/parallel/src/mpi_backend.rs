@@ -11,8 +11,9 @@
 
 use load_balance::Assignment;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use mcos_telemetry::Recorder;
 
-use crate::{tabulate_child, SliceScratch};
+use crate::{slice_detail, tabulate_child, SliceScratch};
 
 /// Runs stage one over `assignment.processors()` simulated ranks and
 /// returns the fully synchronized memo table.
@@ -20,13 +21,17 @@ pub(crate) fn stage_one(
     p1: &Preprocessed,
     p2: &Preprocessed,
     assignment: &Assignment,
+    recorder: &Recorder,
 ) -> MemoTable {
     let ranks = assignment.processors();
     let a1 = p1.num_arcs();
     let a2 = p2.num_arcs();
 
-    let mut tables = mpi_sim::run(ranks, |mut comm| {
+    let mut tables = mpi_sim::run_recorded(ranks, recorder, |mut comm| {
         let rank = comm.rank();
+        // Rank `r` is trace lane `r + 1`; lane 0 stays free for the
+        // caller's coordinator spans.
+        let mut log = recorder.lane(rank + 1);
         let mut memo = MemoTable::zeroed(a1, a2);
         let my_columns: Vec<u32> = (0..a2)
             .filter(|&k2| assignment.owner[k2 as usize] == rank)
@@ -37,18 +42,25 @@ pub(crate) fn stage_one(
             // Child slices of this row, owned columns only — spawned "in
             // parallel" across ranks.
             for &k2 in &my_columns {
+                let span = log.start();
                 let v = tabulate_child(p1, p2, k1, k2, &memo, &mut scratch);
                 memo.set(k1, k2, v);
+                log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
             }
-            // Synchronize row k1 across all ranks.
+            // Synchronize row k1 across all ranks. The span covers this
+            // rank's wait for stragglers plus the merge itself; bytes are
+            // the payload this rank contributes to the collective.
+            let span = log.start();
             let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
                 for (x, y) in a.iter_mut().zip(&b) {
                     *x = (*x).max(*y);
                 }
                 a
             });
+            log.allreduce(span, a2 as u64, a2 as u64 * 4);
             memo.row_mut(k1).copy_from_slice(&merged);
         }
+        log.flush();
         memo
     });
     tables.swap_remove(0)
@@ -74,7 +86,7 @@ mod tests {
         let weights = workload::column_weights(&p1, &p2);
         for ranks in [1u32, 2, 4, 7] {
             let a = Policy::Greedy.assign(&weights, ranks);
-            let memo = stage_one(&p1, &p2, &a);
+            let memo = stage_one(&p1, &p2, &a, &Recorder::disabled());
             assert_eq!(memo, reference_memo(&p1, &p2), "ranks {ranks}");
         }
     }
@@ -85,7 +97,7 @@ mod tests {
         let p = Preprocessed::build(&s);
         let weights = workload::column_weights(&p, &p);
         let a = Policy::Greedy.assign(&weights, 1);
-        assert_eq!(stage_one(&p, &p, &a), reference_memo(&p, &p));
+        assert_eq!(stage_one(&p, &p, &a, &Recorder::disabled()), reference_memo(&p, &p));
     }
 
     #[test]
@@ -93,7 +105,7 @@ mod tests {
         let s = rna_structure::ArcStructure::unpaired(10);
         let p = Preprocessed::build(&s);
         let a = Policy::Greedy.assign(&[], 3);
-        let memo = stage_one(&p, &p, &a);
+        let memo = stage_one(&p, &p, &a, &Recorder::disabled());
         assert_eq!(memo.rows(), 0);
     }
 }

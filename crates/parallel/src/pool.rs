@@ -11,15 +11,17 @@
 use crossbeam::channel::{bounded, Sender};
 use load_balance::Assignment;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use mcos_telemetry::{BarrierKind, Recorder};
 use parking_lot::RwLock;
 
-use crate::{tabulate_child, SliceScratch};
+use crate::{slice_detail, tabulate_child, SliceScratch};
 
 /// Runs stage one on a pool of `assignment.processors()` worker threads.
 pub(crate) fn stage_one(
     p1: &Preprocessed,
     p2: &Preprocessed,
     assignment: &Assignment,
+    recorder: &Recorder,
 ) -> MemoTable {
     let workers = assignment.processors();
     let a1 = p1.num_arcs();
@@ -38,14 +40,22 @@ pub(crate) fn stage_one(
                 .filter(|&k2| assignment.owner[k2 as usize] == w)
                 .collect();
             let memo = &memo;
+            // Lane ids are deterministic: worker `w` is always lane
+            // `w + 1`, independent of spawn/scheduling order.
+            let mut log = recorder.lane(w + 1);
             scope.spawn(move || {
                 let mut scratch = SliceScratch::default();
                 // Each received row index is a go signal; channel close
                 // ends the worker.
-                while let Ok(k1) = rx.recv() {
+                loop {
+                    let wait = log.start();
+                    let Ok(k1) = rx.recv() else { break };
+                    log.barrier(wait, BarrierKind::RowWait, k1);
                     let guard = memo.read();
                     for &k2 in &my_columns {
+                        let span = log.start();
                         let v = tabulate_child(p1, p2, k1, k2, &guard, &mut scratch);
+                        log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
                         result_tx.send((k1, k2, v)).expect("coordinator alive");
                     }
                     drop(guard);
@@ -58,11 +68,13 @@ pub(crate) fn stage_one(
         }
         drop(result_tx);
 
+        let mut coord = recorder.lane(0);
         for k1 in 0..a1 {
             for tx in &row_txs {
                 tx.send(k1).expect("worker alive");
             }
             // Collect until every worker has posted its completion marker.
+            let install = coord.start();
             let mut done = 0u32;
             let mut staged: Vec<(u32, u32)> = Vec::new();
             while done < workers {
@@ -79,6 +91,8 @@ pub(crate) fn stage_one(
             for (k2, v) in staged {
                 guard.set(k1, k2, v);
             }
+            drop(guard);
+            coord.barrier(install, BarrierKind::RowInstall, k1);
         }
         drop(row_txs); // close channels; workers exit
     });
@@ -102,7 +116,7 @@ mod tests {
         let weights = workload::column_weights(&p1, &p2);
         for workers in [1u32, 2, 3, 8] {
             let a = Policy::Lpt.assign(&weights, workers);
-            assert_eq!(stage_one(&p1, &p2, &a), reference, "workers {workers}");
+            assert_eq!(stage_one(&p1, &p2, &a, &Recorder::disabled()), reference, "workers {workers}");
         }
     }
 
@@ -111,7 +125,7 @@ mod tests {
         let s = rna_structure::ArcStructure::unpaired(6);
         let p = Preprocessed::build(&s);
         let a = Policy::Greedy.assign(&[], 2);
-        let memo = stage_one(&p, &p, &a);
+        let memo = stage_one(&p, &p, &a, &Recorder::disabled());
         assert_eq!(memo.rows(), 0);
         assert_eq!(memo.cols(), 0);
     }
@@ -125,6 +139,6 @@ mod tests {
         let weights = workload::column_weights(&p, &p);
         let a = Policy::Greedy.assign(&weights, 9);
         let reference = srna2::run_preprocessed(&p, &p).memo;
-        assert_eq!(stage_one(&p, &p, &a), reference);
+        assert_eq!(stage_one(&p, &p, &a, &Recorder::disabled()), reference);
     }
 }

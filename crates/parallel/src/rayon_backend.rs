@@ -11,13 +11,21 @@
 //! it, while on skewed structures dynamic scheduling absorbs per-row
 //! imbalance at the cost of scheduler overhead per task.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use mcos_telemetry::{BarrierKind, Recorder};
 use rayon::prelude::*;
 
-use crate::{tabulate_child, SliceScratch};
+use crate::{slice_detail, tabulate_child, SliceScratch};
 
 /// Runs stage one on a dedicated rayon pool of `threads` threads.
-pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> MemoTable {
+pub(crate) fn stage_one(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    recorder: &Recorder,
+) -> MemoTable {
     let a1 = p1.num_arcs();
     let a2 = p2.num_arcs();
     let pool = rayon::ThreadPoolBuilder::new()
@@ -26,17 +34,37 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> M
         .expect("rayon pool construction");
     let mut memo = MemoTable::zeroed(a1, a2);
     let mut row_buf: Vec<u32> = Vec::with_capacity(a2 as usize);
+    let mut coord = recorder.lane(0);
 
     for k1 in 0..a1 {
+        let join = coord.start();
+        // Worker lanes restart at 1 every row so a pool participant
+        // keeps a stable trace lane regardless of scheduling order.
+        let lanes = AtomicU32::new(1);
         pool.install(|| {
             (0..a2)
                 .into_par_iter()
-                .map_init(SliceScratch::default, |scratch, k2| {
-                    tabulate_child(p1, p2, k1, k2, &memo, scratch)
-                })
+                .map_init(
+                    || {
+                        // ORDERING: the counter only hands out distinct
+                        // lane ids for labelling; no memory is published
+                        // through it.
+                        let lane = lanes.fetch_add(1, Ordering::Relaxed);
+                        (recorder.lane(lane), SliceScratch::default())
+                    },
+                    |(log, scratch), k2| {
+                        let span = log.start();
+                        let v = tabulate_child(p1, p2, k1, k2, &memo, scratch);
+                        log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
+                        v
+                    },
+                )
                 .collect_into_vec(&mut row_buf);
         });
         memo.row_mut(k1).copy_from_slice(&row_buf);
+        // The coordinator is parked for the whole fork/join; the span is
+        // the per-row barrier cost as seen from lane 0.
+        coord.barrier(join, BarrierKind::RowJoin, k1);
     }
     memo
 }
@@ -55,7 +83,7 @@ mod tests {
         let p2 = Preprocessed::build(&s2);
         let reference = srna2::run_preprocessed(&p1, &p2).memo;
         for threads in [1u32, 2, 4] {
-            assert_eq!(stage_one(&p1, &p2, threads), reference, "threads {threads}");
+            assert_eq!(stage_one(&p1, &p2, threads, &Recorder::disabled()), reference, "threads {threads}");
         }
     }
 
@@ -64,6 +92,6 @@ mod tests {
         let s = generate::skewed_groups(4, 2, 4);
         let p = Preprocessed::build(&s);
         let reference = srna2::run_preprocessed(&p, &p).memo;
-        assert_eq!(stage_one(&p, &p, 3), reference);
+        assert_eq!(stage_one(&p, &p, 3, &Recorder::disabled()), reference);
     }
 }

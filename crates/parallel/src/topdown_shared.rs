@@ -18,6 +18,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use mcos_core::{preprocess::Preprocessed, slice};
+use mcos_telemetry::Recorder;
 use rna_structure::ArcStructure;
 
 /// Sentinel for "not yet memoized".
@@ -82,13 +83,16 @@ impl Shared<'_> {
     /// computing it (and, recursively, its dependencies) if needed.
     /// Races are benign: the recurrence is deterministic, so concurrent
     /// writers store the same value.
-    fn ensure(&self, k1: u32, k2: u32, grid: &mut Vec<u32>) -> u32 {
+    /// `hits` is a plain per-thread tally of fast-path memo hits — kept
+    /// off the shared cache lines on purpose, and summed after join.
+    fn ensure(&self, k1: u32, k2: u32, grid: &mut Vec<u32>, hits: &mut u64) -> u32 {
         let idx = k1 as usize * self.cols + k2 as usize;
         // ORDERING: Acquire pairs with the AcqRel swap that published
         // the value; the payload is the single u32 itself, so Relaxed
         // would also be sound — Acquire keeps the idiom legible.
         let current = self.memo[idx].load(Ordering::Acquire);
         if current != EMPTY {
+            *hits += 1;
             return current;
         }
         // Depth-first: resolve every nested dependency, then tabulate.
@@ -100,7 +104,7 @@ impl Shared<'_> {
                 // during tabulation below. The scratch grid is free to
                 // reuse here — this slice's own tabulation only starts
                 // after all dependencies resolve.
-                self.ensure(c1, c2, grid);
+                self.ensure(c1, c2, grid, hits);
             }
         }
         let v = slice::tabulate_with(self.p1, self.p2, (lo1, hi1), (lo2, hi2), grid, |g1, g2| {
@@ -134,6 +138,20 @@ pub fn parallel_top_down(
     threads: u32,
     seed: u64,
 ) -> TopDownOutcome {
+    parallel_top_down_recorded(s1, s2, threads, seed, &Recorder::disabled())
+}
+
+/// Like [`parallel_top_down`], reporting memo hit/miss totals to
+/// `recorder` (hits: fast-path reads of an already-memoized slice;
+/// misses: tabulations, including duplicates). With a disabled recorder
+/// this is exactly [`parallel_top_down`].
+pub fn parallel_top_down_recorded(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    threads: u32,
+    seed: u64,
+    recorder: &Recorder,
+) -> TopDownOutcome {
     assert!(threads > 0, "need at least one thread");
     let p1 = Preprocessed::build(s1);
     let p2 = Preprocessed::build(s2);
@@ -150,23 +168,31 @@ pub fn parallel_top_down(
         duplicated: AtomicU64::new(0),
     };
 
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let shared = &shared;
-            scope.spawn(move || {
-                let mut pairs: Vec<(u32, u32)> = (0..a1)
-                    .flat_map(|k1| (0..a2).map(move |k2| (k1, k2)))
-                    .collect();
-                shuffle(
-                    &mut pairs,
-                    seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF),
-                );
-                let mut grid = Vec::new();
-                for (k1, k2) in pairs {
-                    shared.ensure(k1, k2, &mut grid);
-                }
-            });
-        }
+    let hits: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut pairs: Vec<(u32, u32)> = (0..a1)
+                        .flat_map(|k1| (0..a2).map(move |k2| (k1, k2)))
+                        .collect();
+                    shuffle(
+                        &mut pairs,
+                        seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF),
+                    );
+                    let mut grid = Vec::new();
+                    let mut hits = 0u64;
+                    for (k1, k2) in pairs {
+                        shared.ensure(k1, k2, &mut grid, &mut hits);
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("top-down worker panicked"))
+            .sum()
     });
 
     // Final (parent) slice against the fully populated memo.
@@ -191,6 +217,7 @@ pub fn parallel_top_down(
         distinct,
         "swap atomicity guarantees exactly one non-duplicate per entry"
     );
+    recorder.count_memo(hits, computed);
     TopDownOutcome {
         score,
         computed_slices: computed,

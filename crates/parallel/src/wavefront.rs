@@ -50,8 +50,11 @@
 //! operation, so every level-`l` store *happens-before* the coordinator's
 //! snapshot update and every level-`l+1` read.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use mcos_core::memo::{AtomicMemoTable, MemoTable};
 use mcos_core::preprocess::Preprocessed;
+use mcos_telemetry::{BarrierKind, Recorder};
 use rayon::prelude::*;
 
 /// Groups all child slices (arc pairs) by scheduling level:
@@ -88,7 +91,12 @@ pub fn num_levels(p1: &Preprocessed, p2: &Preprocessed) -> u32 {
 }
 
 /// Runs stage one level by level on a rayon pool of `threads` threads.
-pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> MemoTable {
+pub(crate) fn stage_one(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    threads: u32,
+    recorder: &Recorder,
+) -> MemoTable {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads as usize)
         .build()
@@ -99,8 +107,9 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> M
     // kernel only ever reads strictly-lower levels, so the snapshot is
     // always exact where it matters.
     let mut settled = MemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
+    let mut coord = recorder.lane(0);
 
-    for mut bucket in level_buckets(p1, p2) {
+    for (level, mut bucket) in level_buckets(p1, p2).into_iter().enumerate() {
         // Largest slices first (LPT order): a level's work is often
         // dominated by a few deep pairs, and scheduling those before the
         // swarm of small ones keeps the join from waiting on a straggler
@@ -111,19 +120,36 @@ pub(crate) fn stage_one(p1: &Preprocessed, p2: &Preprocessed, threads: u32) -> M
         // All slices of one level: independent of each other, dependent
         // only on already-joined lower levels (read via `settled`).
         let settled_ref = &settled;
+        let join = coord.start();
+        // Worker lanes restart at 1 every level so a pool participant
+        // keeps a stable trace lane regardless of scheduling order.
+        let lanes = AtomicU32::new(1);
         pool.install(|| {
-            bucket
-                .par_iter()
-                .for_each_init(crate::SliceScratch::default, |scratch, &(k1, k2)| {
+            bucket.par_iter().for_each_init(
+                || {
+                    // ORDERING: the counter only hands out distinct lane
+                    // ids for labelling; no memory is published through
+                    // it.
+                    let lane = lanes.fetch_add(1, Ordering::Relaxed);
+                    (recorder.lane(lane), crate::SliceScratch::default())
+                },
+                |(log, scratch), &(k1, k2)| {
+                    let span = log.start();
                     let v = crate::tabulate_child(p1, p2, k1, k2, settled_ref, scratch);
                     memo.set(k1, k2, v);
-                });
+                    log.slice(span, k1, k2, || crate::slice_detail(p1, p2, k1, k2));
+                },
+            );
         });
         // The join above settles this level: fold it into the snapshot
         // (O(bucket) — over the whole run this copies each entry once).
         for &(k1, k2) in &bucket {
             settled.set(k1, k2, memo.get(k1, k2));
         }
+        recorder.count_settled_reads(bucket.len() as u64);
+        // The coordinator is parked for the whole fork/join plus the
+        // snapshot fold; the span is the per-level barrier cost.
+        coord.barrier(join, BarrierKind::LevelJoin, level as u32);
     }
     memo.into_inner()
 }
@@ -204,7 +230,7 @@ mod tests {
         let p2 = Preprocessed::build(&s2);
         let reference = srna2::run_preprocessed(&p1, &p2).memo;
         for threads in [1u32, 2, 4, 8] {
-            assert_eq!(stage_one(&p1, &p2, threads), reference, "threads {threads}");
+            assert_eq!(stage_one(&p1, &p2, threads, &Recorder::disabled()), reference, "threads {threads}");
         }
     }
 
@@ -216,7 +242,7 @@ mod tests {
         ] {
             let p = Preprocessed::build(&s);
             let reference = srna2::run_preprocessed(&p, &p).memo;
-            assert_eq!(stage_one(&p, &p, 4), reference);
+            assert_eq!(stage_one(&p, &p, 4, &Recorder::disabled()), reference);
         }
     }
 
@@ -225,7 +251,7 @@ mod tests {
         let p = Preprocessed::build(&dot_bracket::parse("....").unwrap());
         assert!(level_buckets(&p, &p).is_empty());
         assert_eq!(num_levels(&p, &p), 0);
-        let memo = stage_one(&p, &p, 4);
+        let memo = stage_one(&p, &p, 4, &Recorder::disabled());
         assert_eq!(memo.rows(), 0);
     }
 }

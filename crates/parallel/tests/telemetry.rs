@@ -1,0 +1,171 @@
+//! Telemetry integration: event determinism, trace-export schema, and
+//! backend coverage of the recorder.
+
+use load_balance::Policy;
+use mcos_parallel::{prna, prna_recorded, Backend, PrnaConfig};
+use mcos_telemetry::{json, trace, Event, EventKind, Recorder};
+use rna_structure::generate;
+
+fn config(backend: Backend, processors: u32) -> PrnaConfig {
+    PrnaConfig {
+        processors,
+        policy: Policy::Greedy,
+        backend,
+    }
+}
+
+fn record(backend: Backend, processors: u32) -> Vec<Event> {
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    let recorder = Recorder::enabled();
+    let out = prna_recorded(&s1, &s2, &config(backend, processors), &recorder);
+    assert_eq!(out.score, prna(&s1, &s2, &config(backend, 1)).score);
+    recorder.events()
+}
+
+/// Per-lane label sequences, in lane order. Timings vary run to run;
+/// the *structure* of what each lane did must not.
+fn lane_labels(events: &[Event]) -> Vec<(u32, Vec<String>)> {
+    let mut lanes: Vec<(u32, Vec<(u32, String)>)> = Vec::new();
+    for e in events {
+        let entry = match lanes.iter_mut().find(|(tid, _)| *tid == e.tid) {
+            Some(entry) => entry,
+            None => {
+                lanes.push((e.tid, Vec::new()));
+                lanes.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.push((e.seq, e.kind.label()));
+    }
+    lanes.sort_by_key(|(tid, _)| *tid);
+    lanes
+        .into_iter()
+        .map(|(tid, mut seq)| {
+            // Within a lane, `seq` is the recording order regardless of
+            // how timestamps interleave.
+            seq.sort_by_key(|&(s, _)| s);
+            (tid, seq.into_iter().map(|(_, l)| l).collect())
+        })
+        .collect()
+}
+
+/// The worker-pool backend with a fixed assignment is deterministic in
+/// *what* every lane records (rows arrive in order, columns are owned
+/// statically), even though *when* varies: two runs must produce
+/// identical per-lane label sequences.
+#[test]
+fn pool_event_order_is_deterministic_per_lane() {
+    let a = lane_labels(&record(Backend::WorkerPool, 2));
+    let b = lane_labels(&record(Backend::WorkerPool, 2));
+    assert_eq!(a, b);
+    // Both workers actually tabulated something on this input.
+    for tid in [1, 2] {
+        let (_, labels) = &a[tid];
+        assert!(
+            labels.iter().any(|l| l.starts_with("slice")),
+            "lane {tid} recorded no slices"
+        );
+    }
+}
+
+/// Same for the mpi-sim backend: rank-owned columns and row-lockstep
+/// Allreduce make each rank's sequence a pure function of the input.
+#[test]
+fn mpi_event_order_is_deterministic_per_lane() {
+    let a = lane_labels(&record(Backend::MpiSim, 3));
+    let b = lane_labels(&record(Backend::MpiSim, 3));
+    assert_eq!(a, b);
+    assert!(a.iter().any(|(_, labels)| labels.iter().any(|l| l == "allreduce")));
+}
+
+/// Every backend feeds the recorder: phase spans on lane 0 plus
+/// per-worker busy spans, and slice totals that match the table size
+/// (`A1 x A2` child slices, however they are scheduled).
+#[test]
+fn every_backend_records_slices_and_phases() {
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    let expected = s1.num_arcs() as u64 * s2.num_arcs() as u64;
+    for backend in Backend::ALL {
+        let recorder = Recorder::enabled();
+        prna_recorded(&s1, &s2, &config(backend, 2), &recorder);
+        let c = recorder.counters();
+        assert_eq!(c.slices, expected, "{}", backend.name());
+        assert!(c.cells > 0, "{}", backend.name());
+        assert!(c.max_cells_per_slice > 0, "{}", backend.name());
+        let events = recorder.events();
+        let phases = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Phase(_)))
+            .count();
+        assert_eq!(phases, 3, "{}: preprocess/stage-one/stage-two", backend.name());
+        assert!(
+            events.iter().any(|e| e.kind.is_wait()),
+            "{}: no barrier/collective span",
+            backend.name()
+        );
+    }
+}
+
+/// The Chrome trace export is valid JSON with the schema Perfetto and
+/// `chrome://tracing` expect: a `traceEvents` array of objects whose
+/// `ph` is `M` (metadata) or `X` (complete span), with numeric
+/// `ts`/`dur` on every span and thread-name metadata per lane.
+#[test]
+fn chrome_trace_export_satisfies_schema() {
+    // The pool backend guarantees every lane appears: workers record a
+    // row-wait barrier per row even when they own no columns (the rayon
+    // shim's fresh-thread workers, by contrast, may never claim work on
+    // tiny inputs).
+    let events = record(Backend::WorkerPool, 2);
+    assert!(!events.is_empty());
+    let text = trace::chrome_trace_json(&events);
+    let root = json::parse(&text).expect("trace.json must parse");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let trace_events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let mut spans = 0;
+    let mut thread_names = 0;
+    for e in trace_events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(e.get("pid").and_then(|v| v.as_f64()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_f64()).is_some());
+        let name = e.get("name").and_then(|v| v.as_str()).expect("name");
+        match ph {
+            "X" => {
+                spans += 1;
+                let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+                let dur = e.get("dur").and_then(|v| v.as_f64()).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                assert!(e.get("cat").and_then(|v| v.as_str()).is_some());
+            }
+            "M" => {
+                if name == "thread_name" {
+                    thread_names += 1;
+                }
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(spans, events.len());
+    // Lane 0 (coordinator) + 2 workers at minimum.
+    assert!(thread_names >= 3, "{thread_names} thread_name records");
+}
+
+/// A disabled recorder passed through the full public entry point keeps
+/// nothing — the production default costs no events.
+#[test]
+fn disabled_recorder_through_prna_records_nothing() {
+    let s = generate::worst_case_nested(10);
+    let recorder = Recorder::disabled();
+    for backend in Backend::ALL {
+        prna_recorded(&s, &s, &config(backend, 2), &recorder);
+    }
+    assert!(recorder.events().is_empty());
+    assert_eq!(recorder.counters(), Default::default());
+}

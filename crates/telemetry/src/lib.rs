@@ -1,0 +1,49 @@
+//! Telemetry for the MCOS backends: spans, load/barrier metrics, and
+//! Chrome/Perfetto trace export.
+//!
+//! The paper's empirical argument is entirely about *where parallel time
+//! goes* — per-processor load under Graham's list scheduling, barrier
+//! synchronization per memo row, and `Allreduce` cost (Fig. 7/8,
+//! Tables 1–3). This crate makes those quantities observable on every
+//! backend without perturbing the timings the benchmarks report:
+//!
+//! * [`Recorder`] — a cloneable handle that is either *disabled* (the
+//!   default: every operation is a branch on `None` and nothing else —
+//!   no clock reads, no allocation, no atomics) or *enabled* (events
+//!   accumulate in per-thread buffers and counters in shared atomics).
+//! * [`WorkerLog`] — the per-thread event buffer. Workers append spans
+//!   to a plain `Vec` with no synchronization; the buffer is flushed
+//!   into the shared sink once, when the log is dropped at thread exit.
+//! * [`trace::chrome_trace_json`] — serializes recorded events in the
+//!   Chrome trace-event format that Perfetto and `chrome://tracing`
+//!   accept.
+//! * [`report::LoadReport`] — per-worker busy/wait accounting with the
+//!   observed imbalance next to the Graham-bound prediction from the
+//!   `load-balance` crate, reproducing the shape of the paper's
+//!   Fig. 7/8 analysis.
+//! * [`json`] — a dependency-free JSON parser, used by the schema tests
+//!   and available to downstream tooling for validating emitted files.
+//!
+//! # Overhead policy
+//!
+//! The hot path of every backend may call the recorder once per slice.
+//! The rules that keep this safe to leave compiled in:
+//!
+//! 1. a disabled recorder performs no clock read, no allocation, and no
+//!    atomic operation (asserted by the crate's zero-overhead test);
+//! 2. an enabled recorder touches only thread-local state per event —
+//!    the shared sink is locked once per thread, at flush;
+//! 3. per-slice detail (level, cell count) is computed by a caller
+//!    closure that never runs when disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use recorder::{
+    BarrierKind, CounterSnapshot, Event, EventKind, Phase, Recorder, SpanStart, WorkerLog,
+};

@@ -1,0 +1,566 @@
+//! The recorder: shared sink, per-thread logs, and counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Execution phase of an MCOS run, for top-level spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Structure preprocessing and column assignment.
+    Preprocess,
+    /// Parallel tabulation of the child slices.
+    StageOne,
+    /// Sequential tabulation of the parent slice.
+    StageTwo,
+}
+
+impl Phase {
+    /// Stable label used in trace names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Preprocess => "preprocess",
+            Phase::StageOne => "stage-one",
+            Phase::StageTwo => "stage-two",
+        }
+    }
+}
+
+/// Which synchronization construct a wait interval was spent in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BarrierKind {
+    /// A pool worker waiting for the next row to be released.
+    RowWait,
+    /// The pool coordinator collecting results and installing a row
+    /// under the write lock.
+    RowInstall,
+    /// The fork/join barrier at the end of a dynamically scheduled row.
+    RowJoin,
+    /// The fork/join barrier at the end of a wavefront level (includes
+    /// folding the level into the settled snapshot).
+    LevelJoin,
+    /// A manager–worker rank waiting for its next column assignment.
+    TaskWait,
+}
+
+impl BarrierKind {
+    /// Stable label used in trace names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BarrierKind::RowWait => "row-wait",
+            BarrierKind::RowInstall => "row-install",
+            BarrierKind::RowJoin => "row-join",
+            BarrierKind::LevelJoin => "level-join",
+            BarrierKind::TaskWait => "task-wait",
+        }
+    }
+}
+
+/// What a recorded span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A top-level phase of the run.
+    Phase(Phase),
+    /// Tabulation of one child slice (arc pair `(k1, k2)`).
+    Slice {
+        /// Row arc (of `S₁`).
+        k1: u32,
+        /// Column arc (of `S₂`).
+        k2: u32,
+        /// Wavefront dependency level `max(depth₁(k1), depth₂(k2))`.
+        level: u32,
+        /// Compressed cells tabulated by the slice.
+        cells: u64,
+    },
+    /// Time spent inside a synchronization construct.
+    Barrier {
+        /// Which construct.
+        kind: BarrierKind,
+        /// Row or level index the barrier closed.
+        index: u32,
+    },
+    /// One `Allreduce(MAX)` collective (per participating rank).
+    Allreduce {
+        /// Elements reduced.
+        elems: u64,
+        /// Payload bytes this rank contributed.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Trace category ("slice", "barrier", "allreduce", "phase").
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::Phase(_) => "phase",
+            EventKind::Slice { .. } => "slice",
+            EventKind::Barrier { .. } => "barrier",
+            EventKind::Allreduce { .. } => "allreduce",
+        }
+    }
+
+    /// Human-readable span name, stable across runs of the same input.
+    pub fn label(self) -> String {
+        match self {
+            EventKind::Phase(p) => p.name().to_string(),
+            EventKind::Slice { k1, k2, .. } => format!("slice ({k1},{k2})"),
+            EventKind::Barrier { kind, index } => format!("{} {index}", kind.name()),
+            EventKind::Allreduce { .. } => "allreduce".to_string(),
+        }
+    }
+
+    /// Whether the span is useful work (slice tabulation).
+    pub fn is_busy(self) -> bool {
+        matches!(self, EventKind::Slice { .. })
+    }
+
+    /// Whether the span is synchronization/communication wait
+    /// (barriers and collectives).
+    pub fn is_wait(self) -> bool {
+        matches!(self, EventKind::Barrier { .. } | EventKind::Allreduce { .. })
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Trace lane: 0 is the coordinator, `1..=p` the workers/ranks.
+    pub tid: u32,
+    /// Per-lane emission index (program order within the lane).
+    pub seq: u32,
+    /// Start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// What the span covers.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// End of the span, nanoseconds since the epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    fn sort_key(&self) -> (u64, u32, u32) {
+        (self.start_ns, self.tid, self.seq)
+    }
+}
+
+/// Counter totals at a point in time. All values are exact once every
+/// worker has joined (the backends read them only after their final
+/// join).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Slices tabulated.
+    pub slices: u64,
+    /// Compressed cells tabulated.
+    pub cells: u64,
+    /// Largest single-slice cell count seen.
+    pub max_cells_per_slice: u64,
+    /// Entries copied out of the atomic table into the settled snapshot
+    /// (wavefront backend only).
+    pub settled_reads: u64,
+    /// Memoization lookups that found a value (top-down scheme only).
+    pub memo_hits: u64,
+    /// Memoization lookups that missed and computed (top-down only).
+    pub memo_misses: u64,
+    /// `Allreduce` collectives completed (counted once per collective,
+    /// not per rank).
+    pub allreduce_calls: u64,
+    /// Binomial-tree message rounds across all collectives.
+    pub allreduce_rounds: u64,
+    /// Payload bytes contributed to collectives, summed over ranks.
+    pub allreduce_bytes: u64,
+    /// Barrier/wait intervals recorded.
+    pub barriers: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    slices: AtomicU64,
+    cells: AtomicU64,
+    max_cells_per_slice: AtomicU64,
+    settled_reads: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    allreduce_calls: AtomicU64,
+    allreduce_rounds: AtomicU64,
+    allreduce_bytes: AtomicU64,
+    barriers: AtomicU64,
+}
+
+fn counter_load(c: &AtomicU64) -> u64 {
+    // ORDERING: pure accounting, read after the recorded region's join
+    // edge (or as an in-flight approximation); no other memory depends
+    // on the value, so Relaxed suffices.
+    c.load(Ordering::Relaxed)
+}
+
+fn counter_add(c: &AtomicU64, n: u64) {
+    if n != 0 {
+        // ORDERING: accounting only — see `counter_load`; the final
+        // totals are observed after a join edge, not through this access.
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            slices: counter_load(&self.slices),
+            cells: counter_load(&self.cells),
+            max_cells_per_slice: counter_load(&self.max_cells_per_slice),
+            settled_reads: counter_load(&self.settled_reads),
+            memo_hits: counter_load(&self.memo_hits),
+            memo_misses: counter_load(&self.memo_misses),
+            allreduce_calls: counter_load(&self.allreduce_calls),
+            allreduce_rounds: counter_load(&self.allreduce_rounds),
+            allreduce_bytes: counter_load(&self.allreduce_bytes),
+            barriers: counter_load(&self.barriers),
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    sink: Mutex<Vec<Event>>,
+    counters: AtomicCounters,
+}
+
+/// Handle to a recording session (or to nothing, when disabled).
+///
+/// Cloning is cheap — clones share the same sink and counters. The
+/// disabled recorder is a `None` and every operation on it is a single
+/// branch; see the crate-level overhead policy.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything. `const`, so it can sit in
+    /// statics and default configurations.
+    pub const fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Starts a recording session; the epoch (trace time zero) is now.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                sink: Mutex::new(Vec::new()),
+                counters: AtomicCounters::default(),
+            })),
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens the event log for trace lane `tid`. Lane 0 is the
+    /// coordinator by convention; workers/ranks use `1..=p`. The log
+    /// buffers locally and flushes into the shared sink on drop, so it
+    /// must be dropped (or [`WorkerLog::flush`]ed) before the events are
+    /// read.
+    pub fn lane(&self, tid: u32) -> WorkerLog {
+        WorkerLog(self.inner.as_ref().map(|inner| LogState {
+            inner: Arc::clone(inner),
+            tid,
+            seq: 0,
+            buf: Vec::new(),
+            slices: 0,
+            cells: 0,
+            max_cells: 0,
+            barriers: 0,
+            allreduce_bytes: 0,
+        }))
+    }
+
+    /// Adds settled-snapshot reads (wavefront coordinator).
+    pub fn count_settled_reads(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.settled_reads, n);
+        }
+    }
+
+    /// Adds memoization hit/miss totals (top-down scheme).
+    pub fn count_memo(&self, hits: u64, misses: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.memo_hits, hits);
+            counter_add(&inner.counters.memo_misses, misses);
+        }
+    }
+
+    /// Records one completed `Allreduce` collective of `rounds`
+    /// binomial-tree message rounds. Called once per collective (by the
+    /// root rank), not once per participant.
+    pub fn count_allreduce(&self, rounds: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.allreduce_calls, 1);
+            counter_add(&inner.counters.allreduce_rounds, rounds);
+        }
+    }
+
+    /// Current counter totals (exact after all workers have joined).
+    pub fn counters(&self) -> CounterSnapshot {
+        match &self.inner {
+            None => CounterSnapshot::default(),
+            Some(inner) => inner.counters.snapshot(),
+        }
+    }
+
+    /// All flushed events, sorted by start time (ties: lane, then
+    /// emission order). Within one lane the result is program order.
+    pub fn events(&self) -> Vec<Event> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events = inner.sink.lock().clone();
+        events.sort_by_key(Event::sort_key);
+        events
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// An open span: the moment [`WorkerLog::start`] was called, or nothing
+/// when the log is disabled. Closed by passing it to one of the
+/// span-recording methods of the *same* log.
+#[must_use = "a span start must be closed by a recording call"]
+#[derive(Debug)]
+pub struct SpanStart(Option<Instant>);
+
+struct LogState {
+    inner: Arc<Inner>,
+    tid: u32,
+    seq: u32,
+    buf: Vec<Event>,
+    slices: u64,
+    cells: u64,
+    max_cells: u64,
+    barriers: u64,
+    allreduce_bytes: u64,
+}
+
+impl LogState {
+    fn record(&mut self, t0: Instant, kind: EventKind) {
+        let start_ns = nanos_between(self.inner.epoch, t0);
+        let dur_ns = nanos_between(t0, Instant::now());
+        self.buf.push(Event {
+            tid: self.tid,
+            seq: self.seq,
+            start_ns,
+            dur_ns,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.inner.sink.lock().append(&mut self.buf);
+        }
+        let c = &self.inner.counters;
+        counter_add(&c.slices, std::mem::take(&mut self.slices));
+        counter_add(&c.cells, std::mem::take(&mut self.cells));
+        counter_add(&c.barriers, std::mem::take(&mut self.barriers));
+        counter_add(&c.allreduce_bytes, std::mem::take(&mut self.allreduce_bytes));
+        let max_cells = std::mem::take(&mut self.max_cells);
+        if max_cells != 0 {
+            // ORDERING: accounting only — see `counter_load`; fetch_max
+            // keeps the largest value, read after the join edge.
+            c.max_cells_per_slice.fetch_max(max_cells, Ordering::Relaxed);
+        }
+    }
+}
+
+fn nanos_between(earlier: Instant, later: Instant) -> u64 {
+    u64::try_from(later.saturating_duration_since(earlier).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-thread event log; see [`Recorder::lane`]. All methods are no-ops
+/// on a log opened from a disabled recorder.
+pub struct WorkerLog(Option<LogState>);
+
+impl WorkerLog {
+    /// Opens a span: reads the clock when enabled, does nothing when
+    /// disabled.
+    #[inline]
+    pub fn start(&self) -> SpanStart {
+        SpanStart(self.0.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Closes `span` as a slice-tabulation event for arc pair
+    /// `(k1, k2)`. `detail` supplies the dependency level and cell count
+    /// and only runs when the log is enabled.
+    #[inline]
+    pub fn slice(
+        &mut self,
+        span: SpanStart,
+        k1: u32,
+        k2: u32,
+        detail: impl FnOnce() -> (u32, u64),
+    ) {
+        if let (Some(state), Some(t0)) = (self.0.as_mut(), span.0) {
+            let (level, cells) = detail();
+            state.slices += 1;
+            state.cells += cells;
+            state.max_cells = state.max_cells.max(cells);
+            state.record(t0, EventKind::Slice { k1, k2, level, cells });
+        }
+    }
+
+    /// Closes `span` as a wait interval in synchronization construct
+    /// `kind` for row/level `index`.
+    #[inline]
+    pub fn barrier(&mut self, span: SpanStart, kind: BarrierKind, index: u32) {
+        if let (Some(state), Some(t0)) = (self.0.as_mut(), span.0) {
+            state.barriers += 1;
+            state.record(t0, EventKind::Barrier { kind, index });
+        }
+    }
+
+    /// Closes `span` as this rank's participation in one `Allreduce`
+    /// over `elems` elements (`bytes` payload bytes contributed).
+    #[inline]
+    pub fn allreduce(&mut self, span: SpanStart, elems: u64, bytes: u64) {
+        if let (Some(state), Some(t0)) = (self.0.as_mut(), span.0) {
+            state.allreduce_bytes += bytes;
+            state.record(t0, EventKind::Allreduce { elems, bytes });
+        }
+    }
+
+    /// Closes `span` as a top-level phase.
+    #[inline]
+    pub fn phase(&mut self, span: SpanStart, phase: Phase) {
+        if let (Some(state), Some(t0)) = (self.0.as_mut(), span.0) {
+            state.record(t0, EventKind::Phase(phase));
+        }
+    }
+
+    /// Flushes buffered events and counters into the shared sink now
+    /// (also happens on drop).
+    pub fn flush(&mut self) {
+        if let Some(state) = &mut self.0 {
+            state.flush();
+        }
+    }
+}
+
+impl Drop for WorkerLog {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let mut log = rec.lane(1);
+        let span = log.start();
+        log.slice(span, 0, 0, || panic!("detail closure must not run"));
+        let span = log.start();
+        log.barrier(span, BarrierKind::RowJoin, 0);
+        drop(log);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.counters(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_spans_and_counters() {
+        let rec = Recorder::enabled();
+        let mut log = rec.lane(2);
+        let span = log.start();
+        log.slice(span, 3, 5, || (1, 40));
+        let span = log.start();
+        log.barrier(span, BarrierKind::LevelJoin, 7);
+        let span = log.start();
+        log.allreduce(span, 10, 40);
+        drop(log);
+        rec.count_settled_reads(6);
+        rec.count_memo(2, 3);
+        rec.count_allreduce(4);
+
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.tid == 2));
+        assert_eq!(
+            events[0].kind,
+            EventKind::Slice { k1: 3, k2: 5, level: 1, cells: 40 }
+        );
+        assert_eq!(events[0].kind.label(), "slice (3,5)");
+        assert!(events[0].kind.is_busy());
+        assert!(events[1].kind.is_wait());
+
+        let c = rec.counters();
+        assert_eq!(c.slices, 1);
+        assert_eq!(c.cells, 40);
+        assert_eq!(c.max_cells_per_slice, 40);
+        assert_eq!(c.settled_reads, 6);
+        assert_eq!(c.memo_hits, 2);
+        assert_eq!(c.memo_misses, 3);
+        assert_eq!(c.allreduce_calls, 1);
+        assert_eq!(c.allreduce_rounds, 4);
+        assert_eq!(c.allreduce_bytes, 40);
+        assert_eq!(c.barriers, 1);
+    }
+
+    #[test]
+    fn events_sort_by_time_then_lane_then_sequence() {
+        let rec = Recorder::enabled();
+        // Two lanes interleave; per-lane program order must survive.
+        let mut a = rec.lane(1);
+        let mut b = rec.lane(2);
+        for i in 0..4u32 {
+            let sa = a.start();
+            a.barrier(sa, BarrierKind::RowWait, i);
+            let sb = b.start();
+            b.barrier(sb, BarrierKind::RowWait, i);
+        }
+        drop(a);
+        drop(b);
+        let events = rec.events();
+        assert_eq!(events.len(), 8);
+        for tid in [1u32, 2] {
+            let seqs: Vec<u32> = events.iter().filter(|e| e.tid == tid).map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3], "lane {tid} out of order");
+            let starts: Vec<u64> = events
+                .iter()
+                .filter(|e| e.tid == tid)
+                .map(|e| e.start_ns)
+                .collect();
+            let mut sorted = starts.clone();
+            sorted.sort_unstable();
+            assert_eq!(starts, sorted, "lane {tid} not chronological");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        let mut log = clone.lane(0);
+        let span = log.start();
+        log.phase(span, Phase::StageOne);
+        drop(log);
+        assert_eq!(rec.events().len(), 1);
+        assert_eq!(rec.events()[0].kind, EventKind::Phase(Phase::StageOne));
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-worker load accounting: the observed counterpart of the Graham
+//! bound the `load-balance` crate predicts.
+//!
+//! The paper argues its static distribution works because Graham's list
+//! scheduling bounds the heaviest processor's load (Fig. 7/8). This
+//! module closes the loop: from recorded events it derives each
+//! worker's busy time (slice spans), wait time (barrier + collective
+//! spans), and the observed makespan, and renders them next to the
+//! predicted makespan, lower bound, and `(2 - 1/p)` guarantee of the
+//! static assignment actually used.
+
+use load_balance::Assignment;
+
+use crate::recorder::{Event, EventKind, Phase};
+
+/// Busy/wait totals for one trace lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Trace lane (0 = coordinator, `1..=p` = workers).
+    pub tid: u32,
+    /// Nanoseconds in slice-tabulation spans.
+    pub busy_ns: u64,
+    /// Nanoseconds in barrier/collective wait spans.
+    pub wait_ns: u64,
+    /// Slices tabulated on this lane.
+    pub slices: u64,
+}
+
+/// The static assignment's predicted quality, for comparison against
+/// the observed load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrahamComparison {
+    /// Predicted makespan: the heaviest processor's assigned weight.
+    pub makespan: u64,
+    /// Lower bound on any schedule: `max(total/p, max weight)`.
+    pub lower_bound: u64,
+    /// Predicted makespan over the perfectly even split.
+    pub imbalance: f64,
+    /// Graham's guarantee for greedy list scheduling: `2 - 1/p`.
+    pub bound_factor: f64,
+}
+
+impl GrahamComparison {
+    /// Reads the prediction out of a static `Assignment` and the task
+    /// weights it distributed.
+    pub fn from_assignment(assignment: &Assignment, weights: &[u64]) -> GrahamComparison {
+        GrahamComparison {
+            makespan: assignment.makespan(),
+            lower_bound: assignment.lower_bound(weights),
+            imbalance: assignment.imbalance(),
+            bound_factor: 2.0 - 1.0 / assignment.processors().max(1) as f64,
+        }
+    }
+}
+
+/// Aggregated load view of one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Stage-one wall time (the `stage-one` phase span when present,
+    /// otherwise the extent of all recorded events), nanoseconds.
+    pub wall_ns: u64,
+    /// Per-lane busy/wait totals, lane 0 first. Lanes `1..=processors`
+    /// are always present (idle workers appear with zero totals).
+    pub workers: Vec<WorkerLoad>,
+    /// The static assignment's prediction, when the backend used one.
+    pub graham: Option<GrahamComparison>,
+}
+
+impl LoadReport {
+    /// Builds the report from recorded events. `processors` is the
+    /// worker count the backend was configured with; lanes that never
+    /// emitted an event still get a row.
+    pub fn build(events: &[Event], processors: u32) -> LoadReport {
+        let wall_ns = stage_one_wall(events);
+        let max_tid = events
+            .iter()
+            .map(|e| e.tid)
+            .max()
+            .unwrap_or(0)
+            .max(processors);
+        let mut workers: Vec<WorkerLoad> = (0..=max_tid)
+            .map(|tid| WorkerLoad { tid, ..WorkerLoad::default() })
+            .collect();
+        for e in events {
+            let w = &mut workers[e.tid as usize];
+            if e.kind.is_busy() {
+                w.busy_ns += e.dur_ns;
+                w.slices += 1;
+            } else if e.kind.is_wait() {
+                w.wait_ns += e.dur_ns;
+            }
+        }
+        LoadReport {
+            wall_ns,
+            workers,
+            graham: None,
+        }
+    }
+
+    /// Attaches the static assignment's prediction.
+    pub fn with_graham(mut self, graham: GrahamComparison) -> LoadReport {
+        self.graham = Some(graham);
+        self
+    }
+
+    /// Worker lanes only (lane 0 is the coordinator).
+    fn worker_lanes(&self) -> impl Iterator<Item = &WorkerLoad> {
+        self.workers.iter().filter(|w| w.tid != 0)
+    }
+
+    /// Busy time summed over worker lanes.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.worker_lanes().map(|w| w.busy_ns).sum()
+    }
+
+    /// Wait time summed over worker lanes.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.worker_lanes().map(|w| w.wait_ns).sum()
+    }
+
+    /// Fraction of `p x wall` spent tabulating slices (parallel
+    /// efficiency of stage one).
+    pub fn busy_fraction(&self) -> f64 {
+        self.fraction_of_wall(self.total_busy_ns())
+    }
+
+    /// Fraction of `p x wall` spent waiting in barriers/collectives.
+    pub fn wait_fraction(&self) -> f64 {
+        self.fraction_of_wall(self.total_wait_ns())
+    }
+
+    fn fraction_of_wall(&self, total: u64) -> f64 {
+        let lanes = self.worker_lanes().count() as u64;
+        let denom = self.wall_ns.saturating_mul(lanes);
+        if denom == 0 {
+            return 0.0;
+        }
+        total as f64 / denom as f64
+    }
+
+    /// Observed busy-time imbalance: max over workers divided by the
+    /// mean (1.0 is perfectly even; 0.0 when nothing was recorded).
+    pub fn observed_imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.worker_lanes().map(|w| w.busy_ns).collect();
+        let total: u64 = busy.iter().sum();
+        if busy.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / busy.len() as f64;
+        busy.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stage one: {} wall, {} worker lane(s)\n",
+            fmt_ms(self.wall_ns),
+            self.worker_lanes().count()
+        ));
+        out.push_str("  lane         role     busy ms   busy %    wait ms   wait %   slices\n");
+        for w in &self.workers {
+            let role = if w.tid == 0 { "coord" } else { "worker" };
+            out.push_str(&format!(
+                "  {:>4}  {:>11}  {:>10.3}  {:>6.1}  {:>9.3}  {:>6.1}  {:>7}\n",
+                w.tid,
+                role,
+                w.busy_ns as f64 / 1e6,
+                percent(w.busy_ns, self.wall_ns),
+                w.wait_ns as f64 / 1e6,
+                percent(w.wait_ns, self.wall_ns),
+                w.slices,
+            ));
+        }
+        out.push_str(&format!(
+            "  busy {:.1}% of p x wall; barrier/collective wait {:.1}%\n",
+            self.busy_fraction() * 100.0,
+            self.wait_fraction() * 100.0,
+        ));
+        out.push_str(&format!(
+            "  observed busy imbalance: {:.3} (max/mean across workers)\n",
+            self.observed_imbalance()
+        ));
+        if let Some(g) = &self.graham {
+            out.push_str(&format!(
+                "  static assignment: makespan {} work units, lower bound {} \
+                 (imbalance {:.3}, Graham guarantee <= {:.3}x OPT)\n",
+                g.makespan, g.lower_bound, g.imbalance, g.bound_factor
+            ));
+        }
+        out
+    }
+}
+
+/// Stage-one wall time: the longest `stage-one` phase span, or the
+/// extent of all events when no phase span was recorded.
+fn stage_one_wall(events: &[Event]) -> u64 {
+    let phase = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Phase(Phase::StageOne))
+        .map(|e| e.dur_ns)
+        .max();
+    if let Some(wall) = phase {
+        return wall;
+    }
+    let start = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    let end = events.iter().map(Event::end_ns).max().unwrap_or(0);
+    end.saturating_sub(start)
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        return 0.0;
+    }
+    part as f64 / whole as f64 * 100.0
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::BarrierKind;
+
+    fn ev(tid: u32, seq: u32, start: u64, dur: u64, kind: EventKind) -> Event {
+        Event {
+            tid,
+            seq,
+            start_ns: start,
+            dur_ns: dur,
+            kind,
+        }
+    }
+
+    fn slice(cells: u64) -> EventKind {
+        EventKind::Slice {
+            k1: 0,
+            k2: 0,
+            level: 0,
+            cells,
+        }
+    }
+
+    #[test]
+    fn report_accumulates_busy_and_wait_per_lane() {
+        let events = vec![
+            ev(0, 0, 0, 1000, EventKind::Phase(Phase::StageOne)),
+            ev(1, 0, 0, 600, slice(10)),
+            ev(1, 1, 600, 100, EventKind::Barrier { kind: BarrierKind::RowJoin, index: 0 }),
+            ev(2, 0, 0, 300, slice(5)),
+            ev(2, 1, 300, 400, EventKind::Allreduce { elems: 4, bytes: 16 }),
+        ];
+        let report = LoadReport::build(&events, 2);
+        assert_eq!(report.wall_ns, 1000);
+        assert_eq!(report.workers.len(), 3);
+        assert_eq!(report.workers[1].busy_ns, 600);
+        assert_eq!(report.workers[1].wait_ns, 100);
+        assert_eq!(report.workers[1].slices, 1);
+        assert_eq!(report.workers[2].busy_ns, 300);
+        assert_eq!(report.workers[2].wait_ns, 400);
+        assert_eq!(report.total_busy_ns(), 900);
+        assert_eq!(report.total_wait_ns(), 500);
+        // busy fraction = 900 / (2 * 1000)
+        assert!((report.busy_fraction() - 0.45).abs() < 1e-12);
+        // imbalance = 600 / 450
+        assert!((report.observed_imbalance() - 600.0 / 450.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_workers_get_zero_rows() {
+        let events = vec![ev(1, 0, 0, 10, slice(1))];
+        let report = LoadReport::build(&events, 4);
+        assert_eq!(report.workers.len(), 5);
+        assert_eq!(report.workers[3].busy_ns, 0);
+        assert_eq!(report.observed_imbalance(), 4.0, "one of four lanes busy");
+    }
+
+    #[test]
+    fn wall_falls_back_to_event_extent() {
+        let events = vec![ev(1, 0, 100, 50, slice(1)), ev(2, 0, 120, 80, slice(1))];
+        assert_eq!(LoadReport::build(&events, 2).wall_ns, 100);
+    }
+
+    #[test]
+    fn graham_comparison_reads_assignment() {
+        let weights = [5u64, 3, 2, 2];
+        let a = load_balance::greedy(&weights, 2);
+        let g = GrahamComparison::from_assignment(&a, &weights);
+        assert_eq!(g.makespan, a.makespan());
+        assert_eq!(g.lower_bound, 6);
+        assert!((g.bound_factor - 1.5).abs() < 1e-12);
+        let report = LoadReport::build(&[], 2).with_graham(g);
+        assert!(report.render().contains("Graham guarantee"));
+    }
+
+    #[test]
+    fn render_mentions_every_lane() {
+        let events = vec![
+            ev(0, 0, 0, 1000, EventKind::Phase(Phase::StageOne)),
+            ev(1, 0, 0, 500, slice(3)),
+        ];
+        let text = LoadReport::build(&events, 2).render();
+        assert!(text.contains("coord"));
+        assert!(text.contains("worker"));
+        assert!(text.contains("observed busy imbalance"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Chrome trace-event export.
+//!
+//! Emits the JSON Object Format of the Trace Event specification —
+//! a top-level object with a `traceEvents` array — which both
+//! [Perfetto](https://ui.perfetto.dev) and `chrome://tracing` load
+//! directly. Every span becomes a complete (`"ph": "X"`) event with
+//! microsecond timestamps; lanes are named via thread-name metadata
+//! records so the coordinator and workers are labelled in the UI.
+
+use crate::recorder::{Event, EventKind};
+
+/// Serializes `events` as a Chrome trace JSON document. The output is
+/// deterministic given the events (sorted by start time, then lane,
+/// then per-lane emission order).
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut sorted: Vec<Event> = events.to_vec();
+    sorted.sort_by_key(|e| (e.start_ns, e.tid, e.seq));
+
+    let mut tids: Vec<u32> = sorted.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::with_capacity(64 + sorted.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    // Metadata: name the process and each lane so the viewer shows
+    // "coordinator" / "worker N" instead of bare thread ids.
+    sep(&mut out);
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"mcos\"}}",
+    );
+    for &tid in &tids {
+        let name = lane_name(tid);
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(&name)
+        ));
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+
+    for e in &sorted {
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"cat\":\"{}\",\"name\":\"{}\",\"args\":{{{}}}}}",
+            e.tid,
+            micros(e.start_ns),
+            micros(e.dur_ns),
+            e.kind.category(),
+            escape_json(&e.kind.label()),
+            args_json(e.kind),
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Display name of a trace lane (0 is the coordinator by convention).
+pub fn lane_name(tid: u32) -> String {
+    if tid == 0 {
+        "coordinator".to_string()
+    } else {
+        format!("worker {tid}")
+    }
+}
+
+/// Nanoseconds to the microsecond float the trace format expects.
+fn micros(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn args_json(kind: EventKind) -> String {
+    match kind {
+        EventKind::Phase(_) => String::new(),
+        EventKind::Slice { k1, k2, level, cells } => {
+            format!("\"k1\":{k1},\"k2\":{k2},\"level\":{level},\"cells\":{cells}")
+        }
+        EventKind::Barrier { kind, index } => {
+            format!("\"kind\":\"{}\",\"index\":{index}", kind.name())
+        }
+        EventKind::Allreduce { elems, bytes } => {
+            format!("\"elems\":{elems},\"bytes\":{bytes}")
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{BarrierKind, Phase, Recorder};
+
+    fn sample_events() -> Vec<Event> {
+        let rec = Recorder::enabled();
+        let mut coord = rec.lane(0);
+        let run = coord.start();
+        let mut w = rec.lane(1);
+        let s = w.start();
+        w.slice(s, 2, 3, || (1, 12));
+        let s = w.start();
+        w.barrier(s, BarrierKind::RowJoin, 2);
+        let s = w.start();
+        w.allreduce(s, 8, 32);
+        drop(w);
+        coord.phase(run, Phase::StageOne);
+        drop(coord);
+        rec.events()
+    }
+
+    #[test]
+    fn export_parses_and_has_expected_shape() {
+        let text = chrome_trace_json(&sample_events());
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 1 process_name + 2 lanes x 2 metadata + 4 spans.
+        assert_eq!(events.len(), 1 + 4 + 4);
+        for e in events {
+            let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+            assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+            assert!(e.get("name").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+            if ph == "X" {
+                assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_for_fixed_events() {
+        let events = sample_events();
+        assert_eq!(chrome_trace_json(&events), chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

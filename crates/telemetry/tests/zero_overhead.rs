@@ -1,0 +1,72 @@
+//! The overhead-policy contract: a disabled recorder performs no
+//! allocations and keeps no events, so instrumentation can stay
+//! compiled into the hot paths of every backend.
+//!
+//! This file contains exactly one test: the counting allocator is
+//! process-global, so any concurrently running test in the same binary
+//! would pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcos_telemetry::{BarrierKind, CounterSnapshot, Phase, Recorder};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: forwarding the caller's layout unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `alloc` with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_allocates_nothing_and_keeps_nothing() {
+    let rec = Recorder::disabled();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+
+    // A representative slice of every hot-path operation the backends
+    // perform per slice/row/level.
+    for tid in 0..4u32 {
+        let mut log = rec.lane(tid);
+        for i in 0..1000u32 {
+            let span = log.start();
+            log.slice(span, i, i + 1, || panic!("detail must not run when disabled"));
+            let span = log.start();
+            log.barrier(span, BarrierKind::RowJoin, i);
+            let span = log.start();
+            log.allreduce(span, 64, 256);
+        }
+        let span = log.start();
+        log.phase(span, Phase::StageOne);
+        log.flush();
+    }
+    rec.count_settled_reads(10);
+    rec.count_memo(1, 2);
+    rec.count_allreduce(3);
+    let counters = rec.counters();
+    let events = rec.events();
+
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate on any path"
+    );
+    assert!(events.is_empty(), "disabled recorder must keep no events");
+    assert_eq!(counters, CounterSnapshot::default());
+}
