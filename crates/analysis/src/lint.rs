@@ -1,7 +1,7 @@
 //! The workspace lint: mechanical enforcement of the justification
 //! conventions the concurrency-soundness work depends on.
 //!
-//! Three rules, scanned over every non-shim `crates/*/src/**/*.rs`
+//! Four rules, scanned over every non-shim `crates/*/src/**/*.rs`
 //! file, skipping test modules (everything at and after the first
 //! `#[cfg(test)]` line — test modules sit at file end throughout this
 //! workspace) and comment lines:
@@ -19,6 +19,11 @@
 //! * **`unwrap`** — non-test library code must not panic on `Option`/
 //!   `Result` shortcuts without an allowlist entry naming the file (the
 //!   entry is the reviewed assertion that the invariant is real).
+//! * **`policy`** — every execution-engine policy implementation (an
+//!   `impl` of `Schedule` or `MemoStore`) must carry an adjacent
+//!   `// POLICY:` comment stating, in a sentence, what the policy
+//!   decides and why it is sound — the reviewed contract the engine's
+//!   generic loop depends on.
 //!
 //! The match needles are assembled at runtime so the linter's own
 //! source never matches its own rules.
@@ -35,6 +40,8 @@ pub enum Rule {
     UnsafeCode,
     /// `Option::unwrap` / `Result::unwrap` call in library code.
     Unwrap,
+    /// Engine policy `impl` without an adjacent `// POLICY:` contract.
+    Policy,
 }
 
 impl Rule {
@@ -44,6 +51,7 @@ impl Rule {
             Rule::RelaxedOrdering => "ordering",
             Rule::UnsafeCode => "safety",
             Rule::Unwrap => "unwrap",
+            Rule::Policy => "policy",
         }
     }
 }
@@ -97,7 +105,7 @@ impl Allowlist {
             let path = parts
                 .next()
                 .ok_or_else(|| format!("line {}: missing path after rule", i + 1))?;
-            if !matches!(rule, "ordering" | "safety" | "unwrap") {
+            if !matches!(rule, "ordering" | "safety" | "unwrap" | "policy") {
                 return Err(format!("line {}: unknown rule '{rule}'", i + 1));
             }
             entries.push((rule.to_string(), path.to_string()));
@@ -195,6 +203,15 @@ fn needle_unwrap() -> String {
     format!(".{}()", ["un", "wrap"].concat())
 }
 
+/// `"<Trait> for"` needles for the engine policy traits: an `impl` line
+/// containing one of these is a policy implementation.
+fn policy_needles() -> Vec<String> {
+    [["Sched", "ule"].concat(), ["Memo", "Store"].concat()]
+        .iter()
+        .map(|t| format!("{t} for "))
+        .collect()
+}
+
 /// Whether the keyword at byte offset `pos` (length `len`) in `line`
 /// stands alone as a word (so `{needle}_code` in a `forbid` attribute
 /// does not count).
@@ -211,6 +228,7 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
     let orderings = ordering_needles();
     let unsafe_kw = needle_unsafe();
     let unwrap_call = needle_unwrap();
+    let policies = policy_needles();
     let lines: Vec<&str> = text.lines().collect();
     let limit = test_module_start(&lines);
     for (i, line) in lines.iter().enumerate().take(limit) {
@@ -250,6 +268,18 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
                 file: rel.to_string(),
                 line: i + 1,
                 rule: Rule::Unwrap,
+                excerpt: line.trim().to_string(),
+            });
+        }
+        if line.trim_start().starts_with("impl")
+            && policies.iter().any(|n| line.contains(n))
+            && !has_adjacent_marker(&lines, i, "// POLICY:")
+            && !allow.allows(Rule::Policy, rel)
+        {
+            findings.push(LintFinding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Policy,
                 excerpt: line.trim().to_string(),
             });
         }
@@ -380,8 +410,34 @@ mod tests {
     }
 
     #[test]
+    fn flags_policy_impl_without_contract_comment() {
+        let sched = ["Sched", "ule"].concat();
+        let store = ["Memo", "Store"].concat();
+        let bad = format!("struct R;\nimpl {sched} for R {{}}\n");
+        let bad_generic = format!("struct T<M>(M);\nimpl<M: {store}> {store} for T<M> {{}}\n");
+        let good = format!("// POLICY: one step per row of M.\nimpl {sched} for G {{}}\n");
+        // A where-clause bound or trait definition is not an impl.
+        let unrelated = format!("pub trait {sched} {{}}\nfn run<S: {sched}>(s: S) {{}}\n");
+        let root = fixture(&[
+            ("crates/demo/src/bad.rs", bad.as_str()),
+            ("crates/demo/src/badgen.rs", bad_generic.as_str()),
+            ("crates/demo/src/good.rs", good.as_str()),
+            ("crates/demo/src/unrelated.rs", unrelated.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::Policy));
+
+        let allow =
+            Allowlist::parse("policy crates/demo/src/bad.rs\npolicy crates/demo/src/badgen.rs\n")
+                .unwrap();
+        assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+    }
+
+    #[test]
     fn allowlist_rejects_unknown_rules() {
         assert!(Allowlist::parse("bogus crates/x/src/lib.rs\n").is_err());
         assert!(Allowlist::parse("# comment\n\nunwrap a/b.rs\n").is_ok());
+        assert!(Allowlist::parse("policy crates/x/src/lib.rs\n").is_ok());
     }
 }

@@ -35,7 +35,7 @@ fn bench_skewed_scheduling(c: &mut Criterion) {
     // Skewed structure: dynamic (rayon) vs static (pool) scheduling.
     let mut group = c.benchmark_group("prna_skewed");
     let s = generate::skewed_groups(12, 3, 3);
-    for backend in [Backend::WorkerPool, Backend::Rayon] {
+    for backend in [Backend::WORKER_POOL, Backend::RAYON] {
         let config = PrnaConfig {
             processors: 2,
             policy: Policy::Greedy,

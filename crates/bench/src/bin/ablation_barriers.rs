@@ -36,20 +36,20 @@ use std::fmt::Write as _;
 use load_balance::Policy;
 use mcos_bench::{opt_value, secs, Table};
 use mcos_core::preprocess::Preprocessed;
-use mcos_parallel::{prna, wavefront, Backend, PrnaConfig};
+use mcos_parallel::{prna, wavefront, Backend, PrnaConfig, ScheduleKind};
 use rna_structure::ArcStructure;
 
 /// Backends under comparison: the two shared-memory row-barrier engines
 /// and the level-wavefront engine. (`mpi-sim` is excluded: its
 /// replicated tables measure the communication substrate, not the
 /// schedule.)
-const BACKENDS: [Backend; 3] = [Backend::WorkerPool, Backend::Rayon, Backend::Wavefront];
+const BACKENDS: [Backend; 3] = [Backend::WORKER_POOL, Backend::RAYON, Backend::WAVEFRONT];
 
 fn sync_points(backend: Backend, p1: &Preprocessed, p2: &Preprocessed) -> u32 {
-    match backend {
-        Backend::Wavefront => wavefront::num_levels(p1, p2),
-        // Every other backend synchronizes once per row of M.
-        _ => p1.num_arcs(),
+    match backend.schedule {
+        ScheduleKind::Level => wavefront::num_levels(p1, p2),
+        // Row-scheduled backends synchronize once per row of M.
+        ScheduleKind::Row => p1.num_arcs(),
     }
 }
 

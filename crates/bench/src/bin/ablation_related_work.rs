@@ -35,7 +35,7 @@ fn main() {
                 &PrnaConfig {
                     processors: ranks,
                     policy: Policy::Greedy,
-                    backend: Backend::MpiSim,
+                    backend: Backend::MPI_SIM,
                 },
             )
         });

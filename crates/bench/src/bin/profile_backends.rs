@@ -73,7 +73,13 @@ fn main() {
         );
 
         let mut table = Table::new(&[
-            "threads", "backend", "stage1 (s)", "busy %", "wait %", "imbalance", "predicted",
+            "threads",
+            "backend",
+            "stage1 (s)",
+            "busy %",
+            "wait %",
+            "imbalance",
+            "predicted",
             "events",
         ]);
         let mut first_run = true;

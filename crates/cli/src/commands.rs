@@ -15,11 +15,14 @@ pub const USAGE: &str = "\
 usage: srna <subcommand> [options]
 
   compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N]
-          [--backend mpi|pool|rayon|wavefront] [--weighted] [--stats]
+          [--backend NAME] [--weighted] [--stats]
       Maximum common ordered substructure of two structure files.
-      --backend picks the parallel stage-one engine when --threads > 1
-      (default: pool; wavefront synchronizes per nesting level instead
-      of per row).
+      --backend picks the parallel stage-one engine when --threads > 1.
+      NAME is <schedule>-<store>[-<dist>] with schedule row|wavefront,
+      store replicated|rwlock|lockfree, dist static|claim|managed
+      (default static) — e.g. row-lockfree, wavefront-replicated.
+      Legacy aliases: mpi-sim (mpi), worker-pool (pool, the default),
+      rayon, wavefront, manager-worker (manager).
       --weighted scores with sequence-aware Bafna-style weights (needs
       sequence-bearing formats: ct or bpseq).
       --stats prints work counters (slices, cells, largest slice, memo
@@ -35,7 +38,7 @@ usage: srna <subcommand> [options]
       Simulated PRNA speedup on a worst-case input of N arcs.
       --json emits the curve as JSON (to stdout, or to --out PATH).
   profile [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend mpi|pool|rayon|wavefront] [--out trace.json]
+          [--backend NAME] [--out trace.json]
       Run PRNA with telemetry enabled: writes a Chrome/Perfetto trace
       (open in https://ui.perfetto.dev or chrome://tracing) and prints
       the per-worker load report (busy/wait share, observed imbalance
@@ -153,9 +156,12 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         .unwrap_or(1);
     let backend = match opt_value(args, "--backend") {
         Some(name) => Backend::from_name(name).ok_or_else(|| {
-            format!("unknown backend '{name}' (expected mpi, pool, rayon, or wavefront)")
+            format!(
+                "unknown backend '{name}' (expected <schedule>-<store>[-<dist>], e.g. \
+row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-worker)"
+            )
         })?,
-        None => Backend::WorkerPool,
+        None => Backend::WORKER_POOL,
     };
     let stats = has_flag(args, "--stats");
     if threads > 1 {
@@ -278,9 +284,12 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     }
     let backend = match opt_value(args, "--backend") {
         Some(name) => Backend::from_name(name).ok_or_else(|| {
-            format!("unknown backend '{name}' (expected mpi, pool, rayon, or wavefront)")
+            format!(
+                "unknown backend '{name}' (expected <schedule>-<store>[-<dist>], e.g. \
+row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-worker)"
+            )
         })?,
-        None => Backend::WorkerPool,
+        None => Backend::WORKER_POOL,
     };
     let out_path = opt_value(args, "--out").unwrap_or("trace.json");
 
@@ -293,11 +302,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let outcome = prna_recorded(&s1, &s2, &config, &recorder);
     let events = recorder.events();
 
-    println!(
-        "profiled {} @ {} threads: {label}",
-        backend.name(),
-        threads
-    );
+    println!("profiled {} @ {} threads: {label}", backend.name(), threads);
     println!(
         "MCOS score: {} matched arcs; stage one {:.3} ms, {} event(s) recorded",
         outcome.score,

@@ -20,7 +20,7 @@
 //!   only reads memo entries of arc pairs strictly nested under it, whose
 //!   depths are strictly smaller — so depth induces a wavefront schedule
 //!   for stage one that is finer than the row-by-row order (see
-//!   `mcos_parallel`'s `Backend::Wavefront`).
+//!   `mcos_parallel`'s `Backend::WAVEFRONT`).
 
 use rna_structure::ArcStructure;
 

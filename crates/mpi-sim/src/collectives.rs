@@ -177,8 +177,7 @@ impl<T: Send> Communicator<T> {
         let rank = self.rank();
         // The ring pays P - 1 rounds (vs the tree's 2 * ceil(log2 P)).
         if rank == 0 {
-            self.recorder
-                .count_allreduce(size.saturating_sub(1) as u64);
+            self.recorder.count_allreduce(size.saturating_sub(1) as u64);
         }
         let mut acc = value.clone();
         let mut forward = value;

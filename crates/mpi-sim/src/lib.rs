@@ -62,15 +62,16 @@ where
     run_recorded(size, &Recorder::disabled(), f)
 }
 
-/// Like [`run`], but every rank's communicator reports collective
-/// accounting (`Allreduce` calls, tree rounds) to `recorder`. With a
-/// disabled recorder this is exactly [`run`].
-pub fn run_recorded<T, R, F>(size: u32, recorder: &Recorder, f: F) -> Vec<R>
-where
-    T: Send + 'static,
-    R: Send,
-    F: Fn(Communicator<T>) -> R + Sync,
-{
+/// Builds the `size` communicators of a world *without* launching any
+/// threads, in rank order. For callers that embed ranks in their own
+/// worker threads (e.g. an execution engine whose workers double as
+/// ranks) instead of letting [`run`] spawn one thread per rank. Every
+/// communicator reports collective accounting to `recorder`.
+///
+/// The usual MPI contract applies: each communicator must be driven by
+/// exactly one thread, and all ranks must invoke collectives in the
+/// same order.
+pub fn world<T: Send>(size: u32, recorder: &Recorder) -> Vec<Communicator<T>> {
     assert!(size > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(size as usize);
     let mut receivers = Vec::with_capacity(size as usize);
@@ -80,8 +81,7 @@ where
         receivers.push(r);
     }
     let senders = std::sync::Arc::new(senders);
-
-    let comms: Vec<Communicator<T>> = receivers
+    receivers
         .into_iter()
         .enumerate()
         .map(|(rank, receiver)| {
@@ -93,7 +93,19 @@ where
                 recorder.clone(),
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Like [`run`], but every rank's communicator reports collective
+/// accounting (`Allreduce` calls, tree rounds) to `recorder`. With a
+/// disabled recorder this is exactly [`run`].
+pub fn run_recorded<T, R, F>(size: u32, recorder: &Recorder, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send,
+    F: Fn(Communicator<T>) -> R + Sync,
+{
+    let comms: Vec<Communicator<T>> = world(size, recorder);
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -134,6 +146,32 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = run::<u32, _, _>(0, |_| ());
+    }
+
+    #[test]
+    fn world_ranks_usable_from_caller_threads() {
+        // `world` hands out communicators without spawning; embedding
+        // them in caller-owned threads behaves exactly like `run`.
+        let comms = world::<Vec<u32>>(3, &Recorder::disabled());
+        std::thread::scope(|s| {
+            for mut comm in comms {
+                s.spawn(move || {
+                    let merged = comm.allreduce(vec![comm.rank()], |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x = (*x).max(*y);
+                        }
+                        a
+                    });
+                    assert_eq!(merged, vec![2]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_world_rejected() {
+        let _ = world::<u32>(0, &Recorder::disabled());
     }
 
     #[test]

@@ -1,0 +1,673 @@
+//! The generic stage-one execution engine: one orchestration loop,
+//! parameterized by orthogonal policies.
+//!
+//! The paper's PRNA (§V) is a single orchestration idea — child slices
+//! as primitive tasks, the memo table `M` synchronized in steps — that
+//! the repo used to implement five times over. The engine factors the
+//! loop into three independent axes:
+//!
+//! * a [`Schedule`] decides *when* `M` synchronizes
+//!   ([`RowBarrier`] per arc of `S₁`, [`LevelWavefront`] per
+//!   dependency level);
+//! * a [`MemoStore`] decides *how* `M` is represented and merged
+//!   ([`Replicated`] with `Allreduce(MAX)`, [`SharedRwLock`],
+//!   [`LockFreeAtomic`], each optionally wrapped in the [`Tracing`]
+//!   decorator for the race checker);
+//! * a [`Distribution`] decides *who* runs each slice (static column
+//!   ownership, dynamic claiming, or a manager handing out slices on
+//!   request).
+//!
+//! [`run_stage_one`] owns everything the five bespoke backends used to
+//! duplicate: worker spawning, deterministic lane ids (worker `w` is
+//! lane `w + 1`, the coordinator lane 0), scratch reuse, slice-span
+//! telemetry, and the step hand-shake. The legacy backends are thin
+//! compositions over this loop (see [`crate::Backend`]), and new
+//! combinations — wavefront × replicated, row-barrier × lock-free —
+//! come for free.
+//!
+//! # Execution shapes
+//!
+//! Three loop shapes cover the policy matrix:
+//!
+//! * **free-running** (non-coordinated store, static/claimed slices):
+//!   workers run the schedule in lockstep with no coordinator thread;
+//!   the store's own synchronization (the allreduce) is the step
+//!   barrier. This is the paper's SPMD shape.
+//! * **coordinated** (store needs a settlement thread): workers are
+//!   released into each step over go channels, report completion, and
+//!   the coordinator settles the step — the shared-memory shape.
+//! * **managed** (manager hands out slices): a coordinator thread
+//!   serves slice requests heaviest-first, then joins the store's
+//!   synchronization — the Snow-style related-work shape.
+
+pub mod schedule;
+pub mod store;
+pub mod tracing;
+
+pub use schedule::{LevelWavefront, RowBarrier, Schedule, Step};
+pub use store::{LockFreeAtomic, MemoStore, Replicated, SharedRwLock, StepView};
+pub use tracing::Tracing;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel::bounded;
+use load_balance::Assignment;
+use mcos_core::trace::{TaskId, TraceLog};
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice};
+use mcos_telemetry::{BarrierKind, Recorder, WorkerLog};
+
+use crate::{slice_detail, Backend, DistKind, ScheduleKind, SliceScratch, StoreKind};
+
+/// Who runs each slice of a step.
+#[derive(Debug, Clone, Copy)]
+pub enum Distribution<'a> {
+    /// Static column ownership: worker `w` runs the slices whose `S₂`
+    /// arc it owns under `assignment` (the paper's load balancer).
+    Static(&'a Assignment),
+    /// Dynamic claiming: workers pop slices off the step's list via a
+    /// shared cursor (the rayon/wavefront discipline, sans rayon).
+    Claim,
+    /// A manager (the coordinator thread) hands out slices
+    /// heaviest-first on request; costs one extra rank/lane.
+    Managed,
+}
+
+/// Trace-edge recording for a traced run: the engine records the
+/// synchronizing edges (fork/join/arrive/leave) here while the
+/// [`Tracing`] store decorator records the memo accesses.
+pub(crate) struct TraceHooks<'a> {
+    /// Shared event log.
+    pub(crate) log: &'a TraceLog,
+    /// The coordinator / root task id.
+    pub(crate) root: TaskId,
+    /// Worker `w`'s task id.
+    pub(crate) tasks: Vec<TaskId>,
+}
+
+/// Everything the loop bodies share read-only.
+struct EngineCtx<'e> {
+    p1: &'e Preprocessed,
+    p2: &'e Preprocessed,
+    workers: u32,
+    recorder: &'e Recorder,
+    hooks: Option<&'e TraceHooks<'e>>,
+}
+
+/// Runs stage one: partitions the child slices with `schedule`,
+/// executes them on `workers` worker threads (lanes `1..=workers`;
+/// the coordinator, when the composition needs one, is lane 0)
+/// distributing per `dist`, and synchronizes through `store`.
+///
+/// Returns the fully synchronized memo table. For a
+/// [`SharedRwLock`] store, construct it from the same schedule's
+/// steps so its result channel is sized for the largest step.
+pub fn run_stage_one<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    store: M,
+    dist: Distribution<'_>,
+    workers: u32,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    recorder: &Recorder,
+) -> MemoTable {
+    let steps = schedule.steps(p1, p2);
+    let ctx = EngineCtx {
+        p1,
+        p2,
+        workers,
+        recorder,
+        hooks: None,
+    };
+    run_steps(schedule, &steps, store, dist, &ctx)
+}
+
+/// The shared loop body: dispatches to one of the three execution
+/// shapes, then collapses the store into the final table.
+fn run_steps<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    steps: &[Step],
+    store: M,
+    dist: Distribution<'_>,
+    ctx: &EngineCtx<'_>,
+) -> MemoTable {
+    assert!(ctx.workers > 0, "need at least one worker");
+    match dist {
+        Distribution::Managed => run_managed(schedule, steps, &store, ctx),
+        _ if store.coordinated() => run_coordinated(schedule, steps, &store, dist, ctx),
+        _ => run_free(steps, &store, dist, ctx),
+    }
+    if let Some(h) = ctx.hooks {
+        for &t in &h.tasks {
+            h.log.join(h.root, t);
+        }
+    }
+    store.finish()
+}
+
+/// Tabulates one slice through the worker's step view: telemetry span,
+/// row-hoisted gathers, publish. The single call site that replaces
+/// every backend's bespoke `slice_detail`/`tabulate_child` pairing.
+fn run_slice<V: StepView>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    k2: u32,
+    view: &mut V,
+    scratch: &mut SliceScratch,
+    log: &mut WorkerLog,
+) {
+    let span = log.start();
+    let range2 = p2.under_range[k2 as usize];
+    let (lo2, hi2) = range2;
+    let v = slice::tabulate_with_rows(
+        p1,
+        p2,
+        p1.under_range[k1 as usize],
+        range2,
+        &mut scratch.grid,
+        &mut scratch.d2_row,
+        |g1, buf| view.gather((k1, k2), g1, lo2, hi2, buf),
+    );
+    log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
+    view.publish(k1, k2, v);
+}
+
+/// One claim cursor per step (empty for other distributions).
+fn claim_cursors(steps: &[Step], dist: Distribution<'_>) -> Vec<AtomicUsize> {
+    match dist {
+        Distribution::Claim => steps.iter().map(|_| AtomicUsize::new(0)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Runs `f` on every slice of `step` that worker `w` is responsible
+/// for, in the step's issue order.
+fn for_owned_slices(
+    pos: usize,
+    step: &Step,
+    w: u32,
+    dist: Distribution<'_>,
+    cursors: &[AtomicUsize],
+    mut f: impl FnMut(u32, u32),
+) {
+    match dist {
+        Distribution::Static(a) => {
+            for &(k1, k2) in &step.slices {
+                if a.owner[k2 as usize] == w {
+                    f(k1, k2);
+                }
+            }
+        }
+        Distribution::Claim => loop {
+            // ORDERING: Relaxed — the cursor only hands out distinct
+            // indices; the step barrier orders the claimed work.
+            let i = cursors[pos].fetch_add(1, Ordering::Relaxed);
+            let Some(&(k1, k2)) = step.slices.get(i) else {
+                break;
+            };
+            f(k1, k2);
+        },
+        Distribution::Managed => unreachable!("the managed loop hands out slices itself"),
+    }
+}
+
+/// Free-running shape: no coordinator; workers walk the schedule in
+/// lockstep and the store's `worker_sync` (the allreduce) is the step
+/// barrier. Exactly the paper's SPMD loop.
+fn run_free<M: MemoStore>(steps: &[Step], store: &M, dist: Distribution<'_>, ctx: &EngineCtx<'_>) {
+    let cursors = claim_cursors(steps, dist);
+    std::thread::scope(|scope| {
+        for w in 0..ctx.workers {
+            if let Some(h) = ctx.hooks {
+                h.log.fork(h.root, h.tasks[w as usize]);
+            }
+            let mut log = ctx.recorder.lane(w + 1);
+            let cursors = &cursors;
+            scope.spawn(move || {
+                let mut scratch = SliceScratch::default();
+                for (pos, step) in steps.iter().enumerate() {
+                    let mut view = store.begin_step(w as usize);
+                    for_owned_slices(pos, step, w, dist, cursors, |k1, k2| {
+                        run_slice(ctx.p1, ctx.p2, k1, k2, &mut view, &mut scratch, &mut log);
+                    });
+                    drop(view);
+                    // The allreduce is semantically a barrier: arrive
+                    // before contributing, leave after it returns.
+                    if let Some(h) = ctx.hooks {
+                        h.log.arrive(h.tasks[w as usize], step.index);
+                    }
+                    store.worker_sync(w as usize, step, &mut log);
+                    if let Some(h) = ctx.hooks {
+                        h.log.leave(h.tasks[w as usize], step.index);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Coordinated shape: the coordinator (lane 0) releases workers into
+/// each step over go channels, waits for their completion reports, and
+/// settles the store — the shared-memory install step.
+fn run_coordinated<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    steps: &[Step],
+    store: &M,
+    dist: Distribution<'_>,
+    ctx: &EngineCtx<'_>,
+) {
+    let cursors = claim_cursors(steps, dist);
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = bounded::<u32>(ctx.workers as usize);
+        let mut go_txs = Vec::with_capacity(ctx.workers as usize);
+        for w in 0..ctx.workers {
+            let (go_tx, go_rx) = bounded::<u32>(1);
+            go_txs.push(go_tx);
+            if let Some(h) = ctx.hooks {
+                h.log.fork(h.root, h.tasks[w as usize]);
+            }
+            let done_tx = done_tx.clone();
+            let mut log = ctx.recorder.lane(w + 1);
+            let cursors = &cursors;
+            scope.spawn(move || {
+                let mut scratch = SliceScratch::default();
+                let mut prev: Option<u32> = None;
+                for (pos, step) in steps.iter().enumerate() {
+                    let wait = log.start();
+                    let index = go_rx.recv().expect("coordinator alive");
+                    debug_assert_eq!(index, step.index, "go signals run in step order");
+                    log.barrier(wait, schedule.wait_kind(), step.index);
+                    // Receive-then-record: the go signal witnesses the
+                    // settlement of the previous step.
+                    if let (Some(h), Some(prev)) = (ctx.hooks, prev) {
+                        h.log.leave(h.tasks[w as usize], prev);
+                    }
+                    let mut view = store.begin_step(w as usize);
+                    for_owned_slices(pos, step, w, dist, cursors, |k1, k2| {
+                        run_slice(ctx.p1, ctx.p2, k1, k2, &mut view, &mut scratch, &mut log);
+                    });
+                    drop(view);
+                    // Record-then-send: the arrival precedes the signal
+                    // that lets the coordinator settle.
+                    if let Some(h) = ctx.hooks {
+                        h.log.arrive(h.tasks[w as usize], step.index);
+                    }
+                    done_tx.send(w).expect("coordinator alive");
+                    prev = Some(step.index);
+                }
+            });
+        }
+
+        let mut coord = ctx.recorder.lane(0);
+        for step in steps {
+            for tx in &go_txs {
+                tx.send(step.index).expect("worker alive");
+            }
+            let span = coord.start();
+            for _ in 0..ctx.workers {
+                done_rx.recv().expect("workers alive");
+            }
+            if let Some(h) = ctx.hooks {
+                h.log.leave(h.root, step.index);
+            }
+            store.settle(step, ctx.recorder);
+            coord.barrier(span, schedule.settle_kind(), step.index);
+        }
+    });
+}
+
+/// Managed shape: the coordinator doubles as the manager, handing out
+/// slice indices heaviest-first on request (one extra lane/rank), then
+/// joins the store's synchronization for the step.
+fn run_managed<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    steps: &[Step],
+    store: &M,
+    ctx: &EngineCtx<'_>,
+) {
+    // Hand-out order per step: heaviest slices first, so the stragglers
+    // start as early as possible (same greedy idea as LPT).
+    let orders: Vec<Vec<u32>> = steps
+        .iter()
+        .map(|step| {
+            let mut idx: Vec<u32> = (0..step.slices.len() as u32).collect();
+            idx.sort_by_key(|&i| {
+                let (k1, k2) = step.slices[i as usize];
+                std::cmp::Reverse(ctx.p1.under_count(k1) as u64 * ctx.p2.under_count(k2) as u64)
+            });
+            idx
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        // Requests carry the worker's step index: after receiving its
+        // sentinel a worker immediately requests for the *next* step
+        // (nothing blocks it under a coordinated store), and the
+        // manager must not consume that early request while still
+        // serving the current step — see `pending`/`early` below.
+        let (req_tx, req_rx) = bounded::<(u32, u32)>(ctx.workers as usize);
+        let (done_tx, done_rx) = bounded::<u32>(ctx.workers as usize);
+        let mut assign_txs = Vec::with_capacity(ctx.workers as usize);
+        for w in 0..ctx.workers {
+            // Assignment sentinel `u32::MAX` means "step over".
+            let (assign_tx, assign_rx) = bounded::<u32>(1);
+            assign_txs.push(assign_tx);
+            if let Some(h) = ctx.hooks {
+                h.log.fork(h.root, h.tasks[w as usize]);
+            }
+            let req_tx = req_tx.clone();
+            let done_tx = done_tx.clone();
+            let mut log = ctx.recorder.lane(w + 1);
+            scope.spawn(move || {
+                let mut scratch = SliceScratch::default();
+                let mut prev: Option<u32> = None;
+                for step in steps {
+                    // The view opens lazily, after the first assignment
+                    // proves the previous step has settled — opening it
+                    // earlier would read-lock a coordinated store while
+                    // the coordinator still holds (or wants) the write
+                    // lock.
+                    let mut view = None;
+                    let mut announced = false;
+                    loop {
+                        let span = log.start();
+                        req_tx.send((step.index, w)).expect("manager alive");
+                        let idx = assign_rx.recv().expect("manager alive");
+                        log.barrier(span, BarrierKind::TaskWait, step.index);
+                        if !announced {
+                            announced = true;
+                            // Receive-then-record: the first answer of
+                            // the step witnesses the previous step's
+                            // settlement (coordinated stores only; the
+                            // replicated barrier is the allreduce).
+                            if store.coordinated() {
+                                if let (Some(h), Some(prev)) = (ctx.hooks, prev) {
+                                    h.log.leave(h.tasks[w as usize], prev);
+                                }
+                            }
+                        }
+                        if idx == u32::MAX {
+                            break;
+                        }
+                        let v = view.get_or_insert_with(|| store.begin_step(w as usize));
+                        let (k1, k2) = step.slices[idx as usize];
+                        run_slice(ctx.p1, ctx.p2, k1, k2, v, &mut scratch, &mut log);
+                    }
+                    drop(view);
+                    if let Some(h) = ctx.hooks {
+                        h.log.arrive(h.tasks[w as usize], step.index);
+                    }
+                    if store.coordinated() {
+                        done_tx.send(w).expect("coordinator alive");
+                    } else {
+                        store.worker_sync(w as usize, step, &mut log);
+                        if let Some(h) = ctx.hooks {
+                            h.log.leave(h.tasks[w as usize], step.index);
+                        }
+                    }
+                    prev = Some(step.index);
+                }
+            });
+        }
+
+        let mut coord = ctx.recorder.lane(0);
+        // Workers whose first request for the upcoming step arrived
+        // while the previous one was still being served. A worker has
+        // at most one request in flight and cannot pass a step without
+        // a sentinel, so it runs at most one step ahead of the manager.
+        let mut early: Vec<u32> = Vec::new();
+        for (pos, step) in steps.iter().enumerate() {
+            let mut pending: Vec<u32> = std::mem::take(&mut early);
+            pending.reverse(); // serve in arrival order via pop()
+            let mut next_requester = || loop {
+                if let Some(w) = pending.pop() {
+                    return w;
+                }
+                let (index, w) = req_rx.recv().expect("workers alive");
+                if index == step.index {
+                    return w;
+                }
+                debug_assert_eq!(index, steps[pos + 1].index, "one step ahead at most");
+                early.push(w);
+            };
+            for &idx in &orders[pos] {
+                let w = next_requester();
+                assign_txs[w as usize].send(idx).expect("worker alive");
+            }
+            // Every worker asks once more and is waved off.
+            for _ in 0..ctx.workers {
+                let w = next_requester();
+                assign_txs[w as usize].send(u32::MAX).expect("worker alive");
+            }
+            if store.coordinated() {
+                let span = coord.start();
+                for _ in 0..ctx.workers {
+                    done_rx.recv().expect("workers alive");
+                }
+                if let Some(h) = ctx.hooks {
+                    h.log.leave(h.root, step.index);
+                }
+                store.settle(step, ctx.recorder);
+                coord.barrier(span, schedule.settle_kind(), step.index);
+            } else {
+                // The manager rank joins the replicated merge,
+                // contributing zeros for every entry.
+                if let Some(h) = ctx.hooks {
+                    h.log.arrive(h.root, step.index);
+                }
+                store.manager_sync(step, &mut coord);
+                if let Some(h) = ctx.hooks {
+                    h.log.leave(h.root, step.index);
+                }
+            }
+        }
+    });
+}
+
+/// Runs `backend` through the engine: the crate-internal entry point
+/// behind [`crate::prna_recorded`].
+pub(crate) fn dispatch(
+    backend: Backend,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+    recorder: &Recorder,
+) -> MemoTable {
+    run_backend(backend, false, p1, p2, assignment, recorder, None)
+}
+
+/// Like [`dispatch`], but wraps the store in the [`Tracing`] decorator
+/// and records synchronizing edges through `hooks`. `broken_wavefront`
+/// swaps in the deliberately unsound merged-level schedule for
+/// detector self-tests.
+pub(crate) fn dispatch_traced(
+    backend: Backend,
+    broken_wavefront: bool,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+    recorder: &Recorder,
+    hooks: &TraceHooks<'_>,
+) -> MemoTable {
+    run_backend(
+        backend,
+        broken_wavefront,
+        p1,
+        p2,
+        assignment,
+        recorder,
+        Some(hooks),
+    )
+}
+
+fn run_backend(
+    backend: Backend,
+    broken_wavefront: bool,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+    recorder: &Recorder,
+    hooks: Option<&TraceHooks<'_>>,
+) -> MemoTable {
+    match backend.schedule {
+        ScheduleKind::Row => run_sched(&RowBarrier, backend, p1, p2, assignment, recorder, hooks),
+        ScheduleKind::Level if broken_wavefront => run_sched(
+            &LevelWavefront::broken(),
+            backend,
+            p1,
+            p2,
+            assignment,
+            recorder,
+            hooks,
+        ),
+        ScheduleKind::Level => run_sched(
+            &LevelWavefront::new(),
+            backend,
+            p1,
+            p2,
+            assignment,
+            recorder,
+            hooks,
+        ),
+    }
+}
+
+fn run_sched<S: Schedule>(
+    schedule: &S,
+    backend: Backend,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+    recorder: &Recorder,
+    hooks: Option<&TraceHooks<'_>>,
+) -> MemoTable {
+    let steps = schedule.steps(p1, p2);
+    let workers = assignment.processors();
+    let dist = match backend.dist {
+        DistKind::Static => Distribution::Static(assignment),
+        DistKind::Claim => Distribution::Claim,
+        DistKind::Managed => Distribution::Managed,
+    };
+    let ctx = EngineCtx {
+        p1,
+        p2,
+        workers,
+        recorder,
+        hooks,
+    };
+    let (a1, a2) = (p1.num_arcs(), p2.num_arcs());
+    match backend.store {
+        StoreKind::Replicated => {
+            let managed = matches!(backend.dist, DistKind::Managed);
+            let store = Replicated::new(a1, a2, workers, managed, recorder);
+            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+        }
+        StoreKind::SharedRwLock => {
+            let store = SharedRwLock::new(a1, a2, &steps);
+            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+        }
+        StoreKind::LockFreeAtomic => {
+            let store = LockFreeAtomic::new(a1, a2);
+            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+        }
+    }
+}
+
+fn run_maybe_traced<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    steps: &[Step],
+    store: M,
+    dist: Distribution<'_>,
+    ctx: &EngineCtx<'_>,
+) -> MemoTable {
+    match ctx.hooks {
+        Some(h) => run_steps(
+            schedule,
+            steps,
+            Tracing::new(store, h.log, h.root, h.tasks.clone()),
+            dist,
+            ctx,
+        ),
+        None => run_steps(schedule, steps, store, dist, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use load_balance::Policy;
+    use mcos_core::{srna2, workload};
+    use rna_structure::generate;
+
+    fn prep(seed: u64) -> (Preprocessed, Preprocessed) {
+        let s1 = generate::random_structure(56, 0.9, seed);
+        let s2 = generate::random_structure(48, 0.8, seed + 100);
+        (Preprocessed::build(&s1), Preprocessed::build(&s2))
+    }
+
+    #[test]
+    fn wavefront_replicated_matches_srna2() {
+        // A combination no bespoke backend ever offered: dependency-
+        // level steps merged with Allreduce(MAX).
+        let (p1, p2) = prep(3);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let rec = Recorder::disabled();
+        for workers in [1u32, 3] {
+            let sched = LevelWavefront::new();
+            let store = Replicated::new(p1.num_arcs(), p2.num_arcs(), workers, false, &rec);
+            let memo = run_stage_one(&sched, store, Distribution::Claim, workers, &p1, &p2, &rec);
+            assert_eq!(memo, reference, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn managed_rwlock_matches_srna2() {
+        // Manager-distributed slices over the shared rwlock store —
+        // also brand new.
+        let (p1, p2) = prep(4);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let rec = Recorder::disabled();
+        let sched = RowBarrier;
+        let steps = sched.steps(&p1, &p2);
+        let store = SharedRwLock::new(p1.num_arcs(), p2.num_arcs(), &steps);
+        let memo = run_stage_one(&sched, store, Distribution::Managed, 3, &p1, &p2, &rec);
+        assert_eq!(memo, reference);
+    }
+
+    #[test]
+    fn static_lockfree_matches_srna2() {
+        let (p1, p2) = prep(5);
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let rec = Recorder::disabled();
+        let weights = workload::column_weights(&p1, &p2);
+        let assignment = Policy::Lpt.assign(&weights, 4);
+        let sched = RowBarrier;
+        let store = LockFreeAtomic::new(p1.num_arcs(), p2.num_arcs());
+        let memo = run_stage_one(
+            &sched,
+            store,
+            Distribution::Static(&assignment),
+            4,
+            &p1,
+            &p2,
+            &rec,
+        );
+        assert_eq!(memo, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let (p1, p2) = prep(6);
+        let store = LockFreeAtomic::new(p1.num_arcs(), p2.num_arcs());
+        let _ = run_stage_one(
+            &RowBarrier,
+            store,
+            Distribution::Claim,
+            0,
+            &p1,
+            &p2,
+            &Recorder::disabled(),
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Schedule policies: *when* the memo table is synchronized.
+//!
+//! A schedule partitions the child slices (all arc pairs of
+//! `S₁ × S₂`) into an ordered sequence of [`Step`]s. The engine
+//! guarantees that every slice of step `s` observes every slice of
+//! steps `< s` as settled, and nothing else; a schedule is correct iff
+//! every dependency of a slice lands in a strictly earlier step.
+//!
+//! Two disciplines exist:
+//!
+//! * [`RowBarrier`] — the paper's §V schedule: one step per arc of
+//!   `S₁`, in increasing right-endpoint order. A slice `(k1, k2)` only
+//!   reads strictly nested pairs, whose `S₁` arcs have strictly
+//!   smaller right endpoints, i.e. earlier rows.
+//! * [`LevelWavefront`] — PR 1's dependency-level schedule: one step
+//!   per nesting level `max(depth₁(k1), depth₂(k2))`, which strictly
+//!   decreases along every dependency edge (see
+//!   [`crate::wavefront`]). `max_depth + 1` steps instead of `A₁`.
+
+use mcos_core::preprocess::Preprocessed;
+use mcos_telemetry::BarrierKind;
+
+use crate::wavefront::level_buckets;
+
+/// One synchronization step: the slices that may run concurrently
+/// between two table settlements.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Ordinal of the step (row index, level index, …); doubles as the
+    /// barrier id in telemetry spans and race traces.
+    pub index: u32,
+    /// The arc pairs tabulated in this step. Order is the schedule's
+    /// preferred issue order (statically owned workers walk it in
+    /// order; dynamic claiming pops it front to back).
+    pub slices: Vec<(u32, u32)>,
+}
+
+/// A synchronization discipline for stage one.
+pub trait Schedule: Sync {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Partitions all child slices into ordered steps. Every
+    /// dependency of a slice must land in a strictly earlier step.
+    fn steps(&self, p1: &Preprocessed, p2: &Preprocessed) -> Vec<Step>;
+
+    /// Telemetry span kind for a worker waiting on a step release.
+    fn wait_kind(&self) -> BarrierKind;
+
+    /// Telemetry span kind for the coordinator settling a step.
+    fn settle_kind(&self) -> BarrierKind;
+}
+
+/// The paper's per-row synchronization (§V): step `k1` is row `k1`,
+/// columns in ascending `k2` order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowBarrier;
+
+// POLICY: one step per arc of S₁ in right-endpoint order; correct
+// because nested pairs always sit in strictly earlier rows.
+impl Schedule for RowBarrier {
+    fn name(&self) -> &'static str {
+        "row"
+    }
+
+    fn steps(&self, p1: &Preprocessed, p2: &Preprocessed) -> Vec<Step> {
+        let a2 = p2.num_arcs();
+        (0..p1.num_arcs())
+            .map(|k1| Step {
+                index: k1,
+                slices: (0..a2).map(|k2| (k1, k2)).collect(),
+            })
+            .collect()
+    }
+
+    fn wait_kind(&self) -> BarrierKind {
+        BarrierKind::RowWait
+    }
+
+    fn settle_kind(&self) -> BarrierKind {
+        BarrierKind::RowInstall
+    }
+}
+
+/// Dependency-level synchronization: step `l` holds every slice with
+/// `max(depth₁(k1), depth₂(k2)) == l`, LPT-sorted (largest slices
+/// first) so stragglers start early.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LevelWavefront {
+    merge_first_levels: bool,
+}
+
+impl LevelWavefront {
+    /// The correct wavefront schedule.
+    pub fn new() -> Self {
+        LevelWavefront {
+            merge_first_levels: false,
+        }
+    }
+
+    /// A deliberately *broken* wavefront that merges the first two
+    /// dependency levels into one step — i.e. skips one barrier. Kept
+    /// so the race detector can prove it detects the resulting
+    /// happens-before hole; never use its results.
+    pub(crate) fn broken() -> Self {
+        LevelWavefront {
+            merge_first_levels: true,
+        }
+    }
+}
+
+// POLICY: one step per dependency level; correct because max(depth₁,
+// depth₂) strictly decreases along every dependency edge (proof in the
+// `wavefront` module docs). `broken()` violates this on purpose.
+impl Schedule for LevelWavefront {
+    fn name(&self) -> &'static str {
+        "wavefront"
+    }
+
+    fn steps(&self, p1: &Preprocessed, p2: &Preprocessed) -> Vec<Step> {
+        let mut buckets = level_buckets(p1, p2);
+        if self.merge_first_levels && buckets.len() >= 2 {
+            let second = buckets.remove(1);
+            buckets[0].extend(second);
+        }
+        for bucket in &mut buckets {
+            // Largest slices first (LPT order): a level's work is
+            // often dominated by a few deep pairs, and scheduling
+            // those before the swarm of small ones keeps the barrier
+            // from waiting on a straggler that started last.
+            bucket.sort_by_key(|&(k1, k2)| {
+                std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
+            });
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(level, slices)| Step {
+                index: level as u32,
+                slices,
+            })
+            .collect()
+    }
+
+    fn wait_kind(&self) -> BarrierKind {
+        BarrierKind::LevelWait
+    }
+
+    fn settle_kind(&self) -> BarrierKind {
+        BarrierKind::LevelJoin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_structure::generate;
+
+    #[test]
+    fn row_steps_enumerate_every_pair_in_order() {
+        let s1 = generate::random_structure(40, 0.9, 1);
+        let s2 = generate::random_structure(36, 0.8, 2);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let steps = RowBarrier.steps(&p1, &p2);
+        assert_eq!(steps.len(), p1.num_arcs() as usize);
+        for (k1, step) in steps.iter().enumerate() {
+            assert_eq!(step.index, k1 as u32);
+            let expect: Vec<(u32, u32)> = (0..p2.num_arcs()).map(|k2| (k1 as u32, k2)).collect();
+            assert_eq!(step.slices, expect);
+        }
+    }
+
+    #[test]
+    fn wavefront_steps_partition_by_level() {
+        let s = generate::hairpin_chain(8, 3, 2);
+        let p = Preprocessed::build(&s);
+        let steps = LevelWavefront::new().steps(&p, &p);
+        assert_eq!(steps.len(), crate::wavefront::num_levels(&p, &p) as usize);
+        let total: usize = steps.iter().map(|s| s.slices.len()).sum();
+        assert_eq!(total, (p.num_arcs() * p.num_arcs()) as usize);
+        for step in &steps {
+            for &(k1, k2) in &step.slices {
+                assert_eq!(p.level_of(k1).max(p.level_of(k2)), step.index);
+            }
+        }
+    }
+
+    #[test]
+    fn broken_wavefront_merges_one_barrier() {
+        let s = generate::worst_case_nested(6);
+        let p = Preprocessed::build(&s);
+        let good = LevelWavefront::new().steps(&p, &p);
+        let bad = LevelWavefront::broken().steps(&p, &p);
+        assert_eq!(bad.len(), good.len() - 1);
+        assert_eq!(
+            bad[0].slices.len(),
+            good[0].slices.len() + good[1].slices.len()
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! Memo-store policies: *how* the memoization table `M` is
+//! represented and synchronized.
+//!
+//! A store is shared by every worker of a [`run_stage_one`] run. Per
+//! step, worker `w` opens a [`StepView`] — the read/publish capability
+//! for that step — tabulates its share of slices through it, drops
+//! it, and then either synchronizes itself ([`MemoStore::worker_sync`]
+//! — the replicated/allreduce discipline, where there is no
+//! coordinator) or hands off to the coordinator
+//! ([`MemoStore::settle`] — the shared-table disciplines, where one
+//! thread installs or snapshots the step).
+//!
+//! The engine guarantees views of step `s + 1` are only opened after
+//! step `s` has fully settled, so gathers never race publishes.
+//!
+//! [`run_stage_one`]: super::run_stage_one
+
+use std::sync;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_telemetry::{Recorder, WorkerLog};
+use mpi_sim::Communicator;
+use parking_lot::{Mutex, RwLock};
+
+use super::schedule::Step;
+
+/// A memoization-table representation + synchronization discipline.
+pub trait MemoStore: Sync + Sized {
+    /// The per-step worker capability (reads + result publication).
+    type View<'v>: StepView
+    where
+        Self: 'v;
+
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Whether step settlement needs the coordinator thread
+    /// ([`MemoStore::settle`]); replicated stores synchronize inside
+    /// [`MemoStore::worker_sync`] instead and run coordinator-free.
+    fn coordinated(&self) -> bool;
+
+    /// Opens worker `w`'s view for the current step.
+    fn begin_step(&self, w: usize) -> Self::View<'_>;
+
+    /// Worker-side synchronization after `w`'s share of `step` (the
+    /// view is already dropped). Replicated stores merge the step
+    /// across ranks here; coordinated stores do nothing.
+    fn worker_sync(&self, w: usize, step: &Step, log: &mut WorkerLog);
+
+    /// Coordinator-side participation in `step`'s synchronization
+    /// under the managed distribution (the manager joins the
+    /// replicated allreduce, contributing zeros). No-op for
+    /// coordinated stores, which use [`MemoStore::settle`] instead.
+    fn manager_sync(&self, step: &Step, log: &mut WorkerLog);
+
+    /// Coordinator-side settlement of `step`: install or snapshot the
+    /// step's results so the next step's views observe them. Called
+    /// only when [`MemoStore::coordinated`] is true, strictly after
+    /// every worker has finished the step.
+    fn settle(&self, step: &Step, recorder: &Recorder);
+
+    /// Consumes the store, returning the fully synchronized table.
+    fn finish(self) -> MemoTable;
+}
+
+/// A worker's read/publish capability for one step. Holding the view
+/// pins whatever the store needs for consistent reads (a read guard, a
+/// replica lock); the engine drops it before the step synchronizes.
+pub trait StepView {
+    /// Copies memo row `g1`, columns `lo2..hi2`, into `buf` — the
+    /// row-hoisted `d₂` gather — on behalf of slice `owner`.
+    fn gather(&mut self, owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]);
+
+    /// Publishes the tabulated value of slice `(k1, k2)`.
+    fn publish(&mut self, k1: u32, k2: u32, v: u32);
+}
+
+/// One rank's state in the [`Replicated`] store.
+struct Replica {
+    memo: MemoTable,
+    comm: Communicator<Vec<u32>>,
+}
+
+impl Replica {
+    fn merge_step(&mut self, step: &Step, log: &mut WorkerLog) {
+        // Gather this rank's entries for the step (unowned entries are
+        // still zero; scores are non-negative, so element-wise max
+        // assembles the true values on every rank), merge, scatter
+        // back. Under the row schedule this is exactly the paper's
+        // per-row `Allreduce(MAX)` payload.
+        let mine: Vec<u32> = step
+            .slices
+            .iter()
+            .map(|&(k1, k2)| self.memo.get(k1, k2))
+            .collect();
+        let n = mine.len() as u64;
+        let span = log.start();
+        let merged = self.comm.allreduce(mine, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x = (*x).max(*y);
+            }
+            a
+        });
+        log.allreduce(span, n, n * 4);
+        for (&(k1, k2), &v) in step.slices.iter().zip(&merged) {
+            self.memo.set(k1, k2, v);
+        }
+    }
+}
+
+/// The paper's store (§V, Algorithm 4): every rank holds a full
+/// replica of `M` and the step is merged with `Allreduce(MAX)` over
+/// the `mpi-sim` substrate. Coordinator-free: ranks run the schedule
+/// in lockstep, the collective itself is the barrier.
+pub struct Replicated {
+    workers: Vec<Mutex<Replica>>,
+    /// Rank 0's replica when the managed distribution adds a
+    /// dedicated manager rank to the world.
+    manager: Option<Mutex<Replica>>,
+}
+
+impl Replicated {
+    /// Builds the replicated world: one rank per worker, plus a
+    /// leading manager rank when `managed`. Collective accounting is
+    /// reported to `recorder`.
+    pub fn new(a1: u32, a2: u32, workers: u32, managed: bool, recorder: &Recorder) -> Self {
+        let mut comms = mpi_sim::world::<Vec<u32>>(workers + managed as u32, recorder);
+        let manager = managed.then(|| {
+            Mutex::new(Replica {
+                memo: MemoTable::zeroed(a1, a2),
+                comm: comms.remove(0),
+            })
+        });
+        Replicated {
+            workers: comms
+                .into_iter()
+                .map(|comm| {
+                    Mutex::new(Replica {
+                        memo: MemoTable::zeroed(a1, a2),
+                        comm,
+                    })
+                })
+                .collect(),
+            manager,
+        }
+    }
+}
+
+/// View over worker `w`'s own replica.
+pub struct ReplicatedView<'a> {
+    replica: sync::MutexGuard<'a, Replica>,
+}
+
+impl StepView for ReplicatedView<'_> {
+    fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
+        buf.copy_from_slice(&self.replica.memo.row(g1)[lo2 as usize..hi2 as usize]);
+    }
+
+    fn publish(&mut self, k1: u32, k2: u32, v: u32) {
+        self.replica.memo.set(k1, k2, v);
+    }
+}
+
+// POLICY: replicated tables, merged per step with Allreduce(MAX);
+// coordinator-free (worker_sync is the barrier), manager rank joins
+// the collective contributing zeros under the managed distribution.
+impl MemoStore for Replicated {
+    type View<'v> = ReplicatedView<'v>;
+
+    fn name(&self) -> &'static str {
+        "replicated"
+    }
+
+    fn coordinated(&self) -> bool {
+        false
+    }
+
+    fn begin_step(&self, w: usize) -> ReplicatedView<'_> {
+        // Uncontended: worker `w` is the only thread touching replica
+        // `w`; the mutex only carries the state across step
+        // boundaries.
+        ReplicatedView {
+            replica: self.workers[w].lock(),
+        }
+    }
+
+    fn worker_sync(&self, w: usize, step: &Step, log: &mut WorkerLog) {
+        self.workers[w].lock().merge_step(step, log);
+    }
+
+    fn manager_sync(&self, step: &Step, log: &mut WorkerLog) {
+        let manager = self
+            .manager
+            .as_ref()
+            .expect("manager_sync requires a managed world");
+        manager.lock().merge_step(step, log);
+    }
+
+    fn settle(&self, _step: &Step, _recorder: &Recorder) {
+        // Coordinator-free: synchronization happened in worker_sync.
+    }
+
+    fn finish(self) -> MemoTable {
+        // Every rank holds the merged table; return rank 0's copy (the
+        // manager's, when there is one) as the legacy backends did.
+        let rank0 = match self.manager {
+            Some(m) => m,
+            None => self
+                .workers
+                .into_iter()
+                .next()
+                .expect("at least one worker"),
+        };
+        rank0.into_inner().memo
+    }
+}
+
+/// One shared `M` behind a readers-writer lock: workers tabulate
+/// against a read-locked table and ship `(k1, k2, v)` triples over a
+/// channel; the coordinator installs the step under the write lock —
+/// the shared-memory analogue of the per-step `Allreduce`.
+pub struct SharedRwLock {
+    memo: RwLock<MemoTable>,
+    results_tx: Sender<(u32, u32, u32)>,
+    /// Drained only by the coordinator inside [`MemoStore::settle`];
+    /// the mutex makes the receiver shareable, not contended.
+    results_rx: Mutex<Receiver<(u32, u32, u32)>>,
+}
+
+impl SharedRwLock {
+    /// Builds the store with the result channel sized for the largest
+    /// step of `steps` — never for the whole run — so a worker can
+    /// always complete every `publish` of a step without blocking,
+    /// even though the coordinator only drains after the step's last
+    /// result is in.
+    pub fn new(a1: u32, a2: u32, steps: &[Step]) -> Self {
+        let capacity = Self::step_capacity(steps);
+        let (results_tx, results_rx) = bounded(capacity);
+        SharedRwLock {
+            memo: RwLock::new(MemoTable::zeroed(a1, a2)),
+            results_tx,
+            results_rx: Mutex::new(results_rx),
+        }
+    }
+
+    /// Result-channel capacity for `steps`: the largest single step.
+    /// At most `step.slices.len()` publishes happen between two
+    /// settlements, so this bounds the in-flight triples exactly.
+    pub(crate) fn step_capacity(steps: &[Step]) -> usize {
+        steps
+            .iter()
+            .map(|s| s.slices.len())
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+}
+
+/// View holding the shared read guard for one step.
+pub struct RwLockView<'a> {
+    guard: sync::RwLockReadGuard<'a, MemoTable>,
+    results_tx: &'a Sender<(u32, u32, u32)>,
+}
+
+impl StepView for RwLockView<'_> {
+    fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
+        buf.copy_from_slice(&self.guard.row(g1)[lo2 as usize..hi2 as usize]);
+    }
+
+    fn publish(&mut self, k1: u32, k2: u32, v: u32) {
+        self.results_tx
+            .send((k1, k2, v))
+            .expect("coordinator alive");
+    }
+}
+
+// POLICY: one shared table behind a readers-writer lock; workers read
+// under the shared guard, the coordinator installs each step under
+// the write lock after every worker has finished it.
+impl MemoStore for SharedRwLock {
+    type View<'v> = RwLockView<'v>;
+
+    fn name(&self) -> &'static str {
+        "rwlock"
+    }
+
+    fn coordinated(&self) -> bool {
+        true
+    }
+
+    fn begin_step(&self, _w: usize) -> RwLockView<'_> {
+        RwLockView {
+            guard: self.memo.read(),
+            results_tx: &self.results_tx,
+        }
+    }
+
+    fn worker_sync(&self, _w: usize, _step: &Step, _log: &mut WorkerLog) {}
+
+    fn manager_sync(&self, _step: &Step, _log: &mut WorkerLog) {}
+
+    fn settle(&self, step: &Step, _recorder: &Recorder) {
+        // Exactly one triple per slice of the step is in flight; every
+        // worker has already finished, so the drain never blocks.
+        let rx = self.results_rx.lock();
+        let mut staged: Vec<(u32, u32, u32)> = Vec::with_capacity(step.slices.len());
+        for _ in 0..step.slices.len() {
+            staged.push(rx.recv().expect("workers published the whole step"));
+        }
+        drop(rx);
+        let mut guard = self.memo.write();
+        for (k1, k2, v) in staged {
+            guard.set(k1, k2, v);
+        }
+    }
+
+    fn finish(self) -> MemoTable {
+        self.memo.into_inner()
+    }
+}
+
+/// Lock-free publication over [`AtomicMemoTable`] with a settled
+/// snapshot for reads: workers publish with relaxed atomic stores
+/// (every slice writes a distinct entry) and gather from a plain
+/// [`MemoTable`] snapshot of fully settled steps, keeping the hot
+/// `d₂` gather a plain `copy_from_slice`. The coordinator folds each
+/// step into the snapshot after it joins — one relaxed load per
+/// just-finished slice, counted as `settled_reads`.
+pub struct LockFreeAtomic {
+    atomic: AtomicMemoTable,
+    settled: RwLock<MemoTable>,
+}
+
+impl LockFreeAtomic {
+    /// Builds the store.
+    pub fn new(a1: u32, a2: u32) -> Self {
+        LockFreeAtomic {
+            atomic: AtomicMemoTable::zeroed(a1, a2),
+            settled: RwLock::new(MemoTable::zeroed(a1, a2)),
+        }
+    }
+}
+
+/// View pinning the settled snapshot for one step.
+pub struct LockFreeView<'a> {
+    settled: sync::RwLockReadGuard<'a, MemoTable>,
+    atomic: &'a AtomicMemoTable,
+}
+
+impl StepView for LockFreeView<'_> {
+    fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
+        buf.copy_from_slice(&self.settled.row(g1)[lo2 as usize..hi2 as usize]);
+    }
+
+    fn publish(&mut self, k1: u32, k2: u32, v: u32) {
+        self.atomic.set(k1, k2, v);
+    }
+}
+
+// POLICY: lock-free atomic publication + settled-snapshot reads; the
+// coordinator's fold between steps is the only synchronization the
+// table itself needs (the engine's step barrier orders it).
+impl MemoStore for LockFreeAtomic {
+    type View<'v> = LockFreeView<'v>;
+
+    fn name(&self) -> &'static str {
+        "lockfree"
+    }
+
+    fn coordinated(&self) -> bool {
+        true
+    }
+
+    fn begin_step(&self, _w: usize) -> LockFreeView<'_> {
+        LockFreeView {
+            settled: self.settled.read(),
+            atomic: &self.atomic,
+        }
+    }
+
+    fn worker_sync(&self, _w: usize, _step: &Step, _log: &mut WorkerLog) {}
+
+    fn manager_sync(&self, _step: &Step, _log: &mut WorkerLog) {}
+
+    fn settle(&self, step: &Step, recorder: &Recorder) {
+        // Fold the joined step into the snapshot (O(step) — over the
+        // whole run this copies each entry once).
+        let mut settled = self.settled.write();
+        for &(k1, k2) in &step.slices {
+            settled.set(k1, k2, self.atomic.get(k1, k2));
+        }
+        recorder.count_settled_reads(step.slices.len() as u64);
+    }
+
+    fn finish(self) -> MemoTable {
+        self.atomic.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps(sizes: &[usize]) -> Vec<Step> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Step {
+                index: i as u32,
+                slices: (0..n).map(|k2| (i as u32, k2 as u32)).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rwlock_capacity_is_the_largest_step() {
+        assert_eq!(SharedRwLock::step_capacity(&steps(&[3, 7, 2])), 7);
+        assert_eq!(SharedRwLock::step_capacity(&steps(&[])), 1);
+        assert_eq!(SharedRwLock::step_capacity(&steps(&[0])), 1);
+    }
+
+    /// Regression for the pool backend's original whole-run channel:
+    /// a worker must be able to publish its *entire* share of a step
+    /// while holding the read guard, with no coordinator draining
+    /// concurrently, and never block on `send`.
+    #[test]
+    fn worker_never_blocks_on_publish_while_holding_the_read_lock() {
+        let all = steps(&[40]);
+        let store = SharedRwLock::new(1, 40, &all);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut view = store.begin_step(0);
+                for &(k1, k2) in &all[0].slices {
+                    view.publish(k1, k2, k2 + 1);
+                }
+                drop(view);
+                done_tx.send(()).expect("main thread alive");
+            });
+            // No settle() runs until the worker finished the step; if
+            // publish ever blocks the step never completes.
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("publish must not block while the read guard is held");
+        });
+        store.settle(&all[0], &Recorder::disabled());
+        let memo = store.finish();
+        assert_eq!(memo.get(0, 39), 40);
+    }
+
+    #[test]
+    fn replicated_merges_across_ranks() {
+        let all = steps(&[4]);
+        let rec = Recorder::disabled();
+        let store = Replicated::new(1, 4, 2, false, &rec);
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let store = &store;
+                let all = &all;
+                let rec = &rec;
+                s.spawn(move || {
+                    let mut view = store.begin_step(w);
+                    // Rank w owns columns of its parity.
+                    for &(k1, k2) in &all[0].slices {
+                        if k2 as usize % 2 == w {
+                            view.publish(k1, k2, 10 + k2);
+                        }
+                    }
+                    drop(view);
+                    store.worker_sync(w, &all[0], &mut rec.lane(w as u32 + 1));
+                });
+            }
+        });
+        let memo = store.finish();
+        assert_eq!(memo.row(0), &[10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn lockfree_settle_publishes_to_snapshot() {
+        let all = steps(&[2, 2]);
+        let store = LockFreeAtomic::new(2, 2);
+        let mut view = store.begin_step(0);
+        view.publish(0, 0, 5);
+        view.publish(0, 1, 6);
+        // Unsettled publishes are invisible to gathers.
+        let mut buf = [99u32; 2];
+        view.gather((1, 0), 0, 0, 2, &mut buf);
+        assert_eq!(buf, [0, 0]);
+        drop(view);
+        store.settle(&all[0], &Recorder::disabled());
+        let mut view = store.begin_step(1);
+        view.gather((1, 0), 0, 0, 2, &mut buf);
+        assert_eq!(buf, [5, 6]);
+        drop(view);
+        assert_eq!(store.finish().row(0), &[5, 6]);
+    }
+}

@@ -1,0 +1,184 @@
+//! A [`MemoStore`] decorator that records every memo access into a
+//! [`TraceLog`] for the happens-before checker.
+//!
+//! Wrapping is all it takes to trace a store: the engine's execution
+//! loops record the synchronizing edges (forks, joins, barrier
+//! arrive/leave) via [`TraceHooks`], and this decorator records the
+//! access events, following the discipline of [`mcos_core::trace`]:
+//! writes are recorded *before* publication, reads *after* the gather,
+//! so the shared log order is a conservative witness of the real
+//! access order.
+//!
+//! Coordinator settlement copies (the rwlock install, the lock-free
+//! snapshot fold) are recorded as coordinator [`PARENT_SLICE`] reads,
+//! not as writes — the logical write remains the computing worker's —
+//! exactly as the bespoke traced twins did before this decorator
+//! replaced them.
+//!
+//! [`TraceHooks`]: super::TraceHooks
+
+use mcos_core::memo::MemoTable;
+use mcos_core::trace::{TaskId, TraceLog, PARENT_SLICE};
+use mcos_telemetry::{Recorder, WorkerLog};
+
+use super::schedule::Step;
+use super::store::{MemoStore, StepView};
+
+/// Wraps any [`MemoStore`] so all memo accesses are recorded into a
+/// [`TraceLog`]. Synchronizing edges are *not* recorded here — the
+/// engine loops record those, keeping the decorator purely about data
+/// accesses.
+pub struct Tracing<'t, M> {
+    inner: M,
+    log: &'t TraceLog,
+    /// Coordinator task (records settlement reads).
+    root: TaskId,
+    /// Worker `w`'s task id.
+    tasks: Vec<TaskId>,
+}
+
+impl<'t, M> Tracing<'t, M> {
+    /// Decorates `inner`; `tasks[w]` is worker `w`'s task id and
+    /// `root` the coordinator's.
+    pub fn new(inner: M, log: &'t TraceLog, root: TaskId, tasks: Vec<TaskId>) -> Self {
+        Tracing {
+            inner,
+            log,
+            root,
+            tasks,
+        }
+    }
+}
+
+/// The decorated per-step view: forwards to the wrapped view and
+/// records one event per element accessed.
+pub struct TracingView<'t, V> {
+    inner: V,
+    log: &'t TraceLog,
+    task: TaskId,
+}
+
+impl<V: StepView> StepView for TracingView<'_, V> {
+    fn gather(&mut self, owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
+        // Perturb before the bulk gather so injected delays also land
+        // between a publisher's store and this reader's load, then
+        // record each element read (gather-then-record).
+        self.log.perturb();
+        self.inner.gather(owner, g1, lo2, hi2, buf);
+        for c in lo2..hi2 {
+            self.log.read(self.task, owner, g1, c);
+        }
+    }
+
+    fn publish(&mut self, k1: u32, k2: u32, v: u32) {
+        // Record-then-publish: the write record precedes any read that
+        // could observe the published value.
+        self.log.write(self.task, k1, k2);
+        self.inner.publish(k1, k2, v);
+    }
+}
+
+// POLICY: decorator — inherits the wrapped store's discipline and adds
+// access recording only; synchronizing edges are the engine's job.
+impl<'t, M: MemoStore> MemoStore for Tracing<'t, M> {
+    type View<'v>
+        = TracingView<'t, M::View<'v>>
+    where
+        Self: 'v;
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn coordinated(&self) -> bool {
+        self.inner.coordinated()
+    }
+
+    fn begin_step(&self, w: usize) -> Self::View<'_> {
+        TracingView {
+            inner: self.inner.begin_step(w),
+            log: self.log,
+            task: self.tasks[w],
+        }
+    }
+
+    fn worker_sync(&self, w: usize, step: &Step, log: &mut WorkerLog) {
+        self.inner.worker_sync(w, step, log);
+    }
+
+    fn manager_sync(&self, step: &Step, log: &mut WorkerLog) {
+        self.inner.manager_sync(step, log);
+    }
+
+    fn settle(&self, step: &Step, recorder: &Recorder) {
+        self.inner.settle(step, recorder);
+        // The settlement copy reads each just-computed entry on the
+        // coordinator; the logical write stays with the worker that
+        // published it (see module docs).
+        for &(k1, k2) in &step.slices {
+            self.log.read(self.root, PARENT_SLICE, k1, k2);
+        }
+    }
+
+    fn finish(self) -> MemoTable {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::store::SharedRwLock;
+    use mcos_core::trace::TraceEvent;
+
+    #[test]
+    fn decorator_records_writes_then_reads_and_forwards() {
+        let steps = vec![Step {
+            index: 0,
+            slices: vec![(0, 0), (0, 1)],
+        }];
+        let log = TraceLog::new();
+        let root = log.alloc_task();
+        let base = log.alloc_tasks(1);
+        let store = Tracing::new(SharedRwLock::new(1, 2, &steps), &log, root, vec![base]);
+        assert_eq!(store.name(), "rwlock");
+        assert!(store.coordinated());
+        let mut view = store.begin_step(0);
+        view.publish(0, 0, 3);
+        view.publish(0, 1, 4);
+        drop(view);
+        store.settle(&steps[0], &Recorder::disabled());
+        let mut view = store.begin_step(0);
+        let mut buf = [0u32; 2];
+        view.gather((9, 9), 0, 0, 2, &mut buf);
+        assert_eq!(buf, [3, 4]);
+        drop(view);
+        let memo = store.finish();
+        assert_eq!(memo.row(0), &[3, 4]);
+
+        let events = log.take_events();
+        let writes: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Write { .. }))
+            .collect();
+        assert_eq!(writes.len(), 2);
+        // Two settlement reads by the coordinator, two gather reads by
+        // the worker.
+        let reads: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Read { task, owner, .. } => Some((*task, *owner)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reads,
+            vec![
+                (root, PARENT_SLICE),
+                (root, PARENT_SLICE),
+                (base, (9, 9)),
+                (base, (9, 9)),
+            ]
+        );
+    }
+}

@@ -1,54 +1,53 @@
 //! PRNA: the parallel algorithm for finding common RNA secondary
-//! structures (§V of the paper), over three interchangeable backends.
+//! structures (§V of the paper), over one generic execution engine.
 //!
 //! PRNA parallelizes **stage one** of SRNA2 — the tabulation of child
 //! slices, which accounts for over 99% of sequential execution
-//! (Table III). Child slices are primitive tasks; the columns of the
-//! parent slice (the arcs of `S₂`) are distributed across processors with
-//! a static load balancer (Graham's greedy algorithm over the per-column
-//! work determined in preprocessing), and the memoization table `M` is
-//! synchronized after every row (arc of `S₁`). Stage two (the parent
-//! slice) is sequential, exactly as in the paper.
+//! (Table III). Child slices are primitive tasks; the memoization table
+//! `M` is synchronized in steps. Stage two (the parent slice) is
+//! sequential, exactly as in the paper.
 //!
-//! The correctness argument mirrors the sequential one: a child slice in
-//! row `r` only reads `M` entries of strictly nested arc pairs, whose
-//! `S₁` arcs have strictly smaller right endpoints — i.e. earlier rows,
-//! already synchronized. No slice ever depends on its own row.
+//! The correctness argument mirrors the sequential one: a child slice
+//! only reads `M` entries of strictly nested arc pairs, which every
+//! schedule places in strictly earlier steps — already synchronized
+//! when the slice runs.
 //!
-//! # Backends
+//! # The backend matrix
 //!
-//! * [`Backend::MpiSim`] — faithful to the paper's MPI implementation:
-//!   every rank owns a full replica of `M`, tabulates its columns, and
-//!   the row is merged with `Allreduce(MAX)` (over the `mpi-sim`
-//!   substrate).
-//! * [`Backend::WorkerPool`] — persistent worker threads share one `M`
-//!   behind a readers-writer lock; workers compute their owned columns of
-//!   a row against a read-locked `M`, the coordinator merges results and
-//!   releases the next row. Static ownership, shared memory.
-//! * [`Backend::Rayon`] — each row's columns are scheduled dynamically by
-//!   a rayon pool (`par_iter` over columns); the implicit join at the end
-//!   of each row is the row barrier. This is the "dynamic scheduling"
-//!   ablation contrast to the paper's static distribution.
-//! * [`Backend::Wavefront`] — synchronizes by **dependency level**
-//!   instead of by row: slice `(k1, k2)` is scheduled at level
-//!   `max(depth(k1), depth(k2))` (arc nesting depth, precomputed), all
-//!   slices of one level run concurrently against a lock-free
-//!   [`mcos_core::memo::AtomicMemoTable`], and the only barrier is the
-//!   join between levels. The barrier count drops from `A₁` (rows) to
-//!   `max_depth + 1` — see the [`wavefront`] module for the correctness
-//!   argument.
+//! Since the [`engine`] refactor a backend is not a monolith but a
+//! composition of three orthogonal policies — a *schedule* (when `M`
+//! synchronizes), a *memo store* (how `M` is represented and merged),
+//! and a *distribution* (who runs each slice):
 //!
-//! All backends produce bit-identical memo tables and scores to SRNA2;
-//! the test suite asserts this.
+//! | axis | options |
+//! |------|---------|
+//! | schedule | `row` (per arc of `S₁`, §V) · `wavefront` (per dependency level, PR 1) |
+//! | store | `replicated` (`Allreduce(MAX)` over mpi-sim) · `rwlock` (shared table, coordinator installs) · `lockfree` (atomic publishes, settled snapshot) |
+//! | distribution | `static` (owned columns, Graham's greedy) · `claim` (shared cursor) · `managed` (manager hands out slices) |
 //!
-//! Two related-work schemes are implemented for comparison (the paper
-//! discusses both in §II):
+//! Any of the 18 combinations runs through the same engine loop. The
+//! five historical backends are just named points in the matrix, kept
+//! as [`Backend`] constants and name aliases:
 //!
-//! * [`manager_worker`] — a dedicated manager rank hands out columns on
-//!   request (Snow et al., HiCOMB 2009);
-//! * [`topdown_shared`] — shared-memoization randomized top-down
-//!   (Stivala et al., JPDC 2010), whose duplicated-work metric
-//!   quantifies why the paper rejects that approach for this problem.
+//! * [`Backend::MPI_SIM`] = row × replicated × static — the paper's
+//!   MPI design.
+//! * [`Backend::WORKER_POOL`] = row × rwlock × static — persistent
+//!   shared-memory workers.
+//! * [`Backend::RAYON`] = row × rwlock × claim — per-row dynamic
+//!   scheduling (the historical rayon backend, now rayon-free).
+//! * [`Backend::WAVEFRONT`] = wavefront × lockfree × claim — the
+//!   dependency-level backend of PR 1.
+//! * [`Backend::MANAGER_WORKER`] = row × replicated × managed — the
+//!   Snow-style related-work scheme (§II); the manager occupies one
+//!   extra lane/rank beyond `processors`.
+//!
+//! All combinations produce bit-identical memo tables and scores to
+//! SRNA2; the test suite asserts the full matrix.
+//!
+//! One related-work scheme lives outside the matrix because it is not
+//! a step-synchronized recurrence at all: [`topdown_shared`]
+//! (Stivala et al., JPDC 2010), the shared-memoization randomized
+//! top-down contrast.
 //!
 //! ```
 //! use mcos_parallel::{prna, PrnaConfig, Backend};
@@ -59,7 +58,7 @@
 //! let out = prna(&s, &s, &PrnaConfig {
 //!     processors: 3,
 //!     policy: Policy::Greedy,
-//!     backend: Backend::MpiSim,
+//!     backend: Backend::MPI_SIM,
 //! });
 //! assert_eq!(out.score, 12); // self-comparison matches every arc
 //! ```
@@ -67,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod manager_worker;
 mod mpi_backend;
 pub mod pairwise;
@@ -87,62 +87,208 @@ use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice, workload};
 use mcos_telemetry::{Phase, Recorder};
 use rna_structure::ArcStructure;
 
-/// Which execution engine runs stage one.
+/// When the memo table synchronizes (the engine's [`engine::Schedule`]
+/// axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Message-passing ranks with replicated `M` and per-row
-    /// `Allreduce(MAX)` (the paper's design).
-    MpiSim,
-    /// Persistent shared-memory worker pool with static column ownership.
-    WorkerPool,
-    /// Rayon pool with per-row dynamic scheduling.
-    Rayon,
-    /// Dependency-level wavefront scheduling over a lock-free memo table
-    /// (barrier per nesting level instead of per row).
-    Wavefront,
+pub enum ScheduleKind {
+    /// One step per arc of `S₁` (the paper's per-row barrier).
+    Row,
+    /// One step per dependency level (the wavefront barrier).
+    Level,
+}
+
+/// How the memo table is represented and merged (the engine's
+/// [`engine::MemoStore`] axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Per-rank replicas merged with `Allreduce(MAX)` over mpi-sim.
+    Replicated,
+    /// One shared table behind a readers-writer lock; the coordinator
+    /// installs each step under the write lock.
+    SharedRwLock,
+    /// Lock-free atomic publishes with a settled snapshot for reads.
+    LockFreeAtomic,
+}
+
+/// Who runs each slice of a step (the engine's
+/// [`engine::Distribution`] axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// Static column ownership from the load balancer.
+    Static,
+    /// Dynamic claiming off a shared per-step cursor.
+    Claim,
+    /// A manager hands out slices on request (one extra lane/rank).
+    Managed,
+}
+
+/// A stage-one backend: one point in the schedule × store ×
+/// distribution matrix, executed by [`engine::run_stage_one`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// When `M` synchronizes.
+    pub schedule: ScheduleKind,
+    /// How `M` is represented and merged.
+    pub store: StoreKind,
+    /// Who runs each slice.
+    pub dist: DistKind,
 }
 
 impl Backend {
-    /// All backends, for sweeps.
-    pub const ALL: [Backend; 4] = [
-        Backend::MpiSim,
-        Backend::WorkerPool,
-        Backend::Rayon,
-        Backend::Wavefront,
+    /// The paper's MPI design: row barrier, replicated tables, static
+    /// column ownership.
+    pub const MPI_SIM: Backend = Backend {
+        schedule: ScheduleKind::Row,
+        store: StoreKind::Replicated,
+        dist: DistKind::Static,
+    };
+
+    /// Persistent shared-memory worker pool: row barrier, shared
+    /// rwlock table, static column ownership.
+    pub const WORKER_POOL: Backend = Backend {
+        schedule: ScheduleKind::Row,
+        store: StoreKind::SharedRwLock,
+        dist: DistKind::Static,
+    };
+
+    /// Per-row dynamic scheduling (the historical rayon backend): row
+    /// barrier, shared rwlock table, claimed slices.
+    pub const RAYON: Backend = Backend {
+        schedule: ScheduleKind::Row,
+        store: StoreKind::SharedRwLock,
+        dist: DistKind::Claim,
+    };
+
+    /// The dependency-level backend of PR 1: wavefront barrier,
+    /// lock-free table, claimed slices.
+    pub const WAVEFRONT: Backend = Backend {
+        schedule: ScheduleKind::Level,
+        store: StoreKind::LockFreeAtomic,
+        dist: DistKind::Claim,
+    };
+
+    /// The Snow-style manager/worker scheme (§II): row barrier,
+    /// replicated tables, manager-distributed slices.
+    pub const MANAGER_WORKER: Backend = Backend {
+        schedule: ScheduleKind::Row,
+        store: StoreKind::Replicated,
+        dist: DistKind::Managed,
+    };
+
+    /// The five historical backends, for sweeps (legacy order, with
+    /// manager-worker appended).
+    pub const ALL: [Backend; 5] = [
+        Backend::MPI_SIM,
+        Backend::WORKER_POOL,
+        Backend::RAYON,
+        Backend::WAVEFRONT,
+        Backend::MANAGER_WORKER,
     ];
 
-    /// Short display name.
+    /// Every schedule × store × distribution combination.
+    pub const MATRIX: [Backend; 18] = {
+        let mut all = [Backend::MPI_SIM; 18];
+        let schedules = [ScheduleKind::Row, ScheduleKind::Level];
+        let stores = [
+            StoreKind::Replicated,
+            StoreKind::SharedRwLock,
+            StoreKind::LockFreeAtomic,
+        ];
+        let dists = [DistKind::Static, DistKind::Claim, DistKind::Managed];
+        let mut i = 0;
+        while i < 18 {
+            all[i] = Backend {
+                schedule: schedules[i / 9],
+                store: stores[(i / 3) % 3],
+                dist: dists[i % 3],
+            };
+            i += 1;
+        }
+        all
+    };
+
+    /// Short display name. The five historical compositions keep
+    /// their legacy names; the rest compose as
+    /// `<schedule>-<store>[-<dist>]` (static distribution implied).
     pub fn name(self) -> &'static str {
-        match self {
-            Backend::MpiSim => "mpi-sim",
-            Backend::WorkerPool => "worker-pool",
-            Backend::Rayon => "rayon",
-            Backend::Wavefront => "wavefront",
+        use DistKind as D;
+        use ScheduleKind as S;
+        use StoreKind as M;
+        match (self.schedule, self.store, self.dist) {
+            (S::Row, M::Replicated, D::Static) => "mpi-sim",
+            (S::Row, M::Replicated, D::Claim) => "row-replicated-claim",
+            (S::Row, M::Replicated, D::Managed) => "manager-worker",
+            (S::Row, M::SharedRwLock, D::Static) => "worker-pool",
+            (S::Row, M::SharedRwLock, D::Claim) => "rayon",
+            (S::Row, M::SharedRwLock, D::Managed) => "row-rwlock-managed",
+            (S::Row, M::LockFreeAtomic, D::Static) => "row-lockfree",
+            (S::Row, M::LockFreeAtomic, D::Claim) => "row-lockfree-claim",
+            (S::Row, M::LockFreeAtomic, D::Managed) => "row-lockfree-managed",
+            (S::Level, M::Replicated, D::Static) => "wavefront-replicated",
+            (S::Level, M::Replicated, D::Claim) => "wavefront-replicated-claim",
+            (S::Level, M::Replicated, D::Managed) => "wavefront-replicated-managed",
+            (S::Level, M::SharedRwLock, D::Static) => "wavefront-rwlock",
+            (S::Level, M::SharedRwLock, D::Claim) => "wavefront-rwlock-claim",
+            (S::Level, M::SharedRwLock, D::Managed) => "wavefront-rwlock-managed",
+            (S::Level, M::LockFreeAtomic, D::Static) => "wavefront-lockfree",
+            (S::Level, M::LockFreeAtomic, D::Claim) => "wavefront",
+            (S::Level, M::LockFreeAtomic, D::Managed) => "wavefront-lockfree-managed",
         }
     }
 
-    /// Parses a backend from its [`Backend::name`] (or common aliases),
-    /// case-insensitively. Returns `None` for unknown names.
+    /// Parses a backend from its [`Backend::name`], a legacy alias
+    /// (`mpi`, `pool`, `manager`), or the general
+    /// `<schedule>-<store>[-<dist>]` grammar, case-insensitively.
+    /// Returns `None` for unknown names.
     pub fn from_name(name: &str) -> Option<Backend> {
-        match name.to_ascii_lowercase().as_str() {
-            "mpi-sim" | "mpi" => Some(Backend::MpiSim),
-            "worker-pool" | "pool" => Some(Backend::WorkerPool),
-            "rayon" => Some(Backend::Rayon),
-            "wavefront" => Some(Backend::Wavefront),
-            _ => None,
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "mpi-sim" | "mpi" => return Some(Backend::MPI_SIM),
+            "worker-pool" | "pool" => return Some(Backend::WORKER_POOL),
+            "rayon" => return Some(Backend::RAYON),
+            "wavefront" => return Some(Backend::WAVEFRONT),
+            "manager-worker" | "manager" => return Some(Backend::MANAGER_WORKER),
+            _ => {}
         }
+        let mut parts = lower.split('-');
+        let schedule = match parts.next()? {
+            "row" => ScheduleKind::Row,
+            "wavefront" | "level" => ScheduleKind::Level,
+            _ => return None,
+        };
+        let store = match parts.next()? {
+            "replicated" => StoreKind::Replicated,
+            "rwlock" => StoreKind::SharedRwLock,
+            "lockfree" => StoreKind::LockFreeAtomic,
+            _ => return None,
+        };
+        let dist = match parts.next() {
+            None | Some("static") => DistKind::Static,
+            Some("claim") => DistKind::Claim,
+            Some("managed") => DistKind::Managed,
+            Some(_) => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Backend {
+            schedule,
+            store,
+            dist,
+        })
     }
 }
 
 /// PRNA configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PrnaConfig {
-    /// Number of processors (ranks / worker threads).
+    /// Number of worker processors (ranks / worker threads). A managed
+    /// distribution adds one manager lane/rank on top.
     pub processors: u32,
-    /// Static column-distribution policy (ignored by [`Backend::Rayon`]
-    /// and [`Backend::Wavefront`], which schedule dynamically).
+    /// Static column-distribution policy (only consulted by backends
+    /// with a [`DistKind::Static`] distribution).
     pub policy: Policy,
-    /// Execution engine.
+    /// Execution backend (a schedule × store × distribution point).
     pub backend: Backend,
 }
 
@@ -151,7 +297,7 @@ impl Default for PrnaConfig {
         PrnaConfig {
             processors: 2,
             policy: Policy::Greedy,
-            backend: Backend::WorkerPool,
+            backend: Backend::WORKER_POOL,
         }
     }
 }
@@ -183,7 +329,7 @@ pub fn prna(s1: &ArcStructure, s2: &ArcStructure, config: &PrnaConfig) -> PrnaOu
     prna_recorded(s1, s2, config, &Recorder::disabled())
 }
 
-/// Runs PRNA with telemetry: phase spans land on lane 0, each backend
+/// Runs PRNA with telemetry: phase spans land on lane 0, the engine
 /// records per-worker slice/barrier spans on lanes `1..=p`, and the
 /// recorder's counters accumulate work totals. With a disabled recorder
 /// this is exactly [`prna`] (the instrumentation reduces to a branch).
@@ -207,12 +353,7 @@ pub fn prna_recorded(
 
     let span = log.start();
     let t1 = Instant::now();
-    let memo = match config.backend {
-        Backend::MpiSim => mpi_backend::stage_one(&p1, &p2, &assignment, recorder),
-        Backend::WorkerPool => pool::stage_one(&p1, &p2, &assignment, recorder),
-        Backend::Rayon => rayon_backend::stage_one(&p1, &p2, config.processors, recorder),
-        Backend::Wavefront => wavefront::stage_one(&p1, &p2, config.processors, recorder),
-    };
+    let memo = engine::dispatch(config.backend, &p1, &p2, &assignment, recorder);
     let stage_one = t1.elapsed();
     log.phase(span, Phase::StageOne);
 
@@ -237,12 +378,7 @@ pub fn prna_recorded(
 /// Telemetry detail for the child slice of `(k1, k2)`: its wavefront
 /// dependency level and cell count. Only evaluated when recording.
 #[inline]
-pub(crate) fn slice_detail(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    k1: u32,
-    k2: u32,
-) -> (u32, u64) {
+pub(crate) fn slice_detail(p1: &Preprocessed, p2: &Preprocessed, k1: u32, k2: u32) -> (u32, u64) {
     (
         p1.level_of(k1).max(p2.level_of(k2)),
         slice::cell_count(p1.under_range[k1 as usize], p2.under_range[k2 as usize]),
@@ -251,7 +387,8 @@ pub(crate) fn slice_detail(
 
 /// Reusable per-thread scratch for slice tabulation: the compressed grid
 /// plus the row-hoisted `d₂` buffer of
-/// [`slice::tabulate_with_rows`]. One per worker, reused across slices.
+/// [`slice::tabulate_with_rows`]. One per worker, owned by the engine
+/// and reused across slices.
 #[derive(Debug, Default)]
 pub(crate) struct SliceScratch {
     grid: Vec<u32>,
@@ -263,28 +400,6 @@ pub(crate) struct SliceScratch {
 pub(crate) fn stage_two(p1: &Preprocessed, p2: &Preprocessed, memo: &MemoTable) -> u32 {
     let mut scratch = SliceScratch::default();
     tabulate_ranges(p1, p2, p1.full_range(), p2.full_range(), memo, &mut scratch)
-}
-
-/// Tabulates the child slice of arc pair `(k1, k2)` against `memo`
-/// (shared by every row-synchronized backend; the wavefront backend has
-/// an atomic-table twin in [`wavefront`]).
-#[inline]
-pub(crate) fn tabulate_child(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    k1: u32,
-    k2: u32,
-    memo: &MemoTable,
-    scratch: &mut SliceScratch,
-) -> u32 {
-    tabulate_ranges(
-        p1,
-        p2,
-        p1.under_range[k1 as usize],
-        p2.under_range[k2 as usize],
-        memo,
-        scratch,
-    )
 }
 
 /// Row-hoisted tabulation over arbitrary arc ranges: the `d₂` reads for
@@ -399,7 +514,7 @@ mod tests {
             let config = PrnaConfig {
                 processors: 3,
                 policy,
-                backend: Backend::MpiSim,
+                backend: Backend::MPI_SIM,
             };
             assert_eq!(
                 prna(&s1, &s1, &config).score,
@@ -408,6 +523,35 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    #[test]
+    fn legacy_names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(Backend::from_name(backend.name()), Some(backend));
+        }
+        assert_eq!(Backend::from_name("mpi"), Some(Backend::MPI_SIM));
+        assert_eq!(Backend::from_name("pool"), Some(Backend::WORKER_POOL));
+        assert_eq!(Backend::from_name("manager"), Some(Backend::MANAGER_WORKER));
+        assert_eq!(Backend::from_name("POOL"), Some(Backend::WORKER_POOL));
+        assert_eq!(Backend::from_name("no-such"), None);
+        assert_eq!(Backend::from_name("row-rwlock-bogus"), None);
+        assert_eq!(Backend::from_name("row"), None);
+    }
+
+    #[test]
+    fn matrix_names_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for backend in Backend::MATRIX {
+            assert!(seen.insert(backend.name()), "duplicate {}", backend.name());
+            assert_eq!(
+                Backend::from_name(backend.name()),
+                Some(backend),
+                "{} does not round-trip",
+                backend.name()
+            );
+        }
+        assert_eq!(seen.len(), 18);
     }
 
     #[test]

@@ -1,131 +1,36 @@
 //! Manager–worker PRNA: the dynamic load-balancing scheme of the related
 //! work the paper contrasts with (Snow, Aubanel & Evans, HiCOMB 2009 —
-//! reference \[7\]), recreated on the row-synchronized slice schedule.
+//! reference \[7\]), as an engine composition.
 //!
-//! Rank 0 is a dedicated manager holding the column queue of the current
-//! row (heaviest first); workers request one column at a time and
-//! tabulate its child slice, so per-row imbalance is absorbed
-//! dynamically at the price of one request/assign round trip per task
-//! and a rank that does no tabulation. After each row the memo table is
-//! merged with the same `Allreduce(MAX)` as static PRNA.
+//! [`crate::Backend::MANAGER_WORKER`] = row schedule × replicated store
+//! × managed distribution: a dedicated manager (lane/rank 0) holds the
+//! slice queue of the current row (heaviest first); workers request one
+//! slice at a time, so per-row imbalance is absorbed dynamically at the
+//! price of one request/assign round trip per task and a rank that does
+//! no tabulation. After each row the replicas are merged with the same
+//! `Allreduce(MAX)` as static PRNA, the manager included (contributing
+//! zeros).
+//!
+//! The public entry points keep the historical rank-oriented interface:
+//! `ranks` counts the manager plus the workers, so the engine runs with
+//! `ranks - 1` worker processors.
 
-use mcos_core::{memo::MemoTable, preprocess::Preprocessed, workload};
-use mcos_telemetry::{BarrierKind, Phase, Recorder, WorkerLog};
-use mpi_sim::Communicator;
+use load_balance::Policy;
+use mcos_telemetry::Recorder;
 
-use crate::{slice_detail, tabulate_child, SliceScratch};
+use crate::{prna_recorded, Backend, PrnaConfig, PrnaOutcome};
 
-/// Tag for worker→manager work requests (payload: empty vec).
-pub(crate) const TAG_REQUEST: u64 = 0x10;
-/// Tag for manager→worker assignments (payload: `[k2]`, or empty = row
-/// finished).
-pub(crate) const TAG_ASSIGN: u64 = 0x11;
-
-/// Runs stage one with `ranks` ranks (1 manager + `ranks - 1` workers).
+/// Public entry point mirroring [`crate::prna`] for the manager-worker
+/// scheme: preprocessing, dynamic stage one, sequential stage two.
 ///
 /// # Panics
 ///
 /// Panics if `ranks < 2` (a dedicated manager needs at least one worker).
-pub(crate) fn stage_one(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    ranks: u32,
-    recorder: &Recorder,
-) -> MemoTable {
-    assert!(ranks >= 2, "manager-worker needs at least 2 ranks");
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    // Column order: heaviest first (LPT-like), fixed for every row since
-    // the relative weights are row-independent.
-    let weights = workload::column_weights(p1, p2);
-    let mut order: Vec<u32> = (0..a2).collect();
-    order.sort_by_key(|&k2| std::cmp::Reverse(weights[k2 as usize]));
-
-    let mut tables = mpi_sim::run_recorded(ranks, recorder, |mut comm: Communicator<Vec<u32>>| {
-        let rank = comm.rank();
-        // The manager does no tabulation — it is the natural lane-0
-        // coordinator; worker rank `r` keeps lane `r`.
-        let mut log = recorder.lane(rank);
-        let mut memo = MemoTable::zeroed(a1, a2);
-        let mut scratch = SliceScratch::default();
-
-        for k1 in 0..a1 {
-            if rank == 0 {
-                manage_row(&mut comm, &order, ranks - 1);
-            } else {
-                work_row(&mut comm, p1, p2, k1, &mut memo, &mut scratch, &mut log);
-            }
-            // Row synchronization, manager included (contributes zeros).
-            let span = log.start();
-            let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x = (*x).max(*y);
-                }
-                a
-            });
-            log.allreduce(span, a2 as u64, a2 as u64 * 4);
-            memo.row_mut(k1).copy_from_slice(&merged);
-        }
-        log.flush();
-        memo
-    });
-    // Every rank holds the merged table; return the manager's copy.
-    tables.swap_remove(0)
-}
-
-/// Manager side of one row: hand out columns on request, then send one
-/// empty "row done" reply to each worker.
-pub(crate) fn manage_row(comm: &mut Communicator<Vec<u32>>, order: &[u32], workers: u32) {
-    let mut next = 0usize;
-    let mut done = 0u32;
-    while done < workers {
-        let (src, _) = comm.recv_any(TAG_REQUEST);
-        if next < order.len() {
-            comm.send(src, TAG_ASSIGN, vec![order[next]]);
-            next += 1;
-        } else {
-            comm.send(src, TAG_ASSIGN, vec![]);
-            done += 1;
-        }
-    }
-}
-
-/// Worker side of one row: request columns until the manager says the
-/// row is finished.
-fn work_row(
-    comm: &mut Communicator<Vec<u32>>,
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    k1: u32,
-    memo: &mut MemoTable,
-    scratch: &mut SliceScratch,
-    log: &mut WorkerLog,
-) {
-    loop {
-        // Request/assign round trip — the dynamic scheme's per-task tax.
-        let wait = log.start();
-        comm.send(0, TAG_REQUEST, vec![]);
-        let assignment = comm.recv(0, TAG_ASSIGN);
-        log.barrier(wait, BarrierKind::TaskWait, k1);
-        match assignment.first() {
-            Some(&k2) => {
-                let span = log.start();
-                let v = tabulate_child(p1, p2, k1, k2, memo, scratch);
-                memo.set(k1, k2, v);
-                log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
-            }
-            None => break,
-        }
-    }
-}
-
-/// Public entry point mirroring [`crate::prna`] for the manager-worker
-/// scheme: preprocessing, dynamic stage one, sequential stage two.
 pub fn prna_manager_worker(
     s1: &rna_structure::ArcStructure,
     s2: &rna_structure::ArcStructure,
     ranks: u32,
-) -> crate::PrnaOutcome {
+) -> PrnaOutcome {
     prna_manager_worker_recorded(s1, s2, ranks, &Recorder::disabled())
 }
 
@@ -137,37 +42,18 @@ pub fn prna_manager_worker_recorded(
     s2: &rna_structure::ArcStructure,
     ranks: u32,
     recorder: &Recorder,
-) -> crate::PrnaOutcome {
-    use std::time::Instant;
-    let mut log = recorder.lane(0);
-
-    let span = log.start();
-    let t0 = Instant::now();
-    let p1 = Preprocessed::build(s1);
-    let p2 = Preprocessed::build(s2);
-    let preprocessing = t0.elapsed();
-    log.phase(span, Phase::Preprocess);
-
-    let span = log.start();
-    let t1 = Instant::now();
-    let memo = stage_one(&p1, &p2, ranks, recorder);
-    let stage_one_d = t1.elapsed();
-    log.phase(span, Phase::StageOne);
-
-    let span = log.start();
-    let t2 = Instant::now();
-    let score = crate::stage_two(&p1, &p2, &memo);
-    let stage_two_d = t2.elapsed();
-    log.phase(span, Phase::StageTwo);
-    log.flush();
-
-    crate::PrnaOutcome {
-        score,
-        memo,
-        preprocessing,
-        stage_one: stage_one_d,
-        stage_two: stage_two_d,
-    }
+) -> PrnaOutcome {
+    assert!(ranks >= 2, "manager-worker needs at least 2 ranks");
+    prna_recorded(
+        s1,
+        s2,
+        &PrnaConfig {
+            processors: ranks - 1,
+            policy: Policy::Greedy,
+            backend: Backend::MANAGER_WORKER,
+        },
+        recorder,
+    )
 }
 
 #[cfg(test)]
@@ -208,7 +94,6 @@ mod tests {
     #[should_panic(expected = "at least 2 ranks")]
     fn manager_worker_rejects_single_rank() {
         let s = generate::worst_case_nested(3);
-        let p = Preprocessed::build(&s);
-        let _ = stage_one(&p, &p, 1, &Recorder::disabled());
+        let _ = prna_manager_worker(&s, &s, 1);
     }
 }

@@ -1,111 +1,70 @@
-//! The message-passing PRNA backend — Algorithm 4 of the paper.
+//! The message-passing PRNA backend — Algorithm 4 of the paper — as an
+//! engine composition.
 //!
-//! Every rank holds a full replica of the memoization table `M`,
-//! initialized to zero. In stage one the ranks sweep the rows (arcs of
-//! `S₁`, by increasing right endpoint) in lockstep: each rank tabulates
-//! the child slices of the columns it owns, then the row is merged across
-//! ranks with `Allreduce(MAX)` — the exact structure of the paper's MPI
-//! implementation (`MPI_Allreduce` with `MPI_MAX` over the completed
-//! row). Because unowned entries are zero and scores are non-negative,
-//! the element-wise max assembles the true row on every rank.
-
-use load_balance::Assignment;
-use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
-use mcos_telemetry::Recorder;
-
-use crate::{slice_detail, tabulate_child, SliceScratch};
-
-/// Runs stage one over `assignment.processors()` simulated ranks and
-/// returns the fully synchronized memo table.
-pub(crate) fn stage_one(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    assignment: &Assignment,
-    recorder: &Recorder,
-) -> MemoTable {
-    let ranks = assignment.processors();
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-
-    let mut tables = mpi_sim::run_recorded(ranks, recorder, |mut comm| {
-        let rank = comm.rank();
-        // Rank `r` is trace lane `r + 1`; lane 0 stays free for the
-        // caller's coordinator spans.
-        let mut log = recorder.lane(rank + 1);
-        let mut memo = MemoTable::zeroed(a1, a2);
-        let my_columns: Vec<u32> = (0..a2)
-            .filter(|&k2| assignment.owner[k2 as usize] == rank)
-            .collect();
-        let mut scratch = SliceScratch::default();
-
-        for k1 in 0..a1 {
-            // Child slices of this row, owned columns only — spawned "in
-            // parallel" across ranks.
-            for &k2 in &my_columns {
-                let span = log.start();
-                let v = tabulate_child(p1, p2, k1, k2, &memo, &mut scratch);
-                memo.set(k1, k2, v);
-                log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
-            }
-            // Synchronize row k1 across all ranks. The span covers this
-            // rank's wait for stragglers plus the merge itself; bytes are
-            // the payload this rank contributes to the collective.
-            let span = log.start();
-            let merged = comm.allreduce(memo.row(k1).to_vec(), |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x = (*x).max(*y);
-                }
-                a
-            });
-            log.allreduce(span, a2 as u64, a2 as u64 * 4);
-            memo.row_mut(k1).copy_from_slice(&merged);
-        }
-        log.flush();
-        memo
-    });
-    tables.swap_remove(0)
-}
+//! [`crate::Backend::MPI_SIM`] = row schedule × replicated store ×
+//! static distribution: every rank holds a full replica of the
+//! memoization table `M`, initialized to zero. In stage one the ranks
+//! sweep the rows (arcs of `S₁`, by increasing right endpoint) in
+//! lockstep: each rank tabulates the child slices of the columns it
+//! owns, then the row is merged across ranks with `Allreduce(MAX)` —
+//! the exact structure of the paper's MPI implementation
+//! (`MPI_Allreduce` with `MPI_MAX` over the completed row). Because
+//! unowned entries are zero and scores are non-negative, the
+//! element-wise max assembles the true row on every rank.
+//!
+//! The engine runs this free-running (no coordinator thread): the
+//! collective itself is the barrier, exactly as in the paper's SPMD
+//! loop. See [`Replicated`](crate::engine::Replicated) for the store,
+//! [`RowBarrier`](crate::engine::RowBarrier) for the schedule.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::{prna, Backend, PrnaConfig};
     use load_balance::Policy;
-    use mcos_core::{srna2, workload};
+    use mcos_core::{memo::MemoTable, preprocess::Preprocessed, srna2};
     use rna_structure::generate;
 
-    fn reference_memo(p1: &Preprocessed, p2: &Preprocessed) -> MemoTable {
-        srna2::run_preprocessed(p1, p2).memo
+    fn config(ranks: u32) -> PrnaConfig {
+        PrnaConfig {
+            processors: ranks,
+            policy: Policy::Greedy,
+            backend: Backend::MPI_SIM,
+        }
+    }
+
+    fn reference_memo(
+        s1: &rna_structure::ArcStructure,
+        s2: &rna_structure::ArcStructure,
+    ) -> MemoTable {
+        srna2::run(s1, s2).memo
     }
 
     #[test]
     fn replicated_tables_converge() {
         let s1 = generate::random_structure(60, 1.0, 5);
         let s2 = generate::random_structure(50, 0.9, 6);
-        let p1 = Preprocessed::build(&s1);
-        let p2 = Preprocessed::build(&s2);
-        let weights = workload::column_weights(&p1, &p2);
+        let reference = reference_memo(&s1, &s2);
         for ranks in [1u32, 2, 4, 7] {
-            let a = Policy::Greedy.assign(&weights, ranks);
-            let memo = stage_one(&p1, &p2, &a, &Recorder::disabled());
-            assert_eq!(memo, reference_memo(&p1, &p2), "ranks {ranks}");
+            assert_eq!(
+                prna(&s1, &s2, &config(ranks)).memo,
+                reference,
+                "ranks {ranks}"
+            );
         }
     }
 
     #[test]
     fn single_rank_equals_sequential_stage_one() {
         let s = generate::worst_case_nested(15);
-        let p = Preprocessed::build(&s);
-        let weights = workload::column_weights(&p, &p);
-        let a = Policy::Greedy.assign(&weights, 1);
-        assert_eq!(stage_one(&p, &p, &a, &Recorder::disabled()), reference_memo(&p, &p));
+        assert_eq!(prna(&s, &s, &config(1)).memo, reference_memo(&s, &s));
     }
 
     #[test]
     fn no_arcs_yields_empty_table() {
         let s = rna_structure::ArcStructure::unpaired(10);
         let p = Preprocessed::build(&s);
-        let a = Policy::Greedy.assign(&[], 3);
-        let memo = stage_one(&p, &p, &a, &Recorder::disabled());
+        assert_eq!(p.num_arcs(), 0);
+        let memo = prna(&s, &s, &config(3)).memo;
         assert_eq!(memo.rows(), 0);
     }
 }

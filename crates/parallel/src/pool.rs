@@ -1,122 +1,49 @@
-//! The shared-memory worker-pool PRNA backend.
+//! The shared-memory worker-pool backend, as an engine composition.
 //!
-//! One memo table lives behind a readers-writer lock. Persistent workers
-//! (one per processor) are driven row by row over crossbeam channels:
-//! each worker read-locks `M`, tabulates the child slices of its owned
-//! columns, and ships `(column, value)` results back; the coordinator
-//! write-locks `M`, installs the row, and releases the next one. The
-//! write lock is the shared-memory analogue of the paper's per-row
-//! `Allreduce` — same schedule, no replication.
-
-use crossbeam::channel::{bounded, Sender};
-use load_balance::Assignment;
-use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
-use mcos_telemetry::{BarrierKind, Recorder};
-use parking_lot::RwLock;
-
-use crate::{slice_detail, tabulate_child, SliceScratch};
-
-/// Runs stage one on a pool of `assignment.processors()` worker threads.
-pub(crate) fn stage_one(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    assignment: &Assignment,
-    recorder: &Recorder,
-) -> MemoTable {
-    let workers = assignment.processors();
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    let memo = RwLock::new(MemoTable::zeroed(a1, a2));
-
-    std::thread::scope(|scope| {
-        // Per-worker command channels and one shared result channel.
-        let (result_tx, result_rx) = bounded::<(u32, u32, u32)>(a2 as usize + 1);
-        let mut row_txs: Vec<Sender<u32>> = Vec::with_capacity(workers as usize);
-        for w in 0..workers {
-            let (tx, rx) = bounded::<u32>(1);
-            row_txs.push(tx);
-            let result_tx = result_tx.clone();
-            let my_columns: Vec<u32> = (0..a2)
-                .filter(|&k2| assignment.owner[k2 as usize] == w)
-                .collect();
-            let memo = &memo;
-            // Lane ids are deterministic: worker `w` is always lane
-            // `w + 1`, independent of spawn/scheduling order.
-            let mut log = recorder.lane(w + 1);
-            scope.spawn(move || {
-                let mut scratch = SliceScratch::default();
-                // Each received row index is a go signal; channel close
-                // ends the worker.
-                loop {
-                    let wait = log.start();
-                    let Ok(k1) = rx.recv() else { break };
-                    log.barrier(wait, BarrierKind::RowWait, k1);
-                    let guard = memo.read();
-                    for &k2 in &my_columns {
-                        let span = log.start();
-                        let v = tabulate_child(p1, p2, k1, k2, &guard, &mut scratch);
-                        log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
-                        result_tx.send((k1, k2, v)).expect("coordinator alive");
-                    }
-                    drop(guard);
-                    // Per-row completion marker (column sentinel).
-                    result_tx
-                        .send((k1, u32::MAX, w))
-                        .expect("coordinator alive");
-                }
-            });
-        }
-        drop(result_tx);
-
-        let mut coord = recorder.lane(0);
-        for k1 in 0..a1 {
-            for tx in &row_txs {
-                tx.send(k1).expect("worker alive");
-            }
-            // Collect until every worker has posted its completion marker.
-            let install = coord.start();
-            let mut done = 0u32;
-            let mut staged: Vec<(u32, u32)> = Vec::new();
-            while done < workers {
-                let (row, k2, v) = result_rx.recv().expect("workers alive");
-                debug_assert_eq!(row, k1, "workers run in row lockstep");
-                if k2 == u32::MAX {
-                    done += 1;
-                } else {
-                    staged.push((k2, v));
-                }
-            }
-            // Install the completed row — the "synchronize row k1" step.
-            let mut guard = memo.write();
-            for (k2, v) in staged {
-                guard.set(k1, k2, v);
-            }
-            drop(guard);
-            coord.barrier(install, BarrierKind::RowInstall, k1);
-        }
-        drop(row_txs); // close channels; workers exit
-    });
-    memo.into_inner()
-}
+//! [`crate::Backend::WORKER_POOL`] = row schedule × shared-rwlock store
+//! × static distribution: one memo table lives behind a readers-writer
+//! lock; persistent workers (one per processor, spawned by the engine)
+//! are released row by row, each tabulating the child slices of its
+//! owned columns against the read-locked table and shipping
+//! `(k1, k2, v)` results back; the coordinator write-locks `M` and
+//! installs the row. The write lock is the shared-memory analogue of
+//! the paper's per-row `Allreduce` — same schedule, no replication.
+//!
+//! Historically this module carried its own spawn/channel loop with a
+//! result channel sized `a2 + 1` *for the whole run* — a latent
+//! capacity bug once completion markers shared the channel. The engine
+//! sizes the channel per step
+//! ([`SharedRwLock::new`](crate::engine::SharedRwLock)) and moves
+//! completion signalling to a separate done channel, so a worker can
+//! never block on `send` while holding the read lock (regression test
+//! in `engine::store`).
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::{prna, Backend, PrnaConfig};
     use load_balance::Policy;
-    use mcos_core::{srna2, workload};
+    use mcos_core::{preprocess::Preprocessed, srna2};
     use rna_structure::generate;
+
+    fn config(workers: u32, policy: Policy) -> PrnaConfig {
+        PrnaConfig {
+            processors: workers,
+            policy,
+            backend: Backend::WORKER_POOL,
+        }
+    }
 
     #[test]
     fn pool_matches_sequential_stage_one() {
         let s1 = generate::random_structure(64, 1.0, 11);
         let s2 = generate::random_structure(48, 0.8, 12);
-        let p1 = Preprocessed::build(&s1);
-        let p2 = Preprocessed::build(&s2);
-        let reference = srna2::run_preprocessed(&p1, &p2).memo;
-        let weights = workload::column_weights(&p1, &p2);
+        let reference = srna2::run(&s1, &s2).memo;
         for workers in [1u32, 2, 3, 8] {
-            let a = Policy::Lpt.assign(&weights, workers);
-            assert_eq!(stage_one(&p1, &p2, &a, &Recorder::disabled()), reference, "workers {workers}");
+            assert_eq!(
+                prna(&s1, &s2, &config(workers, Policy::Lpt)).memo,
+                reference,
+                "workers {workers}"
+            );
         }
     }
 
@@ -124,21 +51,18 @@ mod tests {
     fn pool_handles_empty_structures() {
         let s = rna_structure::ArcStructure::unpaired(6);
         let p = Preprocessed::build(&s);
-        let a = Policy::Greedy.assign(&[], 2);
-        let memo = stage_one(&p, &p, &a, &Recorder::disabled());
-        assert_eq!(memo.rows(), 0);
-        assert_eq!(memo.cols(), 0);
+        assert_eq!(p.num_arcs(), 0);
+        let out = prna(&s, &s, &config(2, Policy::Greedy));
+        assert_eq!(out.memo.rows(), 0);
+        assert_eq!(out.memo.cols(), 0);
     }
 
     #[test]
     fn pool_with_idle_workers() {
-        // More workers than columns: extras receive rows and immediately
-        // post completion markers.
+        // More workers than columns: extras are released into every row
+        // and own nothing.
         let s = generate::worst_case_nested(3);
-        let p = Preprocessed::build(&s);
-        let weights = workload::column_weights(&p, &p);
-        let a = Policy::Greedy.assign(&weights, 9);
-        let reference = srna2::run_preprocessed(&p, &p).memo;
-        assert_eq!(stage_one(&p, &p, &a, &Recorder::disabled()), reference);
+        let reference = srna2::run(&s, &s).memo;
+        assert_eq!(prna(&s, &s, &config(9, Policy::Greedy)).memo, reference);
     }
 }

@@ -1,97 +1,55 @@
-//! The rayon PRNA backend: per-row dynamic scheduling.
+//! The per-row dynamic-scheduling backend (historically built on
+//! rayon), as an engine composition.
 //!
-//! Instead of the paper's static column ownership, each row's child
-//! slices are submitted to a rayon pool and work-stolen dynamically; the
-//! implicit join of `par_iter` at the end of the row is the row barrier.
-//! `M` is read-shared during the row and written once between rows, so no
-//! locking is required at all.
+//! [`crate::Backend::RAYON`] = row schedule × shared-rwlock store ×
+//! claimed distribution: instead of the paper's static column
+//! ownership, each row's child slices are claimed dynamically off a
+//! shared cursor by the engine's persistent workers, and the
+//! coordinator installs the completed row — the row barrier. The name
+//! survives from the rayon `par_iter` implementation this composition
+//! replaced (work-stealing and a claim cursor absorb per-row imbalance
+//! the same way; the engine's workers are plain scoped threads).
 //!
 //! This backend is the "dynamic scheduling" arm of the ablation in
 //! `mcos-bench`: on uniform worst-case inputs static ownership matches
-//! it, while on skewed structures dynamic scheduling absorbs per-row
+//! it, while on skewed structures dynamic claiming absorbs per-row
 //! imbalance at the cost of scheduler overhead per task.
-
-use std::sync::atomic::{AtomicU32, Ordering};
-
-use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
-use mcos_telemetry::{BarrierKind, Recorder};
-use rayon::prelude::*;
-
-use crate::{slice_detail, tabulate_child, SliceScratch};
-
-/// Runs stage one on a dedicated rayon pool of `threads` threads.
-pub(crate) fn stage_one(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    recorder: &Recorder,
-) -> MemoTable {
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads as usize)
-        .build()
-        .expect("rayon pool construction");
-    let mut memo = MemoTable::zeroed(a1, a2);
-    let mut row_buf: Vec<u32> = Vec::with_capacity(a2 as usize);
-    let mut coord = recorder.lane(0);
-
-    for k1 in 0..a1 {
-        let join = coord.start();
-        // Worker lanes restart at 1 every row so a pool participant
-        // keeps a stable trace lane regardless of scheduling order.
-        let lanes = AtomicU32::new(1);
-        pool.install(|| {
-            (0..a2)
-                .into_par_iter()
-                .map_init(
-                    || {
-                        // ORDERING: the counter only hands out distinct
-                        // lane ids for labelling; no memory is published
-                        // through it.
-                        let lane = lanes.fetch_add(1, Ordering::Relaxed);
-                        (recorder.lane(lane), SliceScratch::default())
-                    },
-                    |(log, scratch), k2| {
-                        let span = log.start();
-                        let v = tabulate_child(p1, p2, k1, k2, &memo, scratch);
-                        log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
-                        v
-                    },
-                )
-                .collect_into_vec(&mut row_buf);
-        });
-        memo.row_mut(k1).copy_from_slice(&row_buf);
-        // The coordinator is parked for the whole fork/join; the span is
-        // the per-row barrier cost as seen from lane 0.
-        coord.barrier(join, BarrierKind::RowJoin, k1);
-    }
-    memo
-}
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::{prna, Backend, PrnaConfig};
+    use load_balance::Policy;
     use mcos_core::srna2;
     use rna_structure::generate;
 
+    fn config(threads: u32) -> PrnaConfig {
+        PrnaConfig {
+            processors: threads,
+            policy: Policy::Greedy,
+            backend: Backend::RAYON,
+        }
+    }
+
     #[test]
     fn rayon_matches_sequential_stage_one() {
-        let s1 = generate::random_structure(64, 0.9, 21);
-        let s2 = generate::random_structure(60, 1.0, 22);
-        let p1 = Preprocessed::build(&s1);
-        let p2 = Preprocessed::build(&s2);
-        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let s1 = generate::random_structure(56, 0.9, 21);
+        let s2 = generate::random_structure(44, 1.0, 22);
+        let reference = srna2::run(&s1, &s2).memo;
         for threads in [1u32, 2, 4] {
-            assert_eq!(stage_one(&p1, &p2, threads, &Recorder::disabled()), reference, "threads {threads}");
+            assert_eq!(
+                prna(&s1, &s2, &config(threads)).memo,
+                reference,
+                "threads {threads}"
+            );
         }
     }
 
     #[test]
     fn rayon_skewed_structures() {
-        let s = generate::skewed_groups(4, 2, 4);
-        let p = Preprocessed::build(&s);
-        let reference = srna2::run_preprocessed(&p, &p).memo;
-        assert_eq!(stage_one(&p, &p, 3, &Recorder::disabled()), reference);
+        // Column weights differ wildly; dynamic claiming must still
+        // produce the exact table.
+        let s = generate::skewed_groups(5, 2, 5);
+        let reference = srna2::run(&s, &s).memo;
+        assert_eq!(prna(&s, &s, &config(3)).memo, reference);
     }
 }

@@ -1,57 +1,52 @@
-//! Traced twins of the stage-one backends, for dynamic race detection.
+//! Traced PRNA runs, for dynamic race detection.
 //!
-//! Each backend here re-runs the *same schedule* as its production
-//! counterpart — same channel protocol as [`crate::Backend::WorkerPool`],
-//! same per-row dynamic claiming as [`crate::Backend::Rayon`] (the rayon
-//! shim's scheduler is itself an atomic-cursor chunk claimer over scoped
-//! threads, which is exactly what these executors hand-roll), same
-//! level buckets and settled snapshot as [`crate::Backend::Wavefront`],
-//! and the same `mpi-sim` request/assign protocol as
-//! [`crate::manager_worker`] — while recording every memo access and
-//! every synchronizing edge into a [`TraceLog`]. The vector-clock
-//! checker in the `analysis` crate then replays the log and verifies
-//! the happens-before claims the production backends rely on.
+//! A traced run is the *same* engine composition as the production
+//! backend — same [`Schedule`](crate::engine::Schedule), same
+//! [`MemoStore`](crate::engine::MemoStore), same
+//! [`Distribution`](crate::engine::Distribution) — with the store
+//! wrapped in the [`Tracing`](crate::engine::Tracing) decorator and the
+//! engine's trace hooks armed. The decorator records every memo access
+//! (write record-then-publish, read gather-then-record) and the engine
+//! records every synchronizing edge (fork/join at spawn, arrive
+//! record-then-send, leave receive-then-record) into a [`TraceLog`].
+//! The vector-clock checker in the `analysis` crate then replays the
+//! log and verifies the happens-before claims the production schedule
+//! relies on. Because there is no bespoke "traced twin" to drift out of
+//! sync, a clean replay is a sound verdict on the schedule the
+//! production backend actually runs.
 //!
-//! The recording discipline (write record-then-publish, read
-//! gather-then-record, barrier arrive record-then-send / leave
-//! receive-then-record) is documented in [`mcos_core::trace`]; every
-//! executor below follows it, so a clean replay is a sound verdict on
-//! this schedule's dependency structure.
+//! The recording discipline is documented in [`mcos_core::trace`].
 //!
-//! [`wavefront_traced_without_level_barrier`] is a deliberately broken
-//! schedule — it merges the first two dependency levels into one
-//! fork — kept as a self-test that the checker has teeth.
+//! [`wavefront_traced_without_level_barrier`] swaps in a deliberately
+//! broken schedule — the first two dependency levels merged into one
+//! step — kept as a self-test that the checker has teeth.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use crossbeam::channel::{bounded, Sender};
 use load_balance::Policy;
-use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_core::memo::MemoTable;
 use mcos_core::preprocess::Preprocessed;
 use mcos_core::slice;
-use mcos_core::trace::{TaskId, TraceLog, TracingMemoTable, PARENT_SLICE};
+use mcos_core::trace::{TaskId, TraceLog, PARENT_SLICE};
 use mcos_core::workload;
-use mpi_sim::Communicator;
-use parking_lot::RwLock;
+use mcos_telemetry::Recorder;
 use rna_structure::ArcStructure;
 
-use crate::{manager_worker, wavefront, SliceScratch};
+use crate::engine::{self, TraceHooks};
+use crate::{Backend, SliceScratch};
 
 /// The stage-one schedules the race detector exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TracedBackend {
     /// Persistent worker pool, static column ownership, per-row
-    /// completion-marker barrier (twin of [`crate::Backend::WorkerPool`]).
+    /// settle barrier (traced [`crate::Backend::WORKER_POOL`]).
     WorkerPool,
-    /// Per-row dynamic column claiming with a fork/join per row (twin
-    /// of [`crate::Backend::Rayon`]).
+    /// Per-row dynamic column claiming over the shared rwlock
+    /// (traced [`crate::Backend::RAYON`]).
     Rayon,
-    /// Dependency-level wavefront over the atomic memo table with a
-    /// fork/join per level (twin of [`crate::Backend::Wavefront`]).
+    /// Dependency-level wavefront over the atomic memo table
+    /// (traced [`crate::Backend::WAVEFRONT`]).
     Wavefront,
-    /// Dedicated manager rank handing out columns over `mpi-sim`, row
-    /// allreduce barrier (twin of [`crate::manager_worker`]).
+    /// Dedicated manager handing out slices, row allreduce barrier
+    /// (traced [`crate::Backend::MANAGER_WORKER`]).
     ManagerWorker,
 }
 
@@ -66,11 +61,16 @@ impl TracedBackend {
 
     /// Short display name.
     pub fn name(self) -> &'static str {
+        self.backend().name()
+    }
+
+    /// The engine composition this traced run exercises.
+    fn backend(self) -> Backend {
         match self {
-            TracedBackend::WorkerPool => "worker-pool",
-            TracedBackend::Rayon => "rayon",
-            TracedBackend::Wavefront => "wavefront",
-            TracedBackend::ManagerWorker => "manager-worker",
+            TracedBackend::WorkerPool => Backend::WORKER_POOL,
+            TracedBackend::Rayon => Backend::RAYON,
+            TracedBackend::Wavefront => Backend::WAVEFRONT,
+            TracedBackend::ManagerWorker => Backend::MANAGER_WORKER,
         }
     }
 }
@@ -82,73 +82,6 @@ pub struct TracedOutcome {
     pub score: u32,
     /// The fully synchronized stage-one memo table.
     pub memo: MemoTable,
-}
-
-/// Per-slice tracing context: which task is reading, on behalf of which
-/// slice.
-#[derive(Clone, Copy)]
-struct Tr<'a> {
-    log: &'a TraceLog,
-    task: TaskId,
-    owner: (u32, u32),
-}
-
-/// Row-hoisted tabulation over arbitrary ranges with every `d₂` gather
-/// recorded as a `Read` (gather-then-record; a `perturb` before the
-/// copy lets injected delays land between a publisher's store and this
-/// load).
-fn tabulate_ranges_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    range1: slice::ArcRange,
-    range2: slice::ArcRange,
-    memo: &MemoTable,
-    scratch: &mut SliceScratch,
-    tr: Tr<'_>,
-) -> u32 {
-    let (lo2, hi2) = range2;
-    slice::tabulate_with_rows(
-        p1,
-        p2,
-        range1,
-        range2,
-        &mut scratch.grid,
-        &mut scratch.d2_row,
-        |g1, buf| {
-            tr.log.perturb();
-            buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]);
-            for c in lo2..hi2 {
-                tr.log.read(tr.task, tr.owner, g1, c);
-            }
-        },
-    )
-}
-
-/// Traced twin of [`crate::tabulate_child`].
-#[allow(clippy::too_many_arguments)] // mirrors `tabulate_child` plus the (log, task) pair
-fn tabulate_child_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    k1: u32,
-    k2: u32,
-    memo: &MemoTable,
-    scratch: &mut SliceScratch,
-    log: &TraceLog,
-    task: TaskId,
-) -> u32 {
-    tabulate_ranges_traced(
-        p1,
-        p2,
-        p1.under_range[k1 as usize],
-        p2.under_range[k2 as usize],
-        memo,
-        scratch,
-        Tr {
-            log,
-            task,
-            owner: (k1, k2),
-        },
-    )
 }
 
 /// Runs a traced PRNA (stage one on `backend`, sequential stage two),
@@ -174,19 +107,11 @@ pub fn prna_traced_preprocessed(
     threads: u32,
     log: &TraceLog,
 ) -> TracedOutcome {
-    assert!(threads > 0, "need at least one thread");
-    let root = log.alloc_task();
-    let memo = match backend {
-        TracedBackend::WorkerPool => pool_traced(p1, p2, threads, log, root),
-        TracedBackend::Rayon => rayon_traced(p1, p2, threads, log, root),
-        TracedBackend::Wavefront => wavefront_traced(p1, p2, threads, log, root, false),
-        TracedBackend::ManagerWorker => manager_worker_traced(p1, p2, threads, log, root),
-    };
-    finish_stage_two(p1, p2, memo, log, root)
+    run_traced(p1, p2, backend.backend(), false, threads, log)
 }
 
 /// The wavefront schedule with the first two dependency levels merged
-/// into a single fork — i.e. with one level barrier deliberately
+/// into a single step — i.e. with one level barrier deliberately
 /// skipped. Exists so the race detector can prove it *detects* the
 /// resulting happens-before hole (the level-1 slices read level-0
 /// entries that no synchronizing edge orders); never use its results.
@@ -196,14 +121,46 @@ pub fn wavefront_traced_without_level_barrier(
     threads: u32,
     log: &TraceLog,
 ) -> TracedOutcome {
+    run_traced(p1, p2, Backend::WAVEFRONT, true, threads, log)
+}
+
+/// Shared body: arm the trace hooks, run stage one through the engine
+/// with the store wrapped in [`engine::Tracing`], then the sequential
+/// stage two with its parent-slice reads recorded.
+fn run_traced(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    backend: Backend,
+    broken_wavefront: bool,
+    threads: u32,
+    log: &TraceLog,
+) -> TracedOutcome {
     assert!(threads > 0, "need at least one thread");
     let root = log.alloc_task();
-    let memo = wavefront_traced(p1, p2, threads, log, root, true);
+    let base = log.alloc_tasks(threads);
+    let hooks = TraceHooks {
+        log,
+        root,
+        tasks: (0..threads).map(|w| base + w).collect(),
+    };
+    let weights = workload::column_weights(p1, p2);
+    let assignment = Policy::Greedy.assign(&weights, threads);
+    let memo = engine::dispatch_traced(
+        backend,
+        broken_wavefront,
+        p1,
+        p2,
+        &assignment,
+        &Recorder::disabled(),
+        &hooks,
+    );
     finish_stage_two(p1, p2, memo, log, root)
 }
 
 /// Sequential stage two with parent-slice reads recorded against
-/// [`PARENT_SLICE`].
+/// [`PARENT_SLICE`] (gather-then-record; a `perturb` before the copy
+/// lets injected delays land between a publisher's store and this
+/// load).
 fn finish_stage_two(
     p1: &Preprocessed,
     p2: &Preprocessed,
@@ -212,336 +169,23 @@ fn finish_stage_two(
     root: TaskId,
 ) -> TracedOutcome {
     let mut scratch = SliceScratch::default();
-    let score = tabulate_ranges_traced(
+    let (lo2, hi2) = p2.full_range();
+    let score = slice::tabulate_with_rows(
         p1,
         p2,
         p1.full_range(),
         p2.full_range(),
-        &memo,
-        &mut scratch,
-        Tr {
-            log,
-            task: root,
-            owner: PARENT_SLICE,
+        &mut scratch.grid,
+        &mut scratch.d2_row,
+        |g1, buf| {
+            log.perturb();
+            buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]);
+            for c in lo2..hi2 {
+                log.read(root, PARENT_SLICE, g1, c);
+            }
         },
     );
     TracedOutcome { score, memo }
-}
-
-/// Traced twin of `wavefront::stage_one`. With `merge_first_levels` the
-/// first two non-empty level buckets run under one fork (the broken
-/// schedule of [`wavefront_traced_without_level_barrier`]).
-fn wavefront_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    log: &TraceLog,
-    root: TaskId,
-    merge_first_levels: bool,
-) -> MemoTable {
-    let atomic = AtomicMemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
-    let mut settled = MemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
-    let mut buckets = wavefront::level_buckets(p1, p2);
-    if merge_first_levels && buckets.len() >= 2 {
-        let second = buckets.remove(1);
-        buckets[0].extend(second);
-    }
-    let traced = TracingMemoTable::new(&atomic, log);
-    for mut bucket in buckets {
-        // Same LPT order as the production wavefront.
-        bucket.sort_by_key(|&(k1, k2)| {
-            std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
-        });
-        let workers = (threads as usize).min(bucket.len()).max(1) as u32;
-        let base = log.alloc_tasks(workers);
-        for i in 0..workers {
-            log.fork(root, base + i);
-        }
-        // Dynamic claiming, as in the rayon shim's scheduler.
-        let cursor = AtomicUsize::new(0);
-        let bucket_ref = &bucket;
-        let settled_ref = &settled;
-        let traced_ref = &traced;
-        let cursor_ref = &cursor;
-        std::thread::scope(|s| {
-            for i in 0..workers {
-                let task = base + i;
-                s.spawn(move || {
-                    let mut scratch = SliceScratch::default();
-                    loop {
-                        // ORDERING: Relaxed — the cursor only has to hand
-                        // out each index once; slice independence within
-                        // a level means no ordering rides on the claim.
-                        let idx = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                        if idx >= bucket_ref.len() {
-                            break;
-                        }
-                        let (k1, k2) = bucket_ref[idx];
-                        let v = tabulate_child_traced(
-                            p1,
-                            p2,
-                            k1,
-                            k2,
-                            settled_ref,
-                            &mut scratch,
-                            log,
-                            task,
-                        );
-                        traced_ref.set(task, k1, k2, v);
-                    }
-                });
-            }
-        });
-        for i in 0..workers {
-            log.join(root, base + i);
-        }
-        // Fold the joined level into the snapshot; these coordinator
-        // reads are recorded (owner = parent sentinel), the snapshot
-        // stores are replication and are not.
-        for &(k1, k2) in &bucket {
-            settled.set(k1, k2, traced.get(root, PARENT_SLICE, k1, k2));
-        }
-    }
-    atomic.into_inner()
-}
-
-/// Traced twin of `rayon_backend::stage_one`: per-row fork of `threads`
-/// claimer tasks, join at end of row, coordinator installs the row.
-fn rayon_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    log: &TraceLog,
-    root: TaskId,
-) -> MemoTable {
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    let mut memo = MemoTable::zeroed(a1, a2);
-    for k1 in 0..a1 {
-        let workers = threads.min(a2).max(1);
-        let base = log.alloc_tasks(workers);
-        for i in 0..workers {
-            log.fork(root, base + i);
-        }
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::with_capacity(a2 as usize));
-        let memo_ref = &memo;
-        let cursor_ref = &cursor;
-        let results_ref = &results;
-        std::thread::scope(|s| {
-            for i in 0..workers {
-                let task = base + i;
-                s.spawn(move || {
-                    let mut scratch = SliceScratch::default();
-                    let mut local: Vec<(u32, u32)> = Vec::new();
-                    loop {
-                        // ORDERING: Relaxed — claim counter only; see the
-                        // wavefront cursor above.
-                        let k2 = cursor_ref.fetch_add(1, Ordering::Relaxed) as u32;
-                        if k2 >= a2 {
-                            break;
-                        }
-                        let v = tabulate_child_traced(
-                            p1,
-                            p2,
-                            k1,
-                            k2,
-                            memo_ref,
-                            &mut scratch,
-                            log,
-                            task,
-                        );
-                        // Record-then-publish: publication is the
-                        // coordinator's install after the row join.
-                        log.write(task, k1, k2);
-                        local.push((k2, v));
-                    }
-                    results_ref
-                        .lock()
-                        .expect("no panics hold the results lock")
-                        .extend(local);
-                });
-            }
-        });
-        for i in 0..workers {
-            log.join(root, base + i);
-        }
-        let staged = std::mem::take(&mut *results.lock().expect("workers joined"));
-        for (k2, v) in staged {
-            memo.set(k1, k2, v); // replication of the recorded writes
-        }
-    }
-    memo
-}
-
-/// Traced twin of `pool::stage_one`: persistent workers, per-worker go
-/// channels, shared result channel with completion markers, the memo
-/// behind a readers-writer lock. Row `k1` is barrier id `k1`.
-fn pool_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    log: &TraceLog,
-    root: TaskId,
-) -> MemoTable {
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    let weights = workload::column_weights(p1, p2);
-    let assignment = Policy::Greedy.assign(&weights, threads);
-    let workers = assignment.processors();
-    let memo = RwLock::new(MemoTable::zeroed(a1, a2));
-    let base = log.alloc_tasks(workers);
-
-    std::thread::scope(|scope| {
-        let (result_tx, result_rx) = bounded::<(u32, u32, u32)>(a2 as usize + 1);
-        let mut row_txs: Vec<Sender<u32>> = Vec::with_capacity(workers as usize);
-        for w in 0..workers {
-            let (tx, rx) = bounded::<u32>(1);
-            row_txs.push(tx);
-            let result_tx = result_tx.clone();
-            let my_columns: Vec<u32> = (0..a2)
-                .filter(|&k2| assignment.owner[k2 as usize] == w)
-                .collect();
-            let memo = &memo;
-            let task = base + w;
-            log.fork(root, task);
-            scope.spawn(move || {
-                let mut scratch = SliceScratch::default();
-                let mut prev_row: Option<u32> = None;
-                while let Ok(k1) = rx.recv() {
-                    // Receive-then-record: the go signal for this row is
-                    // what releases the previous row's barrier.
-                    if let Some(prev) = prev_row {
-                        log.leave(task, prev);
-                    }
-                    let guard = memo.read();
-                    for &k2 in &my_columns {
-                        let v =
-                            tabulate_child_traced(p1, p2, k1, k2, &guard, &mut scratch, log, task);
-                        // Record-then-publish: publication is the result
-                        // send the coordinator installs from.
-                        log.write(task, k1, k2);
-                        result_tx.send((k1, k2, v)).expect("coordinator alive");
-                    }
-                    drop(guard);
-                    // Record-then-send: the completion marker is this
-                    // task's arrival at the row barrier.
-                    log.arrive(task, k1);
-                    result_tx
-                        .send((k1, u32::MAX, w))
-                        .expect("coordinator alive");
-                    prev_row = Some(k1);
-                }
-            });
-        }
-        drop(result_tx);
-
-        for k1 in 0..a1 {
-            for tx in &row_txs {
-                tx.send(k1).expect("worker alive");
-            }
-            let mut done = 0u32;
-            let mut staged: Vec<(u32, u32)> = Vec::new();
-            while done < workers {
-                let (row, k2, v) = result_rx.recv().expect("workers alive");
-                debug_assert_eq!(row, k1, "workers run in row lockstep");
-                if k2 == u32::MAX {
-                    done += 1;
-                } else {
-                    staged.push((k2, v));
-                }
-            }
-            let mut guard = memo.write();
-            for (k2, v) in staged {
-                guard.set(k1, k2, v); // replication of the recorded writes
-            }
-        }
-        drop(row_txs);
-    });
-    for w in 0..workers {
-        log.join(root, base + w);
-    }
-    memo.into_inner()
-}
-
-/// Traced twin of `manager_worker::stage_one` with `threads` workers
-/// plus the dedicated manager rank. The per-row allreduce is recorded
-/// as barrier `k1`: no rank's allreduce returns before every rank has
-/// contributed, so arrive-before-allreduce / leave-after-allreduce is
-/// the faithful edge set.
-fn manager_worker_traced(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    log: &TraceLog,
-    root: TaskId,
-) -> MemoTable {
-    let ranks = threads + 1;
-    let a1 = p1.num_arcs();
-    let a2 = p2.num_arcs();
-    let weights = workload::column_weights(p1, p2);
-    let mut order: Vec<u32> = (0..a2).collect();
-    order.sort_by_key(|&k2| std::cmp::Reverse(weights[k2 as usize]));
-    let order = &order;
-
-    let base = log.alloc_tasks(ranks);
-    for r in 0..ranks {
-        log.fork(root, base + r);
-    }
-    let mut tables = mpi_sim::run(ranks, |mut comm: Communicator<Vec<u32>>| {
-        let rank = comm.rank();
-        let task = base + rank;
-        let mut memo = MemoTable::zeroed(a1, a2);
-        let mut scratch = SliceScratch::default();
-        for k1 in 0..a1 {
-            if rank == 0 {
-                manager_worker::manage_row(&mut comm, order, ranks - 1);
-            } else {
-                // Worker side of the request/assign protocol, with the
-                // replica accesses recorded.
-                loop {
-                    comm.send(0, manager_worker::TAG_REQUEST, vec![]);
-                    let assignment = comm.recv(0, manager_worker::TAG_ASSIGN);
-                    match assignment.first() {
-                        Some(&k2) => {
-                            let v = tabulate_child_traced(
-                                p1,
-                                p2,
-                                k1,
-                                k2,
-                                &memo,
-                                &mut scratch,
-                                log,
-                                task,
-                            );
-                            // Record-then-publish: publication is the
-                            // row allreduce below.
-                            log.write(task, k1, k2);
-                            memo.set(k1, k2, v);
-                        }
-                        None => break,
-                    }
-                }
-            }
-            // Record-then-send / receive-then-record around the
-            // allreduce (a barrier: it cannot return anywhere before
-            // every rank has entered).
-            log.arrive(task, k1);
-            let merged = comm.allreduce(memo.row(k1).to_vec(), |mut acc, other| {
-                for (x, y) in acc.iter_mut().zip(&other) {
-                    *x = (*x).max(*y);
-                }
-                acc
-            });
-            log.leave(task, k1);
-            memo.row_mut(k1).copy_from_slice(&merged); // replication
-        }
-        memo
-    });
-    for r in 0..ranks {
-        log.join(root, base + r);
-    }
-    tables.swap_remove(0)
 }
 
 #[cfg(test)]

@@ -24,38 +24,25 @@
 //! `depth₂(c2) < depth₂(k2)`, hence
 //! `max(depth₁(c1), depth₂(c2)) < max(depth₁(k1), depth₂(k2))`. All
 //! slices of one level are therefore mutually independent and may run
-//! concurrently once every lower level has completed.
+//! concurrently once every lower level has completed — `max_depth + 1`
+//! synchronization points instead of `A₁`. On a chain of `h` hairpin
+//! groups the row schedule pays `A₁` barriers for a dependency graph
+//! that is only `stem_depth` levels deep; on the fully nested worst case
+//! (`depth(k) = k`) the two schedules coincide and wavefront costs
+//! nothing extra.
 //!
-//! The executor materializes this directly: slices are bucketed by level
-//! ([`level_buckets`]), each bucket fans out over a rayon pool against a
-//! lock-free [`AtomicMemoTable`], and the only synchronization is the
-//! fork/join around each bucket — `max_depth + 1` barriers total instead
-//! of `A₁`. On a chain of `h` hairpin groups the row schedule pays `A₁`
-//! barriers for a dependency graph that is only `stem_depth` levels deep;
-//! on the fully nested worst case (`depth(k) = k`) the two schedules
-//! coincide and wavefront costs nothing extra.
-//!
-//! Two tables carry the schedule. Workers publish results into a
-//! lock-free [`AtomicMemoTable`] with `Relaxed` stores — every slice
-//! writes a distinct entry, so a whole level writes concurrently with no
-//! locking at all. Reads, however, never target the atomic table: a
-//! slice only depends on *settled* levels, so workers read from a plain
-//! [`MemoTable`] snapshot that the coordinator refreshes (one `Relaxed`
-//! load per just-finished slice) after each level joins. This keeps the
-//! hot `d₂` row gather a plain `copy_from_slice` — the same memcpy the
-//! row-barrier backends enjoy — instead of per-element atomic loads,
-//! which the compiler may not vectorize and which measurably lag under
-//! the memory-bandwidth pressure of high thread counts. The pool join
-//! between buckets is the only synchronization: join is a synchronizing
-//! operation, so every level-`l` store *happens-before* the coordinator's
-//! snapshot update and every level-`l+1` read.
+//! This module owns the level *bucketing* ([`level_buckets`],
+//! [`num_levels`]); the execution itself is the engine composition
+//! [`crate::Backend::WAVEFRONT`] = wavefront schedule × lock-free
+//! store × claimed distribution
+//! ([`LevelWavefront`](crate::engine::LevelWavefront) ×
+//! [`LockFreeAtomic`](crate::engine::LockFreeAtomic)): workers publish
+//! into the atomic table with `Relaxed` stores (every slice writes a
+//! distinct entry), read from a plain settled snapshot — keeping the
+//! hot `d₂` gather a plain `copy_from_slice` — and the coordinator
+//! folds each level into the snapshot after it joins.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-
-use mcos_core::memo::{AtomicMemoTable, MemoTable};
 use mcos_core::preprocess::Preprocessed;
-use mcos_telemetry::{BarrierKind, Recorder};
-use rayon::prelude::*;
 
 /// Groups all child slices (arc pairs) by scheduling level:
 /// `buckets[l]` holds every pair `(k1, k2)` with
@@ -90,76 +77,22 @@ pub fn num_levels(p1: &Preprocessed, p2: &Preprocessed) -> u32 {
     }
 }
 
-/// Runs stage one level by level on a rayon pool of `threads` threads.
-pub(crate) fn stage_one(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
-    threads: u32,
-    recorder: &Recorder,
-) -> MemoTable {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads as usize)
-        .build()
-        .expect("rayon pool construction");
-    let memo = AtomicMemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
-    // Snapshot of every settled level; what the workers actually read.
-    // Trailing (unwritten) entries are zero in both tables, and the
-    // kernel only ever reads strictly-lower levels, so the snapshot is
-    // always exact where it matters.
-    let mut settled = MemoTable::zeroed(p1.num_arcs(), p2.num_arcs());
-    let mut coord = recorder.lane(0);
-
-    for (level, mut bucket) in level_buckets(p1, p2).into_iter().enumerate() {
-        // Largest slices first (LPT order): a level's work is often
-        // dominated by a few deep pairs, and scheduling those before the
-        // swarm of small ones keeps the join from waiting on a straggler
-        // that started last.
-        bucket.sort_by_key(|&(k1, k2)| {
-            std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
-        });
-        // All slices of one level: independent of each other, dependent
-        // only on already-joined lower levels (read via `settled`).
-        let settled_ref = &settled;
-        let join = coord.start();
-        // Worker lanes restart at 1 every level so a pool participant
-        // keeps a stable trace lane regardless of scheduling order.
-        let lanes = AtomicU32::new(1);
-        pool.install(|| {
-            bucket.par_iter().for_each_init(
-                || {
-                    // ORDERING: the counter only hands out distinct lane
-                    // ids for labelling; no memory is published through
-                    // it.
-                    let lane = lanes.fetch_add(1, Ordering::Relaxed);
-                    (recorder.lane(lane), crate::SliceScratch::default())
-                },
-                |(log, scratch), &(k1, k2)| {
-                    let span = log.start();
-                    let v = crate::tabulate_child(p1, p2, k1, k2, settled_ref, scratch);
-                    memo.set(k1, k2, v);
-                    log.slice(span, k1, k2, || crate::slice_detail(p1, p2, k1, k2));
-                },
-            );
-        });
-        // The join above settles this level: fold it into the snapshot
-        // (O(bucket) — over the whole run this copies each entry once).
-        for &(k1, k2) in &bucket {
-            settled.set(k1, k2, memo.get(k1, k2));
-        }
-        recorder.count_settled_reads(bucket.len() as u64);
-        // The coordinator is parked for the whole fork/join plus the
-        // snapshot fold; the span is the per-level barrier cost.
-        coord.barrier(join, BarrierKind::LevelJoin, level as u32);
-    }
-    memo.into_inner()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{prna, Backend, PrnaConfig};
+    use load_balance::Policy;
     use mcos_core::srna2;
     use rna_structure::formats::dot_bracket;
     use rna_structure::generate;
+
+    fn config(threads: u32) -> PrnaConfig {
+        PrnaConfig {
+            processors: threads,
+            policy: Policy::Greedy,
+            backend: Backend::WAVEFRONT,
+        }
+    }
 
     #[test]
     fn buckets_partition_all_pairs_by_level() {
@@ -226,11 +159,13 @@ mod tests {
     fn wavefront_matches_sequential_stage_one() {
         let s1 = generate::random_structure(64, 0.9, 31);
         let s2 = generate::random_structure(60, 1.0, 32);
-        let p1 = Preprocessed::build(&s1);
-        let p2 = Preprocessed::build(&s2);
-        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        let reference = srna2::run(&s1, &s2).memo;
         for threads in [1u32, 2, 4, 8] {
-            assert_eq!(stage_one(&p1, &p2, threads, &Recorder::disabled()), reference, "threads {threads}");
+            assert_eq!(
+                prna(&s1, &s2, &config(threads)).memo,
+                reference,
+                "threads {threads}"
+            );
         }
     }
 
@@ -240,18 +175,19 @@ mod tests {
             generate::skewed_groups(4, 2, 4),
             generate::hairpin_chain(10, 4, 3),
         ] {
-            let p = Preprocessed::build(&s);
-            let reference = srna2::run_preprocessed(&p, &p).memo;
-            assert_eq!(stage_one(&p, &p, 4, &Recorder::disabled()), reference);
+            let reference = srna2::run(&s, &s).memo;
+            assert_eq!(prna(&s, &s, &config(4)).memo, reference);
         }
     }
 
     #[test]
     fn wavefront_empty_structures() {
-        let p = Preprocessed::build(&dot_bracket::parse("....").unwrap());
+        let s = dot_bracket::parse("....").unwrap();
+        let p = Preprocessed::build(&s);
         assert!(level_buckets(&p, &p).is_empty());
         assert_eq!(num_levels(&p, &p), 0);
-        let memo = stage_one(&p, &p, 4, &Recorder::disabled());
-        assert_eq!(memo.rows(), 0);
+        let out = prna(&s, &s, &config(4));
+        assert_eq!(out.memo.rows(), 0);
+        assert_eq!(out.score, 0);
     }
 }

@@ -1,0 +1,122 @@
+//! The execution-engine acceptance matrix: every schedule × store ×
+//! distribution composition must produce bit-identical results to the
+//! sequential SRNA2 reference at every thread count, and wrapping any
+//! composition in the `Tracing` decorator must not change its output.
+
+use load_balance::Policy;
+use mcos_core::srna2;
+use mcos_core::trace::TraceLog;
+use mcos_parallel::{prna, prna_traced, Backend, PrnaConfig, TracedBackend};
+use rna_structure::generate;
+
+fn config(backend: Backend, processors: u32) -> PrnaConfig {
+    PrnaConfig {
+        processors,
+        policy: Policy::Lpt,
+        backend,
+    }
+}
+
+/// Every composition in the full 2×3×3 matrix is bit-identical to the
+/// sequential reference — memo table and score — at 1, 2, 4, and 8
+/// threads.
+#[test]
+fn full_matrix_matches_srna2_at_every_thread_count() {
+    let s1 = generate::random_structure(52, 0.9, 41);
+    let s2 = generate::random_structure(44, 0.8, 42);
+    let reference = srna2::run(&s1, &s2);
+    assert!(reference.score > 0, "degenerate input");
+    for backend in Backend::MATRIX {
+        for threads in [1u32, 2, 4, 8] {
+            let out = prna(&s1, &s2, &config(backend, threads));
+            assert_eq!(
+                out.score,
+                reference.score,
+                "{} threads {threads}",
+                backend.name()
+            );
+            assert_eq!(
+                out.memo,
+                reference.memo,
+                "memo mismatch: {} threads {threads}",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// The matrix also agrees on structures chosen to stress the schedules:
+/// a hairpin chain (many rows, few levels) and a skewed staircase
+/// (strong per-row imbalance).
+#[test]
+fn full_matrix_agrees_on_adversarial_shapes() {
+    for s in [
+        generate::hairpin_chain(8, 3, 2),
+        generate::skewed_groups(4, 2, 4),
+    ] {
+        let reference = srna2::run(&s, &s);
+        for backend in Backend::MATRIX {
+            let out = prna(&s, &s, &config(backend, 3));
+            assert_eq!(out.memo, reference.memo, "{}", backend.name());
+        }
+    }
+}
+
+/// A `Tracing`-decorated run is observationally identical to the
+/// undecorated composition: same score, same memo, for every legacy
+/// backend the detector sweeps.
+#[test]
+fn tracing_decorator_does_not_change_results() {
+    let s1 = generate::random_structure(48, 0.9, 43);
+    let s2 = generate::random_structure(40, 0.8, 44);
+    for (traced, plain) in [
+        (TracedBackend::WorkerPool, Backend::WORKER_POOL),
+        (TracedBackend::Rayon, Backend::RAYON),
+        (TracedBackend::Wavefront, Backend::WAVEFRONT),
+        (TracedBackend::ManagerWorker, Backend::MANAGER_WORKER),
+    ] {
+        for threads in [1u32, 2, 4] {
+            let log = TraceLog::new();
+            let decorated = prna_traced(&s1, &s2, traced, threads, &log);
+            let undecorated = prna(&s1, &s2, &config(plain, threads));
+            assert_eq!(
+                decorated.score,
+                undecorated.score,
+                "{} threads {threads}",
+                plain.name()
+            );
+            assert_eq!(
+                decorated.memo,
+                undecorated.memo,
+                "memo mismatch: {} threads {threads}",
+                plain.name()
+            );
+            assert!(!log.is_empty(), "{} recorded nothing", plain.name());
+        }
+    }
+}
+
+/// Compositions no bespoke backend ever offered are reachable from the
+/// CLI grammar and correct.
+#[test]
+fn new_combinations_are_reachable_by_name() {
+    let s1 = generate::random_structure(48, 0.9, 45);
+    let s2 = generate::random_structure(44, 0.9, 46);
+    let reference = srna2::run(&s1, &s2);
+    for name in [
+        "wavefront-replicated",
+        "row-lockfree",
+        "wavefront-rwlock-managed",
+        "row-replicated-claim",
+    ] {
+        let backend = Backend::from_name(name).expect(name);
+        assert_eq!(backend.name(), name);
+        assert!(
+            !Backend::ALL.contains(&backend),
+            "{name} is supposed to be a new combination"
+        );
+        let out = prna(&s1, &s2, &config(backend, 4));
+        assert_eq!(out.score, reference.score, "{name}");
+        assert_eq!(out.memo, reference.memo, "{name}");
+    }
+}

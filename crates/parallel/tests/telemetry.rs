@@ -55,8 +55,8 @@ fn lane_labels(events: &[Event]) -> Vec<(u32, Vec<String>)> {
 /// identical per-lane label sequences.
 #[test]
 fn pool_event_order_is_deterministic_per_lane() {
-    let a = lane_labels(&record(Backend::WorkerPool, 2));
-    let b = lane_labels(&record(Backend::WorkerPool, 2));
+    let a = lane_labels(&record(Backend::WORKER_POOL, 2));
+    let b = lane_labels(&record(Backend::WORKER_POOL, 2));
     assert_eq!(a, b);
     // Both workers actually tabulated something on this input.
     for tid in [1, 2] {
@@ -72,10 +72,12 @@ fn pool_event_order_is_deterministic_per_lane() {
 /// Allreduce make each rank's sequence a pure function of the input.
 #[test]
 fn mpi_event_order_is_deterministic_per_lane() {
-    let a = lane_labels(&record(Backend::MpiSim, 3));
-    let b = lane_labels(&record(Backend::MpiSim, 3));
+    let a = lane_labels(&record(Backend::MPI_SIM, 3));
+    let b = lane_labels(&record(Backend::MPI_SIM, 3));
     assert_eq!(a, b);
-    assert!(a.iter().any(|(_, labels)| labels.iter().any(|l| l == "allreduce")));
+    assert!(a
+        .iter()
+        .any(|(_, labels)| labels.iter().any(|l| l == "allreduce")));
 }
 
 /// Every backend feeds the recorder: phase spans on lane 0 plus
@@ -98,7 +100,12 @@ fn every_backend_records_slices_and_phases() {
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Phase(_)))
             .count();
-        assert_eq!(phases, 3, "{}: preprocess/stage-one/stage-two", backend.name());
+        assert_eq!(
+            phases,
+            3,
+            "{}: preprocess/stage-one/stage-two",
+            backend.name()
+        );
         assert!(
             events.iter().any(|e| e.kind.is_wait()),
             "{}: no barrier/collective span",
@@ -117,7 +124,7 @@ fn chrome_trace_export_satisfies_schema() {
     // row-wait barrier per row even when they own no columns (the rayon
     // shim's fresh-thread workers, by contrast, may never claim work on
     // tiny inputs).
-    let events = record(Backend::WorkerPool, 2);
+    let events = record(Backend::WORKER_POOL, 2);
     assert!(!events.is_empty());
     let text = trace::chrome_trace_json(&events);
     let root = json::parse(&text).expect("trace.json must parse");

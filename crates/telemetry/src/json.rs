@@ -339,7 +339,15 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "tru", "{\"a\"}", "\"\\x\"", "1 2", "\"\\ud800\"", "01a",
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "{\"a\"}",
+            "\"\\x\"",
+            "1 2",
+            "\"\\ud800\"",
+            "01a",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

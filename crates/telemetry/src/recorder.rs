@@ -41,6 +41,8 @@ pub enum BarrierKind {
     /// The fork/join barrier at the end of a wavefront level (includes
     /// folding the level into the settled snapshot).
     LevelJoin,
+    /// A worker waiting for the next wavefront level to be released.
+    LevelWait,
     /// A manager–worker rank waiting for its next column assignment.
     TaskWait,
 }
@@ -53,6 +55,7 @@ impl BarrierKind {
             BarrierKind::RowInstall => "row-install",
             BarrierKind::RowJoin => "row-join",
             BarrierKind::LevelJoin => "level-join",
+            BarrierKind::LevelWait => "level-wait",
             BarrierKind::TaskWait => "task-wait",
         }
     }
@@ -119,7 +122,10 @@ impl EventKind {
     /// Whether the span is synchronization/communication wait
     /// (barriers and collectives).
     pub fn is_wait(self) -> bool {
-        matches!(self, EventKind::Barrier { .. } | EventKind::Allreduce { .. })
+        matches!(
+            self,
+            EventKind::Barrier { .. } | EventKind::Allreduce { .. }
+        )
     }
 }
 
@@ -376,12 +382,16 @@ impl LogState {
         counter_add(&c.slices, std::mem::take(&mut self.slices));
         counter_add(&c.cells, std::mem::take(&mut self.cells));
         counter_add(&c.barriers, std::mem::take(&mut self.barriers));
-        counter_add(&c.allreduce_bytes, std::mem::take(&mut self.allreduce_bytes));
+        counter_add(
+            &c.allreduce_bytes,
+            std::mem::take(&mut self.allreduce_bytes),
+        );
         let max_cells = std::mem::take(&mut self.max_cells);
         if max_cells != 0 {
             // ORDERING: accounting only — see `counter_load`; fetch_max
             // keeps the largest value, read after the join edge.
-            c.max_cells_per_slice.fetch_max(max_cells, Ordering::Relaxed);
+            c.max_cells_per_slice
+                .fetch_max(max_cells, Ordering::Relaxed);
         }
     }
 }
@@ -418,7 +428,15 @@ impl WorkerLog {
             state.slices += 1;
             state.cells += cells;
             state.max_cells = state.max_cells.max(cells);
-            state.record(t0, EventKind::Slice { k1, k2, level, cells });
+            state.record(
+                t0,
+                EventKind::Slice {
+                    k1,
+                    k2,
+                    level,
+                    cells,
+                },
+            );
         }
     }
 
@@ -503,7 +521,12 @@ mod tests {
         assert!(events.iter().all(|e| e.tid == 2));
         assert_eq!(
             events[0].kind,
-            EventKind::Slice { k1: 3, k2: 5, level: 1, cells: 40 }
+            EventKind::Slice {
+                k1: 3,
+                k2: 5,
+                level: 1,
+                cells: 40
+            }
         );
         assert_eq!(events[0].kind.label(), "slice (3,5)");
         assert!(events[0].kind.is_busy());
@@ -539,7 +562,11 @@ mod tests {
         let events = rec.events();
         assert_eq!(events.len(), 8);
         for tid in [1u32, 2] {
-            let seqs: Vec<u32> = events.iter().filter(|e| e.tid == tid).map(|e| e.seq).collect();
+            let seqs: Vec<u32> = events
+                .iter()
+                .filter(|e| e.tid == tid)
+                .map(|e| e.seq)
+                .collect();
             assert_eq!(seqs, vec![0, 1, 2, 3], "lane {tid} out of order");
             let starts: Vec<u64> = events
                 .iter()

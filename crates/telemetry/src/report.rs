@@ -79,7 +79,10 @@ impl LoadReport {
             .unwrap_or(0)
             .max(processors);
         let mut workers: Vec<WorkerLoad> = (0..=max_tid)
-            .map(|tid| WorkerLoad { tid, ..WorkerLoad::default() })
+            .map(|tid| WorkerLoad {
+                tid,
+                ..WorkerLoad::default()
+            })
             .collect();
         for e in events {
             let w = &mut workers[e.tid as usize];
@@ -248,9 +251,27 @@ mod tests {
         let events = vec![
             ev(0, 0, 0, 1000, EventKind::Phase(Phase::StageOne)),
             ev(1, 0, 0, 600, slice(10)),
-            ev(1, 1, 600, 100, EventKind::Barrier { kind: BarrierKind::RowJoin, index: 0 }),
+            ev(
+                1,
+                1,
+                600,
+                100,
+                EventKind::Barrier {
+                    kind: BarrierKind::RowJoin,
+                    index: 0,
+                },
+            ),
             ev(2, 0, 0, 300, slice(5)),
-            ev(2, 1, 300, 400, EventKind::Allreduce { elems: 4, bytes: 16 }),
+            ev(
+                2,
+                1,
+                300,
+                400,
+                EventKind::Allreduce {
+                    elems: 4,
+                    bytes: 16,
+                },
+            ),
         ];
         let report = LoadReport::build(&events, 2);
         assert_eq!(report.wall_ns, 1000);

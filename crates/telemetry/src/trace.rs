@@ -86,7 +86,12 @@ fn micros(ns: u64) -> String {
 fn args_json(kind: EventKind) -> String {
     match kind {
         EventKind::Phase(_) => String::new(),
-        EventKind::Slice { k1, k2, level, cells } => {
+        EventKind::Slice {
+            k1,
+            k2,
+            level,
+            cells,
+        } => {
             format!("\"k1\":{k1},\"k2\":{k2},\"level\":{level},\"cells\":{cells}")
         }
         EventKind::Barrier { kind, index } => {

@@ -45,7 +45,9 @@ fn disabled_recorder_allocates_nothing_and_keeps_nothing() {
         let mut log = rec.lane(tid);
         for i in 0..1000u32 {
             let span = log.start();
-            log.slice(span, i, i + 1, || panic!("detail must not run when disabled"));
+            log.slice(span, i, i + 1, || {
+                panic!("detail must not run when disabled")
+            });
             let span = log.start();
             log.barrier(span, BarrierKind::RowJoin, i);
             let span = log.start();

@@ -44,7 +44,7 @@ fn policies_do_not_change_results() {
     );
     let reference = srna2::run(&s, &s);
     for policy in Policy::ALL {
-        for backend in [Backend::MpiSim, Backend::WorkerPool] {
+        for backend in [Backend::MPI_SIM, Backend::WORKER_POOL] {
             let out = prna(
                 &s,
                 &s,
@@ -79,7 +79,7 @@ fn wavefront_matches_srna2_at_all_thread_counts() {
                 &PrnaConfig {
                     processors: procs,
                     policy: Policy::Greedy,
-                    backend: Backend::Wavefront,
+                    backend: Backend::WAVEFRONT,
                 },
             );
             assert_eq!(out.score, reference.score, "{name} p{procs}");
@@ -97,7 +97,7 @@ fn prna_timings_partition_total() {
         &PrnaConfig {
             processors: 2,
             policy: Policy::Greedy,
-            backend: Backend::WorkerPool,
+            backend: Backend::WORKER_POOL,
         },
     );
     assert!(out.total() >= out.stage_one);
@@ -133,7 +133,7 @@ proptest! {
         let out = prna(&s1, &s2, &PrnaConfig {
             processors: procs,
             policy: Policy::Greedy,
-            backend: Backend::Wavefront,
+            backend: Backend::WAVEFRONT,
         });
         prop_assert_eq!(out.score, reference.score);
         prop_assert_eq!(&out.memo, &reference.memo);

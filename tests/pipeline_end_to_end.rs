@@ -54,7 +54,7 @@ fn rrna_scale_pipeline() {
         &PrnaConfig {
             processors: 3,
             policy: Policy::Greedy,
-            backend: Backend::MpiSim,
+            backend: Backend::MPI_SIM,
         },
     );
     assert_eq!(par.score, seq.score);

@@ -68,7 +68,7 @@ fn manager_worker_and_static_prna_agree() {
         &PrnaConfig {
             processors: 3,
             policy: Policy::Greedy,
-            backend: Backend::MpiSim,
+            backend: Backend::MPI_SIM,
         },
     );
     assert_eq!(mw.score, st.score);
