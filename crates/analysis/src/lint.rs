@@ -20,7 +20,8 @@
 //!   `Result` shortcuts without an allowlist entry naming the file (the
 //!   entry is the reviewed assertion that the invariant is real).
 //! * **`policy`** — every execution-engine policy implementation (an
-//!   `impl` of `Schedule` or `MemoStore`) must carry an adjacent
+//!   `impl` of `Schedule`, `MemoStore`, or `SliceKernel`) must carry an
+//!   adjacent
 //!   `// POLICY:` comment stating, in a sentence, what the policy
 //!   decides and why it is sound — the reviewed contract the engine's
 //!   generic loop depends on.
@@ -206,10 +207,14 @@ fn needle_unwrap() -> String {
 /// `"<Trait> for"` needles for the engine policy traits: an `impl` line
 /// containing one of these is a policy implementation.
 fn policy_needles() -> Vec<String> {
-    [["Sched", "ule"].concat(), ["Memo", "Store"].concat()]
-        .iter()
-        .map(|t| format!("{t} for "))
-        .collect()
+    [
+        ["Sched", "ule"].concat(),
+        ["Memo", "Store"].concat(),
+        ["Slice", "Kernel"].concat(),
+    ]
+    .iter()
+    .map(|t| format!("{t} for "))
+    .collect()
 }
 
 /// Whether the keyword at byte offset `pos` (length `len`) in `line`
@@ -413,24 +418,31 @@ mod tests {
     fn flags_policy_impl_without_contract_comment() {
         let sched = ["Sched", "ule"].concat();
         let store = ["Memo", "Store"].concat();
+        let kernel = ["Slice", "Kernel"].concat();
         let bad = format!("struct R;\nimpl {sched} for R {{}}\n");
         let bad_generic = format!("struct T<M>(M);\nimpl<M: {store}> {store} for T<M> {{}}\n");
+        let bad_kernel = format!("struct K;\nimpl {kernel} for K {{}}\n");
         let good = format!("// POLICY: one step per row of M.\nimpl {sched} for G {{}}\n");
+        let good_kernel = format!("// POLICY: fused scalar loop.\nimpl {kernel} for S {{}}\n");
         // A where-clause bound or trait definition is not an impl.
         let unrelated = format!("pub trait {sched} {{}}\nfn run<S: {sched}>(s: S) {{}}\n");
         let root = fixture(&[
             ("crates/demo/src/bad.rs", bad.as_str()),
             ("crates/demo/src/badgen.rs", bad_generic.as_str()),
+            ("crates/demo/src/badkernel.rs", bad_kernel.as_str()),
             ("crates/demo/src/good.rs", good.as_str()),
+            ("crates/demo/src/goodkernel.rs", good_kernel.as_str()),
             ("crates/demo/src/unrelated.rs", unrelated.as_str()),
         ]);
         let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
-        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings.len(), 3, "{findings:?}");
         assert!(findings.iter().all(|f| f.rule == Rule::Policy));
 
-        let allow =
-            Allowlist::parse("policy crates/demo/src/bad.rs\npolicy crates/demo/src/badgen.rs\n")
-                .unwrap();
+        let allow = Allowlist::parse(
+            "policy crates/demo/src/bad.rs\npolicy crates/demo/src/badgen.rs\n\
+             policy crates/demo/src/badkernel.rs\n",
+        )
+        .unwrap();
         assert!(lint_workspace(&root, &allow).unwrap().is_empty());
     }
 

@@ -19,6 +19,7 @@ fn bench_backends(c: &mut Criterion) {
             processors: procs,
             policy: Policy::Greedy,
             backend,
+            ..PrnaConfig::default()
         };
         group.bench_with_input(BenchmarkId::new(backend.name(), procs), &s, |b, s| {
             b.iter(|| prna(black_box(s), black_box(s), &config).score)
@@ -40,6 +41,7 @@ fn bench_skewed_scheduling(c: &mut Criterion) {
             processors: 2,
             policy: Policy::Greedy,
             backend,
+            ..PrnaConfig::default()
         };
         group.bench_with_input(BenchmarkId::new(backend.name(), 2), &s, |b, s| {
             b.iter(|| prna(black_box(s), black_box(s), &config).score)

@@ -103,6 +103,7 @@ fn main() {
                     processors: threads,
                     policy: Policy::Greedy,
                     backend,
+                    ..PrnaConfig::default()
                 };
                 let mut out = prna(s, s, &config);
                 for _ in 1..reps {

@@ -36,6 +36,7 @@ fn main() {
                     processors: ranks,
                     policy: Policy::Greedy,
                     backend: Backend::MPI_SIM,
+                    ..PrnaConfig::default()
                 },
             )
         });

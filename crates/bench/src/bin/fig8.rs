@@ -143,6 +143,7 @@ fn main() {
                     processors: pr,
                     policy: Policy::Greedy,
                     backend,
+                    ..PrnaConfig::default()
                 };
                 let (out, d) = time(|| prna(&s, &s, &config));
                 assert_eq!(out.score, seq.score);

@@ -1,0 +1,192 @@
+//! Kernel throughput sweep: every slice-tabulation kernel, single-thread
+//! and under every legacy parallel backend, on the three input shapes.
+//!
+//! Usage: `cargo run -p mcos-bench --release --bin kernel_bench
+//!         [-- --quick] [-- --out PATH] [-- --reps N]`
+//!
+//! (Add `--features simd` to measure the explicit 8-lane scan; the
+//! emitted JSON records which variant was built.)
+//!
+//! The kernel layer (`mcos_core::kernel`) is an axis orthogonal to the
+//! engine's schedule × store × distribution matrix: it only swaps the
+//! inner max-plus loop of one slice. This bin answers the two questions
+//! that axis raises:
+//!
+//! * **single-thread**: what does each kernel's raw tabulation rate
+//!   (cells/sec) look like per input shape, and what speedup does the
+//!   tiled sweep deliver over the classic scalar loop? The headline
+//!   target is ≥2× on the dense worst case — where slices are large and
+//!   the scalar loop's serial max chain dominates — with no regression
+//!   on the hairpin chain, whose many tiny slices leave no room for
+//!   per-slice preprocessing to amortize.
+//! * **composed**: does the kernel choice keep paying once a parallel
+//!   backend wraps it in barriers and memo traffic, for every legacy
+//!   backend at a fixed thread count?
+//!
+//! Each configuration runs `--reps` times (default 3) and the fastest
+//! time is reported — the minimum is the stablest estimator on a shared
+//! machine. Scores are cross-checked across kernels on every run; a
+//! mismatch aborts the bench (the equivalence suite owns the exhaustive
+//! version of that claim).
+//!
+//! Results go to stdout (table) and to `--out` (default
+//! `crates/bench/results/BENCH_kernel.json`). `--quick` shrinks the
+//! inputs and drops to 1 rep for smoke runs (CI).
+
+use std::fmt::Write as _;
+
+use load_balance::Policy;
+use mcos_bench::{opt_value, secs, Table};
+use mcos_core::kernel::KernelKind;
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::srna2;
+use mcos_parallel::{prna, Backend, PrnaConfig};
+use rna_structure::ArcStructure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = mcos_bench::has_flag(&args, "--quick");
+    let reps: u32 = opt_value(&args, "--reps")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    let out_path = opt_value(&args, "--out")
+        .unwrap_or("crates/bench/results/BENCH_kernel.json")
+        .to_string();
+
+    use rna_structure::generate;
+    let inputs: Vec<(&str, ArcStructure)> = if quick {
+        vec![
+            ("worst-case", generate::worst_case_nested(48)),
+            ("hairpin-chain", generate::hairpin_chain(40, 3, 2)),
+            ("skewed", generate::skewed_groups(6, 2, 4)),
+        ]
+    } else {
+        vec![
+            ("worst-case", generate::worst_case_nested(256)),
+            ("hairpin-chain", generate::hairpin_chain(120, 4, 2)),
+            ("skewed", generate::skewed_groups(10, 2, 6)),
+        ]
+    };
+    let threads: u32 = if quick { 2 } else { 4 };
+
+    let mut json = format!(
+        "{{\n  \"experiment\": \"kernel\",\n  \"simd\": {},\n  \"reps\": {reps},\n  \
+         \"inputs\": [\n",
+        cfg!(feature = "simd"),
+    );
+    for (i, (name, s)) in inputs.iter().enumerate() {
+        let p = Preprocessed::build(s);
+        println!("\n=== {name} ({} arcs) ===", p.num_arcs());
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"arcs\": {}, \"single_thread\": [",
+            p.num_arcs()
+        );
+
+        // Single-thread sweep: the sequential SRNA2 driver with each
+        // kernel dispatched for every slice (stage one + stage two).
+        let mut table = Table::new(&["kernel", "total (s)", "Mcells/s", "vs scalar"]);
+        let mut scalar_time = f64::NAN;
+        let mut score = None;
+        for (k, kind) in KernelKind::ALL.into_iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut cells = 0u64;
+            for _ in 0..reps {
+                let (out, d) =
+                    mcos_bench::time(|| srna2::run_preprocessed_with_kernel(&p, &p, kind));
+                match score {
+                    None => score = Some(out.score),
+                    Some(sc) => {
+                        assert_eq!(sc, out.score, "{name}: kernel {} diverged", kind.name())
+                    }
+                }
+                best = best.min(d.as_secs_f64());
+                cells = out.counters.cells;
+            }
+            if kind == KernelKind::Scalar {
+                scalar_time = best;
+            }
+            let rate = cells as f64 / best / 1e6;
+            table.row(&[
+                kind.name().to_string(),
+                secs(std::time::Duration::from_secs_f64(best)),
+                format!("{rate:.1}"),
+                format!("{:.2}x", scalar_time / best),
+            ]);
+            let _ = writeln!(
+                json,
+                "      {{\"kernel\": \"{}\", \"seconds\": {best:.6}, \"cells\": {cells}, \
+                 \"cells_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.4}}}{}",
+                kind.name(),
+                cells as f64 / best,
+                scalar_time / best,
+                if k + 1 < KernelKind::ALL.len() {
+                    ","
+                } else {
+                    ""
+                },
+            );
+        }
+        println!("single-thread (sequential SRNA2 driver):");
+        println!("{}", table.render());
+
+        // Composed sweep: every legacy backend at a fixed thread count,
+        // per kernel — the kernel choice must survive the barriers.
+        json.push_str("    ], \"parallel\": [\n");
+        let mut table = Table::new(&["backend", "kernel", "stage1 (s)"]);
+        let mut first = true;
+        for backend in Backend::ALL {
+            for kind in KernelKind::ALL {
+                let config = PrnaConfig {
+                    processors: threads,
+                    policy: Policy::Greedy,
+                    backend,
+                    kernel: kind,
+                };
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let out = prna(s, s, &config);
+                    assert_eq!(
+                        Some(out.score),
+                        score,
+                        "{name}: {} diverged",
+                        backend.name()
+                    );
+                    best = best.min(out.stage_one.as_secs_f64());
+                }
+                table.row(&[
+                    backend.name().to_string(),
+                    kind.name().to_string(),
+                    format!("{best:.6}"),
+                ]);
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "      {{\"backend\": \"{}\", \"kernel\": \"{}\", \"threads\": {threads}, \
+                     \"stage_one_seconds\": {best:.6}}}",
+                    backend.name(),
+                    kind.name(),
+                );
+            }
+        }
+        println!("parallel stage one ({threads} threads):");
+        println!("{}", table.render());
+        json.push_str("\n    ]}");
+        json.push_str(if i + 1 < inputs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    println!("\n(single-thread rows time the full sequential run — stage one and two —");
+    println!(" through each kernel; cells/sec uses the counted DP cells. Parallel rows");
+    println!(" time stage one only, fastest of {reps} rep(s).)");
+}

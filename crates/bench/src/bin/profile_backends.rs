@@ -89,6 +89,7 @@ fn main() {
                     processors: threads,
                     policy: Policy::Greedy,
                     backend,
+                    ..PrnaConfig::default()
                 };
                 let recorder = Recorder::enabled();
                 let out = prna_recorded(s, s, &config, &recorder);

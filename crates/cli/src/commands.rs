@@ -2,7 +2,7 @@
 
 use load_balance::Policy;
 use mcos_core::{srna2, traceback, verify};
-use mcos_parallel::{prna, prna_recorded, Backend, PrnaConfig};
+use mcos_parallel::{prna, prna_recorded, Backend, KernelKind, PrnaConfig};
 use mcos_telemetry::report::{GrahamComparison, LoadReport};
 use mcos_telemetry::{trace, CounterSnapshot, Recorder};
 use par_sim::Scheduling;
@@ -15,7 +15,7 @@ pub const USAGE: &str = "\
 usage: srna <subcommand> [options]
 
   compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N]
-          [--backend NAME] [--weighted] [--stats]
+          [--backend NAME] [--kernel NAME] [--weighted] [--stats]
       Maximum common ordered substructure of two structure files.
       --backend picks the parallel stage-one engine when --threads > 1.
       NAME is <schedule>-<store>[-<dist>] with schedule row|wavefront,
@@ -23,6 +23,8 @@ usage: srna <subcommand> [options]
       (default static) — e.g. row-lockfree, wavefront-replicated.
       Legacy aliases: mpi-sim (mpi), worker-pool (pool, the default),
       rayon, wavefront, manager-worker (manager).
+      --kernel picks the slice-tabulation inner loop, orthogonal to the
+      backend: scalar, tiled (the default), or four-russians (fr).
       --weighted scores with sequence-aware Bafna-style weights (needs
       sequence-bearing formats: ct or bpseq).
       --stats prints work counters (slices, cells, largest slice, memo
@@ -38,12 +40,14 @@ usage: srna <subcommand> [options]
       Simulated PRNA speedup on a worst-case input of N arcs.
       --json emits the curve as JSON (to stdout, or to --out PATH).
   profile [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend NAME] [--out trace.json]
+          [--backend NAME] [--kernel NAME] [--out trace.json]
       Run PRNA with telemetry enabled: writes a Chrome/Perfetto trace
       (open in https://ui.perfetto.dev or chrome://tracing) and prints
-      the per-worker load report (busy/wait share, observed imbalance
-      vs the Graham bound) plus work counters. With no files, profiles
-      a generated hairpin-chain self-comparison. B defaults to A.
+      the per-worker load report (busy/wait share, largest slice,
+      observed imbalance vs the Graham bound), the per-kernel
+      tabulation throughput (cells/sec), and work counters. With no
+      files, profiles a generated hairpin-chain self-comparison.
+      B defaults to A.
   cluster <A> <B> <C> ... [--threshold 0.8] [--threads N]
       Pairwise MCOS similarity matrix and single-linkage clusters.
   draw <A> [--format db|ct|bpseq]
@@ -67,6 +71,16 @@ fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parses `--kernel` (defaulting to the production default kernel).
+fn parse_kernel(args: &[String]) -> Result<KernelKind, String> {
+    match opt_value(args, "--kernel") {
+        Some(name) => KernelKind::from_name(name).ok_or_else(|| {
+            format!("unknown kernel '{name}' (expected scalar, tiled, or four-russians)")
+        }),
+        None => Ok(KernelKind::default()),
+    }
 }
 
 /// Loads a structure file via `rna_structure::io` (extension-based
@@ -99,7 +113,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             skip = false;
             continue;
         }
-        if a == "--format" || a == "--threads" || a == "--backend" {
+        if a == "--format" || a == "--threads" || a == "--backend" || a == "--kernel" {
             skip = true;
             continue;
         }
@@ -163,12 +177,14 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         })?,
         None => Backend::WORKER_POOL,
     };
+    let kernel = parse_kernel(args)?;
     let stats = has_flag(args, "--stats");
     if threads > 1 {
         let config = PrnaConfig {
             processors: threads,
             policy: Policy::Greedy,
             backend,
+            kernel,
         };
         if stats {
             let recorder = Recorder::enabled();
@@ -179,7 +195,7 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
             println!("MCOS score: {} matched arcs", prna(&s1, &s2, &config).score);
         }
     } else {
-        let out = srna2::run(&s1, &s2);
+        let out = srna2::run_with_kernel(&s1, &s2, kernel);
         println!("MCOS score: {} matched arcs", out.score);
         if stats {
             let c = &out.counters;
@@ -241,7 +257,12 @@ pub fn profile(args: &[String]) -> Result<(), String> {
             skip = false;
             continue;
         }
-        if a == "--format" || a == "--threads" || a == "--backend" || a == "--out" {
+        if a == "--format"
+            || a == "--threads"
+            || a == "--backend"
+            || a == "--kernel"
+            || a == "--out"
+        {
             skip = true;
             continue;
         }
@@ -291,18 +312,25 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         })?,
         None => Backend::WORKER_POOL,
     };
+    let kernel = parse_kernel(args)?;
     let out_path = opt_value(args, "--out").unwrap_or("trace.json");
 
     let config = PrnaConfig {
         processors: threads,
         policy: Policy::Greedy,
         backend,
+        kernel,
     };
     let recorder = Recorder::enabled();
     let outcome = prna_recorded(&s1, &s2, &config, &recorder);
     let events = recorder.events();
 
-    println!("profiled {} @ {} threads: {label}", backend.name(), threads);
+    println!(
+        "profiled {} @ {} threads, kernel {}: {label}",
+        backend.name(),
+        threads,
+        kernel.name()
+    );
     println!(
         "MCOS score: {} matched arcs; stage one {:.3} ms, {} event(s) recorded",
         outcome.score,
@@ -318,7 +346,8 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
     let weights = mcos_core::workload::column_weights(&p1, &p2);
     let assignment = config.policy.assign(&weights, threads);
     let report = LoadReport::build(&events, threads)
-        .with_graham(GrahamComparison::from_assignment(&assignment, &weights));
+        .with_graham(GrahamComparison::from_assignment(&assignment, &weights))
+        .with_kernel(kernel.name());
     print!("{}", report.render());
     print_snapshot(&recorder.counters());
 

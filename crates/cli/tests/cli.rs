@@ -115,6 +115,72 @@ fn compare_with_threads_agrees() {
 }
 
 #[test]
+fn compare_kernels_agree_sequential_and_parallel() {
+    let a = temp_file("k1.db", "((((....))))((..))\n");
+    let b = temp_file("k2.db", "((..))((((....))))\n");
+    let score = |o: &Output| {
+        stdout(o)
+            .lines()
+            .find(|l| l.contains("MCOS score"))
+            .unwrap()
+            .to_string()
+    };
+    let reference = srna(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(reference.status.success(), "{}", stderr(&reference));
+    for kernel in ["scalar", "tiled", "four-russians"] {
+        for extra in [
+            &[][..],
+            &["--threads", "3", "--backend", "row-lockfree"][..],
+        ] {
+            let mut args = vec!["compare", a.to_str().unwrap(), b.to_str().unwrap()];
+            args.extend_from_slice(extra);
+            args.extend_from_slice(&["--kernel", kernel]);
+            let out = srna(&args);
+            assert!(out.status.success(), "{kernel}: {}", stderr(&out));
+            assert_eq!(score(&out), score(&reference), "kernel {kernel} {extra:?}");
+        }
+    }
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn compare_rejects_unknown_kernel() {
+    let f = temp_file("badkernel.db", "(.)\n");
+    let out = srna(&[
+        "compare",
+        f.to_str().unwrap(),
+        f.to_str().unwrap(),
+        "--kernel",
+        "warp9",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown kernel"));
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn profile_reports_kernel_throughput() {
+    let trace =
+        std::env::temp_dir().join(format!("srna_cli_test_{}_trace.json", std::process::id()));
+    let out = srna(&[
+        "profile",
+        "--threads",
+        "2",
+        "--kernel",
+        "tiled",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("kernel tiled"), "{text}");
+    assert!(text.contains("Mcells/s"), "{text}");
+    assert!(text.contains("max slice"), "{text}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn compare_rejects_missing_file() {
     let out = srna(&["compare", "/no/such/file.db", "/no/such/other.db"]);
     assert!(!out.status.success());

@@ -1,0 +1,635 @@
+//! Pluggable slice-tabulation kernels: interchangeable inner loops for
+//! the compressed-grid recurrence.
+//!
+//! The engine work (schedules × stores × distributions) optimized
+//! *synchronization*; on compute-bound shapes every backend bottlenecks
+//! on the same scalar inner loop. This module factors that loop into a
+//! policy of its own — a [`SliceKernel`] — mirroring the engine's
+//! policy style, with three implementations:
+//!
+//! * [`Scalar`] — the row-hoisted reference loop, byte-for-byte the
+//!   arithmetic of [`slice::tabulate_with_rows`](crate::slice::tabulate_with_rows);
+//! * [`Tiled`] — a cache-tiled two-phase sweep whose data-parallel
+//!   phase autovectorizes (and, under the `simd` feature, is written in
+//!   explicit 8-lane blocks with a log-step prefix-max);
+//! * [`FourRussians`] — a prototype of the Frid–Gusfield-style block
+//!   precomputation (arXiv:1307.7820): the running-max scan is replaced
+//!   by a difference-encoded table lookup over 4-column blocks.
+//!
+//! # Why the recurrence splits into two phases
+//!
+//! For a fixed row `p` the compressed-grid recurrence is
+//!
+//! ```text
+//! out[q+1] = max( prev[q+1], out[q], 1 + d1[q] + d2[q] )
+//! ```
+//!
+//! where `d1[q] = grid[r1][r2[q]]`. The key structural fact is that
+//! `r1 <= p`: `rank_before_left` counts window arcs ending *before* the
+//! current arc opens, and every such arc has a strictly smaller index.
+//! So the `d1` gather reads only **completed** rows, never the row being
+//! written. The only loop-carried dependency left is the running max
+//! `out[q]`, a max-plus *prefix scan*. Splitting the row:
+//!
+//! 1. **candidate phase** (data-parallel, vectorizable):
+//!    `m[q] = max(prev[q+1], 1 + d1[r2[q]] + d2[q])`
+//! 2. **scan phase** (prefix max with carry 0 at the row start, since
+//!    grid column 0 is identically 0):
+//!    `out[q+1] = max(out[q], m[q])`
+//!
+//! `max` is associative and all values are exact integers, so every
+//! refactoring of the scan — serial, 8-lane log-step, or table-driven —
+//! is *bit-identical* to the reference loop, not merely approximately
+//! equal. The equivalence suite asserts exactly that.
+//!
+//! # The Four-Russians block scheme
+//!
+//! Along a row of the compressed grid the value can rise by at most 1
+//! per column (each column adds one arc of `S₂` to the window, and any
+//! matching uses that arc at most once). Hence within a 4-column block
+//! starting from carry `c = out[q₀]`, each candidate satisfies
+//! `m[q₀+i] <= c + i + 1`, so the *differences* `δᵢ = m[q₀+i] ⊖ c` live
+//! in `{0..4}` — a 5-letter alphabet. All `5⁴ = 625` blocks are
+//! precomputed once into a table mapping the difference pattern to its
+//! packed prefix maxima, turning 4 sequential max steps into one lookup.
+//! This prototype tables only the scan phase — the candidate phase is
+//! still Θ(cells) — so it demonstrates the encoding, not the full
+//! Frid–Gusfield submatrix speedup; see DESIGN.md for the limits.
+
+use std::sync::OnceLock;
+
+use crate::preprocess::Preprocessed;
+use crate::slice::ArcRange;
+
+/// Reusable scratch for one kernel invocation: the compressed grid plus
+/// the per-row buffers every kernel shares. One per worker/driver,
+/// reused across slices to avoid per-slice allocation.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// The `(a+1) × (b+1)` compressed grid, row-major.
+    grid: Vec<u32>,
+    /// Row-hoisted `d₂` values (`d2_row[q]` for arc pair `(g1, lo2+q)`).
+    d2_row: Vec<u32>,
+    /// Slice-hoisted `r2` column ranks (`q`-only, so computed once per
+    /// slice rather than once per cell).
+    r2_row: Vec<u32>,
+    /// Candidate-phase buffer for the two-phase kernels.
+    m_row: Vec<u32>,
+}
+
+/// One slice-tabulation strategy: the inner loop of the MCOS recurrence
+/// over one compressed grid.
+///
+/// Contract: `tabulate` must return the value of the slice's last
+/// subproblem, bit-identical to
+/// [`slice::tabulate_with`](crate::slice::tabulate_with) on the same
+/// ranges and `d₂` values, and must return 0 for empty windows without
+/// calling `fill_d2`. `fill_d2(g1, buf)` fills `buf[q]` with the child
+/// value for arc pair `(g1, lo2 + q)`, exactly as in
+/// [`slice::tabulate_with_rows`](crate::slice::tabulate_with_rows).
+pub trait SliceKernel: Sync {
+    /// Short display name (stable; used by telemetry and bench JSON).
+    fn name(&self) -> &'static str;
+
+    /// Tabulates one slice, returning its memoizable result.
+    fn tabulate(
+        &self,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        range1: ArcRange,
+        range2: ArcRange,
+        scratch: &mut KernelScratch,
+        fill_d2: &mut dyn FnMut(u32, &mut [u32]),
+    ) -> u32;
+}
+
+/// Kernel selection, the fourth orthogonal policy axis next to the
+/// engine's schedule × store × distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The row-hoisted scalar reference loop.
+    Scalar,
+    /// Cache-tiled two-phase sweep (SIMD-shaped under `--features simd`).
+    Tiled,
+    /// Four-Russians block-lookup prototype.
+    FourRussians,
+}
+
+impl KernelKind {
+    /// Every kernel, for sweeps.
+    pub const ALL: [KernelKind; 3] = [
+        KernelKind::Scalar,
+        KernelKind::Tiled,
+        KernelKind::FourRussians,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        self.kernel().name()
+    }
+
+    /// Parses a kernel from its name (case-insensitive; `fr` is accepted
+    /// for `four-russians`). Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<KernelKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "tiled" => Some(KernelKind::Tiled),
+            "four-russians" | "fr" => Some(KernelKind::FourRussians),
+            _ => None,
+        }
+    }
+
+    /// The kernel implementation behind this selection.
+    pub fn kernel(self) -> &'static dyn SliceKernel {
+        match self {
+            KernelKind::Scalar => &Scalar,
+            KernelKind::Tiled => &Tiled,
+            KernelKind::FourRussians => &FourRussians,
+        }
+    }
+}
+
+impl Default for KernelKind {
+    /// [`KernelKind::Tiled`]: the equivalence suite proves it
+    /// bit-identical to the reference, so the fast path is the default.
+    fn default() -> Self {
+        KernelKind::Tiled
+    }
+}
+
+/// One row's working set, with the completed-rows region already split
+/// off so kernels get disjoint, bounds-checked slices.
+struct Row<'a> {
+    /// The row being written, `width = b + 1` long; `out[0]` is the
+    /// always-zero grid column 0.
+    out: &'a mut [u32],
+    /// The previous row (`prev[q+1]` is the `s₁` dependency).
+    prev: &'a [u32],
+    /// The completed row `r1` the `d₁` gather reads from.
+    d1: &'a [u32],
+    /// Row-hoisted `d₂` values, `b` long.
+    d2: &'a [u32],
+    /// Slice-hoisted `r2` ranks, `b` long.
+    r2: &'a [u32],
+    /// Candidate buffer, `b` long (scratch for the two-phase kernels).
+    m: &'a mut [u32],
+    /// The window-relative rank row `d1` was sliced from. Grid row 0 is
+    /// identically zero (it is initialized and never written), so
+    /// `r1 == 0` means the `d1` gather is a gather of zeros and the
+    /// candidate arithmetic can drop it — bit-identically.
+    r1: usize,
+}
+
+/// Shared slice frame: sizes the scratch buffers, precomputes the `r2`
+/// rank row once per slice (the satellite hoist, applied to every
+/// kernel), and walks the rows calling `row_fn` with disjoint views.
+/// Returns the slice result, or 0 for empty windows without calling
+/// `fill_d2`.
+fn drive(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: ArcRange,
+    range2: ArcRange,
+    scratch: &mut KernelScratch,
+    fill_d2: &mut dyn FnMut(u32, &mut [u32]),
+    mut row_fn: impl FnMut(Row<'_>),
+) -> u32 {
+    let (lo1, hi1) = range1;
+    let (lo2, hi2) = range2;
+    let a = (hi1 - lo1) as usize;
+    let b = (hi2 - lo2) as usize;
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let width = b + 1;
+    scratch.grid.clear();
+    scratch.grid.resize((a + 1) * width, 0);
+    scratch.d2_row.clear();
+    scratch.d2_row.resize(b, 0);
+    scratch.m_row.clear();
+    scratch.m_row.resize(b, 0);
+    scratch.r2_row.clear();
+    scratch
+        .r2_row
+        .extend((0..b).map(|q| p2.rank_before_left[lo2 as usize + q].max(lo2) - lo2));
+
+    for p in 0..a {
+        let g1 = lo1 + p as u32;
+        fill_d2(g1, &mut scratch.d2_row);
+        let r1 = (p1.rank_before_left[g1 as usize].max(lo1) - lo1) as usize;
+        // Rows 0..=p are complete; row p+1 is being written. r1 <= p
+        // always (arcs ending before this arc opens have smaller
+        // indices), so the d1 gather stays inside `done`.
+        let (done, rest) = scratch.grid.split_at_mut((p + 1) * width);
+        row_fn(Row {
+            out: &mut rest[..width],
+            prev: &done[p * width..],
+            d1: &done[r1 * width..(r1 + 1) * width],
+            d2: &scratch.d2_row,
+            r2: &scratch.r2_row,
+            m: &mut scratch.m_row,
+            r1,
+        });
+    }
+    scratch.grid[(a + 1) * width - 1]
+}
+
+/// Candidate phase shared by the two-phase kernels:
+/// `m[q] = max(prev[q+1], 1 + d1[r2[q]] + d2[q])` over one column block.
+/// Data-parallel — no loop-carried dependency. The `d1` gather runs as
+/// its own pass (writing into `m`) so it cannot stop the arithmetic
+/// pass from vectorizing: the second loop is pure lane-wise add/max,
+/// which LLVM turns into packed `paddd`/`pmaxud`.
+#[inline]
+fn candidates(row: &mut Row<'_>, q0: usize, len: usize) {
+    let m = &mut row.m[q0..q0 + len];
+    let prev = &row.prev[q0 + 1..q0 + 1 + len];
+    let d2 = &row.d2[q0..q0 + len];
+    let r2 = &row.r2[q0..q0 + len];
+    if row.r1 == 0 {
+        // d1 is grid row 0 — all zeros — so the gather drops out.
+        for i in 0..len {
+            m[i] = prev[i].max(1 + d2[i]);
+        }
+        return;
+    }
+    for i in 0..len {
+        m[i] = row.d1[r2[i] as usize];
+    }
+    for i in 0..len {
+        m[i] = prev[i].max(1 + m[i] + d2[i]);
+    }
+}
+
+// POLICY: Scalar is the reference inner loop — the exact arithmetic of
+// `slice::tabulate_with_rows`, one fused candidate+max step per cell.
+// Every other kernel is judged bit-identical against it.
+impl SliceKernel for Scalar {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn tabulate(
+        &self,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        range1: ArcRange,
+        range2: ArcRange,
+        scratch: &mut KernelScratch,
+        fill_d2: &mut dyn FnMut(u32, &mut [u32]),
+    ) -> u32 {
+        drive(p1, p2, range1, range2, scratch, fill_d2, |mut row| {
+            fused_row(&mut row);
+        })
+    }
+}
+
+/// The row-hoisted scalar reference loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scalar;
+
+/// Columns per cache tile: candidates for one tile are produced and
+/// scanned while still resident in L1.
+const TILE: usize = 512;
+
+/// Rows narrower than this run the fused scalar loop instead: the
+/// two-phase split (candidate buffer traffic + a second pass) only
+/// amortizes once a row is a couple of vectors wide. Both paths are
+/// bit-identical, so the cutover is purely a throughput choice.
+const NARROW: usize = 16;
+
+// POLICY: Tiled splits each row into a data-parallel candidate phase and
+// a prefix-max scan with a carry chained across tiles — bit-identical to
+// Scalar because max is associative; simd only reshapes the scan.
+impl SliceKernel for Tiled {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn tabulate(
+        &self,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        range1: ArcRange,
+        range2: ArcRange,
+        scratch: &mut KernelScratch,
+        fill_d2: &mut dyn FnMut(u32, &mut [u32]),
+    ) -> u32 {
+        drive(p1, p2, range1, range2, scratch, fill_d2, |mut row| {
+            let b = row.d2.len();
+            if b < NARROW {
+                fused_row(&mut row);
+                return;
+            }
+            // Grid column 0 is identically 0, so the row scan starts
+            // with carry 0.
+            let mut carry = 0u32;
+            let mut q0 = 0;
+            while q0 < b {
+                let len = TILE.min(b - q0);
+                candidates(&mut row, q0, len);
+                carry = scan(
+                    &row.m[q0..q0 + len],
+                    &mut row.out[q0 + 1..q0 + 1 + len],
+                    carry,
+                );
+                q0 += len;
+            }
+        })
+    }
+}
+
+/// The fused candidate+max step, one cell at a time — the Scalar loop
+/// as a helper, for the narrow-row path of the tiled kernel.
+#[inline]
+fn fused_row(row: &mut Row<'_>) {
+    let b = row.d2.len();
+    for q in 0..b {
+        let s = row.prev[q + 1].max(row.out[q]);
+        let d1 = row.d1[row.r2[q] as usize];
+        row.out[q + 1] = s.max(1 + d1 + row.d2[q]);
+    }
+}
+
+/// Cache-tiled two-phase kernel (column blocks, carried prefix max).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tiled;
+
+/// Prefix-max scan: `out[i] = max(carry, m[0..=i])`; returns the carry
+/// for the next tile. Serial formulation — the loop-carried max is what
+/// the compiler sees, which is the autovectorization-friendly fallback
+/// the `simd` feature replaces.
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn scan(m: &[u32], out: &mut [u32], mut carry: u32) -> u32 {
+    for (o, &v) in out.iter_mut().zip(m) {
+        carry = carry.max(v);
+        *o = carry;
+    }
+    carry
+}
+
+/// Prefix-max scan in explicit 8-lane blocks: a log-step
+/// (shift-and-max) prefix network per block, then a carry broadcast.
+/// rustc stable has no `std::simd`, so the lanes are fixed-width arrays
+/// in the exact shape LLVM lowers to vector shuffles and `pmaxud`;
+/// semantically it is the same associative max-reduction, so results
+/// are bit-identical to the serial scan.
+#[cfg(feature = "simd")]
+#[inline]
+fn scan(m: &[u32], out: &mut [u32], mut carry: u32) -> u32 {
+    const LANES: usize = 8;
+    let blocks = m.len() / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let mut v = [0u32; LANES];
+        v.copy_from_slice(&m[base..base + LANES]);
+        // Hillis-Steele prefix max: after step s, lane i holds
+        // max(m[i-2^s+1 ..= i]) clipped at the block start.
+        let mut sh = 1;
+        while sh < LANES {
+            let mut shifted = [0u32; LANES];
+            shifted[sh..].copy_from_slice(&v[..LANES - sh]);
+            for (lane, s) in v.iter_mut().zip(shifted) {
+                *lane = (*lane).max(s);
+            }
+            sh <<= 1;
+        }
+        for lane in &mut v {
+            *lane = (*lane).max(carry);
+        }
+        out[base..base + LANES].copy_from_slice(&v);
+        carry = v[LANES - 1];
+    }
+    for i in blocks * LANES..m.len() {
+        carry = carry.max(m[i]);
+        out[i] = carry;
+    }
+    carry
+}
+
+/// Four-Russians block width (columns per table lookup).
+const FR_K: usize = 4;
+/// Difference alphabet size: within a block, `m[q0+i] - out[q0]` is at
+/// most `i + 1 <= FR_K` (the per-column increment bound), so deltas
+/// live in `0..=FR_K`.
+const FR_RADIX: usize = FR_K + 1;
+
+/// The precomputed block table: for each of the `RADIX^K = 625`
+/// difference patterns, the packed prefix maxima (4 × 3 bits; each
+/// prefix max is at most 4, so 3 bits suffice). Built once per process.
+fn fr_table() -> &'static [u16] {
+    static TABLE: OnceLock<Vec<u16>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![0u16; FR_RADIX.pow(FR_K as u32)];
+        for (code, packed) in table.iter_mut().enumerate() {
+            let mut rest = code;
+            let mut running = 0u16;
+            for i in 0..FR_K {
+                running = running.max((rest % FR_RADIX) as u16);
+                rest /= FR_RADIX;
+                *packed |= running << (3 * i);
+            }
+        }
+        table
+    })
+}
+
+// POLICY: FourRussians replaces the scan with difference-encoded block
+// lookups (arXiv:1307.7820): deltas against the block-start carry are
+// bounded by the recurrence, so 4 columns become one 625-entry probe.
+impl SliceKernel for FourRussians {
+    fn name(&self) -> &'static str {
+        "four-russians"
+    }
+
+    fn tabulate(
+        &self,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        range1: ArcRange,
+        range2: ArcRange,
+        scratch: &mut KernelScratch,
+        fill_d2: &mut dyn FnMut(u32, &mut [u32]),
+    ) -> u32 {
+        let table = fr_table();
+        drive(p1, p2, range1, range2, scratch, fill_d2, |mut row| {
+            let b = row.d2.len();
+            candidates(&mut row, 0, b);
+            let mut carry = 0u32;
+            let blocks = b / FR_K;
+            for blk in 0..blocks {
+                let base = blk * FR_K;
+                // Encode the block's deltas in base RADIX. The
+                // recurrence guarantees m[base+i] <= carry + i + 1
+                // (see module docs), so each delta fits the alphabet.
+                let mut code = 0usize;
+                for i in (0..FR_K).rev() {
+                    let delta = row.m[base + i].saturating_sub(carry);
+                    debug_assert!(delta as usize <= i + 1, "increment bound violated");
+                    code = code * FR_RADIX + delta as usize;
+                }
+                let packed = table[code];
+                for i in 0..FR_K {
+                    row.out[base + 1 + i] = carry + u32::from((packed >> (3 * i)) & 0x7);
+                }
+                carry = row.out[base + FR_K];
+            }
+            for q in blocks * FR_K..b {
+                carry = carry.max(row.m[q]);
+                row.out[q + 1] = carry;
+            }
+        })
+    }
+}
+
+/// Four-Russians block-lookup prototype.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FourRussians;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice;
+    use rna_structure::formats::dot_bracket;
+    use rna_structure::generate;
+    use rna_structure::ArcStructure;
+
+    /// Miniature SRNA2 through one kernel: every child slice bottom-up,
+    /// then the parent slice.
+    fn full_with_kernel(s1: &ArcStructure, s2: &ArcStructure, kind: KernelKind) -> u32 {
+        let p1 = Preprocessed::build(s1);
+        let p2 = Preprocessed::build(s2);
+        let cols = p2.num_arcs() as usize;
+        let mut memo = vec![0u32; p1.num_arcs() as usize * cols];
+        let mut scratch = KernelScratch::default();
+        let k = kind.kernel();
+        for k1 in 0..p1.num_arcs() {
+            for k2 in 0..p2.num_arcs() {
+                let (lo2, hi2) = p2.under_range[k2 as usize];
+                let v = k.tabulate(
+                    &p1,
+                    &p2,
+                    p1.under_range[k1 as usize],
+                    p2.under_range[k2 as usize],
+                    &mut scratch,
+                    &mut |g1, buf| {
+                        let start = g1 as usize * cols;
+                        buf.copy_from_slice(&memo[start + lo2 as usize..start + hi2 as usize]);
+                    },
+                );
+                memo[k1 as usize * cols + k2 as usize] = v;
+            }
+        }
+        let (lo2, hi2) = p2.full_range();
+        k.tabulate(
+            &p1,
+            &p2,
+            p1.full_range(),
+            p2.full_range(),
+            &mut scratch,
+            &mut |g1, buf| {
+                let start = g1 as usize * cols;
+                buf.copy_from_slice(&memo[start + lo2 as usize..start + hi2 as usize]);
+            },
+        )
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in KernelKind::ALL {
+            assert_eq!(KernelKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::from_name("FR"), Some(KernelKind::FourRussians));
+        assert_eq!(KernelKind::from_name("TILED"), Some(KernelKind::Tiled));
+        assert_eq!(KernelKind::from_name("avx-512"), None);
+    }
+
+    #[test]
+    fn default_kernel_is_tiled() {
+        assert_eq!(KernelKind::default(), KernelKind::Tiled);
+    }
+
+    #[test]
+    fn empty_window_returns_zero_without_fill() {
+        let s = dot_bracket::parse("(.)").unwrap();
+        let p = Preprocessed::build(&s);
+        let mut scratch = KernelScratch::default();
+        for kind in KernelKind::ALL {
+            let v = kind
+                .kernel()
+                .tabulate(&p, &p, (0, 0), (0, 1), &mut scratch, &mut |_, _| {
+                    panic!("fill_d2 must not run for an empty window")
+                });
+            assert_eq!(v, 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_paper_example() {
+        let s1 = dot_bracket::parse("(((...)))((...))").unwrap();
+        let s2 = dot_bracket::parse("((...))(((...)))").unwrap();
+        for kind in KernelKind::ALL {
+            assert_eq!(full_with_kernel(&s1, &s2, kind), 4, "{}", kind.name());
+            assert_eq!(full_with_kernel(&s1, &s1, kind), 5, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn kernels_match_tabulate_with_on_random_structures() {
+        for seed in 0..12 {
+            let s1 = generate::random_structure(52, 0.9, seed);
+            let s2 = generate::random_structure(44, 0.8, seed + 300);
+            let p1 = Preprocessed::build(&s1);
+            let p2 = Preprocessed::build(&s2);
+            let mut grid = Vec::new();
+            let reference = slice::tabulate_with(
+                &p1,
+                &p2,
+                p1.full_range(),
+                p2.full_range(),
+                &mut grid,
+                |_, _| 0,
+            );
+            let mut scratch = KernelScratch::default();
+            for kind in KernelKind::ALL {
+                let got = kind.kernel().tabulate(
+                    &p1,
+                    &p2,
+                    p1.full_range(),
+                    p2.full_range(),
+                    &mut scratch,
+                    &mut |_, buf| buf.fill(0),
+                );
+                assert_eq!(got, reference, "seed {seed} kernel {}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn four_russians_table_is_prefix_max() {
+        let table = fr_table();
+        assert_eq!(table.len(), 625);
+        // Spot-check: pattern (1, 0, 3, 2) -> prefix maxima 1,1,3,3.
+        // Base-5 little-endian: 1 + 0*5 + 3*25 + 2*125 = 326.
+        let packed = table[326];
+        let pm: Vec<u16> = (0..4).map(|i| (packed >> (3 * i)) & 7).collect();
+        assert_eq!(pm, vec![1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn scan_handles_odd_lengths() {
+        // Exercise the sub-lane tail paths of the scan directly.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31] {
+            let m: Vec<u32> = (0..len as u32).map(|i| (i * 7) % 13).collect();
+            let mut out = vec![0u32; len];
+            let carry = scan(&m, &mut out, 2);
+            let mut want = 2u32;
+            for (i, &v) in m.iter().enumerate() {
+                want = want.max(v);
+                assert_eq!(out[i], want, "len {len} i {i}");
+            }
+            assert_eq!(carry, want, "len {len}");
+        }
+    }
+}

@@ -70,6 +70,7 @@ pub mod baseline;
 pub mod counters;
 pub mod dense;
 pub mod depgraph;
+pub mod kernel;
 pub mod memo;
 pub mod preprocess;
 pub mod slice;
@@ -82,6 +83,7 @@ pub mod weighted;
 pub mod workload;
 
 pub use counters::Counters;
+pub use kernel::{KernelKind, KernelScratch, SliceKernel};
 pub use memo::MemoTable;
 pub use preprocess::Preprocessed;
 pub use srna2::StageTimings;

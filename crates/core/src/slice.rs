@@ -40,7 +40,9 @@ pub type ArcRange = (u32, u32);
 /// `d2` is called once per matched arc pair `(g1, g2)` (global arc
 /// indices) and must return the value of the child slice spawned under
 /// that pair. `grid` is a scratch buffer, reused across calls to avoid
-/// per-slice allocation; its contents on entry are irrelevant.
+/// per-slice allocation; its contents on entry are irrelevant, and on
+/// return it holds the compressed grid followed by a small scratch tail
+/// (use [`tabulate_grid`] to get the bare grid).
 ///
 /// Returns 0 when either window is empty. Callers that count tabulated
 /// subproblems do so via [`cell_count`] on the ranges; see
@@ -64,11 +66,19 @@ where
         return 0;
     }
     let width = b + 1;
+    let cells_len = (a + 1) * width;
     grid.clear();
-    grid.resize((a + 1) * width, 0);
-    // Work through a local slice so the optimizer can keep the buffer's
-    // pointer and length in registers across the hot loop.
-    let cells: &mut [u32] = grid.as_mut_slice();
+    // The buffer tail past the grid holds the slice-hoisted r2 ranks:
+    // the column rank of d1 depends only on q, so it is computed once
+    // per slice instead of once per cell.
+    grid.resize(cells_len + b, 0);
+    // Work through local slices so the optimizer can keep the buffers'
+    // pointers and lengths in registers across the hot loop.
+    let (cells, r2s) = grid.split_at_mut(cells_len);
+    for (q, r2) in r2s.iter_mut().enumerate() {
+        let g2 = lo2 + q as u32;
+        *r2 = p2.rank_before_left[g2 as usize].max(lo2) - lo2;
+    }
 
     for p in 0..a {
         let g1 = lo1 + p as u32;
@@ -80,14 +90,14 @@ where
         let d1_row = r1 * width;
         for q in 0..b {
             let g2 = lo2 + q as u32;
-            let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+            let r2 = r2s[q] as usize;
             let s = cells[prev + q + 1].max(cells[row + q]);
             let d1 = cells[d1_row + r2];
             let d2v = d2(g1, g2);
             cells[row + q + 1] = s.max(1 + d1 + d2v);
         }
     }
-    cells[(a + 1) * width - 1]
+    cells[cells_len - 1]
 }
 
 /// Row-hoisted variant of [`tabulate_with`]: the `d₂` dependency is
@@ -128,10 +138,16 @@ where
     let width = b + 1;
     grid.clear();
     grid.resize((a + 1) * width, 0);
+    // The d2 buffer's tail holds the slice-hoisted r2 ranks (q-only, so
+    // computed once per slice; see `tabulate_with`).
     d2_row.clear();
-    d2_row.resize(b, 0);
+    d2_row.resize(2 * b, 0);
     let cells: &mut [u32] = grid.as_mut_slice();
-    let d2s: &mut [u32] = d2_row.as_mut_slice();
+    let (d2s, r2s) = d2_row.split_at_mut(b);
+    for (q, r2) in r2s.iter_mut().enumerate() {
+        let g2 = lo2 + q as u32;
+        *r2 = p2.rank_before_left[g2 as usize].max(lo2) - lo2;
+    }
 
     for p in 0..a {
         let g1 = lo1 + p as u32;
@@ -141,8 +157,7 @@ where
         let prev = p * width;
         let d1_row = r1 * width;
         for q in 0..b {
-            let g2 = lo2 + q as u32;
-            let r2 = (p2.rank_before_left[g2 as usize].max(lo2) - lo2) as usize;
+            let r2 = r2s[q] as usize;
             let s = cells[prev + q + 1].max(cells[row + q]);
             let d1 = cells[d1_row + r2];
             cells[row + q + 1] = s.max(1 + d1 + d2s[q]);
@@ -171,6 +186,8 @@ where
         // Normalize the empty case to a 1x1 zero grid.
         return vec![0];
     }
+    // Drop the r2 scratch tail `tabulate_with` keeps past the grid.
+    grid.truncate((hi1 - lo1 + 1) as usize * (hi2 - lo2 + 1) as usize);
     grid
 }
 

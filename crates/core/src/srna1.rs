@@ -18,6 +18,7 @@
 use rna_structure::ArcStructure;
 
 use crate::counters::Counters;
+use crate::kernel::{KernelKind, KernelScratch, SliceKernel};
 use crate::memo::{MemoTable, NOT_FOUND};
 use crate::preprocess::Preprocessed;
 use crate::slice::ArcRange;
@@ -41,6 +42,8 @@ struct Ctx<'a> {
     counters: Counters,
     /// One scratch grid per recursion depth.
     scratch: Vec<Vec<u32>>,
+    /// One kernel scratch per recursion depth (kernel-dispatched runs).
+    kscratch: Vec<KernelScratch>,
 }
 
 impl Ctx<'_> {
@@ -101,6 +104,56 @@ impl Ctx<'_> {
         self.scratch[depth] = grid;
         result
     }
+
+    /// Kernel-dispatched variant of [`Ctx::tabulate`]: the per-cell
+    /// conditional memo lookup becomes a per-row lookup-or-spawn fill
+    /// that resolves the row's children *before* the kernel tabulates
+    /// it. The lookup sequence is unchanged — one conditional lookup
+    /// per cell, in the same `(p, q)` order — so hit/miss/spawn
+    /// counters match the classic loop exactly.
+    fn tabulate_kernel(
+        &mut self,
+        kernel: &dyn SliceKernel,
+        range1: ArcRange,
+        range2: ArcRange,
+        depth: usize,
+    ) -> u32 {
+        let (lo1, hi1) = range1;
+        let (lo2, hi2) = range2;
+        let a = (hi1 - lo1) as usize;
+        let b = (hi2 - lo2) as usize;
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.counters.slices += 1;
+        self.counters.cells += (a * b) as u64;
+        self.counters.max_spawn_depth = self.counters.max_spawn_depth.max(depth as u64);
+        self.counters.max_cells_per_slice = self.counters.max_cells_per_slice.max((a * b) as u64);
+
+        if self.kscratch.len() <= depth {
+            self.kscratch.resize_with(depth + 1, KernelScratch::default);
+        }
+        let mut scratch = std::mem::take(&mut self.kscratch[depth]);
+        let (p1, p2) = (self.p1, self.p2);
+        let v = kernel.tabulate(p1, p2, range1, range2, &mut scratch, &mut |g1, buf| {
+            for (q, slot) in buf.iter_mut().enumerate() {
+                let g2 = lo2 + q as u32;
+                let mut d2v = self.memo.get(g1, g2);
+                if d2v == NOT_FOUND {
+                    self.counters.memo_misses += 1;
+                    let c1 = p1.under_range[g1 as usize];
+                    let c2 = p2.under_range[g2 as usize];
+                    d2v = self.tabulate_kernel(kernel, c1, c2, depth + 1);
+                    self.memo.set(g1, g2, d2v);
+                } else {
+                    self.counters.memo_hits += 1;
+                }
+                *slot = d2v;
+            }
+        });
+        self.kscratch[depth] = scratch;
+        v
+    }
 }
 
 /// Runs SRNA1 on two structures.
@@ -112,18 +165,48 @@ pub fn run(s1: &ArcStructure, s2: &ArcStructure) -> Outcome {
 
 /// Runs SRNA1 with caller-supplied preprocessing (for reuse across runs).
 pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
-    let mut ctx = Ctx {
-        p1,
-        p2,
-        memo: MemoTable::unset(p1.num_arcs(), p2.num_arcs()),
-        counters: Counters::default(),
-        scratch: Vec::new(),
-    };
+    let mut ctx = new_ctx(p1, p2);
     let score = ctx.tabulate(p1.full_range(), p2.full_range(), 0);
     Outcome {
         score,
         memo: ctx.memo,
         counters: ctx.counters,
+    }
+}
+
+/// Runs SRNA1 through a selected
+/// [`SliceKernel`](crate::kernel::SliceKernel): same spawning
+/// discipline, same memo contents and counters, with the inner loop
+/// swapped for the chosen kernel.
+pub fn run_with_kernel(s1: &ArcStructure, s2: &ArcStructure, kernel: KernelKind) -> Outcome {
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    run_preprocessed_with_kernel(&p1, &p2, kernel)
+}
+
+/// [`run_with_kernel`] over prebuilt preprocessing tables.
+pub fn run_preprocessed_with_kernel(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    kernel: KernelKind,
+) -> Outcome {
+    let mut ctx = new_ctx(p1, p2);
+    let score = ctx.tabulate_kernel(kernel.kernel(), p1.full_range(), p2.full_range(), 0);
+    Outcome {
+        score,
+        memo: ctx.memo,
+        counters: ctx.counters,
+    }
+}
+
+fn new_ctx<'a>(p1: &'a Preprocessed, p2: &'a Preprocessed) -> Ctx<'a> {
+    Ctx {
+        p1,
+        p2,
+        memo: MemoTable::unset(p1.num_arcs(), p2.num_arcs()),
+        counters: Counters::default(),
+        scratch: Vec::new(),
+        kscratch: Vec::new(),
     }
 }
 
@@ -199,6 +282,28 @@ mod tests {
         for k1 in 0..8 {
             for k2 in 0..8 {
                 assert_eq!(out.memo.get(k1, k2), k1.min(k2), "({k1},{k2})");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_runs_match_classic_loop_exactly() {
+        // Score, memo (including which pairs stay NOT_FOUND) and every
+        // counter — the kernel path must not change what gets spawned.
+        for seed in 0..10 {
+            let s1 = generate::random_structure(56, 0.9, seed);
+            let s2 = generate::random_structure(48, 0.8, seed + 900);
+            let reference = run(&s1, &s2);
+            for kernel in KernelKind::ALL {
+                let out = run_with_kernel(&s1, &s2, kernel);
+                assert_eq!(out.score, reference.score, "seed {seed} {}", kernel.name());
+                assert_eq!(out.memo, reference.memo, "seed {seed} {}", kernel.name());
+                assert_eq!(
+                    out.counters,
+                    reference.counters,
+                    "counters diverged: seed {seed} {}",
+                    kernel.name()
+                );
             }
         }
     }

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use rna_structure::ArcStructure;
 
 use crate::counters::Counters;
+use crate::kernel::{KernelKind, KernelScratch};
 use crate::memo::MemoTable;
 use crate::preprocess::Preprocessed;
 use crate::slice;
@@ -132,6 +133,78 @@ pub fn run_preprocessed(p1: &Preprocessed, p2: &Preprocessed) -> Outcome {
     }
 }
 
+/// Runs SRNA2 through a selected [`SliceKernel`](crate::kernel::SliceKernel)
+/// instead of the reference loop. Scores, memo tables and counters are
+/// identical to [`run`] for every kernel (the kernel contract).
+pub fn run_with_kernel(s1: &ArcStructure, s2: &ArcStructure, kernel: KernelKind) -> Outcome {
+    let t0 = Instant::now();
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let preprocessing = t0.elapsed();
+    let mut out = run_preprocessed_with_kernel(&p1, &p2, kernel);
+    out.timings.preprocessing = preprocessing;
+    out
+}
+
+/// [`run_with_kernel`] over prebuilt preprocessing tables.
+pub fn run_preprocessed_with_kernel(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    kernel: KernelKind,
+) -> Outcome {
+    let k = kernel.kernel();
+    let a1 = p1.num_arcs();
+    let a2 = p2.num_arcs();
+    let mut memo = MemoTable::zeroed(a1, a2);
+    let mut counters = Counters::default();
+    let mut scratch = KernelScratch::default();
+
+    let t1 = Instant::now();
+    for k1 in 0..a1 {
+        let c1 = p1.under_range[k1 as usize];
+        for k2 in 0..a2 {
+            let c2 = p2.under_range[k2 as usize];
+            let (lo2, hi2) = c2;
+            let v = k.tabulate(p1, p2, c1, c2, &mut scratch, &mut |g1, buf| {
+                buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]);
+            });
+            memo.set(k1, k2, v);
+            let cells = slice::cell_count(c1, c2);
+            counters.cells += cells;
+            counters.slices += 1;
+            counters.max_cells_per_slice = counters.max_cells_per_slice.max(cells);
+        }
+    }
+    let stage_one = t1.elapsed();
+
+    let t2 = Instant::now();
+    let (lo2, hi2) = p2.full_range();
+    let score = k.tabulate(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut scratch,
+        &mut |g1, buf| buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]),
+    );
+    let parent_cells = slice::cell_count(p1.full_range(), p2.full_range());
+    counters.cells += parent_cells;
+    counters.slices += 1;
+    counters.max_cells_per_slice = counters.max_cells_per_slice.max(parent_cells);
+    let stage_two = t2.elapsed();
+
+    Outcome {
+        score,
+        memo,
+        counters,
+        timings: StageTimings {
+            preprocessing: Duration::ZERO,
+            stage_one,
+            stage_two,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +269,27 @@ mod tests {
         let out = run(&s, &s);
         assert_eq!(out.counters.memo_hits, 0);
         assert_eq!(out.counters.memo_misses, 0);
+    }
+
+    #[test]
+    fn every_kernel_matches_reference_run() {
+        use crate::kernel::KernelKind;
+        for seed in 0..8 {
+            let s1 = generate::random_structure(60, 0.9, seed);
+            let s2 = generate::random_structure(52, 0.8, seed + 7000);
+            let reference = run(&s1, &s2);
+            for kernel in KernelKind::ALL {
+                let out = run_with_kernel(&s1, &s2, kernel);
+                assert_eq!(out.score, reference.score, "seed {seed} {}", kernel.name());
+                assert_eq!(out.memo, reference.memo, "seed {seed} {}", kernel.name());
+                assert_eq!(
+                    out.counters,
+                    reference.counters,
+                    "counters diverged: seed {seed} {}",
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]

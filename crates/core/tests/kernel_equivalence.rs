@@ -1,0 +1,222 @@
+//! The kernel-layer equivalence suite: every [`SliceKernel`] must be
+//! *bit-identical* — scores, memo tables, full grids — to the reference
+//! loop (`slice::tabulate_with`) and to the dense positional oracle
+//! (`slice::tabulate_dense`), on random structures and on every
+//! degenerate window shape. The CI `kernel-smoke` job runs this suite
+//! with the `simd` feature both off and on; the max-plus arithmetic is
+//! exact integers, so the results must not differ by a single bit.
+
+use mcos_core::kernel::{KernelKind, KernelScratch};
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::{slice, srna1, srna2};
+use proptest::prelude::*;
+use rna_structure::formats::dot_bracket;
+use rna_structure::{generate, ArcStructure};
+
+/// Reference: full bottom-up run over the dense positional grids — the
+/// direct transcription of the paper's Figure 2 recurrence.
+fn full_dense(s1: &ArcStructure, s2: &ArcStructure) -> u32 {
+    let cols = s2.num_arcs() as usize;
+    let mut memo = vec![0u32; s1.num_arcs() as usize * cols];
+    for k1 in 0..s1.num_arcs() {
+        for k2 in 0..s2.num_arcs() {
+            let a1 = s1.arc(k1);
+            let a2 = s2.arc(k2);
+            let v = slice::tabulate_dense(
+                s1,
+                s2,
+                (a1.left + 1, a1.right.wrapping_sub(1)),
+                (a2.left + 1, a2.right.wrapping_sub(1)),
+                |g1, g2| memo[g1 as usize * cols + g2 as usize],
+            );
+            memo[k1 as usize * cols + k2 as usize] = v;
+        }
+    }
+    slice::tabulate_dense(s1, s2, (0, s1.len() - 1), (0, s2.len() - 1), |g1, g2| {
+        memo[g1 as usize * cols + g2 as usize]
+    })
+}
+
+/// One slice through a kernel with `d2` forced to zero.
+fn kernel_slice(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: slice::ArcRange,
+    range2: slice::ArcRange,
+    kind: KernelKind,
+) -> u32 {
+    let mut scratch = KernelScratch::default();
+    kind.kernel()
+        .tabulate(p1, p2, range1, range2, &mut scratch, &mut |_, buf| {
+            buf.fill(0)
+        })
+}
+
+/// The same slice through the reference loop.
+fn reference_slice(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    range1: slice::ArcRange,
+    range2: slice::ArcRange,
+) -> u32 {
+    let mut grid = Vec::new();
+    slice::tabulate_with(p1, p2, range1, range2, &mut grid, |_, _| 0)
+}
+
+#[test]
+fn kernels_match_dense_oracle_on_random_structures() {
+    for seed in 0..10 {
+        let s1 = generate::random_structure(44, 0.85, seed);
+        let s2 = generate::random_structure(40, 0.75, seed + 2000);
+        let dense = full_dense(&s1, &s2);
+        for kind in KernelKind::ALL {
+            let out = srna2::run_with_kernel(&s1, &s2, kind);
+            assert_eq!(out.score, dense, "seed {seed} kernel {}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn kernels_match_reference_memo_tables() {
+    for seed in 0..10 {
+        let s1 = generate::random_structure(60, 0.9, seed);
+        let s2 = generate::random_structure(52, 0.8, seed + 3000);
+        let reference = srna2::run(&s1, &s2);
+        for kind in KernelKind::ALL {
+            let out = srna2::run_with_kernel(&s1, &s2, kind);
+            assert_eq!(out.score, reference.score, "seed {seed} {}", kind.name());
+            assert_eq!(out.memo, reference.memo, "seed {seed} {}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn kernels_match_srna1_spawning_runs() {
+    for seed in 0..6 {
+        let s1 = generate::random_structure(48, 0.9, seed);
+        let s2 = generate::random_structure(44, 0.8, seed + 4000);
+        let reference = srna1::run(&s1, &s2);
+        for kind in KernelKind::ALL {
+            let out = srna1::run_with_kernel(&s1, &s2, kind);
+            assert_eq!(out.score, reference.score, "seed {seed} {}", kind.name());
+            assert_eq!(out.memo, reference.memo, "seed {seed} {}", kind.name());
+            assert_eq!(
+                out.counters,
+                reference.counters,
+                "seed {seed} {}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_windows_return_zero_without_filling() {
+    let s = dot_bracket::parse("((.))(.)").unwrap();
+    let p = Preprocessed::build(&s);
+    let mut scratch = KernelScratch::default();
+    for kind in KernelKind::ALL {
+        for (r1, r2) in [((1, 1), (0, 3)), ((0, 3), (2, 2)), ((0, 0), (0, 0))] {
+            let v = kind
+                .kernel()
+                .tabulate(&p, &p, r1, r2, &mut scratch, &mut |_, _| {
+                    panic!("fill_d2 must not run for an empty window")
+                });
+            assert_eq!(v, 0, "{} on {r1:?}x{r2:?}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn one_by_one_window() {
+    let s = dot_bracket::parse("(.)").unwrap();
+    let p = Preprocessed::build(&s);
+    for kind in KernelKind::ALL {
+        assert_eq!(
+            kernel_slice(&p, &p, (0, 1), (0, 1), kind),
+            1,
+            "{}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn single_row_and_single_column_windows() {
+    // A structure with several sequential arcs gives wide full ranges.
+    let s = dot_bracket::parse("(.)(.)((.))(.)(..)").unwrap();
+    let p = Preprocessed::build(&s);
+    let (lo, hi) = p.full_range();
+    for kind in KernelKind::ALL {
+        for k in lo..hi {
+            // Single row: one S1 arc against the full S2 window.
+            let row = ((k, k + 1), (lo, hi));
+            // Single column: the full S1 window against one S2 arc.
+            let col = ((lo, hi), (k, k + 1));
+            for (r1, r2) in [row, col] {
+                assert_eq!(
+                    kernel_slice(&p, &p, r1, r2, kind),
+                    reference_slice(&p, &p, r1, r2),
+                    "{} on {r1:?}x{r2:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_child_windows_match_reference() {
+    // Every under_range window of a nest-heavy structure, as the SRNA
+    // drivers would enumerate them.
+    let s = generate::random_structure(64, 1.0, 77);
+    let p = Preprocessed::build(&s);
+    for kind in KernelKind::ALL {
+        for k1 in 0..p.num_arcs() {
+            for k2 in 0..p.num_arcs() {
+                let r1 = p.under_range[k1 as usize];
+                let r2 = p.under_range[k2 as usize];
+                assert_eq!(
+                    kernel_slice(&p, &p, r1, r2, kind),
+                    reference_slice(&p, &p, r1, r2),
+                    "{} on ({k1},{k2})",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary structure pairs: every kernel reproduces the reference
+    /// run bit-for-bit (score and full memo table).
+    #[test]
+    fn prop_kernels_bit_identical(
+        seed in 0u64..100_000,
+        len1 in 8u32..96,
+        len2 in 8u32..96,
+        density in 0.3f64..1.0,
+    ) {
+        let s1 = generate::random_structure(len1, density, seed);
+        let s2 = generate::random_structure(len2, density, seed ^ 0x9e37);
+        let reference = srna2::run(&s1, &s2);
+        for kind in KernelKind::ALL {
+            let out = srna2::run_with_kernel(&s1, &s2, kind);
+            prop_assert_eq!(out.score, reference.score, "kernel {}", kind.name());
+            prop_assert_eq!(&out.memo, &reference.memo, "kernel {}", kind.name());
+        }
+    }
+
+    /// The worst-case fully nested family, where slice widths sweep
+    /// every size from 0 to n-1 (exercises all tile/block tails).
+    #[test]
+    fn prop_worst_case_nested_all_kernels(n in 1u32..40) {
+        let s = generate::worst_case_nested(n);
+        for kind in KernelKind::ALL {
+            let out = srna2::run_with_kernel(&s, &s, kind);
+            prop_assert_eq!(out.score, n, "kernel {}", kind.name());
+        }
+    }
+}

@@ -52,11 +52,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel::bounded;
 use load_balance::Assignment;
+use mcos_core::kernel::{KernelKind, KernelScratch, SliceKernel};
 use mcos_core::trace::{TaskId, TraceLog};
-use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice};
+use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
 use mcos_telemetry::{BarrierKind, Recorder, WorkerLog};
 
-use crate::{slice_detail, Backend, DistKind, ScheduleKind, SliceScratch, StoreKind};
+use crate::{slice_detail, Backend, DistKind, ScheduleKind, StoreKind};
 
 /// Who runs each slice of a step.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,8 @@ struct EngineCtx<'e> {
     p1: &'e Preprocessed,
     p2: &'e Preprocessed,
     workers: u32,
+    /// The slice-tabulation kernel every worker runs.
+    kernel: &'e dyn SliceKernel,
     recorder: &'e Recorder,
     hooks: Option<&'e TraceHooks<'e>>,
 }
@@ -96,15 +99,18 @@ struct EngineCtx<'e> {
 /// Runs stage one: partitions the child slices with `schedule`,
 /// executes them on `workers` worker threads (lanes `1..=workers`;
 /// the coordinator, when the composition needs one, is lane 0)
-/// distributing per `dist`, and synchronizes through `store`.
+/// distributing per `dist`, tabulating each slice with `kernel`, and
+/// synchronizes through `store`.
 ///
 /// Returns the fully synchronized memo table. For a
 /// [`SharedRwLock`] store, construct it from the same schedule's
 /// steps so its result channel is sized for the largest step.
+#[allow(clippy::too_many_arguments)]
 pub fn run_stage_one<S: Schedule, M: MemoStore>(
     schedule: &S,
     store: M,
     dist: Distribution<'_>,
+    kernel: KernelKind,
     workers: u32,
     p1: &Preprocessed,
     p2: &Preprocessed,
@@ -115,6 +121,7 @@ pub fn run_stage_one<S: Schedule, M: MemoStore>(
         p1,
         p2,
         workers,
+        kernel: kernel.kernel(),
         recorder,
         hooks: None,
     };
@@ -145,28 +152,28 @@ fn run_steps<S: Schedule, M: MemoStore>(
 }
 
 /// Tabulates one slice through the worker's step view: telemetry span,
-/// row-hoisted gathers, publish. The single call site that replaces
-/// every backend's bespoke `slice_detail`/`tabulate_child` pairing.
+/// kernel-dispatched row-hoisted gathers, publish. The single call site
+/// that replaces every backend's bespoke `slice_detail`/
+/// `tabulate_child` pairing.
 fn run_slice<V: StepView>(
-    p1: &Preprocessed,
-    p2: &Preprocessed,
+    ctx: &EngineCtx<'_>,
     k1: u32,
     k2: u32,
     view: &mut V,
-    scratch: &mut SliceScratch,
+    scratch: &mut KernelScratch,
     log: &mut WorkerLog,
 ) {
+    let (p1, p2) = (ctx.p1, ctx.p2);
     let span = log.start();
     let range2 = p2.under_range[k2 as usize];
     let (lo2, hi2) = range2;
-    let v = slice::tabulate_with_rows(
+    let v = ctx.kernel.tabulate(
         p1,
         p2,
         p1.under_range[k1 as usize],
         range2,
-        &mut scratch.grid,
-        &mut scratch.d2_row,
-        |g1, buf| view.gather((k1, k2), g1, lo2, hi2, buf),
+        scratch,
+        &mut |g1, buf| view.gather((k1, k2), g1, lo2, hi2, buf),
     );
     log.slice(span, k1, k2, || slice_detail(p1, p2, k1, k2));
     view.publish(k1, k2, v);
@@ -224,11 +231,11 @@ fn run_free<M: MemoStore>(steps: &[Step], store: &M, dist: Distribution<'_>, ctx
             let mut log = ctx.recorder.lane(w + 1);
             let cursors = &cursors;
             scope.spawn(move || {
-                let mut scratch = SliceScratch::default();
+                let mut scratch = KernelScratch::default();
                 for (pos, step) in steps.iter().enumerate() {
                     let mut view = store.begin_step(w as usize);
                     for_owned_slices(pos, step, w, dist, cursors, |k1, k2| {
-                        run_slice(ctx.p1, ctx.p2, k1, k2, &mut view, &mut scratch, &mut log);
+                        run_slice(ctx, k1, k2, &mut view, &mut scratch, &mut log);
                     });
                     drop(view);
                     // The allreduce is semantically a barrier: arrive
@@ -270,7 +277,7 @@ fn run_coordinated<S: Schedule, M: MemoStore>(
             let mut log = ctx.recorder.lane(w + 1);
             let cursors = &cursors;
             scope.spawn(move || {
-                let mut scratch = SliceScratch::default();
+                let mut scratch = KernelScratch::default();
                 let mut prev: Option<u32> = None;
                 for (pos, step) in steps.iter().enumerate() {
                     let wait = log.start();
@@ -284,7 +291,7 @@ fn run_coordinated<S: Schedule, M: MemoStore>(
                     }
                     let mut view = store.begin_step(w as usize);
                     for_owned_slices(pos, step, w, dist, cursors, |k1, k2| {
-                        run_slice(ctx.p1, ctx.p2, k1, k2, &mut view, &mut scratch, &mut log);
+                        run_slice(ctx, k1, k2, &mut view, &mut scratch, &mut log);
                     });
                     drop(view);
                     // Record-then-send: the arrival precedes the signal
@@ -359,7 +366,7 @@ fn run_managed<S: Schedule, M: MemoStore>(
             let done_tx = done_tx.clone();
             let mut log = ctx.recorder.lane(w + 1);
             scope.spawn(move || {
-                let mut scratch = SliceScratch::default();
+                let mut scratch = KernelScratch::default();
                 let mut prev: Option<u32> = None;
                 for step in steps {
                     // The view opens lazily, after the first assignment
@@ -391,7 +398,7 @@ fn run_managed<S: Schedule, M: MemoStore>(
                         }
                         let v = view.get_or_insert_with(|| store.begin_step(w as usize));
                         let (k1, k2) = step.slices[idx as usize];
-                        run_slice(ctx.p1, ctx.p2, k1, k2, v, &mut scratch, &mut log);
+                        run_slice(ctx, k1, k2, v, &mut scratch, &mut log);
                     }
                     drop(view);
                     if let Some(h) = ctx.hooks {
@@ -468,20 +475,23 @@ fn run_managed<S: Schedule, M: MemoStore>(
 /// behind [`crate::prna_recorded`].
 pub(crate) fn dispatch(
     backend: Backend,
+    kernel: KernelKind,
     p1: &Preprocessed,
     p2: &Preprocessed,
     assignment: &Assignment,
     recorder: &Recorder,
 ) -> MemoTable {
-    run_backend(backend, false, p1, p2, assignment, recorder, None)
+    run_backend(backend, kernel, false, p1, p2, assignment, recorder, None)
 }
 
 /// Like [`dispatch`], but wraps the store in the [`Tracing`] decorator
 /// and records synchronizing edges through `hooks`. `broken_wavefront`
 /// swaps in the deliberately unsound merged-level schedule for
 /// detector self-tests.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dispatch_traced(
     backend: Backend,
+    kernel: KernelKind,
     broken_wavefront: bool,
     p1: &Preprocessed,
     p2: &Preprocessed,
@@ -491,6 +501,7 @@ pub(crate) fn dispatch_traced(
 ) -> MemoTable {
     run_backend(
         backend,
+        kernel,
         broken_wavefront,
         p1,
         p2,
@@ -500,8 +511,10 @@ pub(crate) fn dispatch_traced(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_backend(
     backend: Backend,
+    kernel: KernelKind,
     broken_wavefront: bool,
     p1: &Preprocessed,
     p2: &Preprocessed,
@@ -510,10 +523,20 @@ fn run_backend(
     hooks: Option<&TraceHooks<'_>>,
 ) -> MemoTable {
     match backend.schedule {
-        ScheduleKind::Row => run_sched(&RowBarrier, backend, p1, p2, assignment, recorder, hooks),
+        ScheduleKind::Row => run_sched(
+            &RowBarrier,
+            backend,
+            kernel,
+            p1,
+            p2,
+            assignment,
+            recorder,
+            hooks,
+        ),
         ScheduleKind::Level if broken_wavefront => run_sched(
             &LevelWavefront::broken(),
             backend,
+            kernel,
             p1,
             p2,
             assignment,
@@ -523,6 +546,7 @@ fn run_backend(
         ScheduleKind::Level => run_sched(
             &LevelWavefront::new(),
             backend,
+            kernel,
             p1,
             p2,
             assignment,
@@ -532,9 +556,11 @@ fn run_backend(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sched<S: Schedule>(
     schedule: &S,
     backend: Backend,
+    kernel: KernelKind,
     p1: &Preprocessed,
     p2: &Preprocessed,
     assignment: &Assignment,
@@ -552,6 +578,7 @@ fn run_sched<S: Schedule>(
         p1,
         p2,
         workers,
+        kernel: kernel.kernel(),
         recorder,
         hooks,
     };
@@ -615,7 +642,16 @@ mod tests {
         for workers in [1u32, 3] {
             let sched = LevelWavefront::new();
             let store = Replicated::new(p1.num_arcs(), p2.num_arcs(), workers, false, &rec);
-            let memo = run_stage_one(&sched, store, Distribution::Claim, workers, &p1, &p2, &rec);
+            let memo = run_stage_one(
+                &sched,
+                store,
+                Distribution::Claim,
+                KernelKind::default(),
+                workers,
+                &p1,
+                &p2,
+                &rec,
+            );
             assert_eq!(memo, reference, "workers {workers}");
         }
     }
@@ -630,7 +666,16 @@ mod tests {
         let sched = RowBarrier;
         let steps = sched.steps(&p1, &p2);
         let store = SharedRwLock::new(p1.num_arcs(), p2.num_arcs(), &steps);
-        let memo = run_stage_one(&sched, store, Distribution::Managed, 3, &p1, &p2, &rec);
+        let memo = run_stage_one(
+            &sched,
+            store,
+            Distribution::Managed,
+            KernelKind::default(),
+            3,
+            &p1,
+            &p2,
+            &rec,
+        );
         assert_eq!(memo, reference);
     }
 
@@ -647,6 +692,7 @@ mod tests {
             &sched,
             store,
             Distribution::Static(&assignment),
+            KernelKind::default(),
             4,
             &p1,
             &p2,
@@ -664,6 +710,7 @@ mod tests {
             &RowBarrier,
             store,
             Distribution::Claim,
+            KernelKind::default(),
             0,
             &p1,
             &p2,

@@ -57,11 +57,16 @@
 //! let s = generate::worst_case_nested(12);
 //! let out = prna(&s, &s, &PrnaConfig {
 //!     processors: 3,
-//!     policy: Policy::Greedy,
 //!     backend: Backend::MPI_SIM,
+//!     ..PrnaConfig::default()
 //! });
 //! assert_eq!(out.score, 12); // self-comparison matches every arc
 //! ```
+//!
+//! Orthogonal to all three engine axes, the *kernel* axis
+//! ([`KernelKind`], from `mcos-core`) selects the slice-tabulation
+//! inner loop every backend runs; all kernels are bit-identical, so
+//! any kernel composes with any backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,9 +88,12 @@ pub use traced::{prna_traced, TracedBackend, TracedOutcome};
 use std::time::{Duration, Instant};
 
 use load_balance::Policy;
+use mcos_core::kernel::KernelScratch;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice, workload};
 use mcos_telemetry::{Phase, Recorder};
 use rna_structure::ArcStructure;
+
+pub use mcos_core::kernel::KernelKind;
 
 /// When the memo table synchronizes (the engine's [`engine::Schedule`]
 /// axis).
@@ -290,6 +298,8 @@ pub struct PrnaConfig {
     pub policy: Policy,
     /// Execution backend (a schedule × store × distribution point).
     pub backend: Backend,
+    /// Slice-tabulation kernel every worker (and stage two) runs.
+    pub kernel: KernelKind,
 }
 
 impl Default for PrnaConfig {
@@ -298,6 +308,7 @@ impl Default for PrnaConfig {
             processors: 2,
             policy: Policy::Greedy,
             backend: Backend::WORKER_POOL,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -353,13 +364,20 @@ pub fn prna_recorded(
 
     let span = log.start();
     let t1 = Instant::now();
-    let memo = engine::dispatch(config.backend, &p1, &p2, &assignment, recorder);
+    let memo = engine::dispatch(
+        config.backend,
+        config.kernel,
+        &p1,
+        &p2,
+        &assignment,
+        recorder,
+    );
     let stage_one = t1.elapsed();
     log.phase(span, Phase::StageOne);
 
     let span = log.start();
     let t2 = Instant::now();
-    let score = stage_two(&p1, &p2, &memo);
+    let score = stage_two(&p1, &p2, &memo, config.kernel);
     let stage_two_d = t2.elapsed();
     log.phase(span, Phase::StageTwo);
     // Flush now so callers can read a complete event log on return
@@ -385,44 +403,24 @@ pub(crate) fn slice_detail(p1: &Preprocessed, p2: &Preprocessed, k1: u32, k2: u3
     )
 }
 
-/// Reusable per-thread scratch for slice tabulation: the compressed grid
-/// plus the row-hoisted `d₂` buffer of
-/// [`slice::tabulate_with_rows`]. One per worker, owned by the engine
-/// and reused across slices.
-#[derive(Debug, Default)]
-pub(crate) struct SliceScratch {
-    grid: Vec<u32>,
-    d2_row: Vec<u32>,
-}
-
 /// Stage two: sequential tabulation of the parent slice against a
-/// complete memo table (shared by all backends).
-pub(crate) fn stage_two(p1: &Preprocessed, p2: &Preprocessed, memo: &MemoTable) -> u32 {
-    let mut scratch = SliceScratch::default();
-    tabulate_ranges(p1, p2, p1.full_range(), p2.full_range(), memo, &mut scratch)
-}
-
-/// Row-hoisted tabulation over arbitrary arc ranges: the `d₂` reads for
-/// each fixed `g1` are one contiguous segment of memo row `g1`, copied
-/// into the scratch buffer once per row.
-#[inline]
-fn tabulate_ranges(
+/// complete memo table (shared by all backends), through the same
+/// kernel stage one used.
+pub(crate) fn stage_two(
     p1: &Preprocessed,
     p2: &Preprocessed,
-    range1: slice::ArcRange,
-    range2: slice::ArcRange,
     memo: &MemoTable,
-    scratch: &mut SliceScratch,
+    kernel: KernelKind,
 ) -> u32 {
-    let (lo2, hi2) = range2;
-    slice::tabulate_with_rows(
+    let mut scratch = KernelScratch::default();
+    let (lo2, hi2) = p2.full_range();
+    kernel.kernel().tabulate(
         p1,
         p2,
-        range1,
-        range2,
-        &mut scratch.grid,
-        &mut scratch.d2_row,
-        |g1, buf| buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]),
+        p1.full_range(),
+        p2.full_range(),
+        &mut scratch,
+        &mut |g1, buf| buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]),
     )
 }
 
@@ -439,8 +437,41 @@ mod tests {
                 processors: p,
                 policy: Policy::Greedy,
                 backend,
+                kernel: KernelKind::default(),
             })
             .collect()
+    }
+
+    #[test]
+    fn every_kernel_matches_srna2_on_every_legacy_backend() {
+        let s1 = generate::random_structure(64, 0.9, 11);
+        let s2 = generate::random_structure(56, 0.8, 53);
+        let reference = srna2::run(&s1, &s2);
+        for kernel in KernelKind::ALL {
+            for backend in Backend::ALL {
+                let config = PrnaConfig {
+                    processors: 3,
+                    policy: Policy::Greedy,
+                    backend,
+                    kernel,
+                };
+                let out = prna(&s1, &s2, &config);
+                assert_eq!(
+                    out.score,
+                    reference.score,
+                    "{} kernel {}",
+                    backend.name(),
+                    kernel.name()
+                );
+                assert_eq!(
+                    out.memo,
+                    reference.memo,
+                    "memo mismatch: {} kernel {}",
+                    backend.name(),
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -515,6 +546,7 @@ mod tests {
                 processors: 3,
                 policy,
                 backend: Backend::MPI_SIM,
+                ..PrnaConfig::default()
             };
             assert_eq!(
                 prna(&s1, &s1, &config).score,

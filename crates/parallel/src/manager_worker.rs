@@ -51,6 +51,7 @@ pub fn prna_manager_worker_recorded(
             processors: ranks - 1,
             policy: Policy::Greedy,
             backend: Backend::MANAGER_WORKER,
+            ..PrnaConfig::default()
         },
         recorder,
     )

@@ -29,6 +29,7 @@ mod tests {
             processors: ranks,
             policy: Policy::Greedy,
             backend: Backend::MPI_SIM,
+            ..PrnaConfig::default()
         }
     }
 

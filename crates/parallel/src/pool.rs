@@ -30,6 +30,7 @@ mod tests {
             processors: workers,
             policy,
             backend: Backend::WORKER_POOL,
+            ..PrnaConfig::default()
         }
     }
 

@@ -27,6 +27,7 @@ mod tests {
             processors: threads,
             policy: Policy::Greedy,
             backend: Backend::RAYON,
+            ..PrnaConfig::default()
         }
     }
 

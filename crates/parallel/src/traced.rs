@@ -31,7 +31,7 @@ use mcos_telemetry::Recorder;
 use rna_structure::ArcStructure;
 
 use crate::engine::{self, TraceHooks};
-use crate::{Backend, SliceScratch};
+use crate::{Backend, KernelKind};
 
 /// The stage-one schedules the race detector exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,8 +145,13 @@ fn run_traced(
     };
     let weights = workload::column_weights(p1, p2);
     let assignment = Policy::Greedy.assign(&weights, threads);
+    // Traced runs exercise the synchronization, not the inner loop;
+    // they run the production default kernel (all kernels share the
+    // same gather/publish pattern, so the recorded access set is
+    // kernel-independent).
     let memo = engine::dispatch_traced(
         backend,
+        KernelKind::default(),
         broken_wavefront,
         p1,
         p2,
@@ -168,15 +173,15 @@ fn finish_stage_two(
     log: &TraceLog,
     root: TaskId,
 ) -> TracedOutcome {
-    let mut scratch = SliceScratch::default();
+    let (mut grid, mut d2_row) = (Vec::new(), Vec::new());
     let (lo2, hi2) = p2.full_range();
     let score = slice::tabulate_with_rows(
         p1,
         p2,
         p1.full_range(),
         p2.full_range(),
-        &mut scratch.grid,
-        &mut scratch.d2_row,
+        &mut grid,
+        &mut d2_row,
         |g1, buf| {
             log.perturb();
             buf.copy_from_slice(&memo.row(g1)[lo2 as usize..hi2 as usize]);

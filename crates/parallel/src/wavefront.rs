@@ -91,6 +91,7 @@ mod tests {
             processors: threads,
             policy: Policy::Greedy,
             backend: Backend::WAVEFRONT,
+            ..PrnaConfig::default()
         }
     }
 

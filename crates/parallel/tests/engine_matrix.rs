@@ -6,7 +6,7 @@
 use load_balance::Policy;
 use mcos_core::srna2;
 use mcos_core::trace::TraceLog;
-use mcos_parallel::{prna, prna_traced, Backend, PrnaConfig, TracedBackend};
+use mcos_parallel::{prna, prna_traced, Backend, KernelKind, PrnaConfig, TracedBackend};
 use rna_structure::generate;
 
 fn config(backend: Backend, processors: u32) -> PrnaConfig {
@@ -14,6 +14,7 @@ fn config(backend: Backend, processors: u32) -> PrnaConfig {
         processors,
         policy: Policy::Lpt,
         backend,
+        ..PrnaConfig::default()
     }
 }
 
@@ -92,6 +93,40 @@ fn tracing_decorator_does_not_change_results() {
                 plain.name()
             );
             assert!(!log.is_empty(), "{} recorded nothing", plain.name());
+        }
+    }
+}
+
+/// The kernel axis composes with the engine matrix: every kernel ×
+/// every composition in the full 2×3×3 matrix stays bit-identical to
+/// the sequential reference. The kernel only swaps the inner loop, so
+/// the schedule/store/distribution choice must be invisible to it.
+#[test]
+fn every_kernel_composes_with_the_full_matrix() {
+    let s1 = generate::random_structure(48, 0.9, 47);
+    let s2 = generate::random_structure(42, 0.8, 48);
+    let reference = srna2::run(&s1, &s2);
+    for kernel in KernelKind::ALL {
+        for backend in Backend::MATRIX {
+            let cfg = PrnaConfig {
+                kernel,
+                ..config(backend, 3)
+            };
+            let out = prna(&s1, &s2, &cfg);
+            assert_eq!(
+                out.score,
+                reference.score,
+                "{} kernel {}",
+                backend.name(),
+                kernel.name()
+            );
+            assert_eq!(
+                out.memo,
+                reference.memo,
+                "memo mismatch: {} kernel {}",
+                backend.name(),
+                kernel.name()
+            );
         }
     }
 }

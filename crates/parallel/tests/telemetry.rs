@@ -11,6 +11,7 @@ fn config(backend: Backend, processors: u32) -> PrnaConfig {
         processors,
         policy: Policy::Greedy,
         backend,
+        ..PrnaConfig::default()
     }
 }
 

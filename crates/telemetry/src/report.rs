@@ -24,6 +24,10 @@ pub struct WorkerLoad {
     pub wait_ns: u64,
     /// Slices tabulated on this lane.
     pub slices: u64,
+    /// DP cells tabulated on this lane (summed over its slice spans).
+    pub cells: u64,
+    /// Largest single slice this lane tabulated, in cells.
+    pub max_cells_per_slice: u64,
 }
 
 /// The static assignment's predicted quality, for comparison against
@@ -64,6 +68,9 @@ pub struct LoadReport {
     pub workers: Vec<WorkerLoad>,
     /// The static assignment's prediction, when the backend used one.
     pub graham: Option<GrahamComparison>,
+    /// Name of the slice-tabulation kernel the run used, when known.
+    /// Enables the per-kernel throughput line in [`LoadReport::render`].
+    pub kernel: Option<String>,
 }
 
 impl LoadReport {
@@ -89,6 +96,10 @@ impl LoadReport {
             if e.kind.is_busy() {
                 w.busy_ns += e.dur_ns;
                 w.slices += 1;
+                if let EventKind::Slice { cells, .. } = e.kind {
+                    w.cells += cells;
+                    w.max_cells_per_slice = w.max_cells_per_slice.max(cells);
+                }
             } else if e.kind.is_wait() {
                 w.wait_ns += e.dur_ns;
             }
@@ -97,12 +108,20 @@ impl LoadReport {
             wall_ns,
             workers,
             graham: None,
+            kernel: None,
         }
     }
 
     /// Attaches the static assignment's prediction.
     pub fn with_graham(mut self, graham: GrahamComparison) -> LoadReport {
         self.graham = Some(graham);
+        self
+    }
+
+    /// Attaches the kernel name, enabling the per-kernel throughput
+    /// line in [`LoadReport::render`].
+    pub fn with_kernel(mut self, kernel: &str) -> LoadReport {
+        self.kernel = Some(kernel.to_string());
         self
     }
 
@@ -119,6 +138,31 @@ impl LoadReport {
     /// Wait time summed over worker lanes.
     pub fn total_wait_ns(&self) -> u64 {
         self.worker_lanes().map(|w| w.wait_ns).sum()
+    }
+
+    /// DP cells tabulated, summed over worker lanes.
+    pub fn total_cells(&self) -> u64 {
+        self.worker_lanes().map(|w| w.cells).sum()
+    }
+
+    /// Largest single slice any worker tabulated, in cells.
+    pub fn max_cells_per_slice(&self) -> u64 {
+        self.worker_lanes()
+            .map(|w| w.max_cells_per_slice)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate tabulation throughput in cells per second of *busy*
+    /// time (total cells over total slice-span time, so barrier waits
+    /// don't dilute the kernel's measured rate). Zero when nothing was
+    /// recorded.
+    pub fn cells_per_sec(&self) -> f64 {
+        let busy = self.total_busy_ns();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.total_cells() as f64 / (busy as f64 / 1e9)
     }
 
     /// Fraction of `p x wall` spent tabulating slices (parallel
@@ -161,11 +205,14 @@ impl LoadReport {
             fmt_ms(self.wall_ns),
             self.worker_lanes().count()
         ));
-        out.push_str("  lane         role     busy ms   busy %    wait ms   wait %   slices\n");
+        out.push_str(
+            "  lane         role     busy ms   busy %    wait ms   wait %   slices   \
+             cells   max slice\n",
+        );
         for w in &self.workers {
             let role = if w.tid == 0 { "coord" } else { "worker" };
             out.push_str(&format!(
-                "  {:>4}  {:>11}  {:>10.3}  {:>6.1}  {:>9.3}  {:>6.1}  {:>7}\n",
+                "  {:>4}  {:>11}  {:>10.3}  {:>6.1}  {:>9.3}  {:>6.1}  {:>7}  {:>6}  {:>10}\n",
                 w.tid,
                 role,
                 w.busy_ns as f64 / 1e6,
@@ -173,6 +220,8 @@ impl LoadReport {
                 w.wait_ns as f64 / 1e6,
                 percent(w.wait_ns, self.wall_ns),
                 w.slices,
+                w.cells,
+                w.max_cells_per_slice,
             ));
         }
         out.push_str(&format!(
@@ -184,6 +233,14 @@ impl LoadReport {
             "  observed busy imbalance: {:.3} (max/mean across workers)\n",
             self.observed_imbalance()
         ));
+        if let Some(kernel) = &self.kernel {
+            out.push_str(&format!(
+                "  kernel {kernel}: {} cells in {:.3} ms busy -> {:.2} Mcells/s\n",
+                self.total_cells(),
+                self.total_busy_ns() as f64 / 1e6,
+                self.cells_per_sec() / 1e6,
+            ));
+        }
         if let Some(g) = &self.graham {
             out.push_str(&format!(
                 "  static assignment: makespan {} work units, lower bound {} \
@@ -279,10 +336,16 @@ mod tests {
         assert_eq!(report.workers[1].busy_ns, 600);
         assert_eq!(report.workers[1].wait_ns, 100);
         assert_eq!(report.workers[1].slices, 1);
+        assert_eq!(report.workers[1].cells, 10);
+        assert_eq!(report.workers[1].max_cells_per_slice, 10);
         assert_eq!(report.workers[2].busy_ns, 300);
         assert_eq!(report.workers[2].wait_ns, 400);
         assert_eq!(report.total_busy_ns(), 900);
         assert_eq!(report.total_wait_ns(), 500);
+        assert_eq!(report.total_cells(), 15);
+        assert_eq!(report.max_cells_per_slice(), 10);
+        // throughput = 15 cells / 900 ns of busy time
+        assert!((report.cells_per_sec() - 15.0 / 900e-9).abs() < 1e-3);
         // busy fraction = 900 / (2 * 1000)
         assert!((report.busy_fraction() - 0.45).abs() < 1e-12);
         // imbalance = 600 / 450
@@ -314,6 +377,36 @@ mod tests {
         assert!((g.bound_factor - 1.5).abs() < 1e-12);
         let report = LoadReport::build(&[], 2).with_graham(g);
         assert!(report.render().contains("Graham guarantee"));
+    }
+
+    #[test]
+    fn kernel_line_reports_throughput() {
+        let events = vec![
+            ev(0, 0, 0, 1_000_000, EventKind::Phase(Phase::StageOne)),
+            ev(1, 0, 0, 500_000, slice(2_000_000)),
+        ];
+        let report = LoadReport::build(&events, 1).with_kernel("tiled");
+        // 2M cells over 0.5 ms of busy time = 4000 Mcells/s.
+        assert!((report.cells_per_sec() - 4e9).abs() < 1.0);
+        let text = report.render();
+        assert!(text.contains("kernel tiled"), "{text}");
+        assert!(text.contains("4000.00 Mcells/s"), "{text}");
+        // Without the kernel name, no throughput line.
+        assert!(!LoadReport::build(&events, 1).render().contains("kernel"));
+    }
+
+    #[test]
+    fn accumulates_max_slice_across_events() {
+        let events = vec![
+            ev(1, 0, 0, 10, slice(4)),
+            ev(1, 1, 10, 10, slice(9)),
+            ev(2, 0, 0, 10, slice(6)),
+        ];
+        let report = LoadReport::build(&events, 2);
+        assert_eq!(report.workers[1].max_cells_per_slice, 9);
+        assert_eq!(report.workers[2].max_cells_per_slice, 6);
+        assert_eq!(report.max_cells_per_slice(), 9);
+        assert_eq!(report.total_cells(), 19);
     }
 
     #[test]

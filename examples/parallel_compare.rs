@@ -36,6 +36,7 @@ fn main() {
             processors: threads,
             policy: Policy::Greedy,
             backend,
+            ..PrnaConfig::default()
         };
         let out = prna(&s, &s, &config);
         assert_eq!(out.score, reference.score, "backends must agree");

@@ -27,6 +27,7 @@ fn all_scores(s1: &rna_structure::ArcStructure, s2: &rna_structure::ArcStructure
                     processors: 3,
                     policy: Policy::Greedy,
                     backend,
+                    ..PrnaConfig::default()
                 },
             )
             .score,

@@ -22,6 +22,7 @@ fn battery_backends_procs_policies() {
                         processors: procs,
                         policy: Policy::Lpt,
                         backend,
+                        ..PrnaConfig::default()
                     },
                 );
                 assert_eq!(out.score, reference.score, "{name} {backend:?} p{procs}");
@@ -52,6 +53,7 @@ fn policies_do_not_change_results() {
                     processors: 4,
                     policy,
                     backend,
+                    ..PrnaConfig::default()
                 },
             );
             assert_eq!(out.memo, reference.memo, "{} {backend:?}", policy.name());
@@ -80,6 +82,7 @@ fn wavefront_matches_srna2_at_all_thread_counts() {
                     processors: procs,
                     policy: Policy::Greedy,
                     backend: Backend::WAVEFRONT,
+                    ..PrnaConfig::default()
                 },
             );
             assert_eq!(out.score, reference.score, "{name} p{procs}");
@@ -98,6 +101,7 @@ fn prna_timings_partition_total() {
             processors: 2,
             policy: Policy::Greedy,
             backend: Backend::WORKER_POOL,
+            ..PrnaConfig::default()
         },
     );
     assert!(out.total() >= out.stage_one);
@@ -118,6 +122,7 @@ proptest! {
                 processors: procs,
                 policy: Policy::Greedy,
                 backend,
+                ..PrnaConfig::default()
             });
             prop_assert_eq!(out.score, reference.score);
             prop_assert_eq!(&out.memo, &reference.memo);
@@ -134,6 +139,7 @@ proptest! {
             processors: procs,
             policy: Policy::Greedy,
             backend: Backend::WAVEFRONT,
+            ..PrnaConfig::default()
         });
         prop_assert_eq!(out.score, reference.score);
         prop_assert_eq!(&out.memo, &reference.memo);

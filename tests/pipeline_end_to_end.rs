@@ -55,6 +55,7 @@ fn rrna_scale_pipeline() {
             processors: 3,
             policy: Policy::Greedy,
             backend: Backend::MPI_SIM,
+            ..PrnaConfig::default()
         },
     );
     assert_eq!(par.score, seq.score);

@@ -69,6 +69,7 @@ fn manager_worker_and_static_prna_agree() {
             processors: 3,
             policy: Policy::Greedy,
             backend: Backend::MPI_SIM,
+            ..PrnaConfig::default()
         },
     );
     assert_eq!(mw.score, st.score);

@@ -24,6 +24,7 @@ fn worst_case_400_all_backends() {
                 processors: 4,
                 policy: Policy::Greedy,
                 backend,
+                ..PrnaConfig::default()
             },
         );
         assert_eq!(out.score, 400, "{}", backend.name());
@@ -52,6 +53,7 @@ fn backend_equivalence_at_scale() {
                     processors: 8,
                     policy: Policy::Lpt,
                     backend,
+                    ..PrnaConfig::default()
                 },
             );
             assert_eq!(out.score, reference.score, "{}", backend.name());
