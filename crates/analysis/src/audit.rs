@@ -131,9 +131,9 @@ pub fn ordering_inventory(root: &std::path::Path) -> std::io::Result<Vec<Orderin
             .display()
             .to_string();
         let lines: Vec<&str> = text.lines().collect();
-        let limit = crate::lint::test_module_start(&lines);
-        for (i, line) in lines.iter().enumerate().take(limit) {
-            if crate::lint::is_comment_line(line) {
+        let test_code = crate::lint::test_code_mask(&lines);
+        for (i, line) in lines.iter().enumerate() {
+            if test_code[i] || crate::lint::is_comment_line(line) {
                 continue;
             }
             let Some(pos) = line.find("Ordering::") else {

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use analysis::lint::{lint_workspace, Allowlist};
+use analysis::lint::{lint_workspace, stale_allowlist_entries, Allowlist};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -50,6 +50,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Stale entries fail the run even when the scan itself is clean:
+    // an exemption that exempts nothing would silently cover a future
+    // regression at that (rule, path).
+    let stale = match stale_allowlist_entries(&root, &allow) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workspace-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !stale.is_empty() {
+        for (rule, path) in &stale {
+            println!("stale allowlist entry: {rule} {path}");
+        }
+        println!(
+            "workspace-lint: {} stale allowlist entr{} in {}; remove \
+             them (nothing at those paths needs the exemption any more)",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" },
+            allow_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
 
     match lint_workspace(&root, &allow) {
         Ok(findings) if findings.is_empty() => {

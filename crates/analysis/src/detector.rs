@@ -16,7 +16,8 @@
 use mcos_core::preprocess::Preprocessed;
 use mcos_core::srna2;
 use mcos_core::trace::TraceLog;
-use mcos_parallel::traced::{prna_traced_preprocessed, TracedBackend};
+use mcos_parallel::traced::prna_traced_preprocessed;
+use mcos_parallel::Backend;
 use par_sim::jitter::DelayInjector;
 use rna_structure::ArcStructure;
 
@@ -25,8 +26,8 @@ use crate::vc::{check_trace, DependencyCone, Violation};
 /// Outcome of one matrix cell.
 #[derive(Debug, Clone)]
 pub struct RaceRun {
-    /// The schedule exercised.
-    pub backend: TracedBackend,
+    /// The engine composition exercised.
+    pub backend: Backend,
     /// Worker threads (for manager-worker: workers; one manager rank is
     /// added on top).
     pub threads: u32,
@@ -67,7 +68,7 @@ impl DetectorReport {
 pub fn detect_races(
     s1: &ArcStructure,
     s2: &ArcStructure,
-    backends: &[TracedBackend],
+    backends: &[Backend],
     thread_counts: &[u32],
     seeds: &[u64],
 ) -> DetectorReport {
@@ -99,11 +100,12 @@ pub fn detect_races(
     DetectorReport { runs }
 }
 
-/// The acceptance matrix of ISSUE 2: all four backends at 1/2/4/8
-/// threads, `seeds` delay-injection seeds each.
+/// The acceptance matrix of ISSUE 2, widened by the engine
+/// unification: every legacy backend composition at 1/2/4/8 threads,
+/// `seeds` delay-injection seeds each.
 pub fn acceptance_matrix(s1: &ArcStructure, s2: &ArcStructure, seeds: u64) -> DetectorReport {
     let seed_list: Vec<u64> = (0..seeds).collect();
-    detect_races(s1, s2, &TracedBackend::ALL, &[1, 2, 4, 8], &seed_list)
+    detect_races(s1, s2, &Backend::ALL, &[1, 2, 4, 8], &seed_list)
 }
 
 #[cfg(test)]
@@ -115,7 +117,7 @@ mod tests {
     #[test]
     fn single_cell_is_clean() {
         let s = generate::random_structure(36, 0.9, 1);
-        let report = detect_races(&s, &s, &[TracedBackend::Wavefront], &[4], &[0, 1]);
+        let report = detect_races(&s, &s, &[Backend::WAVEFRONT], &[4], &[0, 1]);
         assert_eq!(report.runs.len(), 2);
         assert!(
             report.all_clean(),
@@ -128,12 +130,12 @@ mod tests {
     #[test]
     fn acceptance_matrix_smoke() {
         // The full acceptance matrix at reduced seed count, kept in the
-        // default suite so every `cargo test` exercises all four traced
+        // default suite so every `cargo test` exercises all five legacy
         // backends at 1/2/4/8 threads.
         let s1 = generate::random_structure(40, 0.9, 7);
         let s2 = generate::random_structure(36, 0.85, 11);
         let report = acceptance_matrix(&s1, &s2, 2);
-        assert_eq!(report.runs.len(), 4 * 4 * 2);
+        assert_eq!(report.runs.len(), 5 * 4 * 2);
         for r in &report.runs {
             assert!(
                 r.violations.is_empty() && r.result_ok,
@@ -148,12 +150,12 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "full acceptance matrix (4 backends x 4 thread counts x 16 seeds); run in CI stress"]
+    #[ignore = "full acceptance matrix (5 backends x 4 thread counts x 16 seeds); run in CI stress"]
     fn acceptance_matrix_full() {
         let s1 = generate::random_structure(60, 0.9, 3);
         let s2 = generate::random_structure(50, 0.85, 5);
         let report = acceptance_matrix(&s1, &s2, 16);
-        assert_eq!(report.runs.len(), 4 * 4 * 16);
+        assert_eq!(report.runs.len(), 5 * 4 * 16);
         assert!(
             report.all_clean(),
             "{} violation(s) across {} runs",

@@ -15,6 +15,12 @@
 //!   that the wavefront level function `max(depth₁, depth₂)` strictly
 //!   decreases along every dependency edge, and reports barrier counts
 //!   per backend plus an atomic-ordering inventory.
+//! * [`prove`] — **static schedule-soundness prover**. Checks, for
+//!   every composition in `Backend::MATRIX` at every thread count,
+//!   that each slice-DAG dependency edge is covered by a
+//!   synchronization path of the schedule's symbolic `SyncPlan`
+//!   (settlement, readiness path, or same-worker program order),
+//!   reporting the uncovered edge set as a counterexample.
 //! * [`lint`] — **workspace lint**. Mechanical enforcement of the
 //!   `// ORDERING:` / `// SAFETY:` justification conventions and the
 //!   no-`unwrap`-in-library-code rule, with a reviewed allowlist
@@ -27,4 +33,5 @@
 pub mod audit;
 pub mod detector;
 pub mod lint;
+pub mod prove;
 pub mod vc;

@@ -2,9 +2,10 @@
 //! conventions the concurrency-soundness work depends on.
 //!
 //! Four rules, scanned over every non-shim `crates/*/src/**/*.rs`
-//! file, skipping test modules (everything at and after the first
-//! `#[cfg(test)]` line — test modules sit at file end throughout this
-//! workspace) and comment lines:
+//! file, skipping test code (each `#[cfg(test)]`-gated item, tracked
+//! through its closing brace by [`test_code_mask`], so a mid-file
+//! test-only helper does not mask the library code after it) and
+//! comment lines:
 //!
 //! * **`ordering`** — any explicit atomic ordering (`Relaxed`,
 //!   `Acquire`, `Release`, `AcqRel`, `SeqCst`) must carry an adjacent
@@ -130,6 +131,29 @@ impl Allowlist {
             .iter()
             .any(|(r, p)| r == rule.name() && p == file)
     }
+
+    /// The parsed `(rule name, path)` pairs, in file order.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
+}
+
+/// Allowlist entries that exempt nothing: no finding of a raw scan
+/// (same workspace, empty allowlist) matches their `(rule, path)`.
+/// A stale entry is a reviewed exemption whose subject has moved or
+/// been fixed — left in place it would silently exempt a future
+/// regression, so `workspace-lint` fails on them.
+pub fn stale_allowlist_entries(
+    root: &Path,
+    allow: &Allowlist,
+) -> io::Result<Vec<(String, String)>> {
+    let raw = lint_workspace(root, &Allowlist::default())?;
+    Ok(allow
+        .entries()
+        .iter()
+        .filter(|(rule, path)| !raw.iter().any(|f| f.rule.name() == rule && &f.file == path))
+        .cloned()
+        .collect())
 }
 
 /// Collects every lintable source file: `crates/*/src/**/*.rs`,
@@ -164,14 +188,85 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Index of the first line opening a test module (`#[cfg(test)]`), or
-/// `lines.len()` when there is none. Lines at and after it are not
-/// linted — in this workspace test modules sit at the end of each file.
-pub fn test_module_start(lines: &[&str]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len())
+/// Per-line mask of test-gated code: `mask[i]` is true when line `i`
+/// belongs to an item annotated `#[cfg(test)]` — the attribute line,
+/// any further attribute lines, and the item's body through its
+/// matching closing brace (or terminating `;` for braceless items
+/// like `#[cfg(test)] use ...;`). Brace depth is tracked per item, so
+/// a `#[cfg(test)]` helper in the middle of a file masks only itself,
+/// not everything after it. Braces inside strings, char literals, and
+/// line comments are ignored; multi-line string literals are not
+/// tracked (none of the workspace's test items start inside one).
+pub fn test_code_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let end = test_item_end(lines, i);
+        for m in &mut mask[i..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Index of the last line of the `#[cfg(test)]`-gated item whose
+/// attribute sits on line `start`: the line on which the item's brace
+/// depth returns to zero (or a `;` ends a braceless item). Runs to the
+/// end of the file when the braces never close.
+fn test_item_end(lines: &[&str], start: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        let mut chars = line.chars().peekable();
+        let mut in_str = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' if in_str => {
+                    chars.next(); // escape: skip \" and \\
+                }
+                '"' => in_str = !in_str,
+                _ if in_str => {}
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '\'' => {
+                    // Char literal ('{', '\n', …) — skip it so its
+                    // payload cannot unbalance the count. A lifetime
+                    // tick has an alphabetic body and no closing tick
+                    // right after, so consume at most one escaped or
+                    // plain char followed by the closing quote.
+                    let mut ahead = chars.clone();
+                    let is_literal = match ahead.next() {
+                        Some('\\') => {
+                            ahead.next();
+                            ahead.next() == Some('\'')
+                        }
+                        Some(_) => ahead.next() == Some('\''),
+                        None => false,
+                    };
+                    if is_literal {
+                        chars = ahead;
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth <= 0 {
+                        return j;
+                    }
+                }
+                ';' if !opened && depth == 0 => return j,
+                _ => {}
+            }
+        }
+    }
+    lines.len() - 1
 }
 
 /// Whether the line is a (line or doc) comment.
@@ -235,9 +330,9 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
     let unwrap_call = needle_unwrap();
     let policies = policy_needles();
     let lines: Vec<&str> = text.lines().collect();
-    let limit = test_module_start(&lines);
-    for (i, line) in lines.iter().enumerate().take(limit) {
-        if is_comment_line(line) {
+    let test_code = test_code_mask(&lines);
+    for (i, line) in lines.iter().enumerate() {
+        if test_code[i] || is_comment_line(line) {
             continue;
         }
         if orderings.iter().any(|n| line.contains(n))
@@ -444,6 +539,79 @@ mod tests {
         )
         .unwrap();
         assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mid_file_test_helper_does_not_mask_later_library_code() {
+        // The old scanner treated everything after the FIRST
+        // `#[cfg(test)]` line as test code, so a test-only helper in
+        // the middle of a file hid every finding after it.
+        let call = format!(".{}()", ["un", "wrap"].concat());
+        let text = format!(
+            "fn lib_before() {{}}\n\
+             #[cfg(test)]\n\
+             fn helper() {{\n\
+                 let inside = x{call}; // masked: test-gated\n\
+             }}\n\
+             fn lib_after() {{ y{call}; }}\n"
+        );
+        let root = fixture(&[("crates/demo/src/mid.rs", text.as_str())]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::Unwrap);
+        assert_eq!(findings[0].line, 6, "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_mask_tracks_scope_not_file_position() {
+        let text = "fn a() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    \x20   fn t() { let s = \"}\"; }\n\
+                    \x20   fn u() { if x { y() } }\n\
+                    }\n\
+                    fn b() {}\n\
+                    #[cfg(test)]\n\
+                    use super::helper;\n\
+                    fn c() {}\n";
+        let lines: Vec<&str> = text.lines().collect();
+        let mask = test_code_mask(&lines);
+        assert_eq!(
+            mask,
+            vec![false, true, true, true, true, true, false, true, true, false],
+            "{mask:?}"
+        );
+    }
+
+    #[test]
+    fn unclosed_test_item_masks_to_end_of_file() {
+        let lines = vec!["#[cfg(test)]", "mod tests {", "    fn t() {}"];
+        assert_eq!(test_code_mask(&lines), vec![true; 3]);
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let call = format!(".{}()", ["un", "wrap"].concat());
+        let lib = format!("fn h() {{ x{call}; }}\n");
+        let root = fixture(&[("crates/demo/src/lib.rs", lib.as_str())]);
+        let allow = Allowlist::parse(
+            "unwrap crates/demo/src/lib.rs\n\
+             unwrap crates/demo/src/gone.rs\n\
+             ordering crates/demo/src/lib.rs\n",
+        )
+        .unwrap();
+        // The live entry silences the finding...
+        assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+        // ...and the two entries matching nothing are reported stale.
+        let stale = stale_allowlist_entries(&root, &allow).unwrap();
+        assert_eq!(
+            stale,
+            vec![
+                ("unwrap".to_string(), "crates/demo/src/gone.rs".to_string()),
+                ("ordering".to_string(), "crates/demo/src/lib.rs".to_string()),
+            ],
+            "{stale:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Mutation tests: the two deliberately broken schedules must be
+//! rejected by BOTH soundness passes — the static prover
+//! ([`analysis::prove`]) and the dynamic happens-before checker
+//! ([`analysis::vc`]) — at every thread count in the acceptance
+//! matrix.
+//!
+//! The rejections must come from the happens-before machinery, not
+//! from an output comparison: both broken schedules read level-0
+//! entries before they are written, and a level-0 entry's correct
+//! value is zero (its child window is empty), so the premature read of
+//! the zeroed table is numerically invisible. Several tests assert
+//! that invisibility explicitly — the memo still matches the
+//! sequential reference while the checkers reject the run.
+
+use analysis::prove;
+use analysis::vc::{check_trace, DependencyCone, ViolationKind};
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::srna2;
+use mcos_core::trace::TraceLog;
+use mcos_parallel::engine::ReadinessProgram;
+use mcos_parallel::traced::wavefront_traced_without_level_barrier;
+use mcos_parallel::KernelKind;
+use rna_structure::generate;
+
+const THREADS: [u32; 4] = [1, 2, 4, 8];
+
+fn nested_pair() -> (Preprocessed, Preprocessed) {
+    let s1 = generate::worst_case_nested(8);
+    let s2 = generate::worst_case_nested(6);
+    (Preprocessed::build(&s1), Preprocessed::build(&s2))
+}
+
+/// The barrier-skipping wavefront (levels 0 and 1 merged into one
+/// step) is statically rejected at every thread count, with concrete
+/// same-step-unordered counterexample edges.
+#[test]
+fn prover_rejects_the_barrier_skipping_wavefront_at_every_thread_count() {
+    let (p1, p2) = nested_pair();
+    for workers in THREADS {
+        let proof = prove::prove_broken_wavefront(workers, &p1, &p2);
+        assert!(
+            !proof.is_covered(),
+            "broken wavefront accepted at {workers} workers"
+        );
+        assert!(
+            proof
+                .uncovered
+                .iter()
+                .all(|e| e.kind == prove::UncoveredKind::SameStepUnordered),
+            "{:?}",
+            proof.uncovered
+        );
+    }
+}
+
+/// The readiness program with the level-1 waits dropped is statically
+/// rejected at every thread count; the correct program is accepted.
+#[test]
+fn prover_rejects_the_edge_dropping_readiness_program_at_every_thread_count() {
+    let (p1, p2) = nested_pair();
+    for workers in THREADS {
+        let broken = prove::prove_readiness(workers, &p1, &p2, true);
+        assert!(
+            !broken.is_covered(),
+            "broken readiness accepted at {workers} workers"
+        );
+        let correct = prove::prove_readiness(workers, &p1, &p2, false);
+        assert!(
+            correct.is_covered(),
+            "correct readiness rejected at {workers} workers: {:?}",
+            correct.uncovered
+        );
+    }
+}
+
+/// The dynamic checker flags the barrier-skipping wavefront's traced
+/// runs at every thread count — as read-before-write holes, while the
+/// scores still match the sequential reference (the silent failure
+/// mode an output comparison would miss).
+#[test]
+fn detector_rejects_the_barrier_skipping_wavefront_at_every_thread_count() {
+    let (p1, p2) = nested_pair();
+    let reference = srna2::run_preprocessed(&p1, &p2);
+    let cone = DependencyCone { p1: &p1, p2: &p2 };
+    for threads in THREADS {
+        let log = TraceLog::new();
+        let out = wavefront_traced_without_level_barrier(&p1, &p2, threads, &log);
+        let events = log.take_events();
+        let report = check_trace(&events, Some(cone));
+        assert!(
+            !report.violations.is_empty(),
+            "broken wavefront replayed clean at {threads} thread(s)"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::ReadBeforeWrite
+                    || v.kind == ViolationKind::StaleRead),
+            "{:?}",
+            report.violations
+        );
+        assert_eq!(
+            out.score, reference.score,
+            "the hole is numerically invisible by design; a score \
+             mismatch means the fixture stopped testing silent races"
+        );
+    }
+}
+
+/// The dynamic checker flags the edge-dropping readiness program at
+/// every thread count, again with the memo numerically identical to
+/// the reference; the correct program replays clean.
+#[test]
+fn detector_rejects_the_edge_dropping_readiness_program_at_every_thread_count() {
+    let (p1, p2) = nested_pair();
+    let reference = srna2::run_preprocessed(&p1, &p2);
+    let cone = DependencyCone { p1: &p1, p2: &p2 };
+    let broken = ReadinessProgram::compile_broken(&p1, &p2);
+    let correct = ReadinessProgram::compile(&p1, &p2);
+    for threads in THREADS {
+        let log = TraceLog::new();
+        let memo = broken.run_traced(threads, KernelKind::default(), &p1, &p2, &log);
+        let events = log.take_events();
+        let report = check_trace(&events, Some(cone));
+        assert!(
+            !report.violations.is_empty(),
+            "broken readiness replayed clean at {threads} thread(s)"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::ReadBeforeWrite
+                    || v.kind == ViolationKind::StaleRead),
+            "{:?}",
+            report.violations
+        );
+        assert_eq!(
+            memo, reference.memo,
+            "the dropped waits are numerically invisible by design"
+        );
+
+        let log = TraceLog::new();
+        correct.run_traced(threads, KernelKind::default(), &p1, &p2, &log);
+        let clean = check_trace(&log.take_events(), Some(cone));
+        assert!(
+            clean.violations.is_empty(),
+            "correct readiness flagged at {threads} thread(s): {:?}",
+            clean.violations
+        );
+    }
+}

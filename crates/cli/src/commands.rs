@@ -52,11 +52,16 @@ usage: srna <subcommand> [options]
       Pairwise MCOS similarity matrix and single-linkage clusters.
   draw <A> [--format db|ct|bpseq]
       ASCII arc diagram of a structure.
-  analyze <A> [<B>] [--format db|ct|bpseq] [--race] [--seeds N]
+  analyze <A> [<B>] [--format db|ct|bpseq] [--prove] [--race] [--seeds N]
       Concurrency soundness report for the pair (B defaults to A):
       dependency-level audit, per-backend barrier counts, and the
-      workspace atomic-ordering inventory. --race additionally runs the
-      vector-clock race detector over all four parallel backends at
+      workspace atomic-ordering inventory. --prove runs the static
+      schedule-soundness prover: every schedule x store x distribution
+      composition at 1/2/4/8 threads must cover every slice-DAG
+      dependency edge with a synchronization path (settlement,
+      readiness, or same-worker program order); uncovered edges are
+      printed as counterexamples. --race additionally runs the
+      vector-clock race detector over all five parallel backends at
       1/2/4/8 threads with N delay-injection seeds each (default 4).
       Traced runs record every memo access; keep --race inputs small
       (tens of arcs, not hundreds).
@@ -562,12 +567,57 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
         Err(_) => println!("atomic-ordering inventory: workspace sources not found, skipped"),
     }
 
+    if has_flag(args, "--prove") {
+        let threads = [1u32, 2, 4, 8];
+        let proofs = analysis::prove::prove_matrix(&p1, &p2, &threads);
+        let mut uncovered = 0usize;
+        for proof in &proofs {
+            if !proof.is_covered() {
+                uncovered += proof.uncovered.len();
+                println!(
+                    "  UNCOVERED {} @ {} workers: {} edge(s)",
+                    proof.name,
+                    proof.workers,
+                    proof.uncovered.len()
+                );
+                for edge in proof.uncovered.iter().take(5) {
+                    println!("    {edge}");
+                }
+            }
+        }
+        let edges = proofs.first().map_or(0, |p| p.edges);
+        println!(
+            "schedule-soundness prover: {} composition(s) x {:?} threads, {} edge(s) each",
+            mcos_parallel::Backend::MATRIX.len(),
+            threads,
+            edges
+        );
+        if uncovered > 0 {
+            return Err(format!(
+                "prover found {uncovered} uncovered dependency edge(s)"
+            ));
+        }
+        println!("  every dependency edge is covered in every plan: sound");
+        // Self-test that the prover has teeth: the deliberately broken
+        // merged-level wavefront must yield a concrete counterexample.
+        let broken = analysis::prove::prove_broken_wavefront(4, &p1, &p2);
+        match broken.uncovered.first() {
+            Some(edge) if audit.edges > 0 => {
+                println!("  teeth check: broken wavefront rejected ({edge})");
+            }
+            _ if audit.edges == 0 => {
+                println!("  teeth check: skipped (no dependency edges in this pair)");
+            }
+            _ => return Err("prover accepted the deliberately broken wavefront".into()),
+        }
+    }
+
     if has_flag(args, "--race") {
         let seeds: u64 = opt_value(args, "--seeds")
             .map(|s| s.parse().map_err(|_| "--seeds must be an integer"))
             .transpose()?
             .unwrap_or(4);
-        println!("race detector: 4 backends x [1,2,4,8] threads x {seeds} seed(s)...");
+        println!("race detector: 5 backends x [1,2,4,8] threads x {seeds} seed(s)...");
         let report = analysis::detector::acceptance_matrix(&s1, &s2, seeds);
         for r in &report.runs {
             if !r.violations.is_empty() || !r.result_ok {

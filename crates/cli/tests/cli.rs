@@ -297,6 +297,24 @@ fn draw_renders_arc_diagram() {
 }
 
 #[test]
+fn analyze_prove_proves_the_matrix_and_rejects_the_broken_schedule() {
+    let f = temp_file("prove.db", "((((....))))((..))\n");
+    let out = srna(&["analyze", f.to_str().unwrap(), "--prove"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("every dependency edge is covered in every plan: sound"),
+        "{text}"
+    );
+    assert!(
+        text.contains("teeth check: broken wavefront rejected"),
+        "{text}"
+    );
+    assert!(text.contains("same step, unordered"), "{text}");
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
 fn cluster_needs_two_files() {
     let out = srna(&["cluster", "/tmp/only_one.db"]);
     assert!(!out.status.success());

@@ -11,6 +11,11 @@
 //! the all-zero rows — row `r` of this table *is* row `left(r)+1` of the
 //! paper's table.
 
+// Model-checking builds swap in loom's instrumented atomics so the
+// `tests/loom_models.rs` schedules exercise the real table code.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU32, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Sentinel meaning "not yet memoized" (used by SRNA1's conditional

@@ -1,0 +1,96 @@
+//! Exhaustive model checks of [`AtomicMemoTable`]'s settled-snapshot
+//! discipline, run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mcos-core --test loom_models
+//! ```
+//!
+//! The table's contract (see `memo.rs`) is that `Relaxed` accesses are
+//! sound because the *scheduler* provides the synchronization edge: a
+//! reader must hold a happens-before path (join, channel handshake)
+//! against every writer whose value it expects to see. These models
+//! drive the real table through every interleaving the shim admits and
+//! show (a) a handshake makes snapshots complete, (b) dropping the
+//! handshake is caught as a concrete failing schedule, (c) same-level
+//! disjoint writers never interfere.
+#![cfg(loom)]
+
+use loom::sync::{mpsc, Arc};
+use mcos_core::memo::AtomicMemoTable;
+use std::panic::catch_unwind;
+
+/// Extracts the panic message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// A writer publishes two entries, then signals over a channel; the
+/// reader receives before snapshotting. The channel edge settles the
+/// writes, so the snapshot is complete in EVERY schedule.
+#[test]
+fn settled_snapshot_is_complete_after_handshake() {
+    loom::model(|| {
+        let table = Arc::new(AtomicMemoTable::zeroed(1, 2));
+        let (tx, rx) = mpsc::channel::<()>();
+        let t2 = table.clone();
+        let writer = loom::thread::spawn(move || {
+            t2.set(0, 0, 7);
+            t2.set(0, 1, 9);
+            tx.send(()).unwrap();
+        });
+        rx.recv().unwrap();
+        let snap = table.freeze();
+        assert_eq!(
+            (snap.get(0, 0), snap.get(0, 1)),
+            (7, 9),
+            "snapshot missed a settled write"
+        );
+        writer.join().unwrap();
+    });
+}
+
+/// The same shape WITHOUT the handshake: the snapshot races the
+/// writer, and the model must produce the schedule where it misses
+/// the write — the dynamic counterpart of the static prover's
+/// `Unsettled` verdict.
+#[test]
+fn unsynchronized_snapshot_is_caught() {
+    let result = catch_unwind(|| {
+        loom::model(|| {
+            let table = Arc::new(AtomicMemoTable::zeroed(1, 1));
+            let t2 = table.clone();
+            let writer = loom::thread::spawn(move || t2.set(0, 0, 7));
+            // No handshake before the snapshot: racy read.
+            let snap = table.freeze();
+            assert_eq!(snap.get(0, 0), 7, "snapshot missed an unsettled write");
+            writer.join().unwrap();
+        })
+    });
+    let msg = panic_message(result.expect_err("model must catch the racy snapshot"));
+    assert!(msg.contains("snapshot missed an unsettled write"), "{msg}");
+}
+
+/// Two same-level slices write disjoint entries concurrently — the
+/// wavefront invariant. No interleaving loses either write, and the
+/// joins settle both for the final fold.
+#[test]
+fn disjoint_same_level_writers_never_interfere() {
+    loom::model(|| {
+        let table = Arc::new(AtomicMemoTable::zeroed(1, 2));
+        let writers: Vec<_> = (0..2u32)
+            .map(|c| {
+                let t = table.clone();
+                loom::thread::spawn(move || t.set(0, c, c + 1))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let merged = table.freeze();
+        assert_eq!((merged.get(0, 0), merged.get(0, 1)), (1, 2));
+    });
+}

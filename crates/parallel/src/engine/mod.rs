@@ -40,11 +40,17 @@
 //!   serves slice requests heaviest-first, then joins the store's
 //!   synchronization — the Snow-style related-work shape.
 
+pub mod plan;
+pub mod readiness;
 pub mod schedule;
 pub mod store;
 pub mod tracing;
 
-pub use schedule::{LevelWavefront, RowBarrier, Schedule, Step};
+pub use plan::{
+    sync_plan, sync_plan_broken_wavefront, PlannedSlice, PlannedStep, SyncOp, SyncPlan,
+};
+pub use readiness::ReadinessProgram;
+pub use schedule::{LevelWavefront, RowBarrier, Schedule, SchedulePlan, Step};
 pub use store::{LockFreeAtomic, MemoStore, Replicated, SharedRwLock, StepView};
 pub use tracing::Tracing;
 

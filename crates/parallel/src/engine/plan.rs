@@ -1,0 +1,387 @@
+//! Symbolic synchronization plans: the engine's happens-before
+//! skeleton as data.
+//!
+//! [`sync_plan`] composes the three policy axes of a [`Backend`] —
+//! [`Schedule::sync_plan`] for the step/readiness structure,
+//! [`Distribution::plan_step`] for the planned issue order and static
+//! ownership, and the store kind for settlement semantics and own-write
+//! visibility — into one [`SyncPlan`], without running any slice work.
+//! The plan mirrors, op for op, what the engine's three execution
+//! shapes actually do: fork the workers, run each step, settle it,
+//! join. The static prover in the `analysis` crate walks a plan and
+//! checks that every edge of the slice dependency DAG is covered by a
+//! synchronization path; see `analysis::prove`.
+//!
+//! Faithfulness is the whole game: every claim a plan makes corresponds
+//! to a synchronization the engine really performs.
+//!
+//! * A [`SyncOp::Settle`] for step `s` before a [`SyncOp::Work`] for
+//!   step `t` claims that every write of `s` is visible to every read
+//!   of `t`. The free-running shape's allreduce, the coordinated
+//!   shape's go-channel release after `MemoStore::settle`, and the
+//!   managed shape's sentinel hand-shake all provide exactly this.
+//! * `owner` is `Some(w)` only for a static distribution, where
+//!   `Assignment` pins every slice of a column to one worker — the
+//!   only case in which *program order within a step* is a real edge
+//!   at any thread count.
+//! * [`SyncPlan::own_step_writes_visible`] is true only for the
+//!   replicated store: a worker gathers from its own replica, so its
+//!   own un-settled publishes are visible to itself. The rwlock store
+//!   buffers publishes in a channel and the lock-free store reads from
+//!   the settled snapshot, so under those stores not even the writing
+//!   worker sees an un-settled value — intra-step program order covers
+//!   nothing.
+
+use load_balance::Assignment;
+use mcos_core::preprocess::Preprocessed;
+
+use super::schedule::{LevelWavefront, RowBarrier, Schedule, Step};
+use super::Distribution;
+use crate::{Backend, DistKind, ScheduleKind, StoreKind};
+
+/// How a step's writes become visible to later steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleKind {
+    /// Replicated store: `Allreduce(MAX)` merges every rank's replica;
+    /// the collective doubles as the step barrier.
+    Allreduce,
+    /// Shared-rwlock store: the coordinator drains the step's result
+    /// channel and installs under the write lock.
+    CoordinatorInstall,
+    /// Lock-free store: the coordinator folds the step's atomic
+    /// publishes into the settled snapshot.
+    SnapshotFold,
+}
+
+/// One entry in a plan's linearized synchronization skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// The coordinator forks the worker threads (or ranks).
+    Fork {
+        /// Number of workers forked.
+        workers: u32,
+    },
+    /// The workers run the slices of step `step` (a position into
+    /// [`SyncPlan::steps`]).
+    Work {
+        /// Step position.
+        step: u32,
+    },
+    /// Step `step`'s writes are settled: visible to every read issued
+    /// by any `Work` op appearing later in the sequence.
+    Settle {
+        /// Step position.
+        step: u32,
+        /// The settlement mechanism (informational; any kind settles).
+        kind: SettleKind,
+    },
+    /// The coordinator joins the worker threads.
+    Join {
+        /// Number of workers joined.
+        workers: u32,
+    },
+}
+
+/// A slice as planned: its position in [`PlannedStep::slices`] is the
+/// planned issue order, and `owner` pins it to a worker when the
+/// distribution decides ownership statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSlice {
+    /// The arc pair `(k1, k2)`.
+    pub slice: (u32, u32),
+    /// The worker that will run the slice, when statically known.
+    /// `None` under dynamic claiming or a managed distribution, where
+    /// any worker may pick it up.
+    pub owner: Option<u32>,
+}
+
+/// One step of a plan: the schedule's step with the distribution's
+/// issue order and ownership applied.
+#[derive(Debug, Clone)]
+pub struct PlannedStep {
+    /// The schedule's step ordinal (barrier id in traces/telemetry).
+    pub index: u32,
+    /// Slices in planned issue order.
+    pub slices: Vec<PlannedSlice>,
+}
+
+/// The happens-before skeleton of one engine composition at one
+/// thread count, as data.
+#[derive(Debug, Clone)]
+pub struct SyncPlan {
+    /// Display name of the planned composition.
+    pub name: String,
+    /// Worker threads the plan is for (managed distributions add one
+    /// manager lane on top, which runs no slices).
+    pub workers: u32,
+    /// The planned steps, in execution order.
+    pub steps: Vec<PlannedStep>,
+    /// Point-to-point readiness edges `(writer slice, reader slice)`
+    /// from the schedule, if it synchronizes through flags.
+    pub readiness: Vec<((u32, u32), (u32, u32))>,
+    /// Whether a worker's *own* un-settled publishes are visible to its
+    /// own later gathers within a step (true only for the replicated
+    /// store; see the module docs).
+    pub own_step_writes_visible: bool,
+    /// The linearized synchronization skeleton.
+    pub ops: Vec<SyncOp>,
+}
+
+impl Distribution<'_> {
+    /// The symbolic half of the distribution axis: annotates one
+    /// schedule step with the planned issue order and (when statically
+    /// decided) per-slice ownership, without running anything.
+    ///
+    /// * `Static` keeps the schedule's order and pins each slice to the
+    ///   assignment's owner of its `S₂` column — every worker walks the
+    ///   step in order, filtered to its own columns.
+    /// * `Claim` keeps the schedule's order with no owner: workers pop
+    ///   the list front to back through the shared cursor.
+    /// * `Managed` reorders heaviest-first — the manager's hand-out
+    ///   order, the same greedy key `run_managed` uses — with no owner.
+    pub fn plan_step(&self, step: &Step, p1: &Preprocessed, p2: &Preprocessed) -> PlannedStep {
+        let planned = |owner_of: &dyn Fn(u32) -> Option<u32>| {
+            step.slices
+                .iter()
+                .map(|&(k1, k2)| PlannedSlice {
+                    slice: (k1, k2),
+                    owner: owner_of(k2),
+                })
+                .collect()
+        };
+        let slices = match self {
+            Distribution::Static(a) => planned(&|k2| Some(a.owner[k2 as usize])),
+            Distribution::Claim => planned(&|_| None),
+            Distribution::Managed => {
+                // Mirror run_managed's hand-out order exactly: stable
+                // sort of the step's slice indices, heaviest first.
+                let mut idx: Vec<u32> = (0..step.slices.len() as u32).collect();
+                idx.sort_by_key(|&i| {
+                    let (k1, k2) = step.slices[i as usize];
+                    std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64)
+                });
+                idx.iter()
+                    .map(|&i| PlannedSlice {
+                        slice: step.slices[i as usize],
+                        owner: None,
+                    })
+                    .collect()
+            }
+        };
+        PlannedStep {
+            index: step.index,
+            slices,
+        }
+    }
+}
+
+/// Emits the happens-before skeleton of `backend` at `workers` worker
+/// threads, composed from the same schedule, store, and distribution
+/// the engine would execute. `assignment` is consulted only by a
+/// static distribution (pass the same one the run would use).
+pub fn sync_plan(
+    backend: Backend,
+    workers: u32,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+) -> SyncPlan {
+    match backend.schedule {
+        ScheduleKind::Row => plan_sched(&RowBarrier, backend, workers, p1, p2, assignment),
+        ScheduleKind::Level => {
+            plan_sched(&LevelWavefront::new(), backend, workers, p1, p2, assignment)
+        }
+    }
+}
+
+/// [`sync_plan`] for the deliberately *broken* wavefront schedule (the
+/// first two dependency levels merged into one step). Kept so the
+/// static prover can demonstrate the uncovered-edge counterexample it
+/// reports for a schedule with a real happens-before hole; requires a
+/// level backend.
+pub fn sync_plan_broken_wavefront(
+    backend: Backend,
+    workers: u32,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+) -> SyncPlan {
+    assert!(
+        matches!(backend.schedule, ScheduleKind::Level),
+        "the broken schedule is a wavefront variant"
+    );
+    let mut plan = plan_sched(
+        &LevelWavefront::broken(),
+        backend,
+        workers,
+        p1,
+        p2,
+        assignment,
+    );
+    plan.name = format!("{}+merged-levels", backend.name());
+    plan
+}
+
+fn plan_sched<S: Schedule>(
+    schedule: &S,
+    backend: Backend,
+    workers: u32,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    assignment: &Assignment,
+) -> SyncPlan {
+    assert!(workers > 0, "need at least one worker");
+    let sp = schedule.sync_plan(p1, p2);
+    let dist = match backend.dist {
+        DistKind::Static => Distribution::Static(assignment),
+        DistKind::Claim => Distribution::Claim,
+        DistKind::Managed => Distribution::Managed,
+    };
+    let steps: Vec<PlannedStep> = sp
+        .steps
+        .iter()
+        .map(|step| dist.plan_step(step, p1, p2))
+        .collect();
+    let settle = match backend.store {
+        StoreKind::Replicated => SettleKind::Allreduce,
+        StoreKind::SharedRwLock => SettleKind::CoordinatorInstall,
+        StoreKind::LockFreeAtomic => SettleKind::SnapshotFold,
+    };
+    // All three execution shapes share one skeleton: fork, then for
+    // every step work-then-settle (the allreduce, the coordinator
+    // install, or the snapshot fold — each a barrier no worker passes
+    // before the step's writes are visible), then join.
+    let mut ops = Vec::with_capacity(steps.len() * 2 + 2);
+    ops.push(SyncOp::Fork { workers });
+    for pos in 0..steps.len() as u32 {
+        ops.push(SyncOp::Work { step: pos });
+        ops.push(SyncOp::Settle {
+            step: pos,
+            kind: settle,
+        });
+    }
+    ops.push(SyncOp::Join { workers });
+    SyncPlan {
+        name: backend.name().to_string(),
+        workers,
+        steps,
+        readiness: sp.readiness,
+        own_step_writes_visible: matches!(backend.store, StoreKind::Replicated),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use load_balance::Policy;
+    use mcos_core::workload;
+    use rna_structure::generate;
+
+    fn prep() -> (Preprocessed, Preprocessed) {
+        let s1 = generate::random_structure(40, 0.9, 21);
+        let s2 = generate::random_structure(36, 0.8, 22);
+        (Preprocessed::build(&s1), Preprocessed::build(&s2))
+    }
+
+    fn greedy(p1: &Preprocessed, p2: &Preprocessed, workers: u32) -> Assignment {
+        let weights = workload::column_weights(p1, p2);
+        Policy::Greedy.assign(&weights, workers)
+    }
+
+    #[test]
+    fn plan_slices_match_schedule_steps() {
+        let (p1, p2) = prep();
+        let assignment = greedy(&p1, &p2, 3);
+        for backend in Backend::MATRIX {
+            let plan = sync_plan(backend, 3, &p1, &p2, &assignment);
+            // Same step partition as the executable schedule, as sets.
+            let steps = match backend.schedule {
+                ScheduleKind::Row => RowBarrier.steps(&p1, &p2),
+                ScheduleKind::Level => LevelWavefront::new().steps(&p1, &p2),
+            };
+            assert_eq!(plan.steps.len(), steps.len(), "{}", backend.name());
+            for (planned, step) in plan.steps.iter().zip(&steps) {
+                assert_eq!(planned.index, step.index);
+                let mut got: Vec<_> = planned.slices.iter().map(|s| s.slice).collect();
+                let mut want = step.slices.clone();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "{} step {}", backend.name(), step.index);
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_is_static_exactly_for_static_distributions() {
+        let (p1, p2) = prep();
+        let assignment = greedy(&p1, &p2, 4);
+        for backend in Backend::MATRIX {
+            let plan = sync_plan(backend, 4, &p1, &p2, &assignment);
+            for step in &plan.steps {
+                for s in &step.slices {
+                    match backend.dist {
+                        DistKind::Static => assert_eq!(
+                            s.owner,
+                            Some(assignment.owner[s.slice.1 as usize]),
+                            "{}",
+                            backend.name()
+                        ),
+                        _ => assert_eq!(s.owner, None, "{}", backend.name()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn own_writes_visible_only_for_replicated() {
+        let (p1, p2) = prep();
+        let assignment = greedy(&p1, &p2, 2);
+        for backend in Backend::MATRIX {
+            let plan = sync_plan(backend, 2, &p1, &p2, &assignment);
+            assert_eq!(
+                plan.own_step_writes_visible,
+                matches!(backend.store, StoreKind::Replicated),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ops_settle_every_step_in_order() {
+        let (p1, p2) = prep();
+        let assignment = greedy(&p1, &p2, 2);
+        let plan = sync_plan(Backend::WAVEFRONT, 2, &p1, &p2, &assignment);
+        assert_eq!(plan.ops.first(), Some(&SyncOp::Fork { workers: 2 }));
+        assert_eq!(plan.ops.last(), Some(&SyncOp::Join { workers: 2 }));
+        for (pos, pair) in plan.ops[1..plan.ops.len() - 1].chunks(2).enumerate() {
+            assert_eq!(pair[0], SyncOp::Work { step: pos as u32 });
+            assert!(
+                matches!(pair[1], SyncOp::Settle { step, .. } if step == pos as u32),
+                "step {pos} not settled in place"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_plan_merges_levels_and_keeps_name() {
+        let s = generate::worst_case_nested(6);
+        let p = Preprocessed::build(&s);
+        let assignment = greedy(&p, &p, 2);
+        let good = sync_plan(Backend::WAVEFRONT, 2, &p, &p, &assignment);
+        let bad = sync_plan_broken_wavefront(Backend::WAVEFRONT, 2, &p, &p, &assignment);
+        assert_eq!(bad.steps.len(), good.steps.len() - 1);
+        assert!(bad.name.contains("merged-levels"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wavefront variant")]
+    fn broken_plan_rejects_row_schedules() {
+        let s = generate::worst_case_nested(3);
+        let p = Preprocessed::build(&s);
+        let assignment = greedy(&p, &p, 1);
+        let _ = sync_plan_broken_wavefront(Backend::MPI_SIM, 1, &p, &p, &assignment);
+    }
+}

@@ -1,0 +1,415 @@
+//! A compiled readiness-flag schedule: stage one with *no barriers at
+//! all* — the only synchronization is one point-to-point flag per
+//! slice (ROADMAP item 2's static compiled schedule, in its first
+//! verifiable form).
+//!
+//! [`ReadinessProgram::compile`] fixes a claim order over all child
+//! slices (dependency level ascending, LPT within a level — a
+//! topological order of the slice DAG, since `max(depth₁, depth₂)`
+//! strictly decreases along every dependency edge) and records, per
+//! slice, the exact set of slices whose entries it gathers. At run
+//! time workers claim slices off a shared cursor; before tabulating a
+//! slice they spin on the readiness flags of its dependencies, and
+//! after publishing they release their own flag. Writes and gathers go
+//! straight to one shared [`AtomicMemoTable`] — there is no settled
+//! snapshot, no allreduce, no coordinator.
+//!
+//! # Why this cannot deadlock
+//!
+//! Every flag a slice waits on belongs to a slice strictly earlier in
+//! the claim order. Induction over claim positions: consider the
+//! earliest claimed-but-unfinished slice; all its dependencies sit at
+//! earlier positions, are therefore finished, and their flags are set —
+//! so it progresses. (The broken variant only *drops* waits, which can
+//! skip synchronization but never block.)
+//!
+//! # The broken variant
+//!
+//! [`ReadinessProgram::compile_broken`] drops every readiness edge
+//! into the level-1 slices *and* hoists those slices to the front of
+//! the claim order. The hole is then present at every thread count —
+//! even one worker reads a level-0 entry before program order has
+//! written it. Note the *values* still come out right: a level-0
+//! entry's correct value is always zero (its child window is empty),
+//! so the premature read of the zeroed table is numerically invisible
+//! — precisely the silent-unsettled-read failure mode the paper warns
+//! about, and why rejection must come from the happens-before checkers
+//! rather than an output comparison. The static prover reports exactly
+//! the dropped edges as uncovered, and the dynamic checker flags the
+//! traced run; both are asserted in the `analysis` crate's negative
+//! tests.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use mcos_core::kernel::{KernelKind, KernelScratch};
+use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::trace::{TraceLog, TracingMemoTable};
+
+use super::plan::{PlannedSlice, PlannedStep, SyncOp, SyncPlan};
+
+/// A compiled readiness-flag schedule for one structure pair.
+#[derive(Debug, Clone)]
+pub struct ReadinessProgram {
+    a2: u32,
+    /// All child slices in claim order (topological for the correct
+    /// program; deliberately not for the broken one).
+    order: Vec<(u32, u32)>,
+    /// `waits[slice_id]` = ids of the slices whose flags the slice
+    /// blocks on before gathering (its direct dependencies).
+    waits: Vec<Vec<u32>>,
+    broken: bool,
+}
+
+impl ReadinessProgram {
+    /// Compiles the correct program: topological claim order, one wait
+    /// per dependency edge.
+    pub fn compile(p1: &Preprocessed, p2: &Preprocessed) -> Self {
+        Self::compile_inner(p1, p2, false)
+    }
+
+    /// Compiles the deliberately broken program: the level-1 slices
+    /// lose all their waits and jump the claim order (see the module
+    /// docs). Never use its results.
+    pub fn compile_broken(p1: &Preprocessed, p2: &Preprocessed) -> Self {
+        Self::compile_inner(p1, p2, true)
+    }
+
+    fn compile_inner(p1: &Preprocessed, p2: &Preprocessed, broken: bool) -> Self {
+        let (a1, a2) = (p1.num_arcs(), p2.num_arcs());
+        let level = |k1: u32, k2: u32| p1.level_of(k1).max(p2.level_of(k2));
+        let mut order: Vec<(u32, u32)> = (0..a1)
+            .flat_map(|k1| (0..a2).map(move |k2| (k1, k2)))
+            .collect();
+        // Level-ascending is the topological claim order; LPT within a
+        // level starts the heavy slices (the likely spin targets of the
+        // next level) as early as possible.
+        order.sort_by_key(|&(k1, k2)| {
+            let hoisted = broken && level(k1, k2) == 1;
+            (
+                !hoisted,
+                level(k1, k2),
+                std::cmp::Reverse(p1.under_count(k1) as u64 * p2.under_count(k2) as u64),
+            )
+        });
+        let mut waits = vec![Vec::new(); (a1 * a2) as usize];
+        for k1 in 0..a1 {
+            let (lo1, hi1) = p1.under_range[k1 as usize];
+            for k2 in 0..a2 {
+                if broken && level(k1, k2) == 1 {
+                    continue;
+                }
+                let (lo2, hi2) = p2.under_range[k2 as usize];
+                let deps = &mut waits[(k1 * a2 + k2) as usize];
+                for c1 in lo1..hi1 {
+                    for c2 in lo2..hi2 {
+                        deps.push(c1 * a2 + c2);
+                    }
+                }
+            }
+        }
+        ReadinessProgram {
+            a2,
+            order,
+            waits,
+            broken,
+        }
+    }
+
+    /// Whether this is the deliberately broken variant.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// The program's happens-before skeleton for the static prover:
+    /// one giant step (no settlement barriers at all) whose only
+    /// synchronization is the readiness edge set.
+    pub fn sync_plan(&self, workers: u32) -> SyncPlan {
+        let decode = |id: u32| (id / self.a2, id % self.a2);
+        let readiness = self
+            .waits
+            .iter()
+            .enumerate()
+            .flat_map(|(reader, deps)| {
+                deps.iter()
+                    .map(move |&dep| (decode(dep), decode(reader as u32)))
+            })
+            .collect();
+        SyncPlan {
+            name: if self.broken {
+                "readiness-flags+dropped-edges".to_string()
+            } else {
+                "readiness-flags".to_string()
+            },
+            workers,
+            steps: vec![PlannedStep {
+                index: 0,
+                slices: self
+                    .order
+                    .iter()
+                    .map(|&slice| PlannedSlice { slice, owner: None })
+                    .collect(),
+            }],
+            readiness,
+            // Workers gather straight from the shared atomic table, so
+            // a worker's own publishes are visible to its later claims.
+            own_step_writes_visible: true,
+            ops: vec![
+                SyncOp::Fork { workers },
+                SyncOp::Work { step: 0 },
+                SyncOp::Join { workers },
+            ],
+        }
+    }
+
+    /// Runs the program on `workers` threads. Returns the finished
+    /// stage-one memo table (garbage for the broken variant).
+    pub fn run(
+        &self,
+        workers: u32,
+        kernel: KernelKind,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+    ) -> MemoTable {
+        self.run_inner(workers, kernel, p1, p2, None)
+    }
+
+    /// Runs the program with every memo access and synchronizing edge
+    /// recorded into `log` for the dynamic checker: flag releases as
+    /// `Arrive(slice_id)` (record-then-publish), flag acquisitions as
+    /// `Leave(slice_id)` (observe-then-record), per the discipline in
+    /// [`mcos_core::trace`].
+    pub fn run_traced(
+        &self,
+        workers: u32,
+        kernel: KernelKind,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        log: &TraceLog,
+    ) -> MemoTable {
+        self.run_inner(workers, kernel, p1, p2, Some(log))
+    }
+
+    fn run_inner(
+        &self,
+        workers: u32,
+        kernel: KernelKind,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        log: Option<&TraceLog>,
+    ) -> MemoTable {
+        assert!(workers > 0, "need at least one worker");
+        let a2 = self.a2;
+        let table = AtomicMemoTable::zeroed(p1.num_arcs(), a2);
+        let flags: Vec<AtomicU32> = self.order.iter().map(|_| AtomicU32::new(0)).collect();
+        let cursor = AtomicUsize::new(0);
+        let hooks = log.map(|log| {
+            let root = log.alloc_task();
+            let base = log.alloc_tasks(workers);
+            (log, root, base)
+        });
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                if let Some((log, root, base)) = hooks {
+                    log.fork(root, base + w);
+                }
+                let (table, flags, cursor) = (&table, &flags, &cursor);
+                scope.spawn(move || {
+                    let task = hooks.map(|(log, _, base)| (log, base + w));
+                    let mut scratch = KernelScratch::default();
+                    loop {
+                        // ORDERING: Relaxed — the cursor only hands out
+                        // distinct positions; the readiness flags order
+                        // the claimed work.
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(k1, k2)) = self.order.get(i) else {
+                            break;
+                        };
+                        let id = k1 * a2 + k2;
+                        for &dep in &self.waits[id as usize] {
+                            // ORDERING: Acquire — pairs with the Release
+                            // flag store below; observing the flag makes
+                            // the dependency's Relaxed publish visible.
+                            while flags[dep as usize].load(Ordering::Acquire) == 0 {
+                                std::thread::yield_now();
+                            }
+                            if let Some((log, task)) = task {
+                                // Observe-then-record: the leave
+                                // witnesses the writer's arrive.
+                                log.leave(task, dep);
+                            }
+                        }
+                        let v = tabulate(kernel, p1, p2, k1, k2, table, &mut scratch, task);
+                        match task {
+                            Some((log, t)) => {
+                                let traced = TracingMemoTable::new(table, log);
+                                traced.set(t, k1, k2, v);
+                                // Record-then-publish: the arrive
+                                // precedes the flag store it describes.
+                                log.arrive(t, id);
+                            }
+                            None => table.set(k1, k2, v),
+                        }
+                        // ORDERING: Release — publishes the slice's
+                        // Relaxed table store to whoever Acquires this
+                        // flag above.
+                        flags[id as usize].store(1, Ordering::Release);
+                    }
+                });
+            }
+        });
+        if let Some((log, root, base)) = hooks {
+            for w in 0..workers {
+                log.join(root, base + w);
+            }
+        }
+        table.into_inner()
+    }
+}
+
+/// Tabulates one slice, gathering directly from the shared atomic
+/// table (recorded gather-then-record when traced).
+#[allow(clippy::too_many_arguments)]
+fn tabulate(
+    kernel: KernelKind,
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    k1: u32,
+    k2: u32,
+    table: &AtomicMemoTable,
+    scratch: &mut KernelScratch,
+    task: Option<(&TraceLog, u32)>,
+) -> u32 {
+    let range2 = p2.under_range[k2 as usize];
+    let (lo2, hi2) = range2;
+    kernel.kernel().tabulate(
+        p1,
+        p2,
+        p1.under_range[k1 as usize],
+        range2,
+        scratch,
+        &mut |g1, buf| match task {
+            Some((log, t)) => {
+                log.perturb();
+                let traced = TracingMemoTable::new(table, log);
+                for (j, c) in (lo2..hi2).enumerate() {
+                    buf[j] = traced.get(t, (k1, k2), g1, c);
+                }
+            }
+            None => {
+                for (j, c) in (lo2..hi2).enumerate() {
+                    buf[j] = table.get(g1, c);
+                }
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_core::srna2;
+    use rna_structure::generate;
+
+    #[test]
+    fn readiness_program_matches_srna2() {
+        for seed in [1u64, 9] {
+            let s1 = generate::random_structure(48, 0.9, seed);
+            let s2 = generate::random_structure(40, 0.8, seed + 50);
+            let p1 = Preprocessed::build(&s1);
+            let p2 = Preprocessed::build(&s2);
+            let reference = srna2::run_preprocessed(&p1, &p2).memo;
+            let program = ReadinessProgram::compile(&p1, &p2);
+            for workers in [1u32, 2, 4] {
+                let memo = program.run(workers, KernelKind::default(), &p1, &p2);
+                assert_eq!(memo, reference, "seed {seed} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn claim_order_is_topological() {
+        let s = generate::hairpin_chain(8, 3, 2);
+        let p = Preprocessed::build(&s);
+        let program = ReadinessProgram::compile(&p, &p);
+        let pos: std::collections::HashMap<(u32, u32), usize> = program
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        for (reader, deps) in program.waits.iter().enumerate() {
+            let reader = (reader as u32 / program.a2, reader as u32 % program.a2);
+            for &dep in deps {
+                let dep = (dep / program.a2, dep % program.a2);
+                assert!(
+                    pos[&dep] < pos[&reader],
+                    "{dep:?} claimed after its reader {reader:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broken_program_reads_before_writes_even_single_threaded() {
+        // The dropped waits plus the hoisted claim order make even the
+        // 1-worker run read level-0 entries before they are written —
+        // visible in the recorded event order (the values still come
+        // out right, because a level-0 entry's correct value is zero;
+        // see the module docs).
+        use mcos_core::trace::TraceEvent;
+        let premature_read = |events: &[TraceEvent]| {
+            let mut written = std::collections::HashSet::new();
+            events.iter().any(|ev| match *ev {
+                TraceEvent::Write { r, c, .. } => {
+                    written.insert((r, c));
+                    false
+                }
+                TraceEvent::Read { r, c, .. } => !written.contains(&(r, c)),
+                _ => false,
+            })
+        };
+        let s = generate::worst_case_nested(8);
+        let p = Preprocessed::build(&s);
+        let broken = ReadinessProgram::compile_broken(&p, &p);
+        assert!(broken.is_broken());
+        let log = TraceLog::new();
+        let _ = broken.run_traced(1, KernelKind::default(), &p, &p, &log);
+        assert!(
+            premature_read(&log.take_events()),
+            "broken program recorded no premature read"
+        );
+        let good = ReadinessProgram::compile(&p, &p);
+        let log = TraceLog::new();
+        let _ = good.run_traced(1, KernelKind::default(), &p, &p, &log);
+        assert!(!premature_read(&log.take_events()));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let s = generate::random_structure(36, 0.9, 4);
+        let p = Preprocessed::build(&s);
+        let program = ReadinessProgram::compile(&p, &p);
+        let log = TraceLog::new();
+        let traced = program.run_traced(2, KernelKind::default(), &p, &p, &log);
+        let plain = program.run(2, KernelKind::default(), &p, &p);
+        assert_eq!(traced, plain);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn sync_plan_lists_every_dependency_edge() {
+        let s = generate::hairpin_chain(5, 3, 2);
+        let p = Preprocessed::build(&s);
+        let program = ReadinessProgram::compile(&p, &p);
+        let plan = program.sync_plan(3);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(
+            plan.steps[0].slices.len(),
+            (p.num_arcs() * p.num_arcs()) as usize
+        );
+        let total_waits: usize = program.waits.iter().map(Vec::len).sum();
+        assert_eq!(plan.readiness.len(), total_waits);
+        assert!(plan.own_step_writes_visible);
+    }
+}

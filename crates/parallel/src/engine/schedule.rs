@@ -35,6 +35,32 @@ pub struct Step {
     pub slices: Vec<(u32, u32)>,
 }
 
+/// The symbolic half of a schedule: its happens-before skeleton as
+/// data, emitted without executing any slice work.
+///
+/// Two synchronization currencies exist. Every boundary between
+/// consecutive [`Step`]s is a *settlement barrier* (the engine settles
+/// the step's writes before releasing the next step), and a schedule
+/// may additionally promise *point-to-point readiness edges*: a
+/// `(writer, reader)` pair means the reader slice waits on a flag the
+/// writer slice releases after publishing. Barrier-only schedules
+/// (both built-ins) leave `readiness` empty; the readiness-flag
+/// schedule of [`crate::engine::readiness`] lives entirely in it.
+///
+/// The static prover in the `analysis` crate consumes this (composed
+/// with the store and distribution axes into a
+/// [`super::plan::SyncPlan`]) to check that every slice-DAG dependency
+/// edge is covered by a synchronization path before anything runs.
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    /// The ordered steps, exactly as [`Schedule::steps`] returns them;
+    /// each step boundary is a settlement barrier.
+    pub steps: Vec<Step>,
+    /// Point-to-point readiness edges `(writer slice, reader slice)`:
+    /// the reader blocks on a flag the writer sets after publishing.
+    pub readiness: Vec<((u32, u32), (u32, u32))>,
+}
+
 /// A synchronization discipline for stage one.
 pub trait Schedule: Sync {
     /// Stable display name.
@@ -43,6 +69,19 @@ pub trait Schedule: Sync {
     /// Partitions all child slices into ordered steps. Every
     /// dependency of a slice must land in a strictly earlier step.
     fn steps(&self, p1: &Preprocessed, p2: &Preprocessed) -> Vec<Step>;
+
+    /// Emits the schedule's synchronization structure as data, without
+    /// executing any slice work. The default covers barrier-only
+    /// schedules: the steps themselves (each boundary is a settlement
+    /// barrier) and no point-to-point readiness edges. Schedules that
+    /// synchronize through readiness flags must override this so the
+    /// static prover can see their edges.
+    fn sync_plan(&self, p1: &Preprocessed, p2: &Preprocessed) -> SchedulePlan {
+        SchedulePlan {
+            steps: self.steps(p1, p2),
+            readiness: Vec::new(),
+        }
+    }
 
     /// Telemetry span kind for a worker waiting on a step release.
     fn wait_kind(&self) -> BarrierKind;
@@ -182,6 +221,22 @@ mod tests {
         for step in &steps {
             for &(k1, k2) in &step.slices {
                 assert_eq!(p.level_of(k1).max(p.level_of(k2)), step.index);
+            }
+        }
+    }
+
+    #[test]
+    fn default_sync_plan_is_barrier_only() {
+        let s = generate::hairpin_chain(6, 3, 2);
+        let p = Preprocessed::build(&s);
+        for schedule in [&RowBarrier as &dyn Schedule, &LevelWavefront::new()] {
+            let plan = schedule.sync_plan(&p, &p);
+            assert!(plan.readiness.is_empty(), "{}", schedule.name());
+            let steps = schedule.steps(&p, &p);
+            assert_eq!(plan.steps.len(), steps.len(), "{}", schedule.name());
+            for (a, b) in plan.steps.iter().zip(&steps) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.slices, b.slices);
             }
         }
     }

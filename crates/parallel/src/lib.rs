@@ -83,7 +83,7 @@ pub mod wavefront;
 
 pub use manager_worker::prna_manager_worker;
 pub use topdown_shared::{parallel_top_down, TopDownOutcome};
-pub use traced::{prna_traced, TracedBackend, TracedOutcome};
+pub use traced::{prna_traced, TracedOutcome};
 
 use std::time::{Duration, Instant};
 

@@ -33,48 +33,6 @@ use rna_structure::ArcStructure;
 use crate::engine::{self, TraceHooks};
 use crate::{Backend, KernelKind};
 
-/// The stage-one schedules the race detector exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TracedBackend {
-    /// Persistent worker pool, static column ownership, per-row
-    /// settle barrier (traced [`crate::Backend::WORKER_POOL`]).
-    WorkerPool,
-    /// Per-row dynamic column claiming over the shared rwlock
-    /// (traced [`crate::Backend::RAYON`]).
-    Rayon,
-    /// Dependency-level wavefront over the atomic memo table
-    /// (traced [`crate::Backend::WAVEFRONT`]).
-    Wavefront,
-    /// Dedicated manager handing out slices, row allreduce barrier
-    /// (traced [`crate::Backend::MANAGER_WORKER`]).
-    ManagerWorker,
-}
-
-impl TracedBackend {
-    /// All traced backends, for detector sweeps.
-    pub const ALL: [TracedBackend; 4] = [
-        TracedBackend::WorkerPool,
-        TracedBackend::Rayon,
-        TracedBackend::Wavefront,
-        TracedBackend::ManagerWorker,
-    ];
-
-    /// Short display name.
-    pub fn name(self) -> &'static str {
-        self.backend().name()
-    }
-
-    /// The engine composition this traced run exercises.
-    fn backend(self) -> Backend {
-        match self {
-            TracedBackend::WorkerPool => Backend::WORKER_POOL,
-            TracedBackend::Rayon => Backend::RAYON,
-            TracedBackend::Wavefront => Backend::WAVEFRONT,
-            TracedBackend::ManagerWorker => Backend::MANAGER_WORKER,
-        }
-    }
-}
-
 /// Result of a traced PRNA run.
 #[derive(Debug, Clone)]
 pub struct TracedOutcome {
@@ -90,7 +48,7 @@ pub struct TracedOutcome {
 pub fn prna_traced(
     s1: &ArcStructure,
     s2: &ArcStructure,
-    backend: TracedBackend,
+    backend: Backend,
     threads: u32,
     log: &TraceLog,
 ) -> TracedOutcome {
@@ -103,11 +61,11 @@ pub fn prna_traced(
 pub fn prna_traced_preprocessed(
     p1: &Preprocessed,
     p2: &Preprocessed,
-    backend: TracedBackend,
+    backend: Backend,
     threads: u32,
     log: &TraceLog,
 ) -> TracedOutcome {
-    run_traced(p1, p2, backend.backend(), false, threads, log)
+    run_traced(p1, p2, backend, false, threads, log)
 }
 
 /// The wavefront schedule with the first two dependency levels merged
@@ -205,7 +163,7 @@ mod tests {
         let s1 = generate::random_structure(48, 0.9, 5);
         let s2 = generate::random_structure(44, 0.8, 6);
         let reference = srna2::run(&s1, &s2);
-        for backend in TracedBackend::ALL {
+        for backend in Backend::ALL {
             for threads in [1u32, 3] {
                 let log = TraceLog::new();
                 let out = prna_traced(&s1, &s2, backend, threads, &log);
@@ -231,7 +189,7 @@ mod tests {
         let s = generate::random_structure(40, 0.9, 9);
         let p = Preprocessed::build(&s);
         let pairs = (p.num_arcs() * p.num_arcs()) as usize;
-        for backend in TracedBackend::ALL {
+        for backend in Backend::ALL {
             let log = TraceLog::new();
             let _ = prna_traced(&s, &s, backend, 2, &log);
             let writes = log
@@ -246,7 +204,7 @@ mod tests {
     #[test]
     fn traced_empty_structures() {
         let e = ArcStructure::unpaired(5);
-        for backend in TracedBackend::ALL {
+        for backend in Backend::ALL {
             let log = TraceLog::new();
             let out = prna_traced(&e, &e, backend, 2, &log);
             assert_eq!(out.score, 0, "{}", backend.name());

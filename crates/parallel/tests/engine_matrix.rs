@@ -6,7 +6,7 @@
 use load_balance::Policy;
 use mcos_core::srna2;
 use mcos_core::trace::TraceLog;
-use mcos_parallel::{prna, prna_traced, Backend, KernelKind, PrnaConfig, TracedBackend};
+use mcos_parallel::{prna, prna_traced, Backend, KernelKind, PrnaConfig};
 use rna_structure::generate;
 
 fn config(backend: Backend, processors: u32) -> PrnaConfig {
@@ -70,29 +70,47 @@ fn full_matrix_agrees_on_adversarial_shapes() {
 fn tracing_decorator_does_not_change_results() {
     let s1 = generate::random_structure(48, 0.9, 43);
     let s2 = generate::random_structure(40, 0.8, 44);
-    for (traced, plain) in [
-        (TracedBackend::WorkerPool, Backend::WORKER_POOL),
-        (TracedBackend::Rayon, Backend::RAYON),
-        (TracedBackend::Wavefront, Backend::WAVEFRONT),
-        (TracedBackend::ManagerWorker, Backend::MANAGER_WORKER),
-    ] {
+    for backend in Backend::ALL {
         for threads in [1u32, 2, 4] {
             let log = TraceLog::new();
-            let decorated = prna_traced(&s1, &s2, traced, threads, &log);
-            let undecorated = prna(&s1, &s2, &config(plain, threads));
+            let decorated = prna_traced(&s1, &s2, backend, threads, &log);
+            let undecorated = prna(&s1, &s2, &config(backend, threads));
             assert_eq!(
                 decorated.score,
                 undecorated.score,
                 "{} threads {threads}",
-                plain.name()
+                backend.name()
             );
             assert_eq!(
                 decorated.memo,
                 undecorated.memo,
                 "memo mismatch: {} threads {threads}",
-                plain.name()
+                backend.name()
             );
-            assert!(!log.is_empty(), "{} recorded nothing", plain.name());
+            assert!(!log.is_empty(), "{} recorded nothing", backend.name());
+        }
+    }
+}
+
+/// A deliberately small full-matrix sweep for instrumented builds: the
+/// ThreadSanitizer CI job runs exactly this test (TSan slows execution
+/// 10-20×, so the big equivalence sweeps above are out of budget). It
+/// still crosses every store's synchronization path with 2 and 4
+/// threads, which is what a data-race checker needs to see.
+#[test]
+fn matrix_smoke_for_sanitizers() {
+    let s1 = generate::random_structure(30, 0.9, 45);
+    let s2 = generate::random_structure(26, 0.8, 46);
+    let reference = srna2::run(&s1, &s2);
+    for backend in Backend::MATRIX {
+        for threads in [2u32, 4] {
+            let out = prna(&s1, &s2, &config(backend, threads));
+            assert_eq!(
+                out.memo,
+                reference.memo,
+                "{} threads {threads}",
+                backend.name()
+            );
         }
     }
 }

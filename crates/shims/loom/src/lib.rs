@@ -1,0 +1,295 @@
+//! Offline in-workspace stand-in for [`loom`], the permutation-based
+//! concurrency model checker. See `crates/shims/README.md` for why the
+//! workspace vendors its dependencies.
+//!
+//! [`model`] runs a closure repeatedly, exhaustively enumerating the
+//! thread interleavings its synchronization operations admit: all
+//! model threads are serialized onto one execution token, every
+//! atomic/lock/channel/spawn/join operation is a scheduling choice
+//! point, and the driver replays recorded decision prefixes
+//! depth-first until every alternative has been explored. A deadlock,
+//! a panic (assertion failure) in any thread, or a livelock aborts the
+//! search and is reported from `model` with the failing execution's
+//! message — so `catch_unwind(|| model(buggy))` is the idiom for
+//! asserting a model *fails*.
+//!
+//! # What this shim does and does not check
+//!
+//! * **Covered**: every interleaving of sequentially consistent
+//!   operations, up to the preemption bound (default 3 involuntary
+//!   context switches per execution — the CHESS result; raise or lift
+//!   it with [`model::Builder`]). Deadlocks are detected exactly: a
+//!   state where no thread can run is reported with the blocked set.
+//! * **Not covered**: weak-memory effects. Real `loom` models the
+//!   C11 memory model (store buffering, `Relaxed`/`Acquire`/`Release`
+//!   distinctions); this shim runs every atomic at `SeqCst`, so a
+//!   missing-`Release` bug that only reorders under weak memory will
+//!   NOT be found here. The workspace covers that axis separately with
+//!   Miri and ThreadSanitizer (see DESIGN.md, "Static verification").
+//!   Spurious condvar wakeups are not modeled either.
+//!
+//! The API mirrors the subset of `loom` 0.7 the workspace uses:
+//! [`model`], [`model::Builder`], [`thread::spawn`],
+//! [`thread::yield_now`], [`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::mpsc`], and [`sync::atomic`]. Model closures must be
+//! deterministic apart from scheduling (no wall clock, no OS
+//! randomness) — replay depends on it, and the runtime asserts it.
+//!
+//! [`loom`]: https://crates.io/crates/loom
+
+pub mod hint {
+    //! Spin-loop hints.
+
+    /// Equivalent to [`crate::thread::yield_now`]: in a model a spin
+    /// retry must cede the token or the loop would livelock.
+    pub fn spin_loop() {
+        crate::rt::yield_point();
+    }
+}
+
+pub mod sync;
+pub mod thread;
+
+mod rt;
+
+pub mod model {
+    //! The exploration driver.
+
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use crate::rt;
+
+    /// Serializes concurrent `model` calls (e.g. from parallel test
+    /// threads): the runtime's execution context is process-global.
+    fn exploration_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    /// Exploration configuration, mirroring `loom::model::Builder`.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        /// Maximum involuntary context switches explored per
+        /// execution; `None` lifts the bound (full exhaustion —
+        /// feasible only for very small models). Defaults to 3, which
+        /// empirically catches almost all interleaving bugs (CHESS).
+        /// Note real `loom` defaults to unbounded.
+        pub preemption_bound: Option<usize>,
+        /// Ceiling on explored executions, as a livelock backstop.
+        pub max_iterations: u64,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Builder {
+                preemption_bound: Some(3),
+                max_iterations: 2_000_000,
+            }
+        }
+    }
+
+    impl Builder {
+        /// Default configuration.
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        /// Explores every schedule of `f` under this configuration.
+        /// Panics on the first failing execution, with its failure
+        /// message and the number of executions explored.
+        pub fn check<F: Fn()>(&self, f: F) {
+            let _guard = exploration_lock()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut script = Vec::new();
+            let mut iterations: u64 = 0;
+            loop {
+                iterations += 1;
+                assert!(
+                    iterations <= self.max_iterations,
+                    "loom: exceeded {} executions without exhausting the schedule \
+                     space; shrink the model or bound preemptions",
+                    self.max_iterations
+                );
+                let exec = Arc::new(rt::Execution::new(script, self.preemption_bound));
+                rt::set_context(exec.clone(), 0);
+                let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+                let failure = match &outcome {
+                    Ok(()) => None,
+                    Err(payload) if payload.is::<rt::Abort>() => None, // already recorded
+                    Err(payload) => Some(
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "model panicked".to_string()),
+                    ),
+                };
+                let abort = exec.finish_main(failure);
+                rt::clear_context();
+                if let Some(msg) = abort {
+                    panic!("loom: failing execution found (iteration {iterations}): {msg}");
+                }
+                script = exec.take_script();
+                let mut advanced = false;
+                while let Some(last) = script.last_mut() {
+                    if last.index + 1 < last.alternatives {
+                        last.index += 1;
+                        advanced = true;
+                        break;
+                    }
+                    script.pop();
+                }
+                if !advanced {
+                    return; // schedule space exhausted, all executions passed
+                }
+            }
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default [`model::Builder`]
+/// configuration. See the crate docs for coverage and caveats.
+pub fn model<F: Fn()>(f: F) {
+    model::Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+    use super::sync::{mpsc, Arc, Condvar, Mutex};
+    use std::panic::catch_unwind;
+
+    /// Extracts the panic message from a `catch_unwind` payload
+    /// (`{:?}` on `Box<dyn Any>` prints only `Any { .. }`).
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "opaque panic payload".to_string())
+    }
+
+    /// Two unsynchronized increments: load/store (not fetch_add) so an
+    /// interleaving where both read 0 exists; the model must find it.
+    #[test]
+    fn finds_lost_update() {
+        let result = catch_unwind(|| {
+            super::model(|| {
+                let n = Arc::new(AtomicU32::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = n.clone();
+                        super::thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            })
+        });
+        let msg = panic_message(result.expect_err("model must fail"));
+        assert!(msg.contains("lost update"), "{msg}");
+    }
+
+    /// fetch_add is atomic, so the same shape with rmw passes in every
+    /// interleaving.
+    #[test]
+    fn atomic_rmw_increments_survive_every_schedule() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Classic AB/BA lock ordering: some schedule deadlocks, and the
+    /// detector must say so rather than hang.
+    #[test]
+    fn finds_lock_order_deadlock() {
+        let result = catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (a.clone(), b.clone());
+                let t = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            })
+        });
+        let msg = panic_message(result.expect_err("model must deadlock"));
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    /// Channel handoff is a happens-before edge: the receiver always
+    /// sees the store issued before the send.
+    #[test]
+    fn channel_send_publishes() {
+        super::model(|| {
+            let flag = Arc::new(AtomicU32::new(0));
+            let (tx, rx) = mpsc::channel::<()>();
+            let f2 = flag.clone();
+            let t = super::thread::spawn(move || {
+                f2.store(7, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+            rx.recv().unwrap();
+            assert_eq!(flag.load(Ordering::SeqCst), 7);
+            t.join().unwrap();
+        });
+    }
+
+    /// Condvar wait/notify round-trip under every schedule, including
+    /// notify-before-wait (the waiter must not hang).
+    #[test]
+    fn condvar_handshake_never_hangs() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock().unwrap() = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    /// Disconnect: dropping the last sender unparks a waiting receiver
+    /// with an error instead of deadlocking.
+    #[test]
+    fn recv_errors_on_disconnect() {
+        super::model(|| {
+            let (tx, rx) = mpsc::channel::<u32>();
+            let t = super::thread::spawn(move || drop(tx));
+            assert!(rx.recv().is_err());
+            t.join().unwrap();
+        });
+    }
+}

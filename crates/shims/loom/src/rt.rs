@@ -1,0 +1,388 @@
+//! The exploration runtime behind [`crate::model`].
+//!
+//! All model threads are real OS threads serialized onto a single
+//! execution token: exactly one thread runs at a time, and every
+//! synchronization operation (atomic access, lock, channel op, spawn,
+//! join, yield) is a *choice point* where the scheduler decides which
+//! thread runs next. An execution is fully described by the sequence
+//! of choices taken; the driver enumerates executions depth-first by
+//! replaying a recorded prefix and bumping the last decision that has
+//! unexplored alternatives.
+//!
+//! Preemption bounding keeps the tree tractable: switching away from a
+//! thread that could have continued (an involuntary preemption) is
+//! only explored while the per-execution preemption budget lasts;
+//! switches forced by blocking, finishing, or an explicit yield are
+//! always free. This is the CHESS result — almost all interleaving
+//! bugs manifest within two or three preemptions.
+
+use std::cell::RefCell;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard per-execution ceiling on recorded choices, to turn accidental
+/// livelock (e.g. an unbounded spin loop) into a diagnosable failure.
+const MAX_BRANCHES: usize = 50_000;
+
+/// One recorded scheduling decision: of `alternatives` eligible
+/// threads at this point, the `index`-th was chosen.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub(crate) index: usize,
+    pub(crate) alternatives: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// What kind of choice point the active thread reached.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Reason {
+    /// A synchronization operation; continuing the current thread is
+    /// the default, switching costs a preemption.
+    Point,
+    /// An explicit yield; switching is free and preferred.
+    Yield,
+    /// The thread just blocked and cannot continue.
+    Block,
+    /// The thread finished.
+    Finish,
+}
+
+/// Panic payload used to unwind model threads when an execution is
+/// torn down early (deadlock, branch overflow, or a sibling thread's
+/// panic). Caught by the spawn wrapper and the driver; never
+/// user-visible.
+pub(crate) struct Abort;
+
+struct State {
+    script: Vec<Choice>,
+    cursor: usize,
+    threads: Vec<ThreadState>,
+    /// Index of the thread holding the execution token
+    /// (`usize::MAX` once every thread has finished).
+    active: usize,
+    /// `(waiter, target)` pairs parked in `join`.
+    join_waiters: Vec<(usize, usize)>,
+    preemptions: usize,
+    /// First failure of this execution: a deadlock report or a model
+    /// thread's panic message.
+    abort: Option<String>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+    preemption_bound: Option<usize>,
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its logical id.
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_context(exec: Arc<Execution>, tid: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_context() {
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// The logical id of the calling model thread. Panics outside a model.
+pub(crate) fn tid() -> usize {
+    current()
+        .expect("loom primitive used outside loom::model")
+        .1
+}
+
+/// A plain choice point: callers not inside a model (the primitives
+/// double as pass-through wrappers there) fall through untouched, and
+/// nothing is scheduled while a panic is unwinding (guards dropped
+/// during an abort must not re-enter the scheduler).
+pub(crate) fn point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, me)) = current() {
+        exec.schedule(me, Reason::Point);
+    }
+}
+
+/// An explicit yield: like [`point`], but switching is free and other
+/// runnable threads are preferred.
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, me)) = current() {
+        exec.schedule(me, Reason::Yield);
+    }
+}
+
+/// Parks the calling thread until [`unblock`] marks it runnable again.
+/// The caller must have registered itself with whoever will wake it
+/// *before* calling this (no token release happens in between, so the
+/// register-then-block pair is atomic).
+pub(crate) fn block_self() {
+    let (exec, me) = current().expect("loom primitive used outside loom::model");
+    exec.schedule(me, Reason::Block);
+}
+
+/// Marks a parked thread runnable. No-op if the thread is not blocked
+/// (e.g. it was already woken, or never got to block). Must be called
+/// by the token-holding thread.
+pub(crate) fn unblock(target: usize) {
+    if let Some((exec, _)) = current() {
+        let mut st = lock(&exec.state);
+        if st.threads[target] == ThreadState::Blocked {
+            st.threads[target] = ThreadState::Runnable;
+        }
+    }
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    // The state mutex is only poisoned if a *scheduler* invariant
+    // panicked; model-thread panics never unwind while holding it.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    pub(crate) fn new(script: Vec<Choice>, preemption_bound: Option<usize>) -> Self {
+        Execution {
+            state: Mutex::new(State {
+                script,
+                cursor: 0,
+                threads: vec![ThreadState::Runnable],
+                active: 0,
+                join_waiters: Vec::new(),
+                preemptions: 0,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+        }
+    }
+
+    /// Adds a new runnable logical thread, returning its id. Called by
+    /// `spawn` while holding the token, so ids are deterministic.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock(&self.state);
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// The active thread reached a choice point: pick who runs next,
+    /// then wait until this thread holds the token again (unless it
+    /// just finished).
+    pub(crate) fn schedule(&self, me: usize, reason: Reason) {
+        let mut st = lock(&self.state);
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        debug_assert_eq!(st.active, me, "only the token holder may schedule");
+        match reason {
+            Reason::Block => st.threads[me] = ThreadState::Blocked,
+            Reason::Finish => {
+                st.threads[me] = ThreadState::Finished;
+                // Wake anyone joining on this thread.
+                let mut i = 0;
+                while i < st.join_waiters.len() {
+                    if st.join_waiters[i].1 == me {
+                        let (waiter, _) = st.join_waiters.swap_remove(i);
+                        st.threads[waiter] = ThreadState::Runnable;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Reason::Point | Reason::Yield => {}
+        }
+        self.pick_next(&mut st, me, reason);
+        if reason == Reason::Finish {
+            return;
+        }
+        self.wait_token(st, me);
+    }
+
+    /// Waits until `me` holds the token and is runnable (or the
+    /// execution aborts, unwinding with [`Abort`]).
+    fn wait_token(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(Abort);
+            }
+            if st.active == me && st.threads[me] == ThreadState::Runnable {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// A freshly spawned thread parks here until first scheduled.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let st = lock(&self.state);
+        self.wait_token(st, me);
+    }
+
+    /// Consumes one scheduling decision (recorded or replayed) and
+    /// hands the token to the chosen thread.
+    fn pick_next(&self, st: &mut State, me: usize, reason: Reason) {
+        let me_runnable = st.threads[me] == ThreadState::Runnable;
+        let mut candidates: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == ThreadState::Runnable)
+            .collect();
+        if candidates.is_empty() {
+            if st.threads.iter().all(|&s| s == ThreadState::Finished) {
+                st.active = usize::MAX;
+            } else {
+                let blocked: Vec<usize> = (0..st.threads.len())
+                    .filter(|&t| st.threads[t] == ThreadState::Blocked)
+                    .collect();
+                st.abort = Some(format!(
+                    "deadlock: no thread is runnable, thread(s) {blocked:?} are blocked"
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if me_runnable {
+            candidates.retain(|&t| t != me);
+            match reason {
+                // Continuing the current thread is choice 0; any other
+                // choice is a preemption and only offered while the
+                // budget lasts.
+                Reason::Point => {
+                    let exhausted = self.preemption_bound.is_some_and(|b| st.preemptions >= b);
+                    if exhausted {
+                        candidates.clear();
+                    }
+                    candidates.insert(0, me);
+                }
+                // Yielding prefers the others; running again is the
+                // last resort. Switching here is voluntary and free.
+                Reason::Yield => candidates.push(me),
+                Reason::Block | Reason::Finish => unreachable!("me is not runnable"),
+            }
+        }
+        let choice = if st.cursor < st.script.len() {
+            let c = st.script[st.cursor];
+            assert_eq!(
+                c.alternatives,
+                candidates.len(),
+                "nondeterministic model: replay diverged at choice {} \
+                 (is the closure deterministic apart from scheduling?)",
+                st.cursor
+            );
+            c
+        } else {
+            assert!(
+                st.script.len() < MAX_BRANCHES,
+                "model exceeded {MAX_BRANCHES} choice points in one execution \
+                 (unbounded loop in the model?)"
+            );
+            let c = Choice {
+                index: 0,
+                alternatives: candidates.len(),
+            };
+            st.script.push(c);
+            c
+        };
+        st.cursor += 1;
+        let next = candidates[choice.index];
+        if me_runnable && reason == Reason::Point && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Parks `me` until `target` finishes; a plain choice point follows
+    /// so the post-join continuation is explored like any other op.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let mut st = lock(&self.state);
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        if st.threads[target] != ThreadState::Finished {
+            st.threads[me] = ThreadState::Blocked;
+            st.join_waiters.push((me, target));
+            self.pick_next(&mut st, me, Reason::Block);
+            self.wait_token(st, me);
+        } else {
+            drop(st); // schedule() re-locks the state below
+        }
+        self.schedule(me, Reason::Point);
+    }
+
+    /// A spawned thread's orderly completion.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        self.schedule(me, Reason::Finish);
+    }
+
+    /// A spawned thread's failure: record the message (first failure
+    /// wins), tear the execution down.
+    pub(crate) fn record_failure(&self, me: usize, msg: String) {
+        let mut st = lock(&self.state);
+        if st.abort.is_none() {
+            st.abort = Some(msg);
+        }
+        st.threads[me] = ThreadState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// A spawned thread unwound by [`Abort`]: just check out.
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = lock(&self.state);
+        st.threads[me] = ThreadState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Called by the driver after the model closure returned (or
+    /// panicked, with `failure` carrying the message). Drains any
+    /// still-running threads, waits for every thread to check out, and
+    /// returns the execution's failure, if any.
+    pub(crate) fn finish_main(&self, failure: Option<String>) -> Option<String> {
+        {
+            let mut st = lock(&self.state);
+            if let Some(msg) = failure {
+                if st.abort.is_none() {
+                    st.abort = Some(msg);
+                }
+            }
+            st.threads[0] = ThreadState::Finished;
+            if st.abort.is_some() {
+                self.cv.notify_all();
+            } else {
+                self.pick_next(&mut st, 0, Reason::Finish);
+            }
+        }
+        let mut st = lock(&self.state);
+        while !st.threads.iter().all(|&s| s == ThreadState::Finished) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.abort.clone()
+    }
+
+    /// The recorded decision sequence, for the driver's DFS advance.
+    pub(crate) fn take_script(&self) -> Vec<Choice> {
+        std::mem::take(&mut lock(&self.state).script)
+    }
+}

@@ -1,0 +1,197 @@
+//! Model-checked synchronization primitives, mirroring the
+//! `std::sync` surface the workspace uses.
+
+use std::sync::Mutex as StdMutex;
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+pub mod mpsc;
+
+/// Control block of a model [`Mutex`]: the logical hold bit plus the
+/// threads parked on it. Accessed only by the token-holding thread, so
+/// the inner std mutex is never contended.
+struct MutexCtl {
+    locked: bool,
+    waiters: Vec<usize>,
+}
+
+/// A mutual-exclusion lock whose acquire/release are scheduler choice
+/// points. Lock *data* lives in an uncontended `std` mutex; exclusion
+/// is enforced logically so blocked threads park in the scheduler
+/// (where the deadlock detector can see them), not in the OS.
+pub struct Mutex<T> {
+    ctl: StdMutex<MutexCtl>,
+    data: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. Releasing is a choice point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `Some` until drop; taken first so the std guard is released
+    /// before the logical unlock wakes any waiter.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the lock.
+    pub fn new(data: T) -> Self {
+        Mutex {
+            ctl: StdMutex::new(MutexCtl {
+                locked: false,
+                waiters: Vec::new(),
+            }),
+            data: StdMutex::new(data),
+        }
+    }
+
+    /// Acquires the lock, parking in the scheduler while contended.
+    /// Never actually poisoned — the `Result` mirrors `std` so call
+    /// sites write `lock().unwrap()` unchanged.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::sync::PoisonError<MutexGuard<'_, T>>> {
+        rt::point();
+        loop {
+            {
+                let mut ctl = self.ctl.lock().expect("ctl mutex never poisoned");
+                if !ctl.locked {
+                    ctl.locked = true;
+                    break;
+                }
+                ctl.waiters.push(rt::tid());
+            }
+            rt::block_self();
+        }
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(self.data.try_lock().expect("logical exclusion held")),
+        })
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> Result<T, std::sync::PoisonError<T>> {
+        Ok(self.data.into_inner().expect("data mutex never poisoned"))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the std guard before anyone wakes
+        let woken: Vec<usize> = {
+            let mut ctl = self.lock.ctl.lock().expect("ctl mutex never poisoned");
+            ctl.locked = false;
+            ctl.waiters.drain(..).collect()
+        };
+        for t in woken {
+            rt::unblock(t);
+        }
+        rt::point();
+    }
+}
+
+/// A parked [`Condvar`] waiter: notified flips when a notify claims it.
+struct CvWaiter {
+    tid: usize,
+    notified: bool,
+}
+
+/// A condition variable whose wait/notify are choice points. No
+/// spurious wakeups are modeled; a waiter runs only after a notify
+/// claims it (real `loom` explores spurious wakeups too — code relying
+/// on them being *absent* is out of scope here).
+pub struct Condvar {
+    waiters: StdMutex<Vec<CvWaiter>>,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            waiters: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Atomically releases `guard` and parks until notified, then
+    /// reacquires the lock.
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>> {
+        let me = rt::tid();
+        let lock = guard.lock;
+        // Register before releasing the lock: a notify issued by the
+        // thread that takes the lock next must find this waiter.
+        self.waiters
+            .lock()
+            .expect("cv mutex never poisoned")
+            .push(CvWaiter {
+                tid: me,
+                notified: false,
+            });
+        drop(guard);
+        loop {
+            {
+                let mut ws = self.waiters.lock().expect("cv mutex never poisoned");
+                if let Some(i) = ws.iter().position(|w| w.tid == me && w.notified) {
+                    ws.swap_remove(i);
+                    break;
+                }
+            }
+            rt::block_self();
+        }
+        lock.lock()
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        rt::point();
+        let target = {
+            let mut ws = self.waiters.lock().expect("cv mutex never poisoned");
+            ws.iter_mut().find(|w| !w.notified).map(|w| {
+                w.notified = true;
+                w.tid
+            })
+        };
+        if let Some(t) = target {
+            rt::unblock(t);
+        }
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        rt::point();
+        let targets: Vec<usize> = {
+            let mut ws = self.waiters.lock().expect("cv mutex never poisoned");
+            ws.iter_mut()
+                .filter(|w| !w.notified)
+                .map(|w| {
+                    w.notified = true;
+                    w.tid
+                })
+                .collect()
+        };
+        for t in targets {
+            rt::unblock(t);
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}

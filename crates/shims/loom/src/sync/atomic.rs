@@ -1,0 +1,102 @@
+//! Model-checked atomics. Every access is a scheduler choice point;
+//! the value itself lives in a `std` atomic accessed at `SeqCst`, so
+//! the model explores *interleavings* of sequentially consistent
+//! operations — weak-memory reorderings are NOT modeled (see the crate
+//! docs for what that does and does not cover).
+
+use crate::rt;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_common {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-checked counterpart of the `std` atomic of the same
+        /// name. The `Ordering` argument is accepted for source
+        /// compatibility and ignored: the model runs every access at
+        /// `SeqCst`.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates the atomic.
+            pub fn new(v: $ty) -> Self {
+                Self {
+                    v: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            /// Loads the value (choice point).
+            pub fn load(&self, _order: Ordering) -> $ty {
+                rt::point();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (choice point).
+            pub fn store(&self, val: $ty, _order: Ordering) {
+                rt::point();
+                self.v.store(val, Ordering::SeqCst)
+            }
+
+            /// Swaps the value (choice point).
+            pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                rt::point();
+                self.v.swap(val, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange (choice point).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                rt::point();
+                self.v
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the value. Not a choice
+            /// point: ownership proves exclusivity.
+            pub fn into_inner(self) -> $ty {
+                self.v.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $ty:ty) => {
+        atomic_common!($name, $std, $ty);
+
+        impl $name {
+            /// Adds to the value, returning the previous value
+            /// (choice point).
+            pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                rt::point();
+                self.v.fetch_add(val, Ordering::SeqCst)
+            }
+
+            /// Subtracts from the value, returning the previous value
+            /// (choice point).
+            pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                rt::point();
+                self.v.fetch_sub(val, Ordering::SeqCst)
+            }
+
+            /// Maximum with the value, returning the previous value
+            /// (choice point).
+            pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                rt::point();
+                self.v.fetch_max(val, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU32, AtomicU32, u32);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_common!(AtomicBool, AtomicBool, bool);

@@ -1,0 +1,127 @@
+//! Model-checked unbounded channel, mirroring `std::sync::mpsc`.
+//! Sends never block (the queue is unbounded); a `recv` on an empty
+//! queue parks in the scheduler.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+    /// Receiver tids parked on an empty queue (at most one — the
+    /// receiver is not clonable — but kept as a list for symmetry).
+    recv_waiters: Vec<usize>,
+}
+
+/// Creates an unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(StdMutex::new(Shared {
+        queue: VecDeque::new(),
+        senders: 1,
+        receiver_alive: true,
+        recv_waiters: Vec::new(),
+    }));
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half. Clonable; dropping the last sender wakes a
+/// parked receiver with a disconnect.
+pub struct Sender<T> {
+    shared: Arc<StdMutex<Shared<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value (choice point). Errors if the receiver is
+    /// gone, handing the value back like `std`.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        rt::point();
+        let woken: Vec<usize> = {
+            let mut sh = self.shared.lock().expect("channel mutex never poisoned");
+            if !sh.receiver_alive {
+                return Err(SendError(value));
+            }
+            sh.queue.push_back(value);
+            sh.recv_waiters.drain(..).collect()
+        };
+        for t in woken {
+            rt::unblock(t);
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .lock()
+            .expect("channel mutex never poisoned")
+            .senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let woken: Vec<usize> = {
+            let mut sh = self.shared.lock().expect("channel mutex never poisoned");
+            sh.senders -= 1;
+            if sh.senders == 0 {
+                sh.recv_waiters.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for t in woken {
+            rt::unblock(t);
+        }
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    shared: Arc<StdMutex<Shared<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, parking while the queue is empty
+    /// (choice point). Errors once every sender is gone and the queue
+    /// is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        rt::point();
+        loop {
+            {
+                let mut sh = self.shared.lock().expect("channel mutex never poisoned");
+                if let Some(v) = sh.queue.pop_front() {
+                    return Ok(v);
+                }
+                if sh.senders == 0 {
+                    return Err(RecvError);
+                }
+                let me = rt::tid();
+                sh.recv_waiters.push(me);
+            }
+            rt::block_self();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .lock()
+            .expect("channel mutex never poisoned")
+            .receiver_alive = false;
+    }
+}

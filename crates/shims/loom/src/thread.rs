@@ -1,0 +1,93 @@
+//! Model threads: real OS threads serialized onto the execution
+//! token, with spawn/join as choice points.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    exec: Arc<rt::Execution>,
+    result: Arc<StdMutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread. Must be called inside [`crate::model`]. The
+/// spawn itself is a choice point: the child becomes runnable
+/// immediately but runs only when the scheduler picks it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) = rt::current().expect("loom::thread::spawn outside loom::model");
+    let tid = exec.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let os = {
+        let exec = exec.clone();
+        let result = result.clone();
+        std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                rt::set_context(exec.clone(), tid);
+                // The first-schedule wait must sit inside the
+                // catch_unwind: an execution aborting before this
+                // thread ever runs raises `Abort` from the wait, and
+                // the thread still has to mark itself finished.
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    exec.wait_first_schedule(tid);
+                    f()
+                })) {
+                    Ok(v) => {
+                        *result.lock().expect("result mutex never poisoned") = Some(v);
+                        exec.finish_thread(tid);
+                    }
+                    Err(payload) if payload.is::<rt::Abort>() => exec.finish_quiet(tid),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "model thread panicked".to_string());
+                        exec.record_failure(tid, msg);
+                    }
+                }
+            })
+            .expect("OS thread spawn")
+    };
+    exec.schedule(me, rt::Reason::Point);
+    JoinHandle {
+        tid,
+        exec,
+        result,
+        os: Some(os),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Parks until the thread finishes, returning its value. A panic
+    /// in the child tears down the whole execution (reported by
+    /// [`crate::model`]) rather than surfacing as `Err` here, so the
+    /// `Result` mirrors `std` only in shape.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let me = rt::tid();
+        self.exec.join_thread(me, self.tid);
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        Ok(self
+            .result
+            .lock()
+            .expect("result mutex never poisoned")
+            .take()
+            .expect("joined thread stored its result"))
+    }
+}
+
+/// Voluntarily cedes the token: other runnable threads are preferred
+/// and the switch never costs preemption budget.
+pub fn yield_now() {
+    rt::yield_point();
+}
