@@ -1,7 +1,7 @@
 //! The workspace lint: mechanical enforcement of the justification
 //! conventions the concurrency-soundness work depends on.
 //!
-//! Four rules, scanned over every non-shim `crates/*/src/**/*.rs`
+//! Five rules, scanned over every non-shim `crates/*/src/**/*.rs`
 //! file, skipping test code (each `#[cfg(test)]`-gated item, tracked
 //! through its closing brace by [`test_code_mask`], so a mid-file
 //! test-only helper does not mask the library code after it) and
@@ -26,6 +26,13 @@
 //!   `// POLICY:` comment stating, in a sentence, what the policy
 //!   decides and why it is sound — the reviewed contract the engine's
 //!   generic loop depends on.
+//! * **`metrics`** — observability goes through the unified registry
+//!   (`mcos_telemetry::metrics`), not around it: engine crates
+//!   (`crates/core`, `crates/parallel`) must not print ad-hoc stats to
+//!   stderr from library code, and no crate outside `crates/telemetry`
+//!   may spell a `"mcos."`-prefixed metric name as a string literal —
+//!   metric names come from the declared `metrics::names` constants,
+//!   so the documented schema stays the single source of truth.
 //!
 //! The match needles are assembled at runtime so the linter's own
 //! source never matches its own rules.
@@ -44,6 +51,8 @@ pub enum Rule {
     Unwrap,
     /// Engine policy `impl` without an adjacent `// POLICY:` contract.
     Policy,
+    /// Ad-hoc observability bypassing the unified metrics registry.
+    Metrics,
 }
 
 impl Rule {
@@ -54,6 +63,7 @@ impl Rule {
             Rule::UnsafeCode => "safety",
             Rule::Unwrap => "unwrap",
             Rule::Policy => "policy",
+            Rule::Metrics => "metrics",
         }
     }
 }
@@ -107,7 +117,10 @@ impl Allowlist {
             let path = parts
                 .next()
                 .ok_or_else(|| format!("line {}: missing path after rule", i + 1))?;
-            if !matches!(rule, "ordering" | "safety" | "unwrap" | "policy") {
+            if !matches!(
+                rule,
+                "ordering" | "safety" | "unwrap" | "policy" | "metrics"
+            ) {
                 return Err(format!("line {}: unknown rule '{rule}'", i + 1));
             }
             entries.push((rule.to_string(), path.to_string()));
@@ -299,6 +312,25 @@ fn needle_unwrap() -> String {
     format!(".{}()", ["un", "wrap"].concat())
 }
 
+/// The stderr-stats macro the `metrics` rule bans from engine library
+/// code.
+fn needle_eprintln() -> String {
+    format!("{}!", ["eprint", "ln"].concat())
+}
+
+/// A string literal opening with the registry's reserved metric-name
+/// prefix.
+fn needle_metric_literal() -> String {
+    format!("\"{}.", ["mc", "os"].concat())
+}
+
+/// Whether the `metrics` rule's stderr-printing arm applies to this
+/// file: engine library code, where observability must flow through
+/// the recorder and registry.
+fn is_engine_crate(rel: &str) -> bool {
+    rel.starts_with("crates/core/") || rel.starts_with("crates/parallel/")
+}
+
 /// `"<Trait> for"` needles for the engine policy traits: an `impl` line
 /// containing one of these is a policy implementation.
 fn policy_needles() -> Vec<String> {
@@ -329,6 +361,8 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
     let unsafe_kw = needle_unsafe();
     let unwrap_call = needle_unwrap();
     let policies = policy_needles();
+    let eprintln_macro = needle_eprintln();
+    let metric_literal = needle_metric_literal();
     let lines: Vec<&str> = text.lines().collect();
     let test_code = test_code_mask(&lines);
     for (i, line) in lines.iter().enumerate() {
@@ -380,6 +414,16 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
                 file: rel.to_string(),
                 line: i + 1,
                 rule: Rule::Policy,
+                excerpt: line.trim().to_string(),
+            });
+        }
+        let stray_stats = is_engine_crate(rel) && line.contains(&eprintln_macro);
+        let adhoc_name = !rel.starts_with("crates/telemetry/") && line.contains(&metric_literal);
+        if (stray_stats || adhoc_name) && !allow.allows(Rule::Metrics, rel) {
+            findings.push(LintFinding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Metrics,
                 excerpt: line.trim().to_string(),
             });
         }
@@ -536,6 +580,41 @@ mod tests {
         let allow = Allowlist::parse(
             "policy crates/demo/src/bad.rs\npolicy crates/demo/src/badgen.rs\n\
              policy crates/demo/src/badkernel.rs\n",
+        )
+        .unwrap();
+        assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flags_stray_stats_and_adhoc_metric_names() {
+        let eprint = format!("{}!", ["eprint", "ln"].concat());
+        let prefix = ["mc", "os"].concat();
+        let stray = format!("fn f() {{ {eprint}(\"slices={{n}}\"); }}\n");
+        let adhoc = format!("fn g() {{ reg.counter(\"{prefix}.engine.extra\"); }}\n");
+        let declared = format!("pub const X: &str = \"{prefix}.engine.extra\";\n");
+        let root = fixture(&[
+            // Engine library code must not print stats to stderr...
+            ("crates/parallel/src/engine.rs", stray.as_str()),
+            // ...but the same line outside the engine crates is fine.
+            ("crates/demo/src/tool.rs", stray.as_str()),
+            // Ad-hoc metric-name literals are flagged everywhere...
+            ("crates/core/src/adhoc.rs", adhoc.as_str()),
+            ("crates/demo/src/adhoc.rs", adhoc.as_str()),
+            // ...except in the telemetry crate, where they are declared.
+            ("crates/telemetry/src/metrics.rs", declared.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::Metrics));
+        let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        assert!(files.contains(&"crates/parallel/src/engine.rs"));
+        assert!(files.contains(&"crates/core/src/adhoc.rs"));
+        assert!(files.contains(&"crates/demo/src/adhoc.rs"));
+
+        let allow = Allowlist::parse(
+            "metrics crates/parallel/src/engine.rs\n\
+             metrics crates/core/src/adhoc.rs\n\
+             metrics crates/demo/src/adhoc.rs\n",
         )
         .unwrap();
         assert!(lint_workspace(&root, &allow).unwrap().is_empty());

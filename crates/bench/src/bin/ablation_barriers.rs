@@ -27,16 +27,15 @@
 //! and the minimum is the stablest estimator of the schedule's cost.
 //!
 //! Results go to stdout (table) and to `--out` (default
-//! `crates/bench/results/BENCH_barriers.json`) as JSON for downstream
-//! comparison. `--quick` shrinks the inputs and drops to 1 rep for
-//! smoke runs (CI).
-
-use std::fmt::Write as _;
+//! `crates/bench/results/BENCH_barriers.json`) through the shared
+//! [`mcos_bench::emit`] envelope. `--quick` shrinks the inputs and
+//! drops to 1 rep for smoke runs (CI).
 
 use load_balance::Policy;
-use mcos_bench::{opt_value, secs, Table};
+use mcos_bench::{emit, opt_value, secs, Table};
 use mcos_core::preprocess::Preprocessed;
 use mcos_parallel::{prna, wavefront, Backend, PrnaConfig, ScheduleKind};
+use mcos_telemetry::json::Value;
 use rna_structure::ArcStructure;
 
 /// Backends under comparison: the two shared-memory row-barrier engines
@@ -81,8 +80,8 @@ fn main() {
     };
     let thread_counts = [1u32, 2, 4, 8];
 
-    let mut json = String::from("{\n  \"experiment\": \"barriers\",\n  \"inputs\": [\n");
-    for (i, (name, s)) in inputs.iter().enumerate() {
+    let mut input_docs: Vec<Value> = Vec::new();
+    for (name, s) in &inputs {
         let p = Preprocessed::build(s);
         let rows = p.num_arcs();
         let levels = wavefront::num_levels(&p, &p);
@@ -90,13 +89,8 @@ fn main() {
             "\n=== {name} ({} arcs; {} row barriers vs {} wavefront levels) ===",
             rows, rows, levels
         );
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"arcs\": {rows}, \"row_barriers\": {rows}, \"wavefront_levels\": {levels}, \"runs\": ["
-        );
-
+        let mut runs: Vec<Value> = Vec::new();
         let mut table = Table::new(&["threads", "backend", "stage1 (s)", "sync points", "score"]);
-        let mut first_run = true;
         for &threads in &thread_counts {
             for backend in BACKENDS {
                 let config = PrnaConfig {
@@ -121,29 +115,36 @@ fn main() {
                     sync.to_string(),
                     out.score.to_string(),
                 ]);
-                if !first_run {
-                    json.push_str(",\n");
-                }
-                first_run = false;
-                let _ = write!(
-                    json,
-                    "      {{\"backend\": \"{}\", \"threads\": {threads}, \"stage_one_seconds\": {:.6}, \"sync_points\": {sync}, \"score\": {}}}",
-                    backend.name(),
-                    out.stage_one.as_secs_f64(),
-                    out.score
-                );
+                runs.push(Value::object([
+                    ("backend".to_string(), Value::from(backend.name())),
+                    ("threads".to_string(), Value::from(threads)),
+                    (
+                        "stage_one_seconds".to_string(),
+                        Value::from(out.stage_one.as_secs_f64()),
+                    ),
+                    ("sync_points".to_string(), Value::from(sync)),
+                    ("score".to_string(), Value::from(out.score)),
+                ]));
             }
         }
         println!("{}", table.render());
-        json.push_str("\n    ]}");
-        json.push_str(if i + 1 < inputs.len() { ",\n" } else { "\n" });
+        input_docs.push(Value::object([
+            ("name".to_string(), Value::from(*name)),
+            ("arcs".to_string(), Value::from(rows)),
+            ("row_barriers".to_string(), Value::from(rows)),
+            ("wavefront_levels".to_string(), Value::from(levels)),
+            ("runs".to_string(), Value::Array(runs)),
+        ]));
     }
-    json.push_str("  ]\n}\n");
 
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(&out_path, &json) {
+    let doc = emit::envelope(
+        "barriers",
+        [
+            ("reps".to_string(), Value::from(reps)),
+            ("inputs".to_string(), Value::Array(input_docs)),
+        ],
+    );
+    match emit::write_artifact(&out_path, &doc) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }

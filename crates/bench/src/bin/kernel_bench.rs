@@ -30,17 +30,17 @@
 //! version of that claim).
 //!
 //! Results go to stdout (table) and to `--out` (default
-//! `crates/bench/results/BENCH_kernel.json`). `--quick` shrinks the
-//! inputs and drops to 1 rep for smoke runs (CI).
-
-use std::fmt::Write as _;
+//! `crates/bench/results/BENCH_kernel.json`) through the shared
+//! [`mcos_bench::emit`] envelope. `--quick` shrinks the inputs and
+//! drops to 1 rep for smoke runs (CI).
 
 use load_balance::Policy;
-use mcos_bench::{opt_value, secs, Table};
+use mcos_bench::{emit, opt_value, secs, Table};
 use mcos_core::kernel::KernelKind;
 use mcos_core::preprocess::Preprocessed;
 use mcos_core::srna2;
 use mcos_parallel::{prna, Backend, PrnaConfig};
+use mcos_telemetry::json::Value;
 use rna_structure::ArcStructure;
 
 fn main() {
@@ -69,26 +69,18 @@ fn main() {
     };
     let threads: u32 = if quick { 2 } else { 4 };
 
-    let mut json = format!(
-        "{{\n  \"experiment\": \"kernel\",\n  \"simd\": {},\n  \"reps\": {reps},\n  \
-         \"inputs\": [\n",
-        cfg!(feature = "simd"),
-    );
-    for (i, (name, s)) in inputs.iter().enumerate() {
+    let mut input_docs: Vec<Value> = Vec::new();
+    for (name, s) in &inputs {
         let p = Preprocessed::build(s);
         println!("\n=== {name} ({} arcs) ===", p.num_arcs());
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"arcs\": {}, \"single_thread\": [",
-            p.num_arcs()
-        );
 
         // Single-thread sweep: the sequential SRNA2 driver with each
         // kernel dispatched for every slice (stage one + stage two).
+        let mut single: Vec<Value> = Vec::new();
         let mut table = Table::new(&["kernel", "total (s)", "Mcells/s", "vs scalar"]);
         let mut scalar_time = f64::NAN;
         let mut score = None;
-        for (k, kind) in KernelKind::ALL.into_iter().enumerate() {
+        for kind in KernelKind::ALL {
             let mut best = f64::INFINITY;
             let mut cells = 0u64;
             for _ in 0..reps {
@@ -113,28 +105,27 @@ fn main() {
                 format!("{rate:.1}"),
                 format!("{:.2}x", scalar_time / best),
             ]);
-            let _ = writeln!(
-                json,
-                "      {{\"kernel\": \"{}\", \"seconds\": {best:.6}, \"cells\": {cells}, \
-                 \"cells_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.4}}}{}",
-                kind.name(),
-                cells as f64 / best,
-                scalar_time / best,
-                if k + 1 < KernelKind::ALL.len() {
-                    ","
-                } else {
-                    ""
-                },
-            );
+            single.push(Value::object([
+                ("kernel".to_string(), Value::from(kind.name())),
+                ("seconds".to_string(), Value::from(best)),
+                ("cells".to_string(), Value::from(cells)),
+                (
+                    "cells_per_sec".to_string(),
+                    Value::from(cells as f64 / best),
+                ),
+                (
+                    "speedup_vs_scalar".to_string(),
+                    Value::from(scalar_time / best),
+                ),
+            ]));
         }
         println!("single-thread (sequential SRNA2 driver):");
         println!("{}", table.render());
 
         // Composed sweep: every legacy backend at a fixed thread count,
         // per kernel — the kernel choice must survive the barriers.
-        json.push_str("    ], \"parallel\": [\n");
+        let mut parallel: Vec<Value> = Vec::new();
         let mut table = Table::new(&["backend", "kernel", "stage1 (s)"]);
-        let mut first = true;
         for backend in Backend::ALL {
             for kind in KernelKind::ALL {
                 let config = PrnaConfig {
@@ -159,30 +150,33 @@ fn main() {
                     kind.name().to_string(),
                     format!("{best:.6}"),
                 ]);
-                if !first {
-                    json.push_str(",\n");
-                }
-                first = false;
-                let _ = write!(
-                    json,
-                    "      {{\"backend\": \"{}\", \"kernel\": \"{}\", \"threads\": {threads}, \
-                     \"stage_one_seconds\": {best:.6}}}",
-                    backend.name(),
-                    kind.name(),
-                );
+                parallel.push(Value::object([
+                    ("backend".to_string(), Value::from(backend.name())),
+                    ("kernel".to_string(), Value::from(kind.name())),
+                    ("threads".to_string(), Value::from(threads)),
+                    ("stage_one_seconds".to_string(), Value::from(best)),
+                ]));
             }
         }
         println!("parallel stage one ({threads} threads):");
         println!("{}", table.render());
-        json.push_str("\n    ]}");
-        json.push_str(if i + 1 < inputs.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
 
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
+        input_docs.push(Value::object([
+            ("name".to_string(), Value::from(*name)),
+            ("arcs".to_string(), Value::from(p.num_arcs())),
+            ("single_thread".to_string(), Value::Array(single)),
+            ("parallel".to_string(), Value::Array(parallel)),
+        ]));
     }
-    match std::fs::write(&out_path, &json) {
+
+    let doc = emit::envelope(
+        "kernel",
+        [
+            ("reps".to_string(), Value::from(reps)),
+            ("inputs".to_string(), Value::Array(input_docs)),
+        ],
+    );
+    match emit::write_artifact(&out_path, &doc) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }

@@ -24,16 +24,16 @@
 //! disabled) for the zero-cost claim.
 //!
 //! Results go to stdout (table) and to `--out` (default
-//! `crates/bench/results/BENCH_profile.json`). `--quick` shrinks the
-//! inputs for smoke runs (CI).
-
-use std::fmt::Write as _;
+//! `crates/bench/results/BENCH_profile.json`) through the shared
+//! [`mcos_bench::emit`] envelope. `--quick` shrinks the inputs for
+//! smoke runs (CI).
 
 use load_balance::Policy;
-use mcos_bench::{opt_value, Table};
+use mcos_bench::{emit, opt_value, Table};
 use mcos_core::preprocess::Preprocessed;
 use mcos_core::workload;
 use mcos_parallel::{prna_recorded, Backend, PrnaConfig};
+use mcos_telemetry::json::Value;
 use mcos_telemetry::report::{GrahamComparison, LoadReport};
 use mcos_telemetry::Recorder;
 use rna_structure::ArcStructure;
@@ -61,16 +61,12 @@ fn main() {
     };
     let thread_counts: &[u32] = if quick { &[2] } else { &[2, 4, 8] };
 
-    let mut json = String::from("{\n  \"experiment\": \"profile\",\n  \"inputs\": [\n");
-    for (i, (name, s)) in inputs.iter().enumerate() {
+    let mut input_docs: Vec<Value> = Vec::new();
+    for (name, s) in &inputs {
         let p = Preprocessed::build(s);
         let weights = workload::column_weights(&p, &p);
         println!("\n=== {name} ({} arcs) ===", p.num_arcs());
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"arcs\": {}, \"runs\": [",
-            p.num_arcs()
-        );
+        let mut runs: Vec<Value> = Vec::new();
 
         let mut table = Table::new(&[
             "threads",
@@ -82,7 +78,6 @@ fn main() {
             "predicted",
             "events",
         ]);
-        let mut first_run = true;
         for &threads in thread_counts {
             for backend in Backend::ALL {
                 let config = PrnaConfig {
@@ -109,51 +104,71 @@ fn main() {
                     format!("{:.3}", graham.imbalance),
                     events.len().to_string(),
                 ]);
-                if !first_run {
-                    json.push_str(",\n");
-                }
-                first_run = false;
-                let _ = write!(
-                    json,
-                    "      {{\"backend\": \"{}\", \"threads\": {threads}, \
-                     \"stage_one_seconds\": {:.6}, \"score\": {}, \
-                     \"busy_fraction\": {:.6}, \"wait_fraction\": {:.6}, \
-                     \"observed_imbalance\": {:.6}, \"predicted_imbalance\": {:.6}, \
-                     \"graham_bound_factor\": {:.6}, \"events\": {}, \
-                     \"slices\": {}, \"cells\": {}, \"max_cells_per_slice\": {}, \
-                     \"barriers\": {}, \"settled_reads\": {}, \
-                     \"allreduce_calls\": {}, \"allreduce_rounds\": {}, \
-                     \"allreduce_bytes\": {}}}",
-                    backend.name(),
-                    out.stage_one.as_secs_f64(),
-                    out.score,
-                    report.busy_fraction(),
-                    report.wait_fraction(),
-                    report.observed_imbalance(),
-                    graham.imbalance,
-                    graham.bound_factor,
-                    events.len(),
-                    c.slices,
-                    c.cells,
-                    c.max_cells_per_slice,
-                    c.barriers,
-                    c.settled_reads,
-                    c.allreduce_calls,
-                    c.allreduce_rounds,
-                    c.allreduce_bytes,
-                );
+                runs.push(Value::object([
+                    ("backend".to_string(), Value::from(backend.name())),
+                    ("threads".to_string(), Value::from(threads)),
+                    (
+                        "stage_one_seconds".to_string(),
+                        Value::from(out.stage_one.as_secs_f64()),
+                    ),
+                    ("score".to_string(), Value::from(out.score)),
+                    (
+                        "busy_fraction".to_string(),
+                        Value::from(report.busy_fraction()),
+                    ),
+                    (
+                        "wait_fraction".to_string(),
+                        Value::from(report.wait_fraction()),
+                    ),
+                    (
+                        "observed_imbalance".to_string(),
+                        Value::from(report.observed_imbalance()),
+                    ),
+                    (
+                        "predicted_imbalance".to_string(),
+                        Value::from(graham.imbalance),
+                    ),
+                    (
+                        "graham_bound_factor".to_string(),
+                        Value::from(graham.bound_factor),
+                    ),
+                    ("events".to_string(), Value::from(events.len())),
+                    ("slices".to_string(), Value::from(c.slices)),
+                    ("cells".to_string(), Value::from(c.cells)),
+                    (
+                        "max_cells_per_slice".to_string(),
+                        Value::from(c.max_cells_per_slice),
+                    ),
+                    ("barriers".to_string(), Value::from(c.barriers)),
+                    ("settled_reads".to_string(), Value::from(c.settled_reads)),
+                    (
+                        "allreduce_calls".to_string(),
+                        Value::from(c.allreduce_calls),
+                    ),
+                    (
+                        "allreduce_rounds".to_string(),
+                        Value::from(c.allreduce_rounds),
+                    ),
+                    (
+                        "allreduce_bytes".to_string(),
+                        Value::from(c.allreduce_bytes),
+                    ),
+                ]));
             }
         }
         println!("{}", table.render());
-        json.push_str("\n    ]}");
-        json.push_str(if i + 1 < inputs.len() { ",\n" } else { "\n" });
+        input_docs.push(Value::object([
+            ("name".to_string(), Value::from(*name)),
+            ("arcs".to_string(), Value::from(p.num_arcs())),
+            ("runs".to_string(), Value::Array(runs)),
+        ]));
     }
-    json.push_str("  ]\n}\n");
 
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(&out_path, &json) {
+    let doc = emit::envelope(
+        "profile",
+        [("inputs".to_string(), Value::Array(input_docs))],
+    );
+    match emit::write_artifact(&out_path, &doc) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }

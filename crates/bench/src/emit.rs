@@ -1,0 +1,99 @@
+//! Shared JSON artifact emission for the experiment binaries.
+//!
+//! Every bench bin used to hand-roll its JSON with `format!` chains;
+//! they now build a [`Value`] tree and emit through this module, so all
+//! artifacts carry the same schema-versioned envelope:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "<name>",
+//!   "env": { "os": ..., "arch": ..., "cpus": ..., "simd": ...,
+//!            "debug_assertions": ... },
+//!   ...experiment-specific members...
+//! }
+//! ```
+//!
+//! The emitter is `mcos_telemetry::json` — the same grammar the schema
+//! tests parse, so every artifact round-trips by construction.
+
+use mcos_telemetry::json::Value;
+
+/// Version of the shared envelope (`schema_version` member). Bump when
+/// the envelope itself — not an experiment's body — changes shape.
+pub const ENVELOPE_SCHEMA_VERSION: u64 = 1;
+
+/// The environment fingerprint embedded in every artifact: enough to
+/// tell two machines (or build configurations) apart when comparing
+/// trajectories, without anything volatile like hostnames.
+pub fn env_fingerprint() -> Value {
+    Value::object([
+        ("os".to_string(), Value::from(std::env::consts::OS)),
+        ("arch".to_string(), Value::from(std::env::consts::ARCH)),
+        (
+            "cpus".to_string(),
+            Value::from(
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1),
+            ),
+        ),
+        ("simd".to_string(), Value::from(cfg!(feature = "simd"))),
+        (
+            "debug_assertions".to_string(),
+            Value::from(cfg!(debug_assertions)),
+        ),
+    ])
+}
+
+/// Wraps experiment-specific members in the standard envelope.
+pub fn envelope(experiment: &str, body: impl IntoIterator<Item = (String, Value)>) -> Value {
+    let mut members = vec![
+        (
+            "schema_version".to_string(),
+            Value::from(ENVELOPE_SCHEMA_VERSION),
+        ),
+        ("experiment".to_string(), Value::from(experiment)),
+        ("env".to_string(), env_fingerprint()),
+    ];
+    members.extend(body);
+    Value::Object(members)
+}
+
+/// Writes `doc` pretty-printed to `path`, creating parent directories.
+pub fn write_artifact(path: &str, doc: &Value) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, doc.to_json_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_telemetry::json;
+
+    #[test]
+    fn envelope_has_the_standard_members_in_order() {
+        let doc = envelope("kernel", [("inputs".to_string(), Value::Array(vec![]))]);
+        let Value::Object(members) = &doc else {
+            panic!("envelope must be an object")
+        };
+        let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["schema_version", "experiment", "env", "inputs"]);
+        assert_eq!(
+            doc.get("schema_version").and_then(Value::as_f64),
+            Some(ENVELOPE_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            doc.get("experiment").and_then(Value::as_str),
+            Some("kernel")
+        );
+        let env = doc.get("env").expect("env");
+        for key in ["os", "arch", "cpus", "simd", "debug_assertions"] {
+            assert!(env.get(key).is_some(), "env.{key} missing");
+        }
+        // Emitted envelope re-parses.
+        assert_eq!(json::parse(&doc.to_json_pretty()).expect("parse"), doc);
+    }
+}

@@ -1,0 +1,797 @@
+//! The bench-trajectory regression harness behind `srna bench`.
+//!
+//! One entry point runs the declared suites — kernel rates, barrier
+//! ablation, an engine-matrix spot sweep — on **fixed** small workloads
+//! (quick and full mode differ only in repetitions, so metric names
+//! never drift between modes), and emits one schema-versioned
+//! [`BenchArtifact`] per suite: `BENCH_kernel.json`,
+//! `BENCH_barriers.json`, `BENCH_matrix.json` at the repo root.
+//!
+//! [`check`] compares a fresh artifact against a committed baseline
+//! with per-metric tolerances. Metrics declare how they regress:
+//!
+//! * [`MetricKind::Exact`] — must match to the bit (scores, slice and
+//!   cell counts, sync points: deterministic functions of the input,
+//!   so any drift is a correctness or schema change);
+//! * [`MetricKind::LowerIsBetter`] — wall-clock style; fails when
+//!   `fresh > base × (1 + tolerance × slack)`;
+//! * [`MetricKind::HigherIsBetter`] — throughput/speedup style; fails
+//!   when `fresh < base ÷ (1 + tolerance × slack)`;
+//! * [`MetricKind::Info`] — recorded for the trajectory, never gates.
+//!
+//! `slack` scales every relative tolerance at once: CI passes a
+//! generous value to absorb shared-runner noise, while the teeth tests
+//! run at `slack = 1` and prove an injected 2× slowdown fails.
+//! Schema drift — a baseline gating metric missing from the fresh run,
+//! or a `schema_version`/suite mismatch — always fails regardless of
+//! slack.
+
+use crate::emit;
+use load_balance::Policy;
+use mcos_core::kernel::KernelKind;
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::srna2;
+use mcos_parallel::{prna, prna_recorded, wavefront, Backend, PrnaConfig, ScheduleKind};
+use mcos_telemetry::json::{self, Value};
+use mcos_telemetry::metrics::{self, valid_metric_name, Registry};
+use mcos_telemetry::Recorder;
+use rna_structure::{generate, ArcStructure};
+
+/// Version of the harness artifact schema (the `suite`/`metrics`
+/// members inside the shared envelope). Bump on shape changes; `check`
+/// refuses to compare across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// How a metric gates in [`check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Deterministic — must match exactly.
+    Exact,
+    /// Wall-clock style — regression is an increase.
+    LowerIsBetter,
+    /// Throughput style — regression is a decrease.
+    HigherIsBetter,
+    /// Trajectory-only — never gates.
+    Info,
+}
+
+impl MetricKind {
+    /// Stable label used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Exact => "exact",
+            MetricKind::LowerIsBetter => "lower_is_better",
+            MetricKind::HigherIsBetter => "higher_is_better",
+            MetricKind::Info => "info",
+        }
+    }
+
+    /// Parses an artifact label.
+    pub fn from_name(name: &str) -> Option<MetricKind> {
+        match name {
+            "exact" => Some(MetricKind::Exact),
+            "lower_is_better" => Some(MetricKind::LowerIsBetter),
+            "higher_is_better" => Some(MetricKind::HigherIsBetter),
+            "info" => Some(MetricKind::Info),
+            _ => None,
+        }
+    }
+}
+
+/// One measured quantity in a suite artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted lowercase name (validated against the telemetry schema).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label (`s`, `cells`, `ratio`, …), informational.
+    pub unit: String,
+    /// How the metric gates.
+    pub kind: MetricKind,
+    /// Relative tolerance for the gating kinds (ignored for
+    /// `Exact`/`Info`).
+    pub tolerance: f64,
+}
+
+impl Metric {
+    fn new(name: impl Into<String>, value: f64, unit: &str, kind: MetricKind, tol: f64) -> Metric {
+        let name = name.into();
+        debug_assert!(valid_metric_name(&name), "bad metric name {name:?}");
+        Metric {
+            name,
+            value,
+            unit: unit.to_string(),
+            kind,
+            tolerance: tol,
+        }
+    }
+
+    /// An exact-match metric.
+    pub fn exact(name: impl Into<String>, value: f64, unit: &str) -> Metric {
+        Metric::new(name, value, unit, MetricKind::Exact, 0.0)
+    }
+
+    /// A lower-is-better metric with relative `tolerance`.
+    pub fn lower(name: impl Into<String>, value: f64, unit: &str, tolerance: f64) -> Metric {
+        Metric::new(name, value, unit, MetricKind::LowerIsBetter, tolerance)
+    }
+
+    /// A higher-is-better metric with relative `tolerance`.
+    pub fn higher(name: impl Into<String>, value: f64, unit: &str, tolerance: f64) -> Metric {
+        Metric::new(name, value, unit, MetricKind::HigherIsBetter, tolerance)
+    }
+
+    /// A trajectory-only metric.
+    pub fn info(name: impl Into<String>, value: f64, unit: &str) -> Metric {
+        Metric::new(name, value, unit, MetricKind::Info, 0.0)
+    }
+}
+
+/// One suite's schema-versioned result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Suite name (`kernel`, `barriers`, `matrix`).
+    pub suite: String,
+    /// Measured metrics, in declaration order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchArtifact {
+    /// The metric named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes into the shared envelope.
+    pub fn to_json(&self) -> Value {
+        emit::envelope(
+            "bench",
+            [
+                (
+                    "bench_schema_version".to_string(),
+                    Value::from(SCHEMA_VERSION),
+                ),
+                ("suite".to_string(), Value::from(self.suite.as_str())),
+                (
+                    "metrics".to_string(),
+                    Value::Array(
+                        self.metrics
+                            .iter()
+                            .map(|m| {
+                                Value::object([
+                                    ("name".to_string(), Value::from(m.name.as_str())),
+                                    ("value".to_string(), Value::from(m.value)),
+                                    ("unit".to_string(), Value::from(m.unit.as_str())),
+                                    ("kind".to_string(), Value::from(m.kind.name())),
+                                    ("tolerance".to_string(), Value::from(m.tolerance)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// Writes the artifact to `path` (pretty-printed, parent dirs
+    /// created).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        emit::write_artifact(path, &self.to_json())
+    }
+
+    /// Parses an artifact document, validating the schema version.
+    pub fn parse(text: &str) -> Result<BenchArtifact, String> {
+        let doc = json::parse(text)?;
+        let version = doc
+            .get("bench_schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("missing bench_schema_version")?;
+        if version != SCHEMA_VERSION as f64 {
+            return Err(format!(
+                "bench schema version mismatch: artifact {version}, harness {SCHEMA_VERSION}"
+            ));
+        }
+        let suite = doc
+            .get("suite")
+            .and_then(Value::as_str)
+            .ok_or("missing suite")?
+            .to_string();
+        let metrics = doc
+            .get("metrics")
+            .and_then(Value::as_array)
+            .ok_or("missing metrics array")?
+            .iter()
+            .map(|m| {
+                let name = m
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("metric missing name")?
+                    .to_string();
+                let value = m
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("metric {name} missing value"))?;
+                let unit = m
+                    .get("unit")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let kind = m
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .and_then(MetricKind::from_name)
+                    .ok_or_else(|| format!("metric {name} has unknown kind"))?;
+                let tolerance = m.get("tolerance").and_then(Value::as_f64).unwrap_or(0.0);
+                Ok(Metric {
+                    name,
+                    value,
+                    unit,
+                    kind,
+                    tolerance,
+                })
+            })
+            .collect::<Result<Vec<Metric>, String>>()?;
+        Ok(BenchArtifact { suite, metrics })
+    }
+}
+
+/// Result of comparing a fresh artifact against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Gating metrics compared.
+    pub compared: usize,
+    /// Hard failures (regressions, exact drift, schema drift).
+    pub failures: Vec<String>,
+    /// Non-gating observations (new metrics, info deltas).
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} gating metric(s) compared, {} failure(s)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.compared,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAIL {f}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note {n}");
+        }
+        out
+    }
+}
+
+/// Compares `fresh` against `baseline`. `slack ≥ 1` scales every
+/// relative tolerance (CI uses a generous value); exact metrics and
+/// schema drift ignore slack entirely.
+pub fn check(fresh: &BenchArtifact, baseline: &BenchArtifact, slack: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    let slack = slack.max(1.0);
+    if fresh.suite != baseline.suite {
+        report.failures.push(format!(
+            "suite mismatch: fresh {:?}, baseline {:?}",
+            fresh.suite, baseline.suite
+        ));
+        return report;
+    }
+    for base in &baseline.metrics {
+        let Some(new) = fresh.get(&base.name) else {
+            if base.kind != MetricKind::Info {
+                report.failures.push(format!(
+                    "schema drift: baseline metric {} missing from fresh run",
+                    base.name
+                ));
+            } else {
+                report
+                    .notes
+                    .push(format!("info metric {} no longer emitted", base.name));
+            }
+            continue;
+        };
+        if new.kind != base.kind {
+            report.failures.push(format!(
+                "schema drift: {} changed kind {} -> {}",
+                base.name,
+                base.kind.name(),
+                new.kind.name()
+            ));
+            continue;
+        }
+        match base.kind {
+            MetricKind::Info => {}
+            MetricKind::Exact => {
+                report.compared += 1;
+                if (new.value - base.value).abs() > 1e-9 {
+                    report.failures.push(format!(
+                        "{}: expected {} exactly, got {}",
+                        base.name, base.value, new.value
+                    ));
+                }
+            }
+            MetricKind::LowerIsBetter => {
+                report.compared += 1;
+                let limit = base.value * (1.0 + base.tolerance * slack);
+                if new.value > limit {
+                    report.failures.push(format!(
+                        "{}: {} {} exceeds {} {} (+{:.0}% tolerance at slack {slack})",
+                        base.name,
+                        new.value,
+                        new.unit,
+                        limit,
+                        base.unit,
+                        base.tolerance * slack * 100.0
+                    ));
+                }
+            }
+            MetricKind::HigherIsBetter => {
+                report.compared += 1;
+                let limit = base.value / (1.0 + base.tolerance * slack);
+                if new.value < limit {
+                    report.failures.push(format!(
+                        "{}: {} {} below {} {} (-{:.0}% tolerance at slack {slack})",
+                        base.name,
+                        new.value,
+                        new.unit,
+                        limit,
+                        base.unit,
+                        base.tolerance * slack * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for new in &fresh.metrics {
+        if baseline.get(&new.name).is_none() {
+            report
+                .notes
+                .push(format!("new metric {} (not in baseline)", new.name));
+        }
+    }
+    report
+}
+
+/// Suite selection and repetition count. Workloads are fixed; `reps`
+/// is the only quick/full difference.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Repetitions per timed configuration (fastest wins).
+    pub reps: u32,
+}
+
+impl SuiteConfig {
+    /// One rep — CI smoke and `--quick`.
+    pub fn quick() -> SuiteConfig {
+        SuiteConfig { reps: 1 }
+    }
+
+    /// Three reps — local baseline regeneration.
+    pub fn full() -> SuiteConfig {
+        SuiteConfig { reps: 3 }
+    }
+}
+
+/// The declared suites, in run order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Per-kernel sequential tabulation rates.
+    Kernel,
+    /// Row-barrier vs wavefront schedule costs.
+    Barriers,
+    /// Engine-matrix spot sweep with recorded counters.
+    Matrix,
+}
+
+impl Suite {
+    /// Every suite.
+    pub const ALL: [Suite; 3] = [Suite::Kernel, Suite::Barriers, Suite::Matrix];
+
+    /// Suite name used in artifacts and `--suite`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Kernel => "kernel",
+            Suite::Barriers => "barriers",
+            Suite::Matrix => "matrix",
+        }
+    }
+
+    /// Parses a `--suite` argument.
+    pub fn from_name(name: &str) -> Option<Suite> {
+        Suite::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The committed artifact filename for this suite
+    /// (`BENCH_<suite>.json`).
+    pub fn artifact_name(self) -> String {
+        format!("BENCH_{}.json", self.name())
+    }
+
+    /// Runs the suite.
+    pub fn run(self, cfg: SuiteConfig) -> BenchArtifact {
+        match self {
+            Suite::Kernel => run_kernel_suite(cfg),
+            Suite::Barriers => run_barrier_suite(cfg),
+            Suite::Matrix => run_matrix_suite(cfg),
+        }
+    }
+}
+
+/// Metric-name segment: backend/kernel/input display names use dashes,
+/// the metric schema does not.
+fn seg(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// The fixed suite workloads: small enough for CI, shaped to pull the
+/// schedules apart (fully nested vs wide-and-shallow).
+fn suite_inputs() -> Vec<(&'static str, ArcStructure)> {
+    vec![
+        ("worst_case", generate::worst_case_nested(48)),
+        ("hairpin_chain", generate::hairpin_chain(40, 3, 2)),
+    ]
+}
+
+/// Kernel rates: every slice kernel through the sequential driver on
+/// each input. Cell counts and scores are exact; the tiled/four-russians
+/// speedup ratio over scalar gates at ±50% — an injected 2× slowdown of
+/// one kernel halves its ratio and fails the check at `slack = 1`.
+pub fn run_kernel_suite(cfg: SuiteConfig) -> BenchArtifact {
+    let mut metrics = Vec::new();
+    for (input, s) in suite_inputs() {
+        let p = Preprocessed::build(&s);
+        let mut scalar_time = f64::INFINITY;
+        let mut score: Option<u32> = None;
+        for kind in KernelKind::ALL {
+            let mut best = f64::INFINITY;
+            let mut cells = 0u64;
+            for _ in 0..cfg.reps.max(1) {
+                let (out, d) = crate::time(|| srna2::run_preprocessed_with_kernel(&p, &p, kind));
+                best = best.min(d.as_secs_f64());
+                cells = out.counters.cells;
+                match score {
+                    None => score = Some(out.score),
+                    Some(sc) => assert_eq!(sc, out.score, "{input}: kernel diverged"),
+                }
+            }
+            if kind == KernelKind::Scalar {
+                scalar_time = best;
+            }
+            let prefix = format!("kernel.{input}.{}", seg(kind.name()));
+            metrics.push(Metric::lower(format!("{prefix}.seconds"), best, "s", 3.0));
+            metrics.push(Metric::exact(
+                format!("{prefix}.cells"),
+                cells as f64,
+                "cells",
+            ));
+            metrics.push(Metric::info(
+                format!("{prefix}.cells_per_sec"),
+                cells as f64 / best,
+                "cells/s",
+            ));
+            if kind != KernelKind::Scalar {
+                metrics.push(Metric::higher(
+                    format!("{prefix}.speedup_vs_scalar"),
+                    scalar_time / best,
+                    "ratio",
+                    0.5,
+                ));
+            }
+        }
+        metrics.push(Metric::exact(
+            format!("kernel.{input}.score"),
+            f64::from(score.unwrap_or(0)),
+            "score",
+        ));
+    }
+    BenchArtifact {
+        suite: Suite::Kernel.name().to_string(),
+        metrics,
+    }
+}
+
+/// Barrier ablation: the row-barrier pool vs the level wavefront at two
+/// threads. Sync-point counts and scores are exact (pure functions of
+/// the input); stage-one times ride along with a loose gate.
+pub fn run_barrier_suite(cfg: SuiteConfig) -> BenchArtifact {
+    let backends = [Backend::WORKER_POOL, Backend::WAVEFRONT];
+    let mut metrics = Vec::new();
+    for (input, s) in suite_inputs() {
+        let p = Preprocessed::build(&s);
+        for backend in backends {
+            let config = PrnaConfig {
+                processors: 2,
+                policy: Policy::Greedy,
+                backend,
+                ..PrnaConfig::default()
+            };
+            let mut out = prna(&s, &s, &config);
+            for _ in 1..cfg.reps.max(1) {
+                let rerun = prna(&s, &s, &config);
+                assert_eq!(rerun.score, out.score, "nondeterministic score");
+                if rerun.stage_one < out.stage_one {
+                    out = rerun;
+                }
+            }
+            let sync_points = match backend.schedule {
+                ScheduleKind::Level => wavefront::num_levels(&p, &p),
+                ScheduleKind::Row => p.num_arcs(),
+            };
+            let prefix = format!("barriers.{input}.{}", seg(backend.name()));
+            metrics.push(Metric::exact(
+                format!("{prefix}.sync_points"),
+                f64::from(sync_points),
+                "barriers",
+            ));
+            metrics.push(Metric::exact(
+                format!("{prefix}.score"),
+                f64::from(out.score),
+                "score",
+            ));
+            metrics.push(Metric::lower(
+                format!("{prefix}.stage_one_seconds"),
+                out.stage_one.as_secs_f64(),
+                "s",
+                3.0,
+            ));
+        }
+    }
+    BenchArtifact {
+        suite: Suite::Barriers.name().to_string(),
+        metrics,
+    }
+}
+
+/// Engine-matrix spot sweep: six compositions covering every schedule,
+/// store, and distribution, with the recorder on. Counter totals come
+/// through the unified metrics registry and gate exactly — a schedule
+/// or store change that alters what runs is caught deterministically,
+/// independent of machine speed.
+pub fn run_matrix_suite(cfg: SuiteConfig) -> BenchArtifact {
+    let spot = [
+        "mpi-sim",
+        "rayon",
+        "row-lockfree-managed",
+        "wavefront-replicated-claim",
+        "wavefront-rwlock-managed",
+        "wavefront-lockfree",
+    ];
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    let mut metrics = Vec::new();
+    for name in spot {
+        let backend =
+            Backend::from_name(name).unwrap_or_else(|| panic!("unknown spot backend {name}"));
+        let config = PrnaConfig {
+            processors: 2,
+            policy: Policy::Greedy,
+            backend,
+            ..PrnaConfig::default()
+        };
+        let recorder = Recorder::enabled();
+        let mut out = prna_recorded(&s1, &s2, &config, &recorder);
+        for _ in 1..cfg.reps.max(1) {
+            let rerun = prna(&s1, &s2, &config);
+            assert_eq!(rerun.score, out.score, "nondeterministic score");
+            if rerun.stage_one < out.stage_one {
+                out.stage_one = rerun.stage_one;
+            }
+        }
+        // Publish through the registry: the suite reads the same stable
+        // names every other reporter uses.
+        let registry = Registry::new();
+        metrics::publish_run(
+            &registry,
+            &recorder.events(),
+            &recorder.counters(),
+            out.stage_one.as_nanos() as u64,
+        )
+        .unwrap_or_else(|e| panic!("metrics registry rejected the run: {e}"));
+        let snap = registry.snapshot();
+        let slices = snap
+            .counter(metrics::names::ENGINE_SLICES_TOTAL)
+            .unwrap_or(0);
+        let cells = snap
+            .counter(metrics::names::ENGINE_CELLS_TOTAL)
+            .unwrap_or(0);
+        let prefix = format!("matrix.{}", seg(name));
+        metrics.push(Metric::exact(
+            format!("{prefix}.score"),
+            f64::from(out.score),
+            "score",
+        ));
+        metrics.push(Metric::exact(
+            format!("{prefix}.slices"),
+            slices as f64,
+            "slices",
+        ));
+        metrics.push(Metric::exact(
+            format!("{prefix}.cells"),
+            cells as f64,
+            "cells",
+        ));
+        metrics.push(Metric::info(
+            format!("{prefix}.stage_one_seconds"),
+            out.stage_one.as_secs_f64(),
+            "s",
+        ));
+    }
+    BenchArtifact {
+        suite: Suite::Matrix.name().to_string(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(metrics: Vec<Metric>) -> BenchArtifact {
+        BenchArtifact {
+            suite: "kernel".to_string(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(vec![
+            Metric::exact("kernel.a.cells", 100.0, "cells"),
+            Metric::lower("kernel.a.seconds", 0.5, "s", 3.0),
+            Metric::higher("kernel.a.speedup_vs_scalar", 2.0, "ratio", 0.5),
+            Metric::info("kernel.a.cells_per_sec", 200.0, "cells/s"),
+        ]);
+        let report = check(&a, &a, 1.0);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.compared, 3, "info metrics must not gate");
+    }
+
+    /// The teeth test: an injected 2× slowdown must fail the check at
+    /// slack 1 through the speedup-ratio gate.
+    #[test]
+    fn injected_two_x_slowdown_fails() {
+        let baseline = artifact(vec![
+            Metric::lower("kernel.a.seconds", 0.5, "s", 3.0),
+            Metric::higher("kernel.a.speedup_vs_scalar", 2.0, "ratio", 0.5),
+        ]);
+        let mut slowed = baseline.clone();
+        // A 2× slowdown of this kernel: time doubles, ratio halves.
+        for m in &mut slowed.metrics {
+            match m.kind {
+                MetricKind::LowerIsBetter => m.value *= 2.0,
+                MetricKind::HigherIsBetter => m.value /= 2.0,
+                _ => {}
+            }
+        }
+        let report = check(&slowed, &baseline, 1.0);
+        assert!(!report.passed());
+        // The ratio gate fires (2.0 → 1.0 < 2.0/1.5); the loose
+        // absolute-seconds backstop (tol 3.0) does not at only 2×.
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("speedup_vs_scalar")),
+            "{:?}",
+            report.failures
+        );
+        // A 5× slowdown also trips the seconds backstop.
+        let mut crawl = baseline.clone();
+        crawl.metrics[0].value *= 5.0;
+        let report = check(&crawl, &baseline, 1.0);
+        assert!(report.failures.iter().any(|f| f.contains("seconds")));
+    }
+
+    #[test]
+    fn exact_drift_fails_at_any_slack() {
+        let baseline = artifact(vec![Metric::exact("matrix.m.score", 40.0, "score")]);
+        let mut fresh = baseline.clone();
+        fresh.metrics[0].value = 41.0;
+        for slack in [1.0, 10.0, 1000.0] {
+            assert!(!check(&fresh, &baseline, slack).passed(), "slack {slack}");
+        }
+        assert!(check(&baseline, &baseline, 1.0).passed());
+    }
+
+    #[test]
+    fn schema_drift_is_a_failure_new_metrics_are_not() {
+        let baseline = artifact(vec![
+            Metric::exact("kernel.a.cells", 1.0, "cells"),
+            Metric::info("kernel.a.rate", 5.0, "cells/s"),
+        ]);
+        let fresh = artifact(vec![
+            Metric::exact("kernel.a.cells", 1.0, "cells"),
+            Metric::exact("kernel.b.cells", 2.0, "cells"),
+        ]);
+        let report = check(&fresh, &baseline, 100.0);
+        // Dropped info metric: note. New metric: note. No failures.
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.notes.len(), 2);
+
+        let dropped_gate = artifact(vec![Metric::info("kernel.a.rate", 5.0, "cells/s")]);
+        let report = check(&dropped_gate, &baseline, 100.0);
+        assert!(!report.passed(), "dropping a gating metric must fail");
+        assert!(report.failures[0].contains("schema drift"));
+    }
+
+    #[test]
+    fn kind_changes_and_suite_mismatches_fail() {
+        let baseline = artifact(vec![Metric::exact("kernel.a.cells", 1.0, "cells")]);
+        let fresh = artifact(vec![Metric::info("kernel.a.cells", 1.0, "cells")]);
+        assert!(!check(&fresh, &baseline, 1.0).passed());
+
+        let other = BenchArtifact {
+            suite: "matrix".to_string(),
+            metrics: vec![],
+        };
+        assert!(!check(&other, &baseline, 1.0).passed());
+    }
+
+    #[test]
+    fn slack_scales_relative_gates_only() {
+        let baseline = artifact(vec![Metric::lower("kernel.a.seconds", 1.0, "s", 0.5)]);
+        let mut fresh = baseline.clone();
+        fresh.metrics[0].value = 2.4;
+        // slack 1: limit 1.5 → fail; slack 3: limit 2.5 → pass.
+        assert!(!check(&fresh, &baseline, 1.0).passed());
+        assert!(check(&fresh, &baseline, 3.0).passed());
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_json() {
+        let a = artifact(vec![
+            Metric::exact("kernel.a.cells", 123.0, "cells"),
+            Metric::lower("kernel.a.seconds", 0.125, "s", 3.0),
+            Metric::higher("kernel.a.speedup_vs_scalar", 1.75, "ratio", 0.5),
+            Metric::info("kernel.a.cells_per_sec", 984.0, "cells/s"),
+        ]);
+        let text = a.to_json().to_json_pretty();
+        let back = BenchArtifact::parse(&text).expect("parse");
+        assert_eq!(back, a);
+        // Version guard: a bumped schema version refuses to parse.
+        let doctored = text.replace(
+            "\"bench_schema_version\": 1",
+            "\"bench_schema_version\": 99",
+        );
+        assert!(BenchArtifact::parse(&doctored)
+            .expect_err("must reject")
+            .contains("schema version"));
+    }
+
+    #[test]
+    fn suites_emit_valid_names_and_deterministic_exact_metrics() {
+        let cfg = SuiteConfig::quick();
+        for suite in Suite::ALL {
+            let a = suite.run(cfg);
+            assert_eq!(a.suite, suite.name());
+            assert!(!a.metrics.is_empty());
+            for m in &a.metrics {
+                assert!(valid_metric_name(&m.name), "{} invalid", m.name);
+                assert!(m.value.is_finite(), "{} not finite", m.name);
+            }
+            // Exact metrics are reproducible run to run.
+            let b = suite.run(cfg);
+            for m in &a.metrics {
+                if m.kind == MetricKind::Exact {
+                    let again = b.get(&m.name).expect("metric stable");
+                    assert_eq!(again.value, m.value, "{} drifted", m.name);
+                }
+            }
+            // And a self-check passes at slack 1 on everything exact
+            // (relative gates compare a to b, both real runs).
+            let report = check(&b, &a, 10.0);
+            assert!(report.passed(), "{}", report.render());
+        }
+    }
+}

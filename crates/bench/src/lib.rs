@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
+pub mod harness;
 pub mod paper;
 
 use std::time::{Duration, Instant};

@@ -1,8 +1,11 @@
 //! Subcommand implementations for the `srna` CLI.
 
 use load_balance::Policy;
+use mcos_bench::harness::{self, BenchArtifact, Suite, SuiteConfig};
 use mcos_core::{srna2, traceback, verify};
 use mcos_parallel::{prna, prna_recorded, Backend, KernelKind, PrnaConfig};
+use mcos_telemetry::critical_path::{self, Explanation, StallReport};
+use mcos_telemetry::json::Value;
 use mcos_telemetry::report::{GrahamComparison, LoadReport};
 use mcos_telemetry::{trace, CounterSnapshot, Recorder};
 use par_sim::Scheduling;
@@ -48,6 +51,32 @@ usage: srna <subcommand> [options]
       tabulation throughput (cells/sec), and work counters. With no
       files, profiles a generated hairpin-chain self-comparison.
       B defaults to A.
+  explain [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
+          [--backend NAME] [--kernel NAME] [--json] [--out PATH]
+      Explain a run's parallel performance: reconstructs the slice-DAG
+      critical path from measured per-slice costs (total work T1, span
+      T-inf, the Brent speedup ceiling T1/max(T1/p, T-inf)) and
+      attributes every worker's wall-clock to busy, dependency-wait,
+      barrier-wait, queue-empty, coordinator, and untracked buckets —
+      the buckets sum to each lane's measured wall exactly. Prints a
+      headline like \"observed 3.1x of a 4.6x ceiling; 22% of lost
+      time is level-wait on worker 3\". --json emits the
+      machine-readable twin (to stdout, or to --out PATH). With no
+      files, explains a generated hairpin-chain self-comparison.
+  bench [--quick] [--reps N] [--suite kernel,barriers,matrix]
+        [--out-dir DIR] [--check [BASELINE_DIR]] [--slack F]
+      Run the declared regression suites (kernel tabulation rates,
+      barrier-schedule ablation, engine-matrix spot sweep) on fixed
+      workloads and write schema-versioned BENCH_<suite>.json
+      artifacts to --out-dir (default '.'). With --check, write
+      BENCH_<suite>.fresh.json instead and compare against the
+      baselines in BASELINE_DIR (default: --out-dir): exact metrics
+      (scores, cell/slice counts, sync points) must match to the bit,
+      timing metrics get per-metric relative tolerances scaled by
+      --slack (default 1; CI uses a generous value). Any regression,
+      missing gating metric, or schema-version mismatch exits nonzero.
+      --quick drops to 1 repetition (same workloads, same metric
+      names).
   cluster <A> <B> <C> ... [--threshold 0.8] [--threads N]
       Pairwise MCOS similarity matrix and single-linkage clusters.
   draw <A> [--format db|ct|bpseq]
@@ -359,6 +388,197 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
     std::fs::write(out_path, trace::chrome_trace_json(&events))
         .map_err(|e| format!("{out_path}: {e}"))?;
     println!("wrote {out_path} (open in https://ui.perfetto.dev or chrome://tracing)");
+    Ok(())
+}
+
+/// `srna explain`.
+pub fn explain(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--format"
+            || a == "--threads"
+            || a == "--backend"
+            || a == "--kernel"
+            || a == "--out"
+        {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() > 2 {
+        return Err("explain takes at most two structure files".into());
+    }
+    let format = opt_value(args, "--format");
+    let (s1, s2) = match paths.len() {
+        // Same default workload as `profile`: many rows, few levels, so
+        // there is a real gap between the row and wavefront ceilings.
+        0 => {
+            let s = generate::hairpin_chain(20, 3, 2);
+            (s.clone(), s)
+        }
+        1 => {
+            let s = load(&paths[0], format)?;
+            (s.clone(), s)
+        }
+        _ => (load(&paths[0], format)?, load(&paths[1], format)?),
+    };
+    let threads: u32 = opt_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer"))
+        .transpose()?
+        .unwrap_or(4);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let backend = match opt_value(args, "--backend") {
+        Some(name) => Backend::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown backend '{name}' (expected <schedule>-<store>[-<dist>], e.g. \
+row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-worker)"
+            )
+        })?,
+        None => Backend::WORKER_POOL,
+    };
+    let kernel = parse_kernel(args)?;
+
+    let config = PrnaConfig {
+        processors: threads,
+        policy: Policy::Greedy,
+        backend,
+        kernel,
+    };
+    let recorder = Recorder::enabled();
+    let outcome = prna_recorded(&s1, &s2, &config, &recorder);
+    let events = recorder.events();
+
+    // The dependency relation of the measured DAG: slice (k1, k2)
+    // reads every cross-product child slice (c1, c2) with c1 nested
+    // under k1 and c2 under k2 (the recurrence's under_range).
+    let p1 = mcos_core::preprocess::Preprocessed::build(&s1);
+    let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
+    let costs = critical_path::slice_costs_from_events(&events);
+    let cp = critical_path::critical_path(&costs, |k1, k2, sink| {
+        let (lo1, hi1) = p1.under_range[k1 as usize];
+        let (lo2, hi2) = p2.under_range[k2 as usize];
+        for c1 in lo1..hi1 {
+            for c2 in lo2..hi2 {
+                sink(c1, c2);
+            }
+        }
+    });
+
+    let explanation = Explanation {
+        backend: backend.name().to_string(),
+        kernel: kernel.name().to_string(),
+        threads,
+        critical_path: cp,
+        wall_ns: outcome.stage_one.as_nanos() as u64,
+        stalls: StallReport::build(&events),
+    };
+
+    if has_flag(args, "--json") {
+        let text = explanation.to_json().to_json_pretty();
+        match opt_value(args, "--out") {
+            Some(path) => {
+                std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+    } else {
+        println!(
+            "MCOS score: {} matched arcs; stage one {:.3} ms",
+            outcome.score,
+            outcome.stage_one.as_secs_f64() * 1e3
+        );
+        print!("{}", explanation.render());
+    }
+    Ok(())
+}
+
+/// `srna bench`.
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let quick = has_flag(args, "--quick");
+    let mut cfg = if quick {
+        SuiteConfig::quick()
+    } else {
+        SuiteConfig::full()
+    };
+    if let Some(reps) = opt_value(args, "--reps") {
+        cfg.reps = reps.parse().map_err(|_| "--reps must be an integer")?;
+    }
+    let suites: Vec<Suite> = match opt_value(args, "--suite") {
+        None => Suite::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                Suite::from_name(name.trim())
+                    .ok_or_else(|| format!("unknown suite '{name}' (kernel, barriers, matrix)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let out_dir = opt_value(args, "--out-dir").unwrap_or(".");
+    let slack: f64 = opt_value(args, "--slack")
+        .map(|s| s.parse().map_err(|_| "--slack must be a number"))
+        .transpose()?
+        .unwrap_or(1.0);
+    // `--check` takes an optional baseline directory; without one the
+    // baselines are read from --out-dir (the committed layout).
+    let check_dir = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| match args.get(i + 1) {
+            Some(next) if !next.starts_with("--") => next.as_str(),
+            _ => out_dir,
+        });
+
+    let mut failed = false;
+    for suite in suites {
+        println!("suite {}: running ({} rep(s))...", suite.name(), cfg.reps);
+        let fresh = suite.run(cfg);
+        match check_dir {
+            None => {
+                let path = format!("{out_dir}/{}", suite.artifact_name());
+                fresh.write(&path).map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "suite {}: wrote {path} ({} metric(s))",
+                    suite.name(),
+                    fresh.metrics.len()
+                );
+            }
+            Some(base_dir) => {
+                let fresh_path = format!("{out_dir}/BENCH_{}.fresh.json", suite.name());
+                fresh
+                    .write(&fresh_path)
+                    .map_err(|e| format!("{fresh_path}: {e}"))?;
+                let base_path = format!("{base_dir}/{}", suite.artifact_name());
+                let text =
+                    std::fs::read_to_string(&base_path).map_err(|e| format!("{base_path}: {e}"))?;
+                let report = match BenchArtifact::parse(&text) {
+                    Ok(baseline) => harness::check(&fresh, &baseline, slack),
+                    // Schema drift in the baseline itself is a failure
+                    // with the same exit path as a regression.
+                    Err(e) => harness::CheckReport {
+                        compared: 0,
+                        failures: vec![format!("{base_path}: {e}")],
+                        notes: vec![],
+                    },
+                };
+                print!("suite {} vs {base_path}: {}", suite.name(), report.render());
+                failed |= !report.passed();
+            }
+        }
+    }
+    if failed {
+        return Err("bench check failed (see FAIL lines above)".into());
+    }
     Ok(())
 }
 
@@ -688,23 +908,34 @@ pub fn speedup(args: &[String]) -> Result<(), String> {
     };
     let curve = sim.speedup_curve(&procs, Scheduling::Static(Policy::Greedy), &model);
     if has_flag(args, "--json") {
-        let mut json = format!(
-            "{{\n  \"experiment\": \"speedup\",\n  \"input\": \"worst-case\",\n  \
-             \"arcs\": {arcs},\n  \"seconds_per_cell\": {spc:e},\n  \"points\": [\n"
+        let doc = mcos_bench::emit::envelope(
+            "speedup",
+            [
+                ("input".to_string(), Value::from("worst-case")),
+                ("arcs".to_string(), Value::from(arcs)),
+                ("seconds_per_cell".to_string(), Value::from(spc)),
+                (
+                    "points".to_string(),
+                    Value::Array(
+                        curve
+                            .iter()
+                            .map(|&(pr, sp)| {
+                                Value::object([
+                                    ("procs".to_string(), Value::from(pr)),
+                                    ("speedup".to_string(), Value::from(sp)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
         );
-        for (i, (pr, sp)) in curve.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\"procs\": {pr}, \"speedup\": {sp:.4}}}{}\n",
-                if i + 1 < curve.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("  ]\n}\n");
         match opt_value(args, "--out") {
             Some(path) => {
-                std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                mcos_bench::emit::write_artifact(path, &doc).map_err(|e| format!("{path}: {e}"))?;
                 println!("wrote {path}");
             }
-            None => print!("{json}"),
+            None => print!("{}", doc.to_json_pretty()),
         }
     } else {
         println!("worst case, {arcs} arcs; calibrated {spc:.3e} s/cell");

@@ -18,6 +18,13 @@
 //! * `srna profile [<A> [<B>]]` — run PRNA with telemetry enabled: write
 //!   a Chrome/Perfetto `trace.json` and print the per-worker load report
 //!   (busy/wait share, observed vs predicted imbalance) and counters.
+//! * `srna explain [<A> [<B>]]` — reconstruct the slice-DAG critical
+//!   path (T1, T∞, the Brent speedup ceiling) from a recorded run and
+//!   attribute every worker's wall-clock to stall buckets.
+//! * `srna bench` — run the declared regression suites on fixed
+//!   workloads, writing schema-versioned `BENCH_<suite>.json`
+//!   artifacts; `--check` compares against committed baselines with
+//!   per-metric tolerances and exits nonzero on regression.
 
 use std::process::ExitCode;
 
@@ -39,6 +46,8 @@ fn main() -> ExitCode {
         "draw" => commands::draw(rest),
         "analyze" => commands::analyze(rest),
         "profile" => commands::profile(rest),
+        "explain" => commands::explain(rest),
+        "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

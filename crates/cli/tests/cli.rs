@@ -319,3 +319,147 @@ fn cluster_needs_two_files() {
     let out = srna(&["cluster", "/tmp/only_one.db"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn explain_human_report_names_the_ceiling_and_buckets() {
+    let out = srna(&["explain", "--backend", "wavefront", "--threads", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("speedup ceiling"), "{text}");
+    assert!(text.contains("observed"), "{text}");
+    assert!(text.contains("per-worker wall-clock attribution"), "{text}");
+    assert!(text.contains("busy"), "{text}");
+}
+
+/// The acceptance identity, end to end: in the JSON twin every lane's
+/// six stall buckets sum to that lane's measured wall-clock exactly.
+#[test]
+fn explain_json_buckets_sum_to_wall() {
+    use mcos_telemetry::json::Value;
+    let out = srna(&[
+        "explain",
+        "--backend",
+        "worker-pool",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = mcos_telemetry::json::parse(&stdout(&out)).expect("json twin parses");
+    assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(
+        doc.get("backend").and_then(Value::as_str),
+        Some("worker-pool")
+    );
+    assert!(doc.get("t1_ns").and_then(Value::as_f64).expect("t1") > 0.0);
+    assert!(doc.get("ceiling").and_then(Value::as_f64).expect("ceiling") >= 1.0);
+    assert!(doc
+        .get("headline")
+        .and_then(Value::as_str)
+        .expect("headline")
+        .contains("ceiling"));
+    let workers = doc
+        .get("workers")
+        .and_then(Value::as_array)
+        .expect("workers");
+    // Coordinator lane + 2 workers.
+    assert_eq!(workers.len(), 3);
+    for w in workers {
+        let field = |name: &str| w.get(name).and_then(Value::as_f64).expect("field");
+        let sum = field("busy_ns")
+            + field("dependency_wait_ns")
+            + field("barrier_wait_ns")
+            + field("queue_empty_ns")
+            + field("coordinator_ns")
+            + field("untracked_ns");
+        assert_eq!(sum, field("wall_ns"), "lane {:?}", w.get("tid"));
+    }
+}
+
+/// `srna bench --check` passes against a just-written baseline and —
+/// the harness's teeth — exits nonzero once that baseline is doctored.
+#[test]
+fn bench_check_passes_fresh_and_fails_doctored_baseline() {
+    use mcos_bench::harness::{BenchArtifact, MetricKind};
+    let root = std::env::temp_dir().join(format!("srna_cli_bench_{}", std::process::id()));
+    let base_dir = root.join("base");
+    let fresh_dir = root.join("fresh");
+    std::fs::create_dir_all(&base_dir).expect("mkdir");
+    let base = base_dir.to_str().unwrap();
+
+    let out = srna(&["bench", "--quick", "--suite", "barriers", "--out-dir", base]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let baseline_path = base_dir.join("BENCH_barriers.json");
+    assert!(baseline_path.exists());
+
+    // Generous slack: exact metrics carry the comparison; the timing
+    // gates must absorb shared-runner noise.
+    let check_args = |fresh: &str| {
+        vec![
+            "bench".to_string(),
+            "--quick".to_string(),
+            "--suite".to_string(),
+            "barriers".to_string(),
+            "--out-dir".to_string(),
+            fresh.to_string(),
+            "--check".to_string(),
+            base.to_string(),
+            "--slack".to_string(),
+            "50".to_string(),
+        ]
+    };
+    let args = check_args(fresh_dir.to_str().unwrap());
+    let out = srna(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("PASS"), "{}", stdout(&out));
+    assert!(fresh_dir.join("BENCH_barriers.fresh.json").exists());
+
+    // Teeth: shift every exact metric in the baseline by one. A real
+    // regression that changes what ran must fail at any slack.
+    let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+    let mut doctored = BenchArtifact::parse(&text).expect("baseline parses");
+    let mut changed = 0;
+    for m in &mut doctored.metrics {
+        if m.kind == MetricKind::Exact {
+            m.value += 1.0;
+            changed += 1;
+        }
+    }
+    assert!(changed > 0, "barriers suite must declare exact metrics");
+    doctored
+        .write(baseline_path.to_str().unwrap())
+        .expect("rewrite baseline");
+    let out = srna(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!out.status.success(), "doctored baseline must fail");
+    assert!(stdout(&out).contains("FAIL"), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("bench check failed"),
+        "{}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bench_rejects_unknown_suite() {
+    let out = srna(&["bench", "--suite", "warp9"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown suite"));
+}
+
+#[test]
+fn speedup_json_emits_the_shared_envelope() {
+    use mcos_telemetry::json::Value;
+    let out = srna(&["speedup", "--arcs", "24", "--procs", "1,2", "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = mcos_telemetry::json::parse(&stdout(&out)).expect("parses");
+    assert_eq!(
+        doc.get("experiment").and_then(Value::as_str),
+        Some("speedup")
+    );
+    assert!(doc.get("schema_version").is_some());
+    assert!(doc.get("env").and_then(|e| e.get("cpus")).is_some());
+    let points = doc.get("points").and_then(Value::as_array).expect("points");
+    assert_eq!(points.len(), 2);
+}

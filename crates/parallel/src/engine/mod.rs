@@ -386,7 +386,16 @@ fn run_managed<S: Schedule, M: MemoStore>(
                         let span = log.start();
                         req_tx.send((step.index, w)).expect("manager alive");
                         let idx = assign_rx.recv().expect("manager alive");
-                        log.barrier(span, BarrierKind::TaskWait, step.index);
+                        // A wait that ends in the step-over sentinel is
+                        // starvation (the queue was empty), not a
+                        // dependency wait — `srna explain` tells them
+                        // apart.
+                        let wait_kind = if idx == u32::MAX {
+                            BarrierKind::QueueEmpty
+                        } else {
+                            BarrierKind::TaskWait
+                        };
+                        log.barrier(span, wait_kind, step.index);
                         if !announced {
                             announced = true;
                             // Receive-then-record: the first answer of
@@ -443,6 +452,10 @@ fn run_managed<S: Schedule, M: MemoStore>(
                 debug_assert_eq!(index, steps[pos + 1].index, "one step ahead at most");
                 early.push(w);
             };
+            // The whole serving phase is coordinator overhead, recorded
+            // as one span per step (closed before the settle span
+            // opens, so lane 0's spans stay non-overlapping).
+            let serve = coord.start();
             for &idx in &orders[pos] {
                 let w = next_requester();
                 assign_txs[w as usize].send(idx).expect("worker alive");
@@ -452,6 +465,7 @@ fn run_managed<S: Schedule, M: MemoStore>(
                 let w = next_requester();
                 assign_txs[w as usize].send(u32::MAX).expect("worker alive");
             }
+            coord.barrier(serve, BarrierKind::CoordServe, step.index);
             if store.coordinated() {
                 let span = coord.start();
                 for _ in 0..ctx.workers {

@@ -3,7 +3,8 @@
 
 use load_balance::Policy;
 use mcos_parallel::{prna, prna_recorded, Backend, PrnaConfig};
-use mcos_telemetry::{json, trace, Event, EventKind, Recorder};
+use mcos_telemetry::critical_path::{StallBucket, StallReport};
+use mcos_telemetry::{json, trace, BarrierKind, Event, EventKind, Recorder};
 use rna_structure::generate;
 
 fn config(backend: Backend, processors: u32) -> PrnaConfig {
@@ -163,6 +164,85 @@ fn chrome_trace_export_satisfies_schema() {
     assert_eq!(spans, events.len());
     // Lane 0 (coordinator) + 2 workers at minimum.
     assert!(thread_names >= 3, "{thread_names} thread_name records");
+}
+
+/// The stall-attribution identity, as a property over real traces: on
+/// every engine composition, each lane's busy + wait + overhead +
+/// untracked nanoseconds equal its measured wall-clock exactly, and the
+/// busy bucket equals the sum of that lane's slice spans.
+#[test]
+fn stall_buckets_sum_to_wall_on_every_matrix_composition() {
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    for backend in Backend::MATRIX {
+        let recorder = Recorder::enabled();
+        prna_recorded(&s1, &s2, &config(backend, 3), &recorder);
+        let events = recorder.events();
+        let report = StallReport::build(&events);
+        assert!(!report.workers.is_empty(), "{}", backend.name());
+        for w in &report.workers {
+            assert_eq!(
+                w.buckets.iter().sum::<u64>(),
+                w.wall_ns,
+                "{}: lane {} buckets do not sum to wall",
+                backend.name(),
+                w.tid
+            );
+            let slice_ns: u64 = events
+                .iter()
+                .filter(|e| e.tid == w.tid && e.kind.is_busy())
+                .map(|e| e.dur_ns)
+                .sum();
+            assert_eq!(
+                w.bucket(StallBucket::Busy),
+                slice_ns,
+                "{}: lane {} busy bucket",
+                backend.name(),
+                w.tid
+            );
+        }
+        // Workers tabulated, so busy time exists somewhere.
+        assert!(report.total(StallBucket::Busy) > 0, "{}", backend.name());
+    }
+}
+
+/// Managed distributions tell starvation apart from dependency waits:
+/// every worker's last answer per step is the wave-off sentinel, so
+/// queue-empty spans must appear, and the manager (lane 0) must record
+/// one coord-serve span per step.
+#[test]
+fn managed_runs_record_queue_empty_and_coord_serve() {
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    for backend in Backend::MATRIX
+        .into_iter()
+        .filter(|b| b.name().ends_with("managed"))
+    {
+        let recorder = Recorder::enabled();
+        prna_recorded(&s1, &s2, &config(backend, 2), &recorder);
+        let events = recorder.events();
+        let count = |want: BarrierKind, tid: Option<u32>| {
+            events
+                .iter()
+                .filter(|e| tid.is_none_or(|t| e.tid == t))
+                .filter(|e| matches!(e.kind, EventKind::Barrier { kind, .. } if kind == want))
+                .count()
+        };
+        assert!(
+            count(BarrierKind::QueueEmpty, None) > 0,
+            "{}: no queue-empty span",
+            backend.name()
+        );
+        let serves = count(BarrierKind::CoordServe, Some(0));
+        assert!(serves > 0, "{}: no coord-serve span", backend.name());
+        // Serving happens on the manager lane only.
+        assert_eq!(
+            serves,
+            count(BarrierKind::CoordServe, None),
+            "{}",
+            backend.name()
+        );
+    }
 }
 
 /// A disabled recorder passed through the full public entry point keeps

@@ -1,0 +1,873 @@
+//! Critical-path reconstruction and per-worker stall attribution.
+//!
+//! The paper's argument for dynamic scheduling is that skewed slice
+//! DAGs leave statically-scheduled workers stalled. This module turns a
+//! recorded run into the two numbers that make that argument checkable:
+//!
+//! * the **speedup ceiling** — from per-slice measured costs and the
+//!   slice dependency DAG, compute `T1` (total work), `T∞` (the longest
+//!   cost-weighted dependency chain) and Brent's bound
+//!   `T1 / max(T1/p, T∞)` on the speedup any schedule can reach with
+//!   `p` workers;
+//! * the **stall attribution** — split every worker's wall-clock into
+//!   busy / dependency-wait / barrier-wait / queue-empty / coordinator
+//!   buckets (plus an explicit `untracked` remainder), so the gap
+//!   between observed speedup and the ceiling is itemized rather than
+//!   inferred.
+//!
+//! The DAG itself is supplied by the caller as a `deps_of` closure
+//! (this crate knows nothing about arc structures); the engine's edge
+//! set is the cross product of the two structures' under-arc ranges,
+//! the same relation `analysis::audit_levels` proves level-monotone.
+
+use crate::json::Value;
+use crate::recorder::{BarrierKind, Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Measured cost of one slice, aggregated from its recorded spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceCost {
+    /// Row arc (of `S₁`).
+    pub k1: u32,
+    /// Column arc (of `S₂`).
+    pub k2: u32,
+    /// Wavefront dependency level.
+    pub level: u32,
+    /// Measured tabulation time, nanoseconds.
+    pub cost_ns: u64,
+    /// Compressed cells tabulated.
+    pub cells: u64,
+}
+
+/// Sums recorded slice spans into one [`SliceCost`] per arc pair,
+/// sorted by `(k1, k2)`.
+pub fn slice_costs_from_events(events: &[Event]) -> Vec<SliceCost> {
+    let mut by_pair: BTreeMap<(u32, u32), SliceCost> = BTreeMap::new();
+    for e in events {
+        if let EventKind::Slice {
+            k1,
+            k2,
+            level,
+            cells,
+        } = e.kind
+        {
+            let entry = by_pair.entry((k1, k2)).or_insert(SliceCost {
+                k1,
+                k2,
+                level,
+                cost_ns: 0,
+                cells: 0,
+            });
+            entry.cost_ns += e.dur_ns;
+            entry.cells += cells;
+            entry.level = entry.level.max(level);
+        }
+    }
+    by_pair.into_values().collect()
+}
+
+/// The critical path of a cost-weighted slice DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total work: the sum of all slice costs, nanoseconds.
+    pub t1_ns: u64,
+    /// Critical-path length: the most expensive dependency chain,
+    /// nanoseconds.
+    pub t_inf_ns: u64,
+    /// The slices on one critical path, dependency order (deepest
+    /// dependency first).
+    pub path: Vec<SliceCost>,
+    /// Number of slices in the DAG.
+    pub slices: usize,
+}
+
+impl CriticalPath {
+    /// The schedule-independent speedup bound `T1 / T∞` (infinite
+    /// processors).
+    pub fn max_speedup(&self) -> f64 {
+        ratio(self.t1_ns, self.t_inf_ns)
+    }
+
+    /// Brent's bound on speedup with `p` workers:
+    /// `T1 / max(T1/p, T∞)`. Equals `p` while the DAG is wide enough
+    /// and saturates at [`CriticalPath::max_speedup`].
+    pub fn ceiling(&self, p: u32) -> f64 {
+        if self.t1_ns == 0 {
+            return 1.0;
+        }
+        let t1 = self.t1_ns as f64;
+        let bound_time = (t1 / f64::from(p.max(1))).max(self.t_inf_ns as f64);
+        t1 / bound_time
+    }
+}
+
+/// Computes the critical path of `costs` under the dependency relation
+/// `deps_of`, which must call its sink once per dependency of slice
+/// `(k1, k2)`.
+///
+/// Dependency levels must strictly decrease along edges (the engine's
+/// DAG has this by construction — `analysis::audit_levels` proves it);
+/// edges violating that, and edges to slices not present in `costs`,
+/// are ignored.
+pub fn critical_path<F>(costs: &[SliceCost], mut deps_of: F) -> CriticalPath
+where
+    F: FnMut(u32, u32, &mut dyn FnMut(u32, u32)),
+{
+    let index: BTreeMap<(u32, u32), usize> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ((s.k1, s.k2), i))
+        .collect();
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (costs[i].level, costs[i].k1, costs[i].k2));
+
+    let mut finish = vec![0u64; costs.len()];
+    let mut pred: Vec<Option<usize>> = vec![None; costs.len()];
+    for &i in &order {
+        let slice = costs[i];
+        let mut best: Option<(u64, usize)> = None;
+        deps_of(slice.k1, slice.k2, &mut |d1, d2| {
+            if let Some(&j) = index.get(&(d1, d2)) {
+                if costs[j].level < slice.level && best.is_none_or(|(f, _)| finish[j] > f) {
+                    best = Some((finish[j], j));
+                }
+            }
+        });
+        finish[i] = slice.cost_ns + best.map_or(0, |(f, _)| f);
+        pred[i] = best.map(|(_, j)| j);
+    }
+
+    let t1_ns = costs.iter().map(|s| s.cost_ns).sum();
+    let sink = (0..costs.len()).max_by_key(|&i| (finish[i], std::cmp::Reverse(i)));
+    let t_inf_ns = sink.map_or(0, |i| finish[i]);
+    let mut path = Vec::new();
+    let mut cursor = sink;
+    while let Some(i) = cursor {
+        path.push(costs[i]);
+        cursor = pred[i];
+    }
+    path.reverse();
+    CriticalPath {
+        t1_ns,
+        t_inf_ns,
+        path,
+        slices: costs.len(),
+    }
+}
+
+/// Where a worker's wall-clock went. Every recorded non-phase span maps
+/// to exactly one bucket; `Untracked` is the lane-extent remainder not
+/// covered by any span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallBucket {
+    /// Slice tabulation (useful work).
+    Busy,
+    /// Waiting for a dependency to be published (row/level release,
+    /// next assignment while work still exists).
+    DependencyWait,
+    /// Fork/join barriers and `Allreduce` collectives.
+    BarrierWait,
+    /// Asked the manager for work and none was left in the step.
+    QueueEmpty,
+    /// Coordinator overhead: installing rows, serving assignments,
+    /// settling steps.
+    Coordinator,
+    /// Lane wall-clock not covered by any recorded span.
+    Untracked,
+}
+
+impl StallBucket {
+    /// Number of buckets (array dimension for per-worker totals).
+    pub const COUNT: usize = 6;
+
+    /// Every bucket, in declaration order.
+    pub const ALL: [StallBucket; StallBucket::COUNT] = [
+        StallBucket::Busy,
+        StallBucket::DependencyWait,
+        StallBucket::BarrierWait,
+        StallBucket::QueueEmpty,
+        StallBucket::Coordinator,
+        StallBucket::Untracked,
+    ];
+
+    /// Stable label used in reports and the JSON twin.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallBucket::Busy => "busy",
+            StallBucket::DependencyWait => "dependency-wait",
+            StallBucket::BarrierWait => "barrier-wait",
+            StallBucket::QueueEmpty => "queue-empty",
+            StallBucket::Coordinator => "coordinator",
+            StallBucket::Untracked => "untracked",
+        }
+    }
+}
+
+/// The bucket a recorded span belongs to; `None` for phase spans (they
+/// envelop other spans on lane 0 and would double-count).
+pub fn bucket_of(kind: EventKind) -> Option<StallBucket> {
+    match kind {
+        EventKind::Phase(_) => None,
+        EventKind::Slice { .. } => Some(StallBucket::Busy),
+        EventKind::Allreduce { .. } => Some(StallBucket::BarrierWait),
+        EventKind::Barrier { kind, .. } => Some(match kind {
+            BarrierKind::RowWait | BarrierKind::LevelWait | BarrierKind::TaskWait => {
+                StallBucket::DependencyWait
+            }
+            BarrierKind::RowJoin | BarrierKind::LevelJoin => StallBucket::BarrierWait,
+            BarrierKind::RowInstall | BarrierKind::CoordServe => StallBucket::Coordinator,
+            BarrierKind::QueueEmpty => StallBucket::QueueEmpty,
+        }),
+    }
+}
+
+/// One lane's wall-clock, split by bucket. The identity
+/// `buckets.iter().sum() == wall_ns` holds by construction: `Untracked`
+/// is defined as the extent minus every tracked span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStalls {
+    /// Trace lane (0 = coordinator, `1..=p` workers).
+    pub tid: u32,
+    /// Lane extent: first non-phase span start to last span end,
+    /// nanoseconds.
+    pub wall_ns: u64,
+    /// Nanoseconds per bucket, indexed by `StallBucket as usize`.
+    pub buckets: [u64; StallBucket::COUNT],
+    /// Wait nanoseconds per barrier kind (nonzero entries only), for
+    /// headlines like "level-wait on worker 3".
+    pub by_kind: Vec<(BarrierKind, u64)>,
+}
+
+impl WorkerStalls {
+    /// Nanoseconds attributed to `bucket`.
+    pub fn bucket(&self, bucket: StallBucket) -> u64 {
+        self.buckets[bucket as usize]
+    }
+}
+
+/// Per-worker stall attribution for one recorded run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StallReport {
+    /// One entry per lane that recorded at least one non-phase span,
+    /// sorted by lane id.
+    pub workers: Vec<WorkerStalls>,
+}
+
+impl StallReport {
+    /// Builds the attribution from flushed events. Spans within a lane
+    /// are assumed non-overlapping (each recording call closes before
+    /// the next opens — program order per thread), except phase spans,
+    /// which are excluded.
+    pub fn build(events: &[Event]) -> StallReport {
+        // (first start, last end, per-bucket totals, per-barrier-kind totals).
+        type LaneAcc = (
+            u64,
+            u64,
+            [u64; StallBucket::COUNT],
+            BTreeMap<BarrierKind, u64>,
+        );
+        let mut lanes: BTreeMap<u32, LaneAcc> = BTreeMap::new();
+        for e in events {
+            let Some(bucket) = bucket_of(e.kind) else {
+                continue;
+            };
+            let lane = lanes.entry(e.tid).or_insert((
+                u64::MAX,
+                0,
+                [0; StallBucket::COUNT],
+                BTreeMap::new(),
+            ));
+            lane.0 = lane.0.min(e.start_ns);
+            lane.1 = lane.1.max(e.end_ns());
+            lane.2[bucket as usize] += e.dur_ns;
+            if let EventKind::Barrier { kind, .. } = e.kind {
+                *lane.3.entry(kind).or_insert(0) += e.dur_ns;
+            }
+        }
+        let workers = lanes
+            .into_iter()
+            .map(|(tid, (first, last, mut buckets, by_kind))| {
+                let wall_ns = last.saturating_sub(first);
+                let tracked: u64 = buckets.iter().sum();
+                buckets[StallBucket::Untracked as usize] = wall_ns.saturating_sub(tracked);
+                // Overlapping spans would make tracked exceed the
+                // extent; clamp the wall up so the sum identity holds
+                // even on malformed input.
+                let wall_ns = wall_ns.max(buckets.iter().sum());
+                WorkerStalls {
+                    tid,
+                    wall_ns,
+                    buckets,
+                    by_kind: by_kind.into_iter().collect(),
+                }
+            })
+            .collect();
+        StallReport { workers }
+    }
+
+    /// Total nanoseconds in `bucket` across all lanes.
+    pub fn total(&self, bucket: StallBucket) -> u64 {
+        self.workers.iter().map(|w| w.bucket(bucket)).sum()
+    }
+
+    /// Total lane wall-clock across all lanes.
+    pub fn total_wall(&self) -> u64 {
+        self.workers.iter().map(|w| w.wall_ns).sum()
+    }
+
+    /// Wall-clock not spent busy, across all lanes ("lost time").
+    pub fn lost_ns(&self) -> u64 {
+        self.total_wall()
+            .saturating_sub(self.total(StallBucket::Busy))
+    }
+
+    /// The single largest `(kind, lane)` wait cell — the headline
+    /// stall. `None` when no barrier time was recorded.
+    pub fn dominant_stall(&self) -> Option<(BarrierKind, u32, u64)> {
+        self.workers
+            .iter()
+            .flat_map(|w| w.by_kind.iter().map(move |&(k, ns)| (k, w.tid, ns)))
+            .filter(|&(_, _, ns)| ns > 0)
+            .max_by_key(|&(_, tid, ns)| (ns, std::cmp::Reverse(tid)))
+    }
+}
+
+/// The full "why was this run this fast" story: ceiling, observation,
+/// and itemized stalls. Built by `srna explain`; renders as text and as
+/// a machine-readable JSON twin with the same numbers.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Backend name (`<schedule>-<store>[-<dist>]`).
+    pub backend: String,
+    /// Slice kernel name.
+    pub kernel: String,
+    /// Worker count the run used.
+    pub threads: u32,
+    /// Critical path of the measured slice DAG.
+    pub critical_path: CriticalPath,
+    /// Stage-one wall-clock of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-worker stall attribution.
+    pub stalls: StallReport,
+}
+
+impl Explanation {
+    /// Observed stage-one speedup: `T1 / wall`.
+    pub fn observed_speedup(&self) -> f64 {
+        ratio(self.critical_path.t1_ns, self.wall_ns)
+    }
+
+    /// One-line verdict, e.g. "observed 3.1× of a 4.6× ceiling; 22% of
+    /// lost time is level-wait on worker 3".
+    pub fn headline(&self) -> String {
+        let mut line = format!(
+            "observed {:.1}× of a {:.1}× ceiling",
+            self.observed_speedup(),
+            self.critical_path.ceiling(self.threads)
+        );
+        let lost = self.stalls.lost_ns();
+        if let Some((kind, tid, ns)) = self.stalls.dominant_stall() {
+            if lost > 0 {
+                line.push_str(&format!(
+                    "; {:.0}% of lost time is {} on worker {}",
+                    100.0 * ns as f64 / lost as f64,
+                    kind.name(),
+                    tid
+                ));
+            }
+        }
+        line
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let cp = &self.critical_path;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explain: backend={} kernel={} threads={}",
+            self.backend, self.kernel, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "  work T1 = {} over {} slices; critical path T∞ = {} across {} slices",
+            fmt_ns(cp.t1_ns),
+            cp.slices,
+            fmt_ns(cp.t_inf_ns),
+            cp.path.len()
+        );
+        let _ = writeln!(
+            out,
+            "  speedup ceiling: {:.2}× at p={} (Brent), {:.2}× at p=∞",
+            cp.ceiling(self.threads),
+            self.threads,
+            cp.max_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "  observed: {:.2}× (stage-one wall {})",
+            self.observed_speedup(),
+            fmt_ns(self.wall_ns)
+        );
+        let _ = writeln!(out, "  {}", self.headline());
+        let _ = writeln!(out, "  per-worker wall-clock attribution:");
+        for w in &self.stalls.workers {
+            let role = if w.tid == 0 { "coord " } else { "worker" };
+            let _ = write!(
+                out,
+                "    {role} {:>2}  wall {:>10}",
+                w.tid,
+                fmt_ns(w.wall_ns)
+            );
+            for bucket in StallBucket::ALL {
+                let ns = w.bucket(bucket);
+                if ns > 0 || bucket == StallBucket::Busy {
+                    let pct = if w.wall_ns > 0 {
+                        100.0 * ns as f64 / w.wall_ns as f64
+                    } else {
+                        0.0
+                    };
+                    let _ = write!(out, "  {} {pct:.0}%", bucket.name());
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// The machine-readable twin of [`Explanation::render`].
+    pub fn to_json(&self) -> Value {
+        let cp = &self.critical_path;
+        let path = cp
+            .path
+            .iter()
+            .map(|s| {
+                Value::object([
+                    ("k1".to_string(), Value::from(s.k1)),
+                    ("k2".to_string(), Value::from(s.k2)),
+                    ("level".to_string(), Value::from(s.level)),
+                    ("cost_ns".to_string(), Value::from(s.cost_ns)),
+                    ("cells".to_string(), Value::from(s.cells)),
+                ])
+            })
+            .collect();
+        let workers = self
+            .stalls
+            .workers
+            .iter()
+            .map(|w| {
+                let mut members = vec![
+                    ("tid".to_string(), Value::from(w.tid)),
+                    ("wall_ns".to_string(), Value::from(w.wall_ns)),
+                ];
+                for bucket in StallBucket::ALL {
+                    members.push((
+                        format!("{}_ns", bucket.name().replace('-', "_")),
+                        Value::from(w.bucket(bucket)),
+                    ));
+                }
+                members.push((
+                    "by_kind".to_string(),
+                    Value::object(
+                        w.by_kind
+                            .iter()
+                            .map(|&(k, ns)| (k.name().to_string(), Value::from(ns))),
+                    ),
+                ));
+                Value::object(members)
+            })
+            .collect();
+        let dominant = match self.stalls.dominant_stall() {
+            None => Value::Null,
+            Some((kind, tid, ns)) => {
+                let lost = self.stalls.lost_ns();
+                Value::object([
+                    ("kind".to_string(), Value::from(kind.name())),
+                    ("tid".to_string(), Value::from(tid)),
+                    ("ns".to_string(), Value::from(ns)),
+                    (
+                        "share_of_lost".to_string(),
+                        Value::from(if lost > 0 {
+                            ns as f64 / lost as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ])
+            }
+        };
+        Value::object([
+            ("schema_version".to_string(), Value::from(1u64)),
+            ("backend".to_string(), Value::from(self.backend.as_str())),
+            ("kernel".to_string(), Value::from(self.kernel.as_str())),
+            ("threads".to_string(), Value::from(self.threads)),
+            ("t1_ns".to_string(), Value::from(cp.t1_ns)),
+            ("t_inf_ns".to_string(), Value::from(cp.t_inf_ns)),
+            ("slices".to_string(), Value::from(cp.slices)),
+            ("max_speedup".to_string(), Value::from(cp.max_speedup())),
+            ("ceiling".to_string(), Value::from(cp.ceiling(self.threads))),
+            (
+                "observed_speedup".to_string(),
+                Value::from(self.observed_speedup()),
+            ),
+            ("wall_ns".to_string(), Value::from(self.wall_ns)),
+            ("headline".to_string(), Value::from(self.headline())),
+            ("critical_path".to_string(), Value::Array(path)),
+            ("workers".to_string(), Value::Array(workers)),
+            ("lost_ns".to_string(), Value::from(self.stalls.lost_ns())),
+            ("dominant_stall".to_string(), dominant),
+        ])
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Phase;
+
+    fn slice(k1: u32, k2: u32, level: u32, cost_ns: u64) -> SliceCost {
+        SliceCost {
+            k1,
+            k2,
+            level,
+            cost_ns,
+            cells: cost_ns / 10,
+        }
+    }
+
+    /// `(node, its dependencies)` adjacency pairs.
+    type Edges = Vec<((u32, u32), Vec<(u32, u32)>)>;
+
+    /// Diamond: D depends on B and C, both depend on A.
+    ///   A(10) → B(5), A → C(7), {B, C} → D(3)
+    /// T1 = 25, T∞ = A + C + D = 20.
+    fn diamond() -> (Vec<SliceCost>, Edges) {
+        let costs = vec![
+            slice(0, 0, 0, 10), // A
+            slice(1, 0, 1, 5),  // B
+            slice(1, 1, 1, 7),  // C
+            slice(2, 0, 2, 3),  // D
+        ];
+        let edges = vec![
+            ((1, 0), vec![(0, 0)]),
+            ((1, 1), vec![(0, 0)]),
+            ((2, 0), vec![(1, 0), (1, 1)]),
+        ];
+        (costs, edges)
+    }
+
+    fn deps_from(edges: &Edges) -> impl FnMut(u32, u32, &mut dyn FnMut(u32, u32)) + '_ {
+        move |k1, k2, sink| {
+            for (node, deps) in edges {
+                if *node == (k1, k2) {
+                    for &(d1, d2) in deps {
+                        sink(d1, d2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_has_known_t1_t_inf_and_path() {
+        let (costs, edges) = diamond();
+        let cp = critical_path(&costs, deps_from(&edges));
+        assert_eq!(cp.t1_ns, 25);
+        assert_eq!(cp.t_inf_ns, 20);
+        assert_eq!(cp.slices, 4);
+        let path: Vec<(u32, u32)> = cp.path.iter().map(|s| (s.k1, s.k2)).collect();
+        assert_eq!(path, vec![(0, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn brent_ceiling_matches_hand_computation() {
+        let (costs, edges) = diamond();
+        let cp = critical_path(&costs, deps_from(&edges));
+        // p=1: bound is T1 itself.
+        assert!((cp.ceiling(1) - 1.0).abs() < 1e-12);
+        // p=2: T1/p = 12.5 < T∞ = 20, so the chain binds: 25/20.
+        assert!((cp.ceiling(2) - 1.25).abs() < 1e-12);
+        // p=∞ equivalent.
+        assert!((cp.max_speedup() - 1.25).abs() < 1e-12);
+        // Huge p changes nothing once the chain binds.
+        assert!((cp.ceiling(64) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_slices_scale_linearly_until_saturation() {
+        let costs: Vec<SliceCost> = (0..8).map(|i| slice(i, 0, 0, 10)).collect();
+        let cp = critical_path(&costs, |_, _, _| {});
+        assert_eq!(cp.t1_ns, 80);
+        assert_eq!(cp.t_inf_ns, 10);
+        assert!((cp.ceiling(4) - 4.0).abs() < 1e-12);
+        assert!((cp.ceiling(8) - 8.0).abs() < 1e-12);
+        assert!((cp.ceiling(16) - 8.0).abs() < 1e-12);
+        assert_eq!(cp.path.len(), 1);
+    }
+
+    #[test]
+    fn chain_dag_has_no_parallelism() {
+        let costs: Vec<SliceCost> = (0..5).map(|i| slice(i, 0, i, 7)).collect();
+        let cp = critical_path(&costs, |k1, _, sink| {
+            if k1 > 0 {
+                sink(k1 - 1, 0);
+            }
+        });
+        assert_eq!(cp.t1_ns, 35);
+        assert_eq!(cp.t_inf_ns, 35);
+        assert_eq!(cp.path.len(), 5);
+        assert!((cp.ceiling(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dag_is_degenerate_but_finite() {
+        let cp = critical_path(&[], |_, _, _| {});
+        assert_eq!(cp.t1_ns, 0);
+        assert_eq!(cp.t_inf_ns, 0);
+        assert!(cp.path.is_empty());
+        assert!((cp.ceiling(4) - 1.0).abs() < 1e-12);
+        assert!((cp.max_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_to_unknown_or_same_level_slices_are_ignored() {
+        let costs = vec![slice(0, 0, 1, 10), slice(1, 0, 1, 4)];
+        // (1,0) claims deps on a missing slice and a same-level one.
+        let cp = critical_path(&costs, |k1, _, sink| {
+            if k1 == 1 {
+                sink(9, 9);
+                sink(0, 0);
+            }
+        });
+        assert_eq!(cp.t_inf_ns, 10);
+    }
+
+    #[test]
+    fn slice_costs_aggregate_by_pair() {
+        let ev = |k1, k2, level, start, dur, cells| Event {
+            tid: 1,
+            seq: 0,
+            start_ns: start,
+            dur_ns: dur,
+            kind: EventKind::Slice {
+                k1,
+                k2,
+                level,
+                cells,
+            },
+        };
+        let costs = slice_costs_from_events(&[
+            ev(2, 1, 1, 0, 100, 10),
+            ev(0, 0, 0, 100, 50, 5),
+            ev(2, 1, 1, 200, 25, 3),
+        ]);
+        assert_eq!(
+            costs,
+            vec![
+                SliceCost {
+                    k1: 0,
+                    k2: 0,
+                    level: 0,
+                    cost_ns: 50,
+                    cells: 5
+                },
+                SliceCost {
+                    k1: 2,
+                    k2: 1,
+                    level: 1,
+                    cost_ns: 125,
+                    cells: 13
+                },
+            ]
+        );
+    }
+
+    fn barrier(tid: u32, seq: u32, start: u64, dur: u64, kind: BarrierKind) -> Event {
+        Event {
+            tid,
+            seq,
+            start_ns: start,
+            dur_ns: dur,
+            kind: EventKind::Barrier { kind, index: 0 },
+        }
+    }
+
+    fn busy(tid: u32, seq: u32, start: u64, dur: u64) -> Event {
+        Event {
+            tid,
+            seq,
+            start_ns: start,
+            dur_ns: dur,
+            kind: EventKind::Slice {
+                k1: 0,
+                k2: 0,
+                level: 0,
+                cells: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn stall_buckets_sum_to_wall_with_known_totals() {
+        // Worker 1: [0,40) busy, [40,60) level-wait, [70,100) level-join
+        //   → wall 100, busy 40, dep-wait 20, barrier 30, untracked 10.
+        // Worker 2: [10,20) queue-empty, [20,50) busy → wall 40.
+        // Lane 0: phase span must be excluded; coord-serve counted.
+        let events = vec![
+            busy(1, 0, 0, 40),
+            barrier(1, 1, 40, 20, BarrierKind::LevelWait),
+            barrier(1, 2, 70, 30, BarrierKind::LevelJoin),
+            barrier(2, 0, 10, 10, BarrierKind::QueueEmpty),
+            busy(2, 1, 20, 30),
+            Event {
+                tid: 0,
+                seq: 0,
+                start_ns: 0,
+                dur_ns: 500,
+                kind: EventKind::Phase(Phase::StageOne),
+            },
+            barrier(0, 1, 0, 15, BarrierKind::CoordServe),
+        ];
+        let report = StallReport::build(&events);
+        assert_eq!(report.workers.len(), 3);
+
+        let w1 = &report.workers[1];
+        assert_eq!(w1.tid, 1);
+        assert_eq!(w1.wall_ns, 100);
+        assert_eq!(w1.bucket(StallBucket::Busy), 40);
+        assert_eq!(w1.bucket(StallBucket::DependencyWait), 20);
+        assert_eq!(w1.bucket(StallBucket::BarrierWait), 30);
+        assert_eq!(w1.bucket(StallBucket::Untracked), 10);
+
+        let w2 = &report.workers[2];
+        assert_eq!(w2.wall_ns, 40);
+        assert_eq!(w2.bucket(StallBucket::QueueEmpty), 10);
+        assert_eq!(w2.bucket(StallBucket::Busy), 30);
+        assert_eq!(w2.bucket(StallBucket::Untracked), 0);
+
+        let coord = &report.workers[0];
+        assert_eq!(coord.wall_ns, 15, "phase span must not widen lane 0");
+        assert_eq!(coord.bucket(StallBucket::Coordinator), 15);
+
+        for w in &report.workers {
+            assert_eq!(
+                w.buckets.iter().sum::<u64>(),
+                w.wall_ns,
+                "bucket identity broken on lane {}",
+                w.tid
+            );
+        }
+        assert_eq!(report.total_wall(), 155);
+        assert_eq!(report.lost_ns(), 155 - 70);
+        assert_eq!(
+            report.dominant_stall(),
+            Some((BarrierKind::LevelJoin, 1, 30))
+        );
+    }
+
+    #[test]
+    fn every_non_phase_event_kind_has_a_bucket() {
+        assert_eq!(bucket_of(EventKind::Phase(Phase::StageOne)), None);
+        assert_eq!(
+            bucket_of(EventKind::Slice {
+                k1: 0,
+                k2: 0,
+                level: 0,
+                cells: 0
+            }),
+            Some(StallBucket::Busy)
+        );
+        assert_eq!(
+            bucket_of(EventKind::Allreduce { elems: 1, bytes: 8 }),
+            Some(StallBucket::BarrierWait)
+        );
+        for kind in BarrierKind::ALL {
+            let bucket = bucket_of(EventKind::Barrier { kind, index: 0 });
+            assert!(bucket.is_some(), "{} has no bucket", kind.name());
+            assert_ne!(bucket, Some(StallBucket::Busy));
+            assert_ne!(bucket, Some(StallBucket::Untracked));
+        }
+    }
+
+    #[test]
+    fn explanation_renders_headline_and_json_twin_agrees() {
+        let (costs, edges) = diamond();
+        let critical_path = critical_path(&costs, deps_from(&edges));
+        let events = vec![
+            busy(1, 0, 0, 15),
+            barrier(1, 1, 15, 5, BarrierKind::LevelWait),
+            busy(2, 0, 0, 10),
+            barrier(2, 1, 10, 10, BarrierKind::LevelJoin),
+        ];
+        let explanation = Explanation {
+            backend: "level-lockfree".to_string(),
+            kernel: "scalar".to_string(),
+            threads: 2,
+            critical_path,
+            wall_ns: 20,
+            stalls: StallReport::build(&events),
+        };
+        // T1 = 25, wall = 20 → observed 1.25×; ceiling(2) = 1.25×.
+        assert!((explanation.observed_speedup() - 1.25).abs() < 1e-12);
+        let headline = explanation.headline();
+        assert!(
+            headline.contains("observed 1.2× of a 1.2× ceiling"),
+            "{headline}"
+        );
+        assert!(headline.contains("level-join on worker 2"), "{headline}");
+
+        let doc = explanation.to_json();
+        assert_eq!(doc.get("t1_ns").and_then(Value::as_f64), Some(25.0));
+        assert_eq!(doc.get("t_inf_ns").and_then(Value::as_f64), Some(20.0));
+        assert_eq!(doc.get("threads").and_then(Value::as_f64), Some(2.0));
+        let workers = doc
+            .get("workers")
+            .and_then(Value::as_array)
+            .expect("workers");
+        assert_eq!(workers.len(), 2);
+        for w in workers {
+            let wall = w.get("wall_ns").and_then(Value::as_f64).expect("wall");
+            let sum: f64 = StallBucket::ALL
+                .iter()
+                .map(|b| {
+                    w.get(&format!("{}_ns", b.name().replace('-', "_")))
+                        .and_then(Value::as_f64)
+                        .expect("bucket field")
+                })
+                .sum();
+            assert_eq!(wall, sum, "JSON buckets must sum to wall");
+        }
+        // The twin re-parses as valid JSON.
+        let text = doc.to_json_pretty();
+        assert_eq!(crate::json::parse(&text).expect("round trip"), doc);
+        // Render mentions the ceiling table and every worker.
+        let rendered = explanation.render();
+        assert!(rendered.contains("speedup ceiling"));
+        assert!(rendered.contains("worker  1"));
+    }
+}

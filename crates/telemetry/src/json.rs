@@ -1,10 +1,16 @@
-//! A minimal, dependency-free JSON parser.
+//! A minimal, dependency-free JSON parser and emitter.
 //!
 //! Exists so the trace-export schema tests (and any downstream tooling)
 //! can validate emitted documents without pulling a serialization
 //! framework into the workspace. Supports the full JSON grammar with
 //! the usual practical limits: numbers parse to `f64` and nesting depth
 //! is capped to keep recursion bounded.
+//!
+//! Emission goes through [`Value::to_json`] / [`Value::to_json_pretty`];
+//! every artifact writer in the workspace (bench envelopes, `srna
+//! explain --json`, metric snapshots) builds a [`Value`] and serializes
+//! it here, so documents round-trip through the same grammar the schema
+//! tests parse.
 
 /// Maximum nesting depth accepted by [`parse`].
 pub const MAX_DEPTH: usize = 128;
@@ -66,6 +72,173 @@ impl Value {
             _ => None,
         }
     }
+
+    /// A string value (convenience constructor).
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::String(s.into())
+    }
+
+    /// A number value. `u64` counters above 2^53 lose precision in the
+    /// `f64` representation, like every JSON number does.
+    pub fn number(n: f64) -> Value {
+        Value::Number(n)
+    }
+
+    /// An object from `(key, value)` pairs, keeping the given order.
+    pub fn object(members: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(members.into_iter().collect())
+    }
+
+    /// Serializes this value on one line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes this value with two-space indentation and a trailing
+    /// newline, the style every committed artifact in the repo uses.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses a complete JSON document (one value plus trailing whitespace).
@@ -357,5 +530,54 @@ mod tests {
     fn rejects_excessive_nesting() {
         let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn emits_compact_documents() {
+        let doc = Value::object([
+            ("n".to_string(), Value::from(3u64)),
+            ("x".to_string(), Value::from(0.5)),
+            ("s".to_string(), Value::from("a\"b\nc")),
+            ("a".to_string(), Value::from(vec![1u64, 2])),
+            ("none".to_string(), Value::Null),
+            ("ok".to_string(), Value::from(true)),
+        ]);
+        assert_eq!(
+            doc.to_json(),
+            "{\"n\":3,\"x\":0.5,\"s\":\"a\\\"b\\nc\",\"a\":[1,2],\"none\":null,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn integral_numbers_print_without_fraction() {
+        assert_eq!(Value::from(0u64).to_json(), "0");
+        assert_eq!(Value::Number(-7.0).to_json(), "-7");
+        assert_eq!(Value::Number(1.0e15).to_json(), "1000000000000000");
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn emitted_documents_round_trip_through_parse() {
+        let doc = Value::object([
+            ("schema_version".to_string(), Value::from(1u64)),
+            (
+                "metrics".to_string(),
+                Value::Array(vec![Value::object([
+                    ("name".to_string(), Value::from("mcos.engine.cells_total")),
+                    ("value".to_string(), Value::from(123456u64)),
+                ])]),
+            ),
+            ("note".to_string(), Value::from("tabs\there \u{1F600}")),
+        ]);
+        for text in [doc.to_json(), doc.to_json_pretty()] {
+            assert_eq!(parse(&text).unwrap(), doc, "failed on {text:?}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_newline_terminated() {
+        let doc = Value::object([("a".to_string(), Value::from(vec![1u64]))]);
+        assert_eq!(doc.to_json_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+        assert_eq!(Value::Object(vec![]).to_json_pretty(), "{}\n");
     }
 }

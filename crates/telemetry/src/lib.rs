@@ -21,8 +21,14 @@
 //!   observed imbalance next to the Graham-bound prediction from the
 //!   `load-balance` crate, reproducing the shape of the paper's
 //!   Fig. 7/8 analysis.
-//! * [`json`] — a dependency-free JSON parser, used by the schema tests
-//!   and available to downstream tooling for validating emitted files.
+//! * [`json`] — a dependency-free JSON parser and emitter, used by the
+//!   schema tests and by every artifact writer in the workspace.
+//! * [`critical_path`] — reconstructs the slice-DAG critical path from
+//!   measured costs (T1, T∞, Brent's speedup ceiling) and attributes
+//!   each worker's wall-clock to busy/wait/overhead buckets; backs
+//!   `srna explain`.
+//! * [`metrics`] — the typed counter/gauge/histogram registry with the
+//!   workspace's stable metric-name schema.
 //!
 //! # Overhead policy
 //!
@@ -39,7 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod json;
+pub mod metrics;
 mod recorder;
 pub mod report;
 pub mod trace;

@@ -1,0 +1,726 @@
+//! A typed, centrally-registered metrics registry.
+//!
+//! Every quantity the repo reports — engine counters, kernel
+//! throughput, stall totals — flows through one registry with a
+//! documented, stable name schema, instead of ad-hoc struct fields and
+//! format strings scattered across crates. Three metric types, no
+//! dependencies:
+//!
+//! * [`Counter`] — monotone `u64` total;
+//! * [`Gauge`] — last-write-wins `f64` level;
+//! * [`Histogram`] — fixed log2 buckets over `u64` samples (bucket `i`
+//!   holds samples whose bit length is `i`), cheap enough for per-slice
+//!   latencies.
+//!
+//! # Metric-name schema
+//!
+//! Names are dot-separated lowercase segments, `[a-z][a-z0-9_]*` each
+//! ([`valid_metric_name`]). The stable names are declared once, in
+//! [`names`]; the workspace lint rejects ad-hoc `mcos.`-prefixed
+//! literals outside this crate so the schema cannot fork silently:
+//!
+//! | name | type | meaning |
+//! |------|------|---------|
+//! | `mcos.engine.slices_total` | counter | child slices tabulated |
+//! | `mcos.engine.cells_total` | counter | compressed cells tabulated |
+//! | `mcos.engine.slice_cells_max` | gauge | largest single-slice cell count |
+//! | `mcos.engine.barrier_waits_total` | counter | barrier/wait intervals recorded |
+//! | `mcos.engine.settled_reads_total` | counter | settled-snapshot copies (wavefront) |
+//! | `mcos.engine.busy_ns_total` | counter | slice-tabulation nanoseconds, all lanes |
+//! | `mcos.engine.wait_ns_total` | counter | barrier + collective nanoseconds, all lanes |
+//! | `mcos.engine.wall_ns` | gauge | stage-one wall-clock of the run |
+//! | `mcos.engine.slice_latency_ns` | histogram | per-slice tabulation latency |
+//! | `mcos.memo.hits_total` | counter | memoization hits (top-down) |
+//! | `mcos.memo.misses_total` | counter | memoization misses (top-down) |
+//! | `mcos.allreduce.calls_total` | counter | collectives completed |
+//! | `mcos.allreduce.rounds_total` | counter | binomial-tree message rounds |
+//! | `mcos.allreduce.bytes_total` | counter | payload bytes, summed over ranks |
+//! | `mcos.kernel.cells_per_sec` | gauge | kernel throughput of the run |
+//!
+//! [`publish_run`] fills a registry with all of the above from a
+//! recorded run, so every engine axis (schedule × store × distribution
+//! × kernel) snapshots identically.
+
+use crate::json::Value;
+use crate::recorder::{CounterSnapshot, Event};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Declared stable metric names. Every name the workspace emits lives
+/// here; see the module docs for the schema table.
+pub mod names {
+    /// Child slices tabulated (counter).
+    pub const ENGINE_SLICES_TOTAL: &str = "mcos.engine.slices_total";
+    /// Compressed cells tabulated (counter).
+    pub const ENGINE_CELLS_TOTAL: &str = "mcos.engine.cells_total";
+    /// Largest single-slice cell count (gauge).
+    pub const ENGINE_SLICE_CELLS_MAX: &str = "mcos.engine.slice_cells_max";
+    /// Barrier/wait intervals recorded (counter).
+    pub const ENGINE_BARRIER_WAITS_TOTAL: &str = "mcos.engine.barrier_waits_total";
+    /// Settled-snapshot entry copies (counter).
+    pub const ENGINE_SETTLED_READS_TOTAL: &str = "mcos.engine.settled_reads_total";
+    /// Slice-tabulation nanoseconds across all lanes (counter).
+    pub const ENGINE_BUSY_NS_TOTAL: &str = "mcos.engine.busy_ns_total";
+    /// Barrier and collective nanoseconds across all lanes (counter).
+    pub const ENGINE_WAIT_NS_TOTAL: &str = "mcos.engine.wait_ns_total";
+    /// Stage-one wall-clock of the run, nanoseconds (gauge).
+    pub const ENGINE_WALL_NS: &str = "mcos.engine.wall_ns";
+    /// Per-slice tabulation latency, nanoseconds (histogram).
+    pub const ENGINE_SLICE_LATENCY_NS: &str = "mcos.engine.slice_latency_ns";
+    /// Memoization hits (counter).
+    pub const MEMO_HITS_TOTAL: &str = "mcos.memo.hits_total";
+    /// Memoization misses (counter).
+    pub const MEMO_MISSES_TOTAL: &str = "mcos.memo.misses_total";
+    /// `Allreduce` collectives completed (counter).
+    pub const ALLREDUCE_CALLS_TOTAL: &str = "mcos.allreduce.calls_total";
+    /// Binomial-tree message rounds (counter).
+    pub const ALLREDUCE_ROUNDS_TOTAL: &str = "mcos.allreduce.rounds_total";
+    /// Collective payload bytes, summed over ranks (counter).
+    pub const ALLREDUCE_BYTES_TOTAL: &str = "mcos.allreduce.bytes_total";
+    /// Kernel throughput of the run, cells per second (gauge).
+    pub const KERNEL_CELLS_PER_SEC: &str = "mcos.kernel.cells_per_sec";
+
+    /// Every declared name (schema tests iterate this).
+    pub const ALL: &[&str] = &[
+        ENGINE_SLICES_TOTAL,
+        ENGINE_CELLS_TOTAL,
+        ENGINE_SLICE_CELLS_MAX,
+        ENGINE_BARRIER_WAITS_TOTAL,
+        ENGINE_SETTLED_READS_TOTAL,
+        ENGINE_BUSY_NS_TOTAL,
+        ENGINE_WAIT_NS_TOTAL,
+        ENGINE_WALL_NS,
+        ENGINE_SLICE_LATENCY_NS,
+        MEMO_HITS_TOTAL,
+        MEMO_MISSES_TOTAL,
+        ALLREDUCE_CALLS_TOTAL,
+        ALLREDUCE_ROUNDS_TOTAL,
+        ALLREDUCE_BYTES_TOTAL,
+        KERNEL_CELLS_PER_SEC,
+    ];
+}
+
+/// Whether `name` follows the schema: dot-separated segments, each
+/// `[a-z][a-z0-9_]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|segment| {
+            segment
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase())
+                && segment
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Number of log2 histogram buckets: bucket `i` counts samples of bit
+/// length `i` (bucket 0 is exactly the sample `0`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the total.
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            // ORDERING: pure accounting read after the measured region;
+            // no other memory depends on the value, Relaxed suffices.
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        // ORDERING: accounting only — see `Counter::add`.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle (stores `f64` bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, value: f64) {
+        // ORDERING: accounting only — see `Counter::add`.
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        // ORDERING: accounting only — see `Counter::add`.
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log2 histogram handle over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+/// Bucket index of a sample: its bit length (0 for the sample `0`).
+pub fn histogram_bucket(sample: u64) -> usize {
+    (u64::BITS - sample.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, sample: u64) {
+        let cells = &*self.0;
+        // ORDERING: accounting only — see `Counter::add`.
+        cells.buckets[histogram_bucket(sample)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(sample, Ordering::Relaxed);
+    }
+
+    /// Current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = &*self.0;
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(cells.buckets.iter()) {
+            // ORDERING: accounting only — see `Counter::add`.
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            // ORDERING: accounting only — see `Counter::add`.
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log2 bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1); an
+    /// over-estimate by at most 2×, which is what log2 buckets buy.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Inclusive upper bound of histogram bucket `i`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricCell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricCell {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricCell::Counter(_) => "counter",
+            MetricCell::Gauge(_) => "gauge",
+            MetricCell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The central registry: name → typed metric. Cloning shares the
+/// underlying table; registration is idempotent per (name, type) and an
+/// error on name collisions across types or malformed names.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    cells: Arc<Mutex<BTreeMap<String, MetricCell>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> MetricCell,
+        view: impl Fn(&MetricCell) -> Option<T>,
+    ) -> Result<T, String> {
+        if !valid_metric_name(name) {
+            return Err(format!(
+                "invalid metric name {name:?} (want dotted lowercase segments)"
+            ));
+        }
+        let mut cells = self.cells.lock();
+        let cell = cells.entry(name.to_string()).or_insert_with(make);
+        view(cell).ok_or_else(|| {
+            format!(
+                "metric {name:?} already registered as a {}",
+                cell.type_name()
+            )
+        })
+    }
+
+    /// Registers (or re-opens) the counter `name`.
+    pub fn counter(&self, name: &str) -> Result<Counter, String> {
+        self.register(
+            name,
+            || MetricCell::Counter(Counter::default()),
+            |cell| match cell {
+                MetricCell::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-opens) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Result<Gauge, String> {
+        self.register(
+            name,
+            || MetricCell::Gauge(Gauge::default()),
+            |cell| match cell {
+                MetricCell::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-opens) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Result<Histogram, String> {
+        self.register(
+            name,
+            || MetricCell::Histogram(Histogram::default()),
+            |cell| match cell {
+                MetricCell::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let cells = self.cells.lock();
+        Snapshot {
+            entries: cells
+                .iter()
+                .map(|(name, cell)| {
+                    let value = match cell {
+                        MetricCell::Counter(c) => MetricValue::Counter(c.get()),
+                        MetricCell::Gauge(g) => MetricValue::Gauge(g.get()),
+                        MetricCell::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(f64),
+    /// Histogram state (boxed: a snapshot is ~0.5 KiB of buckets).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A name-sorted copy of a [`Registry`] at one point in time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// The value of metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter total of `name`, if it is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge level of `name`, if it is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// One `name value` line per metric (histograms render count, mean,
+    /// and the p50/p99 bucket bounds).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "{name} {n}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} count={} mean={:.1} p50<={} p99<={}",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object: name → number, or name → `{count, sum, buckets}`
+    /// for histograms (trailing zero buckets trimmed).
+    pub fn to_json(&self) -> Value {
+        Value::object(self.entries.iter().map(|(name, value)| {
+            let v = match value {
+                MetricValue::Counter(n) => Value::from(*n),
+                MetricValue::Gauge(g) => Value::from(*g),
+                MetricValue::Histogram(h) => {
+                    let last = h.buckets.iter().rposition(|&n| n != 0).map_or(0, |i| i + 1);
+                    Value::object([
+                        ("count".to_string(), Value::from(h.count)),
+                        ("sum".to_string(), Value::from(h.sum)),
+                        (
+                            "buckets".to_string(),
+                            Value::from(h.buckets[..last].to_vec()),
+                        ),
+                    ])
+                }
+            };
+            (name.clone(), v)
+        }))
+    }
+}
+
+/// Fills `registry` with the full declared schema from one recorded
+/// run: the [`CounterSnapshot`] totals, busy/wait time and per-slice
+/// latencies from `events`, and the run's wall-clock and throughput.
+pub fn publish_run(
+    registry: &Registry,
+    events: &[Event],
+    counters: &CounterSnapshot,
+    wall_ns: u64,
+) -> Result<(), String> {
+    registry
+        .counter(names::ENGINE_SLICES_TOTAL)?
+        .add(counters.slices);
+    registry
+        .counter(names::ENGINE_CELLS_TOTAL)?
+        .add(counters.cells);
+    registry
+        .gauge(names::ENGINE_SLICE_CELLS_MAX)?
+        .set(counters.max_cells_per_slice as f64);
+    registry
+        .counter(names::ENGINE_BARRIER_WAITS_TOTAL)?
+        .add(counters.barriers);
+    registry
+        .counter(names::ENGINE_SETTLED_READS_TOTAL)?
+        .add(counters.settled_reads);
+    registry
+        .counter(names::MEMO_HITS_TOTAL)?
+        .add(counters.memo_hits);
+    registry
+        .counter(names::MEMO_MISSES_TOTAL)?
+        .add(counters.memo_misses);
+    registry
+        .counter(names::ALLREDUCE_CALLS_TOTAL)?
+        .add(counters.allreduce_calls);
+    registry
+        .counter(names::ALLREDUCE_ROUNDS_TOTAL)?
+        .add(counters.allreduce_rounds);
+    registry
+        .counter(names::ALLREDUCE_BYTES_TOTAL)?
+        .add(counters.allreduce_bytes);
+
+    let busy = registry.counter(names::ENGINE_BUSY_NS_TOTAL)?;
+    let wait = registry.counter(names::ENGINE_WAIT_NS_TOTAL)?;
+    let latency = registry.histogram(names::ENGINE_SLICE_LATENCY_NS)?;
+    for e in events {
+        if e.kind.is_busy() {
+            busy.add(e.dur_ns);
+            latency.observe(e.dur_ns);
+        } else if e.kind.is_wait() {
+            wait.add(e.dur_ns);
+        }
+    }
+    registry.gauge(names::ENGINE_WALL_NS)?.set(wall_ns as f64);
+    let cells_per_sec = if wall_ns == 0 {
+        0.0
+    } else {
+        counters.cells as f64 * 1e9 / wall_ns as f64
+    };
+    registry
+        .gauge(names::KERNEL_CELLS_PER_SEC)?
+        .set(cells_per_sec);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{BarrierKind, EventKind, Phase};
+
+    #[test]
+    fn declared_names_all_validate() {
+        for name in names::ALL {
+            assert!(valid_metric_name(name), "declared name {name:?} invalid");
+        }
+        let mut sorted = names::ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names::ALL.len(), "duplicate declared name");
+    }
+
+    #[test]
+    fn name_validation_rejects_malformed_names() {
+        for bad in [
+            "",
+            "Upper.case",
+            "mcos..double",
+            "mcos.",
+            ".mcos",
+            "mcos.9starts_with_digit",
+            "mcos.has-dash",
+            "mcos.has space",
+        ] {
+            assert!(!valid_metric_name(bad), "accepted {bad:?}");
+        }
+        assert!(valid_metric_name("mcos.engine.slices_total"));
+        assert!(valid_metric_name("a"));
+    }
+
+    #[test]
+    fn counters_gauges_histograms_register_and_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("mcos.test.events_total").expect("counter");
+        c.inc();
+        c.add(4);
+        // Re-opening the same name shares the cell.
+        let c2 = reg.counter("mcos.test.events_total").expect("reopen");
+        c2.add(5);
+        assert_eq!(c.get(), 10);
+
+        let g = reg.gauge("mcos.test.level").expect("gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+
+        let h = reg.histogram("mcos.test.latency_ns").expect("histogram");
+        for sample in [0u64, 1, 2, 3, 1000] {
+            h.observe(sample);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1006);
+        assert_eq!(snap.buckets[0], 1); // sample 0
+        assert_eq!(snap.buckets[1], 1); // sample 1
+        assert_eq!(snap.buckets[2], 2); // samples 2, 3
+        assert_eq!(snap.buckets[10], 1); // sample 1000
+    }
+
+    #[test]
+    fn type_collisions_and_bad_names_are_errors() {
+        let reg = Registry::new();
+        reg.counter("mcos.test.x").expect("counter");
+        assert!(reg.gauge("mcos.test.x").is_err());
+        assert!(reg.histogram("mcos.test.x").is_err());
+        assert!(reg.counter("Not.Valid").is_err());
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5);
+        let p99 = snap.quantile(0.99);
+        assert!((50..=63).contains(&p50), "p50 bound {p50}");
+        assert!((99..=127).contains(&p99), "p99 bound {p99}");
+        assert!(p50 <= p99);
+        assert!((snap.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(
+            HistogramSnapshot {
+                buckets: [0; HISTOGRAM_BUCKETS],
+                count: 0,
+                sum: 0
+            }
+            .quantile(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        assert_eq!(histogram_bucket(0), 0);
+        assert_eq!(histogram_bucket(1), 1);
+        assert_eq!(histogram_bucket(2), 2);
+        assert_eq!(histogram_bucket(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert!(bucket_upper_bound(i) <= bucket_upper_bound(i + 1));
+        }
+        for v in [0u64, 1, 7, 8, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper_bound(histogram_bucket(v)));
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_and_serializes_sorted() {
+        let reg = Registry::new();
+        reg.counter("mcos.test.b").expect("b").add(2);
+        reg.gauge("mcos.test.a").expect("a").set(1.5);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(keys, vec!["mcos.test.a", "mcos.test.b"]);
+        assert_eq!(snap.counter("mcos.test.b"), Some(2));
+        assert_eq!(snap.gauge("mcos.test.a"), Some(1.5));
+        assert_eq!(snap.counter("mcos.test.a"), None, "type-checked access");
+        let text = snap.render();
+        assert!(text.contains("mcos.test.a 1.5"));
+        assert!(text.contains("mcos.test.b 2"));
+        let doc = snap.to_json();
+        assert_eq!(doc.get("mcos.test.b").and_then(Value::as_f64), Some(2.0));
+        // Emitted JSON re-parses.
+        assert!(crate::json::parse(&doc.to_json()).is_ok());
+    }
+
+    #[test]
+    fn publish_run_fills_the_declared_schema() {
+        let slice = |start: u64, dur: u64| Event {
+            tid: 1,
+            seq: 0,
+            start_ns: start,
+            dur_ns: dur,
+            kind: EventKind::Slice {
+                k1: 0,
+                k2: 0,
+                level: 0,
+                cells: 10,
+            },
+        };
+        let events = vec![
+            slice(0, 100),
+            slice(100, 300),
+            Event {
+                tid: 1,
+                seq: 2,
+                start_ns: 400,
+                dur_ns: 50,
+                kind: EventKind::Barrier {
+                    kind: BarrierKind::LevelJoin,
+                    index: 0,
+                },
+            },
+            Event {
+                tid: 0,
+                seq: 0,
+                start_ns: 0,
+                dur_ns: 500,
+                kind: EventKind::Phase(Phase::StageOne),
+            },
+        ];
+        let counters = CounterSnapshot {
+            slices: 2,
+            cells: 20,
+            max_cells_per_slice: 10,
+            barriers: 1,
+            ..CounterSnapshot::default()
+        };
+        let reg = Registry::new();
+        publish_run(&reg, &events, &counters, 500).expect("publish");
+        let snap = reg.snapshot();
+        // Every declared name is present exactly once.
+        for name in names::ALL {
+            assert!(snap.get(name).is_some(), "{name} missing from snapshot");
+        }
+        assert_eq!(snap.counter(names::ENGINE_SLICES_TOTAL), Some(2));
+        assert_eq!(snap.counter(names::ENGINE_CELLS_TOTAL), Some(20));
+        assert_eq!(snap.counter(names::ENGINE_BUSY_NS_TOTAL), Some(400));
+        assert_eq!(snap.counter(names::ENGINE_WAIT_NS_TOTAL), Some(50));
+        assert_eq!(snap.gauge(names::ENGINE_WALL_NS), Some(500.0));
+        let rate = snap.gauge(names::KERNEL_CELLS_PER_SEC).expect("rate");
+        assert!((rate - 20.0 * 1e9 / 500.0).abs() < 1e-6);
+        match snap.get(names::ENGINE_SLICE_LATENCY_NS) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 400);
+            }
+            other => panic!("latency metric wrong type: {other:?}"),
+        }
+    }
+}

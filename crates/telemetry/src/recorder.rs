@@ -45,6 +45,13 @@ pub enum BarrierKind {
     LevelWait,
     /// A manager–worker rank waiting for its next column assignment.
     TaskWait,
+    /// A manager–worker rank that asked for work and was told the step's
+    /// queue is empty (the wait that ends in a step-over sentinel rather
+    /// than an assignment).
+    QueueEmpty,
+    /// The manager serving assignment requests for one step (coordinator
+    /// overhead, distinct from the settle that follows).
+    CoordServe,
 }
 
 impl BarrierKind {
@@ -57,8 +64,23 @@ impl BarrierKind {
             BarrierKind::LevelJoin => "level-join",
             BarrierKind::LevelWait => "level-wait",
             BarrierKind::TaskWait => "task-wait",
+            BarrierKind::QueueEmpty => "queue-empty",
+            BarrierKind::CoordServe => "coord-serve",
         }
     }
+
+    /// Every kind, in declaration order — lets reports iterate the
+    /// taxonomy without hand-maintaining a list.
+    pub const ALL: [BarrierKind; 8] = [
+        BarrierKind::RowWait,
+        BarrierKind::RowInstall,
+        BarrierKind::RowJoin,
+        BarrierKind::LevelJoin,
+        BarrierKind::LevelWait,
+        BarrierKind::TaskWait,
+        BarrierKind::QueueEmpty,
+        BarrierKind::CoordServe,
+    ];
 }
 
 /// What a recorded span covers.
