@@ -324,6 +324,14 @@ fn needle_metric_literal() -> String {
     format!("\"{}.", ["mc", "os"].concat())
 }
 
+/// A string literal opening with the memory-telemetry sub-namespace.
+/// Stricter than the general rule: memory metric names must be declared
+/// in `metrics::names` (one file), so even the rest of the telemetry
+/// crate has to reference the constants rather than repeat the strings.
+fn needle_mem_literal() -> String {
+    format!("\"{}.mem.", ["mc", "os"].concat())
+}
+
 /// Whether the `metrics` rule's stderr-printing arm applies to this
 /// file: engine library code, where observability must flow through
 /// the recorder and registry.
@@ -363,6 +371,7 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
     let policies = policy_needles();
     let eprintln_macro = needle_eprintln();
     let metric_literal = needle_metric_literal();
+    let mem_literal = needle_mem_literal();
     let lines: Vec<&str> = text.lines().collect();
     let test_code = test_code_mask(&lines);
     for (i, line) in lines.iter().enumerate() {
@@ -419,7 +428,8 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
         }
         let stray_stats = is_engine_crate(rel) && line.contains(&eprintln_macro);
         let adhoc_name = !rel.starts_with("crates/telemetry/") && line.contains(&metric_literal);
-        if (stray_stats || adhoc_name) && !allow.allows(Rule::Metrics, rel) {
+        let adhoc_mem = rel != "crates/telemetry/src/metrics.rs" && line.contains(&mem_literal);
+        if (stray_stats || adhoc_name || adhoc_mem) && !allow.allows(Rule::Metrics, rel) {
             findings.push(LintFinding {
                 file: rel.to_string(),
                 line: i + 1,
@@ -618,6 +628,28 @@ mod tests {
         )
         .unwrap();
         assert!(lint_workspace(&root, &allow).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mem_metric_literals_are_only_declared_in_the_schema_file() {
+        let prefix = ["mc", "os"].concat();
+        let adhoc = format!("fn g() {{ reg.gauge(\"{prefix}.mem.extra\"); }}\n");
+        let declared = format!("pub const M: &str = \"{prefix}.mem.extra\";\n");
+        let root = fixture(&[
+            // The mem.* sub-namespace is stricter than the general
+            // metric rule: even the telemetry crate's other modules
+            // must use the declared constants...
+            ("crates/telemetry/src/mem.rs", adhoc.as_str()),
+            ("crates/parallel/src/engine.rs", adhoc.as_str()),
+            // ...and only the schema file declares the strings.
+            ("crates/telemetry/src/metrics.rs", declared.as_str()),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::Metrics));
+        let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        assert!(files.contains(&"crates/telemetry/src/mem.rs"));
+        assert!(files.contains(&"crates/parallel/src/engine.rs"));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The bench-trajectory regression harness behind `srna bench`.
 //!
 //! One entry point runs the declared suites — kernel rates, barrier
-//! ablation, an engine-matrix spot sweep — on **fixed** small workloads
+//! ablation, an engine-matrix spot sweep, memo-store memory occupancy
+//! and liveness floors — on **fixed** small workloads
 //! (quick and full mode differ only in repetitions, so metric names
 //! never drift between modes), and emits one schema-versioned
 //! [`BenchArtifact`] per suite: `BENCH_kernel.json`,
-//! `BENCH_barriers.json`, `BENCH_matrix.json` at the repo root.
+//! `BENCH_barriers.json`, `BENCH_matrix.json`, `BENCH_memory.json` at
+//! the repo root.
 //!
 //! [`check`] compares a fresh artifact against a committed baseline
 //! with per-metric tolerances. Metrics declare how they regress:
@@ -33,8 +35,9 @@ use mcos_core::preprocess::Preprocessed;
 use mcos_core::srna2;
 use mcos_parallel::{prna, prna_recorded, wavefront, Backend, PrnaConfig, ScheduleKind};
 use mcos_telemetry::json::{self, Value};
+use mcos_telemetry::liveness::{self, SliceNode};
 use mcos_telemetry::metrics::{self, valid_metric_name, Registry};
-use mcos_telemetry::Recorder;
+use mcos_telemetry::{critical_path, Recorder};
 use rna_structure::{generate, ArcStructure};
 
 /// Version of the harness artifact schema (the `suite`/`metrics`
@@ -392,11 +395,13 @@ pub enum Suite {
     Barriers,
     /// Engine-matrix spot sweep with recorded counters.
     Matrix,
+    /// Memo-store memory: occupancy, peak bytes, liveness floors.
+    Memory,
 }
 
 impl Suite {
     /// Every suite.
-    pub const ALL: [Suite; 3] = [Suite::Kernel, Suite::Barriers, Suite::Matrix];
+    pub const ALL: [Suite; 4] = [Suite::Kernel, Suite::Barriers, Suite::Matrix, Suite::Memory];
 
     /// Suite name used in artifacts and `--suite`.
     pub fn name(self) -> &'static str {
@@ -404,6 +409,7 @@ impl Suite {
             Suite::Kernel => "kernel",
             Suite::Barriers => "barriers",
             Suite::Matrix => "matrix",
+            Suite::Memory => "memory",
         }
     }
 
@@ -424,6 +430,7 @@ impl Suite {
             Suite::Kernel => run_kernel_suite(cfg),
             Suite::Barriers => run_barrier_suite(cfg),
             Suite::Matrix => run_matrix_suite(cfg),
+            Suite::Memory => run_memory_suite(cfg),
         }
     }
 }
@@ -629,6 +636,133 @@ pub fn run_matrix_suite(cfg: SuiteConfig) -> BenchArtifact {
     }
     BenchArtifact {
         suite: Suite::Matrix.name().to_string(),
+        metrics,
+    }
+}
+
+/// Memo-store memory: one backend per store representation, recorder on.
+/// Physical occupancy (cells allocated/written), the modelled level-
+/// liveness floor, and peak memo bytes are exact functions of the input
+/// and store, so they gate deterministically; scratch and allocator
+/// peaks ride along as info.
+pub fn run_memory_suite(_cfg: SuiteConfig) -> BenchArtifact {
+    let stores = [
+        ("replicated", "row-replicated"),
+        ("rwlock", "row-rwlock"),
+        ("lockfree", "wavefront-lockfree"),
+    ];
+    let mut metrics = Vec::new();
+    for (input, s) in suite_inputs() {
+        let p = Preprocessed::build(&s);
+        for (store, backend_name) in stores {
+            let backend = Backend::from_name(backend_name)
+                .unwrap_or_else(|| panic!("unknown memory-suite backend {backend_name}"));
+            let config = PrnaConfig {
+                processors: 2,
+                policy: Policy::Greedy,
+                backend,
+                ..PrnaConfig::default()
+            };
+            let recorder = Recorder::enabled();
+            let out = prna_recorded(&s, &s, &config, &recorder);
+            let events = recorder.events();
+            let counters = recorder.counters();
+            // Same registry path every other reporter uses: the suite
+            // reads the published mcos.mem.* gauges, not raw counters.
+            let registry = Registry::new();
+            metrics::publish_run(
+                &registry,
+                &events,
+                &counters,
+                out.stage_one.as_nanos() as u64,
+            )
+            .unwrap_or_else(|e| panic!("metrics registry rejected the run: {e}"));
+            let snap = registry.snapshot();
+            let cells_allocated = snap
+                .gauge(metrics::names::MEM_MEMO_CELLS_ALLOCATED)
+                .unwrap_or(0.0);
+            let cells_written = snap
+                .gauge(metrics::names::MEM_MEMO_CELLS_WRITTEN)
+                .unwrap_or(0.0);
+            let peak_bytes = snap
+                .gauge(metrics::names::MEM_MEMO_BYTES_PEAK)
+                .unwrap_or(0.0);
+            let scratch_peak = snap
+                .gauge(metrics::names::MEM_SCRATCH_BYTES_PEAK)
+                .unwrap_or(0.0);
+            let scratch_allocs = snap
+                .counter(metrics::names::MEM_SCRATCH_ALLOCS)
+                .unwrap_or(0);
+            // Liveness floor from the recorded slice set: a model of the
+            // input and dependency structure, independent of timing.
+            let costs = critical_path::slice_costs_from_events(&events);
+            let nodes: Vec<SliceNode> = costs
+                .iter()
+                .map(|c| SliceNode {
+                    k1: c.k1,
+                    k2: c.k2,
+                    level: c.level,
+                })
+                .collect();
+            let model = liveness::level_liveness(&nodes, |k1, k2, sink| {
+                let (lo1, hi1) = p.under_range[k1 as usize];
+                let (lo2, hi2) = p.under_range[k2 as usize];
+                for c1 in lo1..hi1 {
+                    for c2 in lo2..hi2 {
+                        sink(c1, c2);
+                    }
+                }
+            });
+            let prefix = format!("memory.{input}.{store}");
+            metrics.push(Metric::exact(
+                format!("{prefix}.score"),
+                f64::from(out.score),
+                "score",
+            ));
+            metrics.push(Metric::exact(
+                format!("{prefix}.cells_allocated"),
+                cells_allocated,
+                "cells",
+            ));
+            metrics.push(Metric::exact(
+                format!("{prefix}.cells_written"),
+                cells_written,
+                "cells",
+            ));
+            metrics.push(Metric::exact(
+                format!("{prefix}.floor_cells"),
+                model.floor_cells as f64,
+                "slices",
+            ));
+            metrics.push(Metric::lower(
+                format!("{prefix}.peak_bytes"),
+                peak_bytes,
+                "bytes",
+                0.0,
+            ));
+            metrics.push(Metric::info(
+                format!("{prefix}.occupancy"),
+                if cells_allocated > 0.0 {
+                    cells_written / cells_allocated
+                } else {
+                    0.0
+                },
+                "ratio",
+            ));
+            metrics.push(Metric::info(
+                format!("{prefix}.scratch_bytes_peak"),
+                scratch_peak,
+                "bytes",
+            ));
+            metrics.push(Metric::info(
+                format!("{prefix}.scratch_allocs"),
+                scratch_allocs as f64,
+                "allocs",
+            ));
+        }
+    }
+    BenchArtifact {
+        suite: Suite::Memory.name().to_string(),
         metrics,
     }
 }

@@ -6,8 +6,9 @@ use mcos_core::{srna2, traceback, verify};
 use mcos_parallel::{prna, prna_recorded, Backend, KernelKind, PrnaConfig};
 use mcos_telemetry::critical_path::{self, Explanation, StallReport};
 use mcos_telemetry::json::Value;
-use mcos_telemetry::report::{GrahamComparison, LoadReport};
-use mcos_telemetry::{trace, CounterSnapshot, Recorder};
+use mcos_telemetry::liveness::{self, MemoryReport, SliceNode};
+use mcos_telemetry::report::{GrahamComparison, LoadReport, MemoryUse};
+use mcos_telemetry::{mem, trace, CounterSnapshot, Recorder};
 use par_sim::Scheduling;
 use rna_structure::formats::dot_bracket;
 use rna_structure::io::{load_path, Format};
@@ -43,16 +44,20 @@ usage: srna <subcommand> [options]
       Simulated PRNA speedup on a worst-case input of N arcs.
       --json emits the curve as JSON (to stdout, or to --out PATH).
   profile [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend NAME] [--kernel NAME] [--out trace.json]
+          [--backend NAME] [--kernel NAME] [--out trace.json] [--json]
       Run PRNA with telemetry enabled: writes a Chrome/Perfetto trace
-      (open in https://ui.perfetto.dev or chrome://tracing) and prints
-      the per-worker load report (busy/wait share, largest slice,
+      (open in https://ui.perfetto.dev or chrome://tracing, with memo
+      memory counter tracks sampled at slice ends) and prints the
+      per-worker load report (busy/wait share, largest slice,
       observed imbalance vs the Graham bound), the per-kernel
-      tabulation throughput (cells/sec), and work counters. With no
-      files, profiles a generated hairpin-chain self-comparison.
-      B defaults to A.
+      tabulation throughput (cells/sec), the memo-store memory line
+      (cells allocated, peak MiB, occupancy), and work counters.
+      --json prints the schema-versioned load report instead of the
+      rendered tables. With no files, profiles a generated
+      hairpin-chain self-comparison. B defaults to A.
   explain [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend NAME] [--kernel NAME] [--json] [--out PATH]
+          [--backend NAME] [--kernel NAME] [--memory] [--json]
+          [--out PATH]
       Explain a run's parallel performance: reconstructs the slice-DAG
       critical path from measured per-slice costs (total work T1, span
       T-inf, the Brent speedup ceiling T1/max(T1/p, T-inf)) and
@@ -60,13 +65,19 @@ usage: srna <subcommand> [options]
       barrier-wait, queue-empty, coordinator, and untracked buckets —
       the buckets sum to each lane's measured wall exactly. Prints a
       headline like \"observed 3.1x of a 4.6x ceiling; 22% of lost
-      time is level-wait on worker 3\". --json emits the
-      machine-readable twin (to stdout, or to --out PATH). With no
-      files, explains a generated hairpin-chain self-comparison.
-  bench [--quick] [--reps N] [--suite kernel,barriers,matrix]
+      time is level-wait on worker 3\". --memory switches to the
+      level-liveness memory report instead: memo cells allocated vs
+      written vs the model's minimum resident set, per-level residency
+      high-water marks, scratch and allocator peaks, and a headline
+      like \"peak X MiB, theoretical floor Y MiB; level L holds Z% of
+      peak\". --json emits the machine-readable twin of either report
+      (to stdout, or to --out PATH). With no files, explains a
+      generated hairpin-chain self-comparison.
+  bench [--quick] [--reps N] [--suite kernel,barriers,matrix,memory]
         [--out-dir DIR] [--check [BASELINE_DIR]] [--slack F]
       Run the declared regression suites (kernel tabulation rates,
-      barrier-schedule ablation, engine-matrix spot sweep) on fixed
+      barrier-schedule ablation, engine-matrix spot sweep, memo-store
+      memory occupancy/liveness) on fixed
       workloads and write schema-versioned BENCH_<suite>.json
       artifacts to --out-dir (default '.'). With --check, write
       BENCH_<suite>.fresh.json instead and compare against the
@@ -379,16 +390,61 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
     let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
     let weights = mcos_core::workload::column_weights(&p1, &p2);
     let assignment = config.policy.assign(&weights, threads);
+    let counters = recorder.counters();
     let report = LoadReport::build(&events, threads)
         .with_graham(GrahamComparison::from_assignment(&assignment, &weights))
-        .with_kernel(kernel.name());
-    print!("{}", report.render());
-    print_snapshot(&recorder.counters());
+        .with_kernel(kernel.name())
+        .with_memory(MemoryUse {
+            cells_allocated: counters.memo_cells_allocated,
+            cells_written: counters.memo_cells_written,
+            cell_bytes: 4,
+        });
+    if has_flag(args, "--json") {
+        print!("{}", report.to_json().to_json_pretty());
+    } else {
+        print!("{}", report.render());
+        print_snapshot(&counters);
+    }
 
-    std::fs::write(out_path, trace::chrome_trace_json(&events))
-        .map_err(|e| format!("{out_path}: {e}"))?;
+    // The trace gets the liveness model's counter tracks so Perfetto
+    // shows the memory trajectory next to the spans.
+    let model = liveness_model(&events, &p1, &p2);
+    std::fs::write(
+        out_path,
+        trace::chrome_trace_json_with_memory(&events, Some(&model)),
+    )
+    .map_err(|e| format!("{out_path}: {e}"))?;
     println!("wrote {out_path} (open in https://ui.perfetto.dev or chrome://tracing)");
     Ok(())
+}
+
+/// The level-liveness model of a recorded run: slice nodes from the
+/// recorded spans, dependencies from the recurrence's `under_range`
+/// cross product (the same relation `explain` walks for the critical
+/// path).
+fn liveness_model(
+    events: &[mcos_telemetry::Event],
+    p1: &mcos_core::preprocess::Preprocessed,
+    p2: &mcos_core::preprocess::Preprocessed,
+) -> liveness::LevelLiveness {
+    let costs = critical_path::slice_costs_from_events(events);
+    let nodes: Vec<SliceNode> = costs
+        .iter()
+        .map(|c| SliceNode {
+            k1: c.k1,
+            k2: c.k2,
+            level: c.level,
+        })
+        .collect();
+    liveness::level_liveness(&nodes, |k1, k2, sink| {
+        let (lo1, hi1) = p1.under_range[k1 as usize];
+        let (lo2, hi2) = p2.under_range[k2 as usize];
+        for c1 in lo1..hi1 {
+            for c2 in lo2..hi2 {
+                sink(c1, c2);
+            }
+        }
+    })
 }
 
 /// `srna explain`.
@@ -463,6 +519,42 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
     // under k1 and c2 under k2 (the recurrence's under_range).
     let p1 = mcos_core::preprocess::Preprocessed::build(&s1);
     let p2 = mcos_core::preprocess::Preprocessed::build(&s2);
+
+    if has_flag(args, "--memory") {
+        let c = recorder.counters();
+        let report = MemoryReport {
+            backend: backend.name().to_string(),
+            kernel: kernel.name().to_string(),
+            threads,
+            cell_bytes: 4,
+            cells_allocated: c.memo_cells_allocated,
+            cells_written: c.memo_cells_written,
+            liveness: liveness_model(&events, &p1, &p2),
+            scratch_bytes_peak: c.scratch_bytes_peak,
+            scratch_allocs: c.scratch_allocs,
+            alloc_live_peak_bytes: mem::snapshot().peak(),
+            peak_rss_bytes: mem::peak_rss_bytes().unwrap_or(0),
+        };
+        if has_flag(args, "--json") {
+            let text = report.to_json().to_json_pretty();
+            match opt_value(args, "--out") {
+                Some(path) => {
+                    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+        } else {
+            println!(
+                "MCOS score: {} matched arcs; stage one {:.3} ms",
+                outcome.score,
+                outcome.stage_one.as_secs_f64() * 1e3
+            );
+            print!("{}", report.render());
+        }
+        return Ok(());
+    }
+
     let costs = critical_path::slice_costs_from_events(&events);
     let cp = critical_path::critical_path(&costs, |k1, k2, sink| {
         let (lo1, hi1) = p1.under_range[k1 as usize];
@@ -519,8 +611,9 @@ pub fn bench(args: &[String]) -> Result<(), String> {
         Some(list) => list
             .split(',')
             .map(|name| {
-                Suite::from_name(name.trim())
-                    .ok_or_else(|| format!("unknown suite '{name}' (kernel, barriers, matrix)"))
+                Suite::from_name(name.trim()).ok_or_else(|| {
+                    format!("unknown suite '{name}' (kernel, barriers, matrix, memory)")
+                })
             })
             .collect::<Result<_, _>>()?,
     };

@@ -20,7 +20,9 @@
 //!   (busy/wait share, observed vs predicted imbalance) and counters.
 //! * `srna explain [<A> [<B>]]` — reconstruct the slice-DAG critical
 //!   path (T1, T∞, the Brent speedup ceiling) from a recorded run and
-//!   attribute every worker's wall-clock to stall buckets.
+//!   attribute every worker's wall-clock to stall buckets; with
+//!   `--memory`, report memo occupancy and the level-liveness floor
+//!   instead.
 //! * `srna bench` — run the declared regression suites on fixed
 //!   workloads, writing schema-versioned `BENCH_<suite>.json`
 //!   artifacts; `--check` compares against committed baselines with
@@ -29,6 +31,13 @@
 use std::process::ExitCode;
 
 mod commands;
+
+// Opt-in counting allocator: `--features mem-profile` swaps in the
+// arena-tagging wrapper around the system allocator so the memory
+// reports show real live/peak bytes, not just the model.
+#[cfg(feature = "mem-profile")]
+#[global_allocator]
+static ALLOC: mcos_telemetry::mem::CountingAlloc = mcos_telemetry::mem::CountingAlloc::system();
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

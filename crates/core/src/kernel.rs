@@ -77,6 +77,19 @@ pub struct KernelScratch {
     m_row: Vec<u32>,
 }
 
+impl KernelScratch {
+    /// Bytes currently held by the scratch buffers (capacity, not
+    /// length: reuse keeps the buffers at their high-water capacity, so
+    /// this is the worker's scratch high-water mark).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<u32>()
+            * (self.grid.capacity()
+                + self.d2_row.capacity()
+                + self.r2_row.capacity()
+                + self.m_row.capacity())
+    }
+}
+
 /// One slice-tabulation strategy: the inner loop of the MCOS recurrence
 /// over one compressed grid.
 ///

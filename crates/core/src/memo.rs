@@ -97,6 +97,18 @@ impl MemoTable {
         &self.values
     }
 
+    /// Total number of cells (`rows × cols`).
+    #[inline]
+    pub fn cell_count(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Bytes resident in the cell storage.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Element-wise maximum with another table of identical shape — the
     /// shared-memory analogue of `MPI_Allreduce(MPI_MAX)` over the whole
     /// table. Used by tests to merge per-rank replicas.
@@ -184,6 +196,12 @@ impl AtomicMemoTable {
         &self.values[r as usize * w..(r as usize + 1) * w]
     }
 
+    /// Total number of cells (`rows × cols`).
+    #[inline]
+    pub fn cell_count(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
     /// Consumes the table into an ordinary [`MemoTable`] once all
     /// levels have completed.
     pub fn into_inner(self) -> MemoTable {
@@ -260,6 +278,16 @@ mod tests {
     fn zero_sized_tables() {
         let m = MemoTable::zeroed(0, 5);
         assert_eq!(m.as_slice().len(), 0);
+        assert_eq!(m.cell_count(), 0);
+    }
+
+    #[test]
+    fn cell_count_and_resident_bytes_cover_the_grid() {
+        let m = MemoTable::zeroed(3, 4);
+        assert_eq!(m.cell_count(), 12);
+        assert!(m.resident_bytes() >= 12 * 4);
+        let a = AtomicMemoTable::zeroed(3, 4);
+        assert_eq!(a.cell_count(), 12);
     }
 
     #[test]

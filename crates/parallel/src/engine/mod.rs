@@ -61,6 +61,7 @@ use load_balance::Assignment;
 use mcos_core::kernel::{KernelKind, KernelScratch, SliceKernel};
 use mcos_core::trace::{TaskId, TraceLog};
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed};
+use mcos_telemetry::mem::{Arena, ArenaScope};
 use mcos_telemetry::{BarrierKind, Recorder, WorkerLog};
 
 use crate::{slice_detail, Backend, DistKind, ScheduleKind, StoreKind};
@@ -144,6 +145,10 @@ fn run_steps<S: Schedule, M: MemoStore>(
     ctx: &EngineCtx<'_>,
 ) -> MemoTable {
     assert!(ctx.workers > 0, "need at least one worker");
+    // Occupancy accounting: the store knows the physical cost of its
+    // own representation (replicas, snapshots), counted once per run.
+    ctx.recorder
+        .count_memo_cells_allocated(store.cells_allocated());
     match dist {
         Distribution::Managed => run_managed(schedule, steps, &store, ctx),
         _ if store.coordinated() => run_coordinated(schedule, steps, &store, dist, ctx),
@@ -237,6 +242,7 @@ fn run_free<M: MemoStore>(steps: &[Step], store: &M, dist: Distribution<'_>, ctx
             let mut log = ctx.recorder.lane(w + 1);
             let cursors = &cursors;
             scope.spawn(move || {
+                let _arena = ArenaScope::enter(Arena::Scratch);
                 let mut scratch = KernelScratch::default();
                 for (pos, step) in steps.iter().enumerate() {
                     let mut view = store.begin_step(w as usize);
@@ -254,6 +260,7 @@ fn run_free<M: MemoStore>(steps: &[Step], store: &M, dist: Distribution<'_>, ctx
                         h.log.leave(h.tasks[w as usize], step.index);
                     }
                 }
+                log.scratch_peak(scratch.resident_bytes() as u64);
             });
         }
     });
@@ -283,6 +290,7 @@ fn run_coordinated<S: Schedule, M: MemoStore>(
             let mut log = ctx.recorder.lane(w + 1);
             let cursors = &cursors;
             scope.spawn(move || {
+                let _arena = ArenaScope::enter(Arena::Scratch);
                 let mut scratch = KernelScratch::default();
                 let mut prev: Option<u32> = None;
                 for (pos, step) in steps.iter().enumerate() {
@@ -308,6 +316,7 @@ fn run_coordinated<S: Schedule, M: MemoStore>(
                     done_tx.send(w).expect("coordinator alive");
                     prev = Some(step.index);
                 }
+                log.scratch_peak(scratch.resident_bytes() as u64);
             });
         }
 
@@ -372,6 +381,7 @@ fn run_managed<S: Schedule, M: MemoStore>(
             let done_tx = done_tx.clone();
             let mut log = ctx.recorder.lane(w + 1);
             scope.spawn(move || {
+                let _arena = ArenaScope::enter(Arena::Scratch);
                 let mut scratch = KernelScratch::default();
                 let mut prev: Option<u32> = None;
                 for step in steps {
@@ -429,6 +439,7 @@ fn run_managed<S: Schedule, M: MemoStore>(
                     }
                     prev = Some(step.index);
                 }
+                log.scratch_peak(scratch.resident_bytes() as u64);
             });
         }
 
@@ -603,18 +614,24 @@ fn run_sched<S: Schedule>(
         hooks,
     };
     let (a1, a2) = (p1.num_arcs(), p2.num_arcs());
+    // Tag the table construction so a `mem-profile` build attributes
+    // the grid allocations to the memo arena.
+    let memo_arena = ArenaScope::enter(Arena::Memo);
     match backend.store {
         StoreKind::Replicated => {
             let managed = matches!(backend.dist, DistKind::Managed);
             let store = Replicated::new(a1, a2, workers, managed, recorder);
+            drop(memo_arena);
             run_maybe_traced(schedule, &steps, store, dist, &ctx)
         }
         StoreKind::SharedRwLock => {
             let store = SharedRwLock::new(a1, a2, &steps);
+            drop(memo_arena);
             run_maybe_traced(schedule, &steps, store, dist, &ctx)
         }
         StoreKind::LockFreeAtomic => {
             let store = LockFreeAtomic::new(a1, a2);
+            drop(memo_arena);
             run_maybe_traced(schedule, &steps, store, dist, &ctx)
         }
     }

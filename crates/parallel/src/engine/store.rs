@@ -40,6 +40,12 @@ pub trait MemoStore: Sync + Sized {
     /// [`MemoStore::worker_sync`] instead and run coordinator-free.
     fn coordinated(&self) -> bool;
 
+    /// Total memo cells this store allocated across all of its tables
+    /// and replicas (the `mcos.mem.memo.cells_allocated` figure; the
+    /// physical cost of the representation, not the logical `a₁ × a₂`
+    /// grid size).
+    fn cells_allocated(&self) -> u64;
+
     /// Opens worker `w`'s view for the current step.
     fn begin_step(&self, w: usize) -> Self::View<'_>;
 
@@ -80,6 +86,10 @@ pub trait StepView {
 struct Replica {
     memo: MemoTable,
     comm: Communicator<Vec<u32>>,
+    /// Reused per-step payload buffer: the merged vector returned by
+    /// the collective is recycled as the next step's gather buffer, so
+    /// steady-state merges allocate nothing on this rank.
+    scratch: Vec<u32>,
 }
 
 impl Replica {
@@ -89,11 +99,14 @@ impl Replica {
         // assembles the true values on every rank), merge, scatter
         // back. Under the row schedule this is exactly the paper's
         // per-row `Allreduce(MAX)` payload.
-        let mine: Vec<u32> = step
-            .slices
-            .iter()
-            .map(|&(k1, k2)| self.memo.get(k1, k2))
-            .collect();
+        let mut mine = std::mem::take(&mut self.scratch);
+        let cap_before = mine.capacity();
+        mine.clear();
+        mine.extend(step.slices.iter().map(|&(k1, k2)| self.memo.get(k1, k2)));
+        if mine.capacity() > cap_before {
+            log.scratch_alloc(1);
+        }
+        log.scratch_peak((mine.capacity() * std::mem::size_of::<u32>()) as u64);
         let n = mine.len() as u64;
         let span = log.start();
         let merged = self.comm.allreduce(mine, |mut a, b| {
@@ -106,6 +119,11 @@ impl Replica {
         for (&(k1, k2), &v) in step.slices.iter().zip(&merged) {
             self.memo.set(k1, k2, v);
         }
+        // Every rank installs the whole step into its replica, so the
+        // store's physical write count is `ranks × cells` — the
+        // publishes merged away above are not counted separately.
+        log.memo_writes(step.slices.len() as u64);
+        self.scratch = merged;
     }
 }
 
@@ -130,6 +148,7 @@ impl Replicated {
             Mutex::new(Replica {
                 memo: MemoTable::zeroed(a1, a2),
                 comm: comms.remove(0),
+                scratch: Vec::new(),
             })
         });
         Replicated {
@@ -139,6 +158,7 @@ impl Replicated {
                     Mutex::new(Replica {
                         memo: MemoTable::zeroed(a1, a2),
                         comm,
+                        scratch: Vec::new(),
                     })
                 })
                 .collect(),
@@ -174,6 +194,16 @@ impl MemoStore for Replicated {
 
     fn coordinated(&self) -> bool {
         false
+    }
+
+    fn cells_allocated(&self) -> u64 {
+        // One full grid per rank (workers plus the optional manager).
+        let per_rank = match (self.workers.first(), &self.manager) {
+            (Some(w), _) => w.lock().memo.cell_count(),
+            (None, Some(m)) => m.lock().memo.cell_count(),
+            (None, None) => 0,
+        };
+        per_rank * (self.workers.len() as u64 + self.manager.is_some() as u64)
     }
 
     fn begin_step(&self, w: usize) -> ReplicatedView<'_> {
@@ -226,6 +256,10 @@ pub struct SharedRwLock {
     /// Drained only by the coordinator inside [`MemoStore::settle`];
     /// the mutex makes the receiver shareable, not contended.
     results_rx: Mutex<Receiver<(u32, u32, u32)>>,
+    /// Reused settle staging buffer (grows once to the largest step
+    /// instead of allocating per settle). Coordinator-only, like
+    /// `results_rx`.
+    staging: Mutex<Vec<(u32, u32, u32)>>,
 }
 
 impl SharedRwLock {
@@ -241,6 +275,7 @@ impl SharedRwLock {
             memo: RwLock::new(MemoTable::zeroed(a1, a2)),
             results_tx,
             results_rx: Mutex::new(results_rx),
+            staging: Mutex::new(Vec::new()),
         }
     }
 
@@ -289,6 +324,11 @@ impl MemoStore for SharedRwLock {
         true
     }
 
+    fn cells_allocated(&self) -> u64 {
+        // One shared grid.
+        self.memo.read().cell_count()
+    }
+
     fn begin_step(&self, _w: usize) -> RwLockView<'_> {
         RwLockView {
             guard: self.memo.read(),
@@ -300,19 +340,29 @@ impl MemoStore for SharedRwLock {
 
     fn manager_sync(&self, _step: &Step, _log: &mut WorkerLog) {}
 
-    fn settle(&self, step: &Step, _recorder: &Recorder) {
+    fn settle(&self, step: &Step, recorder: &Recorder) {
         // Exactly one triple per slice of the step is in flight; every
         // worker has already finished, so the drain never blocks.
         let rx = self.results_rx.lock();
-        let mut staged: Vec<(u32, u32, u32)> = Vec::with_capacity(step.slices.len());
+        let mut staged = self.staging.lock();
+        let cap_before = staged.capacity();
+        staged.clear();
         for _ in 0..step.slices.len() {
             staged.push(rx.recv().expect("workers published the whole step"));
         }
         drop(rx);
+        if staged.capacity() > cap_before {
+            recorder.count_scratch_allocs(1);
+        }
+        recorder.record_scratch_peak(
+            (staged.capacity() * std::mem::size_of::<(u32, u32, u32)>()) as u64,
+        );
         let mut guard = self.memo.write();
-        for (k1, k2, v) in staged {
+        for &(k1, k2, v) in staged.iter() {
             guard.set(k1, k2, v);
         }
+        // Each cell lands in the shared table exactly once.
+        recorder.count_memo_cells_written(staged.len() as u64);
     }
 
     fn finish(self) -> MemoTable {
@@ -372,6 +422,11 @@ impl MemoStore for LockFreeAtomic {
         true
     }
 
+    fn cells_allocated(&self) -> u64 {
+        // The atomic grid plus the settled snapshot.
+        self.atomic.cell_count() + self.settled.read().cell_count()
+    }
+
     fn begin_step(&self, _w: usize) -> LockFreeView<'_> {
         LockFreeView {
             settled: self.settled.read(),
@@ -391,6 +446,9 @@ impl MemoStore for LockFreeAtomic {
             settled.set(k1, k2, self.atomic.get(k1, k2));
         }
         recorder.count_settled_reads(step.slices.len() as u64);
+        // Each cell is written twice: the worker's atomic publish and
+        // this fold into the settled snapshot.
+        recorder.count_memo_cells_written(2 * step.slices.len() as u64);
     }
 
     fn finish(self) -> MemoTable {
@@ -411,6 +469,45 @@ mod tests {
                 slices: (0..n).map(|k2| (i as u32, k2 as u32)).collect(),
             })
             .collect()
+    }
+
+    #[test]
+    fn cells_allocated_reflects_the_representation() {
+        let rec = Recorder::disabled();
+        // Replicated: one 3x4 grid per rank (2 workers + manager).
+        assert_eq!(Replicated::new(3, 4, 2, true, &rec).cells_allocated(), 36);
+        assert_eq!(Replicated::new(3, 4, 2, false, &rec).cells_allocated(), 24);
+        // RwLock: the single shared grid.
+        assert_eq!(SharedRwLock::new(3, 4, &steps(&[2])).cells_allocated(), 12);
+        // Lock-free: atomic grid + settled snapshot.
+        assert_eq!(LockFreeAtomic::new(3, 4).cells_allocated(), 24);
+    }
+
+    #[test]
+    fn settle_counts_written_cells_and_scratch() {
+        let all = steps(&[3]);
+        let rec = Recorder::enabled();
+        let store = SharedRwLock::new(1, 3, &all);
+        let mut view = store.begin_step(0);
+        for &(k1, k2) in &all[0].slices {
+            view.publish(k1, k2, 1);
+        }
+        drop(view);
+        store.settle(&all[0], &rec);
+        let c = rec.counters();
+        assert_eq!(c.memo_cells_written, 3);
+        assert_eq!(c.scratch_allocs, 1, "first settle grows the staging buffer");
+        assert!(c.scratch_bytes_peak >= 3 * 12);
+
+        let rec = Recorder::enabled();
+        let store = LockFreeAtomic::new(1, 3);
+        let mut view = store.begin_step(0);
+        for &(k1, k2) in &all[0].slices {
+            view.publish(k1, k2, 1);
+        }
+        drop(view);
+        store.settle(&all[0], &rec);
+        assert_eq!(rec.counters().memo_cells_written, 6, "publish + fold");
     }
 
     #[test]

@@ -94,6 +94,10 @@ impl<'t, M: MemoStore> MemoStore for Tracing<'t, M> {
         self.inner.coordinated()
     }
 
+    fn cells_allocated(&self) -> u64 {
+        self.inner.cells_allocated()
+    }
+
     fn begin_step(&self, w: usize) -> Self::View<'_> {
         TracingView {
             inner: self.inner.begin_step(w),

@@ -2,8 +2,10 @@
 //! backend coverage of the recorder.
 
 use load_balance::Policy;
+use mcos_core::preprocess::Preprocessed;
 use mcos_parallel::{prna, prna_recorded, Backend, PrnaConfig};
-use mcos_telemetry::critical_path::{StallBucket, StallReport};
+use mcos_telemetry::critical_path::{self, StallBucket, StallReport};
+use mcos_telemetry::liveness::{self, SliceNode};
 use mcos_telemetry::{json, trace, BarrierKind, Event, EventKind, Recorder};
 use rna_structure::generate;
 
@@ -242,6 +244,60 @@ fn managed_runs_record_queue_empty_and_coord_serve() {
             "{}",
             backend.name()
         );
+    }
+}
+
+/// The memory-occupancy invariant holds on every engine composition:
+/// the modelled peak of simultaneously-live cells never exceeds the
+/// physical writes, and no store writes more cells than it allocated
+/// (`cells_live ≤ cells_written ≤ cells_allocated`). A store that
+/// under-reports its representation, or a settle path that writes
+/// outside the grid it claimed, breaks the chain immediately.
+#[test]
+fn occupancy_invariant_holds_on_every_matrix_composition() {
+    let s1 = generate::random_structure(48, 0.9, 7);
+    let s2 = generate::random_structure(40, 0.8, 8);
+    let p1 = Preprocessed::build(&s1);
+    let p2 = Preprocessed::build(&s2);
+    for backend in Backend::MATRIX {
+        let recorder = Recorder::enabled();
+        prna_recorded(&s1, &s2, &config(backend, 3), &recorder);
+        let counters = recorder.counters();
+        let costs = critical_path::slice_costs_from_events(&recorder.events());
+        let nodes: Vec<SliceNode> = costs
+            .iter()
+            .map(|c| SliceNode {
+                k1: c.k1,
+                k2: c.k2,
+                level: c.level,
+            })
+            .collect();
+        let model = liveness::level_liveness(&nodes, |k1, k2, sink| {
+            let (lo1, hi1) = p1.under_range[k1 as usize];
+            let (lo2, hi2) = p2.under_range[k2 as usize];
+            for c1 in lo1..hi1 {
+                for c2 in lo2..hi2 {
+                    sink(c1, c2);
+                }
+            }
+        });
+        let cells_live = model.resident.iter().copied().max().unwrap_or(0);
+        assert!(
+            cells_live <= counters.memo_cells_written,
+            "{}: live {} > written {}",
+            backend.name(),
+            cells_live,
+            counters.memo_cells_written
+        );
+        assert!(
+            counters.memo_cells_written <= counters.memo_cells_allocated,
+            "{}: written {} > allocated {}",
+            backend.name(),
+            counters.memo_cells_written,
+            counters.memo_cells_allocated
+        );
+        // The floor is a lower bound on the peak by construction.
+        assert!(model.floor_cells <= cells_live, "{}", backend.name());
     }
 }
 

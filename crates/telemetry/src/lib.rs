@@ -29,6 +29,14 @@
 //!   `srna explain`.
 //! * [`metrics`] — the typed counter/gauge/histogram registry with the
 //!   workspace's stable metric-name schema.
+//! * [`mem`] — arena-tagged allocation accounting (live/peak bytes per
+//!   memo/scratch/trace/other arena) and, behind the `mem-profile`
+//!   feature, the [`mem::CountingAlloc`] global-allocator wrapper a
+//!   binary can install to feed those counters.
+//! * [`liveness`] — the level-liveness model of the slice DAG: which
+//!   memo cells are still needed while each dependency level settles,
+//!   the resident-set trajectory, and the theoretical floor behind
+//!   `srna explain --memory`.
 //!
 //! # Overhead policy
 //!
@@ -42,11 +50,18 @@
 //! 3. per-slice detail (level, cell count) is computed by a caller
 //!    closure that never runs when disabled.
 
-#![forbid(unsafe_code)]
+// The counting allocator (`mem-profile` only) is the one place this
+// crate needs `unsafe`: a `GlobalAlloc` impl forwarding to `System`.
+// Everything else stays forbidden; under the feature the ban relaxes
+// to `deny` so `mem::counting` alone can opt out with a SAFETY record.
+#![cfg_attr(not(feature = "mem-profile"), forbid(unsafe_code))]
+#![cfg_attr(feature = "mem-profile", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod critical_path;
 pub mod json;
+pub mod liveness;
+pub mod mem;
 pub mod metrics;
 mod recorder;
 pub mod report;

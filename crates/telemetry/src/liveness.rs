@@ -1,0 +1,498 @@
+//! Level-liveness analysis of the slice DAG and the memory report.
+//!
+//! Stage one settles the memo grid one dependency level at a time, so
+//! a memo cell's lifetime is an *interval of levels*: it is born when
+//! its own level is tabulated and it is dead once the last level that
+//! reads it has settled (`last_needed = max(own level, max reader
+//! level)`). Summing cells whose interval covers each level gives the
+//! resident-set trajectory, and its maximum is the **theoretical
+//! floor**: the smallest number of cells any stage-one store that
+//! evicts dead levels could keep resident. That floor is the
+//! measurement half of the linear-space roadmap item (Bille & Gørtz,
+//! arXiv:0911.0577) — today's stores keep everything, and the gap
+//! between peak and floor is exactly what eviction can reclaim.
+//!
+//! The floor is a *stage-one* bound: stage two's sequential traceback
+//! re-reads arbitrary memo cells, so an evicting store must either
+//! spill or recompute for stage two (Hirschberg-style). The report
+//! states what the floor promises — no schedule of stage one alone can
+//! hold fewer cells — and nothing more.
+//!
+//! Like `critical_path`, the DAG arrives as a `deps_of` closure; this
+//! crate knows nothing about arc structures.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// One memo cell (child slice) in the liveness analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceNode {
+    /// Row arc (of `S₁`).
+    pub k1: u32,
+    /// Column arc (of `S₂`).
+    pub k2: u32,
+    /// Wavefront dependency level (the step that writes the cell).
+    pub level: u32,
+}
+
+/// The resident-set trajectory of the slice DAG over dependency
+/// levels, and its maximum — the theoretical floor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LevelLiveness {
+    /// Number of dependency levels (steps); resident has this length.
+    pub levels: u32,
+    /// Total cells written (one per slice in the DAG).
+    pub cells: u64,
+    /// Cells resident while each level settles, indexed by level.
+    pub resident: Vec<u64>,
+    /// `max(resident)` — the smallest resident set stage one admits.
+    pub floor_cells: u64,
+    /// The first level attaining `floor_cells`.
+    pub floor_level: u32,
+}
+
+impl LevelLiveness {
+    /// Resident cells while `level` settles (zero out of range).
+    pub fn resident_at(&self, level: u32) -> u64 {
+        self.resident.get(level as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Computes the level-liveness trajectory of `nodes` under the
+/// dependency relation `deps_of`, which must call its sink once per
+/// dependency of slice `(k1, k2)`.
+///
+/// A cell is resident from its own level through the highest level
+/// that reads it. Edges to slices not present in `nodes` are ignored;
+/// dependency levels are expected to strictly decrease along edges
+/// (readers are *above* their dependencies), so an edge whose reader
+/// is not above the dependency only extends the dependency's lifetime
+/// upward, never shrinks it.
+pub fn level_liveness<F>(nodes: &[SliceNode], mut deps_of: F) -> LevelLiveness
+where
+    F: FnMut(u32, u32, &mut dyn FnMut(u32, u32)),
+{
+    if nodes.is_empty() {
+        return LevelLiveness::default();
+    }
+    let index: BTreeMap<(u32, u32), usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| ((n.k1, n.k2), i))
+        .collect();
+    let mut last_needed: Vec<u32> = nodes.iter().map(|n| n.level).collect();
+    for node in nodes {
+        deps_of(node.k1, node.k2, &mut |d1, d2| {
+            if let Some(&j) = index.get(&(d1, d2)) {
+                last_needed[j] = last_needed[j].max(node.level);
+            }
+        });
+    }
+    let levels = nodes.iter().map(|n| n.level).max().unwrap_or(0) + 1;
+    // Residency intervals via a +1/-1 difference array over levels.
+    let mut diff = vec![0i64; levels as usize + 1];
+    for (node, &last) in nodes.iter().zip(&last_needed) {
+        diff[node.level as usize] += 1;
+        diff[last as usize + 1] -= 1;
+    }
+    let mut resident = Vec::with_capacity(levels as usize);
+    let mut running = 0i64;
+    for d in &diff[..levels as usize] {
+        running += d;
+        resident.push(running.max(0) as u64);
+    }
+    let (floor_level, floor_cells) = resident
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &r)| (r, std::cmp::Reverse(i)))
+        .map(|(i, &r)| (i as u32, r))
+        .unwrap_or((0, 0));
+    LevelLiveness {
+        levels,
+        cells: nodes.len() as u64,
+        resident,
+        floor_cells,
+        floor_level,
+    }
+}
+
+/// The full memory story of one run: physical occupancy from the
+/// recorded counters, the model floor from the liveness analysis, and
+/// (when available) allocator and RSS measurements. Built by
+/// `srna explain --memory`; renders as text and as a schema-versioned
+/// JSON twin with the same numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryReport {
+    /// Backend name (`<schedule>-<store>[-<dist>]`).
+    pub backend: String,
+    /// Slice kernel name.
+    pub kernel: String,
+    /// Worker count the run used.
+    pub threads: u32,
+    /// Bytes per memo cell (4: the score grid is `u32`).
+    pub cell_bytes: u64,
+    /// Physical memo cells the store allocated, replicas included.
+    pub cells_allocated: u64,
+    /// Physical memo cells ever written.
+    pub cells_written: u64,
+    /// The liveness trajectory of the run's slice DAG.
+    pub liveness: LevelLiveness,
+    /// High-water mark of per-worker scratch bytes.
+    pub scratch_bytes_peak: u64,
+    /// Scratch/staging buffer allocations the run performed.
+    pub scratch_allocs: u64,
+    /// Peak live bytes seen by the counting allocator (0 when no
+    /// `mem-profile` allocator is installed).
+    pub alloc_live_peak_bytes: u64,
+    /// Process peak RSS in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Peak memo footprint: every allocated cell, in bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.cells_allocated * self.cell_bytes
+    }
+
+    /// The theoretical floor in bytes: the liveness maximum.
+    pub fn floor_bytes(&self) -> u64 {
+        self.liveness.floor_cells * self.cell_bytes
+    }
+
+    /// Written / allocated cells (1.0 for today's dense stores).
+    pub fn occupancy(&self) -> f64 {
+        if self.cells_allocated == 0 {
+            0.0
+        } else {
+            self.cells_written as f64 / self.cells_allocated as f64
+        }
+    }
+
+    /// Floor / peak: the fraction of the peak an evicting store must
+    /// keep. The complement is what eviction can reclaim.
+    pub fn floor_share(&self) -> f64 {
+        if self.peak_bytes() == 0 {
+            0.0
+        } else {
+            self.floor_bytes() as f64 / self.peak_bytes() as f64
+        }
+    }
+
+    /// One-line verdict, e.g. "peak 1.00 MiB, theoretical floor
+    /// 0.12 MiB; level 9 holds 12% of peak".
+    pub fn headline(&self) -> String {
+        format!(
+            "peak {} MiB, theoretical floor {} MiB; level {} holds {:.0}% of peak",
+            fmt_mib(self.peak_bytes()),
+            fmt_mib(self.floor_bytes()),
+            self.liveness.floor_level,
+            100.0 * self.floor_share()
+        )
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "memory: backend={} kernel={} threads={}",
+            self.backend, self.kernel, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "  memo: {} cells allocated ({} MiB), {} written (occupancy {:.0}%), {} B/cell",
+            self.cells_allocated,
+            fmt_mib(self.peak_bytes()),
+            self.cells_written,
+            100.0 * self.occupancy(),
+            self.cell_bytes
+        );
+        let _ = writeln!(out, "  {}", self.headline());
+        let _ = writeln!(
+            out,
+            "  liveness over {} levels ({} DAG cells):",
+            self.liveness.levels, self.liveness.cells
+        );
+        let peak = self.liveness.floor_cells.max(1);
+        const MAX_ROWS: usize = 16;
+        let shown = self.liveness.resident.len().min(MAX_ROWS);
+        for (level, &resident) in self.liveness.resident.iter().take(shown).enumerate() {
+            let _ = writeln!(
+                out,
+                "    level {level:>3}  resident {resident:>8} cells  {:>9} MiB  {:>3.0}% of floor{}",
+                fmt_mib(resident * self.cell_bytes),
+                100.0 * resident as f64 / peak as f64,
+                if level as u32 == self.liveness.floor_level {
+                    "  <- floor"
+                } else {
+                    ""
+                }
+            );
+        }
+        if self.liveness.resident.len() > shown {
+            let _ = writeln!(
+                out,
+                "    ... {} more levels",
+                self.liveness.resident.len() - shown
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  scratch: peak {} MiB across workers, {} buffer allocations",
+            fmt_mib(self.scratch_bytes_peak),
+            self.scratch_allocs
+        );
+        if self.alloc_live_peak_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  allocator: live peak {} MiB (mem-profile)",
+                fmt_mib(self.alloc_live_peak_bytes)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  allocator: not installed (build with --features mem-profile)"
+            );
+        }
+        if self.peak_rss_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  process peak RSS: {} MiB",
+                fmt_mib(self.peak_rss_bytes)
+            );
+        }
+        out
+    }
+
+    /// The machine-readable twin of [`MemoryReport::render`].
+    pub fn to_json(&self) -> Value {
+        let resident = self
+            .liveness
+            .resident
+            .iter()
+            .map(|&r| Value::from(r))
+            .collect();
+        Value::object([
+            ("schema_version".to_string(), Value::from(1u64)),
+            ("backend".to_string(), Value::from(self.backend.as_str())),
+            ("kernel".to_string(), Value::from(self.kernel.as_str())),
+            ("threads".to_string(), Value::from(self.threads)),
+            ("cell_bytes".to_string(), Value::from(self.cell_bytes)),
+            (
+                "cells_allocated".to_string(),
+                Value::from(self.cells_allocated),
+            ),
+            ("cells_written".to_string(), Value::from(self.cells_written)),
+            ("peak_bytes".to_string(), Value::from(self.peak_bytes())),
+            ("floor_bytes".to_string(), Value::from(self.floor_bytes())),
+            ("occupancy".to_string(), Value::from(self.occupancy())),
+            ("floor_share".to_string(), Value::from(self.floor_share())),
+            ("levels".to_string(), Value::from(self.liveness.levels)),
+            ("dag_cells".to_string(), Value::from(self.liveness.cells)),
+            (
+                "floor_cells".to_string(),
+                Value::from(self.liveness.floor_cells),
+            ),
+            (
+                "floor_level".to_string(),
+                Value::from(self.liveness.floor_level),
+            ),
+            ("resident".to_string(), Value::Array(resident)),
+            (
+                "scratch_bytes_peak".to_string(),
+                Value::from(self.scratch_bytes_peak),
+            ),
+            (
+                "scratch_allocs".to_string(),
+                Value::from(self.scratch_allocs),
+            ),
+            (
+                "alloc_live_peak_bytes".to_string(),
+                Value::from(self.alloc_live_peak_bytes),
+            ),
+            (
+                "peak_rss_bytes".to_string(),
+                Value::from(self.peak_rss_bytes),
+            ),
+            ("headline".to_string(), Value::from(self.headline())),
+        ])
+    }
+}
+
+/// Bytes as MiB with two decimals (no unit suffix; callers add it).
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(k1: u32, k2: u32, level: u32) -> SliceNode {
+        SliceNode { k1, k2, level }
+    }
+
+    /// `(node, its dependencies)` adjacency pairs.
+    type Edges = Vec<((u32, u32), Vec<(u32, u32)>)>;
+
+    fn deps_from(edges: &Edges) -> impl FnMut(u32, u32, &mut dyn FnMut(u32, u32)) + '_ {
+        move |k1, k2, sink| {
+            for (n, deps) in edges {
+                if *n == (k1, k2) {
+                    for &(d1, d2) in deps {
+                        sink(d1, d2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Diamond: D(level 2) depends on B and C (level 1), both depend
+    /// on A (level 0). Golden residency:
+    ///   level 0: {A}            → 1
+    ///   level 1: {A, B, C}      → 3 (A still feeds B and C)
+    ///   level 2: {B, C, D}      → 3 (A is dead, D is born)
+    /// so the floor is 3 of the 4 allocated cells.
+    fn diamond() -> (Vec<SliceNode>, Edges) {
+        let nodes = vec![node(0, 0, 0), node(1, 0, 1), node(1, 1, 1), node(2, 0, 2)];
+        let edges = vec![
+            ((1, 0), vec![(0, 0)]),
+            ((1, 1), vec![(0, 0)]),
+            ((2, 0), vec![(1, 0), (1, 1)]),
+        ];
+        (nodes, edges)
+    }
+
+    #[test]
+    fn diamond_floor_matches_the_known_answer() {
+        let (nodes, edges) = diamond();
+        let lv = level_liveness(&nodes, deps_from(&edges));
+        assert_eq!(lv.levels, 3);
+        assert_eq!(lv.cells, 4);
+        assert_eq!(lv.resident, vec![1, 3, 3]);
+        assert_eq!(lv.floor_cells, 3);
+        assert_eq!(lv.floor_level, 1, "first level attaining the floor");
+    }
+
+    #[test]
+    fn chain_keeps_exactly_two_cells_live() {
+        // 0 ← 1 ← 2 ← 3: while level l settles, only l-1 is read.
+        let nodes: Vec<SliceNode> = (0..4).map(|i| node(i, 0, i)).collect();
+        let lv = level_liveness(&nodes, |k1, _, sink| {
+            if k1 > 0 {
+                sink(k1 - 1, 0);
+            }
+        });
+        assert_eq!(lv.resident, vec![1, 2, 2, 2]);
+        assert_eq!(lv.floor_cells, 2);
+    }
+
+    #[test]
+    fn independent_slices_on_one_level_are_all_resident_at_once() {
+        let nodes: Vec<SliceNode> = (0..5).map(|i| node(i, 0, 0)).collect();
+        let lv = level_liveness(&nodes, |_, _, _| {});
+        assert_eq!(lv.levels, 1);
+        assert_eq!(lv.resident, vec![5]);
+        assert_eq!(lv.floor_cells, 5);
+    }
+
+    #[test]
+    fn a_cell_every_level_reads_stays_live_to_the_end() {
+        // Node (0,0) at level 0 is read by the top level only; it must
+        // stay resident across the middle levels it is not read at.
+        let nodes = vec![node(0, 0, 0), node(1, 0, 1), node(2, 0, 2), node(3, 0, 3)];
+        let lv = level_liveness(&nodes, |k1, _, sink| {
+            if k1 == 3 {
+                sink(0, 0);
+                sink(2, 0);
+            } else if k1 > 0 {
+                sink(k1 - 1, 0);
+            }
+        });
+        // (0,0) live 0..=3, (1,0) live 1..=2, (2,0) live 2..=3, (3,0) at 3.
+        assert_eq!(lv.resident, vec![1, 2, 3, 3]);
+        assert_eq!(lv.floor_cells, 3);
+        assert_eq!(lv.floor_level, 2);
+    }
+
+    #[test]
+    fn unknown_dependencies_are_ignored() {
+        let nodes = vec![node(0, 0, 0), node(1, 0, 1)];
+        let lv = level_liveness(&nodes, |k1, _, sink| {
+            if k1 == 1 {
+                sink(9, 9);
+                sink(0, 0);
+            }
+        });
+        assert_eq!(lv.resident, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_dag_is_degenerate_but_finite() {
+        let lv = level_liveness(&[], |_, _, _| {});
+        assert_eq!(lv, LevelLiveness::default());
+        assert_eq!(lv.resident_at(0), 0);
+    }
+
+    fn report() -> MemoryReport {
+        let (nodes, edges) = diamond();
+        MemoryReport {
+            backend: "level-lockfree".to_string(),
+            kernel: "tiled".to_string(),
+            threads: 2,
+            cell_bytes: 4,
+            cells_allocated: 8, // lockfree: atomic grid + settled snapshot
+            cells_written: 8,
+            liveness: level_liveness(&nodes, deps_from(&edges)),
+            scratch_bytes_peak: 256,
+            scratch_allocs: 3,
+            alloc_live_peak_bytes: 0,
+            peak_rss_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn headline_reports_peak_floor_and_share() {
+        let r = report();
+        // peak = 8 * 4 = 32 B, floor = 3 * 4 = 12 B → 38% of peak.
+        let h = r.headline();
+        assert_eq!(
+            h,
+            "peak 0.00 MiB, theoretical floor 0.00 MiB; level 1 holds 38% of peak"
+        );
+        assert!((r.floor_share() - 12.0 / 32.0).abs() < 1e-12);
+        assert!((r.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_every_level_and_the_floor_marker() {
+        let text = report().render();
+        assert!(text.contains("level   0"), "{text}");
+        assert!(text.contains("<- floor"), "{text}");
+        assert!(text.contains("occupancy 100%"), "{text}");
+        assert!(text.contains("mem-profile"), "{text}");
+    }
+
+    #[test]
+    fn json_twin_round_trips_and_agrees_with_the_struct() {
+        let r = report();
+        let doc = r.to_json();
+        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(doc.get("floor_cells").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(doc.get("peak_bytes").and_then(Value::as_f64), Some(32.0));
+        assert_eq!(doc.get("floor_bytes").and_then(Value::as_f64), Some(12.0));
+        assert_eq!(
+            doc.get("resident")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("headline").and_then(Value::as_str),
+            Some(r.headline().as_str())
+        );
+        let text = doc.to_json_pretty();
+        assert_eq!(crate::json::parse(&text).expect("round trip"), doc);
+    }
+}

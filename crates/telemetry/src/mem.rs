@@ -1,0 +1,388 @@
+//! Allocation accounting: coarse arena tagging, live/peak byte
+//! counters, and the opt-in counting allocator behind the
+//! `mem-profile` feature.
+//!
+//! The time-domain recorder answers "where did the cycles go"; this
+//! module answers the same question for bytes. Allocations are tagged
+//! with a coarse [`Arena`] — memo storage, per-worker scratch, trace
+//! buffers, or everything else — by a thread-local scope the code
+//! being measured opens around its allocation sites
+//! ([`ArenaScope::enter`]). Per-arena counters track live bytes, the
+//! high-water mark of live bytes, cumulative bytes, and allocation
+//! counts.
+//!
+//! Nothing is measured by default. The counters only move when a
+//! binary installs [`CountingAlloc`] as its global allocator, which
+//! requires the `mem-profile` feature (the `srna` CLI forwards it):
+//!
+//! ```text
+//! #[global_allocator]
+//! static ALLOC: mcos_telemetry::mem::CountingAlloc = mcos_telemetry::mem::CountingAlloc::system();
+//! ```
+//!
+//! This crate deliberately does **not** install the allocator itself:
+//! test binaries (e.g. `tests/zero_overhead.rs`) install their own
+//! counting allocators, and a library must not make that choice for
+//! its dependents.
+//!
+//! **Accuracy model.** The arena tag is read from the *current*
+//! thread's scope at both allocation and deallocation time. There is
+//! no per-pointer arena map (that would itself allocate), so a buffer
+//! allocated under one scope and freed under another is debited from
+//! the wrong arena; per-arena `live` therefore uses saturating
+//! subtraction and is approximate, while process-wide totals are
+//! exact. Peaks are monotone within a process by construction
+//! (`fetch_max`).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Coarse allocation arena. Every tracked byte belongs to exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Arena {
+    /// Memo-table storage: the `a1 × a2` cell grids the stores own.
+    Memo,
+    /// Per-worker tabulation scratch and per-step staging buffers.
+    Scratch,
+    /// Telemetry's own buffers: event vectors, trace export strings.
+    Trace,
+    /// Everything not opted into a scope (the thread default).
+    Other,
+}
+
+impl Arena {
+    /// Number of arenas (array dimension for per-arena counters).
+    pub const COUNT: usize = 4;
+
+    /// Every arena, in declaration order.
+    pub const ALL: [Arena; Arena::COUNT] =
+        [Arena::Memo, Arena::Scratch, Arena::Trace, Arena::Other];
+
+    /// Stable label used in reports and trace tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arena::Memo => "memo",
+            Arena::Scratch => "scratch",
+            Arena::Trace => "trace",
+            Arena::Other => "other",
+        }
+    }
+}
+
+/// Per-arena atomic counters. `live` saturates at zero on mismatched
+/// frees; `peak` and `total` are monotone.
+struct ArenaCells {
+    live: AtomicU64,
+    peak: AtomicU64,
+    total: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl ArenaCells {
+    const fn new() -> ArenaCells {
+        ArenaCells {
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+}
+
+static ARENAS: [ArenaCells; Arena::COUNT] = [const { ArenaCells::new() }; Arena::COUNT];
+
+thread_local! {
+    /// The current thread's arena tag, as an index into `ARENAS`.
+    /// Const-initialized so reading it never allocates (the counting
+    /// allocator reads it on every `alloc`).
+    static CURRENT: Cell<usize> = const { Cell::new(Arena::Other as usize) };
+}
+
+/// The arena index for the current thread, defaulting to `Other` when
+/// thread-local storage is unavailable (thread teardown).
+fn current_index() -> usize {
+    CURRENT.try_with(Cell::get).unwrap_or(Arena::Other as usize)
+}
+
+/// RAII guard tagging the current thread's allocations with an arena.
+/// Restores the previous tag on drop; scopes nest.
+#[must_use = "the tag only lasts while the scope is alive"]
+pub struct ArenaScope {
+    prev: usize,
+    /// Thread-local state is restored on drop, so the guard must stay
+    /// on the thread that opened it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ArenaScope {
+    /// Tags subsequent allocations on this thread with `arena` until
+    /// the returned guard drops.
+    pub fn enter(arena: Arena) -> ArenaScope {
+        let prev = CURRENT
+            .try_with(|c| c.replace(arena as usize))
+            .unwrap_or(Arena::Other as usize);
+        ArenaScope {
+            prev,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for ArenaScope {
+    fn drop(&mut self) {
+        let _ = CURRENT.try_with(|c| c.set(self.prev));
+    }
+}
+
+/// Records an allocation of `bytes` against the current thread's
+/// arena. Called by [`CountingAlloc`]; callable directly by tests.
+pub fn record_alloc(bytes: u64) {
+    let a = &ARENAS[current_index()];
+    // ORDERING: Relaxed — these are statistics; nothing synchronizes
+    // through them and per-counter monotonicity is all reports need.
+    let live = a.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    // ORDERING: Relaxed — max-merge of a statistic.
+    a.peak.fetch_max(live, Ordering::Relaxed);
+    // ORDERING: Relaxed — statistic.
+    a.total.fetch_add(bytes, Ordering::Relaxed);
+    // ORDERING: Relaxed — statistic.
+    a.allocs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a deallocation of `bytes` against the current thread's
+/// arena. Saturates at zero: a free observed under a different scope
+/// than its allocation must not drive `live` negative.
+pub fn record_dealloc(bytes: u64) {
+    let a = &ARENAS[current_index()];
+    let sub = |v: u64| Some(v.saturating_sub(bytes));
+    // ORDERING: Relaxed — statistic; the CAS loop only needs
+    // atomicity of the single counter.
+    let _ = a
+        .live
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, sub);
+}
+
+/// A point-in-time copy of one arena's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes currently live (allocated minus freed, clamped at zero).
+    pub live: u64,
+    /// High-water mark of `live` since process start.
+    pub peak: u64,
+    /// Cumulative bytes ever allocated.
+    pub total: u64,
+    /// Cumulative allocation count.
+    pub allocs: u64,
+}
+
+/// A point-in-time copy of every arena's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// Per-arena stats, indexed by `Arena as usize`.
+    pub arenas: [ArenaStats; Arena::COUNT],
+}
+
+impl MemSnapshot {
+    /// Stats for one arena.
+    pub fn get(&self, arena: Arena) -> ArenaStats {
+        self.arenas[arena as usize]
+    }
+
+    /// Live bytes across all arenas.
+    pub fn live(&self) -> u64 {
+        self.arenas.iter().map(|a| a.live).sum()
+    }
+
+    /// Sum of per-arena peaks: an upper bound on the true process
+    /// peak (arenas need not peak simultaneously).
+    pub fn peak(&self) -> u64 {
+        self.arenas.iter().map(|a| a.peak).sum()
+    }
+
+    /// Cumulative allocation count across all arenas. Zero means no
+    /// counting allocator is installed (the `mem-profile` default).
+    pub fn total_allocs(&self) -> u64 {
+        self.arenas.iter().map(|a| a.allocs).sum()
+    }
+}
+
+/// Copies the current counters.
+pub fn snapshot() -> MemSnapshot {
+    let mut out = MemSnapshot::default();
+    for (cells, stats) in ARENAS.iter().zip(out.arenas.iter_mut()) {
+        // ORDERING: Relaxed — each counter is read independently; a
+        // snapshot is advisory, not a consistent cut.
+        stats.live = cells.live.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        stats.peak = cells.peak.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        stats.total = cells.total.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — see above.
+        stats.allocs = cells.allocs.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or when the file is
+/// unreadable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(feature = "mem-profile")]
+mod counting {
+    use super::{record_alloc, record_dealloc};
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    /// A counting wrapper around the system allocator. Only exists
+    /// under `mem-profile`; a *binary* opts in with
+    /// `#[global_allocator]` — this crate never installs it.
+    pub struct CountingAlloc {
+        inner: System,
+    }
+
+    impl CountingAlloc {
+        /// Wraps [`std::alloc::System`].
+        pub const fn system() -> CountingAlloc {
+            CountingAlloc { inner: System }
+        }
+    }
+
+    #[allow(unsafe_code)]
+    // SAFETY: every method forwards verbatim to `System`, which
+    // upholds the GlobalAlloc contract; counters never allocate.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: forwards to `System`; the counter update is an
+        // atomic add that never allocates or unwinds.
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: `layout` is forwarded verbatim from our caller,
+            // who guarantees it is valid per the trait contract.
+            let p = unsafe { self.inner.alloc(layout) };
+            if !p.is_null() {
+                record_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        // SAFETY: forwards to `System`; the counter update is an
+        // atomic sub that never allocates or unwinds.
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            record_dealloc(layout.size() as u64);
+            // SAFETY: `ptr` was returned by `self.inner.alloc` with
+            // this `layout`, per the trait contract on our caller.
+            unsafe { self.inner.dealloc(ptr, layout) }
+        }
+
+        // SAFETY: forwards to `System`; the counter updates are
+        // atomic and never allocate or unwind.
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // SAFETY: `ptr`/`layout` come from a matching alloc and
+            // `new_size` is nonzero, per the trait contract.
+            let p = unsafe { self.inner.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                record_dealloc(layout.size() as u64);
+                record_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+}
+
+#[cfg(feature = "mem-profile")]
+pub use counting::CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counters are process globals shared with every other test in
+    // this binary, so assertions are delta-based and scoped to the
+    // `Trace` arena (nothing else in the unit-test binary enters it).
+
+    #[test]
+    fn live_never_goes_negative_and_saturates_at_zero() {
+        let _scope = ArenaScope::enter(Arena::Trace);
+        let before = snapshot().get(Arena::Trace);
+        record_dealloc(1 << 40);
+        let after = snapshot().get(Arena::Trace);
+        assert!(after.live <= before.live, "dealloc may only shrink live");
+        record_alloc(64);
+        record_dealloc(1 << 40);
+        assert_eq!(snapshot().get(Arena::Trace).live, 0);
+    }
+
+    #[test]
+    fn peak_is_monotone_within_a_scope() {
+        let _scope = ArenaScope::enter(Arena::Trace);
+        let mut last_peak = snapshot().get(Arena::Trace).peak;
+        for step in 1..=8u64 {
+            record_alloc(step * 128);
+            let s = snapshot().get(Arena::Trace);
+            assert!(s.peak >= last_peak, "peak must never decrease");
+            assert!(s.peak >= s.live, "peak bounds live");
+            last_peak = s.peak;
+            record_dealloc(step * 128);
+            assert!(
+                snapshot().get(Arena::Trace).peak >= last_peak,
+                "freeing must not lower the peak"
+            );
+        }
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_the_previous_arena() {
+        let outer = ArenaScope::enter(Arena::Memo);
+        let memo_before = snapshot().get(Arena::Memo).total;
+        {
+            let _inner = ArenaScope::enter(Arena::Scratch);
+            let scratch_before = snapshot().get(Arena::Scratch).total;
+            record_alloc(32);
+            assert_eq!(snapshot().get(Arena::Scratch).total, scratch_before + 32);
+        }
+        record_alloc(16);
+        let memo = snapshot().get(Arena::Memo);
+        assert_eq!(memo.total, memo_before + 16, "inner scope must restore");
+        drop(outer);
+    }
+
+    #[test]
+    fn allocation_totals_and_counts_accumulate() {
+        let _scope = ArenaScope::enter(Arena::Trace);
+        let before = snapshot().get(Arena::Trace);
+        record_alloc(100);
+        record_alloc(28);
+        record_dealloc(100);
+        let after = snapshot().get(Arena::Trace);
+        assert_eq!(after.total - before.total, 128);
+        assert_eq!(after.allocs - before.allocs, 2);
+    }
+
+    #[test]
+    fn arena_names_are_stable_and_distinct() {
+        let names: Vec<&str> = Arena::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["memo", "scratch", "trace", "other"]);
+        assert_eq!(Arena::ALL.len(), Arena::COUNT);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM must parse on linux");
+        assert!(rss > 0);
+    }
+}

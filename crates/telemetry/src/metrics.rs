@@ -36,6 +36,13 @@
 //! | `mcos.allreduce.rounds_total` | counter | binomial-tree message rounds |
 //! | `mcos.allreduce.bytes_total` | counter | payload bytes, summed over ranks |
 //! | `mcos.kernel.cells_per_sec` | gauge | kernel throughput of the run |
+//! | `mcos.mem.memo.cells_allocated` | gauge | physical memo cells allocated (replicas included) |
+//! | `mcos.mem.memo.cells_written` | gauge | physical memo-cell writes |
+//! | `mcos.mem.memo.bytes_peak` | gauge | peak memo footprint in bytes |
+//! | `mcos.mem.scratch.allocs` | counter | scratch/staging buffer allocations |
+//! | `mcos.mem.scratch.bytes_peak` | gauge | largest per-worker resident scratch |
+//! | `mcos.mem.alloc.live_bytes_peak` | gauge | counting-allocator live peak (0 without `mem-profile`) |
+//! | `mcos.mem.rss.peak_bytes` | gauge | process `VmHWM` (0 when unavailable) |
 //!
 //! [`publish_run`] fills a registry with all of the above from a
 //! recorded run, so every engine axis (schedule × store × distribution
@@ -81,6 +88,21 @@ pub mod names {
     pub const ALLREDUCE_BYTES_TOTAL: &str = "mcos.allreduce.bytes_total";
     /// Kernel throughput of the run, cells per second (gauge).
     pub const KERNEL_CELLS_PER_SEC: &str = "mcos.kernel.cells_per_sec";
+    /// Physical memo cells allocated, replicas included (gauge).
+    pub const MEM_MEMO_CELLS_ALLOCATED: &str = "mcos.mem.memo.cells_allocated";
+    /// Physical memo-cell writes (gauge).
+    pub const MEM_MEMO_CELLS_WRITTEN: &str = "mcos.mem.memo.cells_written";
+    /// Peak memo footprint in bytes (gauge).
+    pub const MEM_MEMO_BYTES_PEAK: &str = "mcos.mem.memo.bytes_peak";
+    /// Scratch/staging buffer allocations (counter).
+    pub const MEM_SCRATCH_ALLOCS: &str = "mcos.mem.scratch.allocs";
+    /// Largest per-worker resident scratch, bytes (gauge).
+    pub const MEM_SCRATCH_BYTES_PEAK: &str = "mcos.mem.scratch.bytes_peak";
+    /// Counting-allocator live-bytes peak; 0 without `mem-profile`
+    /// (gauge).
+    pub const MEM_ALLOC_LIVE_BYTES_PEAK: &str = "mcos.mem.alloc.live_bytes_peak";
+    /// Process peak RSS in bytes; 0 when unavailable (gauge).
+    pub const MEM_RSS_PEAK_BYTES: &str = "mcos.mem.rss.peak_bytes";
 
     /// Every declared name (schema tests iterate this).
     pub const ALL: &[&str] = &[
@@ -99,6 +121,13 @@ pub mod names {
         ALLREDUCE_ROUNDS_TOTAL,
         ALLREDUCE_BYTES_TOTAL,
         KERNEL_CELLS_PER_SEC,
+        MEM_MEMO_CELLS_ALLOCATED,
+        MEM_MEMO_CELLS_WRITTEN,
+        MEM_MEMO_BYTES_PEAK,
+        MEM_SCRATCH_ALLOCS,
+        MEM_SCRATCH_BYTES_PEAK,
+        MEM_ALLOC_LIVE_BYTES_PEAK,
+        MEM_RSS_PEAK_BYTES,
     ];
 }
 
@@ -527,6 +556,31 @@ pub fn publish_run(
     registry
         .gauge(names::KERNEL_CELLS_PER_SEC)?
         .set(cells_per_sec);
+
+    // Memory schema: occupancy from the run's counters, allocator and
+    // RSS peaks from the process (zero when nothing measured them).
+    registry
+        .gauge(names::MEM_MEMO_CELLS_ALLOCATED)?
+        .set(counters.memo_cells_allocated as f64);
+    registry
+        .gauge(names::MEM_MEMO_CELLS_WRITTEN)?
+        .set(counters.memo_cells_written as f64);
+    // The memo grid stores one `u32` score per cell.
+    registry
+        .gauge(names::MEM_MEMO_BYTES_PEAK)?
+        .set(counters.memo_cells_allocated as f64 * 4.0);
+    registry
+        .counter(names::MEM_SCRATCH_ALLOCS)?
+        .add(counters.scratch_allocs);
+    registry
+        .gauge(names::MEM_SCRATCH_BYTES_PEAK)?
+        .set(counters.scratch_bytes_peak as f64);
+    registry
+        .gauge(names::MEM_ALLOC_LIVE_BYTES_PEAK)?
+        .set(crate::mem::snapshot().peak() as f64);
+    registry
+        .gauge(names::MEM_RSS_PEAK_BYTES)?
+        .set(crate::mem::peak_rss_bytes().unwrap_or(0) as f64);
     Ok(())
 }
 

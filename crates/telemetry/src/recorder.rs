@@ -204,6 +204,17 @@ pub struct CounterSnapshot {
     pub allreduce_bytes: u64,
     /// Barrier/wait intervals recorded.
     pub barriers: u64,
+    /// Physical memo cells the run's store allocated (replicas and
+    /// settled snapshots included).
+    pub memo_cells_allocated: u64,
+    /// Physical memo-cell writes the run performed (a replicated store
+    /// writes each logical cell once per rank).
+    pub memo_cells_written: u64,
+    /// Scratch/staging buffer allocations (capacity growth events; a
+    /// hoisted buffer counts once, a per-step buffer once per step).
+    pub scratch_allocs: u64,
+    /// High-water mark of any single worker's resident scratch bytes.
+    pub scratch_bytes_peak: u64,
 }
 
 #[derive(Default)]
@@ -218,6 +229,10 @@ struct AtomicCounters {
     allreduce_rounds: AtomicU64,
     allreduce_bytes: AtomicU64,
     barriers: AtomicU64,
+    memo_cells_allocated: AtomicU64,
+    memo_cells_written: AtomicU64,
+    scratch_allocs: AtomicU64,
+    scratch_bytes_peak: AtomicU64,
 }
 
 fn counter_load(c: &AtomicU64) -> u64 {
@@ -235,6 +250,14 @@ fn counter_add(c: &AtomicU64, n: u64) {
     }
 }
 
+fn counter_max(c: &AtomicU64, n: u64) {
+    if n != 0 {
+        // ORDERING: accounting only — see `counter_load`; max-merge of
+        // per-lane high-water marks read after the join edge.
+        c.fetch_max(n, Ordering::Relaxed);
+    }
+}
+
 impl AtomicCounters {
     fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -248,6 +271,10 @@ impl AtomicCounters {
             allreduce_rounds: counter_load(&self.allreduce_rounds),
             allreduce_bytes: counter_load(&self.allreduce_bytes),
             barriers: counter_load(&self.barriers),
+            memo_cells_allocated: counter_load(&self.memo_cells_allocated),
+            memo_cells_written: counter_load(&self.memo_cells_written),
+            scratch_allocs: counter_load(&self.scratch_allocs),
+            scratch_bytes_peak: counter_load(&self.scratch_bytes_peak),
         }
     }
 }
@@ -307,6 +334,9 @@ impl Recorder {
             max_cells: 0,
             barriers: 0,
             allreduce_bytes: 0,
+            memo_writes: 0,
+            scratch_allocs: 0,
+            scratch_peak: 0,
         }))
     }
 
@@ -332,6 +362,37 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             counter_add(&inner.counters.allreduce_calls, 1);
             counter_add(&inner.counters.allreduce_rounds, rounds);
+        }
+    }
+
+    /// Adds `cells` physical memo cells allocated by a store (called
+    /// at store construction, replicas and snapshots included).
+    pub fn count_memo_cells_allocated(&self, cells: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.memo_cells_allocated, cells);
+        }
+    }
+
+    /// Adds `cells` physical memo-cell writes (coordinated stores call
+    /// this from their per-step settle).
+    pub fn count_memo_cells_written(&self, cells: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.memo_cells_written, cells);
+        }
+    }
+
+    /// Adds `n` scratch/staging buffer allocation events.
+    pub fn count_scratch_allocs(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.scratch_allocs, n);
+        }
+    }
+
+    /// Max-merges one worker's resident scratch bytes into the run's
+    /// scratch high-water mark.
+    pub fn record_scratch_peak(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            counter_max(&inner.counters.scratch_bytes_peak, bytes);
         }
     }
 
@@ -380,6 +441,9 @@ struct LogState {
     max_cells: u64,
     barriers: u64,
     allreduce_bytes: u64,
+    memo_writes: u64,
+    scratch_allocs: u64,
+    scratch_peak: u64,
 }
 
 impl LogState {
@@ -407,6 +471,12 @@ impl LogState {
         counter_add(
             &c.allreduce_bytes,
             std::mem::take(&mut self.allreduce_bytes),
+        );
+        counter_add(&c.memo_cells_written, std::mem::take(&mut self.memo_writes));
+        counter_add(&c.scratch_allocs, std::mem::take(&mut self.scratch_allocs));
+        counter_max(
+            &c.scratch_bytes_peak,
+            std::mem::take(&mut self.scratch_peak),
         );
         let max_cells = std::mem::take(&mut self.max_cells);
         if max_cells != 0 {
@@ -482,6 +552,31 @@ impl WorkerLog {
         }
     }
 
+    /// Adds `cells` physical memo-cell writes performed by this lane
+    /// (uncoordinated stores call this from their per-step merge).
+    #[inline]
+    pub fn memo_writes(&mut self, cells: u64) {
+        if let Some(state) = self.0.as_mut() {
+            state.memo_writes += cells;
+        }
+    }
+
+    /// Adds `n` scratch/staging buffer allocation events on this lane.
+    #[inline]
+    pub fn scratch_alloc(&mut self, n: u64) {
+        if let Some(state) = self.0.as_mut() {
+            state.scratch_allocs += n;
+        }
+    }
+
+    /// Max-merges this lane's resident scratch bytes.
+    #[inline]
+    pub fn scratch_peak(&mut self, bytes: u64) {
+        if let Some(state) = self.0.as_mut() {
+            state.scratch_peak = state.scratch_peak.max(bytes);
+        }
+    }
+
     /// Closes `span` as a top-level phase.
     #[inline]
     pub fn phase(&mut self, span: SpanStart, phase: Phase) {
@@ -518,7 +613,14 @@ mod tests {
         log.slice(span, 0, 0, || panic!("detail closure must not run"));
         let span = log.start();
         log.barrier(span, BarrierKind::RowJoin, 0);
+        log.memo_writes(5);
+        log.scratch_alloc(1);
+        log.scratch_peak(1024);
         drop(log);
+        rec.count_memo_cells_allocated(100);
+        rec.count_memo_cells_written(5);
+        rec.count_scratch_allocs(2);
+        rec.record_scratch_peak(2048);
         assert!(rec.events().is_empty());
         assert_eq!(rec.counters(), CounterSnapshot::default());
     }
@@ -533,10 +635,17 @@ mod tests {
         log.barrier(span, BarrierKind::LevelJoin, 7);
         let span = log.start();
         log.allreduce(span, 10, 40);
+        log.memo_writes(1);
+        log.scratch_alloc(1);
+        log.scratch_peak(512);
         drop(log);
         rec.count_settled_reads(6);
         rec.count_memo(2, 3);
         rec.count_allreduce(4);
+        rec.count_memo_cells_allocated(64);
+        rec.count_memo_cells_written(2);
+        rec.count_scratch_allocs(1);
+        rec.record_scratch_peak(256);
 
         let events = rec.events();
         assert_eq!(events.len(), 3);
@@ -565,6 +674,10 @@ mod tests {
         assert_eq!(c.allreduce_rounds, 4);
         assert_eq!(c.allreduce_bytes, 40);
         assert_eq!(c.barriers, 1);
+        assert_eq!(c.memo_cells_allocated, 64);
+        assert_eq!(c.memo_cells_written, 3, "lane writes + settle writes");
+        assert_eq!(c.scratch_allocs, 2);
+        assert_eq!(c.scratch_bytes_peak, 512, "max of lane and direct peaks");
     }
 
     #[test]

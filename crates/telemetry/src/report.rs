@@ -11,7 +11,11 @@
 
 use load_balance::Assignment;
 
+use crate::json::Value;
 use crate::recorder::{Event, EventKind, Phase};
+
+/// Schema version of [`LoadReport::to_json`]. Bump on any key change.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// Busy/wait totals for one trace lane.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +61,36 @@ impl GrahamComparison {
     }
 }
 
+/// Memo-store memory use of one recorded run, for the report's memory
+/// line (the full level-liveness model lives in
+/// [`crate::liveness::MemoryReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryUse {
+    /// Cells the store allocated across replicas/snapshots.
+    pub cells_allocated: u64,
+    /// Physical cell writes the store performed.
+    pub cells_written: u64,
+    /// Bytes per cell (4: one `u32` score).
+    pub cell_bytes: u64,
+}
+
+impl MemoryUse {
+    /// Peak memo bytes: every allocated cell, at cell width.
+    pub fn peak_bytes(&self) -> u64 {
+        self.cells_allocated * self.cell_bytes
+    }
+
+    /// Writes per allocated cell (1.0 means every cell was written
+    /// exactly once; replicas and snapshots push it in both
+    /// directions).
+    pub fn occupancy(&self) -> f64 {
+        if self.cells_allocated == 0 {
+            return 0.0;
+        }
+        self.cells_written as f64 / self.cells_allocated as f64
+    }
+}
+
 /// Aggregated load view of one recorded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -71,6 +105,9 @@ pub struct LoadReport {
     /// Name of the slice-tabulation kernel the run used, when known.
     /// Enables the per-kernel throughput line in [`LoadReport::render`].
     pub kernel: Option<String>,
+    /// Memo-store memory use, when the run recorded occupancy
+    /// counters. Enables the memory line in [`LoadReport::render`].
+    pub memory: Option<MemoryUse>,
 }
 
 impl LoadReport {
@@ -109,6 +146,7 @@ impl LoadReport {
             workers,
             graham: None,
             kernel: None,
+            memory: None,
         }
     }
 
@@ -122,6 +160,13 @@ impl LoadReport {
     /// line in [`LoadReport::render`].
     pub fn with_kernel(mut self, kernel: &str) -> LoadReport {
         self.kernel = Some(kernel.to_string());
+        self
+    }
+
+    /// Attaches the memo-store memory figures, enabling the memory
+    /// line in [`LoadReport::render`].
+    pub fn with_memory(mut self, memory: MemoryUse) -> LoadReport {
+        self.memory = Some(memory);
         self
     }
 
@@ -241,6 +286,16 @@ impl LoadReport {
                 self.cells_per_sec() / 1e6,
             ));
         }
+        if let Some(m) = &self.memory {
+            out.push_str(&format!(
+                "  memo store: {} cells allocated ({:.2} MiB peak), {} written \
+                 (occupancy {:.2})\n",
+                m.cells_allocated,
+                m.peak_bytes() as f64 / (1024.0 * 1024.0),
+                m.cells_written,
+                m.occupancy(),
+            ));
+        }
         if let Some(g) = &self.graham {
             out.push_str(&format!(
                 "  static assignment: makespan {} work units, lower bound {} \
@@ -249,6 +304,85 @@ impl LoadReport {
             ));
         }
         out
+    }
+
+    /// Machine-readable twin of [`LoadReport::render`], led by
+    /// [`REPORT_SCHEMA_VERSION`].
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                Value::from(REPORT_SCHEMA_VERSION),
+            ),
+            ("wall_ns".to_string(), Value::from(self.wall_ns)),
+            (
+                "workers".to_string(),
+                Value::Array(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Value::object([
+                                ("tid".to_string(), Value::from(w.tid)),
+                                ("busy_ns".to_string(), Value::from(w.busy_ns)),
+                                ("wait_ns".to_string(), Value::from(w.wait_ns)),
+                                ("slices".to_string(), Value::from(w.slices)),
+                                ("cells".to_string(), Value::from(w.cells)),
+                                (
+                                    "max_cells_per_slice".to_string(),
+                                    Value::from(w.max_cells_per_slice),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "busy_fraction".to_string(),
+                Value::from(self.busy_fraction()),
+            ),
+            (
+                "wait_fraction".to_string(),
+                Value::from(self.wait_fraction()),
+            ),
+            (
+                "observed_imbalance".to_string(),
+                Value::from(self.observed_imbalance()),
+            ),
+            (
+                "cells_per_sec".to_string(),
+                Value::from(self.cells_per_sec()),
+            ),
+        ];
+        if let Some(kernel) = &self.kernel {
+            fields.push(("kernel".to_string(), Value::from(kernel.as_str())));
+        }
+        if let Some(g) = &self.graham {
+            fields.push((
+                "graham".to_string(),
+                Value::object([
+                    ("makespan".to_string(), Value::from(g.makespan)),
+                    ("lower_bound".to_string(), Value::from(g.lower_bound)),
+                    ("imbalance".to_string(), Value::from(g.imbalance)),
+                    ("bound_factor".to_string(), Value::from(g.bound_factor)),
+                ]),
+            ));
+        }
+        if let Some(m) = &self.memory {
+            fields.push((
+                "memory".to_string(),
+                Value::object([
+                    (
+                        "cells_allocated".to_string(),
+                        Value::from(m.cells_allocated),
+                    ),
+                    ("cells_written".to_string(), Value::from(m.cells_written)),
+                    ("cell_bytes".to_string(), Value::from(m.cell_bytes)),
+                    ("peak_bytes".to_string(), Value::from(m.peak_bytes())),
+                    ("occupancy".to_string(), Value::from(m.occupancy())),
+                ]),
+            ));
+        }
+        Value::object(fields)
     }
 }
 
@@ -393,6 +527,65 @@ mod tests {
         assert!(text.contains("4000.00 Mcells/s"), "{text}");
         // Without the kernel name, no throughput line.
         assert!(!LoadReport::build(&events, 1).render().contains("kernel"));
+    }
+
+    #[test]
+    fn memory_line_reports_peak_and_occupancy() {
+        let m = MemoryUse {
+            cells_allocated: 1 << 20,
+            cells_written: 1 << 19,
+            cell_bytes: 4,
+        };
+        assert_eq!(m.peak_bytes(), 4 << 20);
+        assert!((m.occupancy() - 0.5).abs() < 1e-12);
+        let report = LoadReport::build(&[], 1).with_memory(m);
+        let text = report.render();
+        assert!(
+            text.contains("memo store: 1048576 cells allocated"),
+            "{text}"
+        );
+        assert!(text.contains("4.00 MiB peak"), "{text}");
+        assert!(text.contains("occupancy 0.50"), "{text}");
+        // Without memory figures, no memory line.
+        assert!(!LoadReport::build(&[], 1).render().contains("memo store"));
+        // Degenerate: nothing allocated.
+        let zero = MemoryUse {
+            cells_allocated: 0,
+            cells_written: 0,
+            cell_bytes: 4,
+        };
+        assert_eq!(zero.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn json_twin_carries_schema_version_and_memory() {
+        let events = vec![
+            ev(0, 0, 0, 1000, EventKind::Phase(Phase::StageOne)),
+            ev(1, 0, 0, 600, slice(10)),
+        ];
+        let report = LoadReport::build(&events, 1)
+            .with_kernel("tiled")
+            .with_memory(MemoryUse {
+                cells_allocated: 100,
+                cells_written: 50,
+                cell_bytes: 4,
+            });
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Value::as_f64),
+            Some(REPORT_SCHEMA_VERSION as f64)
+        );
+        let mem = doc.get("memory").expect("memory object");
+        assert_eq!(mem.get("peak_bytes").and_then(Value::as_f64), Some(400.0));
+        assert_eq!(mem.get("occupancy").and_then(Value::as_f64), Some(0.5));
+        // Round-trips through the JSON parser.
+        let parsed = crate::json::parse(&doc.to_json_pretty()).expect("valid JSON");
+        assert_eq!(parsed.get("kernel").and_then(Value::as_str), Some("tiled"));
+        // Without memory, no memory key.
+        assert!(LoadReport::build(&events, 1)
+            .to_json()
+            .get("memory")
+            .is_none());
     }
 
     #[test]

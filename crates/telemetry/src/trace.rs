@@ -7,7 +7,11 @@
 //! microsecond timestamps; lanes are named via thread-name metadata
 //! records so the coordinator and workers are labelled in the UI.
 
+use crate::liveness::LevelLiveness;
 use crate::recorder::{Event, EventKind};
+
+/// Bytes per memo cell (one `u32` score) used by the counter tracks.
+const CELL_BYTES: u64 = 4;
 
 /// Serializes `events` as a Chrome trace JSON document. The output is
 /// deterministic given the events (sorted by start time, then lane,
@@ -66,6 +70,70 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         ));
     }
     out.push_str("\n]}\n");
+    out
+}
+
+/// Like [`chrome_trace_json`], plus memory counter tracks.
+///
+/// Appends `"ph": "C"` counter events sampled at the end of every
+/// slice span: a cumulative "memo written (bytes)" track, and — when a
+/// [`LevelLiveness`] model is supplied — a "memo resident model
+/// (bytes)" track showing what the liveness model says must be
+/// resident at each slice's level. The span portion of the output is
+/// byte-identical to [`chrome_trace_json`]; with no slice events the
+/// document is exactly the plain export.
+pub fn chrome_trace_json_with_memory(events: &[Event], liveness: Option<&LevelLiveness>) -> String {
+    let base = chrome_trace_json(events);
+    let counters = memory_counter_events(events, liveness);
+    if counters.is_empty() {
+        return base;
+    }
+    let trimmed = base.strip_suffix("\n]}\n").expect("trace document tail");
+    let mut out = String::with_capacity(base.len() + counters.len() * 96);
+    out.push_str(trimmed);
+    for c in &counters {
+        out.push_str(",\n");
+        out.push_str(c);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One counter sample per slice end, ordered by end time so the
+/// cumulative track is monotone.
+fn memory_counter_events(events: &[Event], liveness: Option<&LevelLiveness>) -> Vec<String> {
+    let mut slices: Vec<(u64, u32, u32, u64, u32)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Slice { level, cells, .. } => {
+                Some((e.start_ns + e.dur_ns, e.tid, e.seq, cells, level))
+            }
+            _ => None,
+        })
+        .collect();
+    slices.sort_unstable_by_key(|&(end_ns, tid, seq, ..)| (end_ns, tid, seq));
+
+    let mut out = Vec::with_capacity(slices.len() * 2);
+    let mut written_cells: u64 = 0;
+    for (end_ns, _, _, cells, level) in slices {
+        written_cells += cells;
+        out.push(format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\
+             \"name\":\"memo written (bytes)\",\
+             \"args\":{{\"value\":{}}}}}",
+            micros(end_ns),
+            written_cells * CELL_BYTES
+        ));
+        if let Some(model) = liveness {
+            out.push(format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\
+                 \"name\":\"memo resident model (bytes)\",\
+                 \"args\":{{\"value\":{}}}}}",
+                micros(end_ns),
+                model.resident_at(level) * CELL_BYTES
+            ));
+        }
+    }
     out
 }
 
@@ -169,6 +237,63 @@ mod tests {
     fn export_is_deterministic_for_fixed_events() {
         let events = sample_events();
         assert_eq!(chrome_trace_json(&events), chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn memory_export_adds_counter_tracks_and_preserves_spans() {
+        let events = sample_events();
+        let nodes = [crate::liveness::SliceNode {
+            k1: 2,
+            k2: 3,
+            level: 0,
+        }];
+        let model = crate::liveness::level_liveness(&nodes, |_, _, _| {});
+        let text = chrome_trace_json_with_memory(&events, Some(&model));
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let entries = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // Plain export shape plus two counter samples for the one slice.
+        assert_eq!(entries.len(), 1 + 4 + 4 + 2);
+        let counters: Vec<_> = entries
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        for c in &counters {
+            assert!(c
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_f64())
+                .is_some());
+        }
+        // The one 12-cell slice makes the cumulative track 48 bytes.
+        let written = counters
+            .iter()
+            .find(|c| c.get("name").and_then(|v| v.as_str()) == Some("memo written (bytes)"))
+            .expect("written track");
+        assert_eq!(
+            written
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_f64()),
+            Some(48.0)
+        );
+    }
+
+    #[test]
+    fn memory_export_without_slices_matches_the_plain_export() {
+        let rec = Recorder::enabled();
+        let mut coord = rec.lane(0);
+        let run = coord.start();
+        coord.phase(run, Phase::StageOne);
+        drop(coord);
+        let events = rec.events();
+        assert_eq!(
+            chrome_trace_json_with_memory(&events, None),
+            chrome_trace_json(&events)
+        );
     }
 
     #[test]

@@ -52,6 +52,9 @@ fn disabled_recorder_allocates_nothing_and_keeps_nothing() {
             log.barrier(span, BarrierKind::RowJoin, i);
             let span = log.start();
             log.allreduce(span, 64, 256);
+            log.memo_writes(1);
+            log.scratch_alloc(1);
+            log.scratch_peak(4096);
         }
         let span = log.start();
         log.phase(span, Phase::StageOne);
@@ -60,6 +63,10 @@ fn disabled_recorder_allocates_nothing_and_keeps_nothing() {
     rec.count_settled_reads(10);
     rec.count_memo(1, 2);
     rec.count_allreduce(3);
+    rec.count_memo_cells_allocated(100);
+    rec.count_memo_cells_written(100);
+    rec.count_scratch_allocs(5);
+    rec.record_scratch_peak(1 << 20);
     let counters = rec.counters();
     let events = rec.events();
 
