@@ -332,6 +332,19 @@ fn needle_mem_literal() -> String {
     format!("\"{}.mem.", ["mc", "os"].concat())
 }
 
+/// Fragments of the retention metric names (`mcos.mem.evicted_cells`,
+/// `mcos.mem.recompute_{slices,cells}`, `mcos.mem.resident_cells_peak`).
+/// Stricter than the opening-prefix arm: these fragments may not appear
+/// inside any quoted string outside `metrics::names`, so a concatenated
+/// spelling (`format!("mcos.{}", "mem.evicted_cells")`) cannot smuggle
+/// a retention metric name past the registry.
+fn retention_literal_needles() -> Vec<String> {
+    ["evicted", "recompute", "resident_cells"]
+        .iter()
+        .map(|s| format!("mem.{s}"))
+        .collect()
+}
+
 /// Whether the `metrics` rule's stderr-printing arm applies to this
 /// file: engine library code, where observability must flow through
 /// the recorder and registry.
@@ -372,6 +385,7 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
     let eprintln_macro = needle_eprintln();
     let metric_literal = needle_metric_literal();
     let mem_literal = needle_mem_literal();
+    let retention_literals = retention_literal_needles();
     let lines: Vec<&str> = text.lines().collect();
     let test_code = test_code_mask(&lines);
     for (i, line) in lines.iter().enumerate() {
@@ -429,7 +443,12 @@ fn lint_text(rel: &str, text: &str, allow: &Allowlist, findings: &mut Vec<LintFi
         let stray_stats = is_engine_crate(rel) && line.contains(&eprintln_macro);
         let adhoc_name = !rel.starts_with("crates/telemetry/") && line.contains(&metric_literal);
         let adhoc_mem = rel != "crates/telemetry/src/metrics.rs" && line.contains(&mem_literal);
-        if (stray_stats || adhoc_name || adhoc_mem) && !allow.allows(Rule::Metrics, rel) {
+        let adhoc_retention = rel != "crates/telemetry/src/metrics.rs"
+            && line.contains('"')
+            && retention_literals.iter().any(|n| line.contains(n));
+        if (stray_stats || adhoc_name || adhoc_mem || adhoc_retention)
+            && !allow.allows(Rule::Metrics, rel)
+        {
             findings.push(LintFinding {
                 file: rel.to_string(),
                 line: i + 1,
@@ -650,6 +669,34 @@ mod tests {
         let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
         assert!(files.contains(&"crates/telemetry/src/mem.rs"));
         assert!(files.contains(&"crates/parallel/src/engine.rs"));
+    }
+
+    #[test]
+    fn retention_metric_fragments_cannot_be_smuggled_by_concatenation() {
+        let prefix = ["mc", "os"].concat();
+        // A concatenated spelling that evades the opening-prefix arm:
+        // the literal never starts with `"mcos.mem.` but still spells a
+        // retention metric name at runtime.
+        let smuggled = format!(
+            "fn g() {{ reg.counter(&format!(\"{prefix}.{{}}\", \"mem.evicted_cells\")); }}\n"
+        );
+        let recompute = "fn h() { reg.counter(\"x.mem.recompute_slices\"); }\n";
+        let declared = format!("pub const E: &str = \"{prefix}.mem.evicted_cells\";\n");
+        // The bare JSON-key spellings (no `mem.` prefix) stay legal —
+        // reports serialize fields with these names.
+        let json_key = "fn k() { obj.push((\"evicted_cells\".to_string(), v)); }\n";
+        let root = fixture(&[
+            ("crates/parallel/src/engine/budget.rs", smuggled.as_str()),
+            ("crates/bench/src/harness.rs", recompute),
+            ("crates/telemetry/src/metrics.rs", declared.as_str()),
+            ("crates/telemetry/src/liveness.rs", json_key),
+        ]);
+        let findings = lint_workspace(&root, &Allowlist::default()).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::Metrics));
+        let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        assert!(files.contains(&"crates/parallel/src/engine/budget.rs"));
+        assert!(files.contains(&"crates/bench/src/harness.rs"));
     }
 
     #[test]

@@ -133,6 +133,7 @@ fn main() {
                     policy: Policy::Greedy,
                     backend,
                     kernel: kind,
+                    ..PrnaConfig::default()
                 };
                 let mut best = f64::INFINITY;
                 for _ in 0..reps {

@@ -43,7 +43,10 @@ use rna_structure::{generate, ArcStructure};
 /// Version of the harness artifact schema (the `suite`/`metrics`
 /// members inside the shared envelope). Bump on shape changes; `check`
 /// refuses to compare across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the memory suite grew the budgeted-vs-unbounded ablation rows
+/// (`memory.sparse_23s.*`) for the linear-space execution mode.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// How a metric gates in [`check`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -761,10 +764,126 @@ pub fn run_memory_suite(_cfg: SuiteConfig) -> BenchArtifact {
             ));
         }
     }
+    metrics.extend(run_memory_ablation());
     BenchArtifact {
         suite: Suite::Memory.name().to_string(),
         metrics,
     }
+}
+
+/// The linear-space ablation: the same 23S-scale sparse pair (~2900 nt,
+/// 435 arcs per side — the shape `--mem-budget` exists for) run
+/// unbounded and under a pressuring budget, on the coordinated rwlock
+/// store at two threads. Every row is a deterministic function of the
+/// input, schedule, and budget — eviction decisions never depend on
+/// timing — so the whole ablation gates exactly. The invariants the
+/// rows encode:
+///
+/// * budgeted score == unbounded score (resolution is lossless);
+/// * `resident_cells_peak ≤ budget` (the budget is honoured);
+/// * the budgeted peak is a small fraction of the unbounded footprint
+///   (asserted here at < 25%, the linear-space acceptance bar);
+/// * evicted reads are accounted as recompute work, never silent.
+fn run_memory_ablation() -> Vec<Metric> {
+    use mcos_parallel::engine::RetentionPlan;
+
+    let s = generate::sparse_hairpin_field(2900, 145, 3, 4, 7);
+    let p = Preprocessed::build(&s);
+    let backend = Backend::from_name("row-rwlock").expect("ablation backend");
+    let base = PrnaConfig {
+        processors: 2,
+        policy: Policy::Greedy,
+        backend,
+        ..PrnaConfig::default()
+    };
+    let snapshot = |config: &PrnaConfig| {
+        let recorder = Recorder::enabled();
+        let out = prna_recorded(&s, &s, config, &recorder);
+        let registry = Registry::new();
+        metrics::publish_run(
+            &registry,
+            &recorder.events(),
+            &recorder.counters(),
+            out.stage_one.as_nanos() as u64,
+        )
+        .unwrap_or_else(|e| panic!("metrics registry rejected the run: {e}"));
+        (out.score, registry.snapshot())
+    };
+
+    let (score, unbounded) = snapshot(&base);
+    let allocated = unbounded
+        .gauge(metrics::names::MEM_MEMO_CELLS_ALLOCATED)
+        .unwrap_or(0.0);
+
+    // A pressuring budget: half the no-pressure liveness floor, but at
+    // least the widest single step (the hard lower bound on residency).
+    let plan = RetentionPlan::new(&p, &p, backend.schedule);
+    let widest = (0..plan.num_steps())
+        .map(|step| plan.cells_written_at(step))
+        .max()
+        .unwrap_or(0);
+    let budget = (plan.liveness().floor_cells / 2).max(widest).max(1);
+    let budgeted_cfg = PrnaConfig {
+        mem_budget: Some(budget),
+        ..base
+    };
+    let (budget_score, budgeted) = snapshot(&budgeted_cfg);
+    assert_eq!(budget_score, score, "budgeted run changed the score");
+    let peak = budgeted
+        .gauge(metrics::names::MEM_RESIDENT_CELLS_PEAK)
+        .unwrap_or(0.0);
+    assert!(
+        peak > 0.0 && peak <= budget as f64,
+        "resident peak {peak} violates budget {budget}"
+    );
+    assert!(
+        peak * 4.0 < allocated,
+        "budgeted peak {peak} is not < 25% of the unbounded footprint {allocated}"
+    );
+
+    let prefix = "memory.sparse_23s";
+    vec![
+        Metric::exact(format!("{prefix}.score"), f64::from(score), "score"),
+        Metric::exact(
+            format!("{prefix}.grid_cells"),
+            plan.grid_cells() as f64,
+            "cells",
+        ),
+        Metric::exact(
+            format!("{prefix}.unbounded.cells_allocated"),
+            allocated,
+            "cells",
+        ),
+        Metric::exact(format!("{prefix}.budget_cells"), budget as f64, "cells"),
+        Metric::exact(
+            format!("{prefix}.budgeted.resident_cells_peak"),
+            peak,
+            "cells",
+        ),
+        Metric::exact(
+            format!("{prefix}.budgeted.evicted_cells"),
+            budgeted
+                .counter(metrics::names::MEM_EVICTED_CELLS)
+                .unwrap_or(0) as f64,
+            "cells",
+        ),
+        Metric::exact(
+            format!("{prefix}.budgeted.recompute_cells"),
+            budgeted
+                .counter(metrics::names::MEM_RECOMPUTE_CELLS)
+                .unwrap_or(0) as f64,
+            "cells",
+        ),
+        Metric::info(
+            format!("{prefix}.budgeted.peak_fraction_of_unbounded"),
+            if allocated > 0.0 {
+                peak / allocated
+            } else {
+                0.0
+            },
+            "ratio",
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -895,7 +1014,7 @@ mod tests {
         assert_eq!(back, a);
         // Version guard: a bumped schema version refuses to parse.
         let doctored = text.replace(
-            "\"bench_schema_version\": 1",
+            "\"bench_schema_version\": 2",
             "\"bench_schema_version\": 99",
         );
         assert!(BenchArtifact::parse(&doctored)

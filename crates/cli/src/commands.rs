@@ -19,7 +19,8 @@ pub const USAGE: &str = "\
 usage: srna <subcommand> [options]
 
   compare <A> <B> [--format db|ct|bpseq] [--trace] [--threads N]
-          [--backend NAME] [--kernel NAME] [--weighted] [--stats]
+          [--backend NAME] [--kernel NAME] [--mem-budget CELLS]
+          [--weighted] [--stats]
       Maximum common ordered substructure of two structure files.
       --backend picks the parallel stage-one engine when --threads > 1.
       NAME is <schedule>-<store>[-<dist>] with schedule row|wavefront,
@@ -29,22 +30,32 @@ usage: srna <subcommand> [options]
       rayon, wavefront, manager-worker (manager).
       --kernel picks the slice-tabulation inner loop, orthogonal to the
       backend: scalar, tiled (the default), or four-russians (fr).
+      --mem-budget caps resident memo cells (parallel runs only):
+      stage one evicts per the retention plan and later reads of
+      evicted cells are recomputed — same score, linear space.
       --weighted scores with sequence-aware Bafna-style weights (needs
       sequence-bearing formats: ct or bpseq).
       --stats prints work counters (slices, cells, largest slice, memo
       and settled-snapshot traffic, Allreduce rounds) after the score.
+      --mem prints the process heap peak and peak RSS after the run
+      (allocator peak needs a build with --features mem-profile).
   generate worst <arcs>
   generate hairpins <count> <depth> <loop>
   generate rrna <len> <arcs> [--seed S]
   generate random <len> <density> [--seed S]
-      Emit a synthetic structure in dot-bracket notation.
+  generate sparse-field <len> <count> <depth> <loop> [--seed S]
+  generate sparse-skewed <len> <families> <depth> <step> [--seed S]
+      Emit a synthetic structure in dot-bracket notation. The sparse-*
+      kinds scatter shallow stems over a long chromosome-scale chain —
+      the shapes --mem-budget is built for.
   info <A> [--format db|ct|bpseq]
       Structure statistics.
   speedup --arcs N [--procs 1,2,4,...] [--json] [--out PATH]
       Simulated PRNA speedup on a worst-case input of N arcs.
       --json emits the curve as JSON (to stdout, or to --out PATH).
   profile [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend NAME] [--kernel NAME] [--out trace.json] [--json]
+          [--backend NAME] [--kernel NAME] [--mem-budget CELLS]
+          [--out trace.json] [--json]
       Run PRNA with telemetry enabled: writes a Chrome/Perfetto trace
       (open in https://ui.perfetto.dev or chrome://tracing, with memo
       memory counter tracks sampled at slice ends) and prints the
@@ -56,8 +67,8 @@ usage: srna <subcommand> [options]
       rendered tables. With no files, profiles a generated
       hairpin-chain self-comparison. B defaults to A.
   explain [<A> [<B>]] [--format db|ct|bpseq] [--threads N]
-          [--backend NAME] [--kernel NAME] [--memory] [--json]
-          [--out PATH]
+          [--backend NAME] [--kernel NAME] [--mem-budget CELLS]
+          [--memory] [--json] [--out PATH]
       Explain a run's parallel performance: reconstructs the slice-DAG
       critical path from measured per-slice costs (total work T1, span
       T-inf, the Brent speedup ceiling T1/max(T1/p, T-inf)) and
@@ -68,7 +79,9 @@ usage: srna <subcommand> [options]
       time is level-wait on worker 3\". --memory switches to the
       level-liveness memory report instead: memo cells allocated vs
       written vs the model's minimum resident set, per-level residency
-      high-water marks, scratch and allocator peaks, and a headline
+      high-water marks, scratch and allocator peaks, the retention
+      counters under --mem-budget (cells evicted, slices/cells
+      recomputed, resident-cell peak), and a headline
       like \"peak X MiB, theoretical floor Y MiB; level L holds Z% of
       peak\". --json emits the machine-readable twin of either report
       (to stdout, or to --out PATH). With no files, explains a
@@ -118,6 +131,22 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses `--mem-budget` (resident memo cells; `None` = unbounded).
+fn parse_mem_budget(args: &[String]) -> Result<Option<u64>, String> {
+    match opt_value(args, "--mem-budget") {
+        Some(v) => {
+            let cells: u64 = v
+                .parse()
+                .map_err(|_| "--mem-budget must be a cell count (integer)".to_string())?;
+            if cells == 0 {
+                return Err("--mem-budget must be at least 1 cell".into());
+            }
+            Ok(Some(cells))
+        }
+        None => Ok(None),
+    }
+}
+
 /// Parses `--kernel` (defaulting to the production default kernel).
 fn parse_kernel(args: &[String]) -> Result<KernelKind, String> {
     match opt_value(args, "--kernel") {
@@ -158,7 +187,12 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             skip = false;
             continue;
         }
-        if a == "--format" || a == "--threads" || a == "--backend" || a == "--kernel" {
+        if a == "--format"
+            || a == "--threads"
+            || a == "--backend"
+            || a == "--kernel"
+            || a == "--mem-budget"
+        {
             skip = true;
             continue;
         }
@@ -223,6 +257,7 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         None => Backend::WORKER_POOL,
     };
     let kernel = parse_kernel(args)?;
+    let mem_budget = parse_mem_budget(args)?;
     let stats = has_flag(args, "--stats");
     if threads > 1 {
         let config = PrnaConfig {
@@ -230,6 +265,7 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
             policy: Policy::Greedy,
             backend,
             kernel,
+            mem_budget,
         };
         if stats {
             let recorder = Recorder::enabled();
@@ -264,6 +300,19 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         for &(a, b) in &mapping.pairs {
             println!("  {} -> {}", s1.arc(a), s2.arc(b));
         }
+    }
+
+    // Process-level footprint, printed last so it covers the whole run.
+    // Unlike `explain --memory` this path never enables the recorder,
+    // so the heap peak reflects the solve itself (memo, scratch,
+    // recompute cache) rather than telemetry buffers — the number the
+    // CI mem-smoke compares across --mem-budget settings.
+    if has_flag(args, "--mem") {
+        println!(
+            "mem: allocator live peak {} bytes; peak RSS {} bytes",
+            mem::snapshot().peak(),
+            mem::peak_rss_bytes().unwrap_or(0)
+        );
     }
     Ok(())
 }
@@ -307,6 +356,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
             || a == "--backend"
             || a == "--kernel"
             || a == "--out"
+            || a == "--mem-budget"
         {
             skip = true;
             continue;
@@ -358,6 +408,7 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         None => Backend::WORKER_POOL,
     };
     let kernel = parse_kernel(args)?;
+    let mem_budget = parse_mem_budget(args)?;
     let out_path = opt_value(args, "--out").unwrap_or("trace.json");
 
     let config = PrnaConfig {
@@ -365,6 +416,7 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         policy: Policy::Greedy,
         backend,
         kernel,
+        mem_budget,
     };
     let recorder = Recorder::enabled();
     let outcome = prna_recorded(&s1, &s2, &config, &recorder);
@@ -461,6 +513,7 @@ pub fn explain(args: &[String]) -> Result<(), String> {
             || a == "--backend"
             || a == "--kernel"
             || a == "--out"
+            || a == "--mem-budget"
         {
             skip = true;
             continue;
@@ -503,12 +556,14 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
         None => Backend::WORKER_POOL,
     };
     let kernel = parse_kernel(args)?;
+    let mem_budget = parse_mem_budget(args)?;
 
     let config = PrnaConfig {
         processors: threads,
         policy: Policy::Greedy,
         backend,
         kernel,
+        mem_budget,
     };
     let recorder = Recorder::enabled();
     let outcome = prna_recorded(&s1, &s2, &config, &recorder);
@@ -534,6 +589,10 @@ row-lockfree, or a legacy name: mpi-sim, worker-pool, rayon, wavefront, manager-
             scratch_allocs: c.scratch_allocs,
             alloc_live_peak_bytes: mem::snapshot().peak(),
             peak_rss_bytes: mem::peak_rss_bytes().unwrap_or(0),
+            evicted_cells: c.evicted_cells,
+            recompute_slices: c.recompute_slices,
+            recompute_cells: c.recompute_cells,
+            resident_cells_peak: c.resident_cells_peak,
         };
         if has_flag(args, "--json") {
             let text = report.to_json().to_json_pretty();
@@ -696,6 +755,20 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     let s = match kind.as_str() {
         "worst" => generate::worst_case_nested(num(0, "arcs")?),
         "hairpins" => generate::hairpin_chain(num(0, "count")?, num(1, "depth")?, num(2, "loop")?),
+        "sparse-field" => generate::sparse_hairpin_field(
+            num(0, "len")?,
+            num(1, "count")?,
+            num(2, "depth")?,
+            num(3, "loop")?,
+            seed,
+        ),
+        "sparse-skewed" => generate::sparse_skewed_families(
+            num(0, "len")?,
+            num(1, "families")?,
+            num(2, "depth")?,
+            num(3, "step")?,
+            seed,
+        ),
         "rrna" => {
             let len = num(0, "len")?;
             let arcs = num(1, "arcs")?;

@@ -73,6 +73,7 @@ pub mod depgraph;
 pub mod kernel;
 pub mod memo;
 pub mod preprocess;
+pub mod recompute;
 pub mod slice;
 pub mod srna1;
 pub mod srna2;

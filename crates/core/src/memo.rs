@@ -121,6 +121,200 @@ impl MemoTable {
     }
 }
 
+/// An evictable arc-indexed memo table: rows materialize lazily on
+/// first write and are deallocated once every cell in them has been
+/// evicted, so the resident footprint follows the live window instead
+/// of the full `a₁ × a₂` grid.
+///
+/// Reads of unmaterialized or evicted cells return zero — the SRNA2
+/// "empty child window" convention — so an evicting store composed
+/// with a recompute-on-miss policy stays bit-identical: evicted cells
+/// are zeroed eagerly, which makes a forgotten recompute loud (a wrong
+/// score) instead of silently reading a stale-but-correct value.
+///
+/// Allocation accounting is **cumulative**: `cells_allocated()` counts
+/// every cell ever materialized (a row freed and later rewritten is
+/// counted twice), which keeps the occupancy invariant
+/// `cells_written ≤ cells_allocated` intact for windowed stores.
+#[derive(Debug, Clone, Default)]
+pub struct PartialMemo {
+    rows: u32,
+    cols: u32,
+    data: Vec<Option<PartialRow>>,
+    cells_allocated: u64,
+    cells_resident: u64,
+    cells_resident_peak: u64,
+}
+
+/// One materialized row: values plus a live-cell bitmap so repeated
+/// writes to the same cell (replica publish followed by step install)
+/// and repeated evictions stay idempotent in the accounting.
+#[derive(Debug, Clone)]
+struct PartialRow {
+    vals: Box<[u32]>,
+    bits: Box<[u64]>,
+    live: u32,
+}
+
+impl PartialRow {
+    fn new(cols: u32) -> Self {
+        PartialRow {
+            vals: vec![0u32; cols as usize].into_boxed_slice(),
+            bits: vec![0u64; (cols as usize).div_ceil(64)].into_boxed_slice(),
+            live: 0,
+        }
+    }
+
+    /// Marks cell `c` live; true if it was not live before.
+    #[inline]
+    fn mark(&mut self, c: u32) -> bool {
+        let word = &mut self.bits[(c / 64) as usize];
+        let mask = 1u64 << (c % 64);
+        let fresh = *word & mask == 0;
+        if fresh {
+            *word |= mask;
+            self.live += 1;
+        }
+        fresh
+    }
+
+    /// Clears cell `c`; true if it was live.
+    #[inline]
+    fn clear(&mut self, c: u32) -> bool {
+        let word = &mut self.bits[(c / 64) as usize];
+        let mask = 1u64 << (c % 64);
+        let hit = *word & mask != 0;
+        if hit {
+            *word &= !mask;
+            self.live -= 1;
+        }
+        hit
+    }
+}
+
+impl PartialMemo {
+    /// Creates an empty table: no row is materialized yet.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        PartialMemo {
+            rows,
+            cols,
+            data: (0..rows).map(|_| None).collect(),
+            cells_allocated: 0,
+            cells_resident: 0,
+            cells_resident_peak: 0,
+        }
+    }
+
+    /// Number of rows (arcs of `S₁`).
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (arcs of `S₂`).
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Reads the entry for arc pair `(r, c)`; zero when the row is not
+    /// materialized (never written, or fully evicted).
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> u32 {
+        match &self.data[r as usize] {
+            Some(row) => row.vals[c as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes the entry for arc pair `(r, c)`, materializing the row
+    /// (zero-filled) on first touch. Rewriting a live cell does not
+    /// inflate the residency accounting.
+    pub fn set(&mut self, r: u32, c: u32, v: u32) {
+        let cols = self.cols;
+        let slot = &mut self.data[r as usize];
+        let row = match slot {
+            Some(row) => row,
+            None => {
+                self.cells_allocated += cols as u64;
+                slot.insert(PartialRow::new(cols))
+            }
+        };
+        row.vals[c as usize] = v;
+        if row.mark(c) {
+            self.cells_resident += 1;
+            self.cells_resident_peak = self.cells_resident_peak.max(self.cells_resident);
+        }
+    }
+
+    /// Copies row `r`, columns `lo..hi`, into `buf`; unmaterialized
+    /// rows read as zeros.
+    pub fn gather_into(&self, r: u32, lo: u32, hi: u32, buf: &mut [u32]) {
+        match &self.data[r as usize] {
+            Some(row) => buf.copy_from_slice(&row.vals[lo as usize..hi as usize]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Evicts the given cells of row `r`: zeroes them, and frees the
+    /// row's storage once no live cell remains in it. Returns the
+    /// number of cells actually dropped (already-evicted or
+    /// never-written cells do not count twice).
+    pub fn evict_cells(&mut self, r: u32, cols: &[u32]) -> u64 {
+        let slot = &mut self.data[r as usize];
+        let Some(row) = slot else { return 0 };
+        let mut dropped = 0u64;
+        for &c in cols {
+            if row.clear(c) {
+                row.vals[c as usize] = 0;
+                dropped += 1;
+            }
+        }
+        self.cells_resident -= dropped;
+        if row.live == 0 {
+            *slot = None;
+        }
+        dropped
+    }
+
+    /// Cumulative cells ever materialized (a freed-then-rewritten row
+    /// counts twice).
+    #[inline]
+    pub fn cells_allocated(&self) -> u64 {
+        self.cells_allocated
+    }
+
+    /// Live (written, not evicted) cells right now.
+    #[inline]
+    pub fn cells_resident(&self) -> u64 {
+        self.cells_resident
+    }
+
+    /// High-water mark of [`PartialMemo::cells_resident`].
+    #[inline]
+    pub fn cells_resident_peak(&self) -> u64 {
+        self.cells_resident_peak
+    }
+
+    /// Materializes the table as a dense [`MemoTable`]; evicted and
+    /// never-written cells come out zero.
+    pub fn into_table(self) -> MemoTable {
+        let w = self.cols as usize;
+        let mut values = Vec::with_capacity(self.rows as usize * w);
+        for slot in &self.data {
+            match slot {
+                Some(row) => values.extend_from_slice(&row.vals),
+                None => values.resize(values.len() + w, 0),
+            }
+        }
+        MemoTable {
+            rows: self.rows,
+            cols: self.cols,
+            values,
+        }
+    }
+}
+
 /// A lock-free shared-memory memo table for wavefront scheduling.
 ///
 /// All slices of one dependency level write disjoint entries
@@ -359,6 +553,67 @@ mod tests {
         let expected = MemoTable::zeroed(3, 4);
         assert_eq!(t.freeze(), expected);
         assert_eq!(t.into_inner(), expected);
+    }
+
+    #[test]
+    fn partial_rows_materialize_on_write_and_free_on_eviction() {
+        let mut p = PartialMemo::new(3, 4);
+        assert_eq!(p.cells_allocated(), 0);
+        assert_eq!(p.get(2, 3), 0); // unmaterialized reads as zero
+        p.set(1, 0, 7);
+        p.set(1, 2, 9);
+        assert_eq!(p.cells_allocated(), 4); // one row materialized whole
+        assert_eq!(p.cells_resident(), 2);
+        let mut buf = [99u32; 3];
+        p.gather_into(1, 0, 3, &mut buf);
+        assert_eq!(buf, [7, 0, 9]);
+        p.gather_into(0, 1, 4, &mut buf);
+        assert_eq!(buf, [0, 0, 0]);
+        assert_eq!(p.evict_cells(1, &[0, 2]), 2);
+        assert_eq!(p.cells_resident(), 0);
+        assert_eq!(p.get(1, 0), 0); // row freed; reads zero again
+        assert_eq!(p.cells_resident_peak(), 2);
+    }
+
+    #[test]
+    fn partial_accounting_is_idempotent_under_rewrites_and_reevictions() {
+        // The replicated store publishes a cell and then installs the
+        // merged step over it: two writes, one resident cell. Sweeps
+        // may also re-enumerate an already-evicted cell.
+        let mut p = PartialMemo::new(2, 2);
+        p.set(0, 1, 3);
+        p.set(0, 1, 5);
+        assert_eq!(p.cells_resident(), 1);
+        assert_eq!(p.get(0, 1), 5);
+        assert_eq!(p.evict_cells(0, &[1]), 1);
+        assert_eq!(p.evict_cells(0, &[1]), 0);
+        assert_eq!(p.evict_cells(1, &[0]), 0); // never-written row
+        assert_eq!(p.cells_resident(), 0);
+    }
+
+    #[test]
+    fn partial_rematerialization_counts_cumulatively() {
+        let mut p = PartialMemo::new(1, 2);
+        p.set(0, 0, 1);
+        p.evict_cells(0, &[0]);
+        p.set(0, 1, 2);
+        // The row was freed and re-materialized: cumulative allocation
+        // counts it twice, keeping cells_written ≤ cells_allocated for
+        // windowed stores.
+        assert_eq!(p.cells_allocated(), 4);
+        assert_eq!(p.cells_resident_peak(), 1);
+    }
+
+    #[test]
+    fn partial_into_table_zero_fills_holes() {
+        let mut p = PartialMemo::new(2, 3);
+        p.set(0, 1, 4);
+        p.set(1, 2, 6);
+        p.evict_cells(1, &[2]);
+        let t = p.into_table();
+        let mut expected = MemoTable::zeroed(2, 3);
+        expected.set(0, 1, 4);
+        assert_eq!(t, expected);
     }
 
     #[test]

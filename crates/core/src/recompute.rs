@@ -1,0 +1,291 @@
+//! Recompute-on-miss resolution of evicted memo cells.
+//!
+//! Linear-space execution (the `Budgeted` store decorator in
+//! `mcos-parallel`, and the Hirschberg-style stage two) drops memo
+//! cells once their last stage-one reader has settled. Any later read
+//! of a dropped cell is serviced here: the cell's child slice is
+//! re-tabulated through the same [`SliceKernel`] path that produced it
+//! the first time, recursively forcing whatever children were evicted
+//! too. Because the kernel is deterministic and reads the same child
+//! values, the recomputed value is bit-identical to the evicted one.
+//!
+//! The recursion is driven by an explicit worklist, not the call
+//! stack: deeply nested structures (a 10k-nt worst-case chain is
+//! ~5000 levels deep) would otherwise overflow the stack.
+
+use crate::kernel::{KernelScratch, SliceKernel};
+use crate::preprocess::Preprocessed;
+use std::collections::HashMap;
+
+/// Resolves memo cells against a partially evicted base table,
+/// recomputing misses through the slice kernel.
+///
+/// `base` is consulted first for every cell: `Some(v)` means the cell
+/// is resident with value `v`; `None` means it was evicted and must be
+/// recomputed. Recomputed values are cached for the lifetime of the
+/// oracle so shared children are forced once.
+pub struct CellOracle<'a, F> {
+    p1: &'a Preprocessed,
+    p2: &'a Preprocessed,
+    kernel: &'a dyn SliceKernel,
+    base: F,
+    scratch: KernelScratch,
+    cache: HashMap<(u32, u32), u32>,
+    cap: usize,
+    stack: Vec<(u32, u32)>,
+    recompute_slices: u64,
+    recompute_cells: u64,
+}
+
+impl<'a, F: FnMut(u32, u32) -> Option<u32>> CellOracle<'a, F> {
+    /// Creates an oracle over the given structures, kernel and base
+    /// lookup.
+    pub fn new(
+        p1: &'a Preprocessed,
+        p2: &'a Preprocessed,
+        kernel: &'a dyn SliceKernel,
+        base: F,
+    ) -> Self {
+        CellOracle {
+            p1,
+            p2,
+            kernel,
+            base,
+            scratch: KernelScratch::default(),
+            cache: HashMap::new(),
+            cap: usize::MAX,
+            stack: Vec::new(),
+            recompute_slices: 0,
+            recompute_cells: 0,
+        }
+    }
+
+    /// Caps the recompute cache at `cap` entries: when a `get` begins
+    /// with the cache at or over the cap, the cache is dropped and
+    /// rebuilt. Without a cap, a long scan over an evicted region (the
+    /// budgeted stage two reads every grid cell) accumulates the whole
+    /// recomputation closure and silently regrows the quadratic
+    /// footprint the eviction freed. With a cap, resident memory stays
+    /// `cap + closure(one cell)` and shared children merely risk being
+    /// re-forced across clears — recompute time traded for space, which
+    /// is the budget's contract.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self
+    }
+
+    /// Creates an oracle pre-seeded with `cache` — entries recomputed
+    /// by an earlier oracle over the same structures and base. Memo
+    /// values are immutable once written, so reusing them is always
+    /// sound and saves re-forcing shared children.
+    pub fn seeded(
+        p1: &'a Preprocessed,
+        p2: &'a Preprocessed,
+        kernel: &'a dyn SliceKernel,
+        base: F,
+        cache: HashMap<(u32, u32), u32>,
+    ) -> Self {
+        let mut oracle = Self::new(p1, p2, kernel, base);
+        oracle.cache = cache;
+        oracle
+    }
+
+    /// Consumes the oracle, returning its cache for reuse by a
+    /// successor (see [`CellOracle::seeded`]).
+    pub fn into_cache(self) -> HashMap<(u32, u32), u32> {
+        self.cache
+    }
+
+    /// Child slices re-tabulated so far.
+    pub fn recompute_slices(&self) -> u64 {
+        self.recompute_slices
+    }
+
+    /// Grid cells tabulated during recomputation so far.
+    pub fn recompute_cells(&self) -> u64 {
+        self.recompute_cells
+    }
+
+    #[inline]
+    fn resolved(&mut self, g1: u32, g2: u32) -> Option<u32> {
+        if let Some(&v) = self.cache.get(&(g1, g2)) {
+            return Some(v);
+        }
+        (self.base)(g1, g2)
+    }
+
+    /// Returns the memo value for arc pair `(g1, g2)`, recomputing it
+    /// (and any evicted descendants) if it is not resident.
+    pub fn get(&mut self, g1: u32, g2: u32) -> u32 {
+        if let Some(v) = self.resolved(g1, g2) {
+            return v;
+        }
+        // Enforce the cap only between forcings: entries inside one
+        // cell's closure must survive until its tabulation lands.
+        if self.cache.len() >= self.cap {
+            self.cache.clear();
+        }
+        debug_assert!(self.stack.is_empty());
+        self.stack.push((g1, g2));
+        while let Some(&(a, b)) = self.stack.last() {
+            if self.resolved(a, b).is_some() {
+                self.stack.pop();
+                continue;
+            }
+            let (lo1, hi1) = self.p1.under_range[a as usize];
+            let (lo2, hi2) = self.p2.under_range[b as usize];
+            let before = self.stack.len();
+            for c1 in lo1..hi1 {
+                for c2 in lo2..hi2 {
+                    if self.resolved(c1, c2).is_none() {
+                        self.stack.push((c1, c2));
+                    }
+                }
+            }
+            if self.stack.len() > before {
+                continue; // force the missing children first
+            }
+            // Every child is resolved: re-tabulate this slice exactly
+            // as stage one did.
+            let cols = hi2 - lo2;
+            let value = {
+                let cache = &self.cache;
+                let base = &mut self.base;
+                self.kernel.tabulate(
+                    self.p1,
+                    self.p2,
+                    (lo1, hi1),
+                    (lo2, hi2),
+                    &mut self.scratch,
+                    &mut |c1: u32, buf: &mut [u32]| {
+                        for (i, c2) in (lo2..hi2).enumerate() {
+                            buf[i] = cache
+                                .get(&(c1, c2))
+                                .copied()
+                                .or_else(|| base(c1, c2))
+                                .expect("child forced before parent tabulation");
+                        }
+                    },
+                )
+            };
+            self.recompute_slices += 1;
+            self.recompute_cells += u64::from(hi1 - lo1) * u64::from(cols);
+            self.cache.insert((a, b), value);
+            self.stack.pop();
+        }
+        self.resolved(g1, g2)
+            .expect("worklist terminated with the root resolved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind;
+    use crate::srna2;
+    use rna_structure::generate;
+
+    /// Evict every cell and recompute all of them: the oracle must
+    /// reproduce the full memo bit-for-bit from nothing.
+    #[test]
+    fn recomputes_the_whole_memo_from_scratch() {
+        let s1 = generate::random_structure(48, 0.5, 7);
+        let s2 = generate::random_structure(44, 0.5, 8);
+        let reference = srna2::run(&s1, &s2);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let kernel = KernelKind::Scalar.kernel();
+        let mut oracle = CellOracle::new(&p1, &p2, kernel, |_, _| None);
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p2.num_arcs() {
+                assert_eq!(
+                    oracle.get(g1, g2),
+                    reference.memo.get(g1, g2),
+                    "cell ({g1}, {g2})"
+                );
+            }
+        }
+        assert!(oracle.recompute_slices() > 0);
+        assert!(oracle.recompute_cells() >= oracle.recompute_slices());
+    }
+
+    /// Resident cells are never recomputed.
+    #[test]
+    fn resident_cells_cost_no_recompute() {
+        let s1 = generate::worst_case_nested(6);
+        let reference = srna2::run(&s1, &s1);
+        let p1 = Preprocessed::build(&s1);
+        let kernel = KernelKind::Scalar.kernel();
+        let memo = &reference.memo;
+        let mut oracle = CellOracle::new(&p1, &p1, kernel, |a, b| Some(memo.get(a, b)));
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p1.num_arcs() {
+                assert_eq!(oracle.get(g1, g2), reference.memo.get(g1, g2));
+            }
+        }
+        assert_eq!(oracle.recompute_slices(), 0);
+        assert_eq!(oracle.recompute_cells(), 0);
+    }
+
+    /// A capped oracle stays under its cap between forcings and still
+    /// resolves every cell correctly — it only pays more recompute.
+    #[test]
+    fn capped_cache_is_bounded_and_still_correct() {
+        let s1 = generate::random_structure(40, 0.6, 31);
+        let s2 = generate::random_structure(36, 0.6, 32);
+        let reference = srna2::run(&s1, &s2);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let kernel = KernelKind::Scalar.kernel();
+        let cap = 16;
+        let mut capped = CellOracle::new(&p1, &p2, kernel, |_, _| None).with_cap(cap);
+        let mut unbounded = CellOracle::new(&p1, &p2, kernel, |_, _| None);
+        let mut capped_peak = 0;
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p2.num_arcs() {
+                assert_eq!(capped.get(g1, g2), reference.memo.get(g1, g2));
+                capped_peak = capped_peak.max(capped.cache.len());
+                unbounded.get(g1, g2);
+            }
+        }
+        // The peak never exceeds cap + one cell's closure, and clears
+        // actually happened: the capped peak sits strictly below the
+        // unbounded cache (which accumulates the whole grid).
+        assert!(
+            capped_peak < unbounded.cache.len(),
+            "capped peak {capped_peak} vs unbounded {}",
+            unbounded.cache.len()
+        );
+        assert!(
+            capped.recompute_slices() > unbounded.recompute_slices(),
+            "the cap trades recompute for space"
+        );
+    }
+
+    /// A sparse eviction pattern (every third cell) resolves through
+    /// the mixed resident/recompute path.
+    #[test]
+    fn mixed_residency_matches_the_reference() {
+        let s1 = generate::random_structure(40, 0.6, 21);
+        let s2 = generate::random_structure(36, 0.6, 22);
+        let reference = srna2::run(&s1, &s2);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let kernel = KernelKind::Tiled.kernel();
+        let memo = &reference.memo;
+        let cols = p2.num_arcs();
+        let mut oracle = CellOracle::new(&p1, &p2, kernel, |a, b| {
+            if (a * cols + b) % 3 == 0 {
+                None
+            } else {
+                Some(memo.get(a, b))
+            }
+        });
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p2.num_arcs() {
+                assert_eq!(oracle.get(g1, g2), reference.memo.get(g1, g2));
+            }
+        }
+        assert!(oracle.recompute_slices() > 0);
+    }
+}

@@ -15,6 +15,21 @@
 //!
 //! Cost: `O(k · W)` where `k` is the number of matched pairs and `W` the
 //! largest slice, versus the full run's sum over *all* slices.
+//!
+//! # Hirschberg-style linear-space recovery
+//!
+//! The same walk doubles as a Hirschberg divide-and-conquer over the
+//! slice DAG: each match case *is* the split point — the problem
+//! divides into the child slice under the matched pair (the `d₂` part)
+//! and the prefix window before it (the `d₁` jump), and the two
+//! sub-problems are recovered independently. Nothing in the walk needs
+//! the full memo at once: every read goes through a cell lookup, so
+//! [`traceback_oracle`] can run against a *partially evicted* memo
+//! whose lookup recomputes dead cells through the slice kernel
+//! ([`crate::recompute::CellOracle`]). The score pass then only ever
+//! holds the live-level window resident, and the traceback re-derives
+//! the rest on demand — bit-identical to the dense walk because the
+//! lookup returns bit-identical values.
 
 use rna_structure::ArcStructure;
 
@@ -66,11 +81,28 @@ pub fn traceback_weighted<W: crate::weighted::ArcWeight>(
     memo: &MemoTable,
     weights: &W,
 ) -> Mapping {
+    traceback_oracle(p1, p2, weights, &mut |g1, g2| memo.get(g1, g2))
+}
+
+/// Recovers an optimal arc mapping reading memo cells through `lookup`
+/// instead of a dense table.
+///
+/// This is the linear-space entry point: under a budgeted run the
+/// lookup serves resident cells from the windowed store and recomputes
+/// evicted ones, so the recovery never needs the full grid resident.
+/// With `lookup = |g1, g2| memo.get(g1, g2)` it is exactly
+/// [`traceback_weighted`].
+pub fn traceback_oracle<W: crate::weighted::ArcWeight>(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    weights: &W,
+    lookup: &mut dyn FnMut(u32, u32) -> u32,
+) -> Mapping {
     let mut pairs = Vec::new();
     trace_slice(
         p1,
         p2,
-        memo,
+        lookup,
         weights,
         p1.full_range(),
         p2.full_range(),
@@ -82,7 +114,7 @@ pub fn traceback_weighted<W: crate::weighted::ArcWeight>(
 fn trace_slice<W: crate::weighted::ArcWeight>(
     p1: &Preprocessed,
     p2: &Preprocessed,
-    memo: &MemoTable,
+    lookup: &mut dyn FnMut(u32, u32) -> u32,
     weights: &W,
     range1: ArcRange,
     range2: ArcRange,
@@ -97,7 +129,7 @@ fn trace_slice<W: crate::weighted::ArcWeight>(
     }
     let mut grid = Vec::new();
     crate::weighted::tabulate_weighted(p1, p2, range1, range2, weights, &mut grid, |g1, g2| {
-        memo.get(g1, g2)
+        lookup(g1, g2)
     });
     if grid.is_empty() {
         return;
@@ -121,11 +153,12 @@ fn trace_slice<W: crate::weighted::ArcWeight>(
         let g1 = lo1 + (p as u32 - 1);
         let g2 = lo2 + (q as u32 - 1);
         out.push((g1, g2));
-        // d2: recurse into the child slice under the matched pair.
+        // d2: recurse into the child slice under the matched pair —
+        // the Hirschberg split point.
         trace_slice(
             p1,
             p2,
-            memo,
+            lookup,
             weights,
             p1.under_range[g1 as usize],
             p2.under_range[g2 as usize],

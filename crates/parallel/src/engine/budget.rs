@@ -1,0 +1,648 @@
+//! The [`Budgeted`] store decorator: linear-space stage one under a
+//! resident-cell budget.
+//!
+//! Wraps any [`MemoStore`] and drives the retention contract from a
+//! [`RetentionPlan`]:
+//!
+//! * **Dead sweep** — after each step settles, every cell whose last
+//!   stage-one reader just ran ([`RetentionPlan::for_dead_at`]) is
+//!   evicted from the wrapped representation. With no budget pressure
+//!   this alone pins the resident peak to the schedule's liveness
+//!   floor.
+//! * **Pressure eviction** — when the cells still live exceed
+//!   `budget − cells_written_at(next step)`, whole write-steps are
+//!   evicted oldest-first until the next step's writes fit. Evicted
+//!   cells that still have readers are serviced on the next gather by
+//!   recomputing them through the slice kernel
+//!   ([`mcos_core::recompute::CellOracle`]) — the classic space/time
+//!   trade.
+//!
+//! # Determinism
+//!
+//! Eviction decisions are a pure function of `(plan, settled step)` —
+//! never of shared-bitmap outcomes or any cross-lane observation. The
+//! replicated store runs one ledger per worker lane, and because every
+//! lane evaluates the same plan over the same step sequence, all
+//! replicas follow bit-identical residency trajectories; the shared
+//! eviction bitmap a lane consults on its own gathers is therefore
+//! always at least as current as that lane's own replica. Coordinated
+//! stores run a single ledger on lane 0 (the settling coordinator),
+//! ordered before the next step's views by the engine's hand-shake.
+//!
+//! The eviction *bitmap* is shared so a cell dropped anywhere resolves
+//! as a recompute everywhere, and so `mcos.mem.evicted_cells` counts
+//! each logical cell once no matter how many replicas dropped it.
+//!
+//! # Budget semantics
+//!
+//! The budget is a per-representation resident-cell target (each
+//! replica of the replicated store individually honors it; the world
+//! footprint is `workers × budget`). A step's own writes can never be
+//! evicted while it runs, so the enforced invariant is
+//! `resident_peak ≤ max(budget, max_s cells_written_at(s))`: budgets
+//! below the widest single step degrade to that step frontier.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mcos_core::kernel::SliceKernel;
+use mcos_core::memo::MemoTable;
+use mcos_core::preprocess::Preprocessed;
+use mcos_core::recompute::CellOracle;
+use mcos_telemetry::{Recorder, WorkerLog};
+use parking_lot::Mutex;
+
+use super::retention::RetentionPlan;
+use super::schedule::Step;
+use super::store::{MemoStore, StepView};
+
+/// Cross-lane budget state: the eviction bitmap plus the run's
+/// retention counters. Shared between the store, its views, and the
+/// dispatcher that publishes the counters after the run.
+pub struct BudgetShared {
+    a2: u32,
+    /// One bit per logical grid cell; set once when the cell is first
+    /// evicted anywhere.
+    bits: Vec<AtomicU64>,
+    evicted_cells: AtomicU64,
+    resident_cells_peak: AtomicU64,
+    recompute_slices: AtomicU64,
+    recompute_cells: AtomicU64,
+}
+
+impl BudgetShared {
+    /// Fresh state for an `a1 × a2` grid.
+    pub fn new(a1: u32, a2: u32) -> Self {
+        let cells = u64::from(a1) * u64::from(a2);
+        let words = cells.div_ceil(64) as usize;
+        BudgetShared {
+            a2,
+            bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            evicted_cells: AtomicU64::new(0),
+            resident_cells_peak: AtomicU64::new(0),
+            recompute_slices: AtomicU64::new(0),
+            recompute_cells: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, g1: u32, g2: u32) -> (usize, u64) {
+        let idx = u64::from(g1) * u64::from(self.a2) + u64::from(g2);
+        ((idx / 64) as usize, 1u64 << (idx % 64))
+    }
+
+    /// Whether cell `(g1, g2)` has been evicted (anywhere).
+    // ORDERING: Relaxed — a lane only depends on marks it set itself
+    // (program order) or that were published before a step hand-shake
+    // edge (channel send / allreduce), both of which already order the
+    // load. A stale `true` merely recomputes the same value.
+    #[inline]
+    pub fn is_evicted(&self, g1: u32, g2: u32) -> bool {
+        let (w, b) = self.slot(g1, g2);
+        // ORDERING: Relaxed — see the method doc above; hand-shake
+        // edges order the marks this load depends on.
+        self.bits[w].load(Ordering::Relaxed) & b != 0
+    }
+
+    /// Marks the cell evicted; returns whether this call was the first
+    /// to do so (the global once-per-cell eviction count).
+    #[inline]
+    fn mark(&self, g1: u32, g2: u32) -> bool {
+        let (w, b) = self.slot(g1, g2);
+        // ORDERING: Relaxed — the RMW is atomic on its own; readers
+        // are ordered by the step hand-shake, not by this bit.
+        self.bits[w].fetch_or(b, Ordering::Relaxed) & b == 0
+    }
+
+    fn count_recompute(&self, slices: u64, cells: u64) {
+        // ORDERING: Relaxed — pure statistics, read after the run.
+        self.recompute_slices.fetch_add(slices, Ordering::Relaxed);
+        self.recompute_cells.fetch_add(cells, Ordering::Relaxed);
+    }
+
+    /// Logical cells evicted at least once.
+    pub fn evicted_cells(&self) -> u64 {
+        // ORDERING: Relaxed — statistic, read after the run settles.
+        self.evicted_cells.load(Ordering::Relaxed)
+    }
+
+    /// Highest resident-cell count any single ledger observed (after a
+    /// step's writes landed, before its sweeps ran).
+    pub fn resident_cells_peak(&self) -> u64 {
+        // ORDERING: Relaxed — statistic, read after the run settles.
+        self.resident_cells_peak.load(Ordering::Relaxed)
+    }
+
+    /// Slices re-tabulated to service reads of evicted cells.
+    pub fn recompute_slices(&self) -> u64 {
+        // ORDERING: Relaxed — statistic, read after the run settles.
+        self.recompute_slices.load(Ordering::Relaxed)
+    }
+
+    /// Cells tabulated during those recomputations.
+    pub fn recompute_cells(&self) -> u64 {
+        // ORDERING: Relaxed — statistic, read after the run settles.
+        self.recompute_cells.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the run's retention counters to `recorder`.
+    pub fn publish(&self, recorder: &Recorder) {
+        recorder.count_evicted_cells(self.evicted_cells());
+        recorder.count_recompute(self.recompute_slices(), self.recompute_cells());
+        recorder.record_resident_cells_peak(self.resident_cells_peak());
+    }
+}
+
+/// One lane's residency ledger: the deterministic trajectory of cells
+/// live in that lane's representation.
+struct Ledger {
+    /// First step whose settlement this ledger has not yet processed.
+    next_step: u32,
+    live: u64,
+    /// Live cells grouped by write step (pressure evicts whole groups).
+    live_by: Vec<u64>,
+    /// Write steps force-evicted under pressure: their cells are
+    /// already gone and marked, so the later dead sweep must not
+    /// decrement them again.
+    pressured: Vec<bool>,
+    /// Pressure cursor: oldest write step that may still hold cells.
+    oldest: u32,
+    peak: u64,
+}
+
+impl Ledger {
+    fn new(plan: &RetentionPlan) -> Self {
+        let n = plan.num_steps() as usize;
+        Ledger {
+            next_step: 0,
+            live: 0,
+            live_by: vec![0; n],
+            pressured: vec![false; n],
+            oldest: 0,
+            peak: 0,
+        }
+    }
+}
+
+/// The budget outcome a dispatcher hands to stage two: the plan plus
+/// the shared bitmap/counters, so later reads of the (now partial)
+/// memo can route misses through recomputation.
+pub struct BudgetHandle {
+    /// The retention plan the run was evicted under.
+    pub plan: Arc<RetentionPlan>,
+    /// Bitmap + counters (see [`BudgetShared`]).
+    pub shared: Arc<BudgetShared>,
+}
+
+/// A [`MemoStore`] decorator enforcing a resident-cell budget via the
+/// wrapped store's retention contract. See the module docs for the
+/// eviction policy and determinism argument.
+// POLICY: decorator — representation and synchronization are the
+// wrapped store's; this layer only decides *which cells remain*.
+pub struct Budgeted<'p, M> {
+    inner: M,
+    plan: Arc<RetentionPlan>,
+    budget: u64,
+    p1: &'p Preprocessed,
+    p2: &'p Preprocessed,
+    /// Kernel for servicing evicted reads by recomputation — the same
+    /// kernel stage one tabulates with, so recomputed values are
+    /// bit-identical.
+    kernel: &'p dyn SliceKernel,
+    shared: Arc<BudgetShared>,
+    ledgers: Vec<Mutex<Ledger>>,
+}
+
+impl<'p, M: MemoStore> Budgeted<'p, M> {
+    /// Wraps `inner` under `budget` resident cells. `lanes` is the
+    /// number of worker lanes that synchronize the store themselves
+    /// (the replicated world size); coordinated stores use lane 0
+    /// only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        inner: M,
+        plan: Arc<RetentionPlan>,
+        budget: u64,
+        lanes: usize,
+        p1: &'p Preprocessed,
+        p2: &'p Preprocessed,
+        kernel: &'p dyn SliceKernel,
+        shared: Arc<BudgetShared>,
+    ) -> Self {
+        let ledgers = (0..lanes.max(1))
+            .map(|_| Mutex::new(Ledger::new(&plan)))
+            .collect();
+        Budgeted {
+            inner,
+            plan,
+            budget,
+            p1,
+            p2,
+            kernel,
+            shared,
+            ledgers,
+        }
+    }
+
+    /// Processes the settlement of every step through `index` on the
+    /// given lane: land the writes, sweep the dead, pressure-evict
+    /// until the next step's writes fit.
+    fn after_settle(&self, who: Option<usize>, index: u32) {
+        let plan = &*self.plan;
+        debug_assert!(
+            index < plan.num_steps(),
+            "budgeted runs require sound (unmerged) schedules"
+        );
+        let mut led = self.ledgers[who.unwrap_or(0)].lock();
+        let mut newly = 0u64;
+        for s in led.next_step..=index {
+            // Writes land; the peak is measured before any sweep, so
+            // it is directly comparable to the liveness-floor model.
+            let written = plan.cells_written_at(s);
+            led.live += written;
+            led.live_by[s as usize] += written;
+            led.peak = led.peak.max(led.live);
+
+            // Dead sweep: last readers of these cells settled at `s`.
+            {
+                let led = &mut *led;
+                plan.for_dead_at(s, &mut |g, cols| {
+                    self.inner.evict_cells(who, g, cols);
+                    for &h in cols {
+                        if self.shared.mark(g, h) {
+                            newly += 1;
+                        }
+                        let ws = plan.write_step(g, h) as usize;
+                        // Pressure already removed (and accounted) the
+                        // whole write group; decrementing again would
+                        // corrupt the ledger.
+                        if !led.pressured[ws] {
+                            led.live -= 1;
+                            led.live_by[ws] -= 1;
+                        }
+                    }
+                });
+            }
+
+            // Pressure: make room for the next step's writes by
+            // evicting whole write-steps oldest-first. Evicted cells
+            // with remaining readers recompute on demand.
+            let target = self.budget.saturating_sub(plan.cells_written_at(s + 1));
+            while led.live > target && led.oldest <= s {
+                let w = led.oldest;
+                led.oldest += 1;
+                if led.live_by[w as usize] == 0 {
+                    continue;
+                }
+                plan.for_written_at(w, &mut |g, cols| {
+                    self.inner.evict_cells(who, g, cols);
+                    for &h in cols {
+                        if self.shared.mark(g, h) {
+                            newly += 1;
+                        }
+                    }
+                });
+                led.live -= led.live_by[w as usize];
+                led.live_by[w as usize] = 0;
+                led.pressured[w as usize] = true;
+            }
+        }
+        led.next_step = index + 1;
+        // Advisory pin for stores that window internally.
+        self.inner.retain_through(index + 1);
+        self.shared
+            .resident_cells_peak
+            // ORDERING: Relaxed — statistics; the RMWs are atomic on
+            // their own and are only read after the run settles.
+            .fetch_max(led.peak, Ordering::Relaxed);
+        if newly > 0 {
+            // ORDERING: Relaxed — same statistics rationale as above.
+            self.shared
+                .evicted_cells
+                .fetch_add(newly, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The decorated view: gathers consult the eviction bitmap and route
+/// misses through a [`CellOracle`] seeded with this view's recompute
+/// cache (per-view, so the cache cannot silently regrow the table the
+/// budget just shrank).
+pub struct BudgetedView<'v, V> {
+    inner: V,
+    shared: &'v BudgetShared,
+    p1: &'v Preprocessed,
+    p2: &'v Preprocessed,
+    kernel: &'v dyn SliceKernel,
+    cache: HashMap<(u32, u32), u32>,
+}
+
+impl<V: StepView> StepView for BudgetedView<'_, V> {
+    fn gather(&mut self, owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
+        // Fast path: the whole row segment is resident.
+        if (lo2..hi2).all(|c| !self.shared.is_evicted(g1, c)) {
+            self.inner.gather(owner, g1, lo2, hi2, buf);
+            return;
+        }
+        // Slow path: resolve cell by cell, recomputing evicted ones.
+        let BudgetedView {
+            inner,
+            shared,
+            p1,
+            p2,
+            kernel,
+            cache,
+        } = self;
+        let base = |a: u32, b: u32| {
+            if shared.is_evicted(a, b) {
+                None
+            } else {
+                let mut one = [0u32];
+                inner.gather(owner, a, b, b + 1, &mut one);
+                Some(one[0])
+            }
+        };
+        let mut oracle = CellOracle::seeded(p1, p2, *kernel, base, std::mem::take(cache));
+        for (i, c) in (lo2..hi2).enumerate() {
+            buf[i] = oracle.get(g1, c);
+        }
+        let (slices, cells) = (oracle.recompute_slices(), oracle.recompute_cells());
+        *cache = oracle.into_cache();
+        shared.count_recompute(slices, cells);
+    }
+
+    fn publish(&mut self, k1: u32, k2: u32, v: u32) {
+        self.inner.publish(k1, k2, v);
+    }
+}
+
+// POLICY: the decorator forwards the retention contract to the inner
+// store verbatim; only gather/after_settle add behavior, so schedule
+// soundness proven for the inner store carries over unchanged.
+impl<'p, M: MemoStore> MemoStore for Budgeted<'p, M> {
+    type View<'v>
+        = BudgetedView<'v, M::View<'v>>
+    where
+        Self: 'v;
+
+    fn name(&self) -> &'static str {
+        // Keep the wrapped representation's label: telemetry reports
+        // the budget through its own counters, not the store name.
+        self.inner.name()
+    }
+
+    fn coordinated(&self) -> bool {
+        self.inner.coordinated()
+    }
+
+    fn cells_allocated(&self) -> u64 {
+        self.inner.cells_allocated()
+    }
+
+    fn begin_step(&self, w: usize) -> Self::View<'_> {
+        BudgetedView {
+            inner: self.inner.begin_step(w),
+            shared: &self.shared,
+            p1: self.p1,
+            p2: self.p2,
+            kernel: self.kernel,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn worker_sync(&self, w: usize, step: &Step, log: &mut WorkerLog) {
+        self.inner.worker_sync(w, step, log);
+        // Self-synchronizing stores settle in every worker lane: each
+        // replica runs its own (identical) eviction trajectory.
+        if !self.inner.coordinated() {
+            self.after_settle(Some(w), step.index);
+        }
+    }
+
+    fn manager_sync(&self, step: &Step, log: &mut WorkerLog) {
+        // The manager rank is memo-less: nothing to evict.
+        self.inner.manager_sync(step, log);
+    }
+
+    fn retain_through(&self, step: u32) {
+        self.inner.retain_through(step);
+    }
+
+    fn evict_cells(&self, w: Option<usize>, g1: u32, cols: &[u32]) -> u64 {
+        self.inner.evict_cells(w, g1, cols)
+    }
+
+    fn settle(&self, step: &Step, recorder: &Recorder) {
+        self.inner.settle(step, recorder);
+        self.after_settle(None, step.index);
+    }
+
+    fn finish(self) -> MemoTable {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::schedule::{RowBarrier, Schedule};
+    use crate::engine::store::{LockFreeAtomic, Replicated, SharedRwLock};
+    use crate::engine::{run_stage_one, Distribution};
+    use crate::ScheduleKind;
+    use load_balance::Policy;
+    use mcos_core::kernel::KernelKind;
+    use mcos_core::{srna2, workload};
+    use rna_structure::generate;
+
+    /// Runs a budgeted row-schedule stage one and returns the (holey)
+    /// memo plus the budget state.
+    fn run_budgeted<M: MemoStore>(
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        store: M,
+        lanes: usize,
+        budget: u64,
+        dist: Distribution<'_>,
+        workers: u32,
+    ) -> (MemoTable, Arc<BudgetShared>, Arc<RetentionPlan>) {
+        let plan = Arc::new(RetentionPlan::new(p1, p2, ScheduleKind::Row));
+        let shared = Arc::new(BudgetShared::new(p1.num_arcs(), p2.num_arcs()));
+        let kernel = KernelKind::Scalar;
+        let store = Budgeted::new(
+            store,
+            plan.clone(),
+            budget,
+            lanes,
+            p1,
+            p2,
+            kernel.kernel(),
+            shared.clone(),
+        );
+        let memo = run_stage_one(
+            &RowBarrier,
+            store,
+            dist,
+            kernel,
+            workers,
+            p1,
+            p2,
+            &Recorder::disabled(),
+        );
+        (memo, shared, plan)
+    }
+
+    /// Every cell — resident or evicted — must resolve bit-identically
+    /// to SRNA2 through the oracle over the holey memo.
+    fn assert_oracle_equivalence(
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        memo: &MemoTable,
+        shared: &BudgetShared,
+    ) {
+        let reference = srna2::run_preprocessed(p1, p2).memo;
+        let kernel = KernelKind::Scalar.kernel();
+        let mut oracle = CellOracle::new(p1, p2, kernel, |a, b| {
+            if shared.is_evicted(a, b) {
+                None
+            } else {
+                Some(memo.get(a, b))
+            }
+        });
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p2.num_arcs() {
+                assert_eq!(
+                    oracle.get(g1, g2),
+                    reference.get(g1, g2),
+                    "cell ({g1}, {g2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_pressure_stays_under_budget_and_resolves_bit_identically() {
+        let s1 = generate::random_structure(52, 0.8, 11);
+        let s2 = generate::random_structure(48, 0.8, 12);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let plan = RetentionPlan::new(&p1, &p2, ScheduleKind::Row);
+        // Tight budget: well under the no-pressure floor, but at least
+        // the widest single step (see module docs on the invariant).
+        let widest = (0..plan.num_steps())
+            .map(|s| plan.cells_written_at(s))
+            .max()
+            .unwrap();
+        let floor = plan.liveness().floor_cells;
+        let budget = (floor / 2).max(widest);
+        assert!(budget < floor, "test wants real pressure");
+
+        let steps = RowBarrier.steps(&p1, &p2);
+        let store = SharedRwLock::new(p1.num_arcs(), p2.num_arcs(), &steps);
+        let (memo, shared, _) = run_budgeted(&p1, &p2, store, 1, budget, Distribution::Claim, 3);
+
+        assert!(shared.evicted_cells() > 0);
+        assert!(
+            shared.resident_cells_peak() <= budget.max(widest),
+            "peak {} exceeds budget {budget} (widest step {widest})",
+            shared.resident_cells_peak()
+        );
+        assert!(
+            shared.recompute_slices() > 0,
+            "pressure eviction must trigger recomputation"
+        );
+        assert_oracle_equivalence(&p1, &p2, &memo, &shared);
+    }
+
+    #[test]
+    fn unpressured_budget_pins_the_peak_to_the_liveness_floor() {
+        let s1 = generate::hairpin_chain(12, 3, 2);
+        let s2 = generate::random_structure(40, 0.7, 13);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let steps = RowBarrier.steps(&p1, &p2);
+        let store = SharedRwLock::new(p1.num_arcs(), p2.num_arcs(), &steps);
+        // Budget = whole grid: the dead sweep alone decides residency.
+        let budget = u64::from(p1.num_arcs()) * u64::from(p2.num_arcs());
+        let (memo, shared, plan) = run_budgeted(&p1, &p2, store, 1, budget, Distribution::Claim, 2);
+
+        let floor = plan.liveness().floor_cells;
+        assert_eq!(
+            shared.resident_cells_peak(),
+            floor,
+            "sweep-only trajectory must equal the plan's floor"
+        );
+        assert_eq!(shared.recompute_slices(), 0, "no pressure, no recompute");
+        assert!(shared.evicted_cells() > 0);
+        assert_oracle_equivalence(&p1, &p2, &memo, &shared);
+    }
+
+    #[test]
+    fn replicated_lanes_follow_identical_trajectories() {
+        let s1 = generate::random_structure(44, 0.8, 14);
+        let s2 = generate::random_structure(40, 0.8, 15);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let plan = RetentionPlan::new(&p1, &p2, ScheduleKind::Row);
+        let widest = (0..plan.num_steps())
+            .map(|s| plan.cells_written_at(s))
+            .max()
+            .unwrap();
+        let budget = (plan.liveness().floor_cells / 2).max(widest);
+
+        let rec = Recorder::disabled();
+        let workers = 2u32;
+        let store = Replicated::new(p1.num_arcs(), p2.num_arcs(), workers, false, &rec);
+        let (memo, shared, _) = run_budgeted(
+            &p1,
+            &p2,
+            store,
+            workers as usize,
+            budget,
+            Distribution::Claim,
+            workers,
+        );
+
+        // The bitmap counts each logical cell once even though both
+        // replicas evicted it.
+        assert!(shared.evicted_cells() <= u64::from(p1.num_arcs()) * u64::from(p2.num_arcs()));
+        assert!(shared.resident_cells_peak() <= budget.max(widest));
+        assert_oracle_equivalence(&p1, &p2, &memo, &shared);
+    }
+
+    #[test]
+    fn budgeted_static_lockfree_matches_on_the_resident_part() {
+        let s1 = generate::random_structure(48, 0.9, 16);
+        let s2 = generate::random_structure(44, 0.8, 17);
+        let p1 = Preprocessed::build(&s1);
+        let p2 = Preprocessed::build(&s2);
+        let weights = workload::column_weights(&p1, &p2);
+        let assignment = Policy::Lpt.assign(&weights, 4);
+        let plan = RetentionPlan::new(&p1, &p2, ScheduleKind::Row);
+        let widest = (0..plan.num_steps())
+            .map(|s| plan.cells_written_at(s))
+            .max()
+            .unwrap();
+        let budget = (plan.liveness().floor_cells / 2).max(widest);
+        let store = LockFreeAtomic::new(p1.num_arcs(), p2.num_arcs());
+        let (memo, shared, _) = run_budgeted(
+            &p1,
+            &p2,
+            store,
+            1,
+            budget,
+            Distribution::Static(&assignment),
+            4,
+        );
+        // Resident cells are exactly the reference values.
+        let reference = srna2::run_preprocessed(&p1, &p2).memo;
+        for g1 in 0..p1.num_arcs() {
+            for g2 in 0..p2.num_arcs() {
+                if !shared.is_evicted(g1, g2) {
+                    assert_eq!(memo.get(g1, g2), reference.get(g1, g2));
+                }
+            }
+        }
+        assert_oracle_equivalence(&p1, &p2, &memo, &shared);
+    }
+}

@@ -40,21 +40,26 @@
 //!   serves slice requests heaviest-first, then joins the store's
 //!   synchronization — the Snow-style related-work shape.
 
+pub mod budget;
 pub mod plan;
 pub mod readiness;
+pub mod retention;
 pub mod schedule;
 pub mod store;
 pub mod tracing;
 
+pub use budget::{BudgetHandle, BudgetShared, Budgeted};
 pub use plan::{
     sync_plan, sync_plan_broken_wavefront, PlannedSlice, PlannedStep, SyncOp, SyncPlan,
 };
 pub use readiness::ReadinessProgram;
+pub use retention::RetentionPlan;
 pub use schedule::{LevelWavefront, RowBarrier, Schedule, SchedulePlan, Step};
 pub use store::{LockFreeAtomic, MemoStore, Replicated, SharedRwLock, StepView};
 pub use tracing::Tracing;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 use load_balance::Assignment;
@@ -145,15 +150,18 @@ fn run_steps<S: Schedule, M: MemoStore>(
     ctx: &EngineCtx<'_>,
 ) -> MemoTable {
     assert!(ctx.workers > 0, "need at least one worker");
-    // Occupancy accounting: the store knows the physical cost of its
-    // own representation (replicas, snapshots), counted once per run.
-    ctx.recorder
-        .count_memo_cells_allocated(store.cells_allocated());
     match dist {
         Distribution::Managed => run_managed(schedule, steps, &store, ctx),
         _ if store.coordinated() => run_coordinated(schedule, steps, &store, dist, ctx),
         _ => run_free(steps, &store, dist, ctx),
     }
+    // Occupancy accounting: the store knows the physical cost of its
+    // own representation (replicas, snapshots), counted once per run —
+    // after the run, because row-lazy tables and windowed snapshots
+    // only know their cumulative footprint once the steps have
+    // settled.
+    ctx.recorder
+        .count_memo_cells_allocated(store.cells_allocated());
     if let Some(h) = ctx.hooks {
         for &t in &h.tasks {
             h.log.join(h.root, t);
@@ -502,17 +510,24 @@ fn run_managed<S: Schedule, M: MemoStore>(
     });
 }
 
-/// Runs `backend` through the engine: the crate-internal entry point
-/// behind [`crate::prna_recorded`].
-pub(crate) fn dispatch(
+/// Runs `backend` through the engine — the crate-internal entry point
+/// behind [`crate::prna_recorded`] — with an optional resident-cell
+/// budget: the store is wrapped in the [`Budgeted`] decorator and the
+/// returned [`BudgetHandle`] carries the eviction bitmap stage two
+/// needs to route reads of evicted cells through recomputation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_budgeted(
     backend: Backend,
     kernel: KernelKind,
     p1: &Preprocessed,
     p2: &Preprocessed,
     assignment: &Assignment,
     recorder: &Recorder,
-) -> MemoTable {
-    run_backend(backend, kernel, false, p1, p2, assignment, recorder, None)
+    budget: Option<u64>,
+) -> (MemoTable, Option<BudgetHandle>) {
+    run_backend(
+        backend, kernel, false, p1, p2, assignment, recorder, None, budget,
+    )
 }
 
 /// Like [`dispatch`], but wraps the store in the [`Tracing`] decorator
@@ -539,7 +554,9 @@ pub(crate) fn dispatch_traced(
         assignment,
         recorder,
         Some(hooks),
+        None,
     )
+    .0
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -552,7 +569,12 @@ fn run_backend(
     assignment: &Assignment,
     recorder: &Recorder,
     hooks: Option<&TraceHooks<'_>>,
-) -> MemoTable {
+    budget: Option<u64>,
+) -> (MemoTable, Option<BudgetHandle>) {
+    // Retention (the windowed snapshot, the budgeted decorator) keys
+    // cell lifetimes off sound schedule step indices; traced runs and
+    // the deliberately broken wavefront fall back to full retention.
+    let retention_ok = hooks.is_none() && !broken_wavefront;
     match backend.schedule {
         ScheduleKind::Row => run_sched(
             &RowBarrier,
@@ -563,6 +585,8 @@ fn run_backend(
             assignment,
             recorder,
             hooks,
+            budget.filter(|_| retention_ok),
+            retention_ok,
         ),
         ScheduleKind::Level if broken_wavefront => run_sched(
             &LevelWavefront::broken(),
@@ -573,6 +597,8 @@ fn run_backend(
             assignment,
             recorder,
             hooks,
+            None,
+            false,
         ),
         ScheduleKind::Level => run_sched(
             &LevelWavefront::new(),
@@ -583,6 +609,8 @@ fn run_backend(
             assignment,
             recorder,
             hooks,
+            budget.filter(|_| retention_ok),
+            retention_ok,
         ),
     }
 }
@@ -597,7 +625,9 @@ fn run_sched<S: Schedule>(
     assignment: &Assignment,
     recorder: &Recorder,
     hooks: Option<&TraceHooks<'_>>,
-) -> MemoTable {
+    budget: Option<u64>,
+    retention_ok: bool,
+) -> (MemoTable, Option<BudgetHandle>) {
     let steps = schedule.steps(p1, p2);
     let workers = assignment.processors();
     let dist = match backend.dist {
@@ -614,6 +644,11 @@ fn run_sched<S: Schedule>(
         hooks,
     };
     let (a1, a2) = (p1.num_arcs(), p2.num_arcs());
+    // One plan serves both retention consumers: the lock-free store's
+    // level-windowed snapshot and the budgeted decorator.
+    let plan: Option<Arc<RetentionPlan>> = (retention_ok
+        && (budget.is_some() || matches!(backend.store, StoreKind::LockFreeAtomic)))
+    .then(|| Arc::new(RetentionPlan::new(p1, p2, backend.schedule)));
     // Tag the table construction so a `mem-profile` build attributes
     // the grid allocations to the memo arena.
     let memo_arena = ArenaScope::enter(Arena::Memo);
@@ -622,18 +657,58 @@ fn run_sched<S: Schedule>(
             let managed = matches!(backend.dist, DistKind::Managed);
             let store = Replicated::new(a1, a2, workers, managed, recorder);
             drop(memo_arena);
-            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+            run_wrapped(schedule, &steps, store, dist, &ctx, kernel, budget, plan)
         }
         StoreKind::SharedRwLock => {
             let store = SharedRwLock::new(a1, a2, &steps);
             drop(memo_arena);
-            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+            run_wrapped(schedule, &steps, store, dist, &ctx, kernel, budget, plan)
         }
         StoreKind::LockFreeAtomic => {
-            let store = LockFreeAtomic::new(a1, a2);
+            let store = match &plan {
+                Some(plan) => LockFreeAtomic::with_retention(a1, a2, plan.clone()),
+                None => LockFreeAtomic::new(a1, a2),
+            };
             drop(memo_arena);
-            run_maybe_traced(schedule, &steps, store, dist, &ctx)
+            run_wrapped(schedule, &steps, store, dist, &ctx, kernel, budget, plan)
         }
+    }
+}
+
+/// Wraps `store` in the [`Budgeted`] decorator when a budget is set
+/// (publishing the retention counters after the run), otherwise runs
+/// it plain or traced.
+#[allow(clippy::too_many_arguments)]
+fn run_wrapped<S: Schedule, M: MemoStore>(
+    schedule: &S,
+    steps: &[Step],
+    store: M,
+    dist: Distribution<'_>,
+    ctx: &EngineCtx<'_>,
+    kernel: KernelKind,
+    budget: Option<u64>,
+    plan: Option<Arc<RetentionPlan>>,
+) -> (MemoTable, Option<BudgetHandle>) {
+    match budget {
+        Some(cells) => {
+            let plan = plan.expect("a budget always comes with a plan");
+            debug_assert!(ctx.hooks.is_none(), "budgeted runs are never traced");
+            let shared = Arc::new(BudgetShared::new(ctx.p1.num_arcs(), ctx.p2.num_arcs()));
+            let store = Budgeted::new(
+                store,
+                plan.clone(),
+                cells,
+                ctx.workers as usize,
+                ctx.p1,
+                ctx.p2,
+                kernel.kernel(),
+                shared.clone(),
+            );
+            let memo = run_steps(schedule, steps, store, dist, ctx);
+            shared.publish(ctx.recorder);
+            (memo, Some(BudgetHandle { plan, shared }))
+        }
+        None => (run_maybe_traced(schedule, steps, store, dist, ctx), None),
     }
 }
 

@@ -1,0 +1,537 @@
+//! The retention plan: per-cell last-reader steps, derived from the
+//! schedule, in `O(A₁ + A₂)` space.
+//!
+//! Stage one reads memo cell `(g₁, g₂)` only from slices `(K₁, K₂)`
+//! where `K₁` is an ancestor of `g₁` *and* `K₂` is an ancestor of `g₂`
+//! (`run_slice` gathers `under(K₁) × under(K₂)`). Both schedules place
+//! a slice's step at a per-arc maximum — the row index of `K₁`
+//! (row-barrier) or `max(depth(K₁), depth(K₂))` (wavefront) — and a
+//! step contribution grows strictly toward the outermost ancestor, so
+//! the *last* reader of a cell is always determined by the two
+//! outermost ancestors alone. A cell with a top-level arc on either
+//! side has no stage-one reader at all and dies the moment its own
+//! step settles.
+//!
+//! That factorization is the whole trick: instead of a per-cell table
+//! (which would be as large as the memo it's meant to shrink), the
+//! plan keeps four per-arc arrays — own-step and outermost-ancestor
+//! contributions for each side — and combines them on demand:
+//!
+//! ```text
+//! write_step(g₁, g₂) = max(own₁[g₁], own₂[g₂])
+//! last_step(g₁, g₂)  = max(outer₁[g₁], outer₂[g₂])  if both sides have ancestors
+//!                    = write_step(g₁, g₂)            otherwise (no reader)
+//! ```
+//!
+//! The row-barrier schedule is the same formula with the second-side
+//! contributions pinned to zero (a row step depends only on the `S₁`
+//! arc). Death and write *enumeration* (which the eviction sweeps
+//! need) comes from bucketing each side's arcs by step and walking the
+//! cross products `{x = s} × {y ≤ s}` ∪ `{x < s} × {y = s}` — every
+//! cell is enumerated exactly once across the run, so the sweep cost
+//! is `O(grid)` aggregate, the same order as tabulating it.
+
+use mcos_core::preprocess::Preprocessed;
+use mcos_telemetry::liveness::LevelLiveness;
+
+use crate::ScheduleKind;
+
+/// Arcs of one side grouped by a step value: `items` sorted (stably)
+/// by step, `offsets[s]..offsets[s + 1]` delimiting step `s`.
+#[derive(Debug, Clone, Default)]
+struct StepBuckets {
+    items: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl StepBuckets {
+    fn build(num_steps: u32, arcs: impl Iterator<Item = (u32, u32)>) -> Self {
+        let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); num_steps as usize];
+        for (arc, step) in arcs {
+            grouped[step as usize].push(arc);
+        }
+        let mut items = Vec::new();
+        let mut offsets = Vec::with_capacity(num_steps as usize + 1);
+        offsets.push(0);
+        for bucket in grouped {
+            items.extend(bucket);
+            offsets.push(items.len());
+        }
+        StepBuckets { items, offsets }
+    }
+
+    /// Arcs whose step is exactly `s`.
+    fn at(&self, s: u32) -> &[u32] {
+        &self.items[self.offsets[s as usize]..self.offsets[s as usize + 1]]
+    }
+
+    /// Arcs whose step is `< s`.
+    fn below(&self, s: u32) -> &[u32] {
+        &self.items[..self.offsets[s as usize]]
+    }
+
+    /// Arcs whose step is `≤ s`.
+    fn through(&self, s: u32) -> &[u32] {
+        &self.items[..self.offsets[s as usize + 1]]
+    }
+}
+
+/// Per-cell write and last-reader steps for one schedule, in
+/// `O(A₁ + A₂)` space. See the module docs for the combine rule.
+#[derive(Debug, Clone)]
+pub struct RetentionPlan {
+    num_steps: u32,
+    a1: u32,
+    a2: u32,
+    own1: Vec<u32>,
+    own2: Vec<u32>,
+    /// Outermost-ancestor step contribution; `None` for top-level arcs.
+    outer1: Vec<Option<u32>>,
+    outer2: Vec<Option<u32>>,
+    /// All arcs of each side bucketed by own step.
+    all1: StepBuckets,
+    all2: StepBuckets,
+    /// Top-level arcs (no ancestor) bucketed by own step.
+    top1: StepBuckets,
+    top2: StepBuckets,
+    /// Arcs *with* an ancestor, bucketed by own step (side 1 only;
+    /// the `A₁ × T₂` death arm needs it).
+    anc1_by_own: StepBuckets,
+    /// Top-level arcs of side 2 bucketed by own step (the `A₁ × T₂`
+    /// arm's column sets).
+    anc1_by_outer: StepBuckets,
+    /// Arcs with an ancestor bucketed by outer step.
+    anc2_by_outer: StepBuckets,
+}
+
+/// Outermost-ancestor index per arc: walking arcs in increasing
+/// right-endpoint order, every arc strictly under `k` gets `k` as its
+/// (so-far) outermost ancestor; the last assignment wins and is the
+/// true outermost because ancestors carry larger indexes.
+fn outermost(p: &Preprocessed) -> Vec<Option<u32>> {
+    let mut outer = vec![None; p.num_arcs() as usize];
+    for k in 0..p.num_arcs() {
+        let (lo, hi) = p.under_range[k as usize];
+        for g in lo..hi {
+            outer[g as usize] = Some(k);
+        }
+    }
+    outer
+}
+
+impl RetentionPlan {
+    /// Builds the plan for `schedule` over the two structures.
+    pub fn new(p1: &Preprocessed, p2: &Preprocessed, schedule: ScheduleKind) -> Self {
+        let a1 = p1.num_arcs();
+        let a2 = p2.num_arcs();
+        let (own1, own2, outer1, outer2, num_steps) = match schedule {
+            ScheduleKind::Row => {
+                // A row step depends only on the S₁ arc: side 2
+                // contributes zero everywhere, and only the *presence*
+                // of an S₂ ancestor matters for readability.
+                let own1: Vec<u32> = (0..a1).collect();
+                let own2 = vec![0u32; a2 as usize];
+                let outer1 = outermost(p1);
+                let outer2: Vec<Option<u32>> =
+                    outermost(p2).into_iter().map(|o| o.map(|_| 0)).collect();
+                (own1, own2, outer1, outer2, a1.max(1))
+            }
+            ScheduleKind::Level => {
+                let own1: Vec<u32> = (0..a1).map(|g| p1.level_of(g)).collect();
+                let own2: Vec<u32> = (0..a2).map(|h| p2.level_of(h)).collect();
+                let outer1: Vec<Option<u32>> = outermost(p1)
+                    .into_iter()
+                    .map(|o| o.map(|k| p1.level_of(k)))
+                    .collect();
+                let outer2: Vec<Option<u32>> = outermost(p2)
+                    .into_iter()
+                    .map(|o| o.map(|k| p2.level_of(k)))
+                    .collect();
+                let steps = own1.iter().chain(&own2).copied().max().unwrap_or(0) + 1;
+                (own1, own2, outer1, outer2, steps)
+            }
+        };
+        let all1 = StepBuckets::build(num_steps, own1.iter().copied().enumerate().map(to_arc));
+        let all2 = StepBuckets::build(num_steps, own2.iter().copied().enumerate().map(to_arc));
+        let top1 = StepBuckets::build(num_steps, own_of_class(&own1, &outer1, false));
+        let top2 = StepBuckets::build(num_steps, own_of_class(&own2, &outer2, false));
+        let anc1_by_own = StepBuckets::build(num_steps, own_of_class(&own1, &outer1, true));
+        let anc1_by_outer = StepBuckets::build(
+            num_steps,
+            outer1
+                .iter()
+                .enumerate()
+                .filter_map(|(g, o)| o.map(|s| (g as u32, s))),
+        );
+        let anc2_by_outer = StepBuckets::build(
+            num_steps,
+            outer2
+                .iter()
+                .enumerate()
+                .filter_map(|(h, o)| o.map(|s| (h as u32, s))),
+        );
+        RetentionPlan {
+            num_steps,
+            a1,
+            a2,
+            own1,
+            own2,
+            outer1,
+            outer2,
+            all1,
+            all2,
+            top1,
+            top2,
+            anc1_by_own,
+            anc1_by_outer,
+            anc2_by_outer,
+        }
+    }
+
+    /// Number of schedule steps covered.
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// Logical grid size.
+    pub fn grid_cells(&self) -> u64 {
+        u64::from(self.a1) * u64::from(self.a2)
+    }
+
+    /// The step that writes cell `(g1, g2)`.
+    #[inline]
+    pub fn write_step(&self, g1: u32, g2: u32) -> u32 {
+        self.own1[g1 as usize].max(self.own2[g2 as usize])
+    }
+
+    /// The step after which cell `(g1, g2)` has no stage-one reader.
+    #[inline]
+    pub fn last_step(&self, g1: u32, g2: u32) -> u32 {
+        match (self.outer1[g1 as usize], self.outer2[g2 as usize]) {
+            (Some(o1), Some(o2)) => o1.max(o2),
+            _ => self.write_step(g1, g2),
+        }
+    }
+
+    /// Cells written while step `s` runs.
+    pub fn cells_written_at(&self, s: u32) -> u64 {
+        if s >= self.num_steps {
+            return 0;
+        }
+        self.all1.at(s).len() as u64 * self.all2.through(s).len() as u64
+            + self.all1.below(s).len() as u64 * self.all2.at(s).len() as u64
+    }
+
+    /// Calls `f(row, cols)` once per row group of the cells *written*
+    /// at step `s` (the pressure-eviction enumeration).
+    pub fn for_written_at(&self, s: u32, f: &mut dyn FnMut(u32, &[u32])) {
+        if s >= self.num_steps {
+            return;
+        }
+        for &g in self.all1.at(s) {
+            emit(g, self.all2.through(s), f);
+        }
+        for &g in self.all1.below(s) {
+            emit(g, self.all2.at(s), f);
+        }
+    }
+
+    /// Calls `f(row, cols)` once per row group of the cells whose last
+    /// reader settles at step `s` (the dead-cell enumeration). Across
+    /// `s = 0..num_steps` every cell is emitted exactly once.
+    pub fn for_dead_at(&self, s: u32, f: &mut dyn FnMut(u32, &[u32])) {
+        if s >= self.num_steps {
+            return;
+        }
+        // Cells with ancestors on both sides die at max(outer₁, outer₂).
+        for &g in self.anc1_by_outer.at(s) {
+            emit(g, self.anc2_by_outer.through(s), f);
+        }
+        for &g in self.anc1_by_outer.below(s) {
+            emit(g, self.anc2_by_outer.at(s), f);
+        }
+        // Readerless cells die at their own write step
+        // max(own₁, own₂); partitioned as (T₁ × all) ∪ (A₁ × T₂).
+        for &g in self.top1.at(s) {
+            emit(g, self.all2.through(s), f);
+        }
+        for &g in self.top1.below(s) {
+            emit(g, self.all2.at(s), f);
+        }
+        for &g in self.anc1_by_own.at(s) {
+            emit(g, self.top2.through(s), f);
+        }
+        for &g in self.anc1_by_own.below(s) {
+            emit(g, self.top2.at(s), f);
+        }
+    }
+
+    /// The resident-cell trajectory an evicting store follows when it
+    /// drops every cell as its last reader settles (no budget
+    /// pressure): cells written through each step minus cells dead
+    /// strictly below it. The maximum is the schedule's liveness
+    /// floor, directly comparable to the telemetry model
+    /// ([`mcos_telemetry::liveness::level_liveness`]).
+    pub fn liveness(&self) -> LevelLiveness {
+        if self.grid_cells() == 0 {
+            return LevelLiveness::default();
+        }
+        let mut resident = Vec::with_capacity(self.num_steps as usize);
+        let mut live = 0u64;
+        for s in 0..self.num_steps {
+            live += self.cells_written_at(s);
+            resident.push(live);
+            live -= self.cells_dead_at(s);
+        }
+        debug_assert_eq!(live, 0, "every cell must die by the final step");
+        let (floor_level, floor_cells) = resident
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &r)| (r, std::cmp::Reverse(i)))
+            .map(|(i, &r)| (i as u32, r))
+            .unwrap_or((0, 0));
+        LevelLiveness {
+            levels: self.num_steps,
+            cells: self.grid_cells(),
+            resident,
+            floor_cells,
+            floor_level,
+        }
+    }
+
+    /// Cells whose last reader settles at step `s` (count form of
+    /// [`RetentionPlan::for_dead_at`]).
+    pub fn cells_dead_at(&self, s: u32) -> u64 {
+        if s >= self.num_steps {
+            return 0;
+        }
+        let cross = |xa: &[u32], xb: &[u32]| xa.len() as u64 * xb.len() as u64;
+        cross(self.anc1_by_outer.at(s), self.anc2_by_outer.through(s))
+            + cross(self.anc1_by_outer.below(s), self.anc2_by_outer.at(s))
+            + cross(self.top1.at(s), self.all2.through(s))
+            + cross(self.top1.below(s), self.all2.at(s))
+            + cross(self.anc1_by_own.at(s), self.top2.through(s))
+            + cross(self.anc1_by_own.below(s), self.top2.at(s))
+    }
+}
+
+#[inline]
+fn emit(g: u32, cols: &[u32], f: &mut dyn FnMut(u32, &[u32])) {
+    if !cols.is_empty() {
+        f(g, cols);
+    }
+}
+
+fn to_arc((i, s): (usize, u32)) -> (u32, u32) {
+    (i as u32, s)
+}
+
+/// Arcs of one class (with / without an ancestor) paired with their
+/// own step.
+fn own_of_class<'a>(
+    own: &'a [u32],
+    outer: &'a [Option<u32>],
+    with_ancestor: bool,
+) -> impl Iterator<Item = (u32, u32)> + 'a {
+    own.iter()
+        .zip(outer)
+        .enumerate()
+        .filter(move |(_, (_, o))| o.is_some() == with_ancestor)
+        .map(|(g, (&s, _))| (g as u32, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcos_telemetry::liveness::{level_liveness, SliceNode};
+    use rna_structure::generate;
+    use std::collections::HashSet;
+
+    fn plans_for(
+        s1: &rna_structure::ArcStructure,
+        s2: &rna_structure::ArcStructure,
+    ) -> Vec<(ScheduleKind, RetentionPlan, Preprocessed, Preprocessed)> {
+        let p1 = Preprocessed::build(s1);
+        let p2 = Preprocessed::build(s2);
+        [ScheduleKind::Row, ScheduleKind::Level]
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    RetentionPlan::new(&p1, &p2, k),
+                    Preprocessed::build(s1),
+                    Preprocessed::build(s2),
+                )
+            })
+            .collect()
+    }
+
+    /// Brute-force last reader: max step over all ancestor pairs, or
+    /// the write step when a side has no ancestor.
+    fn brute_last(
+        plan: &RetentionPlan,
+        p1: &Preprocessed,
+        p2: &Preprocessed,
+        g1: u32,
+        g2: u32,
+    ) -> u32 {
+        let anc = |p: &Preprocessed, g: u32| -> Vec<u32> {
+            (0..p.num_arcs())
+                .filter(|&k| {
+                    let (lo, hi) = p.under_range[k as usize];
+                    lo <= g && g < hi
+                })
+                .collect()
+        };
+        let mut last = plan.write_step(g1, g2);
+        for &k1 in &anc(p1, g1) {
+            for &k2 in &anc(p2, g2) {
+                last = last.max(plan.write_step(k1, k2));
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn last_step_equals_the_brute_force_reader_maximum() {
+        let s1 = generate::random_structure(44, 0.8, 5);
+        let s2 = generate::hairpin_chain(5, 3, 2);
+        for (kind, plan, p1, p2) in plans_for(&s1, &s2) {
+            for g1 in 0..p1.num_arcs() {
+                for g2 in 0..p2.num_arcs() {
+                    assert_eq!(
+                        plan.last_step(g1, g2),
+                        brute_last(&plan, &p1, &p2, g1, g2),
+                        "{kind:?} cell ({g1}, {g2})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn death_and_write_enumerations_cover_every_cell_exactly_once() {
+        let s1 = generate::random_structure(40, 0.7, 11);
+        let s2 = generate::skewed_groups(3, 2, 3);
+        for (kind, plan, p1, p2) in plans_for(&s1, &s2) {
+            for (name, enumerate, step_of) in [
+                (
+                    "dead",
+                    (|plan: &RetentionPlan, s, f: &mut dyn FnMut(u32, &[u32])| {
+                        plan.for_dead_at(s, f)
+                    }) as fn(&RetentionPlan, u32, &mut dyn FnMut(u32, &[u32])),
+                    (|plan: &RetentionPlan, g1, g2| plan.last_step(g1, g2))
+                        as fn(&RetentionPlan, u32, u32) -> u32,
+                ),
+                (
+                    "written",
+                    |plan, s, f| plan.for_written_at(s, f),
+                    |plan, g1, g2| plan.write_step(g1, g2),
+                ),
+            ] {
+                let mut seen = HashSet::new();
+                for s in 0..plan.num_steps() {
+                    enumerate(&plan, s, &mut |g, cols| {
+                        for &h in cols {
+                            assert!(
+                                seen.insert((g, h)),
+                                "{kind:?} {name}: cell ({g}, {h}) emitted twice"
+                            );
+                            assert_eq!(step_of(&plan, g, h), s, "{kind:?} {name}");
+                        }
+                    });
+                }
+                assert_eq!(
+                    seen.len() as u64,
+                    u64::from(p1.num_arcs()) * u64::from(p2.num_arcs()),
+                    "{kind:?} {name}: every cell exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_matches_the_telemetry_model_on_the_slice_dag() {
+        let s1 = generate::hairpin_chain(4, 3, 2);
+        let s2 = generate::random_structure(36, 0.8, 3);
+        for (kind, plan, p1, p2) in plans_for(&s1, &s2) {
+            let nodes: Vec<SliceNode> = (0..p1.num_arcs())
+                .flat_map(|k1| (0..p2.num_arcs()).map(move |k2| (k1, k2)))
+                .map(|(k1, k2)| SliceNode {
+                    k1,
+                    k2,
+                    level: plan.write_step(k1, k2),
+                })
+                .collect();
+            let model = level_liveness(&nodes, |k1, k2, sink| {
+                let (lo1, hi1) = p1.under_range[k1 as usize];
+                let (lo2, hi2) = p2.under_range[k2 as usize];
+                for d1 in lo1..hi1 {
+                    for d2 in lo2..hi2 {
+                        sink(d1, d2);
+                    }
+                }
+            });
+            assert_eq!(plan.liveness(), model, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_inputs_admit_floors_far_below_the_grid() {
+        // A chromosome-scale hairpin chain under the row schedule:
+        // every cell's readers sit within the same few-arc stem, so
+        // only a handful of rows are ever live at once.
+        let s = generate::hairpin_chain(40, 3, 2);
+        let p = Preprocessed::build(&s);
+        let plan = RetentionPlan::new(&p, &p, ScheduleKind::Row);
+        let lv = plan.liveness();
+        assert_eq!(lv.cells, 14400);
+        assert!(
+            lv.floor_cells * 10 <= lv.cells,
+            "row-schedule floor {} should be ≪ grid {}",
+            lv.floor_cells,
+            lv.cells
+        );
+    }
+
+    /// Golden liveness floors for the chromosome-scale generators: the
+    /// exact floors are pinned so a retention-analysis regression that
+    /// silently inflates (or deflates) the floor is caught, and each
+    /// floor is asserted to be a vanishing fraction of the grid — the
+    /// premise of running these shapes under `--mem-budget`.
+    #[test]
+    fn chromosome_scale_floors_are_golden_and_tiny() {
+        let field = generate::sparse_hairpin_field(2900, 145, 3, 4, 7);
+        let skewed = generate::sparse_skewed_families(3000, 16, 2, 1, 9);
+        for (name, s, want_floor, factor) in [
+            ("sparse-hairpin-field", &field, 1015u64, 100u64),
+            ("sparse-skewed-families", &skewed, 2328u64, 8u64),
+        ] {
+            let p = Preprocessed::build(s);
+            let plan = RetentionPlan::new(&p, &p, ScheduleKind::Row);
+            let lv = plan.liveness();
+            assert_eq!(
+                lv.floor_cells, want_floor,
+                "{name}: golden floor moved (grid {})",
+                lv.cells
+            );
+            assert!(
+                lv.floor_cells * factor <= lv.cells,
+                "{name}: floor {} is not ≪ grid {}",
+                lv.floor_cells,
+                lv.cells
+            );
+        }
+    }
+
+    #[test]
+    fn empty_structures_yield_a_degenerate_plan() {
+        let e = rna_structure::ArcStructure::unpaired(4);
+        let p = Preprocessed::build(&e);
+        for kind in [ScheduleKind::Row, ScheduleKind::Level] {
+            let plan = RetentionPlan::new(&p, &p, kind);
+            assert_eq!(plan.grid_cells(), 0);
+            assert_eq!(plan.liveness(), LevelLiveness::default());
+        }
+    }
+}

@@ -16,13 +16,15 @@
 //! [`run_stage_one`]: super::run_stage_one
 
 use std::sync;
+use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use mcos_core::memo::{AtomicMemoTable, MemoTable};
+use mcos_core::memo::{AtomicMemoTable, MemoTable, PartialMemo};
 use mcos_telemetry::{Recorder, WorkerLog};
 use mpi_sim::Communicator;
 use parking_lot::{Mutex, RwLock};
 
+use super::retention::RetentionPlan;
 use super::schedule::Step;
 
 /// A memoization-table representation + synchronization discipline.
@@ -66,6 +68,23 @@ pub trait MemoStore: Sync + Sized {
     /// every worker has finished the step.
     fn settle(&self, step: &Step, recorder: &Recorder);
 
+    /// Retention contract, part 1: an advisory pin — the caller
+    /// promises that cells whose [`RetentionPlan::last_step`] is
+    /// `>= step` are still going to be read. Stores that window
+    /// internally must not drop past this mark. Default: no-op.
+    fn retain_through(&self, _step: u32) {}
+
+    /// Retention contract, part 2: drops the given cells of row `g1`
+    /// from the representation worker `w` reads (`None` = the
+    /// coordinator's shared table). Returns the cells actually
+    /// removed from that representation. Callers are responsible for
+    /// only evicting cells that are dead (per the retention plan) or
+    /// whose future reads they can service by recomputation. Default:
+    /// the store keeps everything.
+    fn evict_cells(&self, _w: Option<usize>, _g1: u32, _cols: &[u32]) -> u64 {
+        0
+    }
+
     /// Consumes the store, returning the fully synchronized table.
     fn finish(self) -> MemoTable;
 }
@@ -84,7 +103,13 @@ pub trait StepView {
 
 /// One rank's state in the [`Replicated`] store.
 struct Replica {
-    memo: MemoTable,
+    /// `None` for the manager rank: it joins every collective
+    /// (contributing zeros) but never gathers from `M`, so
+    /// materializing a full per-rank copy for it would be pure waste —
+    /// the world's physical footprint is `workers × grid`, not
+    /// `ranks × grid`. This is also what makes a one-worker world hold
+    /// exactly one copy.
+    memo: Option<PartialMemo>,
     comm: Communicator<Vec<u32>>,
     /// Reused per-step payload buffer: the merged vector returned by
     /// the collective is recycled as the next step's gather buffer, so
@@ -102,7 +127,11 @@ impl Replica {
         let mut mine = std::mem::take(&mut self.scratch);
         let cap_before = mine.capacity();
         mine.clear();
-        mine.extend(step.slices.iter().map(|&(k1, k2)| self.memo.get(k1, k2)));
+        match &self.memo {
+            Some(memo) => mine.extend(step.slices.iter().map(|&(k1, k2)| memo.get(k1, k2))),
+            // The memo-less manager rank contributes the identity.
+            None => mine.resize(step.slices.len(), 0),
+        }
         if mine.capacity() > cap_before {
             log.scratch_alloc(1);
         }
@@ -116,37 +145,42 @@ impl Replica {
             a
         });
         log.allreduce(span, n, n * 4);
-        for (&(k1, k2), &v) in step.slices.iter().zip(&merged) {
-            self.memo.set(k1, k2, v);
+        if let Some(memo) = &mut self.memo {
+            for (&(k1, k2), &v) in step.slices.iter().zip(&merged) {
+                memo.set(k1, k2, v);
+            }
+            // Every memo-holding rank installs the whole step into its
+            // replica, so the store's physical write count is
+            // `workers × cells` — the publishes merged away above are
+            // not counted separately.
+            log.memo_writes(step.slices.len() as u64);
         }
-        // Every rank installs the whole step into its replica, so the
-        // store's physical write count is `ranks × cells` — the
-        // publishes merged away above are not counted separately.
-        log.memo_writes(step.slices.len() as u64);
         self.scratch = merged;
     }
 }
 
-/// The paper's store (§V, Algorithm 4): every rank holds a full
+/// The paper's store (§V, Algorithm 4): every worker rank holds a
 /// replica of `M` and the step is merged with `Allreduce(MAX)` over
 /// the `mpi-sim` substrate. Coordinator-free: ranks run the schedule
-/// in lockstep, the collective itself is the barrier.
+/// in lockstep, the collective itself is the barrier. Replicas are
+/// row-lazy [`PartialMemo`] tables, so rows evicted by the retention
+/// contract actually return their memory.
 pub struct Replicated {
     workers: Vec<Mutex<Replica>>,
-    /// Rank 0's replica when the managed distribution adds a
-    /// dedicated manager rank to the world.
+    /// The memo-less leading rank when the managed distribution adds
+    /// a dedicated manager to the world.
     manager: Option<Mutex<Replica>>,
 }
 
 impl Replicated {
     /// Builds the replicated world: one rank per worker, plus a
-    /// leading manager rank when `managed`. Collective accounting is
-    /// reported to `recorder`.
+    /// leading memo-less manager rank when `managed`. Collective
+    /// accounting is reported to `recorder`.
     pub fn new(a1: u32, a2: u32, workers: u32, managed: bool, recorder: &Recorder) -> Self {
         let mut comms = mpi_sim::world::<Vec<u32>>(workers + managed as u32, recorder);
         let manager = managed.then(|| {
             Mutex::new(Replica {
-                memo: MemoTable::zeroed(a1, a2),
+                memo: None,
                 comm: comms.remove(0),
                 scratch: Vec::new(),
             })
@@ -156,7 +190,7 @@ impl Replicated {
                 .into_iter()
                 .map(|comm| {
                     Mutex::new(Replica {
-                        memo: MemoTable::zeroed(a1, a2),
+                        memo: Some(PartialMemo::new(a1, a2)),
                         comm,
                         scratch: Vec::new(),
                     })
@@ -174,11 +208,19 @@ pub struct ReplicatedView<'a> {
 
 impl StepView for ReplicatedView<'_> {
     fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
-        buf.copy_from_slice(&self.replica.memo.row(g1)[lo2 as usize..hi2 as usize]);
+        self.replica
+            .memo
+            .as_ref()
+            .expect("only memo-holding worker ranks open views")
+            .gather_into(g1, lo2, hi2, buf);
     }
 
     fn publish(&mut self, k1: u32, k2: u32, v: u32) {
-        self.replica.memo.set(k1, k2, v);
+        self.replica
+            .memo
+            .as_mut()
+            .expect("only memo-holding worker ranks open views")
+            .set(k1, k2, v);
     }
 }
 
@@ -197,13 +239,18 @@ impl MemoStore for Replicated {
     }
 
     fn cells_allocated(&self) -> u64 {
-        // One full grid per rank (workers plus the optional manager).
-        let per_rank = match (self.workers.first(), &self.manager) {
-            (Some(w), _) => w.lock().memo.cell_count(),
-            (None, Some(m)) => m.lock().memo.cell_count(),
-            (None, None) => 0,
-        };
-        per_rank * (self.workers.len() as u64 + self.manager.is_some() as u64)
+        // Cells each worker rank ever materialized (the manager rank
+        // holds no memo). Replicas are identical, so this is
+        // `workers × per-replica`, but summing keeps it honest.
+        self.workers
+            .iter()
+            .map(|w| {
+                w.lock()
+                    .memo
+                    .as_ref()
+                    .map_or(0, |memo| memo.cells_allocated())
+            })
+            .sum()
     }
 
     fn begin_step(&self, w: usize) -> ReplicatedView<'_> {
@@ -231,18 +278,30 @@ impl MemoStore for Replicated {
         // Coordinator-free: synchronization happened in worker_sync.
     }
 
+    fn evict_cells(&self, w: Option<usize>, g1: u32, cols: &[u32]) -> u64 {
+        // Each worker evicts its own replica (a central evictor would
+        // deadlock against the replica mutex the worker's view holds
+        // for the whole step); the memo-less manager has nothing to
+        // drop.
+        let Some(w) = w else { return 0 };
+        self.workers[w]
+            .lock()
+            .memo
+            .as_mut()
+            .map_or(0, |memo| memo.evict_cells(g1, cols))
+    }
+
     fn finish(self) -> MemoTable {
-        // Every rank holds the merged table; return rank 0's copy (the
-        // manager's, when there is one) as the legacy backends did.
-        let rank0 = match self.manager {
-            Some(m) => m,
-            None => self
-                .workers
-                .into_iter()
-                .next()
-                .expect("at least one worker"),
-        };
-        rank0.into_inner().memo
+        // Every worker rank holds the merged table; return worker 0's
+        // copy (the manager rank is memo-less).
+        self.workers
+            .into_iter()
+            .next()
+            .expect("at least one worker")
+            .into_inner()
+            .memo
+            .expect("worker ranks hold a replica")
+            .into_table()
     }
 }
 
@@ -251,7 +310,7 @@ impl MemoStore for Replicated {
 /// channel; the coordinator installs the step under the write lock —
 /// the shared-memory analogue of the per-step `Allreduce`.
 pub struct SharedRwLock {
-    memo: RwLock<MemoTable>,
+    memo: RwLock<PartialMemo>,
     results_tx: Sender<(u32, u32, u32)>,
     /// Drained only by the coordinator inside [`MemoStore::settle`];
     /// the mutex makes the receiver shareable, not contended.
@@ -272,7 +331,7 @@ impl SharedRwLock {
         let capacity = Self::step_capacity(steps);
         let (results_tx, results_rx) = bounded(capacity);
         SharedRwLock {
-            memo: RwLock::new(MemoTable::zeroed(a1, a2)),
+            memo: RwLock::new(PartialMemo::new(a1, a2)),
             results_tx,
             results_rx: Mutex::new(results_rx),
             staging: Mutex::new(Vec::new()),
@@ -294,13 +353,13 @@ impl SharedRwLock {
 
 /// View holding the shared read guard for one step.
 pub struct RwLockView<'a> {
-    guard: sync::RwLockReadGuard<'a, MemoTable>,
+    guard: sync::RwLockReadGuard<'a, PartialMemo>,
     results_tx: &'a Sender<(u32, u32, u32)>,
 }
 
 impl StepView for RwLockView<'_> {
     fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
-        buf.copy_from_slice(&self.guard.row(g1)[lo2 as usize..hi2 as usize]);
+        self.guard.gather_into(g1, lo2, hi2, buf);
     }
 
     fn publish(&mut self, k1: u32, k2: u32, v: u32) {
@@ -325,8 +384,8 @@ impl MemoStore for SharedRwLock {
     }
 
     fn cells_allocated(&self) -> u64 {
-        // One shared grid.
-        self.memo.read().cell_count()
+        // Cells the single shared table ever materialized.
+        self.memo.read().cells_allocated()
     }
 
     fn begin_step(&self, _w: usize) -> RwLockView<'_> {
@@ -365,42 +424,68 @@ impl MemoStore for SharedRwLock {
         recorder.count_memo_cells_written(staged.len() as u64);
     }
 
+    fn evict_cells(&self, _w: Option<usize>, g1: u32, cols: &[u32]) -> u64 {
+        // The coordinator evicts between steps; the write lock is
+        // free (no view is open across a settlement boundary).
+        self.memo.write().evict_cells(g1, cols)
+    }
+
     fn finish(self) -> MemoTable {
-        self.memo.into_inner()
+        self.memo.into_inner().into_table()
     }
 }
 
 /// Lock-free publication over [`AtomicMemoTable`] with a settled
 /// snapshot for reads: workers publish with relaxed atomic stores
-/// (every slice writes a distinct entry) and gather from a plain
-/// [`MemoTable`] snapshot of fully settled steps, keeping the hot
-/// `d₂` gather a plain `copy_from_slice`. The coordinator folds each
-/// step into the snapshot after it joins — one relaxed load per
-/// just-finished slice, counted as `settled_reads`.
+/// (every slice writes a distinct entry) and gather from a row-lazy
+/// [`PartialMemo`] snapshot of fully settled steps, keeping the hot
+/// `d₂` gather a plain row copy. The coordinator folds each step into
+/// the snapshot after it joins — one relaxed load per just-finished
+/// slice, counted as `settled_reads`.
+///
+/// With a [`RetentionPlan`] attached ([`LockFreeAtomic::with_retention`])
+/// the snapshot is *level-windowed*: a settling cell is only folded in
+/// when some later step still reads it, and cells whose last reader
+/// just settled are dropped — the snapshot holds the live window, not
+/// a second full grid. The atomic grid itself still retains every
+/// value, so [`MemoStore::finish`] and stage two are unaffected.
 pub struct LockFreeAtomic {
     atomic: AtomicMemoTable,
-    settled: RwLock<MemoTable>,
+    settled: RwLock<PartialMemo>,
+    retention: Option<Arc<RetentionPlan>>,
 }
 
 impl LockFreeAtomic {
-    /// Builds the store.
+    /// Builds the store with a full (unwindowed) snapshot.
     pub fn new(a1: u32, a2: u32) -> Self {
         LockFreeAtomic {
             atomic: AtomicMemoTable::zeroed(a1, a2),
-            settled: RwLock::new(MemoTable::zeroed(a1, a2)),
+            settled: RwLock::new(PartialMemo::new(a1, a2)),
+            retention: None,
+        }
+    }
+
+    /// Builds the store with a level-windowed snapshot driven by
+    /// `plan` (which must be built from the same schedule the run
+    /// uses — step indexes are matched against [`Step::index`]).
+    pub fn with_retention(a1: u32, a2: u32, plan: Arc<RetentionPlan>) -> Self {
+        LockFreeAtomic {
+            atomic: AtomicMemoTable::zeroed(a1, a2),
+            settled: RwLock::new(PartialMemo::new(a1, a2)),
+            retention: Some(plan),
         }
     }
 }
 
 /// View pinning the settled snapshot for one step.
 pub struct LockFreeView<'a> {
-    settled: sync::RwLockReadGuard<'a, MemoTable>,
+    settled: sync::RwLockReadGuard<'a, PartialMemo>,
     atomic: &'a AtomicMemoTable,
 }
 
 impl StepView for LockFreeView<'_> {
     fn gather(&mut self, _owner: (u32, u32), g1: u32, lo2: u32, hi2: u32, buf: &mut [u32]) {
-        buf.copy_from_slice(&self.settled.row(g1)[lo2 as usize..hi2 as usize]);
+        self.settled.gather_into(g1, lo2, hi2, buf);
     }
 
     fn publish(&mut self, k1: u32, k2: u32, v: u32) {
@@ -423,8 +508,10 @@ impl MemoStore for LockFreeAtomic {
     }
 
     fn cells_allocated(&self) -> u64 {
-        // The atomic grid plus the settled snapshot.
-        self.atomic.cell_count() + self.settled.read().cell_count()
+        // The atomic grid plus whatever the settled snapshot ever
+        // materialized (the full grid again when unwindowed; only the
+        // live window's rows under a retention plan).
+        self.atomic.cell_count() + self.settled.read().cells_allocated()
     }
 
     fn begin_step(&self, _w: usize) -> LockFreeView<'_> {
@@ -440,15 +527,48 @@ impl MemoStore for LockFreeAtomic {
 
     fn settle(&self, step: &Step, recorder: &Recorder) {
         // Fold the joined step into the snapshot (O(step) — over the
-        // whole run this copies each entry once).
+        // whole run this copies each entry at most once).
         let mut settled = self.settled.write();
-        for &(k1, k2) in &step.slices {
-            settled.set(k1, k2, self.atomic.get(k1, k2));
+        match &self.retention {
+            None => {
+                for &(k1, k2) in &step.slices {
+                    settled.set(k1, k2, self.atomic.get(k1, k2));
+                }
+                recorder.count_settled_reads(step.slices.len() as u64);
+                // Each cell is written twice: the worker's atomic
+                // publish and this fold into the settled snapshot.
+                recorder.count_memo_cells_written(2 * step.slices.len() as u64);
+            }
+            Some(plan) => {
+                // Windowed: fold only cells some later step reads;
+                // drop cells whose last reader is this very step. The
+                // engine settles steps in increasing index order, so
+                // sweeping exactly `step.index` visits each dead set
+                // once.
+                let mut folded = 0u64;
+                for &(k1, k2) in &step.slices {
+                    if plan.last_step(k1, k2) > step.index {
+                        settled.set(k1, k2, self.atomic.get(k1, k2));
+                        folded += 1;
+                    }
+                }
+                plan.for_dead_at(step.index, &mut |g1, cols| {
+                    settled.evict_cells(g1, cols);
+                });
+                recorder.count_settled_reads(folded);
+                recorder.count_memo_cells_written(step.slices.len() as u64 + folded);
+            }
         }
-        recorder.count_settled_reads(step.slices.len() as u64);
-        // Each cell is written twice: the worker's atomic publish and
-        // this fold into the settled snapshot.
-        recorder.count_memo_cells_written(2 * step.slices.len() as u64);
+    }
+
+    fn evict_cells(&self, _w: Option<usize>, g1: u32, cols: &[u32]) -> u64 {
+        // Zero the atomic cells (so `finish` reflects the eviction
+        // loudly) and drop them from the snapshot window.
+        for &c in cols {
+            self.atomic.set(g1, c, 0);
+        }
+        self.settled.write().evict_cells(g1, cols);
+        cols.len() as u64
     }
 
     fn finish(self) -> MemoTable {
@@ -474,13 +594,122 @@ mod tests {
     #[test]
     fn cells_allocated_reflects_the_representation() {
         let rec = Recorder::disabled();
-        // Replicated: one 3x4 grid per rank (2 workers + manager).
-        assert_eq!(Replicated::new(3, 4, 2, true, &rec).cells_allocated(), 36);
-        assert_eq!(Replicated::new(3, 4, 2, false, &rec).cells_allocated(), 24);
-        // RwLock: the single shared grid.
-        assert_eq!(SharedRwLock::new(3, 4, &steps(&[2])).cells_allocated(), 12);
-        // Lock-free: atomic grid + settled snapshot.
-        assert_eq!(LockFreeAtomic::new(3, 4).cells_allocated(), 24);
+        let all = steps(&[4]);
+        // Replicated, managed: the manager rank is memo-less and the
+        // worker replicas materialize rows lazily as merges install
+        // them.
+        let store = Replicated::new(3, 4, 2, true, &rec);
+        assert_eq!(store.cells_allocated(), 0, "replicas are row-lazy");
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let (store, all, rec) = (&store, &all, &rec);
+                s.spawn(move || store.worker_sync(w, &all[0], &mut rec.lane(w as u32 + 1)));
+            }
+            store.manager_sync(&all[0], &mut rec.lane(0));
+        });
+        // Row 0 landed on both worker ranks and nowhere on the manager.
+        assert_eq!(store.cells_allocated(), 8);
+        // RwLock: the single shared table, rows materialized at settle.
+        let store = SharedRwLock::new(3, 4, &all);
+        assert_eq!(store.cells_allocated(), 0);
+        let mut view = store.begin_step(0);
+        for &(k1, k2) in &all[0].slices {
+            view.publish(k1, k2, 1);
+        }
+        drop(view);
+        store.settle(&all[0], &rec);
+        assert_eq!(store.cells_allocated(), 4);
+        // Lock-free: the atomic grid is dense; the snapshot is lazy.
+        let store = LockFreeAtomic::new(3, 4);
+        assert_eq!(store.cells_allocated(), 12);
+        store.settle(&all[0], &rec);
+        assert_eq!(store.cells_allocated(), 16);
+    }
+
+    #[test]
+    fn evicted_cells_leave_the_store_and_read_back_as_zero() {
+        let all = steps(&[3]);
+        let rec = Recorder::disabled();
+        let store = SharedRwLock::new(1, 3, &all);
+        let mut view = store.begin_step(0);
+        for &(k1, k2) in &all[0].slices {
+            view.publish(k1, k2, k2 + 7);
+        }
+        drop(view);
+        store.settle(&all[0], &rec);
+        assert_eq!(store.evict_cells(None, 0, &[0, 2]), 2);
+        assert_eq!(
+            store.evict_cells(None, 0, &[0]),
+            0,
+            "re-eviction is a no-op"
+        );
+        let mut buf = [99u32; 3];
+        store.begin_step(0).gather((0, 0), 0, 0, 3, &mut buf);
+        assert_eq!(buf, [0, 8, 0], "evicted cells read back as zero");
+
+        // Replicated: each worker drops from its own replica; the
+        // coordinator arm (None) is a no-op because the manager rank
+        // holds no memo.
+        let store = Replicated::new(1, 4, 2, false, &rec);
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let store = &store;
+                let rec = &rec;
+                s.spawn(move || {
+                    let mut view = store.begin_step(w);
+                    for k2 in 0..4u32 {
+                        if k2 as usize % 2 == w {
+                            view.publish(0, k2, 10 + k2);
+                        }
+                    }
+                    drop(view);
+                    let merge = Step {
+                        index: 0,
+                        slices: (0..4).map(|k2| (0, k2)).collect(),
+                    };
+                    store.worker_sync(w, &merge, &mut rec.lane(w as u32 + 1));
+                });
+            }
+        });
+        assert_eq!(
+            store.evict_cells(None, 0, &[1]),
+            0,
+            "manager arm is memo-less"
+        );
+        assert_eq!(store.evict_cells(Some(0), 0, &[1, 3]), 2);
+        assert_eq!(store.finish().row(0), &[10, 0, 12, 0]);
+    }
+
+    #[test]
+    fn windowed_snapshot_holds_only_the_live_window() {
+        use super::super::schedule::{RowBarrier, Schedule};
+        use mcos_core::preprocess::Preprocessed;
+        use rna_structure::generate;
+
+        let s = generate::hairpin_chain(2, 2, 2);
+        let p = Preprocessed::build(&s);
+        let a = p.num_arcs();
+        let plan = Arc::new(RetentionPlan::new(&p, &p, crate::ScheduleKind::Row));
+        let rec = Recorder::disabled();
+        let store = LockFreeAtomic::with_retention(a, a, plan);
+        for step in RowBarrier.steps(&p, &p) {
+            let mut view = store.begin_step(0);
+            for &(k1, k2) in &step.slices {
+                view.publish(k1, k2, k1 + k2 + 1);
+            }
+            drop(view);
+            store.settle(&step, &rec);
+        }
+        // Every cell's last reader has settled: the window is empty,
+        // and it never materialized the readerless (top-level) rows.
+        assert_eq!(store.settled.read().cells_resident(), 0);
+        assert!(
+            store.cells_allocated() < 2 * u64::from(a) * u64::from(a),
+            "the windowed snapshot must not re-materialize the grid"
+        );
+        // The atomic grid still holds every value for stage two.
+        let memo = store.finish();
+        assert_eq!(memo.get(a - 1, a - 1), 2 * a - 1);
     }
 
     #[test]

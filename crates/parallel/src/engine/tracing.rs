@@ -114,6 +114,16 @@ impl<'t, M: MemoStore> MemoStore for Tracing<'t, M> {
         self.inner.manager_sync(step, log);
     }
 
+    fn retain_through(&self, step: u32) {
+        self.inner.retain_through(step);
+    }
+
+    fn evict_cells(&self, w: Option<usize>, g1: u32, cols: &[u32]) -> u64 {
+        // Evictions are not memo accesses (nothing reads the dropped
+        // value); forward without recording.
+        self.inner.evict_cells(w, g1, cols)
+    }
+
     fn settle(&self, step: &Step, recorder: &Recorder) {
         self.inner.settle(step, recorder);
         // The settlement copy reads each just-computed entry on the

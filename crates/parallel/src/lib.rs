@@ -89,6 +89,8 @@ use std::time::{Duration, Instant};
 
 use load_balance::Policy;
 use mcos_core::kernel::KernelScratch;
+use mcos_core::recompute::CellOracle;
+use mcos_core::traceback::Mapping;
 use mcos_core::{memo::MemoTable, preprocess::Preprocessed, slice, workload};
 use mcos_telemetry::{Phase, Recorder};
 use rna_structure::ArcStructure;
@@ -300,6 +302,17 @@ pub struct PrnaConfig {
     pub backend: Backend,
     /// Slice-tabulation kernel every worker (and stage two) runs.
     pub kernel: KernelKind,
+    /// Resident-cell budget for the memo table (in cells, per
+    /// representation — each replica of a replicated store honors it
+    /// individually). `None` keeps the full grid resident. With a
+    /// budget set, stage one evicts cells per the retention plan
+    /// (recomputing any that are still needed), stage two and the
+    /// traceback route reads of evicted cells through the
+    /// [`mcos_core::recompute::CellOracle`], and the returned
+    /// [`PrnaOutcome::memo`] is **partial**: evicted cells read as
+    /// zero. Scores and mappings stay bit-identical to the unbudgeted
+    /// run.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for PrnaConfig {
@@ -309,6 +322,7 @@ impl Default for PrnaConfig {
             policy: Policy::Greedy,
             backend: Backend::WORKER_POOL,
             kernel: KernelKind::default(),
+            mem_budget: None,
         }
     }
 }
@@ -364,20 +378,32 @@ pub fn prna_recorded(
 
     let span = log.start();
     let t1 = Instant::now();
-    let memo = engine::dispatch(
+    let (memo, budget) = engine::dispatch_budgeted(
         config.backend,
         config.kernel,
         &p1,
         &p2,
         &assignment,
         recorder,
+        config.mem_budget,
     );
     let stage_one = t1.elapsed();
     log.phase(span, Phase::StageOne);
 
     let span = log.start();
     let t2 = Instant::now();
-    let score = stage_two(&p1, &p2, &memo, config.kernel);
+    let score = match &budget {
+        None => stage_two(&p1, &p2, &memo, config.kernel),
+        Some(handle) => stage_two_budgeted(
+            &p1,
+            &p2,
+            &memo,
+            config.kernel,
+            handle,
+            oracle_cap(config.mem_budget),
+            recorder,
+        ),
+    };
     let stage_two_d = t2.elapsed();
     log.phase(span, Phase::StageTwo);
     // Flush now so callers can read a complete event log on return
@@ -391,6 +417,80 @@ pub fn prna_recorded(
         stage_one,
         stage_two: stage_two_d,
     }
+}
+
+/// Runs PRNA and recovers the optimal arc mapping (the stage-two
+/// traceback), in one call. This is the entry point budgeted callers
+/// should use for recovery: with [`PrnaConfig::mem_budget`] set, the
+/// returned [`PrnaOutcome::memo`] is partial, and this function routes
+/// the traceback's reads of evicted cells through recomputation —
+/// the plain [`mcos_core::traceback::traceback_with`] over a partial
+/// memo would silently read zeros.
+pub fn prna_aligned(
+    s1: &ArcStructure,
+    s2: &ArcStructure,
+    config: &PrnaConfig,
+    recorder: &Recorder,
+) -> (PrnaOutcome, Mapping) {
+    assert!(config.processors > 0, "need at least one processor");
+    let tp = Instant::now();
+    let p1 = Preprocessed::build(s1);
+    let p2 = Preprocessed::build(s2);
+    let weights = workload::column_weights(&p1, &p2);
+    let assignment = config.policy.assign(&weights, config.processors);
+    let preprocessing = tp.elapsed();
+    let t0 = Instant::now();
+    let (memo, budget) = engine::dispatch_budgeted(
+        config.backend,
+        config.kernel,
+        &p1,
+        &p2,
+        &assignment,
+        recorder,
+        config.mem_budget,
+    );
+    let stage_one = t0.elapsed();
+    let t2 = Instant::now();
+    let uniform = mcos_core::weighted::Uniform(1);
+    let (score, mapping) = match &budget {
+        None => (
+            stage_two(&p1, &p2, &memo, config.kernel),
+            mcos_core::traceback::traceback_with(&p1, &p2, &memo),
+        ),
+        Some(handle) => {
+            // One oracle serves both the score pass and the recovery
+            // walk, so children forced for the score are not re-forced
+            // by the traceback.
+            let shared = &*handle.shared;
+            let kernel = config.kernel.kernel();
+            let mut oracle = CellOracle::new(&p1, &p2, kernel, |a, b| {
+                if shared.is_evicted(a, b) {
+                    None
+                } else {
+                    Some(memo.get(a, b))
+                }
+            })
+            .with_cap(oracle_cap(config.mem_budget));
+            let score = tabulate_parent(&p1, &p2, config.kernel, &mut |g1, c2| oracle.get(g1, c2));
+            let mapping =
+                mcos_core::traceback::traceback_oracle(&p1, &p2, &uniform, &mut |g1, g2| {
+                    oracle.get(g1, g2)
+                });
+            recorder.count_recompute(oracle.recompute_slices(), oracle.recompute_cells());
+            (score, mapping)
+        }
+    };
+    let stage_two_d = t2.elapsed();
+    (
+        PrnaOutcome {
+            score,
+            memo,
+            preprocessing,
+            stage_one,
+            stage_two: stage_two_d,
+        },
+        mapping,
+    )
 }
 
 /// Telemetry detail for the child slice of `(k1, k2)`: its wavefront
@@ -424,6 +524,70 @@ pub(crate) fn stage_two(
     )
 }
 
+/// Cache cap for the recovery oracles: the budget itself, floored at
+/// 4096 entries so a tiny budget does not thrash the cache into
+/// quadratic re-forcing. Unbudgeted callers get an unbounded cache.
+fn oracle_cap(budget: Option<u64>) -> usize {
+    budget.map_or(usize::MAX, |b| b.max(4096).min(usize::MAX as u64) as usize)
+}
+
+/// Stage two against a budget-evicted memo: reads route through a
+/// [`CellOracle`] so evicted cells are recomputed instead of read as
+/// zero, keeping the score bit-identical to the unbudgeted run. The
+/// oracle's cache is capped near the run's budget — stage two scans
+/// every grid cell, so an unbounded cache would accumulate the whole
+/// recomputation closure and regrow the quadratic footprint eviction
+/// freed; the cap trades extra re-forcing of shared children for a
+/// resident set that honours the budget.
+#[allow(clippy::too_many_arguments)]
+fn stage_two_budgeted(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    memo: &MemoTable,
+    kernel: KernelKind,
+    handle: &engine::BudgetHandle,
+    cap: usize,
+    recorder: &Recorder,
+) -> u32 {
+    let shared = &*handle.shared;
+    let mut oracle = CellOracle::new(p1, p2, kernel.kernel(), |a, b| {
+        if shared.is_evicted(a, b) {
+            None
+        } else {
+            Some(memo.get(a, b))
+        }
+    })
+    .with_cap(cap);
+    let score = tabulate_parent(p1, p2, kernel, &mut |g1, c2| oracle.get(g1, c2));
+    recorder.count_recompute(oracle.recompute_slices(), oracle.recompute_cells());
+    score
+}
+
+/// Tabulates the parent slice through `kernel`, pulling memo cells
+/// from `cell` — the one stage-two loop both the dense and the
+/// budgeted paths share.
+fn tabulate_parent(
+    p1: &Preprocessed,
+    p2: &Preprocessed,
+    kernel: KernelKind,
+    cell: &mut dyn FnMut(u32, u32) -> u32,
+) -> u32 {
+    let mut scratch = KernelScratch::default();
+    let (lo2, hi2) = p2.full_range();
+    kernel.kernel().tabulate(
+        p1,
+        p2,
+        p1.full_range(),
+        p2.full_range(),
+        &mut scratch,
+        &mut |g1, buf| {
+            for (i, c2) in (lo2..hi2).enumerate() {
+                buf[i] = cell(g1, c2);
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,9 +599,8 @@ mod tests {
             .into_iter()
             .map(|backend| PrnaConfig {
                 processors: p,
-                policy: Policy::Greedy,
                 backend,
-                kernel: KernelKind::default(),
+                ..PrnaConfig::default()
             })
             .collect()
     }
@@ -451,9 +614,9 @@ mod tests {
             for backend in Backend::ALL {
                 let config = PrnaConfig {
                     processors: 3,
-                    policy: Policy::Greedy,
                     backend,
                     kernel,
+                    ..PrnaConfig::default()
                 };
                 let out = prna(&s1, &s2, &config);
                 assert_eq!(

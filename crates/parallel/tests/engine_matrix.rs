@@ -4,9 +4,13 @@
 //! composition in the `Tracing` decorator must not change its output.
 
 use load_balance::Policy;
-use mcos_core::srna2;
 use mcos_core::trace::TraceLog;
-use mcos_parallel::{prna, prna_traced, Backend, KernelKind, PrnaConfig};
+use mcos_core::{srna2, traceback};
+use mcos_parallel::engine::RetentionPlan;
+use mcos_parallel::{
+    prna, prna_aligned, prna_recorded, prna_traced, Backend, KernelKind, PrnaConfig,
+};
+use mcos_telemetry::Recorder;
 use rna_structure::generate;
 
 fn config(backend: Backend, processors: u32) -> PrnaConfig {
@@ -146,6 +150,97 @@ fn every_kernel_composes_with_the_full_matrix() {
                 kernel.name()
             );
         }
+    }
+}
+
+/// A pressuring budget for `backend` on this pair: half the
+/// no-pressure liveness floor, but at least the widest single step
+/// (below which the step frontier itself is the bound).
+fn tight_budget(
+    s1: &rna_structure::ArcStructure,
+    s2: &rna_structure::ArcStructure,
+    backend: Backend,
+) -> u64 {
+    let p1 = mcos_core::preprocess::Preprocessed::build(s1);
+    let p2 = mcos_core::preprocess::Preprocessed::build(s2);
+    let plan = RetentionPlan::new(&p1, &p2, backend.schedule);
+    let widest = (0..plan.num_steps())
+        .map(|s| plan.cells_written_at(s))
+        .max()
+        .unwrap_or(0);
+    (plan.liveness().floor_cells / 2).max(widest).max(1)
+}
+
+/// The budgeted decorator composes with every store: under a budget
+/// tight enough to force pressure eviction, every matrix composition
+/// still produces the reference score AND the reference alignment at
+/// 1, 2, 4, and 8 threads — the linear-space acceptance sweep.
+#[test]
+fn budgeted_matrix_matches_scores_and_alignments() {
+    let s1 = generate::random_structure(48, 0.9, 61);
+    let s2 = generate::random_structure(42, 0.8, 62);
+    let reference = srna2::run(&s1, &s2);
+    let reference_mapping = traceback::traceback(&s1, &s2);
+    assert!(reference.score > 0, "degenerate input");
+    for backend in Backend::MATRIX {
+        let budget = tight_budget(&s1, &s2, backend);
+        for threads in [1u32, 2, 4, 8] {
+            let cfg = PrnaConfig {
+                mem_budget: Some(budget),
+                ..config(backend, threads)
+            };
+            let (out, mapping) = prna_aligned(&s1, &s2, &cfg, &Recorder::disabled());
+            assert_eq!(
+                out.score,
+                reference.score,
+                "{} threads {threads} budget {budget}",
+                backend.name()
+            );
+            assert_eq!(
+                mapping,
+                reference_mapping,
+                "alignment mismatch: {} threads {threads} budget {budget}",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// The budget invariant, across the matrix: the recorded resident-cell
+/// peak stays within the budget (the budget always covers the widest
+/// step here), evictions are visible in the counters, and every read
+/// of an evicted cell is accounted as recompute work.
+#[test]
+fn budgeted_runs_respect_the_budget_and_account_recompute() {
+    let s1 = generate::random_structure(44, 0.9, 63);
+    let s2 = generate::random_structure(40, 0.8, 64);
+    let reference = srna2::run(&s1, &s2);
+    for backend in Backend::MATRIX {
+        let budget = tight_budget(&s1, &s2, backend);
+        let cfg = PrnaConfig {
+            mem_budget: Some(budget),
+            ..config(backend, 3)
+        };
+        let recorder = Recorder::enabled();
+        let out = prna_recorded(&s1, &s2, &cfg, &recorder);
+        assert_eq!(out.score, reference.score, "{}", backend.name());
+        let c = recorder.counters();
+        assert!(
+            c.resident_cells_peak > 0 && c.resident_cells_peak <= budget,
+            "{}: peak {} vs budget {budget}",
+            backend.name(),
+            c.resident_cells_peak
+        );
+        assert!(c.evicted_cells > 0, "{}: no evictions", backend.name());
+        // Stage two re-reads the whole grid, so a run that evicted
+        // anything must have recomputed something — and cells are
+        // counted with their slices.
+        assert!(c.recompute_slices > 0, "{}", backend.name());
+        assert!(
+            c.recompute_cells >= c.recompute_slices,
+            "{}",
+            backend.name()
+        );
     }
 }
 

@@ -67,6 +67,90 @@ pub fn skewed_groups(groups: u32, base_depth: u32, step: u32) -> ArcStructure {
     s
 }
 
+/// A chromosome-scale *sparse* input: `num_hairpins` hairpins (stems of
+/// `stem_depth` arcs around `loop_len` unpaired positions) scattered
+/// along a sequence of `len` positions, with the leftover length
+/// distributed as random unpaired spacers between them.
+///
+/// This is the linear-space showcase shape: arcs are shallow and
+/// disjoint, so the retention plan's liveness floor is a vanishing
+/// fraction of the `A₁ × A₂` grid (most cells die the step after they
+/// are written). Deterministic per `(parameters, seed)`. Panics if
+/// `len` cannot hold the hairpins.
+pub fn sparse_hairpin_field(
+    len: u32,
+    num_hairpins: u32,
+    stem_depth: u32,
+    loop_len: u32,
+    seed: u64,
+) -> ArcStructure {
+    let hairpin_len = 2 * stem_depth + loop_len;
+    let used = num_hairpins * hairpin_len;
+    assert!(
+        len >= used,
+        "length {len} cannot hold {num_hairpins} hairpins of {hairpin_len} nt"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random spacer per slot (before each hairpin and after the last).
+    let mut spacers = vec![0u32; num_hairpins as usize + 1];
+    for _ in 0..(len - used) {
+        let slot = rng.gen_range(0..spacers.len());
+        spacers[slot] += 1;
+    }
+    let mut arcs = Vec::with_capacity((num_hairpins * stem_depth) as usize);
+    let mut pos = 0u32;
+    for h in 0..num_hairpins {
+        pos += spacers[h as usize];
+        for d in 0..stem_depth {
+            arcs.push(Arc::new(pos + d, pos + hairpin_len - 1 - d));
+        }
+        pos += hairpin_len;
+    }
+    ArcStructure::new(len, arcs).expect("disjoint hairpins are always valid")
+}
+
+/// A chromosome-scale *skewed sparse* input: `families` disjoint fully
+/// nested arc families, family `f` holding `base_depth + f * step`
+/// arcs, scattered along `len` positions with random unpaired spacers.
+///
+/// Combines the load-balancing skew of [`skewed_groups`] with the low
+/// arc density of [`sparse_hairpin_field`]: per-column work is very
+/// uneven *and* the liveness floor stays far below the grid.
+/// Deterministic per `(parameters, seed)`. Panics if `len` cannot hold
+/// the families.
+pub fn sparse_skewed_families(
+    len: u32,
+    families: u32,
+    base_depth: u32,
+    step: u32,
+    seed: u64,
+) -> ArcStructure {
+    let total_arcs: u32 = (0..families).map(|f| base_depth + f * step).sum();
+    let used = 2 * total_arcs;
+    assert!(
+        len >= used,
+        "length {len} cannot hold {families} families ({total_arcs} arcs)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spacers = vec![0u32; families as usize + 1];
+    for _ in 0..(len - used) {
+        let slot = rng.gen_range(0..spacers.len());
+        spacers[slot] += 1;
+    }
+    let mut arcs = Vec::with_capacity(total_arcs as usize);
+    let mut pos = 0u32;
+    for f in 0..families {
+        pos += spacers[f as usize];
+        let depth = base_depth + f * step;
+        let span = 2 * depth;
+        for d in 0..depth {
+            arcs.push(Arc::new(pos + d, pos + span - 1 - d));
+        }
+        pos += span;
+    }
+    ArcStructure::new(len, arcs).expect("disjoint nested families are always valid")
+}
+
 /// Configuration for the [`rrna_like`] generator.
 #[derive(Debug, Clone)]
 pub struct RrnaConfig {
@@ -91,6 +175,19 @@ impl RrnaConfig {
         RrnaConfig {
             len: 4216,
             arcs: 721,
+            mean_stem: 7,
+            nest_bias: 0.55,
+        }
+    }
+
+    /// Configuration at the scale of the *Escherichia coli* 23S rRNA
+    /// (2904 bases) with a moderate helix count — the mem-profile
+    /// smoke input: big enough that the memo grid dominates RSS, small
+    /// enough for CI.
+    pub fn ecoli() -> Self {
+        RrnaConfig {
+            len: 2904,
+            arcs: 580,
             mean_stem: 7,
             nest_bias: 0.55,
         }
@@ -360,6 +457,54 @@ mod tests {
         assert_eq!(s.num_arcs(), 15);
         assert_eq!(s.len(), 2 * 15);
         assert_eq!(s.max_depth(), 8);
+    }
+
+    #[test]
+    fn sparse_hairpin_field_shape() {
+        // The 23S-scale smoke shape: 2900 nt, 290 shallow hairpins.
+        let s = sparse_hairpin_field(2900, 145, 3, 4, 7);
+        assert_eq!(s.len(), 2900);
+        assert_eq!(s.num_arcs(), 145 * 3);
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn sparse_hairpin_field_is_deterministic_and_scales() {
+        let a = sparse_hairpin_field(12_000, 200, 2, 3, 11);
+        let b = sparse_hairpin_field(12_000, 200, 2, 3, 11);
+        assert_eq!(a.len(), 12_000);
+        assert_eq!(a.num_arcs(), 400);
+        assert_eq!(
+            (0..a.num_arcs()).map(|i| a.arc(i)).collect::<Vec<_>>(),
+            (0..b.num_arcs()).map(|i| b.arc(i)).collect::<Vec<_>>()
+        );
+        let c = sparse_hairpin_field(12_000, 200, 2, 3, 12);
+        assert_ne!(
+            (0..a.num_arcs()).map(|i| a.arc(i)).collect::<Vec<_>>(),
+            (0..c.num_arcs()).map(|i| c.arc(i)).collect::<Vec<_>>(),
+            "different seeds should scatter differently"
+        );
+    }
+
+    #[test]
+    fn sparse_skewed_families_shape() {
+        let s = sparse_skewed_families(1000, 4, 3, 5, 9); // depths 3, 8, 13, 18
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.num_arcs(), 3 + 8 + 13 + 18);
+        assert_eq!(s.max_depth(), 18);
+        let t = sparse_skewed_families(1000, 4, 3, 5, 9);
+        assert_eq!(
+            (0..s.num_arcs()).map(|i| s.arc(i)).collect::<Vec<_>>(),
+            (0..t.num_arcs()).map(|i| t.arc(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ecoli_preset_hits_exact_counts() {
+        let cfg = RrnaConfig::ecoli();
+        let s = rrna_like(&cfg, 3);
+        assert_eq!(s.len(), 2904);
+        assert_eq!(s.num_arcs(), 580);
     }
 
     #[test]

@@ -146,6 +146,16 @@ pub struct MemoryReport {
     pub alloc_live_peak_bytes: u64,
     /// Process peak RSS in bytes (0 when unavailable).
     pub peak_rss_bytes: u64,
+    /// Logical memo cells dropped by the retention contract (0 for
+    /// unbounded runs).
+    pub evicted_cells: u64,
+    /// Child slices re-tabulated to service reads of evicted cells.
+    pub recompute_slices: u64,
+    /// Grid cells tabulated during those recomputations.
+    pub recompute_cells: u64,
+    /// Peak logically resident memo cells under the retention plan
+    /// (0 when no plan drove the run).
+    pub resident_cells_peak: u64,
 }
 
 impl MemoryReport {
@@ -255,6 +265,18 @@ impl MemoryReport {
                 "  allocator: not installed (build with --features mem-profile)"
             );
         }
+        if self.evicted_cells > 0 || self.resident_cells_peak > 0 {
+            let _ = writeln!(
+                out,
+                "  retention: {} cells evicted, resident peak {} cells ({} MiB); \
+                 recomputed {} slices / {} cells on miss",
+                self.evicted_cells,
+                self.resident_cells_peak,
+                fmt_mib(self.resident_cells_peak * self.cell_bytes),
+                self.recompute_slices,
+                self.recompute_cells
+            );
+        }
         if self.peak_rss_bytes > 0 {
             let _ = writeln!(
                 out,
@@ -314,6 +336,19 @@ impl MemoryReport {
             (
                 "peak_rss_bytes".to_string(),
                 Value::from(self.peak_rss_bytes),
+            ),
+            ("evicted_cells".to_string(), Value::from(self.evicted_cells)),
+            (
+                "recompute_slices".to_string(),
+                Value::from(self.recompute_slices),
+            ),
+            (
+                "recompute_cells".to_string(),
+                Value::from(self.recompute_cells),
+            ),
+            (
+                "resident_cells_peak".to_string(),
+                Value::from(self.resident_cells_peak),
             ),
             ("headline".to_string(), Value::from(self.headline())),
         ])
@@ -449,6 +484,10 @@ mod tests {
             scratch_allocs: 3,
             alloc_live_peak_bytes: 0,
             peak_rss_bytes: 0,
+            evicted_cells: 0,
+            recompute_slices: 0,
+            recompute_cells: 0,
+            resident_cells_peak: 0,
         }
     }
 
@@ -472,6 +511,35 @@ mod tests {
         assert!(text.contains("<- floor"), "{text}");
         assert!(text.contains("occupancy 100%"), "{text}");
         assert!(text.contains("mem-profile"), "{text}");
+        // An unbounded run shows no retention line.
+        assert!(!text.contains("retention:"), "{text}");
+    }
+
+    #[test]
+    fn render_shows_the_retention_line_for_budgeted_runs() {
+        let mut r = report();
+        r.evicted_cells = 5;
+        r.recompute_slices = 2;
+        r.recompute_cells = 11;
+        r.resident_cells_peak = 3;
+        let text = r.render();
+        assert!(text.contains("retention: 5 cells evicted"), "{text}");
+        assert!(text.contains("resident peak 3 cells"), "{text}");
+        assert!(text.contains("recomputed 2 slices / 11 cells"), "{text}");
+        let doc = r.to_json();
+        assert_eq!(doc.get("evicted_cells").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(
+            doc.get("recompute_slices").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("recompute_cells").and_then(Value::as_f64),
+            Some(11.0)
+        );
+        assert_eq!(
+            doc.get("resident_cells_peak").and_then(Value::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

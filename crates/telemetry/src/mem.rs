@@ -155,10 +155,10 @@ pub fn record_alloc(bytes: u64) {
 pub fn record_dealloc(bytes: u64) {
     let a = &ARENAS[current_index()];
     let sub = |v: u64| Some(v.saturating_sub(bytes));
-    // ORDERING: Relaxed — statistic; the CAS loop only needs
-    // atomicity of the single counter.
     let _ = a
         .live
+        // ORDERING: Relaxed — statistic; the CAS loop only needs
+        // atomicity of the single counter.
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, sub);
 }
 

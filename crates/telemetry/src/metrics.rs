@@ -43,6 +43,10 @@
 //! | `mcos.mem.scratch.bytes_peak` | gauge | largest per-worker resident scratch |
 //! | `mcos.mem.alloc.live_bytes_peak` | gauge | counting-allocator live peak (0 without `mem-profile`) |
 //! | `mcos.mem.rss.peak_bytes` | gauge | process `VmHWM` (0 when unavailable) |
+//! | `mcos.mem.evicted_cells` | counter | memo cells dropped by the retention contract |
+//! | `mcos.mem.recompute_slices` | counter | child slices re-tabulated for evicted reads |
+//! | `mcos.mem.recompute_cells` | counter | grid cells tabulated during recomputation |
+//! | `mcos.mem.resident_cells_peak` | gauge | peak logically resident memo cells |
 //!
 //! [`publish_run`] fills a registry with all of the above from a
 //! recorded run, so every engine axis (schedule × store × distribution
@@ -103,6 +107,15 @@ pub mod names {
     pub const MEM_ALLOC_LIVE_BYTES_PEAK: &str = "mcos.mem.alloc.live_bytes_peak";
     /// Process peak RSS in bytes; 0 when unavailable (gauge).
     pub const MEM_RSS_PEAK_BYTES: &str = "mcos.mem.rss.peak_bytes";
+    /// Logical memo cells dropped by the retention contract (counter).
+    pub const MEM_EVICTED_CELLS: &str = "mcos.mem.evicted_cells";
+    /// Child slices re-tabulated to service evicted reads (counter).
+    pub const MEM_RECOMPUTE_SLICES: &str = "mcos.mem.recompute_slices";
+    /// Grid cells tabulated during recomputation (counter).
+    pub const MEM_RECOMPUTE_CELLS: &str = "mcos.mem.recompute_cells";
+    /// Peak logically resident memo cells under the retention plan
+    /// (gauge).
+    pub const MEM_RESIDENT_CELLS_PEAK: &str = "mcos.mem.resident_cells_peak";
 
     /// Every declared name (schema tests iterate this).
     pub const ALL: &[&str] = &[
@@ -128,6 +141,10 @@ pub mod names {
         MEM_SCRATCH_BYTES_PEAK,
         MEM_ALLOC_LIVE_BYTES_PEAK,
         MEM_RSS_PEAK_BYTES,
+        MEM_EVICTED_CELLS,
+        MEM_RECOMPUTE_SLICES,
+        MEM_RECOMPUTE_CELLS,
+        MEM_RESIDENT_CELLS_PEAK,
     ];
 }
 
@@ -581,6 +598,18 @@ pub fn publish_run(
     registry
         .gauge(names::MEM_RSS_PEAK_BYTES)?
         .set(crate::mem::peak_rss_bytes().unwrap_or(0) as f64);
+    registry
+        .counter(names::MEM_EVICTED_CELLS)?
+        .add(counters.evicted_cells);
+    registry
+        .counter(names::MEM_RECOMPUTE_SLICES)?
+        .add(counters.recompute_slices);
+    registry
+        .counter(names::MEM_RECOMPUTE_CELLS)?
+        .add(counters.recompute_cells);
+    registry
+        .gauge(names::MEM_RESIDENT_CELLS_PEAK)?
+        .set(counters.resident_cells_peak as f64);
     Ok(())
 }
 

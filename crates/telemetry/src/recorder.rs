@@ -215,6 +215,17 @@ pub struct CounterSnapshot {
     pub scratch_allocs: u64,
     /// High-water mark of any single worker's resident scratch bytes.
     pub scratch_bytes_peak: u64,
+    /// Logical memo cells dropped by the retention contract (budgeted
+    /// runs and windowed snapshots; counted once per cell, not per
+    /// replica).
+    pub evicted_cells: u64,
+    /// Child slices re-tabulated to service reads of evicted cells.
+    pub recompute_slices: u64,
+    /// Grid cells tabulated during those recomputations.
+    pub recompute_cells: u64,
+    /// High-water mark of logically resident (written, not yet
+    /// evicted) memo cells under the retention plan.
+    pub resident_cells_peak: u64,
 }
 
 #[derive(Default)]
@@ -233,6 +244,10 @@ struct AtomicCounters {
     memo_cells_written: AtomicU64,
     scratch_allocs: AtomicU64,
     scratch_bytes_peak: AtomicU64,
+    evicted_cells: AtomicU64,
+    recompute_slices: AtomicU64,
+    recompute_cells: AtomicU64,
+    resident_cells_peak: AtomicU64,
 }
 
 fn counter_load(c: &AtomicU64) -> u64 {
@@ -275,6 +290,10 @@ impl AtomicCounters {
             memo_cells_written: counter_load(&self.memo_cells_written),
             scratch_allocs: counter_load(&self.scratch_allocs),
             scratch_bytes_peak: counter_load(&self.scratch_bytes_peak),
+            evicted_cells: counter_load(&self.evicted_cells),
+            recompute_slices: counter_load(&self.recompute_slices),
+            recompute_cells: counter_load(&self.recompute_cells),
+            resident_cells_peak: counter_load(&self.resident_cells_peak),
         }
     }
 }
@@ -393,6 +412,34 @@ impl Recorder {
     pub fn record_scratch_peak(&self, bytes: u64) {
         if let Some(inner) = &self.inner {
             counter_max(&inner.counters.scratch_bytes_peak, bytes);
+        }
+    }
+
+    /// Adds `cells` logical memo cells dropped by the retention
+    /// contract. The eviction driver calls this once per cell (the
+    /// replicated store drops the cell from every replica but counts
+    /// it once).
+    pub fn count_evicted_cells(&self, cells: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.evicted_cells, cells);
+        }
+    }
+
+    /// Adds one recompute episode: `slices` child slices re-tabulated
+    /// covering `cells` grid cells, to service reads of evicted memo
+    /// entries.
+    pub fn count_recompute(&self, slices: u64, cells: u64) {
+        if let Some(inner) = &self.inner {
+            counter_add(&inner.counters.recompute_slices, slices);
+            counter_add(&inner.counters.recompute_cells, cells);
+        }
+    }
+
+    /// Max-merges the retention plan's resident-cell count into the
+    /// run's high-water mark.
+    pub fn record_resident_cells_peak(&self, cells: u64) {
+        if let Some(inner) = &self.inner {
+            counter_max(&inner.counters.resident_cells_peak, cells);
         }
     }
 
@@ -621,6 +668,9 @@ mod tests {
         rec.count_memo_cells_written(5);
         rec.count_scratch_allocs(2);
         rec.record_scratch_peak(2048);
+        rec.count_evicted_cells(7);
+        rec.count_recompute(1, 4);
+        rec.record_resident_cells_peak(99);
         assert!(rec.events().is_empty());
         assert_eq!(rec.counters(), CounterSnapshot::default());
     }
@@ -646,6 +696,10 @@ mod tests {
         rec.count_memo_cells_written(2);
         rec.count_scratch_allocs(1);
         rec.record_scratch_peak(256);
+        rec.count_evicted_cells(9);
+        rec.count_recompute(2, 12);
+        rec.record_resident_cells_peak(30);
+        rec.record_resident_cells_peak(20);
 
         let events = rec.events();
         assert_eq!(events.len(), 3);
@@ -678,6 +732,10 @@ mod tests {
         assert_eq!(c.memo_cells_written, 3, "lane writes + settle writes");
         assert_eq!(c.scratch_allocs, 2);
         assert_eq!(c.scratch_bytes_peak, 512, "max of lane and direct peaks");
+        assert_eq!(c.evicted_cells, 9);
+        assert_eq!(c.recompute_slices, 2);
+        assert_eq!(c.recompute_cells, 12);
+        assert_eq!(c.resident_cells_peak, 30, "peak keeps the max");
     }
 
     #[test]
